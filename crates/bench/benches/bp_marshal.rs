@@ -1,0 +1,65 @@
+//! BP-style marshaling throughput (the per-trigger serialization cost on
+//! the in-transit simulation side).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use meshdata::{CellType, DataArray, MultiBlock, UnstructuredGrid};
+use transport::{marshal_blocks, unmarshal_blocks};
+
+fn block_of(elems: usize) -> MultiBlock {
+    let mut g = UnstructuredGrid::new();
+    let np = elems + 1;
+    for k in 0..np {
+        for j in 0..2 {
+            for i in 0..2 {
+                g.add_point([i as f64, j as f64, k as f64]);
+            }
+        }
+    }
+    let id = |i: usize, j: usize, k: usize| ((k * 2 + j) * 2 + i) as i64;
+    for k in 0..elems {
+        g.add_cell(
+            CellType::Hexahedron,
+            &[
+                id(0, 0, k),
+                id(1, 0, k),
+                id(1, 1, k),
+                id(0, 1, k),
+                id(0, 0, k + 1),
+                id(1, 0, k + 1),
+                id(1, 1, k + 1),
+                id(0, 1, k + 1),
+            ],
+        );
+    }
+    let n = g.n_points();
+    g.add_point_data(DataArray::scalars_f64(
+        "pressure",
+        (0..n).map(|i| i as f64).collect(),
+    ))
+    .unwrap();
+    g.add_point_data(DataArray::vectors_f64(
+        "velocity",
+        (0..3 * n).map(|i| i as f64 * 0.5).collect(),
+    ))
+    .unwrap();
+    MultiBlock::local(0, 1, g)
+}
+
+fn bench_bp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bp_marshal");
+    group.sample_size(30);
+    for elems in [64usize, 512, 4096] {
+        let mb = block_of(elems);
+        group.bench_with_input(BenchmarkId::new("marshal", elems), &elems, |b, _| {
+            b.iter(|| black_box(marshal_blocks(0, 1, 0.5, &mb)).len())
+        });
+        let payload = marshal_blocks(0, 1, 0.5, &mb);
+        group.bench_with_input(BenchmarkId::new("unmarshal", elems), &elems, |b, _| {
+            b.iter(|| black_box(unmarshal_blocks(&payload).unwrap()).blocks.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bp);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Ablation: serial-gather vs binary-tree depth compositing (DESIGN.md).
+
+use commsim::{run_ranks, MachineModel};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use render::composite::{composite_to_root, composite_tree};
+use render::{Colormap, Framebuffer};
+
+fn local_frame(rank: usize, w: usize, h: usize) -> Framebuffer {
+    let mut fb = Framebuffer::new(w, h);
+    let cam = render::Camera::look_at([0.0, 0.0, 5.0], [0.0, 0.0, 0.0]);
+    let z = 1.0 - rank as f64 * 0.1;
+    let soup = render::TriangleSoup {
+        positions: vec![[-1.0, -1.0, z], [1.0, -1.0, z], [0.0, 1.0, z]],
+        scalars: vec![rank as f64; 3],
+    };
+    fb.draw(&cam, &soup, &Colormap::viridis(), (0.0, 8.0));
+    fb
+}
+
+fn bench_compositing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compositing");
+    group.sample_size(10);
+    for ranks in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("gather", ranks), &ranks, |b, &ranks| {
+            b.iter(|| {
+                let res = run_ranks(ranks, MachineModel::test_tiny(), |comm| {
+                    let fb = local_frame(comm.rank(), 160, 120);
+                    composite_to_root(comm, fb).map(|f| f.coverage())
+                });
+                black_box(res);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("tree", ranks), &ranks, |b, &ranks| {
+            b.iter(|| {
+                let res = run_ranks(ranks, MachineModel::test_tiny(), |comm| {
+                    let fb = local_frame(comm.rank(), 160, 120);
+                    composite_tree(comm, fb).map(|f| f.coverage())
+                });
+                black_box(res);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compositing);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Ablation: device→host copy granularity — per-field transfers vs one
+//! pooled transfer (DESIGN.md). The measured quantity is the *virtual*
+//! staging time per trigger; criterion wraps the whole miniature run, and
+//! the bench also asserts the virtual-time relationship so a regression in
+//! the cost model fails loudly.
+
+use commsim::{run_ranks, MachineModel};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sem::cases::{pb146, CaseParams};
+use sem::navier_stokes::FieldId;
+
+const FIELDS: [FieldId; 4] = [
+    FieldId::VelX,
+    FieldId::VelY,
+    FieldId::VelZ,
+    FieldId::Pressure,
+];
+
+fn stage(pooled: bool) -> f64 {
+    let res = run_ranks(1, MachineModel::polaris(), move |comm| {
+        let mut params = CaseParams::pb146_default();
+        params.elems = [3, 3, 4];
+        params.order = 3;
+        let solver = pb146(&params, 8).build(comm);
+        let t0 = comm.now();
+        if pooled {
+            black_box(solver.stage_many_to_host(comm, &FIELDS));
+        } else {
+            for id in FIELDS {
+                black_box(solver.stage_to_host(comm, id));
+            }
+        }
+        comm.now() - t0
+    });
+    res[0]
+}
+
+fn bench_d2h(c: &mut Criterion) {
+    // Cost-model invariant: pooling saves exactly (n_fields − 1) launch
+    // latencies.
+    let per_field = stage(false);
+    let pooled = stage(true);
+    let latency = MachineModel::polaris().gpu.xfer_latency;
+    assert!(
+        (per_field - pooled - 3.0 * latency).abs() < 1e-9,
+        "pooled {pooled} vs per-field {per_field}"
+    );
+
+    let mut group = c.benchmark_group("d2h_staging");
+    group.sample_size(10);
+    for pooled in [false, true] {
+        let label = if pooled { "pooled" } else { "per_field" };
+        group.bench_with_input(BenchmarkId::new("granularity", label), &pooled, |b, &p| {
+            b.iter(|| black_box(stage(p)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_d2h);
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! Gather–scatter assembly throughput across mesh sizes and rank counts.
+
+use commsim::{run_ranks, MachineModel};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sem::gs::GatherScatter;
+use sem::mesh::{LocalMesh, MeshSpec};
+use std::sync::Arc;
+
+fn bench_gs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gather_scatter");
+    group.sample_size(10);
+    for (order, elems) in [(3usize, [4usize, 4, 4]), (5, [4, 4, 4]), (3, [6, 6, 6])] {
+        let id = format!("N{order}_{}elems", elems.iter().product::<usize>());
+        group.bench_with_input(BenchmarkId::new("sum_1rank", &id), &order, |b, _| {
+            b.iter(|| {
+                // Includes world setup: gs.sum needs a live communicator.
+                let res = run_ranks(1, MachineModel::test_tiny(), move |comm| {
+                    let spec =
+                        Arc::new(MeshSpec::box_mesh(order, elems, [1.0; 3], [false; 3]));
+                    let mesh = LocalMesh::new(spec, 0, 1);
+                    let gs = GatherScatter::new(&mesh, comm);
+                    let mut f = mesh.eval_nodal(|x| x[0] + x[1] * x[2]);
+                    for _ in 0..10 {
+                        gs.sum(comm, &mut f);
+                    }
+                    f[0]
+                });
+                black_box(res);
+            })
+        });
+    }
+    // Ablation: the library's sorted-segment assembly vs a naive
+    // hashmap-accumulate strategy (DESIGN.md).
+    group.bench_function("assembly_sorted_segments", |b| {
+        b.iter(|| {
+            let res = run_ranks(1, MachineModel::test_tiny(), |comm| {
+                let spec =
+                    Arc::new(MeshSpec::box_mesh(4, [4, 4, 4], [1.0; 3], [false; 3]));
+                let mesh = LocalMesh::new(spec, 0, 1);
+                let gs = GatherScatter::new(&mesh, comm);
+                let mut f = mesh.eval_nodal(|x| x[0] * 31.0 + x[1]);
+                for _ in 0..20 {
+                    gs.sum(comm, &mut f);
+                    // Rescale so values stay finite across iterations.
+                    for v in f.iter_mut() {
+                        *v *= 0.1;
+                    }
+                }
+                f[0]
+            });
+            black_box(res);
+        })
+    });
+    group.bench_function("assembly_hashmap", |b| {
+        b.iter(|| {
+            let res = run_ranks(1, MachineModel::test_tiny(), |comm| {
+                use std::collections::HashMap;
+                let spec =
+                    Arc::new(MeshSpec::box_mesh(4, [4, 4, 4], [1.0; 3], [false; 3]));
+                let mesh = LocalMesh::new(spec, comm.rank(), comm.size());
+                let l = mesh.layout();
+                // Precompute gids as the library does.
+                let mut gids = vec![0u64; l.n_nodes()];
+                for le in 0..mesh.elems.len() {
+                    for k in 0..l.np {
+                        for j in 0..l.np {
+                            for i in 0..l.np {
+                                gids[l.idx(le, i, j, k)] = mesh.gid(le, i, j, k);
+                            }
+                        }
+                    }
+                }
+                let mut f = mesh.eval_nodal(|x| x[0] * 31.0 + x[1]);
+                for _ in 0..20 {
+                    let mut acc: HashMap<u64, f64> = HashMap::with_capacity(f.len());
+                    for (i, &v) in f.iter().enumerate() {
+                        *acc.entry(gids[i]).or_insert(0.0) += v;
+                    }
+                    for (i, v) in f.iter_mut().enumerate() {
+                        *v = acc[&gids[i]] * 0.1;
+                    }
+                }
+                f[0]
+            });
+            black_box(res);
+        })
+    });
+
+    // Halo exchange scaling: same mesh, more ranks.
+    for ranks in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("sum_ranks", ranks),
+            &ranks,
+            |b, &ranks| {
+                b.iter(|| {
+                    let res = run_ranks(ranks, MachineModel::test_tiny(), move |comm| {
+                        let spec = Arc::new(MeshSpec::box_mesh(
+                            3,
+                            [4, 4, 8],
+                            [1.0; 3],
+                            [false; 3],
+                        ));
+                        let mesh = LocalMesh::new(spec, comm.rank(), comm.size());
+                        let gs = GatherScatter::new(&mesh, comm);
+                        let mut f = vec![1.0; mesh.layout().n_nodes()];
+                        for _ in 0..10 {
+                            gs.sum(comm, &mut f);
+                        }
+                        f.first().copied().unwrap_or(0.0)
+                    });
+                    black_box(res);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gs);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! End-to-end per-configuration cost of the §4.1 in situ experiment at
+//! miniature scale: the criterion-measured wall time of a whole
+//! {Original, Checkpointing, Catalyst} run (solver + triggers). The
+//! regenerating harness for Figure 2 proper is `--bin
+//! fig2_time_to_solution`; this bench tracks regressions in the same code
+//! path.
+
+use commsim::MachineModel;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use nek_sensei::{run_insitu, InSituConfig, InSituMode};
+use sem::cases::{pb146, CaseParams};
+
+fn bench_insitu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("insitu_run");
+    group.sample_size(10);
+    for mode in [
+        InSituMode::Original,
+        InSituMode::Checkpointing,
+        InSituMode::Catalyst,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("mode", mode.label()),
+            &mode,
+            |b, &mode| {
+                b.iter(|| {
+                    let mut params = CaseParams::pb146_default();
+                    params.elems = [2, 2, 4];
+                    params.order = 2;
+                    let report = run_insitu(&InSituConfig {
+                        case: pb146(&params, 4),
+                        ranks: 2,
+                        steps: 3,
+                        trigger_every: 1,
+                        machine: MachineModel::polaris(),
+                        image_size: (64, 48),
+                        mode,
+                        output_dir: None,
+                    });
+                    black_box(report.metrics.time_to_solution)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_insitu);
+criterion_main!(benches);

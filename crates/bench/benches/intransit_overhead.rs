@@ -1,0 +1,50 @@
+//! End-to-end per-configuration cost of the §4.2 in transit experiment at
+//! miniature scale (Figures 5/6 regenerate from `--bin fig5_intransit_time`
+//! / `fig6_intransit_memory`; this bench tracks the code path).
+
+use commsim::MachineModel;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use nek_sensei::{run_intransit, EndpointMode, InTransitConfig};
+use sem::cases::{rbc, CaseParams};
+use transport::{QueuePolicy, StagingLink};
+
+fn bench_intransit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("intransit_run");
+    group.sample_size(10);
+    for mode in [
+        EndpointMode::NoTransport,
+        EndpointMode::Checkpointing,
+        EndpointMode::Catalyst,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("mode", mode.label()),
+            &mode,
+            |b, &mode| {
+                b.iter(|| {
+                    let mut params = CaseParams::rbc_default();
+                    params.elems = [2, 2, 4];
+                    params.order = 2;
+                    let report = run_intransit(&InTransitConfig {
+                        case: rbc(&params, 1e4, 0.7),
+                        sim_ranks: 4,
+                        ratio: 4,
+                        steps: 3,
+                        trigger_every: 1,
+                        machine: MachineModel::juwels_booster(),
+                        link: StagingLink::ucx_hdr200(),
+                        queue_capacity: 8,
+                        policy: QueuePolicy::Block,
+                        mode,
+                        image_size: (64, 48),
+                        output_dir: None,
+                    });
+                    black_box(report.sim.mean_step_time)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_intransit);
+criterion_main!(benches);

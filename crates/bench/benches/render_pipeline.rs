@@ -1,0 +1,90 @@
+//! Rendering pipeline stage costs: filter extraction, rasterization, and
+//! PNG encoding (the per-trigger work of the Catalyst configuration).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use meshdata::{CellType, DataArray, UnstructuredGrid};
+use render::image::{encode_png, encode_ppm};
+use render::{contour, slice_plane, surface, Camera, Colormap, Framebuffer};
+
+fn brick(n: usize) -> UnstructuredGrid {
+    let mut g = UnstructuredGrid::new();
+    let np = n + 1;
+    for k in 0..np {
+        for j in 0..np {
+            for i in 0..np {
+                g.add_point([i as f64, j as f64, k as f64]);
+            }
+        }
+    }
+    let id = |i: usize, j: usize, k: usize| ((k * np + j) * np + i) as i64;
+    for k in 0..n {
+        for j in 0..n {
+            for i in 0..n {
+                g.add_cell(
+                    CellType::Hexahedron,
+                    &[
+                        id(i, j, k),
+                        id(i + 1, j, k),
+                        id(i + 1, j + 1, k),
+                        id(i, j + 1, k),
+                        id(i, j, k + 1),
+                        id(i + 1, j, k + 1),
+                        id(i + 1, j + 1, k + 1),
+                        id(i, j + 1, k + 1),
+                    ],
+                );
+            }
+        }
+    }
+    let vals: Vec<f64> = g
+        .points
+        .iter()
+        .map(|p| (p[0] * 0.7).sin() + (p[1] * 0.5).cos() + p[2] * 0.1)
+        .collect();
+    g.add_point_data(DataArray::scalars_f64("s", vals)).unwrap();
+    g
+}
+
+fn bench_render(c: &mut Criterion) {
+    let mut group = c.benchmark_group("render");
+    group.sample_size(20);
+    for n in [8usize, 16] {
+        let g = brick(n);
+        group.bench_with_input(BenchmarkId::new("slice", n), &n, |b, _| {
+            b.iter(|| black_box(slice_plane(&g, [n as f64 / 2.0; 3], [0.0, 0.0, 1.0], "s")))
+        });
+        group.bench_with_input(BenchmarkId::new("contour", n), &n, |b, _| {
+            b.iter(|| black_box(contour(&g, "s", 0.8)))
+        });
+        group.bench_with_input(BenchmarkId::new("surface", n), &n, |b, _| {
+            b.iter(|| black_box(surface(&g, "s")))
+        });
+    }
+
+    let g = brick(12);
+    let soup = surface(&g, "s");
+    let cam = Camera::framing([0.0, 12.0, 0.0, 12.0, 0.0, 12.0], [1.0, 0.7, 0.4]);
+    let cm = Colormap::viridis();
+    for size in [(320usize, 240usize), (800, 600)] {
+        let label = format!("{}x{}", size.0, size.1);
+        group.bench_with_input(BenchmarkId::new("raster", &label), &size, |b, &(w, h)| {
+            b.iter(|| {
+                let mut fb = Framebuffer::new(w, h);
+                fb.draw(&cam, black_box(&soup), &cm, (0.0, 3.0));
+                black_box(fb.coverage());
+            })
+        });
+        let mut fb = Framebuffer::new(size.0, size.1);
+        fb.draw(&cam, &soup, &cm, (0.0, 3.0));
+        group.bench_with_input(BenchmarkId::new("encode_png", &label), &size, |b, _| {
+            b.iter(|| black_box(encode_png(&fb)).len())
+        });
+        group.bench_with_input(BenchmarkId::new("encode_ppm", &label), &size, |b, _| {
+            b.iter(|| black_box(encode_ppm(&fb)).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_render);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Microbenchmarks of the SEM tensor-product kernels, including the
+//! DESIGN.md ablation: tensor-product derivative sweeps vs a naive dense
+//! operator application over the full element.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sem::basis::Basis1d;
+use sem::field::FieldLayout;
+
+/// Naive dense application: treat the elemental derivative as one
+/// (N+1)³×(N+1)³ matrix — the thing tensor-product factorization avoids.
+fn naive_dense_deriv(dense: &[f64], u: &[f64], out: &mut [f64], npe: usize) {
+    for e in 0..u.len() / npe {
+        let ue = &u[e * npe..(e + 1) * npe];
+        let oe = &mut out[e * npe..(e + 1) * npe];
+        for i in 0..npe {
+            let row = &dense[i * npe..(i + 1) * npe];
+            oe[i] = row.iter().zip(ue).map(|(a, b)| a * b).sum();
+        }
+    }
+}
+
+/// Build the dense x-derivative matrix D ⊗ I ⊗ I for the ablation.
+fn dense_dx(basis: &Basis1d) -> Vec<f64> {
+    let np = basis.np();
+    let npe = np * np * np;
+    let mut dense = vec![0.0; npe * npe];
+    for k in 0..np {
+        for j in 0..np {
+            for i in 0..np {
+                let row = (k * np + j) * np + i;
+                for m in 0..np {
+                    let col = (k * np + j) * np + m;
+                    dense[row * npe + col] = basis.deriv[i * np + m];
+                }
+            }
+        }
+    }
+    dense
+}
+
+fn tensor_deriv(basis: &Basis1d, u: &[f64], out: &mut [f64], np: usize) {
+    // The same sweep operators.rs uses for axis 0, inlined without the
+    // cost-model plumbing so criterion measures pure kernel time.
+    let d = &basis.deriv;
+    let npe = np * np * np;
+    for e in 0..u.len() / npe {
+        let ue = &u[e * npe..(e + 1) * npe];
+        let oe = &mut out[e * npe..(e + 1) * npe];
+        for k in 0..np {
+            for j in 0..np {
+                let row = (k * np + j) * np;
+                for i in 0..np {
+                    let mut acc = 0.0;
+                    for m in 0..np {
+                        acc += d[i * np + m] * ue[row + m];
+                    }
+                    oe[row + i] = acc;
+                }
+            }
+        }
+    }
+}
+
+fn bench_operators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sem_deriv");
+    group.sample_size(20);
+    for order in [3usize, 5, 7] {
+        let basis = Basis1d::new(order);
+        let layout = FieldLayout::new(order, 64);
+        let u: Vec<f64> = (0..layout.n_nodes())
+            .map(|i| (i as f64 * 0.1).sin())
+            .collect();
+        let mut out = vec![0.0; u.len()];
+        group.bench_with_input(BenchmarkId::new("tensor", order), &order, |b, _| {
+            b.iter(|| {
+                tensor_deriv(&basis, black_box(&u), &mut out, order + 1);
+                black_box(&out);
+            })
+        });
+        let dense = dense_dx(&basis);
+        let npe = layout.nodes_per_elem();
+        group.bench_with_input(BenchmarkId::new("naive_dense", order), &order, |b, _| {
+            b.iter(|| {
+                naive_dense_deriv(black_box(&dense), black_box(&u), &mut out, npe);
+                black_box(&out);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_operators);
+criterion_main!(benches);

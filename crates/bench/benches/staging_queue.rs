@@ -1,0 +1,44 @@
+//! Ablation: staging queue policies (block vs discard-newest) under a slow
+//! consumer (DESIGN.md).
+
+use commsim::{run_ranks_with_state, MachineModel};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use transport::{QueuePolicy, StagingLink, StagingNetwork};
+
+fn run_policy(policy: QueuePolicy, steps: u64) -> (u64, u64) {
+    let (writers, readers) = StagingNetwork::build(1, 1, 2, StagingLink::test_tiny(), policy);
+    let reader_thread = std::thread::spawn(move || {
+        run_ranks_with_state(MachineModel::test_tiny(), readers, |comm, mut reader| {
+            let mut n = 0u64;
+            while reader.recv_step(comm).is_some() {
+                n += 1;
+            }
+            n
+        })
+    });
+    let writer_stats = run_ranks_with_state(MachineModel::test_tiny(), writers, move |comm, mut w| {
+        for s in 0..steps {
+            w.write(comm, s, 0.0, vec![0u8; 4096]);
+        }
+        (w.steps_written(), w.steps_dropped())
+    });
+    let consumed = reader_thread.join().expect("reader world")[0];
+    let (written, dropped) = writer_stats[0];
+    assert_eq!(written, consumed);
+    (written, dropped)
+}
+
+fn bench_staging(c: &mut Criterion) {
+    let mut group = c.benchmark_group("staging_queue");
+    group.sample_size(10);
+    for policy in [QueuePolicy::Block, QueuePolicy::DiscardNewest] {
+        let label = format!("{policy:?}");
+        group.bench_with_input(BenchmarkId::new("policy", &label), &policy, |b, &p| {
+            b.iter(|| black_box(run_policy(p, 50)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_staging);
+criterion_main!(benches);

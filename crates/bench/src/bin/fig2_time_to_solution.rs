@@ -1,0 +1,137 @@
+//! **Figure 2** — time-to-solution of the pb146 pebble-bed case across
+//! rank counts for the Catalyst, Checkpointing and Original
+//! configurations (§4.1, Polaris).
+//!
+//! Paper setup: 3000 timesteps, trigger every 100, on 280/560/1120 ranks
+//! (70/140/280 Polaris nodes). Default here: rank counts scaled down 40×
+//! and steps 50× (60 steps, trigger 10) so the sweep runs on a laptop;
+//! `--full` reproduces the paper's counts. Times are virtual seconds from
+//! the Polaris machine model driven by the real reduced-scale run.
+//!
+//! Expected shape (paper): strong scaling (time falls with ranks);
+//! Original < Checkpointing ≲ Catalyst, with Catalyst bearing a slight
+//! overhead over Checkpointing.
+
+use bench_harness::{fmt_secs, format_table, maybe_write_csv, HarnessArgs};
+use commsim::MachineModel;
+use nek_sensei::{run_insitu, InSituConfig, InSituMode};
+use sem::cases::{pb146, CaseParams};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let scale = if args.full { 1 } else { args.scale.unwrap_or(40) };
+    let paper_ranks = [280usize, 560, 1120];
+    let ranks: Vec<usize> = paper_ranks
+        .iter()
+        .map(|&r| (r / scale).max(2))
+        .collect();
+    let steps = args.steps.unwrap_or(if args.full { 3000 } else { 60 });
+    let trigger = args.trigger.unwrap_or(if args.full { 100 } else { 10 });
+
+    // Strong scaling: one global mesh sized for the largest rank count.
+    let nz = *ranks.iter().max().expect("nonempty");
+    let mut params = CaseParams::pb146_default();
+    params.elems = [4, 4, nz.max(8)];
+    let case = pb146(&params, 146);
+
+    // Restore the paper's compute:communication ratio: the production
+    // pb146 mesh is ~350k spectral elements at N=7 (≈1.8e8 grid points);
+    // derate the machine's throughputs by the per-rank size ratio so each
+    // rank's kernels/transfers/IO take as long as they would at full scale.
+    let paper_nodes = 350_000.0 * 512.0;
+    let our_nodes = (case.n_fluid_elems() * (params.order + 1).pow(3)) as f64;
+    let derate = ((paper_nodes / our_nodes) * (ranks[0] as f64 / paper_ranks[0] as f64)).max(1.0);
+    let machine = MachineModel::polaris().derate_throughput(derate);
+    println!(
+        "pb146: {} fluid elements (of {}), order {}, {} steps, trigger every {}, throughput derating {:.0}x",
+        case.n_fluid_elems(),
+        params.elems.iter().product::<usize>(),
+        params.order,
+        steps,
+        trigger,
+        derate
+    );
+
+    let mut rows = Vec::new();
+    let mut by_mode: Vec<(InSituMode, Vec<f64>)> = Vec::new();
+    for mode in [
+        InSituMode::Original,
+        InSituMode::Checkpointing,
+        InSituMode::Catalyst,
+    ] {
+        let mut times = Vec::new();
+        for (&paper_r, &r) in paper_ranks.iter().zip(&ranks) {
+            let report = run_insitu(&InSituConfig {
+                case: case.clone(),
+                ranks: r,
+                steps,
+                trigger_every: trigger,
+                machine: machine.clone(),
+                image_size: (800, 600),
+                mode,
+                output_dir: None,
+            });
+            println!(
+                "  {:<13} paper-ranks={paper_r:<5} ranks={r:<4} time={}",
+                mode.label(),
+                fmt_secs(report.metrics.time_to_solution)
+            );
+            let t = &report.metrics.totals;
+            let per_rank = |x: f64| x / r as f64;
+            rows.push(vec![
+                mode.label().to_string(),
+                paper_r.to_string(),
+                r.to_string(),
+                format!("{:.4}", report.metrics.time_to_solution),
+                format!("{:.6}", report.metrics.mean_step_time),
+                format!("{:.4}", per_rank(t.time_gpu_compute)),
+                format!("{:.4}", per_rank(t.time_comm)),
+                format!("{:.4}", per_rank(t.time_io + t.time_xfer + t.time_host_compute)),
+            ]);
+            times.push(report.metrics.time_to_solution);
+        }
+        by_mode.push((mode, times));
+    }
+
+    let headers = [
+        "config",
+        "paper_ranks",
+        "ranks",
+        "time_to_solution_s",
+        "mean_step_s",
+        "gpu_s/rank",
+        "comm_s/rank",
+        "insitu_io_s/rank",
+    ];
+    println!("\nFigure 2 — time-to-solution (virtual seconds, Polaris model)");
+    println!("{}", format_table(&headers, &rows));
+    maybe_write_csv(&args, "fig2_time_to_solution", &headers, &rows);
+
+    // Shape verdicts against the paper.
+    let find = |m: InSituMode| {
+        by_mode
+            .iter()
+            .find(|(mm, _)| *mm == m)
+            .map(|(_, t)| t.clone())
+            .expect("mode ran")
+    };
+    let orig = find(InSituMode::Original);
+    let chk = find(InSituMode::Checkpointing);
+    let cat = find(InSituMode::Catalyst);
+    let strong_scaling = orig.windows(2).all(|w| w[1] < w[0]);
+    let order_holds = orig
+        .iter()
+        .zip(&chk)
+        .zip(&cat)
+        .all(|((o, c), k)| o < c && c <= k);
+    println!("shape: strong scaling (time falls with ranks): {strong_scaling}");
+    println!("shape: Original < Checkpointing <= Catalyst at every scale: {order_holds}");
+    for i in 0..orig.len() {
+        println!(
+            "  ranks {:>5}: Catalyst overhead vs Checkpointing {:+.1}%, vs Original {:+.1}%",
+            paper_ranks[i],
+            (cat[i] / chk[i] - 1.0) * 100.0,
+            (cat[i] / orig[i] - 1.0) * 100.0
+        );
+    }
+}

@@ -1,0 +1,89 @@
+//! **Figure 3** — memory usage of the pb146 runs for the Catalyst and
+//! Checkpointing configurations (§4.1, Polaris).
+//!
+//! Paper metric: aggregate CPU-memory high-water mark across all MPI
+//! ranks; the observation is that Catalyst sits ≈25% above Checkpointing
+//! because of the GPU→CPU staging plus the VTK/rendering copies.
+
+use bench_harness::{format_table, maybe_write_csv, HarnessArgs};
+use commsim::MachineModel;
+use memtrack::human_bytes;
+use nek_sensei::{run_insitu, InSituConfig, InSituMode};
+use sem::cases::{pb146, CaseParams};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let scale = if args.full { 1 } else { args.scale.unwrap_or(40) };
+    let paper_ranks = [280usize, 560, 1120];
+    let ranks: Vec<usize> = paper_ranks.iter().map(|&r| (r / scale).max(2)).collect();
+    let steps = args.steps.unwrap_or(if args.full { 3000 } else { 60 });
+    let trigger = args.trigger.unwrap_or(if args.full { 100 } else { 10 });
+
+    let nz = *ranks.iter().max().expect("nonempty");
+    let mut params = CaseParams::pb146_default();
+    params.elems = [4, 4, nz.max(8)];
+    let case = pb146(&params, 146);
+    // Same throughput derating as fig2 (memory is unaffected by rates but
+    // the runs should be the same runs).
+    let paper_nodes = 350_000.0 * 512.0;
+    let our_nodes = (case.n_fluid_elems() * (params.order + 1).pow(3)) as f64;
+    let derate = ((paper_nodes / our_nodes) * (ranks[0] as f64 / paper_ranks[0] as f64)).max(1.0);
+    let machine = MachineModel::polaris().derate_throughput(derate);
+
+    let mut rows = Vec::new();
+    let mut mems: Vec<(InSituMode, Vec<u64>)> = Vec::new();
+    for mode in [InSituMode::Checkpointing, InSituMode::Catalyst] {
+        let mut per_scale = Vec::new();
+        for (&paper_r, &r) in paper_ranks.iter().zip(&ranks) {
+            let report = run_insitu(&InSituConfig {
+                case: case.clone(),
+                ranks: r,
+                steps,
+                trigger_every: trigger,
+                machine: machine.clone(),
+                image_size: (800, 600),
+                mode,
+                output_dir: None,
+            });
+            let mem = report.memory();
+            println!(
+                "  {:<13} paper-ranks={paper_r:<5} ranks={r:<4} host-aggregate-peak={}",
+                mode.label(),
+                human_bytes(mem.host_aggregate_peak)
+            );
+            rows.push(vec![
+                mode.label().to_string(),
+                paper_r.to_string(),
+                r.to_string(),
+                mem.host_aggregate_peak.to_string(),
+                mem.host_max_rank_peak.to_string(),
+                mem.gpu_aggregate_peak.to_string(),
+            ]);
+            per_scale.push(mem.host_aggregate_peak);
+        }
+        mems.push((mode, per_scale));
+    }
+
+    let headers = [
+        "config",
+        "paper_ranks",
+        "ranks",
+        "host_aggregate_peak_B",
+        "host_max_rank_peak_B",
+        "gpu_aggregate_peak_B",
+    ];
+    println!("\nFigure 3 — memory high-water marks (tracking accountants)");
+    println!("{}", format_table(&headers, &rows));
+    maybe_write_csv(&args, "fig3_memory", &headers, &rows);
+
+    let chk = &mems[0].1;
+    let cat = &mems[1].1;
+    println!("shape: Catalyst overhead over Checkpointing (paper: ≈ +25%):");
+    for i in 0..chk.len() {
+        println!(
+            "  ranks {:>5}: {:+.1}%",
+            paper_ranks[i],
+            (cat[i] as f64 / chk[i] as f64 - 1.0) * 100.0
+        );
+    }
+}

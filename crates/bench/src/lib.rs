@@ -1,0 +1,154 @@
+//! Shared utilities for the figure-regeneration harnesses.
+//!
+//! Every harness binary accepts the same flags:
+//!
+//! * `--scale <N>` — divide the paper's rank counts by `N` (default: a
+//!   scale that fits a laptop; see each binary). The mesh scales with the
+//!   rank count so per-rank load matches the paper's regime.
+//! * `--steps <N>` / `--trigger <N>` — override timestep/trigger counts.
+//! * `--out <DIR>` — write real artifacts (images, checkpoints, CSV).
+//! * `--full` — the paper's full rank counts (280/560/1120); hundreds of
+//!   oversubscribed threads, only sensible on a large machine.
+//!
+//! Output convention: each binary prints the figure's series as an aligned
+//! table (and a CSV when `--out` is given) so the paper's plot can be
+//! regenerated directly from the rows.
+
+use std::fmt::Write as _;
+
+/// Parsed common CLI flags.
+#[derive(Debug, Clone, Default)]
+pub struct HarnessArgs {
+    /// Rank-count divisor relative to the paper.
+    pub scale: Option<usize>,
+    /// Timestep override.
+    pub steps: Option<usize>,
+    /// Trigger-period override.
+    pub trigger: Option<u64>,
+    /// Artifact output directory.
+    pub out: Option<std::path::PathBuf>,
+    /// Run at the paper's full scale.
+    pub full: bool,
+}
+
+impl HarnessArgs {
+    /// Parse from `std::env::args` (ignores unknown flags).
+    pub fn parse() -> Self {
+        let mut args = Self::default();
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--scale" => args.scale = it.next().and_then(|v| v.parse().ok()),
+                "--steps" => args.steps = it.next().and_then(|v| v.parse().ok()),
+                "--trigger" => args.trigger = it.next().and_then(|v| v.parse().ok()),
+                "--out" => args.out = it.next().map(Into::into),
+                "--full" => args.full = true,
+                "--help" | "-h" => {
+                    eprintln!(
+                        "flags: --scale N | --steps N | --trigger N | --out DIR | --full"
+                    );
+                    std::process::exit(0);
+                }
+                other => eprintln!("warning: ignoring unknown flag '{other}'"),
+            }
+        }
+        args
+    }
+}
+
+/// Render an aligned text table.
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let sep = |out: &mut String| {
+        for w in &widths {
+            let _ = write!(out, "+-{:-<w$}-", "", w = w);
+        }
+        out.push_str("+\n");
+    };
+    sep(&mut out);
+    for (i, h) in headers.iter().enumerate() {
+        let _ = write!(out, "| {:w$} ", h, w = widths[i]);
+    }
+    out.push_str("|\n");
+    sep(&mut out);
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            let _ = write!(out, "| {:w$} ", cell, w = widths[i]);
+        }
+        out.push_str("|\n");
+    }
+    sep(&mut out);
+    out
+}
+
+/// Write a CSV alongside the table when `--out` is set.
+pub fn maybe_write_csv(
+    args: &HarnessArgs,
+    name: &str,
+    headers: &[&str],
+    rows: &[Vec<String>],
+) {
+    let Some(dir) = &args.out else {
+        return;
+    };
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let mut csv = headers.join(",");
+    csv.push('\n');
+    for row in rows {
+        csv.push_str(&row.join(","));
+        csv.push('\n');
+    }
+    let path = dir.join(format!("{name}.csv"));
+    if std::fs::write(&path, csv).is_ok() {
+        println!("wrote {}", path.display());
+    }
+}
+
+/// Format seconds for table cells.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2} s")
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{:.1} µs", s * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned() {
+        let t = format_table(
+            &["ranks", "time"],
+            &[
+                vec!["280".into(), "12.5 s".into()],
+                vec!["1120".into(), "4.2 s".into()],
+            ],
+        );
+        assert!(t.contains("| ranks | time"));
+        assert!(t.contains("| 1120  | 4.2 s"));
+        // Every line has equal width.
+        let widths: Vec<usize> = t.lines().map(|l| l.len()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "{t}");
+    }
+
+    #[test]
+    fn fmt_secs_picks_units() {
+        assert_eq!(fmt_secs(2.5), "2.50 s");
+        assert_eq!(fmt_secs(0.0021), "2.10 ms");
+        assert_eq!(fmt_secs(3.4e-5), "34.0 µs");
+    }
+}

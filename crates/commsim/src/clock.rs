@@ -1,0 +1,81 @@
+//! Per-rank virtual clock.
+//!
+//! A rank's clock is plain state owned by its [`crate::Comm`] handle; only
+//! the rank thread mutates it. Synchronization across ranks happens through
+//! message timestamps and collective rendezvous (see [`crate::comm`]), so
+//! virtual time needs no shared mutable clock and stays deterministic.
+
+/// Virtual time in seconds for one rank.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Clock {
+    now: f64,
+}
+
+impl Clock {
+    /// A clock starting at t = 0.
+    pub fn new() -> Self {
+        Self { now: 0.0 }
+    }
+
+    /// Current virtual time in seconds.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Advance by a non-negative duration. Negative or NaN durations are a
+    /// cost-model bug; they panic in debug and clamp to zero in release so a
+    /// long harness run cannot silently move backwards in time.
+    pub fn advance(&mut self, seconds: f64) {
+        debug_assert!(
+            seconds.is_finite() && seconds >= 0.0,
+            "clock advanced by invalid duration {seconds}"
+        );
+        if seconds.is_finite() && seconds > 0.0 {
+            self.now += seconds;
+        }
+    }
+
+    /// Jump forward to `t` if `t` is later than now (used when a blocking
+    /// operation completes at a known absolute time).
+    pub fn advance_to(&mut self, t: f64) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advance_accumulates() {
+        let mut c = Clock::new();
+        c.advance(1.5);
+        c.advance(0.25);
+        assert!((c.now() - 1.75).abs() < 1e-15);
+    }
+
+    #[test]
+    fn advance_to_never_rewinds() {
+        let mut c = Clock::new();
+        c.advance(10.0);
+        c.advance_to(5.0);
+        assert_eq!(c.now(), 10.0);
+        c.advance_to(12.0);
+        assert_eq!(c.now(), 12.0);
+    }
+
+    #[test]
+    fn zero_advance_is_noop() {
+        let mut c = Clock::new();
+        c.advance(0.0);
+        assert_eq!(c.now(), 0.0);
+    }
+}

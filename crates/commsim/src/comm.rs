@@ -1,0 +1,753 @@
+//! The communicator: MPI-like point-to-point and collective operations over
+//! rank threads, synchronizing per-rank virtual clocks.
+//!
+//! Time semantics:
+//! * `send` stamps the message with `sender_now + α + bytes/β` (its arrival
+//!   time at the destination NIC) and does not block (eager protocol).
+//! * `recv` completes at `max(receiver_now, message_arrival_time)`.
+//! * collectives rendezvous all ranks and release them at
+//!   `max(arrival times) + tree_cost(P, bytes)`.
+//!
+//! Because these rules depend only on operation order and sizes, virtual
+//! time is deterministic across runs regardless of OS scheduling.
+
+use crate::clock::Clock;
+use crate::machine::MachineModel;
+use crate::reduce::ReduceOp;
+use crate::stats::CommStats;
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use memtrack::{Accountant, Registry};
+use parking_lot::{Condvar, Mutex};
+use std::any::Any;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Errors surfaced by non-panicking communicator operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// A rank thread panicked; every blocked operation aborts.
+    Poisoned,
+    /// `try_recv` found no matching message.
+    WouldBlock,
+    /// A message with the requested (source, tag) carried a different type.
+    TypeMismatch {
+        /// Source rank of the offending message.
+        src: usize,
+        /// Tag of the offending message.
+        tag: u64,
+    },
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::Poisoned => write!(f, "communicator poisoned by a rank panic"),
+            CommError::WouldBlock => write!(f, "no matching message available"),
+            CommError::TypeMismatch { src, tag } => {
+                write!(f, "message from rank {src} tag {tag} has unexpected payload type")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+struct Envelope {
+    src: usize,
+    tag: u64,
+    /// Virtual time at which the message is available at the receiver.
+    t_avail: f64,
+    nbytes: u64,
+    payload: Box<dyn Any + Send>,
+}
+
+enum Phase {
+    Collecting,
+    Distributing,
+}
+
+struct CollState {
+    phase: Phase,
+    arrived: usize,
+    departed: usize,
+    times: Vec<f64>,
+    inputs: Vec<Option<Box<dyn Any + Send>>>,
+    result: Option<Arc<dyn Any + Send + Sync>>,
+    out_time: f64,
+}
+
+/// Shared state of one simulated job: mailboxes, collective rendezvous,
+/// machine model, and the memory registry.
+pub struct World {
+    size: usize,
+    machine: Arc<MachineModel>,
+    senders: Vec<Sender<Envelope>>,
+    receivers: Mutex<Vec<Option<Receiver<Envelope>>>>,
+    coll: Mutex<CollState>,
+    coll_cv: Condvar,
+    poisoned: AtomicBool,
+    registry: Registry,
+}
+
+impl World {
+    /// Build a world of `size` ranks over `machine`, sharing `registry` for
+    /// memory accounting.
+    pub fn new(size: usize, machine: MachineModel, registry: Registry) -> Arc<Self> {
+        assert!(size > 0, "a world needs at least one rank");
+        let mut senders = Vec::with_capacity(size);
+        let mut receivers = Vec::with_capacity(size);
+        for _ in 0..size {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(Some(rx));
+        }
+        Arc::new(Self {
+            size,
+            machine: Arc::new(machine),
+            senders,
+            receivers: Mutex::new(receivers),
+            coll: Mutex::new(CollState {
+                phase: Phase::Collecting,
+                arrived: 0,
+                departed: 0,
+                times: vec![0.0; size],
+                inputs: (0..size).map(|_| None).collect(),
+                result: None,
+                out_time: 0.0,
+            }),
+            coll_cv: Condvar::new(),
+            poisoned: AtomicBool::new(false),
+            registry,
+        })
+    }
+
+    /// Number of ranks in the world.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The machine model the world runs on.
+    pub fn machine(&self) -> &MachineModel {
+        &self.machine
+    }
+
+    /// The shared memory registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Create the communicator handle for `rank`. Each rank may be attached
+    /// exactly once.
+    ///
+    /// # Panics
+    /// Panics if `rank` is out of range or already attached.
+    pub fn attach(self: &Arc<Self>, rank: usize) -> Comm {
+        let rx = self.receivers.lock()[rank]
+            .take()
+            .unwrap_or_else(|| panic!("rank {rank} attached twice"));
+        Comm {
+            world: Arc::clone(self),
+            rank,
+            rx,
+            stash: Vec::new(),
+            clock: Clock::new(),
+            stats: CommStats::default(),
+        }
+    }
+
+    /// Mark the world poisoned (a rank panicked) and wake all waiters.
+    pub fn poison(&self) {
+        self.poisoned.store(true, Ordering::SeqCst);
+        let _guard = self.coll.lock();
+        self.coll_cv.notify_all();
+    }
+
+    /// True if any rank has panicked.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::SeqCst)
+    }
+}
+
+/// Per-rank communicator handle. Owned and used by exactly one thread.
+pub struct Comm {
+    world: Arc<World>,
+    rank: usize,
+    rx: Receiver<Envelope>,
+    stash: Vec<Envelope>,
+    clock: Clock,
+    stats: CommStats,
+}
+
+impl Comm {
+    /// This rank's id in `0..size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the job.
+    pub fn size(&self) -> usize {
+        self.world.size
+    }
+
+    /// The machine model this job runs on.
+    pub fn machine(&self) -> &MachineModel {
+        &self.world.machine
+    }
+
+    /// Current virtual time on this rank.
+    pub fn now(&self) -> f64 {
+        self.clock.now()
+    }
+
+    /// Per-rank operation counters.
+    pub fn stats(&self) -> &CommStats {
+        &self.stats
+    }
+
+    /// Memory accountant for a subsystem on this rank, named
+    /// `rank<id>/<subsystem>` in the shared registry.
+    pub fn accountant(&self, subsystem: &str) -> Accountant {
+        self.world
+            .registry
+            .accountant(&format!("rank{}/{}", self.rank, subsystem))
+    }
+
+    /// The job-wide memory registry.
+    pub fn registry(&self) -> &Registry {
+        &self.world.registry
+    }
+
+    // ------------------------------------------------------------------
+    // Virtual-time charging
+    // ------------------------------------------------------------------
+
+    /// Advance this rank's clock by a raw duration.
+    pub fn advance(&mut self, seconds: f64) {
+        self.clock.advance(seconds);
+    }
+
+    /// Charge a GPU kernel (roofline of flops and device-memory bytes).
+    pub fn compute_gpu(&mut self, flops: f64, bytes: f64) {
+        let t = self.world.machine.gpu_kernel_time(flops, bytes);
+        self.stats.time_gpu_compute += t;
+        self.clock.advance(t);
+    }
+
+    /// Charge host-side compute (VTK conversion, rendering, marshaling).
+    pub fn compute_host(&mut self, flops: f64, bytes: f64) {
+        let t = self.world.machine.host_compute_time(flops, bytes);
+        self.stats.time_host_compute += t;
+        self.clock.advance(t);
+    }
+
+    /// Charge a device→host copy of `bytes`.
+    pub fn d2h(&mut self, bytes: u64) {
+        let t = self.world.machine.d2h_time(bytes);
+        self.stats.bytes_d2h += bytes;
+        self.stats.time_xfer += t;
+        self.clock.advance(t);
+    }
+
+    /// Charge a host→device copy of `bytes`.
+    pub fn h2d(&mut self, bytes: u64) {
+        let t = self.world.machine.h2d_time(bytes);
+        self.stats.bytes_h2d += bytes;
+        self.stats.time_xfer += t;
+        self.clock.advance(t);
+    }
+
+    /// Charge a filesystem write of `bytes` with `concurrent_writers` ranks
+    /// writing simultaneously (bandwidth sharing per the FS model).
+    pub fn fs_write(&mut self, bytes: u64, concurrent_writers: usize) {
+        let t = self
+            .world
+            .machine
+            .filesystem
+            .write_time(bytes, concurrent_writers);
+        self.stats.bytes_written_fs += bytes;
+        self.stats.files_written += 1;
+        self.stats.time_io += t;
+        self.clock.advance(t);
+    }
+
+    // ------------------------------------------------------------------
+    // Point-to-point
+    // ------------------------------------------------------------------
+
+    /// Send `value` (`nbytes` on the wire) to `dest` with `tag`. Eager and
+    /// non-blocking, like a small MPI_Send.
+    pub fn send<T: Send + 'static>(&mut self, dest: usize, tag: u64, value: T, nbytes: u64) {
+        assert!(dest < self.world.size, "send to out-of-range rank {dest}");
+        let t_avail = self.clock.now() + self.world.machine.network.p2p_time(nbytes);
+        self.stats.messages_sent += 1;
+        self.stats.bytes_sent += nbytes;
+        let env = Envelope {
+            src: self.rank,
+            tag,
+            t_avail,
+            nbytes,
+            payload: Box::new(value),
+        };
+        // Receiver ends only drop after all senders are done (runner joins
+        // threads before dropping the world), so send cannot fail unless the
+        // world is poisoned — in which case unwinding is correct anyway.
+        self.world.senders[dest]
+            .send(env)
+            .expect("mailbox closed: world torn down while sending");
+    }
+
+    /// Convenience: send a `Vec<f64>` with its true wire size.
+    pub fn send_f64s(&mut self, dest: usize, tag: u64, values: Vec<f64>) {
+        let nbytes = (values.len() * std::mem::size_of::<f64>()) as u64;
+        self.send(dest, tag, values, nbytes);
+    }
+
+    /// Blocking receive of a message from `src` with `tag`.
+    ///
+    /// # Panics
+    /// Panics if the matching message's payload is not a `T`, or if the
+    /// world is poisoned while waiting.
+    pub fn recv<T: Send + 'static>(&mut self, src: usize, tag: u64) -> T {
+        let env = self.wait_matching(|e| e.src == src && e.tag == tag);
+        self.finish_recv(env)
+    }
+
+    /// Blocking receive of a message with `tag` from any rank; returns the
+    /// source rank alongside the payload.
+    pub fn recv_any<T: Send + 'static>(&mut self, tag: u64) -> (usize, T) {
+        let env = self.wait_matching(|e| e.tag == tag);
+        let src = env.src;
+        (src, self.finish_recv(env))
+    }
+
+    /// Non-blocking receive: `Ok` with the payload if a matching message is
+    /// already available, `Err(WouldBlock)` otherwise.
+    pub fn try_recv<T: Send + 'static>(&mut self, src: usize, tag: u64) -> Result<T, CommError> {
+        self.drain_channel();
+        match self
+            .stash
+            .iter()
+            .position(|e| e.src == src && e.tag == tag)
+        {
+            Some(i) => {
+                let env = self.stash.remove(i);
+                Ok(self.finish_recv(env))
+            }
+            None => Err(CommError::WouldBlock),
+        }
+    }
+
+    /// True if a message from `src` with `tag` is waiting (MPI_Iprobe).
+    pub fn probe(&mut self, src: usize, tag: u64) -> bool {
+        self.drain_channel();
+        self.stash.iter().any(|e| e.src == src && e.tag == tag)
+    }
+
+    fn drain_channel(&mut self) {
+        while let Ok(env) = self.rx.try_recv() {
+            self.stash.push(env);
+        }
+    }
+
+    fn wait_matching(&mut self, pred: impl Fn(&Envelope) -> bool) -> Envelope {
+        if let Some(i) = self.stash.iter().position(&pred) {
+            return self.stash.remove(i);
+        }
+        loop {
+            match self.rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(env) => {
+                    if pred(&env) {
+                        return env;
+                    }
+                    self.stash.push(env);
+                }
+                Err(_) => {
+                    assert!(
+                        !self.world.is_poisoned(),
+                        "rank {} aborting recv: another rank panicked",
+                        self.rank
+                    );
+                }
+            }
+        }
+    }
+
+    fn finish_recv<T: Send + 'static>(&mut self, env: Envelope) -> T {
+        let wait = env.t_avail - self.clock.now();
+        if wait > 0.0 {
+            self.stats.time_comm += wait;
+        }
+        self.clock.advance_to(env.t_avail);
+        self.stats.messages_received += 1;
+        let src = env.src;
+        let tag = env.tag;
+        let _ = env.nbytes;
+        *env.payload.downcast::<T>().unwrap_or_else(|_| {
+            panic!("message from rank {src} tag {tag} has unexpected payload type")
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Collectives
+    // ------------------------------------------------------------------
+
+    fn collective<T, R, F>(&mut self, input: T, payload_bytes: u64, combine: F) -> Arc<R>
+    where
+        T: Send + 'static,
+        R: Send + Sync + 'static,
+        F: FnOnce(Vec<T>) -> R,
+    {
+        let world = Arc::clone(&self.world);
+        let mut st = world.coll.lock();
+        // Wait for any previous collective to fully drain.
+        while !matches!(st.phase, Phase::Collecting) {
+            self.check_poison();
+            self.coll_wait(&mut st);
+        }
+        st.times[self.rank] = self.clock.now();
+        st.inputs[self.rank] = Some(Box::new(input));
+        st.arrived += 1;
+        if st.arrived == world.size {
+            // Last arrival combines, prices, and releases everyone.
+            let inputs: Vec<T> = st
+                .inputs
+                .iter_mut()
+                .map(|slot| {
+                    *slot
+                        .take()
+                        .expect("collective input missing")
+                        .downcast::<T>()
+                        .unwrap_or_else(|_| {
+                            panic!("collective called with mismatched types across ranks")
+                        })
+                })
+                .collect();
+            let t_max = st.times.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            st.out_time = t_max
+                + world
+                    .machine
+                    .network
+                    .collective_time(world.size, payload_bytes);
+            st.result = Some(Arc::new(combine(inputs)));
+            st.phase = Phase::Distributing;
+            world.coll_cv.notify_all();
+        } else {
+            while !matches!(st.phase, Phase::Distributing) {
+                self.check_poison();
+                self.coll_wait(&mut st);
+            }
+        }
+        let result: Arc<R> = Arc::clone(st.result.as_ref().expect("collective result missing"))
+            .downcast::<R>()
+            .expect("collective result type mismatch");
+        let out_time = st.out_time;
+        st.departed += 1;
+        if st.departed == world.size {
+            st.arrived = 0;
+            st.departed = 0;
+            st.result = None;
+            st.phase = Phase::Collecting;
+            world.coll_cv.notify_all();
+        }
+        drop(st);
+        let wait = out_time - self.clock.now();
+        if wait > 0.0 {
+            self.stats.time_comm += wait;
+        }
+        self.clock.advance_to(out_time);
+        self.stats.collectives += 1;
+        result
+    }
+
+    fn coll_wait(&self, st: &mut parking_lot::MutexGuard<'_, CollState>) {
+        self.world
+            .coll_cv
+            .wait_for(st, Duration::from_millis(50));
+    }
+
+    fn check_poison(&self) {
+        assert!(
+            !self.world.is_poisoned(),
+            "rank {} aborting collective: another rank panicked",
+            self.rank
+        );
+    }
+
+    /// Synchronize all ranks (and their clocks) — MPI_Barrier.
+    pub fn barrier(&mut self) {
+        self.collective((), 8, |_| ());
+    }
+
+    /// Allreduce one scalar — MPI_Allreduce on a single f64.
+    pub fn allreduce(&mut self, value: f64, op: ReduceOp) -> f64 {
+        *self.collective(value, 8, move |v| op.fold(v))
+    }
+
+    /// Elementwise allreduce of a slice, in place.
+    pub fn allreduce_vec(&mut self, values: &mut [f64], op: ReduceOp) {
+        let n = values.len();
+        let input = values.to_vec();
+        let result = self.collective(input, (n * 8) as u64, move |contribs| {
+            let mut out = vec![0.0; n];
+            op.fold_vecs(&mut out, &contribs);
+            out
+        });
+        values.copy_from_slice(&result);
+    }
+
+    /// Gather one value from every rank onto every rank — MPI_Allgather.
+    pub fn allgather<T: Clone + Send + Sync + 'static>(&mut self, value: T, nbytes: u64) -> Vec<T> {
+        self.collective(value, nbytes, |v| v).as_ref().clone()
+    }
+
+    /// Gather one value from every rank onto `root`; other ranks get `None`.
+    pub fn gather<T: Clone + Send + Sync + 'static>(
+        &mut self,
+        root: usize,
+        value: T,
+        nbytes: u64,
+    ) -> Option<Vec<T>> {
+        let all = self.collective(value, nbytes, |v| v);
+        (self.rank == root).then(|| all.as_ref().clone())
+    }
+
+    /// Broadcast `root`'s value to all ranks. Non-root ranks pass anything
+    /// (their contribution is ignored); typically `bcast(root, value)` where
+    /// non-roots pass a default.
+    pub fn bcast<T: Clone + Send + Sync + 'static>(&mut self, root: usize, value: T, nbytes: u64) -> T {
+        let all = self.collective(value, nbytes, |v| v);
+        all[root].clone()
+    }
+
+    /// Reduce one scalar to `root`; other ranks get `None`.
+    pub fn reduce(&mut self, root: usize, value: f64, op: ReduceOp) -> Option<f64> {
+        let r = self.allreduce(value, op);
+        (self.rank == root).then_some(r)
+    }
+
+    /// Take the stats out when the rank finishes (used by the runner).
+    pub fn into_stats(self) -> CommStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_ranks;
+
+    fn tiny() -> MachineModel {
+        MachineModel::test_tiny()
+    }
+
+    #[test]
+    fn send_recv_roundtrip_with_latency() {
+        let res = run_ranks(2, tiny(), |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, 42u64, 1000);
+                0.0
+            } else {
+                let v = comm.recv::<u64>(0, 1);
+                assert_eq!(v, 42);
+                comm.now()
+            }
+        });
+        // 1 µs latency + 1000 B / 1 GB/s = 1 µs + 1 µs = 2 µs.
+        assert!((res[1] - 2.0e-6).abs() < 1e-12, "got {}", res[1]);
+    }
+
+    #[test]
+    fn messages_from_same_source_and_tag_arrive_in_order() {
+        let res = run_ranks(2, tiny(), |comm| {
+            if comm.rank() == 0 {
+                for i in 0..100u32 {
+                    comm.send(1, 5, i, 4);
+                }
+                vec![]
+            } else {
+                (0..100).map(|_| comm.recv::<u32>(0, 5)).collect::<Vec<_>>()
+            }
+        });
+        assert_eq!(res[1], (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tags_demultiplex_out_of_order_receives() {
+        let res = run_ranks(2, tiny(), |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 10, "first".to_string(), 5);
+                comm.send(1, 20, "second".to_string(), 6);
+                (String::new(), String::new())
+            } else {
+                // Receive tag 20 before tag 10 — the stash must hold tag 10.
+                let b = comm.recv::<String>(0, 20);
+                let a = comm.recv::<String>(0, 10);
+                (a, b)
+            }
+        });
+        assert_eq!(res[1], ("first".to_string(), "second".to_string()));
+    }
+
+    #[test]
+    fn allreduce_sum_and_max() {
+        let res = run_ranks(5, tiny(), |comm| {
+            let s = comm.allreduce(comm.rank() as f64, ReduceOp::Sum);
+            let m = comm.allreduce(comm.rank() as f64, ReduceOp::Max);
+            (s, m)
+        });
+        for (s, m) in res {
+            assert_eq!(s, 10.0);
+            assert_eq!(m, 4.0);
+        }
+    }
+
+    #[test]
+    fn allreduce_vec_elementwise() {
+        let res = run_ranks(3, tiny(), |comm| {
+            let mut v = vec![comm.rank() as f64, 10.0 * comm.rank() as f64];
+            comm.allreduce_vec(&mut v, ReduceOp::Sum);
+            v
+        });
+        for v in res {
+            assert_eq!(v, vec![3.0, 30.0]);
+        }
+    }
+
+    #[test]
+    fn allgather_orders_by_rank() {
+        let res = run_ranks(4, tiny(), |comm| comm.allgather(comm.rank() * 10, 8));
+        for v in res {
+            assert_eq!(v, vec![0, 10, 20, 30]);
+        }
+    }
+
+    #[test]
+    fn gather_only_root_receives() {
+        let res = run_ranks(3, tiny(), |comm| comm.gather(1, comm.rank(), 8));
+        assert!(res[0].is_none());
+        assert_eq!(res[1], Some(vec![0, 1, 2]));
+        assert!(res[2].is_none());
+    }
+
+    #[test]
+    fn bcast_distributes_root_value() {
+        let res = run_ranks(4, tiny(), |comm| {
+            let mine = if comm.rank() == 2 { 99 } else { 0 };
+            comm.bcast(2, mine, 8)
+        });
+        assert_eq!(res, vec![99; 4]);
+    }
+
+    #[test]
+    fn collective_syncs_clocks_to_slowest_rank() {
+        let res = run_ranks(4, tiny(), |comm| {
+            // Rank 3 does 3 virtual seconds of compute before the barrier.
+            if comm.rank() == 3 {
+                comm.advance(3.0);
+            }
+            comm.barrier();
+            comm.now()
+        });
+        for t in &res {
+            assert!(*t >= 3.0, "barrier must lift everyone to the slowest rank");
+            assert!((*t - res[0]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn repeated_collectives_reuse_slot_correctly() {
+        let res = run_ranks(3, tiny(), |comm| {
+            let mut acc = 0.0;
+            for i in 0..50 {
+                acc += comm.allreduce(i as f64, ReduceOp::Sum);
+            }
+            acc
+        });
+        let expected: f64 = (0..50).map(|i| 3.0 * i as f64).sum();
+        for v in res {
+            assert_eq!(v, expected);
+        }
+    }
+
+    #[test]
+    fn try_recv_and_probe() {
+        let res = run_ranks(2, tiny(), |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 3, 7u8, 1);
+                comm.barrier();
+                true
+            } else {
+                assert_eq!(comm.try_recv::<u8>(0, 99), Err(CommError::WouldBlock));
+                comm.barrier(); // ensure the message has been sent
+                // The message may need a moment to traverse the channel.
+                let mut got = None;
+                for _ in 0..1000 {
+                    if comm.probe(0, 3) {
+                        got = comm.try_recv::<u8>(0, 3).ok();
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+                got == Some(7)
+            }
+        });
+        assert!(res[1]);
+    }
+
+    #[test]
+    fn stats_count_traffic() {
+        let res = run_ranks(2, tiny(), |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, 1u32, 400);
+                comm.barrier();
+                (comm.stats().messages_sent, comm.stats().bytes_sent, comm.stats().collectives)
+            } else {
+                let _ = comm.recv::<u32>(0, 0);
+                comm.barrier();
+                (
+                    comm.stats().messages_received,
+                    comm.stats().bytes_sent,
+                    comm.stats().collectives,
+                )
+            }
+        });
+        assert_eq!(res[0], (1, 400, 1));
+        assert_eq!(res[1], (1, 0, 1));
+    }
+
+    #[test]
+    fn fs_write_and_d2h_charge_time_and_bytes() {
+        let res = run_ranks(1, tiny(), |comm| {
+            comm.d2h(100_000_000); // 1 s at 100 MB/s (+latency)
+            comm.fs_write(250_000_000, 1); // 1 s at the 250 MB/s stream cap
+            (comm.now(), comm.stats().bytes_d2h, comm.stats().bytes_written_fs)
+        });
+        let (t, d2h, fsw) = res[0];
+        assert!(t > 2.0 && t < 2.01, "got {t}");
+        assert_eq!(d2h, 100_000_000);
+        assert_eq!(fsw, 250_000_000);
+    }
+
+    #[test]
+    fn accountants_are_per_rank_namespaced() {
+        let reg = Registry::new();
+        let reg2 = reg.clone();
+        crate::runner::run_ranks_with_registry(2, tiny(), reg2, |comm| {
+            comm.accountant("solver").charge_raw(100 * (comm.rank() as u64 + 1));
+        });
+        let snap = reg.snapshot();
+        assert_eq!(snap.entries.len(), 2);
+        assert_eq!(reg.accountant("rank0/solver").current(), 100);
+        assert_eq!(reg.accountant("rank1/solver").current(), 200);
+    }
+
+    #[test]
+    fn single_rank_world_collectives_are_trivial() {
+        let res = run_ranks(1, tiny(), |comm| {
+            comm.barrier();
+            comm.allreduce(5.0, ReduceOp::Sum)
+        });
+        assert_eq!(res[0], 5.0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Reduction operators for collectives.
+
+/// The reduction operators the solver and harnesses need (MPI_SUM/MIN/MAX).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Elementwise sum.
+    Sum,
+    /// Elementwise minimum.
+    Min,
+    /// Elementwise maximum.
+    Max,
+}
+
+impl ReduceOp {
+    /// Apply the operator to two scalars.
+    pub fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Max => a.max(b),
+        }
+    }
+
+    /// The operator's identity element.
+    pub fn identity(self) -> f64 {
+        match self {
+            ReduceOp::Sum => 0.0,
+            ReduceOp::Min => f64::INFINITY,
+            ReduceOp::Max => f64::NEG_INFINITY,
+        }
+    }
+
+    /// Fold an iterator of contributions.
+    pub fn fold(self, values: impl IntoIterator<Item = f64>) -> f64 {
+        values
+            .into_iter()
+            .fold(self.identity(), |acc, v| self.apply(acc, v))
+    }
+
+    /// Elementwise fold of equal-length vectors into `out`.
+    ///
+    /// # Panics
+    /// Panics if any contribution's length differs from `out.len()`.
+    pub fn fold_vecs(self, out: &mut [f64], contributions: &[Vec<f64>]) {
+        for v in out.iter_mut() {
+            *v = self.identity();
+        }
+        for c in contributions {
+            assert_eq!(c.len(), out.len(), "allreduce length mismatch across ranks");
+            for (o, x) in out.iter_mut().zip(c) {
+                *o = self.apply(*o, *x);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_ops() {
+        assert_eq!(ReduceOp::Sum.apply(2.0, 3.0), 5.0);
+        assert_eq!(ReduceOp::Min.apply(2.0, 3.0), 2.0);
+        assert_eq!(ReduceOp::Max.apply(2.0, 3.0), 3.0);
+    }
+
+    #[test]
+    fn fold_respects_identity() {
+        assert_eq!(ReduceOp::Sum.fold([]), 0.0);
+        assert_eq!(ReduceOp::Min.fold([]), f64::INFINITY);
+        assert_eq!(ReduceOp::Max.fold([1.0, -4.0, 2.5]), 2.5);
+        assert_eq!(ReduceOp::Min.fold([1.0, -4.0, 2.5]), -4.0);
+    }
+
+    #[test]
+    fn fold_vecs_elementwise() {
+        let mut out = vec![0.0; 3];
+        ReduceOp::Max.fold_vecs(&mut out, &[vec![1.0, 5.0, 3.0], vec![4.0, 2.0, 6.0]]);
+        assert_eq!(out, vec![4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn fold_vecs_rejects_ragged_input() {
+        let mut out = vec![0.0; 2];
+        ReduceOp::Sum.fold_vecs(&mut out, &[vec![1.0, 2.0, 3.0]]);
+    }
+}

@@ -1,0 +1,196 @@
+//! Spawn-join harness: run a closure on every rank of a world.
+//!
+//! Rank counts can exceed the physical core count — ranks are threads that
+//! mostly block in rendezvous, and the figure harnesses rely on virtual
+//! time, not wall time. Stacks are kept small (2 MiB) so hundreds of ranks
+//! fit comfortably.
+
+use crate::comm::{Comm, World};
+use crate::machine::MachineModel;
+use crate::stats::CommStats;
+use memtrack::Registry;
+use std::sync::Arc;
+use std::thread;
+
+/// Everything a rank produced: its closure's return value, final virtual
+/// time, and operation counters.
+#[derive(Debug, Clone)]
+pub struct RankResult<R> {
+    /// Rank id.
+    pub rank: usize,
+    /// The closure's return value.
+    pub value: R,
+    /// Virtual time when the rank finished.
+    pub time: f64,
+    /// Communication/IO counters.
+    pub stats: CommStats,
+}
+
+const RANK_STACK_BYTES: usize = 2 * 1024 * 1024;
+
+/// Run `f` on `size` ranks; return just the closure values, indexed by rank.
+///
+/// # Panics
+/// Re-raises the first rank panic after poisoning the world so the other
+/// ranks abort instead of deadlocking.
+pub fn run_ranks<R, F>(size: usize, machine: MachineModel, f: F) -> Vec<R>
+where
+    R: Send + 'static,
+    F: Fn(&mut Comm) -> R + Send + Sync + 'static,
+{
+    run_ranks_with_registry(size, machine, Registry::new(), f)
+        .into_iter()
+        .map(|r| r.value)
+        .collect()
+}
+
+/// Run `f` on one rank per element of `states`, moving each element into
+/// its rank. Useful when ranks need owned, mutable resources (staging
+/// writers/readers, solvers) that a shared `Fn` closure cannot provide.
+///
+/// # Panics
+/// Re-raises rank panics like [`run_ranks`].
+pub fn run_ranks_with_state<S, R, F>(machine: MachineModel, states: Vec<S>, f: F) -> Vec<R>
+where
+    S: Send + 'static,
+    R: Send + 'static,
+    F: Fn(&mut Comm, S) -> R + Send + Sync + 'static,
+{
+    use parking_lot::Mutex;
+    let slots: Arc<Mutex<Vec<Option<S>>>> =
+        Arc::new(Mutex::new(states.into_iter().map(Some).collect()));
+    let n = slots.lock().len();
+    run_ranks(n, machine, move |comm| {
+        let state = slots.lock()[comm.rank()]
+            .take()
+            .expect("state taken exactly once per rank");
+        f(comm, state)
+    })
+}
+
+/// Run `f` on `size` ranks with a caller-provided memory registry; return
+/// full [`RankResult`]s including virtual times and stats.
+pub fn run_ranks_with_registry<R, F>(
+    size: usize,
+    machine: MachineModel,
+    registry: Registry,
+    f: F,
+) -> Vec<RankResult<R>>
+where
+    R: Send + 'static,
+    F: Fn(&mut Comm) -> R + Send + Sync + 'static,
+{
+    let world = World::new(size, machine, registry);
+    let f = Arc::new(f);
+    let mut handles = Vec::with_capacity(size);
+    for rank in 0..size {
+        let world = Arc::clone(&world);
+        let f = Arc::clone(&f);
+        let handle = thread::Builder::new()
+            .name(format!("rank{rank}"))
+            .stack_size(RANK_STACK_BYTES)
+            .spawn(move || {
+                let mut comm = world.attach(rank);
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    f(&mut comm)
+                }));
+                match outcome {
+                    Ok(value) => {
+                        let time = comm.now();
+                        let stats = *comm.stats();
+                        Ok(RankResult {
+                            rank,
+                            value,
+                            time,
+                            stats,
+                        })
+                    }
+                    Err(payload) => {
+                        // A rank that panics because the world was already
+                        // poisoned is collateral damage; remember that so the
+                        // runner re-raises the original panic, not this one.
+                        let secondary = world.is_poisoned();
+                        world.poison();
+                        Err((secondary, payload))
+                    }
+                }
+            })
+            .expect("failed to spawn rank thread");
+        handles.push(handle);
+    }
+
+    let mut results: Vec<Option<RankResult<R>>> = (0..size).map(|_| None).collect();
+    let mut primary_panic: Option<Box<dyn std::any::Any + Send>> = None;
+    let mut secondary_panic: Option<Box<dyn std::any::Any + Send>> = None;
+    for handle in handles {
+        match handle.join() {
+            Ok(Ok(result)) => {
+                let rank = result.rank;
+                results[rank] = Some(result);
+            }
+            Ok(Err((secondary, payload))) => {
+                if secondary {
+                    secondary_panic.get_or_insert(payload);
+                } else {
+                    primary_panic.get_or_insert(payload);
+                }
+            }
+            Err(payload) => {
+                primary_panic.get_or_insert(payload);
+            }
+        }
+    }
+    if let Some(payload) = primary_panic.or(secondary_panic) {
+        std::panic::resume_unwind(payload);
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("rank produced no result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_indexed_by_rank() {
+        let res = run_ranks(6, MachineModel::test_tiny(), |comm| comm.rank() * 2);
+        assert_eq!(res, vec![0, 2, 4, 6, 8, 10]);
+    }
+
+    #[test]
+    fn rank_results_carry_time_and_stats() {
+        let res = run_ranks_with_registry(2, MachineModel::test_tiny(), Registry::new(), |comm| {
+            comm.advance(1.25);
+            comm.barrier();
+        });
+        for r in &res {
+            assert!(r.time >= 1.25);
+            assert_eq!(r.stats.collectives, 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "deliberate")]
+    fn rank_panic_propagates_without_deadlock() {
+        run_ranks(3, MachineModel::test_tiny(), |comm| {
+            if comm.rank() == 1 {
+                panic!("deliberate");
+            }
+            // Other ranks block in a collective; poisoning must abort them.
+            comm.barrier();
+        });
+    }
+
+    #[test]
+    fn many_ranks_oversubscribe_one_core() {
+        // 64 ranks on however few cores the host has.
+        let res = run_ranks(64, MachineModel::test_tiny(), |comm| {
+            comm.allreduce(1.0, crate::ReduceOp::Sum)
+        });
+        for v in res {
+            assert_eq!(v, 64.0);
+        }
+    }
+}

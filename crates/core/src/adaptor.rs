@@ -1,0 +1,404 @@
+//! The `nek_sensei::DataAdaptor` of the paper (Listing 2).
+//!
+//! Presents one rank's SEM solver state as a VTK-model multiblock. The
+//! high-order element is exported the way Nek tools export to VTK: each
+//! spectral element becomes `N³` linear hexahedra over its `(N+1)³` GLL
+//! nodes, and nodal fields map 1:1 onto the grid points. Because the
+//! solver's fields are device-resident, `add_array` stages them through
+//! [`sem::navier_stokes::FlowSolver::stage_to_host`], paying the D2H copy
+//! the paper identifies as the price of coupling a GPU code to VTK.
+
+use commsim::{Comm, ReduceOp};
+use insitu::DataAdaptor;
+use memtrack::{Accountant, Charge};
+use meshdata::{
+    ArrayInfo, CellType, Centering, DataArray, MeshMetadata, MultiBlock, UnstructuredGrid,
+};
+use sem::navier_stokes::{FieldId, FlowSolver};
+
+/// The mesh name this adaptor publishes (NekRS has a single fluid mesh).
+pub const MESH_NAME: &str = "mesh";
+
+/// Adapts a [`FlowSolver`] to the SENSEI-style [`DataAdaptor`] contract.
+pub struct NekDataAdaptor<'a> {
+    solver: &'a FlowSolver,
+    rank: usize,
+    nranks: usize,
+    vtk_accountant: Accountant,
+    charges: Vec<Charge>,
+}
+
+impl<'a> NekDataAdaptor<'a> {
+    /// Wrap the solver for this rank; host-side VTK copies are charged to
+    /// the rank's `vtk` accountant.
+    pub fn new(comm: &Comm, solver: &'a FlowSolver) -> Self {
+        Self {
+            solver,
+            rank: comm.rank(),
+            nranks: comm.size(),
+            vtk_accountant: comm.accountant("vtk"),
+            charges: Vec::new(),
+        }
+    }
+
+    /// Names of the arrays this solver can provide.
+    pub fn available_arrays(&self) -> Vec<ArrayInfo> {
+        let mut arrays = vec![
+            ArrayInfo {
+                name: "pressure".into(),
+                centering: Centering::Point,
+                components: 1,
+            },
+            ArrayInfo {
+                name: "velocity".into(),
+                centering: Centering::Point,
+                components: 3,
+            },
+        ];
+        if self.solver.field_device(FieldId::Temperature).is_some() {
+            arrays.push(ArrayInfo {
+                name: "temperature".into(),
+                centering: Centering::Point,
+                components: 1,
+            });
+        }
+        // Derived fields, computed on demand on the device (as NekRS's
+        // userchk-style post-processing kernels do) and then staged.
+        arrays.push(ArrayInfo {
+            name: "vorticity".into(),
+            centering: Centering::Point,
+            components: 3,
+        });
+        arrays.push(ArrayInfo {
+            name: "q_criterion".into(),
+            centering: Centering::Point,
+            components: 1,
+        });
+        arrays
+    }
+
+    fn build_geometry(&mut self, comm: &mut Comm) -> UnstructuredGrid {
+        let mesh = &self.solver.mesh;
+        let l = mesh.layout();
+        let n = mesh.spec.order;
+        let np = l.np;
+        let mut g = UnstructuredGrid::new();
+        g.points.reserve(l.n_nodes());
+        for le in 0..mesh.elems.len() {
+            for k in 0..np {
+                for j in 0..np {
+                    for i in 0..np {
+                        g.add_point(mesh.node_coords(le, i, j, k));
+                    }
+                }
+            }
+        }
+        for le in 0..mesh.elems.len() {
+            for k in 0..n {
+                for j in 0..n {
+                    for i in 0..n {
+                        let id = |ii: usize, jj: usize, kk: usize| {
+                            l.idx(le, i + ii, j + jj, k + kk) as i64
+                        };
+                        g.add_cell(
+                            CellType::Hexahedron,
+                            &[
+                                id(0, 0, 0),
+                                id(1, 0, 0),
+                                id(1, 1, 0),
+                                id(0, 1, 0),
+                                id(0, 0, 1),
+                                id(1, 0, 1),
+                                id(1, 1, 1),
+                                id(0, 1, 1),
+                            ],
+                        );
+                    }
+                }
+            }
+        }
+        // Geometry assembly is a host-side sweep over points + cells.
+        let bytes = g.heap_bytes();
+        comm.compute_host(bytes as f64 * 0.5, bytes as f64);
+        self.charges.push(self.vtk_accountant.charge(bytes));
+        g
+    }
+
+    fn stage(&mut self, comm: &mut Comm, id: FieldId) -> insitu::Result<Vec<f64>> {
+        self.solver
+            .stage_to_host(comm, id)
+            .ok_or_else(|| insitu::Error::NoSuchData(format!("{id:?}")))
+    }
+}
+
+impl DataAdaptor for NekDataAdaptor<'_> {
+    fn num_meshes(&self) -> usize {
+        1
+    }
+
+    fn mesh_name(&self, idx: usize) -> &str {
+        assert_eq!(idx, 0, "NekRS provides one mesh");
+        MESH_NAME
+    }
+
+    fn mesh_metadata(&mut self, comm: &mut Comm, mesh: &str) -> insitu::Result<MeshMetadata> {
+        check_mesh(mesh)?;
+        let l = self.solver.mesh.layout();
+        let n = self.solver.mesh.spec.order;
+        let mut counts = [
+            l.n_nodes() as f64,
+            (self.solver.mesh.elems.len() * n * n * n) as f64,
+        ];
+        comm.allreduce_vec(&mut counts, ReduceOp::Sum);
+        let lengths = self.solver.mesh.spec.lengths;
+        Ok(MeshMetadata {
+            mesh_name: MESH_NAME.into(),
+            n_blocks: self.nranks,
+            global_points: counts[0] as u64,
+            global_cells: counts[1] as u64,
+            arrays: self.available_arrays(),
+            bounds: Some([0.0, lengths[0], 0.0, lengths[1], 0.0, lengths[2]]),
+            time: self.solver.time(),
+            time_step: self.solver.step_index() as u64,
+        })
+    }
+
+    fn mesh(&mut self, comm: &mut Comm, mesh: &str) -> insitu::Result<MultiBlock> {
+        check_mesh(mesh)?;
+        let g = self.build_geometry(comm);
+        Ok(MultiBlock::local(self.rank, self.nranks, g))
+    }
+
+    fn add_array(
+        &mut self,
+        comm: &mut Comm,
+        mb: &mut MultiBlock,
+        mesh: &str,
+        centering: Centering,
+        array: &str,
+    ) -> insitu::Result<()> {
+        check_mesh(mesh)?;
+        if centering != Centering::Point {
+            return Err(insitu::Error::NoSuchData(format!(
+                "cell array '{array}' (solver fields are point-centered)"
+            )));
+        }
+        let data = match array {
+            "pressure" => DataArray::scalars_f64("pressure", self.stage(comm, FieldId::Pressure)?),
+            "temperature" => {
+                DataArray::scalars_f64("temperature", self.stage(comm, FieldId::Temperature)?)
+            }
+            "velocity" => {
+                let u = self.stage(comm, FieldId::VelX)?;
+                let v = self.stage(comm, FieldId::VelY)?;
+                let w = self.stage(comm, FieldId::VelZ)?;
+                DataArray::vectors_f64("velocity", interleave3(&u, &v, &w))
+            }
+            "vorticity" => {
+                let [wx, wy, wz] = self.solver.vorticity_host(comm);
+                DataArray::vectors_f64("vorticity", interleave3(&wx, &wy, &wz))
+            }
+            "q_criterion" => {
+                DataArray::scalars_f64("q_criterion", self.solver.q_criterion_host(comm))
+            }
+            other => return Err(insitu::Error::NoSuchData(format!("array '{other}'"))),
+        };
+        self.charges.push(self.vtk_accountant.charge(data.heap_bytes()));
+        let Some(block) = mb.blocks[self.rank].as_mut() else {
+            return Err(insitu::Error::NoSuchData("local block missing".into()));
+        };
+        block.add_point_data(data)?;
+        Ok(())
+    }
+
+    fn time(&self) -> f64 {
+        self.solver.time()
+    }
+
+    fn time_step(&self) -> u64 {
+        self.solver.step_index() as u64
+    }
+
+    fn release_data(&mut self) {
+        self.charges.clear();
+    }
+}
+
+fn interleave3(a: &[f64], b: &[f64], c: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(a.len() * 3);
+    for i in 0..a.len() {
+        out.push(a[i]);
+        out.push(b[i]);
+        out.push(c[i]);
+    }
+    out
+}
+
+fn check_mesh(mesh: &str) -> insitu::Result<()> {
+    if mesh == MESH_NAME {
+        Ok(())
+    } else {
+        Err(insitu::Error::NoSuchData(format!("mesh '{mesh}'")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commsim::{run_ranks, MachineModel};
+    use sem::cases::{pb146, rbc, CaseParams};
+
+    fn small_pb146_solver(comm: &mut Comm) -> FlowSolver {
+        let mut params = CaseParams::pb146_default();
+        params.elems = [2, 2, 4];
+        params.order = 2;
+        pb146(&params, 4).build(comm)
+    }
+
+    #[test]
+    fn geometry_export_subdivides_elements() {
+        let res = run_ranks(2, MachineModel::test_tiny(), |comm| {
+            let solver = small_pb146_solver(comm);
+            let mut da = NekDataAdaptor::new(comm, &solver);
+            let mb = da.mesh(comm, MESH_NAME).unwrap();
+            let (idx, g) = mb.local_blocks().next().unwrap();
+            g.validate().unwrap();
+            let n_elems = solver.mesh.elems.len();
+            (
+                idx,
+                g.n_points() == n_elems * 27, // (N+1)³ with N=2
+                g.n_cells() == n_elems * 8,   // N³
+            )
+        });
+        assert_eq!(res[0], (0, true, true));
+        assert_eq!(res[1], (1, true, true));
+    }
+
+    #[test]
+    fn add_array_stages_d2h_and_charges_vtk_memory() {
+        let res = run_ranks(1, MachineModel::test_tiny(), |comm| {
+            let solver = small_pb146_solver(comm);
+            let mut da = NekDataAdaptor::new(comm, &solver);
+            let mut mb = da.mesh(comm, MESH_NAME).unwrap();
+            let d2h_before = comm.stats().bytes_d2h;
+            da.add_array(comm, &mut mb, MESH_NAME, Centering::Point, "velocity")
+                .unwrap();
+            da.add_array(comm, &mut mb, MESH_NAME, Centering::Point, "pressure")
+                .unwrap();
+            let staged = comm.stats().bytes_d2h - d2h_before;
+            let vtk_mem = comm.accountant("vtk").current();
+            let n = solver.n_nodes() as u64;
+            da.release_data();
+            let after_release = comm.accountant("vtk").current();
+            (staged, n, vtk_mem, after_release)
+        });
+        let (staged, n, vtk_mem, after) = res[0];
+        // velocity = 3 fields + pressure = 1 field, 8 B per node each.
+        assert_eq!(staged, 4 * n * 8);
+        assert!(vtk_mem > 4 * n * 8, "geometry + arrays charged");
+        assert_eq!(after, 0, "release_data frees the VTK copies");
+    }
+
+    #[test]
+    fn metadata_counts_are_global_and_arrays_depend_on_case() {
+        let res = run_ranks(2, MachineModel::test_tiny(), |comm| {
+            let solver = small_pb146_solver(comm);
+            let mut da = NekDataAdaptor::new(comm, &solver);
+            let md = da.mesh_metadata(comm, MESH_NAME).unwrap();
+            let has_temp = md.array("temperature").is_some();
+            (md.global_cells, md.n_blocks, has_temp)
+        });
+        // pb146 has no temperature; cell count = global fluid elems × 8.
+        for (_cells, blocks, has_temp) in &res {
+            assert_eq!(*blocks, 2);
+            assert!(!has_temp);
+        }
+        assert!(res[0].0 > 0);
+
+        let res = run_ranks(1, MachineModel::test_tiny(), |comm| {
+            let mut params = CaseParams::rbc_default();
+            params.elems = [2, 2, 2];
+            params.order = 2;
+            let solver = rbc(&params, 1e4, 0.7).build(comm);
+            let mut da = NekDataAdaptor::new(comm, &solver);
+            let md = da.mesh_metadata(comm, MESH_NAME).unwrap();
+            md.array("temperature").is_some()
+        });
+        assert!(res[0], "RBC case must expose temperature");
+    }
+
+    #[test]
+    fn unknown_requests_error() {
+        run_ranks(1, MachineModel::test_tiny(), |comm| {
+            let solver = small_pb146_solver(comm);
+            let mut da = NekDataAdaptor::new(comm, &solver);
+            assert!(da.mesh(comm, "other").is_err());
+            let mut mb = da.mesh(comm, MESH_NAME).unwrap();
+            assert!(da
+                .add_array(comm, &mut mb, MESH_NAME, Centering::Point, "enstrophy")
+                .is_err());
+            assert!(da
+                .add_array(comm, &mut mb, MESH_NAME, Centering::Cell, "pressure")
+                .is_err());
+            assert!(da
+                .add_array(comm, &mut mb, MESH_NAME, Centering::Point, "temperature")
+                .is_err());
+        });
+    }
+
+    #[test]
+    fn derived_fields_are_exported_on_demand() {
+        let res = run_ranks(2, MachineModel::test_tiny(), |comm| {
+            let mut solver = small_pb146_solver(comm);
+            for _ in 0..3 {
+                solver.step(comm);
+            }
+            let mut da = NekDataAdaptor::new(comm, &solver);
+            let md = da.mesh_metadata(comm, MESH_NAME).unwrap();
+            assert!(md.array("vorticity").is_some());
+            assert!(md.array("q_criterion").is_some());
+            let mut mb = da.mesh(comm, MESH_NAME).unwrap();
+            let d2h_before = comm.stats().bytes_d2h;
+            da.add_array(comm, &mut mb, MESH_NAME, Centering::Point, "vorticity")
+                .unwrap();
+            da.add_array(comm, &mut mb, MESH_NAME, Centering::Point, "q_criterion")
+                .unwrap();
+            let (_, g) = mb.local_blocks().next().unwrap();
+            let w = g.find_array("vorticity", Centering::Point).unwrap();
+            let q = g.find_array("q_criterion", Centering::Point).unwrap();
+            let finite = (0..w.len()).all(|i| {
+                w.get(i, 0).is_finite() && w.get(i, 1).is_finite() && w.get(i, 2).is_finite()
+            }) && (0..q.len()).all(|i| q.get(i, 0).is_finite());
+            (
+                w.components,
+                q.components,
+                finite,
+                comm.stats().bytes_d2h > d2h_before,
+            )
+        });
+        for (wc, qc, finite, staged) in res {
+            assert_eq!(wc, 3);
+            assert_eq!(qc, 1);
+            assert!(finite);
+            assert!(staged, "derived fields must pay D2H like primary ones");
+        }
+    }
+
+    #[test]
+    fn exported_field_values_match_solver_state() {
+        let res = run_ranks(1, MachineModel::test_tiny(), |comm| {
+            let solver = small_pb146_solver(comm);
+            let mut da = NekDataAdaptor::new(comm, &solver);
+            let mut mb = da.mesh(comm, MESH_NAME).unwrap();
+            da.add_array(comm, &mut mb, MESH_NAME, Centering::Point, "velocity")
+                .unwrap();
+            let (_, g) = mb.local_blocks().next().unwrap();
+            let v = g.find_array("velocity", Centering::Point).unwrap();
+            let w_dev = solver.field_device(FieldId::VelZ).unwrap();
+            (0..v.len())
+                .map(|i| (v.get(i, 2) - w_dev[i]).abs())
+                .fold(0.0, f64::max)
+        });
+        assert_eq!(res[0], 0.0, "export must be bit-exact");
+    }
+}

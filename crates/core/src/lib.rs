@@ -1,0 +1,35 @@
+//! `nek-sensei` — the paper's contribution: instrumenting the NekRS-style
+//! SEM solver with the SENSEI-style generic in situ interface.
+//!
+//! The paper (§3) describes exactly three pieces of coupling code, all
+//! rebuilt here:
+//!
+//! 1. **`nek_sensei::DataAdaptor`** (Listing 2) → [`adaptor::NekDataAdaptor`]:
+//!    presents the solver's GPU-resident fields as VTK-model meshes. Every
+//!    `add_array` stages the field device→host first (VTK cannot consume
+//!    device memory) and charges the copy — the paper's central overhead.
+//! 2. **the bridge** (Listing 3) → re-exported from [`insitu::bridge`],
+//!    driven by the workflow runners.
+//! 3. **run configurations** → [`workflow`]: the §4.1 in situ pebble-bed
+//!    experiment ({Original, Checkpointing, Catalyst} × rank counts) and
+//!    the §4.2 in transit RBC experiment ({No Transport, Checkpointing,
+//!    Catalyst} with a 4:1 sim:endpoint ratio over the SST-analogue
+//!    staging engine).
+//!
+//! [`checkpoint::FldCheckpointer`] reproduces NekRS's *built-in*
+//! checkpointing (full-resolution field dumps — the 19 GB side of the
+//! paper's storage-economy comparison), distinct from the SENSEI
+//! `vtu-checkpoint` analysis used by the in-transit endpoint.
+//! [`metrics`] aggregates virtual-clock timings and memory-accountant
+//! high-water marks into the quantities Figures 2, 3, 5 and 6 plot.
+
+pub mod adaptor;
+pub mod checkpoint;
+pub mod metrics;
+pub mod workflow;
+
+pub use adaptor::NekDataAdaptor;
+pub use checkpoint::{read_fld, FldCheckpointer, FldDump};
+pub use metrics::{MemoryBreakdown, RunMetrics};
+pub use workflow::insitu::{run_insitu, InSituConfig, InSituMode, InSituReport};
+pub use workflow::intransit::{run_intransit, EndpointMode, InTransitConfig, InTransitReport};

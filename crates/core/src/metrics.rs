@@ -1,0 +1,121 @@
+//! Aggregation of virtual-clock timings and memory high-water marks into
+//! the quantities the paper's figures plot.
+
+use commsim::CommStats;
+use memtrack::{Registry, Snapshot};
+
+/// Host/device memory split for one run, derived from the per-rank
+/// accountants (`rank<r>/<subsystem>`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoryBreakdown {
+    /// Sum over ranks of host-side peaks (Figure 3's metric).
+    pub host_aggregate_peak: u64,
+    /// Largest single-rank host peak.
+    pub host_max_rank_peak: u64,
+    /// Sum over ranks of device (`gpu`) peaks.
+    pub gpu_aggregate_peak: u64,
+}
+
+/// Compute the breakdown from a registry snapshot. Host = every subsystem
+/// except `gpu` (the paper's Figures 3/6 report CPU memory; the GPU
+/// footprint is identical across configurations by construction).
+pub fn memory_breakdown(registry: &Registry) -> MemoryBreakdown {
+    breakdown_of(&registry.snapshot())
+}
+
+fn breakdown_of(snap: &Snapshot) -> MemoryBreakdown {
+    use std::collections::BTreeMap;
+    let mut host_by_rank: BTreeMap<String, u64> = BTreeMap::new();
+    let mut gpu = 0u64;
+    for (name, _cur, peak) in &snap.entries {
+        let Some((rank, subsystem)) = name.split_once('/') else {
+            continue;
+        };
+        if subsystem == "gpu" {
+            gpu += peak;
+        } else {
+            *host_by_rank.entry(rank.to_string()).or_default() += peak;
+        }
+    }
+    MemoryBreakdown {
+        host_aggregate_peak: host_by_rank.values().sum(),
+        host_max_rank_peak: host_by_rank.values().copied().max().unwrap_or(0),
+        gpu_aggregate_peak: gpu,
+    }
+}
+
+/// The timing/traffic summary of one run configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunMetrics {
+    /// Max over ranks of final virtual time — the paper's elapsed
+    /// wall-clock ("time to solution").
+    pub time_to_solution: f64,
+    /// `time_to_solution / steps`.
+    pub mean_step_time: f64,
+    /// Aggregated per-rank operation counters.
+    pub totals: CommStats,
+    /// Memory accountant breakdown.
+    pub memory: MemoryBreakdown,
+}
+
+impl RunMetrics {
+    /// Build from per-rank `(virtual_time, stats)` pairs.
+    pub fn from_ranks(
+        times_and_stats: &[(f64, CommStats)],
+        steps: usize,
+        registry: &Registry,
+    ) -> Self {
+        let time_to_solution = times_and_stats
+            .iter()
+            .map(|(t, _)| *t)
+            .fold(0.0, f64::max);
+        let totals = CommStats::aggregate(times_and_stats.iter().map(|(_, s)| s));
+        Self {
+            time_to_solution,
+            mean_step_time: time_to_solution / steps.max(1) as f64,
+            totals,
+            memory: memory_breakdown(registry),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_splits_gpu_from_host_by_rank() {
+        let reg = Registry::new();
+        reg.accountant("rank0/gpu").charge_raw(1000);
+        reg.accountant("rank0/vtk").charge_raw(100);
+        reg.accountant("rank0/host-base").charge_raw(50);
+        reg.accountant("rank1/gpu").charge_raw(1000);
+        reg.accountant("rank1/vtk").charge_raw(300);
+        reg.accountant("unscoped").charge_raw(7); // ignored: no rank prefix
+        let b = memory_breakdown(&reg);
+        assert_eq!(b.gpu_aggregate_peak, 2000);
+        assert_eq!(b.host_aggregate_peak, 450);
+        assert_eq!(b.host_max_rank_peak, 300);
+    }
+
+    #[test]
+    fn run_metrics_take_slowest_rank() {
+        let reg = Registry::new();
+        let ranks = vec![
+            (10.0, CommStats::default()),
+            (12.5, CommStats::default()),
+            (11.0, CommStats::default()),
+        ];
+        let m = RunMetrics::from_ranks(&ranks, 5, &reg);
+        assert_eq!(m.time_to_solution, 12.5);
+        assert_eq!(m.mean_step_time, 2.5);
+    }
+
+    #[test]
+    fn empty_inputs_are_safe() {
+        let reg = Registry::new();
+        let m = RunMetrics::from_ranks(&[], 0, &reg);
+        assert_eq!(m.time_to_solution, 0.0);
+        assert_eq!(m.memory, MemoryBreakdown::default());
+    }
+}

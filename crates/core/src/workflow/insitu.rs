@@ -1,0 +1,243 @@
+//! The §4.1 in situ experiment: pb146 under {Original, Checkpointing,
+//! Catalyst} configurations.
+//!
+//! * **Original** — the solver runs bare: no SENSEI, no I/O.
+//! * **Checkpointing** — NekRS-style raw field dumps every `trigger_every`
+//!   steps ([`crate::checkpoint::FldCheckpointer`]).
+//! * **Catalyst** — the SENSEI bridge drives the Catalyst-style rendering
+//!   adaptor every `trigger_every` steps: device→host staging, VTK-model
+//!   conversion, two images rendered and written per trigger.
+
+use crate::adaptor::NekDataAdaptor;
+use crate::checkpoint::FldCheckpointer;
+use crate::metrics::{MemoryBreakdown, RunMetrics};
+use commsim::{run_ranks_with_registry, CommStats, MachineModel};
+use insitu::Bridge;
+use memtrack::Registry;
+use render::CatalystAnalysis;
+use sem::cases::CaseSetup;
+
+/// The three §4.1 configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InSituMode {
+    /// Bare solver (the baseline the paper derives by subtraction).
+    Original,
+    /// NekRS built-in checkpointing.
+    Checkpointing,
+    /// SENSEI + Catalyst-style rendering.
+    Catalyst,
+}
+
+impl InSituMode {
+    /// Display label matching the paper's legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            InSituMode::Original => "Original",
+            InSituMode::Checkpointing => "Checkpointing",
+            InSituMode::Catalyst => "Catalyst",
+        }
+    }
+}
+
+/// One run configuration.
+#[derive(Clone)]
+pub struct InSituConfig {
+    /// The workload (typically [`sem::cases::pb146`]).
+    pub case: CaseSetup,
+    /// MPI ranks (one GPU each in the paper's mapping).
+    pub ranks: usize,
+    /// Timesteps to run.
+    pub steps: usize,
+    /// Checkpoint / in situ trigger period in steps.
+    pub trigger_every: u64,
+    /// Testbed model (Polaris for §4.1).
+    pub machine: MachineModel,
+    /// Rendered image size.
+    pub image_size: (usize, usize),
+    /// Mode under test.
+    pub mode: InSituMode,
+    /// Write real artifacts here when set (None → cost model only).
+    pub output_dir: Option<std::path::PathBuf>,
+}
+
+/// What one run produced.
+#[derive(Debug, Clone)]
+pub struct InSituReport {
+    /// Which configuration ran.
+    pub mode: InSituMode,
+    /// Rank count.
+    pub ranks: usize,
+    /// Steps run.
+    pub steps: usize,
+    /// Timing + traffic + memory.
+    pub metrics: RunMetrics,
+    /// Total bytes written to the filesystem (storage economy).
+    pub bytes_written: u64,
+    /// Files written (images for Catalyst, dumps for Checkpointing).
+    pub files_written: u64,
+}
+
+impl InSituReport {
+    /// Memory breakdown shortcut.
+    pub fn memory(&self) -> MemoryBreakdown {
+        self.metrics.memory
+    }
+}
+
+/// Execute one configuration and collect the paper's §4.1 metrics.
+pub fn run_insitu(cfg: &InSituConfig) -> InSituReport {
+    let registry = Registry::new();
+    let case = cfg.case.clone();
+    let mode = cfg.mode;
+    let steps = cfg.steps;
+    let trigger = cfg.trigger_every.max(1);
+    let (width, height) = cfg.image_size;
+    let output_dir = cfg.output_dir.clone();
+
+    let results = run_ranks_with_registry(
+        cfg.ranks,
+        cfg.machine.clone(),
+        registry.clone(),
+        move |comm| {
+            let mut solver = case.build(comm);
+            // Host-side baseline: mesh setup, solver host mirrors, MPI
+            // buffers (NekRS keeps roughly the field set on the host too).
+            let host_base = comm.accountant("host-base");
+            let _base = host_base.charge(solver.n_nodes() as u64 * 8 * 60);
+
+            match mode {
+                InSituMode::Original => {
+                    for _ in 0..steps {
+                        solver.step(comm);
+                    }
+                }
+                InSituMode::Checkpointing => {
+                    let mut chk = FldCheckpointer::new(comm, output_dir.clone());
+                    for s in 1..=steps {
+                        solver.step(comm);
+                        if (s as u64).is_multiple_of(trigger) {
+                            chk.write(comm, &solver);
+                        }
+                    }
+                }
+                InSituMode::Catalyst => {
+                    let out_attr = output_dir
+                        .as_ref()
+                        .map(|d| format!(r#" output="{}""#, d.display()))
+                        .unwrap_or_default();
+                    let xml = format!(
+                        r#"<sensei>
+  <analysis type="catalyst" frequency="{trigger}" width="{width}" height="{height}"
+            slice_array="pressure" contour_array="velocity"{out_attr}/>
+</sensei>"#
+                    );
+                    let mut bridge =
+                        Bridge::initialize(comm, &xml, &[CatalystAnalysis::factory()])
+                            .expect("valid generated config");
+                    for s in 1..=steps {
+                        solver.step(comm);
+                        let mut da = NekDataAdaptor::new(comm, &solver);
+                        bridge
+                            .update(comm, s as u64, &mut da)
+                            .expect("in situ update");
+                    }
+                    bridge.finalize(comm).expect("finalize");
+                }
+            }
+            comm.barrier();
+        },
+    );
+
+    let times_stats: Vec<(f64, CommStats)> =
+        results.iter().map(|r| (r.time, r.stats)).collect();
+    let metrics = RunMetrics::from_ranks(&times_stats, cfg.steps, &registry);
+    InSituReport {
+        mode: cfg.mode,
+        ranks: cfg.ranks,
+        steps: cfg.steps,
+        bytes_written: metrics.totals.bytes_written_fs,
+        files_written: metrics.totals.files_written,
+        metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sem::cases::{pb146, CaseParams};
+
+    fn tiny_config(ranks: usize, mode: InSituMode) -> InSituConfig {
+        let mut params = CaseParams::pb146_default();
+        params.elems = [2, 2, 4];
+        params.order = 2;
+        InSituConfig {
+            case: pb146(&params, 4),
+            ranks,
+            steps: 4,
+            trigger_every: 2,
+            machine: MachineModel::polaris(),
+            image_size: (64, 48),
+            mode,
+            output_dir: None,
+        }
+    }
+
+    #[test]
+    fn original_is_fastest_and_writes_nothing() {
+        let orig = run_insitu(&tiny_config(2, InSituMode::Original));
+        let chk = run_insitu(&tiny_config(2, InSituMode::Checkpointing));
+        let cat = run_insitu(&tiny_config(2, InSituMode::Catalyst));
+        assert_eq!(orig.bytes_written, 0);
+        assert_eq!(orig.files_written, 0);
+        assert!(chk.bytes_written > 0);
+        assert!(cat.bytes_written > 0);
+        assert!(
+            orig.metrics.time_to_solution < chk.metrics.time_to_solution,
+            "checkpointing must cost time"
+        );
+        assert!(
+            orig.metrics.time_to_solution < cat.metrics.time_to_solution,
+            "in situ must cost time"
+        );
+    }
+
+    #[test]
+    fn catalyst_writes_far_less_storage_than_checkpointing() {
+        // Needs a realistically sized mesh: the storage gap grows with
+        // resolution (dump size ∝ nodes, image size ≈ constant).
+        let mut cfg = tiny_config(2, InSituMode::Checkpointing);
+        let mut params = CaseParams::pb146_default(); // [6,6,12] order 3
+        params.elems = [4, 4, 6];
+        cfg.case = pb146(&params, 20);
+        cfg.steps = 2;
+        cfg.trigger_every = 1;
+        let chk = run_insitu(&cfg);
+        cfg.mode = InSituMode::Catalyst;
+        let cat = run_insitu(&cfg);
+        assert!(
+            chk.bytes_written > 3 * cat.bytes_written,
+            "checkpoint {} vs catalyst {}",
+            chk.bytes_written,
+            cat.bytes_written
+        );
+    }
+
+    #[test]
+    fn catalyst_uses_more_host_memory_than_checkpointing() {
+        let chk = run_insitu(&tiny_config(2, InSituMode::Checkpointing));
+        let cat = run_insitu(&tiny_config(2, InSituMode::Catalyst));
+        assert!(
+            cat.memory().host_aggregate_peak > chk.memory().host_aggregate_peak,
+            "catalyst {} vs checkpointing {}",
+            cat.memory().host_aggregate_peak,
+            chk.memory().host_aggregate_peak
+        );
+    }
+
+    #[test]
+    fn catalyst_stages_d2h_traffic() {
+        let cat = run_insitu(&tiny_config(2, InSituMode::Catalyst));
+        let orig = run_insitu(&tiny_config(2, InSituMode::Original));
+        assert!(cat.metrics.totals.bytes_d2h > orig.metrics.totals.bytes_d2h);
+    }
+}

@@ -1,0 +1,336 @@
+//! The §4.2 in transit experiment: RBC under {No Transport, Checkpointing,
+//! Catalyst} endpoint configurations with a 4:1 sim:endpoint ratio.
+//!
+//! Two worlds run concurrently: the simulation world (NekRS-SENSEI with
+//! the ADIOS-SST-analogue transport analysis) and the endpoint world
+//! (SENSEI data consumers driving either a VTU checkpoint writer or the
+//! Catalyst-style renderer). The measured quantities are those of
+//! Figures 5/6: mean time per timestep **on the simulation nodes**, and
+//! the **per-simulation-node** memory footprint — both of which should be
+//! (and are) nearly independent of the endpoint configuration, because the
+//! heavy work happens on the other side of the staging link.
+
+use crate::adaptor::NekDataAdaptor;
+use crate::metrics::RunMetrics;
+use commsim::{run_ranks_with_registry, CommStats, MachineModel};
+use insitu::Bridge;
+use memtrack::Registry;
+use parking_lot::Mutex;
+use render::CatalystAnalysis;
+use sem::cases::CaseSetup;
+use std::sync::Arc;
+use transport::{QueuePolicy, StagingLink, StagingNetwork, TransportAnalysis};
+
+/// What the SENSEI endpoint does with the received data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EndpointMode {
+    /// SENSEI runtime active on the simulation, no analysis enabled, no
+    /// endpoint at all (the reference measurement).
+    NoTransport,
+    /// Endpoint writes pressure+velocity as VTU files.
+    Checkpointing,
+    /// Endpoint renders two images per step via the Catalyst-style
+    /// pipeline.
+    Catalyst,
+}
+
+impl EndpointMode {
+    /// Display label matching the paper's legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EndpointMode::NoTransport => "No Transport",
+            EndpointMode::Checkpointing => "Checkpointing",
+            EndpointMode::Catalyst => "Catalyst",
+        }
+    }
+}
+
+/// One in-transit run configuration.
+#[derive(Clone)]
+pub struct InTransitConfig {
+    /// The workload (typically [`sem::cases::rbc`]).
+    pub case: CaseSetup,
+    /// Simulation ranks.
+    pub sim_ranks: usize,
+    /// Simulation:endpoint rank ratio (4 in the paper).
+    pub ratio: usize,
+    /// Timesteps to run.
+    pub steps: usize,
+    /// Transport trigger period in steps.
+    pub trigger_every: u64,
+    /// Testbed model (JUWELS Booster for §4.2).
+    pub machine: MachineModel,
+    /// Staging link parameters (UCX/TCP analogue).
+    pub link: StagingLink,
+    /// Staging queue bound, in packets per endpoint rank.
+    pub queue_capacity: usize,
+    /// Overflow policy.
+    pub policy: QueuePolicy,
+    /// Endpoint behavior under test.
+    pub mode: EndpointMode,
+    /// Rendered image size (Catalyst endpoint).
+    pub image_size: (usize, usize),
+    /// Write real artifacts here when set.
+    pub output_dir: Option<std::path::PathBuf>,
+}
+
+/// What one in-transit run produced.
+#[derive(Debug, Clone)]
+pub struct InTransitReport {
+    /// Which endpoint configuration ran.
+    pub mode: EndpointMode,
+    /// Simulation ranks.
+    pub sim_ranks: usize,
+    /// Endpoint ranks (0 for NoTransport).
+    pub endpoint_ranks: usize,
+    /// Steps run.
+    pub steps: usize,
+    /// Simulation-side timing/traffic/memory (Figures 5 and 6 read this).
+    pub sim: RunMetrics,
+    /// Per-simulation-node host memory peak: the Figure 6 quantity
+    /// (max over ranks × ranks-per-node).
+    pub sim_node_mem_peak: u64,
+    /// Steps fully processed by the endpoint.
+    pub endpoint_steps: u64,
+    /// Payload bytes that crossed the staging link.
+    pub endpoint_bytes_received: u64,
+    /// Bytes the endpoint wrote to storage.
+    pub endpoint_bytes_written: u64,
+}
+
+/// Execute one in-transit configuration.
+pub fn run_intransit(cfg: &InTransitConfig) -> InTransitReport {
+    assert!(cfg.ratio >= 1, "ratio must be >= 1");
+    let endpoint_ranks = match cfg.mode {
+        EndpointMode::NoTransport => 0,
+        _ => (cfg.sim_ranks / cfg.ratio).max(1),
+    };
+
+    let registry = Registry::new();
+    let case = cfg.case.clone();
+    let steps = cfg.steps;
+    let trigger = cfg.trigger_every.max(1);
+    let has_temperature = case.config.temperature.is_some();
+
+    // Endpoint world (when transporting).
+    let (writers, endpoint_handle) = if endpoint_ranks > 0 {
+        let (writers, readers) = StagingNetwork::build(
+            cfg.sim_ranks,
+            endpoint_ranks,
+            cfg.queue_capacity,
+            cfg.link,
+            cfg.policy,
+        );
+        let xml = endpoint_xml(cfg);
+        let machine = cfg.machine.clone();
+        let sim_ranks = cfg.sim_ranks;
+        let mode = cfg.mode;
+        let handle = std::thread::spawn(move || {
+            commsim::run_ranks_with_state(machine, readers, move |comm, mut reader| {
+                reader.set_accountant(comm.accountant("staging"));
+                let factories = match mode {
+                    EndpointMode::Catalyst => vec![CatalystAnalysis::factory()],
+                    _ => vec![],
+                };
+                let mut consumer =
+                    transport::EndpointConsumer::new(reader, &xml, &factories, sim_ranks)
+                        .expect("valid endpoint config");
+                let report = consumer.run(comm).expect("endpoint run");
+                (report, *comm.stats())
+            })
+        });
+        (Some(writers), Some(handle))
+    } else {
+        (None, None)
+    };
+
+    // Simulation world.
+    let writer_slots: Arc<Mutex<Vec<Option<transport::SstWriter>>>> = Arc::new(Mutex::new(
+        writers
+            .map(|ws| ws.into_iter().map(Some).collect())
+            .unwrap_or_default(),
+    ));
+    let mode = cfg.mode;
+    let slots = Arc::clone(&writer_slots);
+    let results = run_ranks_with_registry(
+        cfg.sim_ranks,
+        cfg.machine.clone(),
+        registry.clone(),
+        move |comm| {
+            let mut solver = case.build(comm);
+            let host_base = comm.accountant("host-base");
+            let _base = host_base.charge(solver.n_nodes() as u64 * 8 * 60);
+
+            let arrays = if has_temperature {
+                "pressure,velocity,temperature"
+            } else {
+                "pressure,velocity"
+            };
+            let (xml, factories): (String, Vec<insitu::AdaptorFactory>) = match mode {
+                EndpointMode::NoTransport => ("<sensei></sensei>".to_string(), vec![]),
+                _ => {
+                    let writer = slots.lock()[comm.rank()]
+                        .take()
+                        .expect("one staging writer per sim rank");
+                    (
+                        format!(
+                            r#"<sensei><analysis type="adios-sst" frequency="{trigger}" arrays="{arrays}"/></sensei>"#
+                        ),
+                        vec![TransportAnalysis::factory_with_writer(writer)],
+                    )
+                }
+            };
+            let mut bridge =
+                Bridge::initialize(comm, &xml, &factories).expect("valid generated config");
+            for s in 1..=steps {
+                solver.step(comm);
+                let mut da = NekDataAdaptor::new(comm, &solver);
+                bridge.update(comm, s as u64, &mut da).expect("update");
+            }
+            bridge.finalize(comm).expect("finalize");
+            comm.barrier();
+        },
+    );
+
+    let times_stats: Vec<(f64, CommStats)> =
+        results.iter().map(|r| (r.time, r.stats)).collect();
+    let sim = RunMetrics::from_ranks(&times_stats, cfg.steps, &registry);
+    let sim_node_mem_peak =
+        sim.memory.host_max_rank_peak * cfg.machine.ranks_per_node as u64;
+
+    let (endpoint_steps, endpoint_bytes_received, endpoint_bytes_written) = match endpoint_handle
+    {
+        Some(handle) => {
+            let endpoint_results = handle.join().expect("endpoint world");
+            let steps = endpoint_results
+                .iter()
+                .map(|(r, _)| r.steps_processed)
+                .max()
+                .unwrap_or(0);
+            let bytes: u64 = endpoint_results
+                .iter()
+                .map(|(r, _)| r.bytes_received)
+                .sum();
+            let written: u64 = endpoint_results
+                .iter()
+                .map(|(_, s)| s.bytes_written_fs)
+                .sum();
+            (steps, bytes, written)
+        }
+        None => (0, 0, 0),
+    };
+
+    InTransitReport {
+        mode: cfg.mode,
+        sim_ranks: cfg.sim_ranks,
+        endpoint_ranks,
+        steps: cfg.steps,
+        sim,
+        sim_node_mem_peak,
+        endpoint_steps,
+        endpoint_bytes_received,
+        endpoint_bytes_written,
+    }
+}
+
+fn endpoint_xml(cfg: &InTransitConfig) -> String {
+    let out_attr = cfg
+        .output_dir
+        .as_ref()
+        .map(|d| format!(r#" output="{}""#, d.display()))
+        .unwrap_or_default();
+    match cfg.mode {
+        EndpointMode::NoTransport => "<sensei></sensei>".to_string(),
+        EndpointMode::Checkpointing => format!(
+            r#"<sensei><analysis type="vtu-checkpoint" frequency="1" arrays="pressure,velocity"{out_attr}/></sensei>"#
+        ),
+        EndpointMode::Catalyst => {
+            let (w, h) = cfg.image_size;
+            format!(
+                r#"<sensei><analysis type="catalyst" frequency="1" width="{w}" height="{h}"
+   slice_array="temperature" contour_array="velocity"{out_attr}/></sensei>"#
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sem::cases::{rbc, CaseParams};
+
+    fn tiny_config(sim_ranks: usize, mode: EndpointMode) -> InTransitConfig {
+        let mut params = CaseParams::rbc_default();
+        params.elems = [2, 2, sim_ranks.max(2)];
+        params.order = 2;
+        InTransitConfig {
+            case: rbc(&params, 1e4, 0.7),
+            sim_ranks,
+            ratio: 4,
+            steps: 4,
+            trigger_every: 2,
+            machine: MachineModel::juwels_booster(),
+            link: StagingLink::ucx_hdr200(),
+            queue_capacity: 8,
+            policy: QueuePolicy::Block,
+            mode,
+            image_size: (64, 48),
+            output_dir: None,
+        }
+    }
+
+    #[test]
+    fn no_transport_has_no_endpoint_and_no_staging() {
+        let r = run_intransit(&tiny_config(4, EndpointMode::NoTransport));
+        assert_eq!(r.endpoint_ranks, 0);
+        assert_eq!(r.endpoint_steps, 0);
+        assert_eq!(r.endpoint_bytes_received, 0);
+        assert!(r.sim.time_to_solution > 0.0);
+    }
+
+    #[test]
+    fn checkpointing_endpoint_receives_and_writes() {
+        let r = run_intransit(&tiny_config(4, EndpointMode::Checkpointing));
+        assert_eq!(r.endpoint_ranks, 1);
+        assert_eq!(r.endpoint_steps, 2, "2 triggers over 4 steps");
+        assert!(r.endpoint_bytes_received > 0);
+        assert!(r.endpoint_bytes_written > 0, "VTU files written");
+        // Simulation ranks write nothing in transit.
+        assert_eq!(r.sim.totals.bytes_written_fs, 0);
+    }
+
+    #[test]
+    fn catalyst_endpoint_renders_without_sim_side_rendering() {
+        let r = run_intransit(&tiny_config(4, EndpointMode::Catalyst));
+        assert_eq!(r.endpoint_steps, 2);
+        assert!(r.endpoint_bytes_written > 0, "PNGs written at the endpoint");
+        // Images are far smaller than VTU checkpoints.
+        let chk = run_intransit(&tiny_config(4, EndpointMode::Checkpointing));
+        assert!(r.endpoint_bytes_written < chk.endpoint_bytes_written);
+    }
+
+    #[test]
+    fn sim_overhead_of_transport_is_modest() {
+        let none = run_intransit(&tiny_config(4, EndpointMode::NoTransport));
+        let cat = run_intransit(&tiny_config(4, EndpointMode::Catalyst));
+        let overhead =
+            (cat.sim.mean_step_time - none.sim.mean_step_time) / none.sim.mean_step_time;
+        // The paper's point: in transit costs the simulation little. At
+        // this tiny scale allow a generous bound, but it must not blow up.
+        assert!(
+            overhead < 1.0,
+            "in-transit sim-side overhead {overhead:.2} too large"
+        );
+    }
+
+    #[test]
+    fn sim_node_memory_is_endpoint_independent_in_order_of_magnitude() {
+        let none = run_intransit(&tiny_config(4, EndpointMode::NoTransport));
+        let cat = run_intransit(&tiny_config(4, EndpointMode::Catalyst));
+        let ratio = cat.sim_node_mem_peak as f64 / none.sim_node_mem_peak.max(1) as f64;
+        assert!(
+            (0.8..2.0).contains(&ratio),
+            "sim-node memory must be endpoint-independent: ratio {ratio}"
+        );
+    }
+}

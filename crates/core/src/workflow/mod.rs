@@ -1,0 +1,4 @@
+//! Experiment drivers for the paper's two evaluation workflows.
+
+pub mod insitu;
+pub mod intransit;

@@ -1,0 +1,142 @@
+//! Device-resident buffers.
+
+use crate::device::KernelCtx;
+use commsim::Comm;
+use memtrack::{Accountant, Charge};
+
+/// A typed allocation in simulated device memory.
+///
+/// Host code cannot obtain a slice from a `DeviceBuf`; the only ways data
+/// crosses the host/device boundary are [`DeviceBuf::copy_to_host`] and
+/// [`DeviceBuf::copy_from_host`], both of which charge the rank's virtual
+/// clock with the transfer cost — mirroring `occa::memory::copyTo/copyFrom`.
+pub struct DeviceBuf<T> {
+    data: Vec<T>,
+    _charge: Charge,
+}
+
+impl<T: Copy + Default> DeviceBuf<T> {
+    pub(crate) fn new(data: Vec<T>, accountant: &Accountant) -> Self {
+        let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
+        Self {
+            data,
+            _charge: accountant.charge(bytes),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Size in bytes (what a D2H copy of the whole buffer moves).
+    pub fn nbytes(&self) -> u64 {
+        (self.data.len() * std::mem::size_of::<T>()) as u64
+    }
+
+    /// Read access from device code (requires the kernel token).
+    pub fn view<'a>(&'a self, _ctx: &KernelCtx) -> &'a [T] {
+        &self.data
+    }
+
+    /// Write access from device code (requires the kernel token).
+    pub fn view_mut<'a>(&'a mut self, _ctx: &KernelCtx) -> &'a mut [T] {
+        &mut self.data
+    }
+
+    /// Copy the whole buffer to `out` (resized to fit), charging D2H time.
+    pub fn copy_to_host(&self, comm: &mut Comm, out: &mut Vec<T>) {
+        out.clear();
+        out.extend_from_slice(&self.data);
+        comm.d2h(self.nbytes());
+    }
+
+    /// Copy a prefix range `[0, n)` to `out`, charging D2H time for `n`
+    /// elements only (partial field staging).
+    pub fn copy_prefix_to_host(&self, comm: &mut Comm, n: usize, out: &mut Vec<T>) {
+        assert!(n <= self.data.len(), "prefix longer than buffer");
+        out.clear();
+        out.extend_from_slice(&self.data[..n]);
+        comm.d2h((n * std::mem::size_of::<T>()) as u64);
+    }
+
+    /// Overwrite the buffer from host data, charging H2D time.
+    ///
+    /// # Panics
+    /// Panics if `src.len() != self.len()` — device allocations are fixed
+    /// size, like `occa::memory`.
+    pub fn copy_from_host(&mut self, comm: &mut Comm, src: &[T]) {
+        assert_eq!(
+            src.len(),
+            self.data.len(),
+            "host/device size mismatch in copy_from_host"
+        );
+        self.data.copy_from_slice(src);
+        comm.h2d(self.nbytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::device::{Device, KernelSpec};
+    use commsim::{run_ranks, MachineModel};
+
+    #[test]
+    fn copy_roundtrip_preserves_data() {
+        let res = run_ranks(1, MachineModel::test_tiny(), |comm| {
+            let device = Device::new(comm);
+            let src: Vec<f64> = (0..64).map(|i| i as f64 * 0.5).collect();
+            let buf = device.upload(comm, &src);
+            let mut back = Vec::new();
+            buf.copy_to_host(comm, &mut back);
+            (src, back)
+        });
+        let (src, back) = res[0].clone();
+        assert_eq!(src, back);
+    }
+
+    #[test]
+    fn partial_copy_charges_partial_bytes() {
+        let res = run_ranks(1, MachineModel::test_tiny(), |comm| {
+            let device = Device::new(comm);
+            let buf = device.upload(comm, &vec![1.0f64; 100]);
+            let before = comm.stats().bytes_d2h;
+            let mut out = Vec::new();
+            buf.copy_prefix_to_host(comm, 10, &mut out);
+            (out.len(), comm.stats().bytes_d2h - before)
+        });
+        assert_eq!(res[0], (10, 80));
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn copy_from_host_rejects_wrong_size() {
+        run_ranks(1, MachineModel::test_tiny(), |comm| {
+            let device = Device::new(comm);
+            let mut buf = device.malloc::<f64>(4);
+            buf.copy_from_host(comm, &[1.0; 5]);
+        });
+    }
+
+    #[test]
+    fn kernel_views_mutate_device_data() {
+        let res = run_ranks(1, MachineModel::test_tiny(), |comm| {
+            let device = Device::new(comm);
+            let mut buf = device.upload(comm, &[1.0f64, 2.0]);
+            device.launch(comm, KernelSpec::new(2.0, 32.0), |ctx| {
+                for v in buf.view_mut(ctx) {
+                    *v *= 10.0;
+                }
+            });
+            let mut out = Vec::new();
+            buf.copy_to_host(comm, &mut out);
+            out
+        });
+        assert_eq!(res[0], vec![10.0, 20.0]);
+    }
+}

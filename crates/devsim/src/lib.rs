@@ -1,0 +1,56 @@
+//! `devsim` — an OCCA-like device abstraction.
+//!
+//! NekRS keeps every field on the GPU through OCCA device memory, and the
+//! paper's central engineering constraint is that **VTK (and therefore
+//! SENSEI) cannot consume device memory**: each in situ trigger must copy
+//! fields to the host first, paying PCIe bandwidth and host memory.
+//!
+//! `devsim` enforces that constraint *structurally*:
+//!
+//! * [`DeviceBuf`] holds data that host code cannot read or write directly —
+//!   there is no `Deref` to a slice.
+//! * Compute happens inside [`Device::launch`], which charges the rank's
+//!   virtual clock with a roofline kernel cost and hands the closure a
+//!   [`KernelCtx`] token; only with that token can buffers be viewed as
+//!   slices (that is "device code").
+//! * Moving data to host code requires [`DeviceBuf::copy_to_host`] /
+//!   [`DeviceBuf::copy_from_host`], which charge the D2H/H2D transfer cost
+//!   exactly like `occa::memcpy` over PCIe.
+//!
+//! Device allocations are tracked in a per-rank `gpu` accountant so the
+//! harnesses can report device vs host footprints separately.
+
+pub mod buffer;
+pub mod device;
+
+pub use buffer::DeviceBuf;
+pub use device::{Device, KernelCtx, KernelSpec};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commsim::{run_ranks, MachineModel};
+
+    #[test]
+    fn end_to_end_saxpy_on_device() {
+        let res = run_ranks(1, MachineModel::test_tiny(), |comm| {
+            let device = Device::new(comm);
+            let x = device.upload(comm, &[1.0f64, 2.0, 3.0]);
+            let mut y = device.upload(comm, &[10.0f64, 20.0, 30.0]);
+            device.launch(comm, KernelSpec::streaming(2.0 * 3.0, (3 * 8 * 3) as f64), |ctx| {
+                let ys = y.view_mut(ctx);
+                let xs = x.view(ctx);
+                for (yi, xi) in ys.iter_mut().zip(xs) {
+                    *yi += 2.0 * *xi;
+                }
+            });
+            let mut out = vec![0.0; 3];
+            y.copy_to_host(comm, &mut out);
+            (out, comm.stats().bytes_d2h, comm.now())
+        });
+        let (out, d2h, t) = res[0].clone();
+        assert_eq!(out, vec![12.0, 24.0, 36.0]);
+        assert_eq!(d2h, 24);
+        assert!(t > 0.0, "kernel + transfers must cost virtual time");
+    }
+}

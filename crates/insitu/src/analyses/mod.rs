@@ -1,0 +1,37 @@
+//! Built-in analyses (SENSEI ships equivalents of these out of the box).
+
+pub mod extrema;
+pub mod histogram;
+pub mod probe;
+pub mod stats;
+pub mod vtu_checkpoint;
+pub mod watchdog;
+
+use crate::analysis_adaptor::AnalysisAdaptor;
+use crate::configurable::AnalysisSpec;
+use crate::Result;
+
+pub use extrema::ExtremaAnalysis;
+pub use histogram::HistogramAnalysis;
+pub use probe::ProbeAnalysis;
+pub use stats::StatsAnalysis;
+pub use vtu_checkpoint::VtuCheckpointAnalysis;
+pub use watchdog::WatchdogAnalysis;
+
+/// Factory for the built-in analysis types (`extrema`, `histogram`,
+/// `probe`, `stats`, `vtu-checkpoint`, `watchdog`). Returns `Ok(None)`
+/// for types it does not recognize.
+///
+/// # Errors
+/// Spec validation failures for recognized types.
+pub fn builtin_factory(spec: &AnalysisSpec) -> Result<Option<Box<dyn AnalysisAdaptor>>> {
+    Ok(match spec.kind.as_str() {
+        "extrema" => Some(Box::new(ExtremaAnalysis::from_spec(spec)?)),
+        "histogram" => Some(Box::new(HistogramAnalysis::from_spec(spec)?)),
+        "probe" => Some(Box::new(ProbeAnalysis::from_spec(spec)?)),
+        "stats" => Some(Box::new(StatsAnalysis::from_spec(spec)?)),
+        "vtu-checkpoint" => Some(Box::new(VtuCheckpointAnalysis::from_spec(spec)?)),
+        "watchdog" => Some(Box::new(WatchdogAnalysis::from_spec(spec)?)),
+        _ => None,
+    })
+}

@@ -1,0 +1,138 @@
+//! The bridge: the few lines a simulation embeds (paper Listing 3).
+//!
+//! ```ignore
+//! let mut bridge = Bridge::initialize(comm, &xml_text, factories)?;
+//! loop {
+//!     solver.step(comm);
+//!     bridge.update(comm, step, time, &mut data_adaptor)?;
+//! }
+//! bridge.finalize(comm)?;
+//! ```
+
+use crate::configurable::{AdaptorFactory, ConfigurableAnalysis};
+use crate::data_adaptor::DataAdaptor;
+use crate::Result;
+use commsim::Comm;
+
+/// Owns the configured analyses and the trigger loop state.
+pub struct Bridge {
+    analyses: ConfigurableAnalysis,
+    updates: u64,
+    stopped: bool,
+}
+
+impl Bridge {
+    /// Parse the runtime configuration and construct all enabled adaptors.
+    ///
+    /// # Errors
+    /// Configuration parse/instantiation failures.
+    pub fn initialize(_comm: &mut Comm, config_xml: &str, factories: &[AdaptorFactory]) -> Result<Self> {
+        let analyses = ConfigurableAnalysis::from_xml(config_xml, factories)?;
+        Ok(Self {
+            analyses,
+            updates: 0,
+            stopped: false,
+        })
+    }
+
+    /// Hand the current state to whichever analyses trigger at `step`.
+    /// Returns `false` once any analysis has requested a stop.
+    ///
+    /// # Errors
+    /// First analysis failure.
+    pub fn update(
+        &mut self,
+        comm: &mut Comm,
+        step: u64,
+        data: &mut dyn DataAdaptor,
+    ) -> Result<bool> {
+        self.updates += 1;
+        if self.stopped {
+            return Ok(false);
+        }
+        let keep_going = self.analyses.execute(comm, step, data)?;
+        if !keep_going {
+            self.stopped = true;
+        }
+        Ok(keep_going)
+    }
+
+    /// Finalize all adaptors.
+    ///
+    /// # Errors
+    /// First finalize failure.
+    pub fn finalize(&mut self, comm: &mut Comm) -> Result<()> {
+        self.analyses.finalize(comm)
+    }
+
+    /// The configured analyses (for inspection/metrics).
+    pub fn analyses(&self) -> &ConfigurableAnalysis {
+        &self.analyses
+    }
+
+    /// Total `update` calls.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis_adaptor::AnalysisAdaptor;
+    use crate::configurable::AnalysisSpec;
+    use crate::data_adaptor::StaticDataAdaptor;
+    use commsim::{run_ranks, MachineModel};
+    use meshdata::MultiBlock;
+
+    /// Adaptor that requests a stop after `n` executions.
+    struct StopAfter {
+        remaining: u64,
+    }
+
+    impl AnalysisAdaptor for StopAfter {
+        fn name(&self) -> &str {
+            "stop-after"
+        }
+
+        fn execute(
+            &mut self,
+            _comm: &mut Comm,
+            _data: &mut dyn DataAdaptor,
+        ) -> Result<bool> {
+            if self.remaining == 0 {
+                return Ok(false);
+            }
+            self.remaining -= 1;
+            Ok(true)
+        }
+    }
+
+    #[test]
+    fn bridge_drives_analyses_and_honors_stop() {
+        run_ranks(1, MachineModel::test_tiny(), |comm| {
+            let factory: AdaptorFactory = Box::new(|spec: &AnalysisSpec| {
+                Ok((spec.kind == "stop-after").then(|| {
+                    Box::new(StopAfter {
+                        remaining: spec.attr_parse_or("n", 0),
+                    }) as Box<dyn AnalysisAdaptor>
+                }))
+            });
+            let xml = r#"<sensei><analysis type="stop-after" n="3"/></sensei>"#;
+            let mut bridge = Bridge::initialize(comm, xml, &[factory]).unwrap();
+            let mut da = StaticDataAdaptor::new("mesh", MultiBlock::new(1), 0.0, 0);
+            let mut go_count = 0;
+            for step in 1..=10u64 {
+                if bridge.update(comm, step, &mut da).unwrap() {
+                    go_count += 1;
+                } else {
+                    break;
+                }
+            }
+            assert_eq!(go_count, 3, "three allowed steps, then stop");
+            assert!(!bridge.update(comm, 11, &mut da).unwrap(), "stays stopped");
+            bridge.finalize(comm).unwrap();
+            assert_eq!(bridge.updates(), 5);
+        });
+    }
+}

@@ -1,0 +1,231 @@
+//! The simulation-side adaptor contract (paper Listing 2).
+
+use crate::Result;
+use commsim::Comm;
+use meshdata::{Centering, MeshMetadata, MultiBlock};
+
+/// Implemented by a simulation to expose its state to analyses on demand.
+///
+/// The flow is pull-based, exactly as in SENSEI: an analysis first asks for
+/// [`DataAdaptor::mesh_metadata`] (cheap — names, counts, bounds), then
+/// requests the mesh geometry once, then attaches only the arrays it needs
+/// with [`DataAdaptor::add_array`]. For a GPU-resident simulation each
+/// `add_array` is where the device→host copy happens — the overhead the
+/// paper's §3.2 calls out.
+pub trait DataAdaptor {
+    /// Number of meshes the simulation can provide.
+    fn num_meshes(&self) -> usize;
+
+    /// Name of mesh `idx` (`idx < num_meshes()`).
+    fn mesh_name(&self, idx: usize) -> &str;
+
+    /// Global metadata for a mesh (may communicate to aggregate counts).
+    ///
+    /// # Errors
+    /// Unknown mesh name.
+    fn mesh_metadata(&mut self, comm: &mut Comm, mesh: &str) -> Result<MeshMetadata>;
+
+    /// Rank-local blocks of the mesh: geometry + topology, **without**
+    /// attribute arrays (request those via [`DataAdaptor::add_array`]).
+    ///
+    /// # Errors
+    /// Unknown mesh name.
+    fn mesh(&mut self, comm: &mut Comm, mesh: &str) -> Result<MultiBlock>;
+
+    /// Attach one named array to previously obtained blocks.
+    ///
+    /// # Errors
+    /// Unknown mesh or array name.
+    fn add_array(
+        &mut self,
+        comm: &mut Comm,
+        mb: &mut MultiBlock,
+        mesh: &str,
+        centering: Centering,
+        array: &str,
+    ) -> Result<()>;
+
+    /// Current simulation time.
+    fn time(&self) -> f64;
+
+    /// Current timestep index.
+    fn time_step(&self) -> u64;
+
+    /// Drop any cached state after an analysis round (SENSEI's
+    /// `ReleaseData`). Default: nothing cached.
+    fn release_data(&mut self) {}
+}
+
+/// A trivial in-memory adaptor over a prebuilt [`MultiBlock`] — used by
+/// tests, by the in-transit **endpoint** (whose "simulation" is the data it
+/// received over the wire), and as the reference implementation.
+pub struct StaticDataAdaptor {
+    mesh_name: String,
+    blocks: MultiBlock,
+    time: f64,
+    time_step: u64,
+}
+
+impl StaticDataAdaptor {
+    /// Wrap a multiblock (with arrays already attached) as an adaptor.
+    pub fn new(mesh_name: impl Into<String>, blocks: MultiBlock, time: f64, time_step: u64) -> Self {
+        Self {
+            mesh_name: mesh_name.into(),
+            blocks,
+            time,
+            time_step,
+        }
+    }
+}
+
+impl DataAdaptor for StaticDataAdaptor {
+    fn num_meshes(&self) -> usize {
+        1
+    }
+
+    fn mesh_name(&self, idx: usize) -> &str {
+        assert_eq!(idx, 0, "static adaptor provides one mesh");
+        &self.mesh_name
+    }
+
+    fn mesh_metadata(&mut self, comm: &mut Comm, mesh: &str) -> Result<MeshMetadata> {
+        self.check(mesh)?;
+        let mut md = MeshMetadata::from_local(&self.mesh_name, &self.blocks);
+        // Aggregate counts/bounds globally, as SENSEI metadata is global.
+        let mut counts = [md.global_points as f64, md.global_cells as f64];
+        comm.allreduce_vec(&mut counts, commsim::ReduceOp::Sum);
+        md.global_points = counts[0] as u64;
+        md.global_cells = counts[1] as u64;
+        md.time = self.time;
+        md.time_step = self.time_step;
+        Ok(md)
+    }
+
+    fn mesh(&mut self, _comm: &mut Comm, mesh: &str) -> Result<MultiBlock> {
+        self.check(mesh)?;
+        // Geometry only: strip arrays.
+        let mut mb = self.blocks.clone();
+        for b in mb.blocks.iter_mut().flatten() {
+            b.point_data.clear();
+            b.cell_data.clear();
+        }
+        Ok(mb)
+    }
+
+    fn add_array(
+        &mut self,
+        _comm: &mut Comm,
+        mb: &mut MultiBlock,
+        mesh: &str,
+        centering: Centering,
+        array: &str,
+    ) -> Result<()> {
+        self.check(mesh)?;
+        for (i, dst) in mb.blocks.iter_mut().enumerate() {
+            let (Some(dst), Some(src)) = (dst.as_mut(), self.blocks.blocks[i].as_ref()) else {
+                continue;
+            };
+            let found = src
+                .find_array(array, centering)
+                .ok_or_else(|| crate::Error::NoSuchData(format!("array '{array}'")))?;
+            match centering {
+                Centering::Point => dst.add_point_data(found.clone())?,
+                Centering::Cell => dst.add_cell_data(found.clone())?,
+            }
+        }
+        Ok(())
+    }
+
+    fn time(&self) -> f64 {
+        self.time
+    }
+
+    fn time_step(&self) -> u64 {
+        self.time_step
+    }
+}
+
+impl StaticDataAdaptor {
+    fn check(&self, mesh: &str) -> Result<()> {
+        if mesh == self.mesh_name {
+            Ok(())
+        } else {
+            Err(crate::Error::NoSuchData(format!("mesh '{mesh}'")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commsim::{run_ranks, MachineModel};
+    use meshdata::{CellType, DataArray, UnstructuredGrid};
+
+    fn sample_block(rank: usize, nranks: usize) -> MultiBlock {
+        let mut g = UnstructuredGrid::new();
+        let x0 = rank as f64;
+        for z in [0.0, 1.0] {
+            for y in [0.0, 1.0] {
+                for x in [x0, x0 + 1.0] {
+                    g.add_point([x, y, z]);
+                }
+            }
+        }
+        g.add_cell(CellType::Hexahedron, &[0, 1, 3, 2, 4, 5, 7, 6]);
+        g.add_point_data(DataArray::scalars_f64(
+            "pressure",
+            (0..8).map(|i| i as f64 + 10.0 * rank as f64).collect(),
+        ))
+        .unwrap();
+        MultiBlock::local(rank, nranks, g)
+    }
+
+    #[test]
+    fn metadata_aggregates_across_ranks() {
+        let res = run_ranks(3, MachineModel::test_tiny(), |comm| {
+            let mut da =
+                StaticDataAdaptor::new("mesh", sample_block(comm.rank(), comm.size()), 1.5, 42);
+            let md = da.mesh_metadata(comm, "mesh").unwrap();
+            (md.global_points, md.global_cells, md.time, md.time_step)
+        });
+        for r in res {
+            assert_eq!(r, (24, 3, 1.5, 42));
+        }
+    }
+
+    #[test]
+    fn mesh_is_geometry_only_until_add_array() {
+        let res = run_ranks(2, MachineModel::test_tiny(), |comm| {
+            let mut da =
+                StaticDataAdaptor::new("mesh", sample_block(comm.rank(), comm.size()), 0.0, 0);
+            let mut mb = da.mesh(comm, "mesh").unwrap();
+            let empty_before = mb
+                .local_blocks()
+                .all(|(_, g)| g.point_data.is_empty() && g.cell_data.is_empty());
+            da.add_array(comm, &mut mb, "mesh", Centering::Point, "pressure")
+                .unwrap();
+            let has_after = mb
+                .local_blocks()
+                .all(|(_, g)| g.find_array("pressure", Centering::Point).is_some());
+            (empty_before, has_after)
+        });
+        for r in res {
+            assert_eq!(r, (true, true));
+        }
+    }
+
+    #[test]
+    fn unknown_mesh_and_array_error() {
+        run_ranks(1, MachineModel::test_tiny(), |comm| {
+            let mut da = StaticDataAdaptor::new("mesh", sample_block(0, 1), 0.0, 0);
+            assert!(da.mesh(comm, "nope").is_err());
+            let mut mb = da.mesh(comm, "mesh").unwrap();
+            assert!(da
+                .add_array(comm, &mut mb, "mesh", Centering::Point, "nope")
+                .is_err());
+            assert!(da
+                .add_array(comm, &mut mb, "mesh", Centering::Cell, "pressure")
+                .is_err());
+        });
+    }
+}

@@ -1,0 +1,252 @@
+//! Named, typed attribute arrays (the VTK `vtkDataArray` analogue).
+
+/// Where an array lives on the mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Centering {
+    /// One tuple per point (VTK point data).
+    Point,
+    /// One tuple per cell (VTK cell data).
+    Cell,
+}
+
+impl std::fmt::Display for Centering {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Centering::Point => write!(f, "point"),
+            Centering::Cell => write!(f, "cell"),
+        }
+    }
+}
+
+/// The storage behind a [`DataArray`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrayData {
+    /// 32-bit floats (what the paper's rendering consumes).
+    F32(Vec<f32>),
+    /// 64-bit floats (native solver precision).
+    F64(Vec<f64>),
+    /// 64-bit signed integers (connectivity, ids).
+    I64(Vec<i64>),
+    /// Bytes (cell types, masks).
+    U8(Vec<u8>),
+}
+
+impl ArrayData {
+    /// Number of scalar values (tuples × components).
+    pub fn scalar_len(&self) -> usize {
+        match self {
+            ArrayData::F32(v) => v.len(),
+            ArrayData::F64(v) => v.len(),
+            ArrayData::I64(v) => v.len(),
+            ArrayData::U8(v) => v.len(),
+        }
+    }
+
+    /// Heap bytes held by the storage.
+    pub fn heap_bytes(&self) -> u64 {
+        match self {
+            ArrayData::F32(v) => (v.capacity() * 4) as u64,
+            ArrayData::F64(v) => (v.capacity() * 8) as u64,
+            ArrayData::I64(v) => (v.capacity() * 8) as u64,
+            ArrayData::U8(v) => v.capacity() as u64,
+        }
+    }
+
+    /// The VTU type name ("Float32", ...).
+    pub fn vtk_type_name(&self) -> &'static str {
+        match self {
+            ArrayData::F32(_) => "Float32",
+            ArrayData::F64(_) => "Float64",
+            ArrayData::I64(_) => "Int64",
+            ArrayData::U8(_) => "UInt8",
+        }
+    }
+
+    /// Size of one scalar in bytes.
+    pub fn scalar_size(&self) -> usize {
+        match self {
+            ArrayData::F32(_) => 4,
+            ArrayData::F64(_) => 8,
+            ArrayData::I64(_) => 8,
+            ArrayData::U8(_) => 1,
+        }
+    }
+
+    /// Value at flat index `i` widened to `f64`.
+    pub fn get_as_f64(&self, i: usize) -> f64 {
+        match self {
+            ArrayData::F32(v) => v[i] as f64,
+            ArrayData::F64(v) => v[i],
+            ArrayData::I64(v) => v[i] as f64,
+            ArrayData::U8(v) => v[i] as f64,
+        }
+    }
+
+    /// Raw little-endian bytes of the whole array (VTU appended encoding).
+    pub fn to_le_bytes(&self) -> Vec<u8> {
+        match self {
+            ArrayData::F32(v) => v.iter().flat_map(|x| x.to_le_bytes()).collect(),
+            ArrayData::F64(v) => v.iter().flat_map(|x| x.to_le_bytes()).collect(),
+            ArrayData::I64(v) => v.iter().flat_map(|x| x.to_le_bytes()).collect(),
+            ArrayData::U8(v) => v.clone(),
+        }
+    }
+}
+
+/// A named attribute array with a fixed number of components per tuple.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataArray {
+    /// Array name ("pressure", "velocity", ...).
+    pub name: String,
+    /// Components per tuple (1 = scalar, 3 = vector).
+    pub components: usize,
+    /// The values, tuple-major: `[t0c0, t0c1, ..., t1c0, ...]`.
+    pub data: ArrayData,
+}
+
+impl DataArray {
+    /// A scalar `f64` array.
+    pub fn scalars_f64(name: impl Into<String>, values: Vec<f64>) -> Self {
+        Self {
+            name: name.into(),
+            components: 1,
+            data: ArrayData::F64(values),
+        }
+    }
+
+    /// A scalar `f32` array.
+    pub fn scalars_f32(name: impl Into<String>, values: Vec<f32>) -> Self {
+        Self {
+            name: name.into(),
+            components: 1,
+            data: ArrayData::F32(values),
+        }
+    }
+
+    /// A 3-component `f64` vector array from interleaved values.
+    ///
+    /// # Panics
+    /// Panics if `values.len()` is not a multiple of 3.
+    pub fn vectors_f64(name: impl Into<String>, values: Vec<f64>) -> Self {
+        assert_eq!(values.len() % 3, 0, "vector array length must be 3·n");
+        Self {
+            name: name.into(),
+            components: 3,
+            data: ArrayData::F64(values),
+        }
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.data.scalar_len() / self.components
+    }
+
+    /// True when the array has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.data.scalar_len() == 0
+    }
+
+    /// Heap bytes held (for memory accounting).
+    pub fn heap_bytes(&self) -> u64 {
+        self.data.heap_bytes() + self.name.capacity() as u64
+    }
+
+    /// (min, max) over all scalar values, ignoring NaN; `None` when empty.
+    pub fn range(&self) -> Option<(f64, f64)> {
+        let n = self.data.scalar_len();
+        if n == 0 {
+            return None;
+        }
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for i in 0..n {
+            let v = self.data.get_as_f64(i);
+            if v.is_nan() {
+                continue;
+            }
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        (lo <= hi).then_some((lo, hi))
+    }
+
+    /// Euclidean magnitude of tuple `i` (|v| for vectors, |x| for scalars).
+    pub fn tuple_magnitude(&self, i: usize) -> f64 {
+        let mut acc = 0.0;
+        for c in 0..self.components {
+            let v = self.data.get_as_f64(i * self.components + c);
+            acc += v * v;
+        }
+        acc.sqrt()
+    }
+
+    /// Component `c` of tuple `i` as `f64`.
+    pub fn get(&self, i: usize, c: usize) -> f64 {
+        assert!(c < self.components, "component out of range");
+        self.data.get_as_f64(i * self.components + c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_array_basics() {
+        let a = DataArray::scalars_f64("p", vec![1.0, -2.0, 3.0]);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.components, 1);
+        assert_eq!(a.range(), Some((-2.0, 3.0)));
+        assert_eq!(a.get(1, 0), -2.0);
+    }
+
+    #[test]
+    fn vector_array_tuples_and_magnitude() {
+        let a = DataArray::vectors_f64("v", vec![3.0, 4.0, 0.0, 0.0, 0.0, 1.0]);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.tuple_magnitude(0), 5.0);
+        assert_eq!(a.tuple_magnitude(1), 1.0);
+        assert_eq!(a.get(0, 1), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "3·n")]
+    fn vectors_reject_non_multiple_of_three() {
+        DataArray::vectors_f64("v", vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn range_ignores_nan_and_handles_empty() {
+        let a = DataArray::scalars_f64("x", vec![f64::NAN, 2.0, 1.0]);
+        assert_eq!(a.range(), Some((1.0, 2.0)));
+        let e = DataArray::scalars_f64("e", vec![]);
+        assert_eq!(e.range(), None);
+        assert!(e.is_empty());
+        let all_nan = DataArray::scalars_f64("n", vec![f64::NAN]);
+        assert_eq!(all_nan.range(), None);
+    }
+
+    #[test]
+    fn le_bytes_roundtrip_f32() {
+        let a = ArrayData::F32(vec![1.5, -2.25]);
+        let bytes = a.to_le_bytes();
+        assert_eq!(bytes.len(), 8);
+        assert_eq!(f32::from_le_bytes(bytes[0..4].try_into().unwrap()), 1.5);
+        assert_eq!(f32::from_le_bytes(bytes[4..8].try_into().unwrap()), -2.25);
+    }
+
+    #[test]
+    fn vtk_type_names() {
+        assert_eq!(ArrayData::F32(vec![]).vtk_type_name(), "Float32");
+        assert_eq!(ArrayData::F64(vec![]).vtk_type_name(), "Float64");
+        assert_eq!(ArrayData::I64(vec![]).vtk_type_name(), "Int64");
+        assert_eq!(ArrayData::U8(vec![]).vtk_type_name(), "UInt8");
+    }
+
+    #[test]
+    fn heap_bytes_counts_capacity() {
+        let v = Vec::with_capacity(100);
+        let a = ArrayData::F64(v);
+        assert_eq!(a.heap_bytes(), 800);
+    }
+}

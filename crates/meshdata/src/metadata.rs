@@ -1,0 +1,154 @@
+//! Mesh metadata — the answer to SENSEI's `GetMeshMetadata`.
+//!
+//! Analyses use metadata to decide which arrays to pull *before* any heavy
+//! data movement happens; this is what lets the Catalyst adaptor request
+//! only pressure + velocity instead of every solver field.
+
+use crate::array::Centering;
+use crate::multiblock::MultiBlock;
+
+/// Description of one available array.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayInfo {
+    /// Array name.
+    pub name: String,
+    /// Point or cell centered.
+    pub centering: Centering,
+    /// Components per tuple.
+    pub components: usize,
+}
+
+/// Global description of one mesh a simulation can provide.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeshMetadata {
+    /// Mesh name ("mesh" for the paper's single-mesh NekRS coupling).
+    pub mesh_name: String,
+    /// Total blocks (= ranks).
+    pub n_blocks: usize,
+    /// Global number of points (summed over blocks).
+    pub global_points: u64,
+    /// Global number of cells.
+    pub global_cells: u64,
+    /// Available arrays.
+    pub arrays: Vec<ArrayInfo>,
+    /// Global bounding box, if known.
+    pub bounds: Option<[f64; 6]>,
+    /// Simulation time of the current state.
+    pub time: f64,
+    /// Simulation timestep index.
+    pub time_step: u64,
+}
+
+impl MeshMetadata {
+    /// Derive local metadata from a multiblock (callers allreduce the
+    /// global counts/bounds across ranks before exposing it).
+    pub fn from_local(mesh_name: impl Into<String>, mb: &MultiBlock) -> Self {
+        let mut arrays = Vec::new();
+        if let Some((_, g)) = mb.local_blocks().next() {
+            for a in &g.point_data {
+                arrays.push(ArrayInfo {
+                    name: a.name.clone(),
+                    centering: Centering::Point,
+                    components: a.components,
+                });
+            }
+            for a in &g.cell_data {
+                arrays.push(ArrayInfo {
+                    name: a.name.clone(),
+                    centering: Centering::Cell,
+                    components: a.components,
+                });
+            }
+        }
+        Self {
+            mesh_name: mesh_name.into(),
+            n_blocks: mb.n_blocks(),
+            global_points: mb.local_points() as u64,
+            global_cells: mb.local_cells() as u64,
+            arrays,
+            bounds: mb.bounds(),
+            time: 0.0,
+            time_step: 0,
+        }
+    }
+
+    /// Look up an array by name.
+    pub fn array(&self, name: &str) -> Option<&ArrayInfo> {
+        self.arrays.iter().find(|a| a.name == name)
+    }
+
+    /// Merge another rank's metadata into this one: sums counts, unions
+    /// bounds, keeps the array list (which must agree across ranks).
+    pub fn merge(&mut self, other: &MeshMetadata) {
+        debug_assert_eq!(self.mesh_name, other.mesh_name);
+        self.global_points += other.global_points;
+        self.global_cells += other.global_cells;
+        self.bounds = match (self.bounds, other.bounds) {
+            (Some(a), Some(b)) => Some([
+                a[0].min(b[0]),
+                a[1].max(b[1]),
+                a[2].min(b[2]),
+                a[3].max(b[3]),
+                a[4].min(b[4]),
+                a[5].max(b[5]),
+            ]),
+            (a, b) => a.or(b),
+        };
+        if self.arrays.is_empty() {
+            self.arrays = other.arrays.clone();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::DataArray;
+    use crate::ugrid::{CellType, UnstructuredGrid};
+
+    fn sample() -> MultiBlock {
+        let mut g = UnstructuredGrid::new();
+        for i in 0..8 {
+            g.add_point([i as f64, 0.0, 0.0]);
+        }
+        g.add_cell(CellType::Hexahedron, &[0, 1, 2, 3, 4, 5, 6, 7]);
+        g.add_point_data(DataArray::scalars_f64("pressure", vec![0.0; 8])).unwrap();
+        g.add_point_data(DataArray::vectors_f64("velocity", vec![0.0; 24])).unwrap();
+        MultiBlock::local(0, 2, g)
+    }
+
+    #[test]
+    fn from_local_lists_arrays() {
+        let md = MeshMetadata::from_local("mesh", &sample());
+        assert_eq!(md.n_blocks, 2);
+        assert_eq!(md.global_points, 8);
+        assert_eq!(md.global_cells, 1);
+        assert_eq!(md.arrays.len(), 2);
+        let v = md.array("velocity").unwrap();
+        assert_eq!(v.components, 3);
+        assert_eq!(v.centering, Centering::Point);
+        assert!(md.array("temperature").is_none());
+    }
+
+    #[test]
+    fn merge_sums_counts_and_unions_bounds() {
+        let mut a = MeshMetadata::from_local("mesh", &sample());
+        let mut b = MeshMetadata::from_local("mesh", &sample());
+        b.bounds = Some([10.0, 20.0, 0.0, 1.0, 0.0, 1.0]);
+        a.merge(&b);
+        assert_eq!(a.global_points, 16);
+        assert_eq!(a.global_cells, 2);
+        let bounds = a.bounds.unwrap();
+        assert_eq!(bounds[0], 0.0);
+        assert_eq!(bounds[1], 20.0);
+    }
+
+    #[test]
+    fn merge_into_empty_adopts_arrays() {
+        let mut empty = MeshMetadata::from_local("mesh", &MultiBlock::new(2));
+        let full = MeshMetadata::from_local("mesh", &sample());
+        empty.merge(&full);
+        assert_eq!(empty.arrays.len(), 2);
+        assert_eq!(empty.global_points, 8);
+    }
+}

@@ -1,0 +1,124 @@
+//! Multi-block datasets: one block per rank, SENSEI's convention for
+//! distributed meshes (`vtkMultiBlockDataSet` analogue).
+
+use crate::ugrid::UnstructuredGrid;
+
+/// A collection of blocks; on rank *r* of a *P*-rank job, blocks other than
+/// *r* are `None` (data lives remotely), exactly like VTK's null blocks.
+#[derive(Debug, Clone, Default)]
+pub struct MultiBlock {
+    /// Block slots; index = owning rank.
+    pub blocks: Vec<Option<UnstructuredGrid>>,
+}
+
+impl MultiBlock {
+    /// `n` empty slots.
+    pub fn new(n: usize) -> Self {
+        Self {
+            blocks: (0..n).map(|_| None).collect(),
+        }
+    }
+
+    /// A single-rank dataset holding one local block.
+    pub fn local(rank: usize, n_ranks: usize, grid: UnstructuredGrid) -> Self {
+        let mut mb = Self::new(n_ranks);
+        mb.blocks[rank] = Some(grid);
+        mb
+    }
+
+    /// Number of block slots.
+    pub fn n_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Iterate over blocks present locally, with their block index.
+    pub fn local_blocks(&self) -> impl Iterator<Item = (usize, &UnstructuredGrid)> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| b.as_ref().map(|g| (i, g)))
+    }
+
+    /// Sum of points over local blocks.
+    pub fn local_points(&self) -> usize {
+        self.local_blocks().map(|(_, g)| g.n_points()).sum()
+    }
+
+    /// Sum of cells over local blocks.
+    pub fn local_cells(&self) -> usize {
+        self.local_blocks().map(|(_, g)| g.n_cells()).sum()
+    }
+
+    /// Heap bytes of local blocks (memory accounting).
+    pub fn heap_bytes(&self) -> u64 {
+        self.local_blocks().map(|(_, g)| g.heap_bytes()).sum()
+    }
+
+    /// Union of local block bounds.
+    pub fn bounds(&self) -> Option<[f64; 6]> {
+        let mut acc: Option<[f64; 6]> = None;
+        for (_, g) in self.local_blocks() {
+            if let Some(b) = g.bounds() {
+                acc = Some(match acc {
+                    None => b,
+                    Some(a) => [
+                        a[0].min(b[0]),
+                        a[1].max(b[1]),
+                        a[2].min(b[2]),
+                        a[3].max(b[3]),
+                        a[4].min(b[4]),
+                        a[5].max(b[5]),
+                    ],
+                });
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ugrid::CellType;
+
+    fn grid_at(x0: f64) -> UnstructuredGrid {
+        let mut g = UnstructuredGrid::new();
+        for z in [0.0, 1.0] {
+            for y in [0.0, 1.0] {
+                for x in [x0, x0 + 1.0] {
+                    g.add_point([x, y, z]);
+                }
+            }
+        }
+        g.add_cell(CellType::Hexahedron, &[0, 1, 3, 2, 4, 5, 7, 6]);
+        g
+    }
+
+    #[test]
+    fn local_block_layout() {
+        let mb = MultiBlock::local(2, 4, grid_at(0.0));
+        assert_eq!(mb.n_blocks(), 4);
+        assert_eq!(mb.local_blocks().count(), 1);
+        assert_eq!(mb.local_blocks().next().unwrap().0, 2);
+        assert_eq!(mb.local_points(), 8);
+        assert_eq!(mb.local_cells(), 1);
+    }
+
+    #[test]
+    fn bounds_union_over_blocks() {
+        let mut mb = MultiBlock::new(2);
+        mb.blocks[0] = Some(grid_at(0.0));
+        mb.blocks[1] = Some(grid_at(5.0));
+        let b = mb.bounds().unwrap();
+        assert_eq!(b[0], 0.0);
+        assert_eq!(b[1], 6.0);
+    }
+
+    #[test]
+    fn empty_multiblock() {
+        let mb = MultiBlock::new(3);
+        assert_eq!(mb.local_points(), 0);
+        assert!(mb.bounds().is_none());
+        assert_eq!(mb.heap_bytes(), 0);
+    }
+}

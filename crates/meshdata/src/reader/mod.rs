@@ -1,0 +1,5 @@
+//! File readers.
+
+pub mod vtu;
+
+pub use vtu::read_vtu;

@@ -1,0 +1,130 @@
+//! Legacy ASCII `.vtk` writer (VTK DataFile Version 3.0).
+//!
+//! Kept for interoperability and debugging: the legacy format is trivially
+//! inspectable and every VTK-era tool reads it.
+
+use crate::array::{ArrayData, Centering, DataArray};
+use crate::ugrid::UnstructuredGrid;
+use crate::Result;
+use std::io::Write;
+
+/// Write `grid` in legacy ASCII format; returns bytes written.
+///
+/// # Errors
+/// Grid validation failures and I/O errors.
+pub fn write_legacy_vtk(
+    grid: &UnstructuredGrid,
+    title: &str,
+    w: &mut impl Write,
+) -> Result<u64> {
+    grid.validate()?;
+    let mut out = Vec::new();
+    writeln!(out, "# vtk DataFile Version 3.0")?;
+    writeln!(out, "{}", title.lines().next().unwrap_or("dataset"))?;
+    writeln!(out, "ASCII")?;
+    writeln!(out, "DATASET UNSTRUCTURED_GRID")?;
+    writeln!(out, "POINTS {} double", grid.n_points())?;
+    for p in &grid.points {
+        writeln!(out, "{} {} {}", p[0], p[1], p[2])?;
+    }
+    let list_len: usize = grid
+        .types
+        .iter()
+        .map(|t| t.n_points() + 1)
+        .sum();
+    writeln!(out, "CELLS {} {}", grid.n_cells(), list_len)?;
+    for c in 0..grid.n_cells() {
+        let pts = grid.cell_points(c);
+        write!(out, "{}", pts.len())?;
+        for p in pts {
+            write!(out, " {p}")?;
+        }
+        writeln!(out)?;
+    }
+    writeln!(out, "CELL_TYPES {}", grid.n_cells())?;
+    for t in &grid.types {
+        writeln!(out, "{}", *t as u8)?;
+    }
+    if !grid.point_data.is_empty() {
+        writeln!(out, "POINT_DATA {}", grid.n_points())?;
+        for a in &grid.point_data {
+            write_attribute(&mut out, a, Centering::Point)?;
+        }
+    }
+    if !grid.cell_data.is_empty() {
+        writeln!(out, "CELL_DATA {}", grid.n_cells())?;
+        for a in &grid.cell_data {
+            write_attribute(&mut out, a, Centering::Cell)?;
+        }
+    }
+    w.write_all(&out)?;
+    Ok(out.len() as u64)
+}
+
+fn write_attribute(out: &mut Vec<u8>, a: &DataArray, _c: Centering) -> std::io::Result<()> {
+    let name = a.name.replace(' ', "_");
+    if a.components == 3 {
+        writeln!(out, "VECTORS {name} double")?;
+        for i in 0..a.len() {
+            writeln!(out, "{} {} {}", a.get(i, 0), a.get(i, 1), a.get(i, 2))?;
+        }
+    } else {
+        writeln!(out, "SCALARS {name} double {}", a.components)?;
+        writeln!(out, "LOOKUP_TABLE default")?;
+        let n = a.data.scalar_len();
+        for i in 0..n {
+            match &a.data {
+                ArrayData::F32(v) => writeln!(out, "{}", v[i])?,
+                ArrayData::F64(v) => writeln!(out, "{}", v[i])?,
+                ArrayData::I64(v) => writeln!(out, "{}", v[i])?,
+                ArrayData::U8(v) => writeln!(out, "{}", v[i])?,
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ugrid::CellType;
+
+    #[test]
+    fn legacy_file_has_required_sections() {
+        let mut g = UnstructuredGrid::new();
+        for i in 0..4 {
+            g.add_point([i as f64, 0.0, 0.0]);
+        }
+        g.add_cell(CellType::Tetra, &[0, 1, 2, 3]);
+        g.add_point_data(DataArray::scalars_f64("t", vec![0.0, 1.0, 2.0, 3.0])).unwrap();
+        g.add_point_data(DataArray::vectors_f64("v", vec![0.0; 12])).unwrap();
+        let mut buf = Vec::new();
+        let n = write_legacy_vtk(&g, "test mesh", &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(n as usize, text.len());
+        for section in [
+            "# vtk DataFile Version 3.0",
+            "DATASET UNSTRUCTURED_GRID",
+            "POINTS 4 double",
+            "CELLS 1 5",
+            "CELL_TYPES 1",
+            "POINT_DATA 4",
+            "SCALARS t double 1",
+            "VECTORS v double",
+        ] {
+            assert!(text.contains(section), "missing '{section}'");
+        }
+    }
+
+    #[test]
+    fn multiline_title_is_truncated_to_first_line() {
+        let mut g = UnstructuredGrid::new();
+        g.add_point([0.0; 3]);
+        g.add_cell(CellType::Vertex, &[0]);
+        let mut buf = Vec::new();
+        write_legacy_vtk(&g, "line1\nline2", &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("line1\nASCII"));
+        assert!(!text.contains("line2"));
+    }
+}

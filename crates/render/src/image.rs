@@ -1,0 +1,206 @@
+//! Image encoders: PNG (stored-deflate, spec-compliant) and PPM.
+//!
+//! The PNG encoder emits uncompressed deflate blocks inside a valid zlib
+//! stream with correct CRC32/Adler32 checksums — readable by any viewer,
+//! no compression dependency. The paper's storage-economy claim (6.5 MB of
+//! images vs 19 GB of checkpoints) is reproduced from the byte counts these
+//! encoders return.
+
+use crate::raster::Framebuffer;
+
+/// Encode a framebuffer as a binary PPM (P6).
+pub fn encode_ppm(fb: &Framebuffer) -> Vec<u8> {
+    let mut out = format!("P6\n{} {}\n255\n", fb.width, fb.height).into_bytes();
+    out.extend(fb.rgb_bytes());
+    out
+}
+
+/// Encode a framebuffer as an 8-bit RGB PNG.
+pub fn encode_png(fb: &Framebuffer) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&[0x89, b'P', b'N', b'G', 0x0D, 0x0A, 0x1A, 0x0A]);
+
+    // IHDR
+    let mut ihdr = Vec::with_capacity(13);
+    ihdr.extend_from_slice(&(fb.width as u32).to_be_bytes());
+    ihdr.extend_from_slice(&(fb.height as u32).to_be_bytes());
+    ihdr.extend_from_slice(&[8, 2, 0, 0, 0]); // 8-bit, RGB, deflate, none, none
+    write_chunk(&mut out, b"IHDR", &ihdr);
+
+    // Raw scanlines, each prefixed with filter type 0.
+    let rgb = fb.rgb_bytes();
+    let stride = fb.width * 3;
+    let mut raw = Vec::with_capacity((stride + 1) * fb.height);
+    for row in 0..fb.height {
+        raw.push(0);
+        raw.extend_from_slice(&rgb[row * stride..(row + 1) * stride]);
+    }
+    write_chunk(&mut out, b"IDAT", &zlib_stored(&raw));
+    write_chunk(&mut out, b"IEND", &[]);
+    out
+}
+
+fn write_chunk(out: &mut Vec<u8>, kind: &[u8; 4], data: &[u8]) {
+    out.extend_from_slice(&(data.len() as u32).to_be_bytes());
+    out.extend_from_slice(kind);
+    out.extend_from_slice(data);
+    let mut crc = Crc32::new();
+    crc.update(kind);
+    crc.update(data);
+    out.extend_from_slice(&crc.finish().to_be_bytes());
+}
+
+/// Wrap raw bytes in a zlib stream of stored (uncompressed) deflate blocks.
+fn zlib_stored(raw: &[u8]) -> Vec<u8> {
+    let mut z = vec![0x78, 0x01]; // 32K window, fastest
+    let mut chunks = raw.chunks(65535).peekable();
+    if raw.is_empty() {
+        // A zero-length final stored block.
+        z.extend_from_slice(&[0x01, 0x00, 0x00, 0xFF, 0xFF]);
+    }
+    while let Some(c) = chunks.next() {
+        let final_block = chunks.peek().is_none();
+        z.push(if final_block { 1 } else { 0 });
+        let len = c.len() as u16;
+        z.extend_from_slice(&len.to_le_bytes());
+        z.extend_from_slice(&(!len).to_le_bytes());
+        z.extend_from_slice(c);
+    }
+    z.extend_from_slice(&adler32(raw).to_be_bytes());
+    z
+}
+
+fn adler32(data: &[u8]) -> u32 {
+    const MOD: u32 = 65521;
+    let mut a: u32 = 1;
+    let mut b: u32 = 0;
+    for &byte in data {
+        a = (a + byte as u32) % MOD;
+        b = (b + a) % MOD;
+    }
+    (b << 16) | a
+}
+
+/// Incremental CRC-32 (ISO 3309, as PNG requires).
+struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    fn new() -> Self {
+        Self { state: 0xFFFF_FFFF }
+    }
+
+    fn update(&mut self, data: &[u8]) {
+        for &byte in data {
+            let mut c = (self.state ^ byte as u32) & 0xFF;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            self.state = (self.state >> 8) ^ c;
+        }
+    }
+
+    fn finish(self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vector() {
+        // CRC32("123456789") = 0xCBF43926.
+        let mut crc = Crc32::new();
+        crc.update(b"123456789");
+        assert_eq!(crc.finish(), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn adler32_known_vector() {
+        // Adler32("Wikipedia") = 0x11E60398.
+        assert_eq!(adler32(b"Wikipedia"), 0x11E6_0398);
+    }
+
+    #[test]
+    fn ppm_header_and_size() {
+        let fb = Framebuffer::new(4, 3);
+        let ppm = encode_ppm(&fb);
+        assert!(ppm.starts_with(b"P6\n4 3\n255\n"));
+        assert_eq!(ppm.len(), 11 + 4 * 3 * 3);
+    }
+
+    #[test]
+    fn png_structure_is_valid() {
+        let mut fb = Framebuffer::new(8, 8);
+        fb.color[0] = [255, 0, 0];
+        let png = encode_png(&fb);
+        assert_eq!(&png[0..8], &[0x89, b'P', b'N', b'G', 0x0D, 0x0A, 0x1A, 0x0A]);
+        // IHDR immediately after the signature.
+        assert_eq!(&png[12..16], b"IHDR");
+        assert_eq!(u32::from_be_bytes(png[16..20].try_into().unwrap()), 8);
+        assert_eq!(u32::from_be_bytes(png[20..24].try_into().unwrap()), 8);
+        // IEND terminates the file.
+        assert_eq!(&png[png.len() - 8..png.len() - 4], b"IEND");
+    }
+
+    #[test]
+    fn png_decodes_back_with_a_manual_inflater() {
+        // Parse our own stored-deflate stream: enough to verify round-trip.
+        let mut fb = Framebuffer::new(3, 2);
+        for (i, px) in fb.color.iter_mut().enumerate() {
+            *px = [i as u8, (i * 2) as u8, (i * 3) as u8];
+        }
+        let png = encode_png(&fb);
+        // Locate IDAT.
+        let mut pos = 8;
+        let mut idat = Vec::new();
+        while pos < png.len() {
+            let len = u32::from_be_bytes(png[pos..pos + 4].try_into().unwrap()) as usize;
+            let kind = &png[pos + 4..pos + 8];
+            if kind == b"IDAT" {
+                idat.extend_from_slice(&png[pos + 8..pos + 8 + len]);
+            }
+            pos += 12 + len;
+        }
+        // Skip zlib header, read stored blocks.
+        let mut raw = Vec::new();
+        let mut p = 2;
+        loop {
+            let final_block = idat[p] & 1 == 1;
+            let len = u16::from_le_bytes(idat[p + 1..p + 3].try_into().unwrap()) as usize;
+            raw.extend_from_slice(&idat[p + 5..p + 5 + len]);
+            p += 5 + len;
+            if final_block {
+                break;
+            }
+        }
+        assert_eq!(adler32(&raw).to_be_bytes(), idat[p..p + 4]);
+        // Row 0: filter byte + 9 RGB bytes.
+        assert_eq!(raw[0], 0);
+        assert_eq!(&raw[1..4], &[0, 0, 0]);
+        assert_eq!(&raw[4..7], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_image_still_encodes() {
+        let fb = Framebuffer::new(0, 0);
+        let png = encode_png(&fb);
+        assert!(png.len() > 40);
+        assert_eq!(&png[png.len() - 8..png.len() - 4], b"IEND");
+    }
+
+    #[test]
+    fn large_image_splits_deflate_blocks() {
+        // > 65535 raw bytes forces multiple stored blocks.
+        let fb = Framebuffer::new(200, 120); // 200*3+1 = 601 B/row × 120 = 72120
+        let png = encode_png(&fb);
+        assert!(png.len() > 72120, "all raw bytes must be present");
+    }
+}

@@ -1,0 +1,150 @@
+//! Minimal 3-D vector / 4×4 matrix math for the rendering pipeline.
+
+/// A 3-vector of f64.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    /// x component.
+    pub x: f64,
+    /// y component.
+    pub y: f64,
+    /// z component.
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// Construct from components.
+    pub fn new(x: f64, y: f64, z: f64) -> Self {
+        Self { x, y, z }
+    }
+
+    /// From a coordinate array.
+    pub fn from_array(a: [f64; 3]) -> Self {
+        Self::new(a[0], a[1], a[2])
+    }
+
+    /// Dot product.
+    pub fn dot(self, o: Vec3) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    /// Cross product.
+    pub fn cross(self, o: Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * o.z - self.z * o.y,
+            self.z * o.x - self.x * o.z,
+            self.x * o.y - self.y * o.x,
+        )
+    }
+
+    /// Euclidean length.
+    pub fn length(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Unit vector (zero vector stays zero).
+    pub fn normalized(self) -> Vec3 {
+        let l = self.length();
+        if l > 0.0 {
+            self * (1.0 / l)
+        } else {
+            self
+        }
+    }
+}
+
+impl std::ops::Add for Vec3 {
+    type Output = Vec3;
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl std::ops::Sub for Vec3 {
+    type Output = Vec3;
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl std::ops::Mul<f64> for Vec3 {
+    type Output = Vec3;
+    fn mul(self, s: f64) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+/// Row-major 4×4 matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mat4 {
+    /// Rows of the matrix.
+    pub m: [[f64; 4]; 4],
+}
+
+impl Mat4 {
+    /// Identity matrix.
+    pub fn identity() -> Self {
+        let mut m = [[0.0; 4]; 4];
+        for (i, row) in m.iter_mut().enumerate() {
+            row[i] = 1.0;
+        }
+        Self { m }
+    }
+
+    /// Matrix product `self * o`.
+    #[allow(clippy::needless_range_loop)] // ij-indexing mirrors the math
+    pub fn mul(&self, o: &Mat4) -> Mat4 {
+        let mut out = [[0.0; 4]; 4];
+        for i in 0..4 {
+            for j in 0..4 {
+                out[i][j] = (0..4).map(|k| self.m[i][k] * o.m[k][j]).sum();
+            }
+        }
+        Mat4 { m: out }
+    }
+
+    /// Transform a point (w = 1) and return the homogeneous 4-vector.
+    pub fn transform_point(&self, p: Vec3) -> [f64; 4] {
+        let v = [p.x, p.y, p.z, 1.0];
+        let mut out = [0.0; 4];
+        for (i, row) in self.m.iter().enumerate() {
+            out[i] = row.iter().zip(&v).map(|(a, b)| a * b).sum();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_algebra() {
+        let a = Vec3::new(1.0, 0.0, 0.0);
+        let b = Vec3::new(0.0, 1.0, 0.0);
+        assert_eq!(a.cross(b), Vec3::new(0.0, 0.0, 1.0));
+        assert_eq!(a.dot(b), 0.0);
+        assert_eq!((a + b).length(), 2.0f64.sqrt());
+        assert!(((a + b).normalized().length() - 1.0).abs() < 1e-15);
+        assert_eq!(Vec3::default().normalized(), Vec3::default());
+    }
+
+    #[test]
+    fn identity_transform_is_noop() {
+        let p = Vec3::new(1.0, -2.0, 3.0);
+        let h = Mat4::identity().transform_point(p);
+        assert_eq!(h, [1.0, -2.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn matrix_product_associates_with_transform() {
+        let mut a = Mat4::identity();
+        a.m[0][3] = 5.0; // translate x by 5
+        let mut b = Mat4::identity();
+        b.m[1][1] = 2.0; // scale y by 2
+        let ab = a.mul(&b);
+        let p = Vec3::new(1.0, 1.0, 0.0);
+        let direct = a.transform_point(Vec3::new(1.0, 2.0, 0.0));
+        let composed = ab.transform_point(p);
+        assert_eq!(direct, composed);
+    }
+}

@@ -1,0 +1,397 @@
+//! The paper's two scientific workloads, at reduced ("laptop") scale.
+//!
+//! * [`pb146`] — the **pebble-bed reactor** case (§4.1): flow driven through
+//!   a bed of spherical pebbles inside a duct. The production case is a
+//!   body-fitted mesh around 146 pebbles; the substitution (DESIGN.md) is a
+//!   Cartesian duct with solid-masked elements at deterministically packed
+//!   pebble centers — same field content, same data movement, no-slip on
+//!   pebble surfaces.
+//! * [`rbc`] — the **Rayleigh–Bénard convection** mesoscale case (§4.2): a
+//!   fluid layer heated from below in free-fall units (ν = √(Pr/Ra),
+//!   κ = 1/√(Pr·Ra), buoyancy = T), periodic laterally, no-slip top/bottom.
+//!
+//! Each case yields a [`CaseSetup`] that any rank can `build` into a
+//! [`FlowSolver`] for its slab of the mesh.
+
+use crate::cg::CgConfig;
+use crate::mesh::{Bc, BcSet, LocalMesh, MeshSpec};
+use crate::navier_stokes::{FlowBcs, FlowSolver, SolverConfig, TemperatureConfig};
+use commsim::Comm;
+use std::sync::Arc;
+
+/// Mesh/timestep knobs common to both cases.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CaseParams {
+    /// Polynomial order N.
+    pub order: usize,
+    /// Global element counts.
+    pub elems: [usize; 3],
+    /// Timestep.
+    pub dt: f64,
+    /// Domain lengths override (None → the case's default). Weak-scaling
+    /// harnesses grow the domain with the element count so element size —
+    /// and hence solver conditioning — stays constant.
+    pub lengths: Option<[f64; 3]>,
+}
+
+impl CaseParams {
+    /// Default reduced-scale pebble-bed mesh (slab-partitionable to many
+    /// ranks along z).
+    pub fn pb146_default() -> Self {
+        Self {
+            order: 3,
+            elems: [6, 6, 12],
+            dt: 2e-3,
+            lengths: None,
+        }
+    }
+
+    /// Default reduced-scale RBC slab.
+    pub fn rbc_default() -> Self {
+        Self {
+            order: 4,
+            elems: [4, 4, 4],
+            dt: 5e-3,
+            lengths: None,
+        }
+    }
+}
+
+/// How the initial state is generated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InitKind {
+    /// Uniform axial inflow velocity (pebble bed).
+    AxialInflow {
+        /// Inlet velocity along +z.
+        w_in: f64,
+    },
+    /// Conduction temperature profile with a sinusoidal perturbation (RBC).
+    RbcPerturbed {
+        /// Perturbation amplitude.
+        amplitude: f64,
+    },
+}
+
+/// Everything needed to instantiate the case on any rank.
+#[derive(Debug, Clone)]
+pub struct CaseSetup {
+    /// Case name ("pb146", "rbc").
+    pub name: String,
+    /// Global mesh (with solids for the pebble bed).
+    pub spec: Arc<MeshSpec>,
+    /// Solver configuration.
+    pub config: SolverConfig,
+    /// Boundary conditions.
+    pub bcs: FlowBcs,
+    /// Initial-condition generator.
+    pub init: InitKind,
+}
+
+impl CaseSetup {
+    /// Build this rank's solver (slab partition by `comm.rank()`).
+    pub fn build(&self, comm: &mut Comm) -> FlowSolver {
+        let mesh = LocalMesh::new(Arc::clone(&self.spec), comm.rank(), comm.size());
+        let (u0, t0) = match self.init {
+            InitKind::AxialInflow { w_in } => {
+                let u0 = [
+                    mesh.eval_nodal(|_| 0.0),
+                    mesh.eval_nodal(|_| 0.0),
+                    mesh.eval_nodal(|_| w_in),
+                ];
+                (u0, None)
+            }
+            InitKind::RbcPerturbed { amplitude } => {
+                let lz = self.spec.lengths[2];
+                let lx = self.spec.lengths[0];
+                let t0 = mesh.eval_nodal(move |x| {
+                    (1.0 - x[2] / lz)
+                        + amplitude
+                            * (2.0 * std::f64::consts::PI * x[0] / lx).sin()
+                            * (std::f64::consts::PI * x[2] / lz).sin()
+                });
+                let u0 = [
+                    mesh.eval_nodal(|_| 0.0),
+                    mesh.eval_nodal(|_| 0.0),
+                    mesh.eval_nodal(|_| 0.0),
+                ];
+                (u0, Some(t0))
+            }
+        };
+        FlowSolver::new(comm, mesh, self.config.clone(), self.bcs.clone(), u0, t0)
+    }
+
+    /// Global fluid element count (for load reporting).
+    pub fn n_fluid_elems(&self) -> usize {
+        self.spec.n_fluid_elems()
+    }
+}
+
+/// Deterministic pebble centers: a jittered lattice filling the duct, like
+/// a (very) idealized packed bed. `n` centers inside `lengths`, radius
+/// returned alongside.
+pub fn pebble_centers(n: usize, lengths: [f64; 3]) -> (Vec<[f64; 3]>, f64) {
+    // Lattice dimensions close to n^(1/3) scaled by the box aspect.
+    let volume = lengths[0] * lengths[1] * lengths[2];
+    let spacing = (volume / n as f64).cbrt();
+    // Ceil so the lattice always has capacity for n centers.
+    let counts = [
+        (lengths[0] / spacing).ceil().max(1.0) as usize,
+        (lengths[1] / spacing).ceil().max(1.0) as usize,
+        (lengths[2] / spacing).ceil().max(1.0) as usize,
+    ];
+    let mut centers = Vec::with_capacity(n);
+    let mut rng_state: u64 = 0x9e3779b97f4a7c15;
+    let mut next = move || {
+        // xorshift64*: deterministic jitter without external dependencies.
+        rng_state ^= rng_state >> 12;
+        rng_state ^= rng_state << 25;
+        rng_state ^= rng_state >> 27;
+        (rng_state.wrapping_mul(0x2545f4914f6cdd1d) >> 40) as f64 / (1u64 << 24) as f64 - 0.5
+    };
+    'outer: for kz in 0..counts[2] {
+        for ky in 0..counts[1] {
+            for kx in 0..counts[0] {
+                if centers.len() >= n {
+                    break 'outer;
+                }
+                let jitter = 0.15;
+                let c = [
+                    (kx as f64 + 0.5 + jitter * next()) * lengths[0] / counts[0] as f64,
+                    (ky as f64 + 0.5 + jitter * next()) * lengths[1] / counts[1] as f64,
+                    (kz as f64 + 0.5 + jitter * next()) * lengths[2] / counts[2] as f64,
+                ];
+                centers.push(c);
+            }
+        }
+    }
+    let radius = 0.30 * spacing;
+    (centers, radius)
+}
+
+/// The pebble-bed reactor case with `n_pebbles` pebbles (146 in the paper).
+pub fn pb146(params: &CaseParams, n_pebbles: usize) -> CaseSetup {
+    let lengths = params.lengths.unwrap_or([1.0, 1.0, 2.0]);
+    let mut spec = MeshSpec::box_mesh(params.order, params.elems, lengths, [false; 3]);
+    let (centers, radius) = pebble_centers(n_pebbles, lengths);
+    for c in &centers {
+        spec.add_solid_sphere(*c, radius);
+    }
+    // Keep every z-layer partly fluid so any slab partition has work: un-mask
+    // a layer that ended up fully solid (cannot happen with the default
+    // radius, but cheap insurance for exotic parameters).
+    for ez in 0..spec.elems[2] {
+        let all_solid = (0..spec.elems[1])
+            .all(|ey| (0..spec.elems[0]).all(|ex| spec.is_solid([ex, ey, ez])));
+        if all_solid {
+            let idx = spec.elem_index([0, 0, ez]);
+            spec.solid[idx] = false;
+        }
+    }
+
+    let w_in = 1.0;
+    let no_slip_with_inflow = |component_value: f64| BcSet {
+        faces: [
+            Bc::Dirichlet(0.0), // x walls
+            Bc::Dirichlet(0.0),
+            Bc::Dirichlet(0.0), // y walls
+            Bc::Dirichlet(0.0),
+            Bc::Dirichlet(component_value), // z- inflow
+            Bc::Neumann,                    // z+ outflow
+        ],
+        solid_surface: Bc::Dirichlet(0.0),
+    };
+    let bcs = FlowBcs {
+        velocity: [
+            no_slip_with_inflow(0.0),
+            no_slip_with_inflow(0.0),
+            no_slip_with_inflow(w_in),
+        ],
+        pressure: BcSet {
+            faces: [
+                Bc::Neumann,
+                Bc::Neumann,
+                Bc::Neumann,
+                Bc::Neumann,
+                Bc::Neumann,
+                Bc::Dirichlet(0.0), // outflow pins the pressure level
+            ],
+            solid_surface: Bc::Neumann,
+        },
+    };
+    let config = SolverConfig {
+        viscosity: 5e-2, // laminar through-flow at reduced scale
+        dt: params.dt,
+        bdf_order: 2,
+        pressure_cg: CgConfig {
+            tol: 1e-6,
+            max_iter: 250,
+            ..Default::default()
+        },
+        velocity_cg: CgConfig {
+            tol: 1e-8,
+            max_iter: 250,
+            ..Default::default()
+        },
+        body_force: [0.0; 3],
+        filter: None,
+        temperature: None,
+    };
+    CaseSetup {
+        name: "pb146".to_string(),
+        spec: Arc::new(spec),
+        config,
+        bcs,
+        init: InitKind::AxialInflow { w_in },
+    }
+}
+
+/// The Rayleigh–Bénard convection case in free-fall units at Rayleigh
+/// number `ra` and Prandtl number `pr`.
+pub fn rbc(params: &CaseParams, ra: f64, pr: f64) -> CaseSetup {
+    let lengths = params.lengths.unwrap_or([2.0, 2.0, 1.0]);
+    let spec = MeshSpec::box_mesh(params.order, params.elems, lengths, [true, true, false]);
+    let nu = (pr / ra).sqrt();
+    let kappa = 1.0 / (pr * ra).sqrt();
+    let t_bc = BcSet {
+        faces: [
+            Bc::Neumann,
+            Bc::Neumann,
+            Bc::Neumann,
+            Bc::Neumann,
+            Bc::Dirichlet(1.0), // heated bottom
+            Bc::Dirichlet(0.0), // cooled top
+        ],
+        solid_surface: Bc::Neumann,
+    };
+    let vel_bc = BcSet {
+        faces: [
+            Bc::Neumann,
+            Bc::Neumann,
+            Bc::Neumann,
+            Bc::Neumann,
+            Bc::Dirichlet(0.0), // no-slip plates
+            Bc::Dirichlet(0.0),
+        ],
+        solid_surface: Bc::Neumann,
+    };
+    let bcs = FlowBcs {
+        velocity: [vel_bc; 3],
+        pressure: BcSet::all_neumann(),
+    };
+    let config = SolverConfig {
+        viscosity: nu,
+        dt: params.dt,
+        bdf_order: 2,
+        pressure_cg: CgConfig {
+            tol: 1e-6,
+            max_iter: 250,
+            ..Default::default()
+        },
+        velocity_cg: CgConfig {
+            tol: 1e-8,
+            max_iter: 250,
+            ..Default::default()
+        },
+        body_force: [0.0; 3],
+        filter: None,
+        temperature: Some(TemperatureConfig {
+            diffusivity: kappa,
+            buoyancy: 1.0,
+            bc: t_bc,
+            cg: CgConfig {
+                tol: 1e-8,
+                max_iter: 250,
+                ..Default::default()
+            },
+        }),
+    };
+    CaseSetup {
+        name: "rbc".to_string(),
+        spec: Arc::new(spec),
+        config,
+        bcs,
+        init: InitKind::RbcPerturbed { amplitude: 0.02 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commsim::{run_ranks, MachineModel};
+
+    #[test]
+    fn pebble_centers_are_deterministic_and_inside() {
+        let (a, ra) = pebble_centers(146, [1.0, 1.0, 2.0]);
+        let (b, rb) = pebble_centers(146, [1.0, 1.0, 2.0]);
+        assert_eq!(a, b);
+        assert_eq!(ra, rb);
+        assert_eq!(a.len(), 146);
+        for c in &a {
+            assert!(c[0] > 0.0 && c[0] < 1.0);
+            assert!(c[1] > 0.0 && c[1] < 1.0);
+            assert!(c[2] > 0.0 && c[2] < 2.0);
+        }
+    }
+
+    #[test]
+    fn pb146_masks_pebbles_but_keeps_flow_path() {
+        let setup = pb146(&CaseParams::pb146_default(), 146);
+        let total = setup.spec.elems.iter().product::<usize>();
+        let fluid = setup.n_fluid_elems();
+        assert!(fluid < total, "some elements must be solid");
+        assert!(fluid > total / 2, "bed must stay mostly open");
+        // Every z-layer keeps at least one fluid element.
+        for ez in 0..setup.spec.elems[2] {
+            let any_fluid = (0..setup.spec.elems[1]).any(|ey| {
+                (0..setup.spec.elems[0]).any(|ex| !setup.spec.is_solid([ex, ey, ez]))
+            });
+            assert!(any_fluid, "layer {ez} fully solid");
+        }
+    }
+
+    #[test]
+    fn pb146_runs_stably_for_a_few_steps() {
+        let res = run_ranks(2, MachineModel::test_tiny(), |comm| {
+            let mut params = CaseParams::pb146_default();
+            params.elems = [4, 4, 6];
+            let setup = pb146(&params, 30);
+            let mut solver = setup.build(comm);
+            for _ in 0..5 {
+                let r = solver.step(comm);
+                assert!(r.pressure.converged, "pressure: {:?}", r.pressure);
+            }
+            (solver.kinetic_energy(comm), solver.max_velocity(comm))
+        });
+        let (ke, umax) = res[0];
+        assert!(ke.is_finite() && ke > 0.0);
+        assert!(umax.is_finite() && umax < 50.0, "runaway velocity {umax}");
+    }
+
+    #[test]
+    fn rbc_heats_up_and_convects() {
+        let res = run_ranks(2, MachineModel::test_tiny(), |comm| {
+            let mut params = CaseParams::rbc_default();
+            params.elems = [2, 2, 2];
+            params.order = 3;
+            let setup = rbc(&params, 1e5, 0.7);
+            let mut solver = setup.build(comm);
+            for _ in 0..10 {
+                let r = solver.step(comm);
+                assert!(r.pressure.converged);
+                assert!(r.temperature.unwrap().converged);
+            }
+            solver.kinetic_energy(comm)
+        });
+        // Convection must start from the perturbed conduction state.
+        assert!(res[0] > 0.0 && res[0].is_finite());
+    }
+
+    #[test]
+    fn rbc_free_fall_units() {
+        let setup = rbc(&CaseParams::rbc_default(), 1e6, 1.0);
+        assert!((setup.config.viscosity - 1e-3).abs() < 1e-12);
+        let tc = setup.config.temperature.as_ref().unwrap();
+        assert!((tc.diffusivity - 1e-3).abs() < 1e-12);
+        assert_eq!(tc.buoyancy, 1.0);
+    }
+}

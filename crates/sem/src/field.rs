@@ -1,0 +1,90 @@
+//! Element-major field storage layout.
+//!
+//! SEM fields are stored unassembled ("L-vector"): every element carries its
+//! own copy of shared face/edge/corner nodes, `(N+1)³` values per element,
+//! laid out x-fastest. This is NekRS's native layout — tensor-product
+//! kernels sweep contiguous element blocks — and gather–scatter reconciles
+//! the duplicates.
+
+/// Index arithmetic for element-major fields at one polynomial order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FieldLayout {
+    /// Points per direction (N+1).
+    pub np: usize,
+    /// Number of local elements.
+    pub n_elems: usize,
+}
+
+impl FieldLayout {
+    /// Layout for `n_elems` elements at polynomial order `order`.
+    pub fn new(order: usize, n_elems: usize) -> Self {
+        Self {
+            np: order + 1,
+            n_elems,
+        }
+    }
+
+    /// Nodes per element, (N+1)³.
+    pub fn nodes_per_elem(&self) -> usize {
+        self.np * self.np * self.np
+    }
+
+    /// Total local nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.n_elems * self.nodes_per_elem()
+    }
+
+    /// Flat index of node (i, j, k) in element `e` (x fastest).
+    #[inline]
+    pub fn idx(&self, e: usize, i: usize, j: usize, k: usize) -> usize {
+        debug_assert!(i < self.np && j < self.np && k < self.np && e < self.n_elems);
+        ((e * self.np + k) * self.np + j) * self.np + i
+    }
+
+    /// Inverse of [`FieldLayout::idx`]: (e, i, j, k) of a flat index.
+    #[inline]
+    pub fn coords(&self, idx: usize) -> (usize, usize, usize, usize) {
+        let i = idx % self.np;
+        let j = (idx / self.np) % self.np;
+        let k = (idx / (self.np * self.np)) % self.np;
+        let e = idx / self.nodes_per_elem();
+        (e, i, j, k)
+    }
+
+    /// Bytes one field of this layout occupies (f64).
+    pub fn nbytes(&self) -> u64 {
+        (self.n_nodes() * 8) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idx_coords_roundtrip() {
+        let l = FieldLayout::new(3, 5);
+        assert_eq!(l.np, 4);
+        assert_eq!(l.nodes_per_elem(), 64);
+        assert_eq!(l.n_nodes(), 320);
+        for idx in 0..l.n_nodes() {
+            let (e, i, j, k) = l.coords(idx);
+            assert_eq!(l.idx(e, i, j, k), idx);
+        }
+    }
+
+    #[test]
+    fn x_is_fastest() {
+        let l = FieldLayout::new(2, 1);
+        assert_eq!(l.idx(0, 0, 0, 0), 0);
+        assert_eq!(l.idx(0, 1, 0, 0), 1);
+        assert_eq!(l.idx(0, 0, 1, 0), 3);
+        assert_eq!(l.idx(0, 0, 0, 1), 9);
+    }
+
+    #[test]
+    fn nbytes_counts_f64() {
+        let l = FieldLayout::new(1, 2);
+        assert_eq!(l.nbytes(), 2 * 8 * 8);
+    }
+}

@@ -1,0 +1,736 @@
+//! Tensor-product SEM operators on rectilinear elements.
+//!
+//! All kernels are matrix-free sweeps of the 1-D derivative matrix along
+//! each tensor direction — the structure libParanumal/NekRS optimize on
+//! GPUs. Every public operator charges the rank's virtual clock with its
+//! flop/byte roofline cost, so CG iteration counts translate directly into
+//! virtual solver time.
+//!
+//! Geometry is rectilinear (constant diagonal Jacobian per element), which
+//! is exact for the box/pebble-mask meshes in [`crate::mesh`].
+
+use crate::basis::Basis1d;
+use crate::field::FieldLayout;
+use crate::mesh::LocalMesh;
+use commsim::Comm;
+use rayon::prelude::*;
+
+/// Precomputed operator context for one rank's mesh.
+#[derive(Debug, Clone)]
+pub struct Ops {
+    /// 1-D reference basis.
+    pub basis: Basis1d,
+    /// Field layout.
+    pub layout: FieldLayout,
+    /// Element sizes.
+    pub h: [f64; 3],
+    /// Reference→physical derivative scale 2/h per axis.
+    pub scale: [f64; 3],
+    /// Jacobian determinant hx·hy·hz/8 (constant per element).
+    pub jac: f64,
+    /// Tensor quadrature weights w_i w_j w_k per element-local node.
+    pub w3: Vec<f64>,
+}
+
+impl Ops {
+    /// Build operators for `mesh`.
+    pub fn new(mesh: &LocalMesh) -> Self {
+        let basis = Basis1d::new(mesh.spec.order);
+        let layout = mesh.layout();
+        let h = mesh.spec.h();
+        let np = basis.np();
+        let mut w3 = vec![0.0; np * np * np];
+        for k in 0..np {
+            for j in 0..np {
+                for i in 0..np {
+                    w3[(k * np + j) * np + i] =
+                        basis.weights[i] * basis.weights[j] * basis.weights[k];
+                }
+            }
+        }
+        Self {
+            basis,
+            layout,
+            scale: [2.0 / h[0], 2.0 / h[1], 2.0 / h[2]],
+            jac: h[0] * h[1] * h[2] / 8.0,
+            h,
+            w3,
+        }
+    }
+
+    fn np(&self) -> usize {
+        self.basis.np()
+    }
+
+    /// Flop/byte cost of one derivative sweep over all local elements.
+    fn deriv_cost(&self) -> (f64, f64) {
+        let np = self.np() as f64;
+        let ne = self.layout.n_elems as f64;
+        // (N+1)³ outputs × (N+1) MACs each, 2 flops per MAC.
+        let flops = ne * np * np * np * np * 2.0;
+        let bytes = 2.0 * self.layout.n_nodes() as f64 * 8.0;
+        (flops, bytes)
+    }
+
+    fn charge_derivs(&self, comm: &mut Comm, sweeps: f64) {
+        let (f, b) = self.deriv_cost();
+        comm.compute_gpu(f * sweeps, b * sweeps);
+    }
+
+    fn charge_pointwise(&self, comm: &mut Comm, flops_per_node: f64, arrays: f64) {
+        let n = self.layout.n_nodes() as f64;
+        comm.compute_gpu(n * flops_per_node, n * 8.0 * arrays);
+    }
+
+    /// Physical derivative along `axis` (0 = x, 1 = y, 2 = z), collocation
+    /// form: `out = (2/h_axis) D_axis u`.
+    pub fn deriv(&self, comm: &mut Comm, u: &[f64], axis: usize, out: &mut [f64]) {
+        self.charge_derivs(comm, 1.0);
+        self.deriv_nocost(u, axis, out);
+    }
+
+    fn deriv_nocost(&self, u: &[f64], axis: usize, out: &mut [f64]) {
+        let np = self.np();
+        let npe = self.layout.nodes_per_elem();
+        let d = &self.basis.deriv;
+        let s = self.scale[axis];
+        out.par_chunks_mut(npe)
+            .zip(u.par_chunks(npe))
+            .for_each(|(oe, ue)| {
+                deriv_elem(ue, d, np, axis, s, oe);
+            });
+    }
+
+    /// Transpose-derivative along `axis`: `out += (2/h) Dᵀ u` — the building
+    /// block of the weak Laplacian. Accumulates into `out`.
+    fn deriv_t_accum(&self, u: &[f64], axis: usize, out: &mut [f64]) {
+        let np = self.np();
+        let npe = self.layout.nodes_per_elem();
+        let d = &self.basis.deriv;
+        let s = self.scale[axis];
+        out.par_chunks_mut(npe)
+            .zip(u.par_chunks(npe))
+            .for_each(|(oe, ue)| {
+                deriv_t_elem_accum(ue, d, np, axis, s, oe);
+            });
+    }
+
+    /// Gradient: three derivative sweeps.
+    pub fn grad(
+        &self,
+        comm: &mut Comm,
+        u: &[f64],
+        gx: &mut [f64],
+        gy: &mut [f64],
+        gz: &mut [f64],
+    ) {
+        self.charge_derivs(comm, 3.0);
+        self.deriv_nocost(u, 0, gx);
+        self.deriv_nocost(u, 1, gy);
+        self.deriv_nocost(u, 2, gz);
+    }
+
+    /// Divergence of a vector field (collocation): `out = ∂x ux + ∂y uy + ∂z uz`.
+    pub fn div(
+        &self,
+        comm: &mut Comm,
+        ux: &[f64],
+        uy: &[f64],
+        uz: &[f64],
+        out: &mut [f64],
+        scratch: &mut [f64],
+    ) {
+        self.charge_derivs(comm, 3.0);
+        self.deriv_nocost(ux, 0, out);
+        self.deriv_nocost(uy, 1, scratch);
+        add_assign(out, scratch);
+        self.deriv_nocost(uz, 2, scratch);
+        add_assign(out, scratch);
+    }
+
+    /// Lumped (diagonal) mass application: `out = J w ∘ u`.
+    pub fn mass_apply(&self, comm: &mut Comm, u: &[f64], out: &mut [f64]) {
+        self.charge_pointwise(comm, 1.0, 3.0);
+        self.mass_apply_nocost(u, out);
+    }
+
+    fn mass_apply_nocost(&self, u: &[f64], out: &mut [f64]) {
+        let npe = self.layout.nodes_per_elem();
+        let jac = self.jac;
+        let w3 = &self.w3;
+        out.par_chunks_mut(npe)
+            .zip(u.par_chunks(npe))
+            .for_each(|(oe, ue)| {
+                for ((o, &v), &w) in oe.iter_mut().zip(ue).zip(w3) {
+                    *o = jac * w * v;
+                }
+            });
+    }
+
+    /// The (unassembled) diagonal mass vector J·w per node.
+    pub fn mass_diag(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.layout.n_nodes()];
+        let ones = vec![1.0; self.layout.n_nodes()];
+        self.mass_apply_nocost(&ones, &mut out);
+        out
+    }
+
+    /// Weak Laplacian (stiffness) application:
+    /// `out = Σ_d s_d² J D_dᵀ (w ∘ D_d u)` — symmetric positive
+    /// semi-definite before boundary conditions.
+    pub fn stiffness_apply(
+        &self,
+        comm: &mut Comm,
+        u: &[f64],
+        out: &mut [f64],
+        scratch: &mut [f64],
+    ) {
+        // 6 derivative sweeps + pointwise weights.
+        self.charge_derivs(comm, 6.0);
+        self.charge_pointwise(comm, 3.0, 3.0);
+        out.iter_mut().for_each(|v| *v = 0.0);
+        for axis in 0..3 {
+            self.deriv_nocost(u, axis, scratch);
+            // scratch ← s_d J w ∘ scratch (one factor of s comes from each D).
+            let npe = self.layout.nodes_per_elem();
+            let c = self.jac;
+            let w3 = &self.w3;
+            scratch.par_chunks_mut(npe).for_each(|se| {
+                for (v, &w) in se.iter_mut().zip(w3) {
+                    *v *= c * w;
+                }
+            });
+            self.deriv_t_accum(scratch, axis, out);
+        }
+    }
+
+    /// Diagonal of the unassembled stiffness operator (Jacobi
+    /// preconditioner source). Assemble with gather-scatter before use.
+    pub fn stiffness_diag(&self) -> Vec<f64> {
+        let np = self.np();
+        let b = &self.basis;
+        // K1[i] = Σ_m w_m D[m][i]².
+        let mut k1 = vec![0.0; np];
+        for i in 0..np {
+            for m in 0..np {
+                let d = b.deriv[m * np + i];
+                k1[i] += b.weights[m] * d * d;
+            }
+        }
+        let mut out = vec![0.0; self.layout.n_nodes()];
+        let w = &b.weights;
+        for e in 0..self.layout.n_elems {
+            for k in 0..np {
+                for j in 0..np {
+                    for i in 0..np {
+                        let v = self.jac
+                            * (self.scale[0] * self.scale[0] * k1[i] * w[j] * w[k]
+                                + self.scale[1] * self.scale[1] * w[i] * k1[j] * w[k]
+                                + self.scale[2] * self.scale[2] * w[i] * w[j] * k1[k]);
+                        out[self.layout.idx(e, i, j, k)] = v;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Apply a 1-D operator matrix `m` (row-major (N+1)²) along all three
+    /// tensor directions of `u` in place — the application pattern of the
+    /// modal filter, `u ← (F⊗F⊗F)u`.
+    pub fn apply_tensor_op(&self, comm: &mut Comm, m: &[f64], u: &mut [f64], scratch: &mut [f64]) {
+        self.charge_derivs(comm, 3.0);
+        let np = self.np();
+        assert_eq!(m.len(), np * np, "operator must be (N+1)²");
+        // Reuse the derivative sweeps with scale 1 by swapping buffers.
+        let npe = self.layout.nodes_per_elem();
+        for axis in 0..3 {
+            scratch.copy_from_slice(u);
+            u.par_chunks_mut(npe)
+                .zip(scratch.par_chunks(npe))
+                .for_each(|(oe, ue)| {
+                    deriv_elem(ue, m, np, axis, 1.0, oe);
+                });
+        }
+    }
+
+    /// Curl of a vector field (collocation): `out = ∇×u`.
+    ///
+    /// Uses six derivative sweeps; callers typically gather-scatter-average
+    /// the result to restore continuity.
+    #[allow(clippy::too_many_arguments)]
+    pub fn curl(
+        &self,
+        comm: &mut Comm,
+        ux: &[f64],
+        uy: &[f64],
+        uz: &[f64],
+        wx: &mut [f64],
+        wy: &mut [f64],
+        wz: &mut [f64],
+        scratch: &mut [f64],
+    ) {
+        self.charge_derivs(comm, 6.0);
+        self.charge_pointwise(comm, 3.0, 6.0);
+        // ω_x = ∂y uz − ∂z uy
+        self.deriv_nocost(uz, 1, wx);
+        self.deriv_nocost(uy, 2, scratch);
+        for (o, &s) in wx.iter_mut().zip(scratch.iter()) {
+            *o -= s;
+        }
+        // ω_y = ∂z ux − ∂x uz
+        self.deriv_nocost(ux, 2, wy);
+        self.deriv_nocost(uz, 0, scratch);
+        for (o, &s) in wy.iter_mut().zip(scratch.iter()) {
+            *o -= s;
+        }
+        // ω_z = ∂x uy − ∂y ux
+        self.deriv_nocost(uy, 0, wz);
+        self.deriv_nocost(ux, 1, scratch);
+        for (o, &s) in wz.iter_mut().zip(scratch.iter()) {
+            *o -= s;
+        }
+    }
+
+    /// Q-criterion of a velocity field: `Q = ½(‖Ω‖² − ‖S‖²)` where S and Ω
+    /// are the symmetric/antisymmetric parts of ∇u. Positive Q marks
+    /// rotation-dominated (vortex-core) regions — the standard CFD
+    /// visualization quantity.
+    pub fn q_criterion(
+        &self,
+        comm: &mut Comm,
+        ux: &[f64],
+        uy: &[f64],
+        uz: &[f64],
+        out: &mut [f64],
+    ) {
+        let n = self.layout.n_nodes();
+        // Full velocity-gradient tensor: nine derivative sweeps.
+        self.charge_derivs(comm, 9.0);
+        self.charge_pointwise(comm, 20.0, 10.0);
+        let mut grad = vec![vec![0.0; n]; 9];
+        for (c, u) in [ux, uy, uz].into_iter().enumerate() {
+            for axis in 0..3 {
+                self.deriv_nocost(u, axis, &mut grad[c * 3 + axis]);
+            }
+        }
+        for i in 0..n {
+            let g = |r: usize, c: usize| grad[r * 3 + c][i];
+            let mut s2 = 0.0;
+            let mut o2 = 0.0;
+            for r in 0..3 {
+                for c in 0..3 {
+                    let s = 0.5 * (g(r, c) + g(c, r));
+                    let o = 0.5 * (g(r, c) - g(c, r));
+                    s2 += s * s;
+                    o2 += o * o;
+                }
+            }
+            out[i] = 0.5 * (o2 - s2);
+        }
+    }
+
+    /// Advection term `out = -(c·∇)u` in collocation form.
+    #[allow(clippy::too_many_arguments)]
+    pub fn advect(
+        &self,
+        comm: &mut Comm,
+        cx: &[f64],
+        cy: &[f64],
+        cz: &[f64],
+        u: &[f64],
+        out: &mut [f64],
+        scratch: &mut [f64],
+    ) {
+        self.charge_derivs(comm, 3.0);
+        self.charge_pointwise(comm, 6.0, 5.0);
+        self.deriv_nocost(u, 0, out);
+        for (o, &c) in out.iter_mut().zip(cx) {
+            *o *= -c;
+        }
+        self.deriv_nocost(u, 1, scratch);
+        for (o, (&s, &c)) in out.iter_mut().zip(scratch.iter().zip(cy)) {
+            *o -= s * c;
+        }
+        self.deriv_nocost(u, 2, scratch);
+        for (o, (&s, &c)) in out.iter_mut().zip(scratch.iter().zip(cz)) {
+            *o -= s * c;
+        }
+    }
+}
+
+/// `out += a` elementwise.
+pub fn add_assign(out: &mut [f64], a: &[f64]) {
+    for (o, &v) in out.iter_mut().zip(a) {
+        *o += v;
+    }
+}
+
+/// `out = a + s·b` elementwise (allocation-free AXPY helper).
+pub fn axpy(out: &mut [f64], a: &[f64], s: f64, b: &[f64]) {
+    for ((o, &av), &bv) in out.iter_mut().zip(a).zip(b) {
+        *o = av + s * bv;
+    }
+}
+
+fn deriv_elem(u: &[f64], d: &[f64], np: usize, axis: usize, s: f64, out: &mut [f64]) {
+    match axis {
+        0 => {
+            for k in 0..np {
+                for j in 0..np {
+                    let row = (k * np + j) * np;
+                    for i in 0..np {
+                        let mut acc = 0.0;
+                        for m in 0..np {
+                            acc += d[i * np + m] * u[row + m];
+                        }
+                        out[row + i] = s * acc;
+                    }
+                }
+            }
+        }
+        1 => {
+            for k in 0..np {
+                for i in 0..np {
+                    for j in 0..np {
+                        let mut acc = 0.0;
+                        for m in 0..np {
+                            acc += d[j * np + m] * u[(k * np + m) * np + i];
+                        }
+                        out[(k * np + j) * np + i] = s * acc;
+                    }
+                }
+            }
+        }
+        2 => {
+            for j in 0..np {
+                for i in 0..np {
+                    for k in 0..np {
+                        let mut acc = 0.0;
+                        for m in 0..np {
+                            acc += d[k * np + m] * u[(m * np + j) * np + i];
+                        }
+                        out[(k * np + j) * np + i] = s * acc;
+                    }
+                }
+            }
+        }
+        _ => unreachable!("axis must be 0..3"),
+    }
+}
+
+fn deriv_t_elem_accum(u: &[f64], d: &[f64], np: usize, axis: usize, s: f64, out: &mut [f64]) {
+    match axis {
+        0 => {
+            for k in 0..np {
+                for j in 0..np {
+                    let row = (k * np + j) * np;
+                    for i in 0..np {
+                        let mut acc = 0.0;
+                        for m in 0..np {
+                            acc += d[m * np + i] * u[row + m];
+                        }
+                        out[row + i] += s * acc;
+                    }
+                }
+            }
+        }
+        1 => {
+            for k in 0..np {
+                for i in 0..np {
+                    for j in 0..np {
+                        let mut acc = 0.0;
+                        for m in 0..np {
+                            acc += d[m * np + j] * u[(k * np + m) * np + i];
+                        }
+                        out[(k * np + j) * np + i] += s * acc;
+                    }
+                }
+            }
+        }
+        2 => {
+            for j in 0..np {
+                for i in 0..np {
+                    for k in 0..np {
+                        let mut acc = 0.0;
+                        for m in 0..np {
+                            acc += d[m * np + k] * u[(m * np + j) * np + i];
+                        }
+                        out[(k * np + j) * np + i] += s * acc;
+                    }
+                }
+            }
+        }
+        _ => unreachable!("axis must be 0..3"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gs::GatherScatter;
+    use crate::mesh::MeshSpec;
+    use commsim::{run_ranks, MachineModel, ReduceOp};
+    use std::sync::Arc;
+
+    fn single_rank_mesh(order: usize, elems: [usize; 3]) -> LocalMesh {
+        let spec = Arc::new(MeshSpec::box_mesh(
+            order,
+            elems,
+            [1.0, 1.3, 0.9],
+            [false; 3],
+        ));
+        LocalMesh::new(spec, 0, 1)
+    }
+
+    fn on_one_rank<R: Send + 'static>(
+        f: impl Fn(&mut Comm) -> R + Send + Sync + 'static,
+    ) -> R {
+        run_ranks(1, MachineModel::test_tiny(), f).remove(0)
+    }
+
+    #[test]
+    fn deriv_is_exact_for_linear_fields() {
+        let err = on_one_rank(|comm| {
+            let mesh = single_rank_mesh(4, [2, 2, 2]);
+            let ops = Ops::new(&mesh);
+            let u = mesh.eval_nodal(|x| 2.0 * x[0] - 3.0 * x[1] + 0.5 * x[2]);
+            let mut out = vec![0.0; u.len()];
+            let mut max_err: f64 = 0.0;
+            for (axis, exact) in [(0usize, 2.0), (1, -3.0), (2, 0.5)] {
+                ops.deriv(comm, &u, axis, &mut out);
+                for &v in &out {
+                    max_err = max_err.max((v - exact).abs());
+                }
+            }
+            max_err
+        });
+        assert!(err < 1e-10, "{err}");
+    }
+
+    #[test]
+    fn deriv_is_spectrally_accurate_for_sin() {
+        let err = on_one_rank(|comm| {
+            let mesh = single_rank_mesh(7, [2, 1, 1]);
+            let ops = Ops::new(&mesh);
+            let u = mesh.eval_nodal(|x| (2.0 * x[0]).sin());
+            let mut out = vec![0.0; u.len()];
+            ops.deriv(comm, &u, 0, &mut out);
+            let exact = mesh.eval_nodal(|x| 2.0 * (2.0 * x[0]).cos());
+            out.iter()
+                .zip(&exact)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max)
+        });
+        assert!(err < 5e-7, "{err}");
+    }
+
+    #[test]
+    fn mass_integrates_volume() {
+        let total = on_one_rank(|comm| {
+            let mesh = single_rank_mesh(3, [2, 3, 2]);
+            let ops = Ops::new(&mesh);
+            let ones = vec![1.0; mesh.layout().n_nodes()];
+            let mut mu = vec![0.0; ones.len()];
+            ops.mass_apply(comm, &ones, &mut mu);
+            mu.iter().sum::<f64>()
+        });
+        // Volume = 1.0 × 1.3 × 0.9.
+        assert!((total - 1.0 * 1.3 * 0.9).abs() < 1e-12, "{total}");
+    }
+
+    #[test]
+    fn stiffness_is_symmetric_and_kills_constants() {
+        let (asym, const_norm) = on_one_rank(|comm| {
+            let mesh = single_rank_mesh(3, [2, 2, 2]);
+            let ops = Ops::new(&mesh);
+            let n = mesh.layout().n_nodes();
+            let mut scratch = vec![0.0; n];
+            // A·1 must vanish.
+            let ones = vec![1.0; n];
+            let mut a1 = vec![0.0; n];
+            ops.stiffness_apply(comm, &ones, &mut a1, &mut scratch);
+            let const_norm = a1.iter().map(|v| v.abs()).fold(0.0, f64::max);
+            // Symmetry: ⟨Au, v⟩ = ⟨u, Av⟩ for two deterministic fields.
+            let u = mesh.eval_nodal(|x| (3.0 * x[0] + x[1]).sin());
+            let v = mesh.eval_nodal(|x| (x[1] * x[2] * 5.0).cos());
+            let mut au = vec![0.0; n];
+            let mut av = vec![0.0; n];
+            ops.stiffness_apply(comm, &u, &mut au, &mut scratch);
+            ops.stiffness_apply(comm, &v, &mut av, &mut scratch);
+            let uav: f64 = u.iter().zip(&av).map(|(a, b)| a * b).sum();
+            let vau: f64 = v.iter().zip(&au).map(|(a, b)| a * b).sum();
+            ((uav - vau).abs(), const_norm)
+        });
+        assert!(const_norm < 1e-9, "A·1 = {const_norm}");
+        assert!(asym < 1e-9 * 100.0, "asymmetry {asym}");
+    }
+
+    #[test]
+    fn stiffness_matches_dirichlet_energy_of_linear_field() {
+        // For u = x on [0,1]³-ish box, ⟨Au, u⟩ = ∫|∇u|² = volume.
+        let energy = on_one_rank(|comm| {
+            let mesh = single_rank_mesh(4, [2, 2, 2]);
+            let ops = Ops::new(&mesh);
+            let gs = GatherScatter::new(&mesh, comm);
+            let u = mesh.eval_nodal(|x| x[0]);
+            let n = u.len();
+            let mut au = vec![0.0; n];
+            let mut scratch = vec![0.0; n];
+            ops.stiffness_apply(comm, &u, &mut au, &mut scratch);
+            // Unassembled quadratic form is already the global integral.
+            let local: f64 = u.iter().zip(&au).map(|(a, b)| a * b).sum();
+            let _ = gs; // (single rank: no assembly needed for the form)
+            comm.allreduce(local, ReduceOp::Sum)
+        });
+        assert!((energy - 1.0 * 1.3 * 0.9).abs() < 1e-10, "{energy}");
+    }
+
+    #[test]
+    fn stiffness_diag_matches_operator_diagonal() {
+        let err = on_one_rank(|comm| {
+            let mesh = single_rank_mesh(2, [1, 1, 1]);
+            let ops = Ops::new(&mesh);
+            let n = mesh.layout().n_nodes();
+            let diag = ops.stiffness_diag();
+            let mut scratch = vec![0.0; n];
+            let mut max_err: f64 = 0.0;
+            for i in 0..n {
+                let mut e = vec![0.0; n];
+                e[i] = 1.0;
+                let mut ae = vec![0.0; n];
+                ops.stiffness_apply(comm, &e, &mut ae, &mut scratch);
+                max_err = max_err.max((ae[i] - diag[i]).abs());
+            }
+            max_err
+        });
+        assert!(err < 1e-10, "{err}");
+    }
+
+    #[test]
+    fn divergence_of_linear_solenoidal_field_vanishes() {
+        let err = on_one_rank(|comm| {
+            let mesh = single_rank_mesh(3, [2, 2, 2]);
+            let ops = Ops::new(&mesh);
+            let n = mesh.layout().n_nodes();
+            let ux = mesh.eval_nodal(|x| x[0]);
+            let uy = mesh.eval_nodal(|x| x[1]);
+            let uz = mesh.eval_nodal(|x| -2.0 * x[2]);
+            let mut div = vec![0.0; n];
+            let mut scratch = vec![0.0; n];
+            ops.div(comm, &ux, &uy, &uz, &mut div, &mut scratch);
+            div.iter().map(|v| v.abs()).fold(0.0, f64::max)
+        });
+        assert!(err < 1e-10, "{err}");
+    }
+
+    #[test]
+    fn advect_linear_by_constant_velocity() {
+        // -(c·∇)(x + 2z) with c = (1, 0, 3) is -(1·1 + 3·2) = -7 everywhere.
+        let err = on_one_rank(|comm| {
+            let mesh = single_rank_mesh(3, [2, 2, 2]);
+            let ops = Ops::new(&mesh);
+            let n = mesh.layout().n_nodes();
+            let u = mesh.eval_nodal(|x| x[0] + 2.0 * x[2]);
+            let cx = vec![1.0; n];
+            let cy = vec![0.0; n];
+            let cz = vec![3.0; n];
+            let mut out = vec![0.0; n];
+            let mut scratch = vec![0.0; n];
+            ops.advect(comm, &cx, &cy, &cz, &u, &mut out, &mut scratch);
+            out.iter().map(|v| (v + 7.0).abs()).fold(0.0, f64::max)
+        });
+        assert!(err < 1e-9, "{err}");
+    }
+
+    #[test]
+    fn curl_of_rigid_rotation_is_twice_omega() {
+        // u = ω × x with ω = (0,0,1): u = (-y, x, 0); ∇×u = (0,0,2).
+        let err = on_one_rank(|comm| {
+            let mesh = single_rank_mesh(4, [2, 2, 2]);
+            let ops = Ops::new(&mesh);
+            let n = mesh.layout().n_nodes();
+            let ux = mesh.eval_nodal(|x| -x[1]);
+            let uy = mesh.eval_nodal(|x| x[0]);
+            let uz = vec![0.0; n];
+            let (mut wx, mut wy, mut wz) = (vec![0.0; n], vec![0.0; n], vec![0.0; n]);
+            let mut scratch = vec![0.0; n];
+            ops.curl(comm, &ux, &uy, &uz, &mut wx, &mut wy, &mut wz, &mut scratch);
+            let mut e: f64 = 0.0;
+            for i in 0..n {
+                e = e.max(wx[i].abs()).max(wy[i].abs()).max((wz[i] - 2.0).abs());
+            }
+            e
+        });
+        assert!(err < 1e-10, "{err}");
+    }
+
+    #[test]
+    fn curl_of_gradient_field_vanishes() {
+        // u = ∇φ with φ = x² + 3yz ⇒ ∇×u = 0 (φ quadratic: exact at N≥2).
+        let err = on_one_rank(|comm| {
+            let mesh = single_rank_mesh(3, [2, 2, 2]);
+            let ops = Ops::new(&mesh);
+            let n = mesh.layout().n_nodes();
+            let ux = mesh.eval_nodal(|x| 2.0 * x[0]);
+            let uy = mesh.eval_nodal(|x| 3.0 * x[2]);
+            let uz = mesh.eval_nodal(|x| 3.0 * x[1]);
+            let (mut wx, mut wy, mut wz) = (vec![0.0; n], vec![0.0; n], vec![0.0; n]);
+            let mut scratch = vec![0.0; n];
+            ops.curl(comm, &ux, &uy, &uz, &mut wx, &mut wy, &mut wz, &mut scratch);
+            wx.iter()
+                .chain(&wy)
+                .chain(&wz)
+                .map(|v| v.abs())
+                .fold(0.0, f64::max)
+        });
+        assert!(err < 1e-10, "{err}");
+    }
+
+    #[test]
+    fn q_criterion_signs_rotation_vs_strain() {
+        let (q_rot, q_strain) = on_one_rank(|comm| {
+            let mesh = single_rank_mesh(3, [2, 2, 2]);
+            let ops = Ops::new(&mesh);
+            let n = mesh.layout().n_nodes();
+            // Rigid rotation: pure Ω ⇒ Q > 0.
+            let ux = mesh.eval_nodal(|x| -x[1]);
+            let uy = mesh.eval_nodal(|x| x[0]);
+            let uz = vec![0.0; n];
+            let mut q = vec![0.0; n];
+            ops.q_criterion(comm, &ux, &uy, &uz, &mut q);
+            let q_rot = q[0];
+            // Pure strain: u = (x, -y, 0) ⇒ Q < 0.
+            let ux = mesh.eval_nodal(|x| x[0]);
+            let uy = mesh.eval_nodal(|x| -x[1]);
+            ops.q_criterion(comm, &ux, &uy, &uz, &mut q);
+            (q_rot, q[0])
+        });
+        assert!(q_rot > 0.9, "rotation must give Q>0: {q_rot}");
+        assert!(q_strain < -0.9, "strain must give Q<0: {q_strain}");
+    }
+
+    #[test]
+    fn grad_charges_virtual_time() {
+        let t = on_one_rank(|comm| {
+            let mesh = single_rank_mesh(4, [2, 2, 2]);
+            let ops = Ops::new(&mesh);
+            let n = mesh.layout().n_nodes();
+            let u = vec![0.0; n];
+            let (mut a, mut b, mut c) = (vec![0.0; n], vec![0.0; n], vec![0.0; n]);
+            let t0 = comm.now();
+            ops.grad(comm, &u, &mut a, &mut b, &mut c);
+            comm.now() - t0
+        });
+        assert!(t > 0.0);
+    }
+
+    #[test]
+    fn axpy_helpers() {
+        let mut out = vec![0.0; 3];
+        axpy(&mut out, &[1.0, 2.0, 3.0], 2.0, &[10.0, 20.0, 30.0]);
+        assert_eq!(out, vec![21.0, 42.0, 63.0]);
+        add_assign(&mut out, &[1.0, 1.0, 1.0]);
+        assert_eq!(out, vec![22.0, 43.0, 64.0]);
+    }
+}

@@ -1,0 +1,217 @@
+//! Gauss–Lobatto–Legendre (GLL) quadrature.
+//!
+//! SEM bases collocate on GLL points: the endpoints ±1 plus the roots of
+//! Pₙ′(x). Nodes are found by Newton iteration with a Chebyshev initial
+//! guess; weights are `2 / (N(N+1) Pₙ(xᵢ)²)`.
+
+/// Legendre polynomial Pₙ(x) and its derivative Pₙ′(x) via the three-term
+/// recurrence (returns `(P_n, P_n')`).
+pub fn legendre(n: usize, x: f64) -> (f64, f64) {
+    if n == 0 {
+        return (1.0, 0.0);
+    }
+    let mut p_prev = 1.0; // P_0
+    let mut p = x; // P_1
+    for k in 1..n {
+        let kf = k as f64;
+        let p_next = ((2.0 * kf + 1.0) * x * p - kf * p_prev) / (kf + 1.0);
+        p_prev = p;
+        p = p_next;
+    }
+    // P_n' from P_n and P_{n-1}: (x²−1) Pₙ′ = n (x Pₙ − Pₙ₋₁).
+    let dp = if (x * x - 1.0).abs() < 1e-14 {
+        // Endpoint limit: Pₙ′(±1) = ±ⁿ⁺¹ n(n+1)/2.
+        let sign = if x > 0.0 { 1.0 } else { (-1.0f64).powi(n as i32 + 1) };
+        sign * n as f64 * (n as f64 + 1.0) / 2.0
+    } else {
+        n as f64 * (x * p - p_prev) / (x * x - 1.0)
+    };
+    (p, dp)
+}
+
+/// GLL nodes and weights for polynomial order `n` (`n + 1` points on
+/// [-1, 1], ascending).
+///
+/// # Panics
+/// Panics for `n == 0` (a one-point "rule" cannot span an element edge).
+pub fn gll(n: usize) -> (Vec<f64>, Vec<f64>) {
+    assert!(n >= 1, "GLL rule needs order >= 1");
+    let np = n + 1;
+    let mut nodes = vec![0.0; np];
+    let mut weights = vec![0.0; np];
+    nodes[0] = -1.0;
+    nodes[n] = 1.0;
+    // Interior nodes: roots of P_n'. Newton from Chebyshev-Gauss-Lobatto.
+    for i in 1..n {
+        let mut x = -(std::f64::consts::PI * i as f64 / n as f64).cos();
+        for _ in 0..100 {
+            // f = P_n'(x); f' = P_n''(x) from Legendre ODE:
+            // (1-x²) P'' - 2x P' + n(n+1) P = 0.
+            let (p, dp) = legendre(n, x);
+            let ddp = (2.0 * x * dp - (n as f64) * (n as f64 + 1.0) * p) / (1.0 - x * x);
+            let step = dp / ddp;
+            x -= step;
+            if step.abs() < 1e-15 {
+                break;
+            }
+        }
+        nodes[i] = x;
+    }
+    nodes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let nn = n as f64;
+    for i in 0..np {
+        let (p, _) = legendre(n, nodes[i]);
+        weights[i] = 2.0 / (nn * (nn + 1.0) * p * p);
+    }
+    (nodes, weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legendre_low_orders_match_closed_forms() {
+        for &x in &[-0.9, -0.3, 0.0, 0.5, 1.0] {
+            assert!((legendre(0, x).0 - 1.0).abs() < 1e-15);
+            assert!((legendre(1, x).0 - x).abs() < 1e-15);
+            assert!((legendre(2, x).0 - (1.5 * x * x - 0.5)).abs() < 1e-14);
+            assert!((legendre(3, x).0 - (2.5 * x * x * x - 1.5 * x)).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn legendre_derivative_matches_finite_difference() {
+        let h = 1e-7;
+        for n in 1..8 {
+            for &x in &[-0.7, -0.1, 0.33, 0.8] {
+                let (_, dp) = legendre(n, x);
+                let fd = (legendre(n, x + h).0 - legendre(n, x - h).0) / (2.0 * h);
+                assert!((dp - fd).abs() < 1e-5, "n={n} x={x}: {dp} vs {fd}");
+            }
+        }
+    }
+
+    #[test]
+    fn gll_includes_endpoints_and_is_symmetric() {
+        for n in 1..12 {
+            let (x, w) = gll(n);
+            assert_eq!(x.len(), n + 1);
+            assert!((x[0] + 1.0).abs() < 1e-14);
+            assert!((x[n] - 1.0).abs() < 1e-14);
+            for i in 0..=n {
+                assert!((x[i] + x[n - i]).abs() < 1e-12, "node symmetry");
+                assert!((w[i] - w[n - i]).abs() < 1e-12, "weight symmetry");
+            }
+        }
+    }
+
+    #[test]
+    fn weights_sum_to_two() {
+        for n in 1..16 {
+            let (_, w) = gll(n);
+            let s: f64 = w.iter().sum();
+            assert!((s - 2.0).abs() < 1e-12, "n={n}: sum={s}");
+        }
+    }
+
+    #[test]
+    fn gll_integrates_polynomials_exactly_up_to_2n_minus_1() {
+        // ∫₋₁¹ x^k dx = 0 (odd) or 2/(k+1) (even).
+        for n in 2..9 {
+            let (x, w) = gll(n);
+            for k in 0..=(2 * n - 1) {
+                let quad: f64 = x.iter().zip(&w).map(|(xi, wi)| wi * xi.powi(k as i32)).sum();
+                let exact = if k % 2 == 1 { 0.0 } else { 2.0 / (k as f64 + 1.0) };
+                assert!(
+                    (quad - exact).abs() < 1e-11,
+                    "n={n} k={k}: {quad} vs {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gll_n7_matches_published_values() {
+        // Canonical N=7 GLL interior nodes (e.g. Canuto et al.).
+        let (x, _) = gll(7);
+        let expected = [
+            -1.0,
+            -0.8717401485096066,
+            -0.5917001814331423,
+            -0.20929921790247888,
+            0.20929921790247888,
+            0.5917001814331423,
+            0.8717401485096066,
+            1.0,
+        ];
+        for (a, b) in x.iter().zip(&expected) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn known_n2_rule_is_simpson_like() {
+        let (x, w) = gll(2);
+        assert_eq!(x, vec![-1.0, 0.0, 1.0]);
+        assert!((w[0] - 1.0 / 3.0).abs() < 1e-14);
+        assert!((w[1] - 4.0 / 3.0).abs() < 1e-14);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            /// Any polynomial with random coefficients up to degree 2N−1
+            /// integrates exactly (the defining property of the rule).
+            #[test]
+            fn random_polynomials_integrate_exactly(
+                n in 2usize..8,
+                coeffs in proptest::collection::vec(-10.0..10.0f64, 16),
+            ) {
+                let degree = 2 * n - 1;
+                let (x, w) = gll(n);
+                let eval = |t: f64| -> f64 {
+                    coeffs[..=degree]
+                        .iter()
+                        .enumerate()
+                        .map(|(k, c)| c * t.powi(k as i32))
+                        .sum()
+                };
+                let quad: f64 = x.iter().zip(&w).map(|(xi, wi)| wi * eval(*xi)).sum();
+                // ∫₋₁¹ t^k dt = 2/(k+1) for even k, 0 for odd.
+                let exact: f64 = coeffs[..=degree]
+                    .iter()
+                    .enumerate()
+                    .map(|(k, c)| if k % 2 == 0 { 2.0 * c / (k as f64 + 1.0) } else { 0.0 })
+                    .sum();
+                prop_assert!(
+                    (quad - exact).abs() < 1e-9 * (1.0 + exact.abs()),
+                    "n={n}: {quad} vs {exact}"
+                );
+            }
+
+            /// One degree beyond exactness (t^{2N}) must NOT integrate
+            /// exactly — the rule is sharp.
+            #[test]
+            fn degree_2n_is_not_exact(n in 2usize..8) {
+                let (x, w) = gll(n);
+                let k = 2 * n;
+                let quad: f64 = x.iter().zip(&w).map(|(xi, wi)| wi * xi.powi(k as i32)).sum();
+                let exact = 2.0 / (k as f64 + 1.0);
+                prop_assert!((quad - exact).abs() > 1e-6, "n={n} must miss t^{k}");
+            }
+
+            /// Nodes are strictly increasing and weights strictly positive.
+            #[test]
+            fn nodes_sorted_weights_positive(n in 1usize..12) {
+                let (x, w) = gll(n);
+                prop_assert!(x.windows(2).all(|p| p[0] < p[1]));
+                prop_assert!(w.iter().all(|&wi| wi > 0.0));
+            }
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! The simulation-side in-transit analysis: marshal and stage.
+//!
+//! This is what "NekRS-SENSEI complemented by ADIOS2 for data transport"
+//! means on the simulation nodes: the SENSEI analysis slot is occupied by
+//! an adaptor that serializes the requested arrays and hands them to the
+//! staging engine. The actual visualization happens later on the endpoint
+//! — the whole point of the in-transit architecture.
+
+use crate::bp;
+use crate::engine::SstWriter;
+use commsim::Comm;
+use insitu::{AnalysisAdaptor, DataAdaptor};
+use meshdata::Centering;
+
+/// Sends the configured arrays over the staging link each trigger.
+pub struct TransportAnalysis {
+    mesh: String,
+    arrays: Vec<String>,
+    writer: SstWriter,
+    marshal_flops_per_byte: f64,
+}
+
+impl TransportAnalysis {
+    /// Stage `arrays` from `mesh` through `writer`.
+    pub fn new(mesh: impl Into<String>, arrays: Vec<String>, writer: SstWriter) -> Self {
+        Self {
+            mesh: mesh.into(),
+            arrays,
+            writer,
+            marshal_flops_per_byte: 1.0,
+        }
+    }
+
+    /// Writer statistics: (steps staged, steps dropped, bytes sent).
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (
+            self.writer.steps_written(),
+            self.writer.steps_dropped(),
+            self.writer.bytes_sent(),
+        )
+    }
+
+    /// A factory handling `<analysis type="adios-sst" arrays="a,b"/>` that
+    /// consumes `writer` on first use (staging connections are established
+    /// out-of-band, as SST does with its contact-info files).
+    pub fn factory_with_writer(writer: SstWriter) -> insitu::configurable::AdaptorFactory {
+        let slot = parking_lot::Mutex::new(Some(writer));
+        Box::new(move |spec: &insitu::configurable::AnalysisSpec| {
+            if spec.kind != "adios-sst" {
+                return Ok(None);
+            }
+            let writer = slot.lock().take().ok_or_else(|| {
+                insitu::Error::Config("adios-sst writer already consumed".into())
+            })?;
+            let arrays: Vec<String> = spec
+                .attr_or("arrays", "pressure,velocity")
+                .split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect();
+            Ok(Some(Box::new(TransportAnalysis::new(
+                spec.attr_or("mesh", "mesh").to_string(),
+                arrays,
+                writer,
+            )) as Box<dyn AnalysisAdaptor>))
+        })
+    }
+}
+
+impl AnalysisAdaptor for TransportAnalysis {
+    fn name(&self) -> &str {
+        "adios-sst"
+    }
+
+    fn execute(&mut self, comm: &mut Comm, data: &mut dyn DataAdaptor) -> insitu::Result<bool> {
+        let mut mb = data.mesh(comm, &self.mesh)?;
+        for a in &self.arrays {
+            data.add_array(comm, &mut mb, &self.mesh, Centering::Point, a)?;
+        }
+        let payload = bp::marshal_blocks(
+            comm.rank() as u32,
+            data.time_step(),
+            data.time(),
+            &mb,
+        );
+        // BP marshaling is a host-side memory sweep.
+        comm.compute_host(
+            payload.len() as f64 * self.marshal_flops_per_byte,
+            payload.len() as f64 * 2.0,
+        );
+        self.writer
+            .write(comm, data.time_step(), data.time(), payload);
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{QueuePolicy, StagingNetwork};
+    use crate::link::StagingLink;
+    use commsim::MachineModel;
+    use insitu::data_adaptor::StaticDataAdaptor;
+    use meshdata::{CellType, DataArray, MultiBlock, UnstructuredGrid};
+
+    fn block(rank: usize, nranks: usize) -> MultiBlock {
+        let mut g = UnstructuredGrid::new();
+        for z in [0.0, 1.0] {
+            for y in [0.0, 1.0] {
+                for x in [0.0, 1.0] {
+                    g.add_point([x, y, z]);
+                }
+            }
+        }
+        g.add_cell(CellType::Hexahedron, &[0, 1, 3, 2, 4, 5, 7, 6]);
+        g.add_point_data(DataArray::scalars_f64("pressure", vec![1.0; 8]))
+            .unwrap();
+        MultiBlock::local(rank, nranks, g)
+    }
+
+    #[test]
+    fn adaptor_stages_payloads_per_trigger() {
+        use commsim::run_ranks_with_state;
+        use insitu::AnalysisAdaptor as _;
+        let (mut writers, readers) =
+            StagingNetwork::build(1, 1, 8, StagingLink::test_tiny(), QueuePolicy::Block);
+        let analysis = TransportAnalysis::new("mesh", vec!["pressure".into()], writers.remove(0));
+        let stats = run_ranks_with_state(
+            MachineModel::test_tiny(),
+            vec![analysis],
+            |comm, mut analysis| {
+                let mut da = StaticDataAdaptor::new("mesh", block(0, 1), 0.5, 9);
+                analysis.execute(comm, &mut da).unwrap();
+                analysis.execute(comm, &mut da).unwrap();
+                analysis.stats()
+            },
+        );
+        let (written, dropped, bytes) = stats[0];
+        assert_eq!(written, 2);
+        assert_eq!(dropped, 0);
+        assert!(bytes > 0);
+        // The endpoint can unmarshal what was staged.
+        run_ranks_with_state(MachineModel::test_tiny(), readers, |comm, mut reader| {
+            let (step, time, packets) = reader.recv_step(comm).unwrap();
+            assert_eq!(step, 9);
+            assert_eq!(time, 0.5);
+            let data = crate::bp::unmarshal_blocks(&packets[0].payload).unwrap();
+            assert_eq!(data.blocks.len(), 1);
+            assert!(data.blocks[0]
+                .1
+                .find_array("pressure", Centering::Point)
+                .is_some());
+        });
+    }
+}

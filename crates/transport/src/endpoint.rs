@@ -1,0 +1,182 @@
+//! The SENSEI endpoint: the workflow's data consumer.
+//!
+//! "The endpoint of our workflow is always a SENSEI data consumer" (§4.2).
+//! Each endpoint rank drains complete steps from its producers, rebuilds a
+//! multiblock dataset, wraps it in a [`StaticDataAdaptor`], and drives a
+//! `ConfigurableAnalysis` — so the *same* analysis configurations (Catalyst
+//! rendering, VTU checkpoint writing, nothing) run in transit that would
+//! otherwise run in situ.
+
+use crate::bp;
+use crate::engine::SstReader;
+use commsim::Comm;
+use insitu::configurable::AdaptorFactory;
+use insitu::data_adaptor::StaticDataAdaptor;
+use insitu::ConfigurableAnalysis;
+use meshdata::MultiBlock;
+
+/// Outcome of an endpoint rank's run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EndpointReport {
+    /// Complete steps processed.
+    pub steps_processed: u64,
+    /// Payload bytes received.
+    pub bytes_received: u64,
+    /// Virtual time when the endpoint finished.
+    pub finish_time: f64,
+}
+
+/// One endpoint rank's consumer loop.
+pub struct EndpointConsumer {
+    reader: SstReader,
+    analyses: ConfigurableAnalysis,
+    n_sim_ranks: usize,
+}
+
+impl EndpointConsumer {
+    /// Configure the endpoint from SENSEI XML (same format as in situ).
+    ///
+    /// # Errors
+    /// Configuration parse/instantiation failures.
+    pub fn new(
+        reader: SstReader,
+        config_xml: &str,
+        factories: &[AdaptorFactory],
+        n_sim_ranks: usize,
+    ) -> insitu::Result<Self> {
+        let analyses = ConfigurableAnalysis::from_xml(config_xml, factories)?;
+        Ok(Self {
+            reader,
+            analyses,
+            n_sim_ranks,
+        })
+    }
+
+    /// Attach a memory accountant for the staging queue.
+    pub fn set_accountant(&mut self, a: memtrack::Accountant) {
+        self.reader.set_accountant(a);
+    }
+
+    /// Drain the stream to completion, running the configured analyses on
+    /// every complete step. Collective over the endpoint world's `comm`.
+    ///
+    /// # Errors
+    /// First analysis failure.
+    pub fn run(&mut self, comm: &mut Comm) -> insitu::Result<EndpointReport> {
+        let mut steps = 0u64;
+        while let Some((step, time, packets)) = self.reader.recv_step(comm) {
+            // Rebuild this endpoint rank's slice of the global multiblock.
+            let mut mb = MultiBlock::new(self.n_sim_ranks);
+            for packet in &packets {
+                let data = bp::unmarshal_blocks(&packet.payload).map_err(|e| {
+                    insitu::Error::Analysis(format!("unmarshal from {}: {e}", packet.producer))
+                })?;
+                // Unmarshal cost: one sweep over the payload.
+                comm.compute_host(packet.payload.len() as f64, packet.payload.len() as f64 * 2.0);
+                for (idx, grid) in data.blocks {
+                    mb.blocks[idx as usize] = Some(grid);
+                }
+            }
+            let mut da = StaticDataAdaptor::new("mesh", mb, time, step);
+            self.analyses.execute(comm, step.max(1), &mut da)?;
+            steps += 1;
+        }
+        self.analyses.finalize(comm)?;
+        Ok(EndpointReport {
+            steps_processed: steps,
+            bytes_received: self.reader.bytes_received(),
+            finish_time: comm.now(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adaptor::TransportAnalysis;
+    use crate::engine::{QueuePolicy, StagingNetwork};
+    use crate::link::StagingLink;
+    use commsim::{run_ranks_with_state, MachineModel};
+    use insitu::AnalysisAdaptor as _;
+    use meshdata::{CellType, DataArray, UnstructuredGrid};
+
+    fn block(rank: usize, nranks: usize) -> MultiBlock {
+        let z0 = rank as f64;
+        let mut g = UnstructuredGrid::new();
+        for z in [z0, z0 + 1.0] {
+            for y in [0.0, 1.0] {
+                for x in [0.0, 1.0] {
+                    g.add_point([x, y, z]);
+                }
+            }
+        }
+        g.add_cell(CellType::Hexahedron, &[0, 1, 3, 2, 4, 5, 7, 6]);
+        g.add_point_data(DataArray::scalars_f64(
+            "pressure",
+            (0..8).map(|i| i as f64 + 100.0 * rank as f64).collect(),
+        ))
+        .unwrap();
+        MultiBlock::local(rank, nranks, g)
+    }
+
+    /// Full in-transit round trip: 4 sim ranks stage 3 steps to 1 endpoint
+    /// rank running a stats analysis; verify the endpoint saw the global
+    /// data each step.
+    #[test]
+    fn four_to_one_end_to_end() {
+        let (writers, readers) =
+            StagingNetwork::build(4, 1, 16, StagingLink::test_tiny(), QueuePolicy::Block);
+
+        // Simulation world: 4 ranks, each staging 3 steps.
+        let sim = std::thread::spawn(move || {
+            run_ranks_with_state(MachineModel::test_tiny(), writers, |comm, writer| {
+                let mut analysis =
+                    TransportAnalysis::new("mesh", vec!["pressure".into()], writer);
+                for step in 1..=3u64 {
+                    let mut da = insitu::data_adaptor::StaticDataAdaptor::new(
+                        "mesh",
+                        block(comm.rank(), comm.size()),
+                        step as f64 * 0.1,
+                        step,
+                    );
+                    analysis.execute(comm, &mut da).unwrap();
+                }
+                analysis.stats()
+            })
+        });
+
+        // Endpoint world: 1 rank consuming.
+        let endpoint = run_ranks_with_state(MachineModel::test_tiny(), readers, |comm, reader| {
+            let xml = r#"<sensei>
+                <analysis type="stats" mesh="mesh" array="pressure"/>
+            </sensei>"#;
+            let mut consumer = EndpointConsumer::new(reader, xml, &[], 4).unwrap();
+            consumer.run(comm).unwrap()
+        });
+
+        let sim_stats = sim.join().unwrap();
+        for (written, dropped, _) in sim_stats {
+            assert_eq!(written, 3);
+            assert_eq!(dropped, 0);
+        }
+        let report = endpoint[0];
+        assert_eq!(report.steps_processed, 3);
+        assert!(report.bytes_received > 0);
+        assert!(report.finish_time > 0.0);
+    }
+
+    #[test]
+    fn corrupt_payload_surfaces_as_error() {
+        let (writers, readers) =
+            StagingNetwork::build(1, 1, 4, StagingLink::test_tiny(), QueuePolicy::Block);
+        run_ranks_with_state(MachineModel::test_tiny(), writers, |comm, mut w| {
+            w.write(comm, 1, 0.0, vec![0xDE, 0xAD, 0xBE, 0xEF]);
+        });
+        let res = run_ranks_with_state(MachineModel::test_tiny(), readers, |comm, reader| {
+            let mut consumer =
+                EndpointConsumer::new(reader, "<sensei></sensei>", &[], 1).unwrap();
+            consumer.run(comm).is_err()
+        });
+        assert!(res[0], "corrupt payload must produce an error");
+    }
+}

@@ -1,0 +1,376 @@
+//! The staging engine: bounded queues between simulation and endpoint
+//! worlds.
+//!
+//! Mirrors SST's architecture: writers (simulation ranks) push marshaled
+//! step payloads into per-reader staging queues; readers (endpoint ranks)
+//! drain them asynchronously. The queue is bounded in *steps*; when full,
+//! the writer either blocks (SST's default back-pressure) or discards the
+//! new step (streaming mode) — an ablation the benches exercise.
+//!
+//! Virtual time: payloads carry the writer's send timestamp plus the link
+//! transfer cost; a reader's clock advances to at least that arrival time
+//! on receive. Under the blocking policy a stalled writer advances its
+//! clock to the reader's publicized drain time, modeling back-pressure.
+
+use crate::link::StagingLink;
+use crossbeam_channel::{bounded, Receiver, Sender};
+use memtrack::Accountant;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// What happens when the staging queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueuePolicy {
+    /// Writer blocks until the reader frees a slot (SST default).
+    Block,
+    /// Writer drops the new step and continues (lossy streaming).
+    DiscardNewest,
+}
+
+/// One marshaled step from one producer.
+#[derive(Debug, Clone)]
+pub struct Packet {
+    /// Producer (simulation rank) id.
+    pub producer: usize,
+    /// Timestep index.
+    pub step: u64,
+    /// Simulation time.
+    pub time: f64,
+    /// Virtual time at which the payload is available at the reader.
+    pub t_avail: f64,
+    /// Marshaled bytes.
+    pub payload: Vec<u8>,
+}
+
+struct ReaderState {
+    /// Virtual time at which the reader last drained a packet.
+    drain_time: Mutex<f64>,
+}
+
+/// Simulation-side handle: sends this rank's payloads to its endpoint.
+pub struct SstWriter {
+    /// This writer's producer id.
+    pub producer: usize,
+    /// The endpoint (reader) index this writer feeds.
+    pub reader_index: usize,
+    tx: Sender<Packet>,
+    link: StagingLink,
+    policy: QueuePolicy,
+    state: Arc<ReaderState>,
+    steps_written: u64,
+    steps_dropped: u64,
+    bytes_sent: u64,
+}
+
+impl SstWriter {
+    /// Stage one step's payload. Charges marshal-transfer time to the
+    /// writer's clock; under back-pressure, also the stall time.
+    pub fn write(&mut self, comm: &mut commsim::Comm, step: u64, time: f64, payload: Vec<u8>) {
+        let nbytes = payload.len() as u64;
+        // Control announcement + pipelined RDMA put: the writer pays the
+        // control latency and its share of injection, not the full
+        // transfer (SST overlaps the bulk move with the simulation).
+        comm.advance(self.link.control_latency);
+        let t_avail = comm.now() + self.link.transfer_time(nbytes);
+        let packet = Packet {
+            producer: self.producer,
+            step,
+            time,
+            t_avail,
+            payload,
+        };
+        match self.tx.try_send(packet) {
+            Ok(()) => {
+                self.steps_written += 1;
+                self.bytes_sent += nbytes;
+            }
+            Err(crossbeam_channel::TrySendError::Full(packet)) => match self.policy {
+                QueuePolicy::Block => {
+                    // Real back-pressure: block until a slot frees, then
+                    // advance the virtual clock to the reader's drain time.
+                    self.tx.send(packet).expect("reader dropped while blocked");
+                    let drain = *self.state.drain_time.lock();
+                    comm.advance(0.0);
+                    if drain > comm.now() {
+                        let wait = drain - comm.now();
+                        comm.advance(wait);
+                    }
+                    self.steps_written += 1;
+                    self.bytes_sent += nbytes;
+                }
+                QueuePolicy::DiscardNewest => {
+                    self.steps_dropped += 1;
+                }
+            },
+            Err(crossbeam_channel::TrySendError::Disconnected(_)) => {
+                panic!("endpoint reader disconnected while writing");
+            }
+        }
+    }
+
+    /// Steps accepted by the queue.
+    pub fn steps_written(&self) -> u64 {
+        self.steps_written
+    }
+
+    /// Steps dropped (DiscardNewest only).
+    pub fn steps_dropped(&self) -> u64 {
+        self.steps_dropped
+    }
+
+    /// Payload bytes accepted.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+}
+
+/// Endpoint-side handle: drains payloads from this reader's producers.
+pub struct SstReader {
+    /// This reader's index.
+    pub index: usize,
+    rx: Receiver<Packet>,
+    state: Arc<ReaderState>,
+    /// Number of producers feeding this reader.
+    pub n_producers: usize,
+    pending: BTreeMap<u64, Vec<Packet>>,
+    queue_accountant: Option<Accountant>,
+    bytes_received: u64,
+}
+
+impl SstReader {
+    /// Attach a memory accountant for staged-but-unprocessed bytes.
+    pub fn set_accountant(&mut self, a: Accountant) {
+        self.queue_accountant = Some(a);
+    }
+
+    /// Receive the next complete step: blocks until all `n_producers`
+    /// packets for the earliest outstanding step have arrived. Returns
+    /// `None` when every writer has disconnected and nothing is pending.
+    pub fn recv_step(&mut self, comm: &mut commsim::Comm) -> Option<(u64, f64, Vec<Packet>)> {
+        loop {
+            if let Some((&step, packets)) = self.pending.iter().next() {
+                if packets.len() == self.n_producers {
+                    let packets = self.pending.remove(&step).expect("checked above");
+                    let time = packets[0].time;
+                    // Clock: the step is ready when the latest payload lands.
+                    let t_ready = packets.iter().map(|p| p.t_avail).fold(0.0, f64::max);
+                    if t_ready > comm.now() {
+                        comm.advance(t_ready - comm.now());
+                    }
+                    *self.state.drain_time.lock() = comm.now();
+                    if let Some(a) = &self.queue_accountant {
+                        let bytes: u64 = packets.iter().map(|p| p.payload.len() as u64).sum();
+                        a.credit_raw(bytes);
+                    }
+                    return Some((step, time, packets));
+                }
+            }
+            match self.rx.recv_timeout(std::time::Duration::from_millis(50)) {
+                Ok(packet) => {
+                    self.bytes_received += packet.payload.len() as u64;
+                    if let Some(a) = &self.queue_accountant {
+                        a.charge_raw(packet.payload.len() as u64);
+                    }
+                    self.pending.entry(packet.step).or_default().push(packet);
+                }
+                Err(crossbeam_channel::RecvTimeoutError::Timeout) => continue,
+                Err(crossbeam_channel::RecvTimeoutError::Disconnected) => {
+                    // Writers are gone; only complete steps can still be
+                    // served (handled above), so drain what's completable.
+                    if self
+                        .pending
+                        .iter()
+                        .next()
+                        .is_some_and(|(_, p)| p.len() == self.n_producers)
+                    {
+                        continue;
+                    }
+                    return None;
+                }
+            }
+        }
+    }
+
+    /// Total payload bytes received.
+    pub fn bytes_received(&self) -> u64 {
+        self.bytes_received
+    }
+}
+
+/// Factory wiring `n_writers` producers to `n_readers` endpoints
+/// (`n_writers` must be a multiple of `n_readers`; the paper uses 4:1
+/// *nodes*, i.e. producer `i` feeds reader `i / (n_writers/n_readers)`).
+pub struct StagingNetwork;
+
+impl StagingNetwork {
+    /// Build the writer and reader handles. `capacity` is the per-reader
+    /// queue bound in packets.
+    ///
+    /// # Panics
+    /// If `n_writers % n_readers != 0` or either is zero.
+    pub fn build(
+        n_writers: usize,
+        n_readers: usize,
+        capacity: usize,
+        link: StagingLink,
+        policy: QueuePolicy,
+    ) -> (Vec<SstWriter>, Vec<SstReader>) {
+        assert!(n_writers > 0 && n_readers > 0, "need writers and readers");
+        assert_eq!(
+            n_writers % n_readers,
+            0,
+            "writers ({n_writers}) must be a multiple of readers ({n_readers})"
+        );
+        let per_reader = n_writers / n_readers;
+        let mut writers = Vec::with_capacity(n_writers);
+        let mut readers = Vec::with_capacity(n_readers);
+        for r in 0..n_readers {
+            let (tx, rx) = bounded(capacity);
+            let state = Arc::new(ReaderState {
+                drain_time: Mutex::new(0.0),
+            });
+            for w in 0..per_reader {
+                writers.push(SstWriter {
+                    producer: r * per_reader + w,
+                    reader_index: r,
+                    tx: tx.clone(),
+                    link,
+                    policy,
+                    state: Arc::clone(&state),
+                    steps_written: 0,
+                    steps_dropped: 0,
+                    bytes_sent: 0,
+                });
+            }
+            readers.push(SstReader {
+                index: r,
+                rx,
+                state,
+                n_producers: per_reader,
+                pending: BTreeMap::new(),
+                queue_accountant: None,
+                bytes_received: 0,
+            });
+        }
+        // `writers` was pushed reader-major which is already producer order.
+        (writers, readers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commsim::{run_ranks_with_state, MachineModel};
+
+    #[test]
+    fn four_to_one_mapping() {
+        let (writers, readers) =
+            StagingNetwork::build(8, 2, 4, StagingLink::test_tiny(), QueuePolicy::Block);
+        assert_eq!(writers.len(), 8);
+        assert_eq!(readers.len(), 2);
+        for (i, w) in writers.iter().enumerate() {
+            assert_eq!(w.producer, i);
+            assert_eq!(w.reader_index, i / 4);
+        }
+        assert_eq!(readers[0].n_producers, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn non_divisible_mapping_rejected() {
+        StagingNetwork::build(5, 2, 4, StagingLink::test_tiny(), QueuePolicy::Block);
+    }
+
+    #[test]
+    fn writer_to_reader_step_assembly() {
+        // 2 writers → 1 reader; reader assembles both packets per step.
+        let (writers, readers) =
+            StagingNetwork::build(2, 1, 8, StagingLink::test_tiny(), QueuePolicy::Block);
+        let handle = std::thread::spawn(move || {
+            run_ranks_with_state(MachineModel::test_tiny(), writers, |comm, mut w| {
+                let i = comm.rank();
+                for step in 0..3u64 {
+                    w.write(comm, step, step as f64 * 0.1, vec![i as u8; 100]);
+                }
+            })
+        });
+        let result = run_ranks_with_state(MachineModel::test_tiny(), readers, |comm, mut reader| {
+            let mut steps = Vec::new();
+            while let Some((step, time, packets)) = reader.recv_step(comm) {
+                assert_eq!(packets.len(), 2);
+                steps.push((step, time));
+            }
+            (steps, comm.now(), reader.bytes_received())
+        });
+        handle.join().unwrap();
+        let (steps, t, bytes) = result[0].clone();
+        assert_eq!(steps.len(), 3);
+        assert_eq!(steps[0].0, 0);
+        assert_eq!(steps[2].0, 2);
+        assert!((steps[1].1 - 0.1).abs() < 1e-12);
+        assert!(t > 0.0, "reader clock advances to arrival times");
+        assert_eq!(bytes, 600);
+    }
+
+    #[test]
+    fn discard_policy_drops_when_full() {
+        let (writers, readers) =
+            StagingNetwork::build(1, 1, 2, StagingLink::test_tiny(), QueuePolicy::DiscardNewest);
+        let res = run_ranks_with_state(MachineModel::test_tiny(), writers, |comm, mut w| {
+            for step in 0..5u64 {
+                w.write(comm, step, 0.0, vec![0; 10]);
+            }
+            (w.steps_written(), w.steps_dropped())
+        });
+        assert_eq!(res[0], (2, 3), "queue holds 2, rest dropped");
+        drop(readers);
+    }
+
+    #[test]
+    fn blocking_policy_applies_backpressure() {
+        let (writers, readers) =
+            StagingNetwork::build(1, 1, 1, StagingLink::test_tiny(), QueuePolicy::Block);
+        // Reader drains slowly with a large virtual clock.
+        let reader_thread = std::thread::spawn(move || {
+            run_ranks_with_state(MachineModel::test_tiny(), readers, |comm, mut reader| {
+                let mut n = 0;
+                while let Some((_, _, _packets)) = reader.recv_step(comm) {
+                    comm.advance(10.0); // slow consumer: 10 virtual s/step
+                    n += 1;
+                }
+                n
+            })
+        });
+        let writer_times =
+            run_ranks_with_state(MachineModel::test_tiny(), writers, |comm, mut w| {
+                for step in 0..4u64 {
+                    w.write(comm, step, 0.0, vec![0; 10]);
+                }
+                (comm.now(), w.steps_written())
+            });
+        assert_eq!(reader_thread.join().unwrap()[0], 4);
+        let (t, written) = writer_times[0];
+        assert_eq!(written, 4);
+        // The writer must have inherited some of the reader's slowness.
+        assert!(t >= 10.0, "backpressure must slow the writer: t = {t}");
+    }
+
+    #[test]
+    fn reader_accountant_tracks_staged_bytes() {
+        let (writers, mut readers) =
+            StagingNetwork::build(1, 1, 4, StagingLink::test_tiny(), QueuePolicy::Block);
+        let acct = Accountant::new("staging");
+        readers[0].set_accountant(acct.clone());
+        run_ranks_with_state(MachineModel::test_tiny(), writers, |comm, mut w| {
+            w.write(comm, 0, 0.0, vec![0; 500]);
+        });
+        run_ranks_with_state(MachineModel::test_tiny(), readers, |comm, mut reader| {
+            let (step, _, _) = reader.recv_step(comm).unwrap();
+            assert_eq!(step, 0);
+        });
+        // Charged on receive, credited on drain.
+        assert_eq!(acct.peak(), 500);
+        assert_eq!(acct.current(), 0);
+    }
+}

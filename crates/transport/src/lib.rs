@@ -1,0 +1,43 @@
+//! `transport` — in-transit data staging, the reproduction's **ADIOS2 SST**.
+//!
+//! The paper's §4.2 workflow couples NekRS-SENSEI simulation nodes to
+//! separate visualization endpoint nodes through ADIOS2's Sustainable
+//! Staging Transport: UCX for the data plane, TCP for control, BP for data
+//! marshaling, and a **4:1 ratio of simulation to endpoint nodes**. The
+//! decisive property: simulation-node memory stays independent of the
+//! endpoint count, and simulation-side overhead is just marshal + enqueue.
+//!
+//! This crate rebuilds that architecture:
+//!
+//! * [`bp`] — compact binary marshaling of rank-local mesh blocks + arrays
+//!   (the BP analogue), with exact round-trip tests.
+//! * [`link`] — the staging network model (latency/bandwidth for the data
+//!   plane, per-message control latency — the UCX/TCP parameters).
+//! * [`engine`] — [`engine::SstWriter`] / [`engine::SstReader`]: bounded
+//!   staging queues between a simulation world and an endpoint world, with
+//!   blocking or discarding overflow policies, timestamped for the virtual
+//!   clock on both sides.
+//! * [`endpoint`] — the SENSEI data consumer that the paper uses as the
+//!   workflow endpoint: collects each step from its producers, rebuilds a
+//!   multiblock, and drives a `ConfigurableAnalysis` (rendering or VTU
+//!   checkpoint writing) on the endpoint ranks.
+//! * [`file_engine`] — the BP *file* engine (ADIOS2's other mode): the
+//!   same marshaled steps parked on disk for post-hoc analysis, i.e. the
+//!   traditional workflow that in situ/in transit processing displaces.
+//! * [`adaptor`] — [`adaptor::TransportAnalysis`], the simulation-side
+//!   [`insitu::AnalysisAdaptor`] that marshals and sends (what the paper's
+//!   "NekRS-SENSEI + ADIOS2" configuration enables).
+
+pub mod adaptor;
+pub mod bp;
+pub mod endpoint;
+pub mod engine;
+pub mod file_engine;
+pub mod link;
+
+pub use adaptor::TransportAnalysis;
+pub use bp::{marshal_blocks, unmarshal_blocks, StepData};
+pub use endpoint::{EndpointConsumer, EndpointReport};
+pub use file_engine::{BpFileReader, BpFileWriter};
+pub use engine::{QueuePolicy, SstReader, SstWriter, StagingNetwork};
+pub use link::StagingLink;

@@ -1,0 +1,65 @@
+//! The staging-link cost model.
+//!
+//! SST on JUWELS Booster is configured (per the paper) to move data over
+//! **UCX** and run control operations over **TCP sockets on InfiniBand**.
+//! The virtual-clock model needs three numbers for that: data-plane
+//! latency, data-plane bandwidth, and the per-step control-plane
+//! round-trip.
+
+/// Cost parameters for one writer→reader staging connection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StagingLink {
+    /// Data-plane message latency (s).
+    pub latency: f64,
+    /// Data-plane bandwidth (bytes/s) per connection.
+    pub bandwidth: f64,
+    /// Control-plane (TCP) round-trip per step announcement (s).
+    pub control_latency: f64,
+}
+
+impl StagingLink {
+    /// UCX over HDR-200 InfiniBand with TCP control — the paper's JUWELS
+    /// Booster configuration.
+    pub fn ucx_hdr200() -> Self {
+        Self {
+            latency: 3.0e-6,
+            bandwidth: 20.0e9,
+            control_latency: 60.0e-6, // TCP over IPoIB round trip
+        }
+    }
+
+    /// Round numbers for unit tests.
+    pub fn test_tiny() -> Self {
+        Self {
+            latency: 1.0e-6,
+            bandwidth: 1.0e9,
+            control_latency: 1.0e-5,
+        }
+    }
+
+    /// Transfer time for one payload.
+    pub fn transfer_time(&self, bytes: u64) -> f64 {
+        self.control_latency + self.latency + bytes as f64 / self.bandwidth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_is_affine_in_bytes() {
+        let l = StagingLink::test_tiny();
+        let t0 = l.transfer_time(0);
+        let t1 = l.transfer_time(1_000_000_000);
+        assert!((t0 - 1.1e-5).abs() < 1e-12);
+        assert!((t1 - t0 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hdr200_is_fast_but_not_free() {
+        let l = StagingLink::ucx_hdr200();
+        assert!(l.transfer_time(1) < 1e-3);
+        assert!(l.transfer_time(20_000_000_000) > 0.9);
+    }
+}

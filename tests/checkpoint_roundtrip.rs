@@ -1,0 +1,96 @@
+//! Integration: solver state → SENSEI adaptor → VTU files on disk → reader
+//! → bit-exact comparison with the live fields.
+
+use commsim::{run_ranks, MachineModel};
+use insitu::analyses::VtuCheckpointAnalysis;
+use insitu::{AnalysisAdaptor, DataAdaptor};
+use meshdata::reader::read_vtu;
+use meshdata::Centering;
+use nek_sensei::NekDataAdaptor;
+use sem::cases::{pb146, CaseParams};
+use sem::navier_stokes::FieldId;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("nek_sensei_it_{tag}_{}", std::process::id()))
+}
+
+#[test]
+fn vtu_checkpoint_roundtrips_bit_exact_across_ranks() {
+    let dir = temp_dir("roundtrip");
+    let dir2 = dir.clone();
+    let ranks = 3;
+    let results = run_ranks(ranks, MachineModel::polaris(), move |comm| {
+        let mut params = CaseParams::pb146_default();
+        params.elems = [2, 2, 6];
+        params.order = 2;
+        let mut solver = pb146(&params, 6).build(comm);
+        for _ in 0..4 {
+            solver.step(comm);
+        }
+        let mut chk = VtuCheckpointAnalysis::new(
+            "mesh",
+            vec!["pressure".into(), "velocity".into()],
+            Some(dir2.clone()),
+        );
+        let mut da = NekDataAdaptor::new(comm, &solver);
+        chk.execute(comm, &mut da).expect("checkpoint");
+        comm.barrier();
+
+        // Restart: read this rank's piece and compare every field value.
+        let piece = dir2.join(format!("chk_{:06}_b{}.vtu", solver.step_index(), comm.rank()));
+        let grid = read_vtu(&std::fs::read(&piece).expect("piece exists")).expect("valid");
+        grid.validate().expect("valid grid");
+        let p = grid.find_array("pressure", Centering::Point).expect("pressure");
+        let v = grid.find_array("velocity", Centering::Point).expect("velocity");
+        let p_live = solver.field_device(FieldId::Pressure).expect("live");
+        let w_live = solver.field_device(FieldId::VelZ).expect("live");
+        let mut max_err: f64 = 0.0;
+        for i in 0..p_live.len() {
+            max_err = max_err.max((p.get(i, 0) - p_live[i]).abs());
+            max_err = max_err.max((v.get(i, 2) - w_live[i]).abs());
+        }
+        (grid.n_points(), max_err)
+    });
+    for (points, err) in results {
+        assert!(points > 0);
+        assert_eq!(err, 0.0, "roundtrip must be bit-exact");
+    }
+    // The parallel index exists and references all pieces.
+    let pvtu_path = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .find(|e| e.path().extension().is_some_and(|x| x == "pvtu"))
+        .expect("pvtu written");
+    let text = std::fs::read_to_string(pvtu_path.path()).unwrap();
+    for r in 0..ranks {
+        assert!(text.contains(&format!("_b{r}.vtu")), "piece {r} indexed");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fld_and_vtu_checkpoints_are_consistent() {
+    // The NekRS-style raw dump and the SENSEI VTU path must expose the
+    // same number of field values.
+    let results = run_ranks(1, MachineModel::polaris(), |comm| {
+        let mut params = CaseParams::pb146_default();
+        params.elems = [2, 2, 2];
+        params.order = 2;
+        let solver = pb146(&params, 2).build(comm);
+        let mut fld = nek_sensei::FldCheckpointer::new(comm, None);
+        let fld_bytes = fld.write(comm, &solver);
+        let mut da = NekDataAdaptor::new(comm, &solver);
+        let mut mb = da.mesh(comm, "mesh").unwrap();
+        da.add_array(comm, &mut mb, "mesh", Centering::Point, "pressure")
+            .unwrap();
+        da.add_array(comm, &mut mb, "mesh", Centering::Point, "velocity")
+            .unwrap();
+        let n = solver.n_nodes();
+        (fld_bytes, n as u64, mb.local_points() as u64)
+    });
+    let (fld_bytes, n, vtu_points) = results[0];
+    // fld: 4 fields (u,v,w,p) × 8 B × n + small header.
+    assert!(fld_bytes >= 4 * 8 * n);
+    assert!(fld_bytes < 4 * 8 * n + 200);
+    assert_eq!(vtu_points, n);
+}

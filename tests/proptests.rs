@@ -1,0 +1,169 @@
+//! Property-based tests over the stack's core data structures and
+//! invariants (proptest).
+
+use meshdata::writer::{write_vtu, Encoding};
+use meshdata::{CellType, DataArray, MultiBlock, UnstructuredGrid};
+use proptest::prelude::*;
+use transport::{marshal_blocks, unmarshal_blocks};
+
+/// Random small hex-brick grid with a random point scalar.
+fn arb_grid() -> impl Strategy<Value = UnstructuredGrid> {
+    (1usize..4, 1usize..4, 1usize..4)
+        .prop_flat_map(|(nx, ny, nz)| {
+            let np = (nx + 1) * (ny + 1) * (nz + 1);
+            (
+                Just((nx, ny, nz)),
+                proptest::collection::vec(-1.0e6..1.0e6f64, np),
+            )
+        })
+        .prop_map(|((nx, ny, nz), values)| {
+            let mut g = UnstructuredGrid::new();
+            for k in 0..=nz {
+                for j in 0..=ny {
+                    for i in 0..=nx {
+                        g.add_point([i as f64 * 0.5, j as f64 * 0.7, k as f64 * 0.9]);
+                    }
+                }
+            }
+            let id = |i: usize, j: usize, k: usize| {
+                (i + (nx + 1) * (j + (ny + 1) * k)) as i64
+            };
+            for k in 0..nz {
+                for j in 0..ny {
+                    for i in 0..nx {
+                        g.add_cell(
+                            CellType::Hexahedron,
+                            &[
+                                id(i, j, k),
+                                id(i + 1, j, k),
+                                id(i + 1, j + 1, k),
+                                id(i, j + 1, k),
+                                id(i, j, k + 1),
+                                id(i + 1, j, k + 1),
+                                id(i + 1, j + 1, k + 1),
+                                id(i, j + 1, k + 1),
+                            ],
+                        );
+                    }
+                }
+            }
+            g.add_point_data(DataArray::scalars_f64("s", values)).unwrap();
+            g
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn vtu_appended_roundtrip_any_grid(g in arb_grid()) {
+        let mut buf = Vec::new();
+        write_vtu(&g, Encoding::Appended, &mut buf).unwrap();
+        let back = meshdata::reader::read_vtu(&buf).unwrap();
+        prop_assert_eq!(back, g);
+    }
+
+    #[test]
+    fn vtu_ascii_roundtrip_any_grid(g in arb_grid()) {
+        let mut buf = Vec::new();
+        write_vtu(&g, Encoding::Ascii, &mut buf).unwrap();
+        let back = meshdata::reader::read_vtu(&buf).unwrap();
+        prop_assert_eq!(back.n_points(), g.n_points());
+        prop_assert_eq!(back.connectivity, g.connectivity);
+        // Rust's float formatting round-trips f64 exactly.
+        prop_assert_eq!(&back.point_data[0], &g.point_data[0]);
+    }
+
+    #[test]
+    fn bp_roundtrip_any_grid(g in arb_grid(), step in 0u64..1_000_000, time in 0.0..1.0e6f64) {
+        let mb = MultiBlock::local(0, 3, g);
+        let payload = marshal_blocks(7, step, time, &mb);
+        let back = unmarshal_blocks(&payload).unwrap();
+        prop_assert_eq!(back.producer, 7);
+        prop_assert_eq!(back.step, step);
+        prop_assert_eq!(back.time, time);
+        prop_assert_eq!(&back.blocks[0].1, mb.blocks[0].as_ref().unwrap());
+    }
+
+    #[test]
+    fn bp_never_panics_on_mutated_payloads(g in arb_grid(), flip in 0usize..4096, val in 0u8..=255) {
+        let mb = MultiBlock::local(0, 1, g);
+        let mut payload = marshal_blocks(0, 0, 0.0, &mb);
+        let idx = flip % payload.len();
+        payload[idx] = val;
+        // Any outcome is fine except a panic.
+        let _ = unmarshal_blocks(&payload);
+    }
+
+    #[test]
+    fn bp_never_panics_on_truncation(g in arb_grid(), cut_frac in 0.0..1.0f64) {
+        let mb = MultiBlock::local(0, 1, g);
+        let payload = marshal_blocks(0, 0, 0.0, &mb);
+        let cut = (payload.len() as f64 * cut_frac) as usize;
+        let _ = unmarshal_blocks(&payload[..cut]);
+    }
+
+    #[test]
+    fn xml_escape_roundtrip(s in "[ -~]{0,64}") {
+        let escaped = meshdata::xml::escape(&s);
+        let doc = format!("<a x=\"{escaped}\">{escaped}</a>");
+        let node = meshdata::xml::parse(&doc).unwrap();
+        prop_assert_eq!(node.attr("x").unwrap(), s.as_str());
+        prop_assert_eq!(node.text.as_str(), s.as_str());
+    }
+
+    #[test]
+    fn grid_bounds_contain_all_points(g in arb_grid()) {
+        let b = g.bounds().unwrap();
+        for p in &g.points {
+            for d in 0..3 {
+                prop_assert!(p[d] >= b[2 * d] && p[d] <= b[2 * d + 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn png_encoder_total_size_is_consistent(w in 1usize..64, h in 1usize..64) {
+        let fb = render::Framebuffer::new(w, h);
+        let png = render::image::encode_png(&fb);
+        // Signature + IHDR(25) + IDAT(>raw) + IEND(12).
+        let raw = (w * 3 + 1) * h;
+        prop_assert!(png.len() > raw);
+        prop_assert_eq!(&png[png.len() - 8..png.len() - 4], b"IEND");
+    }
+}
+
+/// Multiplicity invariants of gather–scatter under random mesh shapes:
+/// Σ mult_inv ⊙ (sum of ones) == number of *global* nodes.
+#[test]
+fn gs_multiplicity_partitions_unity() {
+    use commsim::{run_ranks, MachineModel, ReduceOp};
+    use sem::gs::GatherScatter;
+    use sem::mesh::{LocalMesh, MeshSpec};
+    use std::sync::Arc;
+
+    for (order, elems, periodic, ranks) in [
+        (2usize, [2usize, 2, 3], [false, false, false], 3usize),
+        (3, [1, 2, 4], [true, false, false], 2),
+        (2, [2, 1, 4], [true, true, true], 4),
+    ] {
+        let res = run_ranks(ranks, MachineModel::test_tiny(), move |comm| {
+            let spec = Arc::new(MeshSpec::box_mesh(order, elems, [1.0; 3], periodic));
+            let mesh = LocalMesh::new(spec.clone(), comm.rank(), comm.size());
+            let gs = GatherScatter::new(&mesh, comm);
+            // Each local node weighted by 1/multiplicity sums to the number
+            // of distinct global nodes.
+            let local: f64 = gs.mult_inv().iter().sum();
+            let total = comm.allreduce(local, ReduceOp::Sum);
+            let expected = (spec.n_nodes_axis(0) * spec.n_nodes_axis(1) * spec.n_nodes_axis(2))
+                as f64;
+            (total, expected)
+        });
+        for (total, expected) in res {
+            assert!(
+                (total - expected).abs() < 1e-9,
+                "order={order} elems={elems:?} periodic={periodic:?}: {total} vs {expected}"
+            );
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Integration: steering (watchdog stop) through the full solver+bridge
+//! loop, and lossy staging policies end to end.
+
+use commsim::{run_ranks, run_ranks_with_state, MachineModel};
+use insitu::Bridge;
+use nek_sensei::NekDataAdaptor;
+use sem::cases::{pb146, CaseParams};
+use transport::{QueuePolicy, StagingLink, StagingNetwork, TransportAnalysis};
+
+#[test]
+fn watchdog_stops_a_simulation_mid_run() {
+    // An absurdly tight velocity bound trips on the very first trigger; the
+    // bridge then reports "stop" and the loop must exit early on all ranks.
+    let res = run_ranks(2, MachineModel::polaris(), |comm| {
+        let mut params = CaseParams::pb146_default();
+        params.elems = [2, 2, 4];
+        params.order = 2;
+        let mut solver = pb146(&params, 4).build(comm);
+        let xml = r#"<sensei>
+            <analysis type="watchdog" array="velocity" frequency="2" max="1e-6"/>
+        </sensei>"#;
+        let mut bridge = Bridge::initialize(comm, xml, &[]).unwrap();
+        let mut steps_run = 0;
+        for step in 1..=10u64 {
+            solver.step(comm);
+            steps_run = step;
+            let mut da = NekDataAdaptor::new(comm, &solver);
+            if !bridge.update(comm, step, &mut da).unwrap() {
+                break;
+            }
+        }
+        steps_run
+    });
+    // First watchdog trigger is step 2 (frequency 2), so every rank stops
+    // there — consistently.
+    assert_eq!(res, vec![2, 2]);
+}
+
+#[test]
+fn discard_policy_loses_steps_but_keeps_the_stream_consistent() {
+    // One sim rank floods a 1-slot queue faster than the endpoint drains;
+    // DiscardNewest must drop steps without corrupting the survivors.
+    let (writers, readers) =
+        StagingNetwork::build(1, 1, 1, StagingLink::test_tiny(), QueuePolicy::DiscardNewest);
+
+    let endpoint = std::thread::spawn(move || {
+        run_ranks_with_state(MachineModel::test_tiny(), readers, |comm, mut reader| {
+            let mut steps = Vec::new();
+            while let Some((step, _time, packets)) = reader.recv_step(comm) {
+                // Every surviving payload still unmarshals cleanly.
+                let data = transport::unmarshal_blocks(&packets[0].payload).unwrap();
+                assert_eq!(data.step, step);
+                steps.push(step);
+                // Simulate a slow consumer so the queue stays congested.
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            steps
+        })
+    });
+
+    let sim_stats = run_ranks_with_state(MachineModel::test_tiny(), writers, |comm, writer| {
+        use insitu::AnalysisAdaptor as _;
+        let mut params = CaseParams::pb146_default();
+        params.elems = [2, 2, 2];
+        params.order = 1;
+        let solver = pb146(&params, 2).build(comm);
+        let mut analysis = TransportAnalysis::new("mesh", vec!["pressure".into()], writer);
+        for step in 1..=30u64 {
+            // Reuse the same solver state; only the step stamp changes.
+            let mut da = NekDataAdaptorShim {
+                inner: NekDataAdaptor::new(comm, &solver),
+                step,
+            };
+            analysis.execute(comm, &mut da).unwrap();
+        }
+        analysis.stats()
+    });
+
+    let delivered = endpoint.join().unwrap().remove(0);
+    let (written, dropped, _) = sim_stats[0];
+    assert_eq!(written + dropped, 30, "every step accounted for");
+    assert!(dropped > 0, "congestion must force drops");
+    assert_eq!(written as usize, delivered.len());
+    // Delivered steps arrive in increasing order.
+    assert!(delivered.windows(2).all(|w| w[0] < w[1]), "{delivered:?}");
+}
+
+/// Wraps the adaptor to override the timestep stamp (the test replays one
+/// state at many steps).
+struct NekDataAdaptorShim<'a> {
+    inner: NekDataAdaptor<'a>,
+    step: u64,
+}
+
+impl insitu::DataAdaptor for NekDataAdaptorShim<'_> {
+    fn num_meshes(&self) -> usize {
+        self.inner.num_meshes()
+    }
+    fn mesh_name(&self, idx: usize) -> &str {
+        self.inner.mesh_name(idx)
+    }
+    fn mesh_metadata(
+        &mut self,
+        comm: &mut commsim::Comm,
+        mesh: &str,
+    ) -> insitu::Result<meshdata::MeshMetadata> {
+        self.inner.mesh_metadata(comm, mesh)
+    }
+    fn mesh(
+        &mut self,
+        comm: &mut commsim::Comm,
+        mesh: &str,
+    ) -> insitu::Result<meshdata::MultiBlock> {
+        self.inner.mesh(comm, mesh)
+    }
+    fn add_array(
+        &mut self,
+        comm: &mut commsim::Comm,
+        mb: &mut meshdata::MultiBlock,
+        mesh: &str,
+        centering: meshdata::Centering,
+        array: &str,
+    ) -> insitu::Result<()> {
+        self.inner.add_array(comm, mb, mesh, centering, array)
+    }
+    fn time(&self) -> f64 {
+        self.step as f64
+    }
+    fn time_step(&self) -> u64 {
+        self.step
+    }
+    fn release_data(&mut self) {
+        self.inner.release_data();
+    }
+}
