@@ -37,6 +37,9 @@ fn bench_intransit(c: &mut Criterion) {
                         mode,
                         image_size: (64, 48),
                         output_dir: None,
+                        faults: commsim::FaultPlan::none(),
+                        writer_config: transport::WriterConfig::default(),
+                        fallback_dir: None,
                     });
                     black_box(report.sim.mean_step_time)
                 })

@@ -10,15 +10,20 @@ fn run_policy(policy: QueuePolicy, steps: u64) -> (u64, u64) {
     let reader_thread = std::thread::spawn(move || {
         run_ranks_with_state(MachineModel::test_tiny(), readers, |comm, mut reader| {
             let mut n = 0u64;
-            while reader.recv_step(comm).is_some() {
-                n += 1;
+            while let Some(delivery) = reader.recv_step(comm) {
+                // Skip-marker partials announce discarded steps; count only
+                // steps that actually carried data.
+                if delivery.is_complete() {
+                    n += 1;
+                }
             }
             n
         })
     });
     let writer_stats = run_ranks_with_state(MachineModel::test_tiny(), writers, move |comm, mut w| {
         for s in 0..steps {
-            w.write(comm, s, 0.0, vec![0u8; 4096]);
+            w.write(comm, s, 0.0, vec![0u8; 4096])
+                .expect("fault-free staging write");
         }
         (w.steps_written(), w.steps_dropped())
     });

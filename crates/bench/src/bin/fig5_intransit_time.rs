@@ -67,6 +67,9 @@ fn main() {
                 mode,
                 image_size: (800, 600),
                 output_dir: None,
+                faults: commsim::FaultPlan::none(),
+                writer_config: transport::WriterConfig::default(),
+                fallback_dir: None,
             });
             println!(
                 "  {:<13} sim-ranks={sim_ranks:<4} endpoint-ranks={:<3} mean-step={}",

@@ -18,6 +18,9 @@
 //!   (Polaris A100 nodes, JUWELS Booster A100 nodes) and their file systems.
 //! * [`runner`] — spawn-join harness that runs a closure on every rank and
 //!   collects results, with panic propagation.
+//! * [`fault`] — seeded, deterministic fault schedules ([`fault::FaultPlan`]):
+//!   link drops/corruption/delay spikes, endpoint crashes, and consumer
+//!   stalls, all costed in virtual time so faulty runs stay reproducible.
 //!
 //! Virtual time is deterministic: it depends only on the sequence of
 //! operations each rank performs and the sizes involved, never on real
@@ -28,6 +31,7 @@
 
 pub mod clock;
 pub mod comm;
+pub mod fault;
 pub mod machine;
 pub mod reduce;
 pub mod runner;
@@ -35,6 +39,7 @@ pub mod stats;
 
 pub use clock::Clock;
 pub use comm::{Comm, CommError, World};
+pub use fault::{AttemptFate, ConsumerStall, EndpointCrash, FaultPlan, LinkFaultSpec};
 pub use machine::{FilesystemModel, GpuModel, MachineModel, NetworkModel};
 pub use reduce::ReduceOp;
 pub use runner::{run_ranks, run_ranks_with_registry, run_ranks_with_state, RankResult};

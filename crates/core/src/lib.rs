@@ -30,6 +30,6 @@ pub mod workflow;
 
 pub use adaptor::NekDataAdaptor;
 pub use checkpoint::{read_fld, FldCheckpointer, FldDump};
-pub use metrics::{MemoryBreakdown, RunMetrics};
+pub use metrics::{DegradationSummary, MemoryBreakdown, RunMetrics};
 pub use workflow::insitu::{run_insitu, InSituConfig, InSituMode, InSituReport};
 pub use workflow::intransit::{run_intransit, EndpointMode, InTransitConfig, InTransitReport};

@@ -44,6 +44,57 @@ fn breakdown_of(snap: &Snapshot) -> MemoryBreakdown {
     }
 }
 
+/// Fault-tolerance outcome of one run, aggregated over the simulation-side
+/// producers: how many triggers were staged in transit, lost to exhausted
+/// retries, or parked to the BP file fallback after a circuit breaker
+/// opened (DESIGN.md "Fault model & degradation ladder").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DegradationSummary {
+    /// Producers reporting.
+    pub producers: usize,
+    /// Triggers delivered over the staging link, summed over producers.
+    pub staged_steps: u64,
+    /// Triggers lost to transient transport failures (no fallback ran).
+    pub lost_steps: u64,
+    /// Triggers appended to the BP file fallback after degradation.
+    pub parked_steps: u64,
+    /// Producers whose circuit breaker opened and who switched engines.
+    pub degraded_producers: usize,
+    /// Earliest step at which any producer switched to the fallback.
+    pub first_switch_step: Option<u64>,
+    /// Data-plane loss events endured (retried sends), summed.
+    pub retries: u64,
+}
+
+impl DegradationSummary {
+    /// Aggregate the per-producer staging reports.
+    pub fn from_reports(reports: &[transport::ProducerReport]) -> Self {
+        let mut s = Self {
+            producers: reports.len(),
+            ..Self::default()
+        };
+        for r in reports {
+            s.staged_steps += r.staged_steps;
+            s.lost_steps += r.lost_steps;
+            s.parked_steps += r.parked_steps;
+            s.retries += r.retries;
+            if let Some(sw) = r.switch_step {
+                s.degraded_producers += 1;
+                s.first_switch_step = Some(match s.first_switch_step {
+                    Some(cur) => cur.min(sw),
+                    None => sw,
+                });
+            }
+        }
+        s
+    }
+
+    /// Did any producer fall back to the file engine?
+    pub fn degraded(&self) -> bool {
+        self.degraded_producers > 0
+    }
+}
+
 /// The timing/traffic summary of one run configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunMetrics {
@@ -109,6 +160,41 @@ mod tests {
         let m = RunMetrics::from_ranks(&ranks, 5, &reg);
         assert_eq!(m.time_to_solution, 12.5);
         assert_eq!(m.mean_step_time, 2.5);
+    }
+
+    #[test]
+    fn degradation_summary_aggregates_producer_reports() {
+        use transport::ProducerReport;
+        let healthy = ProducerReport {
+            producer: 0,
+            staged_steps: 10,
+            lost_steps: 0,
+            parked_steps: 0,
+            switch_step: None,
+            retries: 2,
+        };
+        let degraded = ProducerReport {
+            producer: 1,
+            staged_steps: 4,
+            lost_steps: 2,
+            parked_steps: 4,
+            switch_step: Some(7),
+            retries: 9,
+        };
+        let late_degraded = ProducerReport {
+            switch_step: Some(9),
+            ..degraded
+        };
+        let s = DegradationSummary::from_reports(&[healthy, degraded, late_degraded]);
+        assert_eq!(s.producers, 3);
+        assert_eq!(s.staged_steps, 18);
+        assert_eq!(s.lost_steps, 4);
+        assert_eq!(s.parked_steps, 8);
+        assert_eq!(s.degraded_producers, 2);
+        assert_eq!(s.first_switch_step, Some(7));
+        assert_eq!(s.retries, 20);
+        assert!(s.degraded());
+        assert!(!DegradationSummary::from_reports(&[healthy]).degraded());
     }
 
     #[test]

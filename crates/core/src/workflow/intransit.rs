@@ -11,15 +11,17 @@
 //! heavy work happens on the other side of the staging link.
 
 use crate::adaptor::NekDataAdaptor;
-use crate::metrics::RunMetrics;
-use commsim::{run_ranks_with_registry, CommStats, MachineModel};
+use crate::metrics::{DegradationSummary, RunMetrics};
+use commsim::{run_ranks_with_registry, CommStats, FaultPlan, MachineModel};
 use insitu::Bridge;
 use memtrack::Registry;
 use parking_lot::Mutex;
 use render::CatalystAnalysis;
 use sem::cases::CaseSetup;
 use std::sync::Arc;
-use transport::{QueuePolicy, StagingLink, StagingNetwork, TransportAnalysis};
+use transport::{
+    QueuePolicy, ReportSink, StagingLink, StagingNetwork, TransportAnalysis, WriterConfig,
+};
 
 /// What the SENSEI endpoint does with the received data.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,6 +74,14 @@ pub struct InTransitConfig {
     pub image_size: (usize, usize),
     /// Write real artifacts here when set.
     pub output_dir: Option<std::path::PathBuf>,
+    /// Seeded fault injection plan for the staging link and endpoints
+    /// ([`FaultPlan::none`] for a healthy run).
+    pub faults: FaultPlan,
+    /// Writer retry/backoff/circuit-breaker parameters.
+    pub writer_config: WriterConfig,
+    /// When set, producers whose circuit breaker opens degrade to the BP
+    /// file engine in this directory instead of dropping triggers.
+    pub fallback_dir: Option<std::path::PathBuf>,
 }
 
 /// What one in-transit run produced.
@@ -96,6 +106,17 @@ pub struct InTransitReport {
     pub endpoint_bytes_received: u64,
     /// Bytes the endpoint wrote to storage.
     pub endpoint_bytes_written: u64,
+    /// Steps the endpoints processed with at least one producer missing.
+    pub endpoint_partial_steps: u64,
+    /// Frames the endpoints rejected on CRC mismatch.
+    pub endpoint_corrupt_rejected: u64,
+    /// Endpoint ranks whose scheduled crash fault fired.
+    pub endpoint_crashes: usize,
+    /// Per-endpoint-rank delivered step log, in delivery order — the
+    /// determinism witness (same plan + seed ⇒ identical logs).
+    pub endpoint_delivered: Vec<Vec<u64>>,
+    /// Producer-side fault-tolerance outcome.
+    pub degradation: DegradationSummary,
 }
 
 /// Execute one in-transit configuration.
@@ -114,12 +135,14 @@ pub fn run_intransit(cfg: &InTransitConfig) -> InTransitReport {
 
     // Endpoint world (when transporting).
     let (writers, endpoint_handle) = if endpoint_ranks > 0 {
-        let (writers, readers) = StagingNetwork::build(
+        let (writers, readers) = StagingNetwork::build_faulty(
             cfg.sim_ranks,
             endpoint_ranks,
             cfg.queue_capacity,
             cfg.link,
             cfg.policy,
+            cfg.faults.clone(),
+            cfg.writer_config,
         );
         let xml = endpoint_xml(cfg);
         let machine = cfg.machine.clone();
@@ -152,6 +175,9 @@ pub fn run_intransit(cfg: &InTransitConfig) -> InTransitReport {
     ));
     let mode = cfg.mode;
     let slots = Arc::clone(&writer_slots);
+    let report_sink: ReportSink = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&report_sink);
+    let fallback_dir = cfg.fallback_dir.clone();
     let results = run_ranks_with_registry(
         cfg.sim_ranks,
         cfg.machine.clone(),
@@ -176,7 +202,11 @@ pub fn run_intransit(cfg: &InTransitConfig) -> InTransitReport {
                         format!(
                             r#"<sensei><analysis type="adios-sst" frequency="{trigger}" arrays="{arrays}"/></sensei>"#
                         ),
-                        vec![TransportAnalysis::factory_with_writer(writer)],
+                        vec![TransportAnalysis::factory_with_recovery(
+                            writer,
+                            fallback_dir.clone(),
+                            Some(Arc::clone(&sink)),
+                        )],
                     )
                 }
             };
@@ -198,8 +228,17 @@ pub fn run_intransit(cfg: &InTransitConfig) -> InTransitReport {
     let sim_node_mem_peak =
         sim.memory.host_max_rank_peak * cfg.machine.ranks_per_node as u64;
 
-    let (endpoint_steps, endpoint_bytes_received, endpoint_bytes_written) = match endpoint_handle
-    {
+    let degradation = DegradationSummary::from_reports(&report_sink.lock());
+
+    let (
+        endpoint_steps,
+        endpoint_bytes_received,
+        endpoint_bytes_written,
+        endpoint_partial_steps,
+        endpoint_corrupt_rejected,
+        endpoint_crashes,
+        endpoint_delivered,
+    ) = match endpoint_handle {
         Some(handle) => {
             let endpoint_results = handle.join().expect("endpoint world");
             let steps = endpoint_results
@@ -215,9 +254,22 @@ pub fn run_intransit(cfg: &InTransitConfig) -> InTransitReport {
                 .iter()
                 .map(|(_, s)| s.bytes_written_fs)
                 .sum();
-            (steps, bytes, written)
+            let partial: u64 = endpoint_results
+                .iter()
+                .map(|(r, _)| r.partial_steps)
+                .sum();
+            let corrupt: u64 = endpoint_results
+                .iter()
+                .map(|(r, _)| r.corrupt_rejected)
+                .sum();
+            let crashes = endpoint_results.iter().filter(|(r, _)| r.crashed).count();
+            let delivered = endpoint_results
+                .into_iter()
+                .map(|(r, _)| r.delivered_steps)
+                .collect();
+            (steps, bytes, written, partial, corrupt, crashes, delivered)
         }
-        None => (0, 0, 0),
+        None => (0, 0, 0, 0, 0, 0, Vec::new()),
     };
 
     InTransitReport {
@@ -230,6 +282,11 @@ pub fn run_intransit(cfg: &InTransitConfig) -> InTransitReport {
         endpoint_steps,
         endpoint_bytes_received,
         endpoint_bytes_written,
+        endpoint_partial_steps,
+        endpoint_corrupt_rejected,
+        endpoint_crashes,
+        endpoint_delivered,
+        degradation,
     }
 }
 
@@ -276,7 +333,20 @@ mod tests {
             mode,
             image_size: (64, 48),
             output_dir: None,
+            faults: FaultPlan::none(),
+            writer_config: WriterConfig::default(),
+            fallback_dir: None,
         }
+    }
+
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "nek-sensei-intransit-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        dir
     }
 
     #[test]
@@ -321,6 +391,93 @@ mod tests {
             overhead < 1.0,
             "in-transit sim-side overhead {overhead:.2} too large"
         );
+    }
+
+    #[test]
+    fn total_link_failure_degrades_to_file_fallback_without_aborting() {
+        use commsim::LinkFaultSpec;
+        use transport::BpFileReader;
+
+        let dir = scratch_dir("linkfail");
+        let mut cfg = tiny_config(4, EndpointMode::Checkpointing);
+        cfg.steps = 10; // triggers at 2,4,6,8,10
+        cfg.faults = FaultPlan::with_link(
+            42,
+            LinkFaultSpec {
+                drop_prob: 1.0,
+                ..LinkFaultSpec::default()
+            },
+        );
+        cfg.fallback_dir = Some(dir.clone());
+        let r = run_intransit(&cfg);
+
+        // Per producer: 2 triggers lost before the breaker trips at the
+        // third consecutive failure, the rest parked to the file engine.
+        let d = r.degradation;
+        assert!(d.degraded(), "breaker must open under total loss");
+        assert_eq!(d.degraded_producers, 4);
+        assert_eq!(d.staged_steps, 0);
+        assert_eq!(d.lost_steps, 8);
+        assert_eq!(d.parked_steps, 12);
+        assert_eq!(d.first_switch_step, Some(6));
+        // The endpoint saw only skip markers — empty partial deliveries for
+        // the two lost steps plus the breaker-tripping step.
+        assert_eq!(r.endpoint_steps, 3);
+        assert_eq!(r.endpoint_partial_steps, 3);
+        assert_eq!(r.endpoint_bytes_received, 0);
+        // Every parked trigger is a readable BP file step.
+        for producer in 0..4 {
+            let path = dir.join(format!("producer_{producer:05}.bp4l"));
+            let mut reader = BpFileReader::open(&path).expect("fallback file");
+            let mut steps = Vec::new();
+            while let Some(sd) = reader.next_step().expect("valid BP frame") {
+                steps.push(sd.step);
+            }
+            assert_eq!(steps, vec![6, 8, 10], "producer {producer}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn endpoint_crash_mid_run_parks_triggers_with_zero_loss() {
+        use commsim::EndpointCrash;
+        use transport::BpFileReader;
+
+        let dir = scratch_dir("crash");
+        let mut cfg = tiny_config(4, EndpointMode::Checkpointing);
+        cfg.steps = 8; // triggers at 2,4,6,8
+        cfg.faults = FaultPlan {
+            crashes: vec![EndpointCrash {
+                endpoint: 0,
+                at_step: 2,
+            }],
+            ..FaultPlan::default()
+        };
+        cfg.fallback_dir = Some(dir.clone());
+        let r = run_intransit(&cfg);
+
+        assert_eq!(r.endpoint_crashes, 1);
+        assert_eq!(r.endpoint_steps, 0, "endpoint died before processing");
+        // The crash surfaces to producers as a disconnect: every trigger is
+        // either staged before the crash or parked after it — none lost.
+        let d = r.degradation;
+        assert_eq!(d.lost_steps, 0, "disconnect must not lose triggers");
+        assert!(d.degraded(), "producers must switch to the file engine");
+        assert_eq!(d.degraded_producers, 4);
+        assert_eq!(d.staged_steps + d.parked_steps, 16, "4 triggers x 4 ranks");
+        assert!(d.first_switch_step.is_some());
+        // Parked triggers round-trip through the BP files.
+        let mut parked_total = 0u64;
+        for producer in 0..4 {
+            let path = dir.join(format!("producer_{producer:05}.bp4l"));
+            let mut reader = BpFileReader::open(&path).expect("fallback file");
+            while let Some(sd) = reader.next_step().expect("valid BP frame") {
+                assert!(sd.step >= 2);
+                parked_total += 1;
+            }
+        }
+        assert_eq!(parked_total, d.parked_steps);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

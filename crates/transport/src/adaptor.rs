@@ -5,12 +5,49 @@
 //! an adaptor that serializes the requested arrays and hands them to the
 //! staging engine. The actual visualization happens later on the endpoint
 //! — the whole point of the in-transit architecture.
+//!
+//! # Degradation ladder
+//!
+//! Staging failures never abort the simulation. A transient failure
+//! ([`crate::TransportError::StepLost`] /
+//! [`crate::TransportError::Backpressure`]) loses that step and keeps
+//! streaming. A fatal failure (disconnect or an open
+//! circuit breaker) means the endpoint is gone: if a fallback directory is
+//! configured the adaptor switches to the BP *file* engine — the classic
+//! post-hoc workflow — parking the failed payload and every subsequent
+//! trigger on disk, and records the switch step for the metrics layer.
 
 use crate::bp;
 use crate::engine::SstWriter;
+use crate::error::WriteError;
+use crate::file_engine::BpFileWriter;
 use commsim::Comm;
 use insitu::{AnalysisAdaptor, DataAdaptor};
 use meshdata::Centering;
+use parking_lot::Mutex;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// One producer's staging outcome, for the metrics layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProducerReport {
+    /// Producer (simulation rank) id.
+    pub producer: usize,
+    /// Steps accepted by the staging queue.
+    pub staged_steps: u64,
+    /// Steps lost outright (transient failures, or fatal with no fallback).
+    pub lost_steps: u64,
+    /// Steps parked to the BP file engine after degradation.
+    pub parked_steps: u64,
+    /// The trigger step at which this producer switched to the file
+    /// engine, if it did.
+    pub switch_step: Option<u64>,
+    /// Data-plane loss events endured (timeouts and NACKed frames).
+    pub retries: u64,
+}
+
+/// Shared collection point for [`ProducerReport`]s, filled at finalize.
+pub type ReportSink = Arc<Mutex<Vec<ProducerReport>>>;
 
 /// Sends the configured arrays over the staging link each trigger.
 pub struct TransportAnalysis {
@@ -18,6 +55,12 @@ pub struct TransportAnalysis {
     arrays: Vec<String>,
     writer: SstWriter,
     marshal_flops_per_byte: f64,
+    fallback_dir: Option<PathBuf>,
+    fallback: Option<BpFileWriter>,
+    lost_steps: u64,
+    parked_steps: u64,
+    switch_step: Option<u64>,
+    sink: Option<ReportSink>,
 }
 
 impl TransportAnalysis {
@@ -28,7 +71,25 @@ impl TransportAnalysis {
             arrays,
             writer,
             marshal_flops_per_byte: 1.0,
+            fallback_dir: None,
+            fallback: None,
+            lost_steps: 0,
+            parked_steps: 0,
+            switch_step: None,
+            sink: None,
         }
+    }
+
+    /// Degrade to the BP file engine under `dir` when the endpoint dies.
+    #[must_use]
+    pub fn with_fallback(mut self, dir: PathBuf) -> Self {
+        self.fallback_dir = Some(dir);
+        self
+    }
+
+    /// Push this producer's [`ProducerReport`] into `sink` at finalize.
+    pub fn set_report_sink(&mut self, sink: ReportSink) {
+        self.sink = Some(sink);
     }
 
     /// Writer statistics: (steps staged, steps dropped, bytes sent).
@@ -40,16 +101,39 @@ impl TransportAnalysis {
         )
     }
 
+    /// This producer's staging outcome so far.
+    pub fn report(&self) -> ProducerReport {
+        ProducerReport {
+            producer: self.writer.producer,
+            staged_steps: self.writer.steps_written(),
+            lost_steps: self.lost_steps,
+            parked_steps: self.parked_steps,
+            switch_step: self.switch_step,
+            retries: self.writer.retries(),
+        }
+    }
+
     /// A factory handling `<analysis type="adios-sst" arrays="a,b"/>` that
     /// consumes `writer` on first use (staging connections are established
     /// out-of-band, as SST does with its contact-info files).
     pub fn factory_with_writer(writer: SstWriter) -> insitu::configurable::AdaptorFactory {
-        let slot = parking_lot::Mutex::new(Some(writer));
+        Self::factory_with_recovery(writer, None, None)
+    }
+
+    /// Like [`Self::factory_with_writer`], but with the degradation ladder
+    /// wired up: a fallback directory for the BP file engine and a sink
+    /// that receives the producer's report at finalize.
+    pub fn factory_with_recovery(
+        writer: SstWriter,
+        fallback_dir: Option<PathBuf>,
+        sink: Option<ReportSink>,
+    ) -> insitu::configurable::AdaptorFactory {
+        let slot = Mutex::new(Some((writer, fallback_dir, sink)));
         Box::new(move |spec: &insitu::configurable::AnalysisSpec| {
             if spec.kind != "adios-sst" {
                 return Ok(None);
             }
-            let writer = slot.lock().take().ok_or_else(|| {
+            let (writer, fallback_dir, sink) = slot.lock().take().ok_or_else(|| {
                 insitu::Error::Config("adios-sst writer already consumed".into())
             })?;
             let arrays: Vec<String> = spec
@@ -58,12 +142,48 @@ impl TransportAnalysis {
                 .map(|s| s.trim().to_string())
                 .filter(|s| !s.is_empty())
                 .collect();
-            Ok(Some(Box::new(TransportAnalysis::new(
+            let mut analysis = TransportAnalysis::new(
                 spec.attr_or("mesh", "mesh").to_string(),
                 arrays,
                 writer,
-            )) as Box<dyn AnalysisAdaptor>))
+            );
+            analysis.fallback_dir = fallback_dir;
+            analysis.sink = sink;
+            Ok(Some(Box::new(analysis) as Box<dyn AnalysisAdaptor>))
         })
+    }
+
+    /// Handle one failed write: lose the step, or (on a fatal error with a
+    /// fallback configured) switch to the file engine and park the payload.
+    fn degrade(
+        &mut self,
+        comm: &mut Comm,
+        step: u64,
+        failure: WriteError,
+    ) -> insitu::Result<()> {
+        let WriteError { error, payload } = failure;
+        if !error.is_fatal() {
+            self.lost_steps += 1;
+            return Ok(());
+        }
+        let Some(dir) = &self.fallback_dir else {
+            // Endpoint dead, nowhere to park: the step is lost, and so is
+            // every later one (the breaker fails them fast).
+            self.lost_steps += 1;
+            return Ok(());
+        };
+        let mut fw = BpFileWriter::create(dir, self.writer.producer).map_err(|e| {
+            insitu::Error::Analysis(format!(
+                "producer {}: fallback file engine: {e}",
+                self.writer.producer
+            ))
+        })?;
+        fw.append(comm, &payload)
+            .map_err(|e| insitu::Error::Analysis(format!("fallback append: {e}")))?;
+        self.parked_steps += 1;
+        self.switch_step = Some(step);
+        self.fallback = Some(fw);
+        Ok(())
     }
 }
 
@@ -88,9 +208,27 @@ impl AnalysisAdaptor for TransportAnalysis {
             payload.len() as f64 * self.marshal_flops_per_byte,
             payload.len() as f64 * 2.0,
         );
-        self.writer
-            .write(comm, data.time_step(), data.time(), payload);
-        Ok(true)
+        let step = data.time_step();
+        if let Some(fw) = &mut self.fallback {
+            fw.append(comm, &payload)
+                .map_err(|e| insitu::Error::Analysis(format!("fallback append: {e}")))?;
+            self.parked_steps += 1;
+            return Ok(true);
+        }
+        match self.writer.write(comm, step, data.time(), payload) {
+            Ok(_) => Ok(true),
+            Err(failure) => {
+                self.degrade(comm, step, failure)?;
+                Ok(true)
+            }
+        }
+    }
+
+    fn finalize(&mut self, _comm: &mut Comm) -> insitu::Result<()> {
+        if let Some(sink) = &self.sink {
+            sink.lock().push(self.report());
+        }
+        Ok(())
     }
 }
 
@@ -141,15 +279,58 @@ mod tests {
         assert!(bytes > 0);
         // The endpoint can unmarshal what was staged.
         run_ranks_with_state(MachineModel::test_tiny(), readers, |comm, mut reader| {
-            let (step, time, packets) = reader.recv_step(comm).unwrap();
-            assert_eq!(step, 9);
-            assert_eq!(time, 0.5);
-            let data = crate::bp::unmarshal_blocks(&packets[0].payload).unwrap();
+            let d = reader.recv_step(comm).unwrap();
+            assert_eq!(d.step, 9);
+            assert_eq!(d.time, 0.5);
+            let data = crate::bp::unmarshal_blocks(&d.packets[0].payload).unwrap();
             assert_eq!(data.blocks.len(), 1);
             assert!(data.blocks[0]
                 .1
                 .find_array("pressure", Centering::Point)
                 .is_some());
         });
+    }
+
+    #[test]
+    fn dead_endpoint_degrades_to_file_engine_without_losing_triggers() {
+        use commsim::run_ranks_with_state;
+        use insitu::AnalysisAdaptor as _;
+        let dir = std::env::temp_dir().join(format!(
+            "adaptor_fallback_{}_{}",
+            std::process::id(),
+            line!()
+        ));
+        let (mut writers, readers) =
+            StagingNetwork::build(1, 1, 8, StagingLink::test_tiny(), QueuePolicy::Block);
+        drop(readers); // the endpoint dies before the run starts
+        let analysis = TransportAnalysis::new("mesh", vec!["pressure".into()], writers.remove(0))
+            .with_fallback(dir.clone());
+        let reports = run_ranks_with_state(
+            MachineModel::test_tiny(),
+            vec![analysis],
+            |comm, mut analysis| {
+                for step in 1..=5u64 {
+                    let mut da =
+                        StaticDataAdaptor::new("mesh", block(0, 1), step as f64 * 0.1, step);
+                    assert!(analysis.execute(comm, &mut da).unwrap());
+                }
+                analysis.report()
+            },
+        );
+        let r = reports[0];
+        assert_eq!(r.switch_step, Some(1), "first write hits the dead endpoint");
+        assert_eq!(r.parked_steps, 5, "every trigger parked, none lost");
+        assert_eq!(r.lost_steps, 0);
+        // The parked steps read back through the file engine.
+        let mut reader = crate::file_engine::BpFileReader::open(
+            &dir.join("producer_00000.bp4l"),
+        )
+        .unwrap();
+        let mut steps = Vec::new();
+        while let Some(s) = reader.next_step().unwrap() {
+            steps.push(s.step);
+        }
+        assert_eq!(steps, vec![1, 2, 3, 4, 5]);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -3,12 +3,52 @@
 //! A flat, little-endian, length-prefixed layout — the same role ADIOS2's
 //! BP marshaling plays in the paper's SST configuration. One payload holds
 //! one producer rank's blocks for one step.
+//!
+//! Every frame ends in a CRC32 (IEEE) of the body, so on-wire corruption
+//! is detected and rejected at the receiver instead of being silently
+//! decoded into garbage grids (see the fault model in DESIGN.md).
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use meshdata::{ArrayData, CellType, DataArray, MultiBlock, UnstructuredGrid};
 
 const MAGIC: u32 = 0x4250_344C; // "BP4L"
-const VERSION: u32 = 1;
+const VERSION: u32 = 2; // v2: trailing CRC32 frame check
+
+/// CRC32 (IEEE 802.3, reflected) lookup table, built at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC32 (IEEE) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC32_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Verify a frame's trailing CRC32 without parsing the body. Cheap enough
+/// to run on every received packet.
+pub fn frame_crc_ok(payload: &[u8]) -> bool {
+    if payload.len() < 4 {
+        return false;
+    }
+    let (body, trailer) = payload.split_at(payload.len() - 4);
+    crc32(body) == u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]])
+}
 
 /// One step's worth of data from one producer.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,6 +70,8 @@ pub enum BpError {
     Truncated,
     /// Bad magic/version or malformed structure.
     Malformed(String),
+    /// Trailing CRC32 does not match the frame body.
+    ChecksumMismatch,
 }
 
 impl std::fmt::Display for BpError {
@@ -37,6 +79,7 @@ impl std::fmt::Display for BpError {
         match self {
             BpError::Truncated => write!(f, "payload truncated"),
             BpError::Malformed(m) => write!(f, "malformed payload: {m}"),
+            BpError::ChecksumMismatch => write!(f, "frame CRC32 mismatch"),
         }
     }
 }
@@ -75,6 +118,8 @@ pub fn marshal_blocks(producer: u32, step: u64, time: f64, mb: &MultiBlock) -> V
         put_arrays(&mut out, &g.point_data);
         put_arrays(&mut out, &g.cell_data);
     }
+    let trailer = crc32(&out).to_le_bytes();
+    out.put_slice(&trailer);
     out.to_vec()
 }
 
@@ -99,9 +144,15 @@ fn put_arrays(out: &mut BytesMut, arrays: &[DataArray]) {
 /// Deserialize a payload produced by [`marshal_blocks`].
 ///
 /// # Errors
-/// Truncation or malformed structure.
+/// CRC mismatch, truncation, or malformed structure.
 pub fn unmarshal_blocks(payload: &[u8]) -> Result<StepData, BpError> {
-    let mut buf = Bytes::copy_from_slice(payload);
+    if payload.len() < 4 {
+        return Err(BpError::Truncated);
+    }
+    if !frame_crc_ok(payload) {
+        return Err(BpError::ChecksumMismatch);
+    }
+    let mut buf = Bytes::copy_from_slice(&payload[..payload.len() - 4]);
     let magic = get_u32(&mut buf)?;
     if magic != MAGIC {
         return Err(BpError::Malformed(format!("bad magic {magic:#x}")));
@@ -289,17 +340,50 @@ mod tests {
         }
     }
 
+    /// Re-seal a deliberately edited frame so the structural checks (not
+    /// the CRC) are what reject it.
+    fn refresh_crc(payload: &mut [u8]) {
+        let n = payload.len();
+        let c = crc32(&payload[..n - 4]).to_le_bytes();
+        payload[n - 4..].copy_from_slice(&c);
+    }
+
     #[test]
     fn corrupt_magic_and_version_rejected() {
         let mut payload = marshal_blocks(1, 5, 0.5, &sample_mb(1));
         payload[0] ^= 0xFF;
+        refresh_crc(&mut payload);
         assert!(matches!(
             unmarshal_blocks(&payload),
             Err(BpError::Malformed(_))
         ));
         let mut payload = marshal_blocks(1, 5, 0.5, &sample_mb(1));
         payload[4] = 99;
+        refresh_crc(&mut payload);
         assert!(unmarshal_blocks(&payload).is_err());
+    }
+
+    #[test]
+    fn bit_flips_anywhere_fail_the_crc() {
+        let clean = marshal_blocks(1, 5, 0.5, &sample_mb(1));
+        assert!(frame_crc_ok(&clean));
+        for pos in [0, 4, 17, clean.len() / 2, clean.len() - 5, clean.len() - 1] {
+            let mut bad = clean.clone();
+            bad[pos] ^= 0x01;
+            assert!(!frame_crc_ok(&bad), "flip at {pos} undetected");
+            assert_eq!(
+                unmarshal_blocks(&bad),
+                Err(BpError::ChecksumMismatch),
+                "flip at {pos}"
+            );
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // IEEE CRC32 of "123456789" is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
     }
 
     #[test]

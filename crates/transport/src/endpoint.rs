@@ -1,11 +1,18 @@
 //! The SENSEI endpoint: the workflow's data consumer.
 //!
 //! "The endpoint of our workflow is always a SENSEI data consumer" (§4.2).
-//! Each endpoint rank drains complete steps from its producers, rebuilds a
+//! Each endpoint rank drains steps from its producers, rebuilds a
 //! multiblock dataset, wraps it in a [`StaticDataAdaptor`], and drives a
 //! `ConfigurableAnalysis` — so the *same* analysis configurations (Catalyst
 //! rendering, VTU checkpoint writing, nothing) run in transit that would
 //! otherwise run in situ.
+//!
+//! Fault behavior: a [partial step](crate::StepDelivery) — one or more
+//! producers skipped or died — is still rendered from the blocks that
+//! arrived; only a step with no data at all is counted and skipped. The
+//! delivered-step log ([`EndpointReport::delivered_steps`]) is
+//! deterministic for a given fault plan and seed, which the recovery tests
+//! rely on.
 
 use crate::bp;
 use crate::engine::SstReader;
@@ -16,14 +23,24 @@ use insitu::ConfigurableAnalysis;
 use meshdata::MultiBlock;
 
 /// Outcome of an endpoint rank's run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EndpointReport {
-    /// Complete steps processed.
+    /// Steps processed (complete + partial).
     pub steps_processed: u64,
-    /// Payload bytes received.
+    /// Steps with every producer present.
+    pub complete_steps: u64,
+    /// Steps rendered with at least one producer missing.
+    pub partial_steps: u64,
+    /// Frames rejected by the CRC check.
+    pub corrupt_rejected: u64,
+    /// True when this endpoint's scheduled crash fault fired.
+    pub crashed: bool,
+    /// Payload bytes received (including rejected frames).
     pub bytes_received: u64,
     /// Virtual time when the endpoint finished.
     pub finish_time: f64,
+    /// Every delivered step index, in order — the determinism witness.
+    pub delivered_steps: Vec<u64>,
 }
 
 /// One endpoint rank's consumer loop.
@@ -58,16 +75,23 @@ impl EndpointConsumer {
     }
 
     /// Drain the stream to completion, running the configured analyses on
-    /// every complete step. Collective over the endpoint world's `comm`.
+    /// every step that carried data. Collective over the endpoint world's
+    /// `comm`.
     ///
     /// # Errors
     /// First analysis failure.
     pub fn run(&mut self, comm: &mut Comm) -> insitu::Result<EndpointReport> {
-        let mut steps = 0u64;
-        while let Some((step, time, packets)) = self.reader.recv_step(comm) {
-            // Rebuild this endpoint rank's slice of the global multiblock.
+        let mut delivered_steps = Vec::new();
+        while let Some(delivery) = self.reader.recv_step(comm) {
+            delivered_steps.push(delivery.step);
+            if delivery.packets.is_empty() {
+                // Every producer skipped or died: nothing to render.
+                continue;
+            }
+            // Rebuild this endpoint rank's slice of the global multiblock
+            // from the producers that did arrive.
             let mut mb = MultiBlock::new(self.n_sim_ranks);
-            for packet in &packets {
+            for packet in &delivery.packets {
                 let data = bp::unmarshal_blocks(&packet.payload).map_err(|e| {
                     insitu::Error::Analysis(format!("unmarshal from {}: {e}", packet.producer))
                 })?;
@@ -77,15 +101,19 @@ impl EndpointConsumer {
                     mb.blocks[idx as usize] = Some(grid);
                 }
             }
-            let mut da = StaticDataAdaptor::new("mesh", mb, time, step);
-            self.analyses.execute(comm, step.max(1), &mut da)?;
-            steps += 1;
+            let mut da = StaticDataAdaptor::new("mesh", mb, delivery.time, delivery.step);
+            self.analyses.execute(comm, delivery.step.max(1), &mut da)?;
         }
         self.analyses.finalize(comm)?;
         Ok(EndpointReport {
-            steps_processed: steps,
+            steps_processed: delivered_steps.len() as u64,
+            complete_steps: self.reader.complete_steps(),
+            partial_steps: self.reader.partial_steps(),
+            corrupt_rejected: self.reader.corrupt_rejected(),
+            crashed: self.reader.crashed(),
             bytes_received: self.reader.bytes_received(),
             finish_time: comm.now(),
+            delivered_steps,
         })
     }
 }
@@ -159,24 +187,33 @@ mod tests {
             assert_eq!(written, 3);
             assert_eq!(dropped, 0);
         }
-        let report = endpoint[0];
+        let report = &endpoint[0];
         assert_eq!(report.steps_processed, 3);
+        assert_eq!(report.complete_steps, 3);
+        assert_eq!(report.partial_steps, 0);
+        assert_eq!(report.delivered_steps, vec![1, 2, 3]);
+        assert!(!report.crashed);
         assert!(report.bytes_received > 0);
         assert!(report.finish_time > 0.0);
     }
 
     #[test]
-    fn corrupt_payload_surfaces_as_error() {
+    fn unframed_payload_is_crc_rejected_not_fatal() {
+        // A raw (non-CRC-framed) payload never reaches the analysis: the
+        // engine rejects it at ingest and the consumer finishes cleanly.
         let (writers, readers) =
             StagingNetwork::build(1, 1, 4, StagingLink::test_tiny(), QueuePolicy::Block);
         run_ranks_with_state(MachineModel::test_tiny(), writers, |comm, mut w| {
-            w.write(comm, 1, 0.0, vec![0xDE, 0xAD, 0xBE, 0xEF]);
+            w.write(comm, 1, 0.0, vec![0xDE, 0xAD, 0xBE, 0xEF]).unwrap();
         });
         let res = run_ranks_with_state(MachineModel::test_tiny(), readers, |comm, reader| {
             let mut consumer =
                 EndpointConsumer::new(reader, "<sensei></sensei>", &[], 1).unwrap();
-            consumer.run(comm).is_err()
+            consumer.run(comm).unwrap()
         });
-        assert!(res[0], "corrupt payload must produce an error");
+        let report = &res[0];
+        assert_eq!(report.corrupt_rejected, 1);
+        assert_eq!(report.steps_processed, 0);
+        assert!(report.bytes_received > 0, "rejected bytes still counted");
     }
 }

@@ -27,17 +27,26 @@
 //! * [`adaptor`] — [`adaptor::TransportAnalysis`], the simulation-side
 //!   [`insitu::AnalysisAdaptor`] that marshals and sends (what the paper's
 //!   "NekRS-SENSEI + ADIOS2" configuration enables).
+//! * [`error`] — the no-panic failure taxonomy ([`error::TransportError`]):
+//!   disconnects, open circuit breakers, lost steps, and back-pressure
+//!   timeouts, classified fatal vs. transient so the workflow can degrade
+//!   to the file engine instead of dying.
 
 pub mod adaptor;
 pub mod bp;
 pub mod endpoint;
 pub mod engine;
+pub mod error;
 pub mod file_engine;
 pub mod link;
 
-pub use adaptor::TransportAnalysis;
-pub use bp::{marshal_blocks, unmarshal_blocks, StepData};
+pub use adaptor::{ProducerReport, ReportSink, TransportAnalysis};
+pub use bp::{crc32, frame_crc_ok, marshal_blocks, unmarshal_blocks, StepData};
 pub use endpoint::{EndpointConsumer, EndpointReport};
+pub use error::{TransportError, WriteError};
 pub use file_engine::{BpFileReader, BpFileWriter};
-pub use engine::{QueuePolicy, SstReader, SstWriter, StagingNetwork};
+pub use engine::{
+    PacketKind, QueuePolicy, SstReader, SstWriter, StagingNetwork, StepDelivery, WriteOutcome,
+    WriterConfig,
+};
 pub use link::StagingLink;

@@ -30,6 +30,9 @@ fn main() {
         mode: EndpointMode::NoTransport,
         image_size: (800, 600),
         output_dir: None,
+        faults: commsim::FaultPlan::none(),
+        writer_config: transport::WriterConfig::default(),
+        fallback_dir: None,
     };
 
     println!("RBC at Ra=1e5, Pr=0.7 on 8 simulation ranks (+ endpoints at 4:1)\n");

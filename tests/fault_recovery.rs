@@ -1,0 +1,215 @@
+//! Integration: fault injection and the degradation ladder end to end —
+//! endpoint crash → BP file fallback, CRC rejection → retransmit,
+//! partial-step analysis, and determinism of the fault schedule.
+
+use commsim::{
+    run_ranks_with_state, EndpointCrash, FaultPlan, LinkFaultSpec, MachineModel,
+};
+use nek_sensei::{run_intransit, EndpointMode, InTransitConfig};
+use sem::cases::{rbc, CaseParams};
+use transport::{
+    crc32, BpFileReader, QueuePolicy, StagingLink, StagingNetwork, WriterConfig,
+};
+
+fn faulty_config(steps: usize, faults: FaultPlan) -> InTransitConfig {
+    let mut params = CaseParams::rbc_default();
+    params.elems = [2, 2, 4];
+    params.order = 2;
+    InTransitConfig {
+        case: rbc(&params, 1e4, 0.7),
+        sim_ranks: 4,
+        ratio: 4,
+        steps,
+        trigger_every: 2,
+        machine: MachineModel::juwels_booster(),
+        link: StagingLink::ucx_hdr200(),
+        queue_capacity: 8,
+        policy: QueuePolicy::Block,
+        mode: EndpointMode::Checkpointing,
+        image_size: (64, 48),
+        output_dir: None,
+        faults,
+        writer_config: WriterConfig::default(),
+        fallback_dir: None,
+    }
+}
+
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "nek-sensei-fault-recovery-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+#[test]
+fn endpoint_crash_degrades_to_checkpointing_with_zero_lost_triggers() {
+    let dir = scratch_dir("crash");
+    let mut cfg = faulty_config(
+        10, // triggers at 2,4,6,8,10
+        FaultPlan {
+            crashes: vec![EndpointCrash {
+                endpoint: 0,
+                at_step: 3,
+            }],
+            ..FaultPlan::default()
+        },
+    );
+    cfg.fallback_dir = Some(dir.clone());
+    let r = run_intransit(&cfg);
+
+    assert_eq!(r.endpoint_crashes, 1, "scheduled crash must fire");
+    let d = r.degradation;
+    assert_eq!(d.lost_steps, 0, "a dead endpoint must not lose triggers");
+    assert!(d.degraded(), "all producers must switch to the file engine");
+    assert_eq!(d.degraded_producers, 4);
+    assert_eq!(
+        d.staged_steps + d.parked_steps,
+        5 * 4,
+        "every trigger staged or parked"
+    );
+    // Every parked trigger reads back through the BP file engine.
+    let mut parked_on_disk = 0;
+    for producer in 0..4 {
+        let path = dir.join(format!("producer_{producer:05}.bp4l"));
+        let mut reader = BpFileReader::open(&path).expect("fallback file");
+        while let Some(sd) = reader.next_step().expect("valid BP frame") {
+            assert!(sd.step > 0);
+            parked_on_disk += 1;
+        }
+    }
+    assert_eq!(parked_on_disk, d.parked_steps);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_frames_are_crc_rejected_and_retransmitted_end_to_end() {
+    let r = run_intransit(&faulty_config(
+        8, // triggers at 2,4,6,8
+        FaultPlan::with_link(
+            5,
+            LinkFaultSpec {
+                corrupt_prob: 0.3,
+                ..LinkFaultSpec::default()
+            },
+        ),
+    ));
+    assert!(
+        r.endpoint_corrupt_rejected > 0,
+        "30% corruption must reject some frames"
+    );
+    assert!(r.degradation.retries > 0, "rejected frames are retried");
+    // Retransmits absorb every corruption: the endpoint still assembles
+    // and analyses every triggered step in full.
+    assert_eq!(r.endpoint_steps, 4);
+    assert_eq!(r.endpoint_partial_steps, 0);
+    assert_eq!(r.degradation.lost_steps, 0);
+    assert!(!r.degradation.degraded());
+    assert!(r.endpoint_bytes_written > 0, "checkpoints written");
+}
+
+#[test]
+fn exhausted_retries_yield_partial_steps_that_still_render() {
+    // A drop rate high enough that some producer exhausts its 4 attempts
+    // on some step (seed-pinned), but not enough to trip any breaker.
+    let r = run_intransit(&faulty_config(
+        12, // triggers at 2,4,...,12
+        FaultPlan::with_link(
+            3,
+            LinkFaultSpec {
+                drop_prob: 0.5,
+                ..LinkFaultSpec::default()
+            },
+        ),
+    ));
+    assert!(
+        r.endpoint_partial_steps > 0,
+        "seed 3 at 50% drop must produce a partial step"
+    );
+    assert!(
+        r.degradation.lost_steps > 0,
+        "the skipped trigger is lost writer-side"
+    );
+    // The endpoint keeps analysing: every trigger is processed, partially
+    // or in full, and the stream runs to completion.
+    assert_eq!(r.endpoint_steps, 6);
+    assert!(!r.degradation.degraded(), "no breaker trip at this rate");
+    assert!(r.endpoint_bytes_written > 0);
+}
+
+/// CRC-framed payload as the staging engine expects it.
+fn framed_payload(tag: u8) -> Vec<u8> {
+    let mut body = vec![tag; 64];
+    let crc = crc32(&body).to_le_bytes();
+    body.extend_from_slice(&crc);
+    body
+}
+
+/// Engine-level run under `plan`: 2 producers feed 1 endpoint for
+/// `steps` steps; returns the delivered `(step, missing)` log.
+fn delivered_log(plan: FaultPlan, steps: u64) -> Vec<(u64, Vec<usize>)> {
+    let (writers, readers) = StagingNetwork::build_faulty(
+        2,
+        1,
+        64,
+        StagingLink::test_tiny(),
+        QueuePolicy::Block,
+        plan,
+        WriterConfig::default(),
+    );
+    let reader_thread = std::thread::spawn(move || {
+        run_ranks_with_state(MachineModel::test_tiny(), readers, |comm, mut reader| {
+            let mut log = Vec::new();
+            while let Some(d) = reader.recv_step(comm) {
+                log.push((d.step, d.missing.clone()));
+            }
+            log
+        })
+    });
+    run_ranks_with_state(MachineModel::test_tiny(), writers, move |comm, mut w| {
+        for step in 1..=steps {
+            if w.write(comm, step, 0.0, framed_payload(step as u8)).is_err() {
+                // Fatal errors (breaker open) end this producer's stream;
+                // transient step losses keep it going.
+                if w.breaker_open() {
+                    break;
+                }
+            }
+        }
+    });
+    reader_thread.join().expect("reader world").remove(0)
+}
+
+mod determinism {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        /// The fault schedule is a pure function of (plan, seed): two runs
+        /// of the same plan deliver bit-identical step logs, regardless of
+        /// thread scheduling.
+        #[test]
+        fn same_seed_same_delivered_log(
+            seed in 0u64..1_000,
+            drop_prob in 0.0..0.4f64,
+            corrupt_prob in 0.0..0.3f64,
+            delay_prob in 0.0..0.5f64,
+        ) {
+            let plan = FaultPlan::with_link(
+                seed,
+                LinkFaultSpec {
+                    drop_prob,
+                    corrupt_prob,
+                    delay_prob,
+                    delay_secs: 1e-3,
+                },
+            );
+            let first = delivered_log(plan.clone(), 10);
+            let second = delivered_log(plan, 10);
+            prop_assert_eq!(first, second);
+        }
+    }
+}

@@ -23,6 +23,9 @@ fn config(sim_ranks: usize, mode: EndpointMode) -> InTransitConfig {
         mode,
         image_size: (80, 60),
         output_dir: None,
+        faults: commsim::FaultPlan::none(),
+        writer_config: transport::WriterConfig::default(),
+        fallback_dir: None,
     }
 }
 

@@ -46,11 +46,16 @@ fn discard_policy_loses_steps_but_keeps_the_stream_consistent() {
     let endpoint = std::thread::spawn(move || {
         run_ranks_with_state(MachineModel::test_tiny(), readers, |comm, mut reader| {
             let mut steps = Vec::new();
-            while let Some((step, _time, packets)) = reader.recv_step(comm) {
+            while let Some(delivery) = reader.recv_step(comm) {
+                // Discarded steps surface as skip-marker partials; only
+                // complete deliveries carry payloads.
+                if !delivery.is_complete() {
+                    continue;
+                }
                 // Every surviving payload still unmarshals cleanly.
-                let data = transport::unmarshal_blocks(&packets[0].payload).unwrap();
-                assert_eq!(data.step, step);
-                steps.push(step);
+                let data = transport::unmarshal_blocks(&delivery.packets[0].payload).unwrap();
+                assert_eq!(data.step, delivery.step);
+                steps.push(delivery.step);
                 // Simulate a slow consumer so the queue stays congested.
                 std::thread::sleep(std::time::Duration::from_millis(5));
             }
