@@ -35,6 +35,7 @@ fn bench_insitu(c: &mut Criterion) {
                         image_size: (64, 48),
                         mode,
                         output_dir: None,
+                        trace: false,
                     });
                     black_box(report.metrics.time_to_solution)
                 })

@@ -40,6 +40,7 @@ fn bench_intransit(c: &mut Criterion) {
                         faults: commsim::FaultPlan::none(),
                         writer_config: transport::WriterConfig::default(),
                         fallback_dir: None,
+                        trace: false,
                     });
                     black_box(report.sim.mean_step_time)
                 })

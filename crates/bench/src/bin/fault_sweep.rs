@@ -38,6 +38,7 @@ fn sweep_config(steps: usize, trigger: u64, faults: FaultPlan) -> InTransitConfi
         faults,
         writer_config: WriterConfig::default(),
         fallback_dir: None,
+        trace: false,
     }
 }
 

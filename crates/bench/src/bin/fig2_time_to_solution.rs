@@ -12,7 +12,7 @@
 //! Original < Checkpointing ≲ Catalyst, with Catalyst bearing a slight
 //! overhead over Checkpointing.
 
-use bench_harness::{fmt_secs, format_table, maybe_write_csv, HarnessArgs};
+use bench_harness::{fmt_secs, format_table, maybe_write_csv, maybe_write_trace, HarnessArgs};
 use commsim::MachineModel;
 use nek_sensei::{run_insitu, InSituConfig, InSituMode};
 use sem::cases::{pb146, CaseParams};
@@ -70,11 +70,18 @@ fn main() {
                 image_size: (800, 600),
                 mode,
                 output_dir: None,
+                trace: args.trace_out.is_some(),
             });
             println!(
                 "  {:<13} paper-ranks={paper_r:<5} ranks={r:<4} time={}",
                 mode.label(),
                 fmt_secs(report.metrics.time_to_solution)
+            );
+            maybe_write_trace(
+                &args,
+                &format!("fig2_{}_{r}ranks", mode.label().to_lowercase()),
+                &report.traces,
+                report.phases.as_ref(),
             );
             let t = &report.metrics.totals;
             let per_rank = |x: f64| x / r as f64;

@@ -44,6 +44,7 @@ fn main() {
                 image_size: (800, 600),
                 mode,
                 output_dir: None,
+                trace: false,
             });
             let mem = report.memory();
             println!(

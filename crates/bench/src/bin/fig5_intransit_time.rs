@@ -8,7 +8,7 @@
 //! simulation's time per step should be nearly flat in both the node count
 //! (good weak scaling) and the endpoint mode (small in-transit overhead).
 
-use bench_harness::{fmt_secs, format_table, maybe_write_csv, HarnessArgs};
+use bench_harness::{fmt_secs, format_table, maybe_write_csv, maybe_write_trace, HarnessArgs};
 use commsim::MachineModel;
 use nek_sensei::{run_intransit, EndpointMode, InTransitConfig};
 use sem::cases::{rbc, CaseParams};
@@ -70,12 +70,22 @@ fn main() {
                 faults: commsim::FaultPlan::none(),
                 writer_config: transport::WriterConfig::default(),
                 fallback_dir: None,
+                trace: args.trace_out.is_some(),
             });
             println!(
                 "  {:<13} sim-ranks={sim_ranks:<4} endpoint-ranks={:<3} mean-step={}",
                 mode.label(),
                 report.endpoint_ranks,
                 fmt_secs(report.sim.mean_step_time)
+            );
+            maybe_write_trace(
+                &args,
+                &format!(
+                    "fig5_{}_{sim_ranks}ranks",
+                    mode.label().to_lowercase().replace(' ', "_")
+                ),
+                &report.traces,
+                report.phases.as_ref(),
             );
             rows.push(vec![
                 mode.label().to_string(),

@@ -67,6 +67,7 @@ fn main() {
                 faults: commsim::FaultPlan::none(),
                 writer_config: transport::WriterConfig::default(),
                 fallback_dir: None,
+                trace: false,
             });
             println!(
                 "  {:<13} sim-ranks={sim_ranks:<4} per-node-peak={}",

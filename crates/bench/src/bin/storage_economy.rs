@@ -35,6 +35,7 @@ fn main() {
             image_size: (800, 600),
             mode,
             output_dir: args.out.clone().map(|d| d.join(mode.label())),
+            trace: false,
         });
         rows.push(vec![
             mode.label().to_string(),

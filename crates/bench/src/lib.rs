@@ -29,6 +29,9 @@ pub struct HarnessArgs {
     pub out: Option<std::path::PathBuf>,
     /// Run at the paper's full scale.
     pub full: bool,
+    /// Directory for Chrome trace-event JSON files (one per run cell);
+    /// also enables the per-phase breakdown printout.
+    pub trace_out: Option<std::path::PathBuf>,
 }
 
 impl HarnessArgs {
@@ -43,9 +46,10 @@ impl HarnessArgs {
                 "--trigger" => args.trigger = it.next().and_then(|v| v.parse().ok()),
                 "--out" => args.out = it.next().map(Into::into),
                 "--full" => args.full = true,
+                "--trace-out" => args.trace_out = it.next().map(Into::into),
                 "--help" | "-h" => {
                     eprintln!(
-                        "flags: --scale N | --steps N | --trigger N | --out DIR | --full"
+                        "flags: --scale N | --steps N | --trigger N | --out DIR | --trace-out DIR | --full"
                     );
                     std::process::exit(0);
                 }
@@ -111,6 +115,38 @@ pub fn maybe_write_csv(
     let path = dir.join(format!("{name}.csv"));
     if std::fs::write(&path, csv).is_ok() {
         println!("wrote {}", path.display());
+    }
+}
+
+/// When `--trace-out DIR` is set, write one Chrome trace-event JSON per
+/// run cell (`<name>.trace.json`, loadable in Perfetto) and print the
+/// per-phase virtual-time breakdown.
+pub fn maybe_write_trace(
+    args: &HarnessArgs,
+    name: &str,
+    traces: &[commsim::RankTrace],
+    phases: Option<&commsim::PhaseBreakdown>,
+) {
+    let Some(dir) = &args.trace_out else {
+        return;
+    };
+    if traces.is_empty() {
+        return;
+    }
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.trace.json"));
+    if std::fs::write(&path, commsim::chrome_trace_json(traces)).is_ok() {
+        println!("wrote {}", path.display());
+    }
+    if let Some(p) = phases {
+        println!(
+            "  phase breakdown ({} ranks, {:.1}% of wall attributed):",
+            p.ranks.len(),
+            p.attributed_fraction() * 100.0
+        );
+        print!("{}", p.to_table());
     }
 }
 

@@ -19,9 +19,10 @@ use crossbeam_channel::{unbounded, Receiver, Sender};
 use memtrack::{Accountant, Registry};
 use parking_lot::{Condvar, Mutex};
 use std::any::Any;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+use trace::{RankTrace, SpanGuard, Tracer};
 
 /// Errors surfaced by non-panicking communicator operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -153,6 +154,8 @@ impl World {
             stash: Vec::new(),
             clock: Clock::new(),
             stats: CommStats::default(),
+            tracer: Tracer::disabled(),
+            time_cell: None,
         }
     }
 
@@ -177,6 +180,10 @@ pub struct Comm {
     stash: Vec<Envelope>,
     clock: Clock,
     stats: CommStats,
+    tracer: Tracer,
+    /// Published copy of `clock.now()` (f64 bits) the tracer reads span
+    /// stamps from; `None` until tracing is enabled.
+    time_cell: Option<Arc<AtomicU64>>,
 }
 
 impl Comm {
@@ -219,12 +226,53 @@ impl Comm {
     }
 
     // ------------------------------------------------------------------
+    // Tracing
+    // ------------------------------------------------------------------
+
+    /// Publish the clock to the tracer's time cell. Called after every
+    /// clock mutation so open spans always see the current virtual time.
+    fn tick(&self) {
+        if let Some(cell) = &self.time_cell {
+            cell.store(self.clock.now().to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Turn on span recording against this rank's virtual clock. `pid`
+    /// groups tracks in exported traces (0 = simulation world, 1 =
+    /// endpoint world of an in-transit run).
+    pub fn enable_tracing(&mut self, pid: u32) {
+        let cell = Arc::new(AtomicU64::new(self.clock.now().to_bits()));
+        self.tracer = Tracer::virtual_clock(pid, self.rank, Arc::clone(&cell));
+        self.time_cell = Some(cell);
+    }
+
+    /// This rank's tracer (disabled unless [`Comm::enable_tracing`] ran).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Open a named span stamped with this rank's virtual clock. The
+    /// guard holds no borrow of the communicator, so `&mut self` methods
+    /// may be called while it is live. No-op when tracing is disabled.
+    pub fn span(&self, name: &str) -> SpanGuard {
+        self.tracer.span(name)
+    }
+
+    /// Close any open spans and return everything recorded, or `None`
+    /// when tracing is disabled.
+    pub fn take_trace(&mut self) -> Option<RankTrace> {
+        self.tick();
+        self.tracer.take()
+    }
+
+    // ------------------------------------------------------------------
     // Virtual-time charging
     // ------------------------------------------------------------------
 
     /// Advance this rank's clock by a raw duration.
     pub fn advance(&mut self, seconds: f64) {
         self.clock.advance(seconds);
+        self.tick();
     }
 
     /// Charge a GPU kernel (roofline of flops and device-memory bytes).
@@ -232,6 +280,7 @@ impl Comm {
         let t = self.world.machine.gpu_kernel_time(flops, bytes);
         self.stats.time_gpu_compute += t;
         self.clock.advance(t);
+        self.tick();
     }
 
     /// Charge host-side compute (VTK conversion, rendering, marshaling).
@@ -239,6 +288,7 @@ impl Comm {
         let t = self.world.machine.host_compute_time(flops, bytes);
         self.stats.time_host_compute += t;
         self.clock.advance(t);
+        self.tick();
     }
 
     /// Charge a device→host copy of `bytes`.
@@ -247,6 +297,7 @@ impl Comm {
         self.stats.bytes_d2h += bytes;
         self.stats.time_xfer += t;
         self.clock.advance(t);
+        self.tick();
     }
 
     /// Charge a host→device copy of `bytes`.
@@ -255,6 +306,7 @@ impl Comm {
         self.stats.bytes_h2d += bytes;
         self.stats.time_xfer += t;
         self.clock.advance(t);
+        self.tick();
     }
 
     /// Charge a filesystem write of `bytes` with `concurrent_writers` ranks
@@ -269,6 +321,7 @@ impl Comm {
         self.stats.files_written += 1;
         self.stats.time_io += t;
         self.clock.advance(t);
+        self.tick();
     }
 
     // ------------------------------------------------------------------
@@ -379,6 +432,7 @@ impl Comm {
             self.stats.time_comm += wait;
         }
         self.clock.advance_to(env.t_avail);
+        self.tick();
         self.stats.messages_received += 1;
         let src = env.src;
         let tag = env.tag;
@@ -456,6 +510,7 @@ impl Comm {
             self.stats.time_comm += wait;
         }
         self.clock.advance_to(out_time);
+        self.tick();
         self.stats.collectives += 1;
         result
     }

@@ -44,6 +44,11 @@ pub use machine::{FilesystemModel, GpuModel, MachineModel, NetworkModel};
 pub use reduce::ReduceOp;
 pub use runner::{run_ranks, run_ranks_with_registry, run_ranks_with_state, RankResult};
 pub use stats::CommStats;
+// Re-export the span-tracing vocabulary so instrumented crates need no
+// direct `trace` dependency: they open spans through `Comm::span` and
+// only name these types in signatures.
+pub use trace::chrome::chrome_trace_json;
+pub use trace::{PhaseBreakdown, PhaseStat, RankPhases, RankTrace, Span, SpanGuard, Tracer};
 
 #[cfg(test)]
 mod tests {
@@ -72,5 +77,35 @@ mod tests {
         for t in &times {
             assert!((t - times[0]).abs() < 1e-12, "barrier must sync clocks");
         }
+    }
+
+    #[test]
+    fn spans_track_virtual_time() {
+        let results = run_ranks(2, MachineModel::test_tiny(), |comm| {
+            comm.enable_tracing(0);
+            {
+                let _g = comm.span("work/compute");
+                comm.compute_host(1e6, 1e6);
+            }
+            {
+                let _g = comm.span("work/sync");
+                comm.barrier();
+            }
+            let wall = comm.now();
+            (comm.take_trace().unwrap(), wall)
+        });
+        for r in &results {
+            let (trace, wall) = r;
+            assert_eq!(trace.spans.len(), 2);
+            let total: f64 = trace.spans.iter().map(|s| s.self_time).sum();
+            assert!(*wall > 0.0, "virtual time must advance");
+            // Both ops happen inside spans, so attribution is exact.
+            assert!(
+                (total - wall).abs() < 1e-12,
+                "span time {total} != wall {wall}"
+            );
+        }
+        // Virtual time is deterministic, so both ranks' compute spans agree.
+        assert_eq!(results[0].0.spans[0].duration(), results[1].0.spans[0].duration());
     }
 }

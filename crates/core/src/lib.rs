@@ -30,6 +30,9 @@ pub mod workflow;
 
 pub use adaptor::NekDataAdaptor;
 pub use checkpoint::{read_fld, FldCheckpointer, FldDump};
-pub use metrics::{DegradationSummary, MemoryBreakdown, RunMetrics};
+pub use metrics::{
+    DegradationSummary, MemoryBreakdown, PhaseBreakdown, PhaseStat, RankPhases, RankTrace,
+    RunMetrics,
+};
 pub use workflow::insitu::{run_insitu, InSituConfig, InSituMode, InSituReport};
 pub use workflow::intransit::{run_intransit, EndpointMode, InTransitConfig, InTransitReport};

@@ -4,6 +4,12 @@
 use commsim::CommStats;
 use memtrack::{Registry, Snapshot};
 
+// Time attribution lives next to memory attribution: `MemoryBreakdown`
+// answers "where did the bytes go", `PhaseBreakdown` answers "where did
+// the virtual seconds go" (per rank, per span name; see the `trace`
+// crate). Workflow reports carry one when run with `trace: true`.
+pub use commsim::{PhaseBreakdown, PhaseStat, RankPhases, RankTrace};
+
 /// Host/device memory split for one run, derived from the per-rank
 /// accountants (`rank<r>/<subsystem>`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

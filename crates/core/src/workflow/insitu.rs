@@ -11,7 +11,7 @@
 use crate::adaptor::NekDataAdaptor;
 use crate::checkpoint::FldCheckpointer;
 use crate::metrics::{MemoryBreakdown, RunMetrics};
-use commsim::{run_ranks_with_registry, CommStats, MachineModel};
+use commsim::{run_ranks_with_registry, CommStats, MachineModel, PhaseBreakdown, RankTrace};
 use insitu::Bridge;
 use memtrack::Registry;
 use render::CatalystAnalysis;
@@ -58,6 +58,8 @@ pub struct InSituConfig {
     pub mode: InSituMode,
     /// Write real artifacts here when set (None → cost model only).
     pub output_dir: Option<std::path::PathBuf>,
+    /// Record per-phase spans against the virtual clock (see `trace`).
+    pub trace: bool,
 }
 
 /// What one run produced.
@@ -75,6 +77,10 @@ pub struct InSituReport {
     pub bytes_written: u64,
     /// Files written (images for Catalyst, dumps for Checkpointing).
     pub files_written: u64,
+    /// Raw per-rank span traces (empty unless `trace` was set).
+    pub traces: Vec<RankTrace>,
+    /// Per-phase attribution of virtual wall time (None unless traced).
+    pub phases: Option<PhaseBreakdown>,
 }
 
 impl InSituReport {
@@ -93,13 +99,19 @@ pub fn run_insitu(cfg: &InSituConfig) -> InSituReport {
     let trigger = cfg.trigger_every.max(1);
     let (width, height) = cfg.image_size;
     let output_dir = cfg.output_dir.clone();
+    let trace = cfg.trace;
 
     let results = run_ranks_with_registry(
         cfg.ranks,
         cfg.machine.clone(),
         registry.clone(),
         move |comm| {
+            if trace {
+                comm.enable_tracing(0);
+            }
+            let setup = comm.span("sim/setup");
             let mut solver = case.build(comm);
+            drop(setup);
             // Host-side baseline: mesh setup, solver host mirrors, MPI
             // buffers (NekRS keeps roughly the field set on the host too).
             let host_base = comm.accountant("host-base");
@@ -116,6 +128,7 @@ pub fn run_insitu(cfg: &InSituConfig) -> InSituReport {
                     for s in 1..=steps {
                         solver.step(comm);
                         if (s as u64).is_multiple_of(trigger) {
+                            let _sp = comm.span("insitu/checkpoint");
                             chk.write(comm, &solver);
                         }
                     }
@@ -144,13 +157,19 @@ pub fn run_insitu(cfg: &InSituConfig) -> InSituReport {
                     bridge.finalize(comm).expect("finalize");
                 }
             }
-            comm.barrier();
+            {
+                let _sp = comm.span("sim/finalize");
+                comm.barrier();
+            }
+            comm.take_trace()
         },
     );
 
     let times_stats: Vec<(f64, CommStats)> =
         results.iter().map(|r| (r.time, r.stats)).collect();
     let metrics = RunMetrics::from_ranks(&times_stats, cfg.steps, &registry);
+    let traces: Vec<RankTrace> = results.into_iter().filter_map(|r| r.value).collect();
+    let phases = (!traces.is_empty()).then(|| PhaseBreakdown::from_traces(&traces));
     InSituReport {
         mode: cfg.mode,
         ranks: cfg.ranks,
@@ -158,6 +177,8 @@ pub fn run_insitu(cfg: &InSituConfig) -> InSituReport {
         bytes_written: metrics.totals.bytes_written_fs,
         files_written: metrics.totals.files_written,
         metrics,
+        traces,
+        phases,
     }
 }
 
@@ -179,6 +200,7 @@ mod tests {
             image_size: (64, 48),
             mode,
             output_dir: None,
+            trace: false,
         }
     }
 

@@ -12,7 +12,9 @@
 
 use crate::adaptor::NekDataAdaptor;
 use crate::metrics::{DegradationSummary, RunMetrics};
-use commsim::{run_ranks_with_registry, CommStats, FaultPlan, MachineModel};
+use commsim::{
+    run_ranks_with_registry, CommStats, FaultPlan, MachineModel, PhaseBreakdown, RankTrace,
+};
 use insitu::Bridge;
 use memtrack::Registry;
 use parking_lot::Mutex;
@@ -82,6 +84,9 @@ pub struct InTransitConfig {
     /// When set, producers whose circuit breaker opens degrade to the BP
     /// file engine in this directory instead of dropping triggers.
     pub fallback_dir: Option<std::path::PathBuf>,
+    /// Record per-phase spans against the virtual clock, on both the
+    /// simulation and endpoint worlds (see `trace`).
+    pub trace: bool,
 }
 
 /// What one in-transit run produced.
@@ -117,6 +122,11 @@ pub struct InTransitReport {
     pub endpoint_delivered: Vec<Vec<u64>>,
     /// Producer-side fault-tolerance outcome.
     pub degradation: DegradationSummary,
+    /// Raw per-rank span traces, simulation world (pid 0) then endpoint
+    /// world (pid 1); empty unless `trace` was set.
+    pub traces: Vec<RankTrace>,
+    /// Per-phase attribution of virtual wall time (None unless traced).
+    pub phases: Option<PhaseBreakdown>,
 }
 
 /// Execute one in-transit configuration.
@@ -148,8 +158,12 @@ pub fn run_intransit(cfg: &InTransitConfig) -> InTransitReport {
         let machine = cfg.machine.clone();
         let sim_ranks = cfg.sim_ranks;
         let mode = cfg.mode;
+        let trace = cfg.trace;
         let handle = std::thread::spawn(move || {
             commsim::run_ranks_with_state(machine, readers, move |comm, mut reader| {
+                if trace {
+                    comm.enable_tracing(1);
+                }
                 reader.set_accountant(comm.accountant("staging"));
                 let factories = match mode {
                     EndpointMode::Catalyst => vec![CatalystAnalysis::factory()],
@@ -159,7 +173,8 @@ pub fn run_intransit(cfg: &InTransitConfig) -> InTransitReport {
                     transport::EndpointConsumer::new(reader, &xml, &factories, sim_ranks)
                         .expect("valid endpoint config");
                 let report = consumer.run(comm).expect("endpoint run");
-                (report, *comm.stats())
+                let stats = *comm.stats();
+                (report, stats, comm.take_trace())
             })
         });
         (Some(writers), Some(handle))
@@ -178,11 +193,16 @@ pub fn run_intransit(cfg: &InTransitConfig) -> InTransitReport {
     let report_sink: ReportSink = Arc::new(Mutex::new(Vec::new()));
     let sink = Arc::clone(&report_sink);
     let fallback_dir = cfg.fallback_dir.clone();
+    let trace = cfg.trace;
     let results = run_ranks_with_registry(
         cfg.sim_ranks,
         cfg.machine.clone(),
         registry.clone(),
         move |comm| {
+            if trace {
+                comm.enable_tracing(0);
+            }
+            let setup = comm.span("sim/setup");
             let mut solver = case.build(comm);
             let host_base = comm.accountant("host-base");
             let _base = host_base.charge(solver.n_nodes() as u64 * 8 * 60);
@@ -212,13 +232,18 @@ pub fn run_intransit(cfg: &InTransitConfig) -> InTransitReport {
             };
             let mut bridge =
                 Bridge::initialize(comm, &xml, &factories).expect("valid generated config");
+            drop(setup);
             for s in 1..=steps {
                 solver.step(comm);
                 let mut da = NekDataAdaptor::new(comm, &solver);
                 bridge.update(comm, s as u64, &mut da).expect("update");
             }
-            bridge.finalize(comm).expect("finalize");
-            comm.barrier();
+            {
+                let _sp = comm.span("sim/finalize");
+                bridge.finalize(comm).expect("finalize");
+                comm.barrier();
+            }
+            comm.take_trace()
         },
     );
 
@@ -229,6 +254,8 @@ pub fn run_intransit(cfg: &InTransitConfig) -> InTransitReport {
         sim.memory.host_max_rank_peak * cfg.machine.ranks_per_node as u64;
 
     let degradation = DegradationSummary::from_reports(&report_sink.lock());
+
+    let mut traces: Vec<RankTrace> = results.into_iter().filter_map(|r| r.value).collect();
 
     let (
         endpoint_steps,
@@ -243,35 +270,42 @@ pub fn run_intransit(cfg: &InTransitConfig) -> InTransitReport {
             let endpoint_results = handle.join().expect("endpoint world");
             let steps = endpoint_results
                 .iter()
-                .map(|(r, _)| r.steps_processed)
+                .map(|(r, _, _)| r.steps_processed)
                 .max()
                 .unwrap_or(0);
             let bytes: u64 = endpoint_results
                 .iter()
-                .map(|(r, _)| r.bytes_received)
+                .map(|(r, _, _)| r.bytes_received)
                 .sum();
             let written: u64 = endpoint_results
                 .iter()
-                .map(|(_, s)| s.bytes_written_fs)
+                .map(|(_, s, _)| s.bytes_written_fs)
                 .sum();
             let partial: u64 = endpoint_results
                 .iter()
-                .map(|(r, _)| r.partial_steps)
+                .map(|(r, _, _)| r.partial_steps)
                 .sum();
             let corrupt: u64 = endpoint_results
                 .iter()
-                .map(|(r, _)| r.corrupt_rejected)
+                .map(|(r, _, _)| r.corrupt_rejected)
                 .sum();
-            let crashes = endpoint_results.iter().filter(|(r, _)| r.crashed).count();
+            let crashes = endpoint_results
+                .iter()
+                .filter(|(r, _, _)| r.crashed)
+                .count();
             let delivered = endpoint_results
                 .into_iter()
-                .map(|(r, _)| r.delivered_steps)
+                .map(|(r, _, t)| {
+                    traces.extend(t);
+                    r.delivered_steps
+                })
                 .collect();
             (steps, bytes, written, partial, corrupt, crashes, delivered)
         }
         None => (0, 0, 0, 0, 0, 0, Vec::new()),
     };
 
+    let phases = (!traces.is_empty()).then(|| PhaseBreakdown::from_traces(&traces));
     InTransitReport {
         mode: cfg.mode,
         sim_ranks: cfg.sim_ranks,
@@ -287,6 +321,8 @@ pub fn run_intransit(cfg: &InTransitConfig) -> InTransitReport {
         endpoint_crashes,
         endpoint_delivered,
         degradation,
+        traces,
+        phases,
     }
 }
 
@@ -336,6 +372,7 @@ mod tests {
             faults: FaultPlan::none(),
             writer_config: WriterConfig::default(),
             fallback_dir: None,
+            trace: false,
         }
     }
 

@@ -149,6 +149,7 @@ impl RenderPipeline {
         let render_acct = comm.accountant("render");
         let mut images = Vec::with_capacity(self.passes.len());
         for pass in &self.passes {
+            let filter_span = comm.span("render/filter");
             // Global scalar range for this pass's array.
             let (lo, hi) = match pass.range {
                 Some(r) => r,
@@ -181,6 +182,8 @@ impl RenderPipeline {
             // ~6 tets × ~40 flops per cell for extraction.
             comm.compute_host(n_cells as f64 * 240.0, n_cells as f64 * 64.0);
             let _soup_charge = render_acct.charge(soup.heap_bytes());
+            drop(filter_span);
+            let raster_span = comm.span("render/raster");
 
             // Rasterize locally. Triangle setup scales with the mesh
             // (charged at the possibly-derated rates); per-pixel fill does
@@ -202,6 +205,8 @@ impl RenderPipeline {
                 (self.width * self.height) as f64 * 4.0 * s,
                 fb.heap_bytes() as f64 * s,
             );
+            drop(raster_span);
+            let _composite_span = comm.span("render/composite");
 
             // Composite and encode on root.
             let composited = match self.compositing {
@@ -333,11 +338,14 @@ impl AnalysisAdaptor for CatalystAnalysis {
     }
 
     fn execute(&mut self, comm: &mut Comm, data: &mut dyn DataAdaptor) -> insitu::Result<bool> {
+        let copy = comm.span("insitu/copy");
         let mut mb = data.mesh(comm, &self.mesh)?;
         for array in self.pipeline.required_arrays() {
             data.add_array(comm, &mut mb, &self.mesh, Centering::Point, &array)?;
         }
+        drop(copy);
         let images = self.pipeline.execute(comm, &mb, data.time_step());
+        let _write = comm.span("render/write");
         for img in &images {
             if let Some(png) = &img.png {
                 self.images_rendered += 1;

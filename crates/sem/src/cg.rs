@@ -75,6 +75,7 @@ pub fn solve(
     mask: &[f64],
     cfg: &CgConfig,
 ) -> CgResult {
+    let _sp = comm.span("sem/cg");
     let n = b.len();
     let w = gs.mult_inv();
     let mut r = vec![0.0; n];

@@ -446,6 +446,7 @@ impl FlowSolver {
         let h0 = b0 / dt;
 
         // 1. Advection (+ buoyancy) at time n.
+        let sp = comm.span("sem/advection");
         let mut adv: [Vec<f64>; 3] = [vec![0.0; n], vec![0.0; n], vec![0.0; n]];
         for c in 0..3 {
             let (ux, uy, uz) = (&self.u[0], &self.u[1], &self.u[2]);
@@ -487,8 +488,10 @@ impl FlowSolver {
             self.t_adv_hist.insert(0, ta);
             self.t_adv_hist.truncate(3);
         }
+        drop(sp);
 
-        // 2. Tentative velocity û.
+        // 2. Tentative velocity û. (Pure local arithmetic: charges no
+        // virtual time, so it carries no span.)
         let mut u_hat: [Vec<f64>; 3] = [vec![0.0; n], vec![0.0; n], vec![0.0; n]];
         for c in 0..3 {
             for (j, &bj) in bprev.iter().enumerate() {
@@ -512,6 +515,7 @@ impl FlowSolver {
         }
 
         // 3. Pressure Poisson.
+        let sp = comm.span("sem/pressure");
         let mut div = vec![0.0; n];
         self.ops.div(
             comm,
@@ -545,8 +549,10 @@ impl FlowSolver {
             &self.p_mask,
             &p_cfg,
         );
+        drop(sp);
 
         // 4. Projection u** = û − (Δt/b₀)∇p.
+        let sp = comm.span("sem/project");
         let mut gx = vec![0.0; n];
         let mut gy = vec![0.0; n];
         let mut gz = vec![0.0; n];
@@ -560,11 +566,13 @@ impl FlowSolver {
             u_hat[1][i] -= proj * gy[i];
             u_hat[2][i] -= proj * gz[i];
         }
+        drop(sp);
 
         // Save current velocity into history before overwriting.
         let u_old = self.u.clone();
 
         // 5. Viscous Helmholtz per component.
+        let sp = comm.span("sem/viscous");
         let nu = self.cfg.viscosity;
         let mut h_diag_inv = vec![0.0; n];
         for i in 0..n {
@@ -589,9 +597,11 @@ impl FlowSolver {
         }
         self.u_hist.insert(0, u_old);
         self.u_hist.truncate(2);
+        drop(sp);
 
         // 6. Temperature advection–diffusion.
         let temperature = if self.cfg.temperature.is_some() {
+            let _sp = comm.span("sem/temperature");
             Some(self.temperature_step(comm, k, b0, dt))
         } else {
             None
@@ -599,6 +609,7 @@ impl FlowSolver {
 
         // Stabilization: modal filter on the advected fields, then restore
         // boundary values and continuity.
+        let sp = comm.span("sem/filter");
         if let Some(fm) = self.filter_matrix.clone() {
             for c in 0..3 {
                 self.ops
@@ -616,8 +627,10 @@ impl FlowSolver {
                 }
             }
         }
+        drop(sp);
 
         // Diagnostics: divergence of the end-of-step velocity.
+        let sp = comm.span("sem/diagnostics");
         let mut div_new = vec![0.0; n];
         self.ops.div(
             comm,
@@ -635,6 +648,7 @@ impl FlowSolver {
             .map(|((&d, &m), &wi)| d * d * m * wi)
             .sum();
         let divergence = comm.allreduce(local, ReduceOp::Sum).sqrt();
+        drop(sp);
 
         self.step_index += 1;
         self.time += dt;

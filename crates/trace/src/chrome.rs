@@ -1,0 +1,142 @@
+//! Chrome trace-event export.
+//!
+//! Emits the JSON array flavor of the trace-event format — loadable in
+//! Perfetto and `chrome://tracing` — with one process per world (pid 0 =
+//! simulation ranks, pid 1 = endpoint ranks) and one thread track per
+//! rank. Stamps are virtual seconds converted to integer microseconds.
+//! Serialization is hand-rolled: the workspace is offline and the span
+//! payload is flat enough that serde would be overkill.
+
+use crate::RankTrace;
+
+/// Escape a string for a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn micros(t: f64) -> u64 {
+    (t.max(0.0) * 1e6).round() as u64
+}
+
+fn process_name(pid: u32) -> &'static str {
+    match pid {
+        0 => "simulation",
+        1 => "endpoint",
+        _ => "aux",
+    }
+}
+
+/// Render `traces` as a Chrome trace-event JSON array: `"M"` metadata
+/// naming each process and rank track, then one `"X"` (complete) event
+/// per span.
+pub fn chrome_trace_json(traces: &[RankTrace]) -> String {
+    let mut events: Vec<String> = Vec::new();
+
+    let mut pids: Vec<u32> = traces.iter().map(|t| t.pid).collect();
+    pids.sort_unstable();
+    pids.dedup();
+    for pid in pids {
+        events.push(format!(
+            r#"{{"name":"process_name","ph":"M","pid":{pid},"tid":0,"args":{{"name":"{}"}}}}"#,
+            process_name(pid)
+        ));
+    }
+
+    let mut ordered: Vec<&RankTrace> = traces.iter().collect();
+    ordered.sort_by_key(|t| (t.pid, t.rank));
+    for t in &ordered {
+        events.push(format!(
+            r#"{{"name":"thread_name","ph":"M","pid":{},"tid":{},"args":{{"name":"rank {}"}}}}"#,
+            t.pid, t.rank, t.rank
+        ));
+    }
+
+    for t in &ordered {
+        for s in &t.spans {
+            events.push(format!(
+                r#"{{"name":"{}","cat":"{}","ph":"X","ts":{},"dur":{},"pid":{},"tid":{}}}"#,
+                escape(&s.name),
+                escape(s.name.split('/').next().unwrap_or("span")),
+                micros(s.start),
+                micros(s.duration()),
+                t.pid,
+                t.rank
+            ));
+        }
+    }
+
+    let mut out = String::from("[\n");
+    for (i, e) in events.iter().enumerate() {
+        out.push_str(e);
+        if i + 1 < events.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Span;
+
+    fn trace(pid: u32, rank: usize) -> RankTrace {
+        RankTrace {
+            pid,
+            rank,
+            end: 2.0,
+            spans: vec![Span {
+                name: "sem/pressure".to_string(),
+                start: 0.5,
+                end: 1.5,
+                depth: 0,
+                self_time: 1.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn emits_metadata_and_complete_events() {
+        let json = chrome_trace_json(&[trace(0, 0), trace(0, 1), trace(1, 0)]);
+        assert!(json.starts_with('['));
+        assert!(json.ends_with(']'));
+        assert_eq!(json.matches(r#""ph":"X""#).count(), 3);
+        assert_eq!(json.matches(r#""name":"thread_name""#).count(), 3);
+        assert_eq!(json.matches(r#""name":"process_name""#).count(), 2);
+        assert!(json.contains(r#""ts":500000"#));
+        assert!(json.contains(r#""dur":1000000"#));
+        // Balanced braces — cheap structural sanity for the hand-rolled JSON.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count()
+        );
+    }
+
+    #[test]
+    fn escapes_special_characters() {
+        let mut t = trace(0, 0);
+        t.spans[0].name = "weird\"name\\with\ncontrol\u{1}".to_string();
+        let json = chrome_trace_json(&[t]);
+        assert!(json.contains(r#"weird\"name\\with\ncontrol"#));
+        assert!(json.contains(r#"control\u0001"#));
+    }
+
+    #[test]
+    fn empty_input_is_valid_array() {
+        assert_eq!(chrome_trace_json(&[]), "[\n]");
+    }
+}

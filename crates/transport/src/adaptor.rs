@@ -172,6 +172,7 @@ impl TransportAnalysis {
             self.lost_steps += 1;
             return Ok(());
         };
+        let _sp = comm.span("transport/park");
         let mut fw = BpFileWriter::create(dir, self.writer.producer).map_err(|e| {
             insitu::Error::Analysis(format!(
                 "producer {}: fallback file engine: {e}",
@@ -193,10 +194,13 @@ impl AnalysisAdaptor for TransportAnalysis {
     }
 
     fn execute(&mut self, comm: &mut Comm, data: &mut dyn DataAdaptor) -> insitu::Result<bool> {
+        let copy = comm.span("insitu/copy");
         let mut mb = data.mesh(comm, &self.mesh)?;
         for a in &self.arrays {
             data.add_array(comm, &mut mb, &self.mesh, Centering::Point, a)?;
         }
+        drop(copy);
+        let marshal = comm.span("transport/marshal");
         let payload = bp::marshal_blocks(
             comm.rank() as u32,
             data.time_step(),
@@ -208,16 +212,20 @@ impl AnalysisAdaptor for TransportAnalysis {
             payload.len() as f64 * self.marshal_flops_per_byte,
             payload.len() as f64 * 2.0,
         );
+        drop(marshal);
         let step = data.time_step();
         if let Some(fw) = &mut self.fallback {
+            let _sp = comm.span("transport/park");
             fw.append(comm, &payload)
                 .map_err(|e| insitu::Error::Analysis(format!("fallback append: {e}")))?;
             self.parked_steps += 1;
             return Ok(true);
         }
+        let send = comm.span("transport/send");
         match self.writer.write(comm, step, data.time(), payload) {
             Ok(_) => Ok(true),
             Err(failure) => {
+                drop(send);
                 self.degrade(comm, step, failure)?;
                 Ok(true)
             }

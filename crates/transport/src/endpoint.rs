@@ -82,7 +82,12 @@ impl EndpointConsumer {
     /// First analysis failure.
     pub fn run(&mut self, comm: &mut Comm) -> insitu::Result<EndpointReport> {
         let mut delivered_steps = Vec::new();
-        while let Some(delivery) = self.reader.recv_step(comm) {
+        loop {
+            let recv = comm.span("transport/recv");
+            let Some(delivery) = self.reader.recv_step(comm) else {
+                break;
+            };
+            drop(recv);
             delivered_steps.push(delivery.step);
             if delivery.packets.is_empty() {
                 // Every producer skipped or died: nothing to render.
@@ -90,6 +95,7 @@ impl EndpointConsumer {
             }
             // Rebuild this endpoint rank's slice of the global multiblock
             // from the producers that did arrive.
+            let unmarshal = comm.span("transport/unmarshal");
             let mut mb = MultiBlock::new(self.n_sim_ranks);
             for packet in &delivery.packets {
                 let data = bp::unmarshal_blocks(&packet.payload).map_err(|e| {
@@ -101,6 +107,8 @@ impl EndpointConsumer {
                     mb.blocks[idx as usize] = Some(grid);
                 }
             }
+            drop(unmarshal);
+            let _exec = comm.span("insitu/execute");
             let mut da = StaticDataAdaptor::new("mesh", mb, delivery.time, delivery.step);
             self.analyses.execute(comm, delivery.step.max(1), &mut da)?;
         }

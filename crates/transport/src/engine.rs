@@ -220,6 +220,7 @@ impl SstWriter {
                 commsim::AttemptFate::Drop => {
                     // Lost on the wire: wait out the ack timeout, back off,
                     // retransmit — all in virtual time.
+                    let _sp = comm.span("transport/retry");
                     comm.advance(self.config.ack_timeout + self.config.backoff(attempt));
                     self.retries += 1;
                     attempt += 1;
@@ -249,6 +250,7 @@ impl SstWriter {
                         payload: damaged,
                     });
                     self.corrupt_frames += 1;
+                    let _sp = comm.span("transport/retry");
                     comm.advance(
                         self.link.transfer_time(nbytes)
                             + self.link.control_latency
@@ -284,6 +286,7 @@ impl SstWriter {
             Ok(()) => Ok(Some(())),
             Err(TrySendError::Full(p)) => match self.policy {
                 QueuePolicy::Block => {
+                    let _sp = comm.span("transport/backpressure");
                     match self.tx.send_timeout(p, self.config.enqueue_timeout()) {
                         Ok(()) => {
                             // Real back-pressure: the reader freed a slot.

@@ -38,6 +38,7 @@ fn main() {
         machine,
         image_size: (800, 600),
         mode: InSituMode::Original,
+        trace: false,
         output_dir: None,
     };
 

@@ -33,6 +33,7 @@ fn main() {
         faults: commsim::FaultPlan::none(),
         writer_config: transport::WriterConfig::default(),
         fallback_dir: None,
+        trace: false,
     };
 
     println!("RBC at Ra=1e5, Pr=0.7 on 8 simulation ranks (+ endpoints at 4:1)\n");

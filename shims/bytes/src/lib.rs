@@ -1,0 +1,259 @@
+//! Offline stand-in for the `bytes` crate subset this workspace uses:
+//! little-endian `put_*`/`get_*` cursor buffers for the BP4-like frame
+//! codec in `transport::bp`.
+//!
+//! `BytesMut` is a growable `Vec<u8>` writer; `Bytes` is an owned buffer
+//! with a read cursor. Underflow on `get_*` panics, matching the real
+//! crate — callers bound-check with `remaining()` first.
+
+use std::ops::Deref;
+
+/// Read cursor over an owned byte buffer.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Copy `src` into a fresh buffer with the cursor at the start.
+    pub fn copy_from_slice(src: &[u8]) -> Self {
+        Self {
+            data: src.to_vec(),
+            pos: 0,
+        }
+    }
+
+    /// Unread portion as a slice.
+    pub fn chunk(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+
+    /// Copy the unread portion out as a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.chunk().to_vec()
+    }
+
+    fn take(&mut self, n: usize) -> &[u8] {
+        assert!(
+            self.data.len() - self.pos >= n,
+            "advance out of bounds: need {n}, have {}",
+            self.data.len() - self.pos
+        );
+        let start = self.pos;
+        self.pos += n;
+        &self.data[start..self.pos]
+    }
+}
+
+/// Read-side accessors (trait kept so `use bytes::Buf` keeps working).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Split off the next `n` bytes as an owned buffer. Panics on underflow.
+    fn copy_to_bytes(&mut self, n: usize) -> Bytes;
+    /// Skip `n` bytes. Panics on underflow.
+    fn advance(&mut self, n: usize);
+    /// Read one byte. Panics on underflow.
+    fn get_u8(&mut self) -> u8;
+    /// Read a little-endian `u32`. Panics on underflow.
+    fn get_u32_le(&mut self) -> u32;
+    /// Read a little-endian `u64`. Panics on underflow.
+    fn get_u64_le(&mut self) -> u64;
+    /// Read a little-endian `i64`. Panics on underflow.
+    fn get_i64_le(&mut self) -> i64;
+    /// Read a little-endian `f32`. Panics on underflow.
+    fn get_f32_le(&mut self) -> f32;
+    /// Read a little-endian `f64`. Panics on underflow.
+    fn get_f64_le(&mut self) -> f64;
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn copy_to_bytes(&mut self, n: usize) -> Bytes {
+        Bytes {
+            data: self.take(n).to_vec(),
+            pos: 0,
+        }
+    }
+
+    fn advance(&mut self, n: usize) {
+        self.take(n);
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().expect("4 bytes"))
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take(8).try_into().expect("8 bytes"))
+    }
+
+    fn get_i64_le(&mut self) -> i64 {
+        i64::from_le_bytes(self.take(8).try_into().expect("8 bytes"))
+    }
+
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_le_bytes(self.take(4).try_into().expect("4 bytes"))
+    }
+
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(self.take(8).try_into().expect("8 bytes"))
+    }
+}
+
+/// Growable write buffer.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty buffer with `cap` bytes preallocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Copy the contents out as a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.clone()
+    }
+
+    /// Convert into a read buffer.
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Write-side accessors (trait kept so `use bytes::BufMut` keeps working).
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32);
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64);
+    /// Append a little-endian `i64`.
+    fn put_i64_le(&mut self, v: i64);
+    /// Append a little-endian `f32`.
+    fn put_f32_le(&mut self, v: f32);
+    /// Append a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64);
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_i64_le(&mut self, v: i64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_f32_le(&mut self, v: f32) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_f64_le(&mut self, v: f64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut w = BytesMut::new();
+        w.put_u8(7);
+        w.put_u32_le(0xdead_beef);
+        w.put_u64_le(u64::MAX - 1);
+        w.put_i64_le(-42);
+        w.put_f32_le(1.5);
+        w.put_f64_le(-2.25);
+        w.put_slice(b"tail");
+        let mut r = Bytes::copy_from_slice(&w);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u32_le(), 0xdead_beef);
+        assert_eq!(r.get_u64_le(), u64::MAX - 1);
+        assert_eq!(r.get_i64_le(), -42);
+        assert_eq!(r.get_f32_le(), 1.5);
+        assert_eq!(r.get_f64_le(), -2.25);
+        assert_eq!(r.copy_to_bytes(4).to_vec(), b"tail");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "advance out of bounds")]
+    fn underflow_panics() {
+        let mut r = Bytes::copy_from_slice(&[1, 2]);
+        r.get_u32_le();
+    }
+
+    #[test]
+    fn deref_and_to_vec() {
+        let mut w = BytesMut::with_capacity(8);
+        w.put_slice(&[1, 2, 3]);
+        assert_eq!(&w[..], &[1, 2, 3]);
+        assert_eq!(w.to_vec(), vec![1, 2, 3]);
+        assert_eq!(w.len(), 3);
+        assert!(!w.is_empty());
+        let f = w.freeze();
+        assert_eq!(f.chunk(), &[1, 2, 3]);
+    }
+}

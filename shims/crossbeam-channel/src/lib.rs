@@ -1,0 +1,412 @@
+//! Offline stand-in for the `crossbeam-channel` subset this workspace
+//! uses: MPMC `unbounded`/`bounded` channels with `send`, `try_send`,
+//! `send_timeout`, `recv`, `try_recv`, and `recv_timeout`.
+//!
+//! Built on a `Mutex<VecDeque>` + two condvars. Matches crossbeam's
+//! observable semantics where the workspace depends on them:
+//!
+//! * receivers drain remaining messages after all senders drop, and only
+//!   then report `Disconnected`;
+//! * senders report `Disconnected` as soon as every receiver is gone;
+//! * both endpoints are `Clone` (multi-producer, multi-consumer).
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Error returned by [`Sender::send`] when all receivers are gone.
+#[derive(PartialEq, Eq, Clone, Copy)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by [`Sender::try_send`].
+#[derive(PartialEq, Eq, Clone, Copy)]
+pub enum TrySendError<T> {
+    /// The channel is bounded and at capacity.
+    Full(T),
+    /// All receivers have been dropped.
+    Disconnected(T),
+}
+
+/// Error returned by [`Sender::send_timeout`].
+#[derive(PartialEq, Eq, Clone, Copy)]
+pub enum SendTimeoutError<T> {
+    /// The channel stayed full for the whole timeout.
+    Timeout(T),
+    /// All receivers have been dropped.
+    Disconnected(T),
+}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and
+/// all senders are gone.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub struct RecvError;
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub enum TryRecvError {
+    /// No message was ready.
+    Empty,
+    /// The channel is empty and all senders are gone.
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub enum RecvTimeoutError {
+    /// No message arrived within the timeout.
+    Timeout,
+    /// The channel is empty and all senders are gone.
+    Disconnected,
+}
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Debug for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => f.write_str("Full(..)"),
+            TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+        }
+    }
+}
+
+impl<T> fmt::Debug for SendTimeoutError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SendTimeoutError::Timeout(_) => f.write_str("Timeout(..)"),
+            SendTimeoutError::Disconnected(_) => f.write_str("Disconnected(..)"),
+        }
+    }
+}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    cap: Option<usize>,
+    senders: usize,
+    receivers: usize,
+}
+
+impl<T> State<T> {
+    fn full(&self) -> bool {
+        self.cap.is_some_and(|c| self.queue.len() >= c)
+    }
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl<T> Shared<T> {
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        // The queue holds plain data; a panic mid-mutation cannot leave it
+        // torn, so std poisoning is safely ignored (matches crossbeam).
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+/// The sending half of a channel.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half of a channel.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Create an unbounded MPMC channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    channel(None)
+}
+
+/// Create a bounded MPMC channel holding at most `cap` messages.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    channel(Some(cap))
+}
+
+fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            cap,
+            senders: 1,
+            receivers: 1,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Send, blocking while a bounded channel is full.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut st = self.shared.lock();
+        loop {
+            if st.receivers == 0 {
+                return Err(SendError(value));
+            }
+            if !st.full() {
+                st.queue.push_back(value);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            st = match self.shared.not_full.wait(st) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+    }
+
+    /// Send without blocking.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut st = self.shared.lock();
+        if st.receivers == 0 {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if st.full() {
+            return Err(TrySendError::Full(value));
+        }
+        st.queue.push_back(value);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Send, blocking at most `timeout` while the channel is full.
+    pub fn send_timeout(&self, value: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.shared.lock();
+        loop {
+            if st.receivers == 0 {
+                return Err(SendTimeoutError::Disconnected(value));
+            }
+            if !st.full() {
+                st.queue.push_back(value);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(SendTimeoutError::Timeout(value));
+            }
+            let (guard, _res) = match self.shared.not_full.wait_timeout(st, deadline - now) {
+                Ok(pair) => pair,
+                Err(p) => p.into_inner(),
+            };
+            st = guard;
+        }
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.shared.lock().queue.len()
+    }
+
+    /// True if no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.lock().senders += 1;
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.shared.lock();
+        st.senders -= 1;
+        if st.senders == 0 {
+            drop(st);
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receive, blocking until a message arrives or all senders drop.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut st = self.shared.lock();
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                self.shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvError);
+            }
+            st = match self.shared.not_empty.wait(st) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+    }
+
+    /// Receive without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut st = self.shared.lock();
+        if let Some(v) = st.queue.pop_front() {
+            self.shared.not_full.notify_one();
+            return Ok(v);
+        }
+        if st.senders == 0 {
+            return Err(TryRecvError::Disconnected);
+        }
+        Err(TryRecvError::Empty)
+    }
+
+    /// Receive, blocking at most `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.shared.lock();
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                self.shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _res) = match self.shared.not_empty.wait_timeout(st, deadline - now) {
+                Ok(pair) => pair,
+                Err(p) => p.into_inner(),
+            };
+            st = guard;
+        }
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.shared.lock().queue.len()
+    }
+
+    /// True if no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.lock().receivers += 1;
+        Receiver {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut st = self.shared.lock();
+        st.receivers -= 1;
+        if st.receivers == 0 {
+            drop(st);
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_fifo() {
+        let (tx, rx) = unbounded();
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(rx.len(), 5);
+        for i in 0..5 {
+            assert_eq!(rx.recv(), Ok(i));
+        }
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn bounded_try_send_full() {
+        let (tx, _rx) = bounded(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+    }
+
+    #[test]
+    fn drain_after_sender_drop_then_disconnect() {
+        let (tx, rx) = unbounded();
+        tx.send(7u8).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn send_fails_when_receivers_gone() {
+        let (tx, rx) = bounded(1);
+        drop(rx);
+        assert!(matches!(tx.try_send(1), Err(TrySendError::Disconnected(1))));
+        assert!(matches!(
+            tx.send_timeout(2, Duration::from_millis(1)),
+            Err(SendTimeoutError::Disconnected(2))
+        ));
+    }
+
+    #[test]
+    fn send_timeout_times_out() {
+        let (tx, _rx) = bounded(1);
+        tx.send(1).unwrap();
+        let start = Instant::now();
+        assert!(matches!(
+            tx.send_timeout(2, Duration::from_millis(20)),
+            Err(SendTimeoutError::Timeout(2))
+        ));
+        assert!(start.elapsed() >= Duration::from_millis(15));
+    }
+
+    #[test]
+    fn cross_thread_handoff() {
+        let (tx, rx) = bounded(1);
+        let t = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Ok(v) = rx.recv_timeout(Duration::from_secs(5)) {
+                got.push(v);
+                if got.len() == 10 {
+                    break;
+                }
+            }
+            got
+        });
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(t.join().unwrap(), (0..10).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,304 @@
+//! Offline stand-in for the `parking_lot` subset this workspace uses.
+//!
+//! The build container has no crates.io access, so the workspace vendors
+//! API-compatible shims for its external dependencies (see
+//! `DESIGN.md` § "Offline dependency shims"). This one wraps
+//! `std::sync` primitives and reproduces the two parking_lot behaviors
+//! the codebase relies on:
+//!
+//! * **no poisoning** — a rank thread that panics while holding a lock
+//!   must not wedge the other ranks (the commsim runner poisons the
+//!   *world*, not the mutex, and expects `lock()` to keep working);
+//! * **guard-based waits** — `Condvar::wait_for` takes `&mut MutexGuard`
+//!   instead of consuming the guard.
+
+use std::time::Duration;
+
+/// A mutual exclusion primitive: `std::sync::Mutex` minus poisoning.
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Create an unlocked mutex holding `value`.
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, blocking until available. Unlike `std`, a panic
+    /// in another holder does not poison the lock.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let guard = match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        MutexGuard { inner: Some(guard) }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.inner.try_lock() {
+            Ok(g) => f.debug_struct("Mutex").field("data", &&*g).finish(),
+            Err(_) => f.write_str("Mutex { <locked> }"),
+        }
+    }
+}
+
+/// RAII guard for [`Mutex`]. The inner `Option` lets [`Condvar::wait_for`]
+/// temporarily hand the std guard to `std::sync::Condvar` and put it back.
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard present outside wait")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard present outside wait")
+    }
+}
+
+/// Outcome of a timed condition-variable wait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// True if the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// Condition variable with parking_lot's guard-borrowing API.
+pub struct Condvar {
+    cv: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// A fresh condition variable.
+    pub const fn new() -> Self {
+        Self {
+            cv: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Wake every waiting thread.
+    pub fn notify_all(&self) {
+        self.cv.notify_all();
+    }
+
+    /// Wake one waiting thread.
+    pub fn notify_one(&self) {
+        self.cv.notify_one();
+    }
+
+    /// Block on the condvar for at most `timeout`, releasing the guard's
+    /// lock while waiting and reacquiring it before returning.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.inner.take().expect("guard present before wait");
+        let (inner, result) = match self.cv.wait_timeout(inner, timeout) {
+            Ok(pair) => pair,
+            Err(p) => p.into_inner(),
+        };
+        guard.inner = Some(inner);
+        WaitTimeoutResult {
+            timed_out: result.timed_out(),
+        }
+    }
+
+    /// Block on the condvar until notified.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.inner.take().expect("guard present before wait");
+        let inner = match self.cv.wait(inner) {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        guard.inner = Some(inner);
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Reader-writer lock: `std::sync::RwLock` minus poisoning.
+pub struct RwLock<T: ?Sized> {
+    // std::sync::RwLock read() panics if the *current* thread holds the
+    // write lock; parking_lot deadlocks instead. Neither occurs in this
+    // workspace, so the std behavior is acceptable.
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Create an unlocked lock holding `value`.
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire shared read access.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        match self.inner.read() {
+            Ok(g) => RwLockReadGuard { inner: g },
+            Err(p) => RwLockReadGuard {
+                inner: p.into_inner(),
+            },
+        }
+    }
+
+    /// Acquire exclusive write access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        match self.inner.write() {
+            Ok(g) => RwLockWriteGuard { inner: g },
+            Err(p) => RwLockWriteGuard {
+                inner: p.into_inner(),
+            },
+        }
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.inner.try_read() {
+            Ok(g) => f.debug_struct("RwLock").field("data", &&*g).finish(),
+            Err(_) => f.write_str("RwLock { <locked> }"),
+        }
+    }
+}
+
+/// Shared-access guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockReadGuard<'a, T>,
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+/// Exclusive-access guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    #[test]
+    fn lock_survives_holder_panic() {
+        let m = Arc::new(Mutex::new(0u32));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("deliberate");
+        })
+        .join();
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 1);
+    }
+
+    #[test]
+    fn wait_for_times_out_and_reacquires() {
+        let m = Mutex::new(5);
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let res = cv.wait_for(&mut g, Duration::from_millis(5));
+        assert!(res.timed_out());
+        assert_eq!(*g, 5);
+    }
+
+    #[test]
+    fn notify_wakes_waiter() {
+        let state = Arc::new((Mutex::new(false), Condvar::new()));
+        let s2 = Arc::clone(&state);
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*s2;
+            let mut g = m.lock();
+            let deadline = Instant::now() + Duration::from_secs(5);
+            while !*g {
+                cv.wait_for(&mut g, Duration::from_millis(50));
+                assert!(Instant::now() < deadline, "missed wakeup");
+            }
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        let (m, cv) = &*state;
+        *m.lock() = true;
+        cv.notify_all();
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn rwlock_read_write() {
+        let l = RwLock::new(vec![1, 2]);
+        assert_eq!(l.read().len(), 2);
+        l.write().push(3);
+        assert_eq!(*l.read(), vec![1, 2, 3]);
+    }
+}

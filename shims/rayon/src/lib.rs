@@ -1,0 +1,54 @@
+//! Offline stand-in for the `rayon` subset this workspace uses:
+//! `par_chunks` / `par_chunks_mut` from the prelude.
+//!
+//! The shim returns std's sequential `Chunks` / `ChunksMut` iterators,
+//! whose `zip` / `for_each` combinators match the rayon call sites
+//! verbatim. Virtual-clock cost modelling in commsim charges for the
+//! parallel speedup explicitly, so sequential execution here changes
+//! wall-clock only, not simulated results.
+
+/// Prelude mirroring `rayon::prelude` for the traits this workspace uses.
+pub mod prelude {
+    /// `par_chunks` over shared slices (sequential in this shim).
+    pub trait ParallelSlice<T> {
+        /// Iterate over `size`-sized chunks of the slice.
+        fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    /// `par_chunks_mut` over mutable slices (sequential in this shim).
+    pub trait ParallelSliceMut<T> {
+        /// Iterate over `size`-sized mutable chunks of the slice.
+        fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(size)
+        }
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(size)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chunked_zip_matches_sequential() {
+        let src = [1.0f64, 2.0, 3.0, 4.0];
+        let mut dst = [0.0f64; 4];
+        dst.par_chunks_mut(2)
+            .zip(src.par_chunks(2))
+            .for_each(|(d, s)| {
+                for (di, si) in d.iter_mut().zip(s) {
+                    *di = si * 2.0;
+                }
+            });
+        assert_eq!(dst, [2.0, 4.0, 6.0, 8.0]);
+    }
+}

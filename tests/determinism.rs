@@ -21,6 +21,7 @@ fn one_run(mode: InSituMode) -> (f64, u64, u64, u64) {
         image_size: (64, 48),
         mode,
         output_dir: None,
+        trace: false,
     });
     (
         r.metrics.time_to_solution,
@@ -69,6 +70,7 @@ fn derating_scales_compute_time_exactly() {
             image_size: (64, 48),
             mode: InSituMode::Checkpointing,
             output_dir: None,
+            trace: false,
         });
         (r.metrics.time_to_solution, r.metrics.totals.time_gpu_compute)
     };

@@ -31,6 +31,7 @@ fn faulty_config(steps: usize, faults: FaultPlan) -> InTransitConfig {
         faults,
         writer_config: WriterConfig::default(),
         fallback_dir: None,
+        trace: false,
     }
 }
 
@@ -180,6 +181,84 @@ fn delivered_log(plan: FaultPlan, steps: u64) -> Vec<(u64, Vec<usize>)> {
         }
     });
     reader_thread.join().expect("reader world").remove(0)
+}
+
+mod marshaling {
+    use meshdata::{CellType, DataArray, MultiBlock, UnstructuredGrid};
+    use proptest::collection::vec;
+    use proptest::prelude::*;
+    use transport::{frame_crc_ok, marshal_blocks, unmarshal_blocks};
+
+    /// A producer's-eye mesh: `n` points strung into line cells, with an
+    /// f64 scalar, an f32 scalar and an f64 vector field on the points.
+    fn build_grid(pts: &[f64], f64s: &[f64], f32s: &[f32], vecs: &[f64]) -> UnstructuredGrid {
+        let n = f64s.len();
+        let mut g = UnstructuredGrid::new();
+        for i in 0..n {
+            g.add_point([pts[3 * i], pts[3 * i + 1], pts[3 * i + 2]]);
+        }
+        for i in 1..n {
+            g.add_cell(CellType::Line, &[i as i64 - 1, i as i64]);
+        }
+        g.add_point_data(DataArray::scalars_f64("temperature", f64s.to_vec()))
+            .expect("matching length");
+        g.add_point_data(DataArray::scalars_f32("pressure", f32s.to_vec()))
+            .expect("matching length");
+        g.add_point_data(DataArray::vectors_f64("velocity", vecs.to_vec()))
+            .expect("matching length");
+        g
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        /// marshal → unmarshal is the identity on arbitrary field data:
+        /// header, topology and every array survive bit-exactly.
+        #[test]
+        fn marshal_roundtrips_arbitrary_fields(
+            (pts, f64s, f32s, vecs) in (1usize..12).prop_flat_map(|n| (
+                vec(-1.0e6..1.0e6f64, 3 * n),
+                vec(-1.0e12..1.0e12f64, n),
+                vec(-1.0e6..1.0e6f32, n),
+                vec(-1.0..1.0f64, 3 * n),
+            )),
+            producer in 0u32..64,
+            step in 1u64..10_000,
+            time in 0.0..1.0e4f64,
+        ) {
+            let grid = build_grid(&pts, &f64s, &f32s, &vecs);
+            let mb = MultiBlock::local(producer as usize, 64, grid.clone());
+            let payload = marshal_blocks(producer, step, time, &mb);
+            prop_assert!(frame_crc_ok(&payload));
+            let sd = unmarshal_blocks(&payload).expect("roundtrip");
+            prop_assert_eq!(sd.producer, producer);
+            prop_assert_eq!(sd.step, step);
+            prop_assert_eq!(sd.time.to_bits(), time.to_bits());
+            prop_assert_eq!(sd.blocks.len(), 1);
+            prop_assert_eq!(sd.blocks[0].0, producer);
+            prop_assert_eq!(&sd.blocks[0].1, &grid);
+        }
+
+        /// CRC32 catches any single corrupted byte, wherever it lands —
+        /// body or trailer — and `unmarshal_blocks` refuses the frame.
+        #[test]
+        fn single_byte_corruption_is_always_rejected(
+            n in 1usize..8,
+            pos_frac in 0.0..1.0f64,
+            flip in 1u8..=255,
+        ) {
+            let pts: Vec<f64> = (0..3 * n).map(|i| i as f64).collect();
+            let vals: Vec<f64> = (0..n).map(|i| i as f64 * 0.5).collect();
+            let f32s: Vec<f32> = vec![1.0; n];
+            let vecs: Vec<f64> = vec![0.25; 3 * n];
+            let grid = build_grid(&pts, &vals, &f32s, &vecs);
+            let mb = MultiBlock::local(0, 4, grid);
+            let mut payload = marshal_blocks(0, 7, 0.5, &mb);
+            let pos = ((payload.len() - 1) as f64 * pos_frac) as usize;
+            payload[pos] ^= flip; // nonzero XOR: the byte really changes
+            prop_assert!(!frame_crc_ok(&payload), "corruption at byte {} undetected", pos);
+            prop_assert!(unmarshal_blocks(&payload).is_err());
+        }
+    }
 }
 
 mod determinism {

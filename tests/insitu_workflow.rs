@@ -19,6 +19,7 @@ fn config(mode: InSituMode) -> InSituConfig {
         image_size: (80, 60),
         mode,
         output_dir: None,
+        trace: false,
     }
 }
 

@@ -26,6 +26,7 @@ fn config(sim_ranks: usize, mode: EndpointMode) -> InTransitConfig {
         faults: commsim::FaultPlan::none(),
         writer_config: transport::WriterConfig::default(),
         fallback_dir: None,
+        trace: false,
     }
 }
 
