@@ -65,7 +65,7 @@ fn main() {
             legend: true,
         };
         let mut analysis = CatalystAnalysis::new("mesh", pipeline, Some(out.clone()));
-        let mut da = NekDataAdaptor::new(comm, &solver);
+        let mut da = NekDataAdaptor::new(comm, &mut solver);
         analysis.execute(comm, &mut da).expect("render");
         da.release_data();
         (

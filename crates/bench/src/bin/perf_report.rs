@@ -1,0 +1,240 @@
+//! `perf_report` — real-wall-clock benchmark of the pool-parallel hot
+//! paths, 1 thread vs N, emitting `BENCH_sem.json`.
+//!
+//! Unlike the figure harnesses (virtual-clock, machine-model time), this
+//! binary measures *actual* elapsed time on the monotonic clock via the
+//! shared warmup + samples + median/MAD harness in the `criterion` shim.
+//! Each workload runs twice: once with the shared thread pool pinned to a
+//! single thread and once at the host's full width, so the report shows
+//! the realized speedup of the data-parallel SEM kernels. On a single-core
+//! host the two configurations are expected to tie (the report records
+//! `host_threads` so CI readers can tell).
+//!
+//! Usage: `perf_report [--quick] [--out BENCH_sem.json]`
+
+use commsim::{run_ranks, Comm, MachineModel};
+use criterion::{measure, Stats};
+use rayon::pool;
+use render::{CatalystAnalysis, RenderPipeline};
+use sem::cases::{pb146, CaseParams};
+use sem::gs::GatherScatter;
+use sem::mesh::{LocalMesh, MeshSpec};
+use sem::operators::Ops;
+use std::sync::Arc;
+
+struct BenchResult {
+    name: &'static str,
+    threads: usize,
+    stats: Stats,
+}
+
+/// Work sizes for one benchmark pass.
+#[derive(Clone, Copy)]
+struct Sizing {
+    /// Timed samples per configuration.
+    samples: usize,
+    /// SEM polynomial order for the kernel benches.
+    order: usize,
+    /// Elements per axis for the kernel benches.
+    elems: usize,
+    /// Flow-solver steps per sample.
+    ns_steps: usize,
+    /// Render image edge (pixels).
+    image: usize,
+}
+
+const FULL: Sizing = Sizing {
+    samples: 7,
+    order: 7,
+    elems: 6,
+    ns_steps: 2,
+    image: 256,
+};
+
+const QUICK: Sizing = Sizing {
+    samples: 3,
+    order: 5,
+    elems: 4,
+    ns_steps: 1,
+    image: 96,
+};
+
+fn kernel_fixture(comm: &mut Comm, sz: Sizing) -> (LocalMesh, GatherScatter, Ops, Vec<f64>) {
+    let spec = Arc::new(MeshSpec::box_mesh(
+        sz.order,
+        [sz.elems; 3],
+        [1.0; 3],
+        [false; 3],
+    ));
+    let mesh = LocalMesh::new(spec, comm.rank(), comm.size());
+    let gs = GatherScatter::new(&mesh, comm);
+    let ops = Ops::new(&mesh);
+    let n = mesh.layout().n_nodes();
+    let u: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
+    (mesh, gs, ops, u)
+}
+
+fn bench_sem_operators(threads: usize, sz: Sizing) -> Stats {
+    pool::with_override(threads, || {
+        run_ranks(1, MachineModel::test_tiny(), move |comm| {
+            let (_mesh, _gs, ops, u) = kernel_fixture(comm, sz);
+            let mut out = vec![0.0; u.len()];
+            let mut scratch = vec![0.0; u.len()];
+            measure(1, sz.samples, || {
+                ops.stiffness_apply(comm, &u, &mut out, &mut scratch);
+                criterion::black_box(&out);
+            })
+        })[0]
+    })
+}
+
+fn bench_gather_scatter(threads: usize, sz: Sizing) -> Stats {
+    pool::with_override(threads, || {
+        run_ranks(1, MachineModel::test_tiny(), move |comm| {
+            let (_mesh, gs, _ops, u) = kernel_fixture(comm, sz);
+            let mut field = u.clone();
+            measure(1, sz.samples, || {
+                gs.sum(comm, &mut field);
+                criterion::black_box(&field);
+            })
+        })[0]
+    })
+}
+
+fn bench_ns_step(threads: usize, sz: Sizing) -> Stats {
+    pool::with_override(threads, || {
+        run_ranks(1, MachineModel::test_tiny(), move |comm| {
+            let mut params = CaseParams::pb146_default();
+            params.elems = [2, 2, 4];
+            params.order = sz.order.min(5);
+            let mut solver = pb146(&params, 8).build(comm);
+            // Warm the workspace arena so samples measure steady state.
+            solver.step(comm);
+            measure(1, sz.samples, || {
+                for _ in 0..sz.ns_steps {
+                    solver.step(comm);
+                }
+            })
+        })[0]
+    })
+}
+
+fn bench_render_pipeline(threads: usize, sz: Sizing) -> Stats {
+    pool::with_override(threads, || {
+        run_ranks(1, MachineModel::test_tiny(), move |comm| {
+            let mut params = CaseParams::pb146_default();
+            params.elems = [2, 2, 4];
+            params.order = 3;
+            let mut solver = pb146(&params, 8).build(comm);
+            solver.step(comm);
+            let mut pipeline = RenderPipeline::two_image_default("pressure", "velocity");
+            pipeline.width = sz.image;
+            pipeline.height = sz.image;
+            let mut analysis = CatalystAnalysis::new("mesh", pipeline, None);
+            measure(1, sz.samples, || {
+                let mut da = nek_sensei::NekDataAdaptor::new(comm, &mut solver);
+                insitu::AnalysisAdaptor::execute(&mut analysis, comm, &mut da)
+                    .expect("render pipeline");
+            })
+        })[0]
+    })
+}
+
+fn json_escape_free(name: &str) -> &str {
+    // Bench names are static identifiers; nothing to escape.
+    name
+}
+
+fn write_report(path: &str, host_threads: usize, quick: bool, results: &[BenchResult]) {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"host_threads\": {host_threads},\n"));
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str("  \"benches\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"threads\": {}, \"median_s\": {:.9}, \"mad_s\": {:.9}, \"samples\": {}}}{}\n",
+            json_escape_free(r.name),
+            r.threads,
+            r.stats.median_s,
+            r.stats.mad_s,
+            r.stats.n,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"speedups\": {\n");
+    let names: Vec<&str> = {
+        let mut v: Vec<&str> = results.iter().map(|r| r.name).collect();
+        v.dedup();
+        v
+    };
+    for (i, name) in names.iter().enumerate() {
+        let t1 = results
+            .iter()
+            .find(|r| r.name == *name && r.threads == 1)
+            .map(|r| r.stats.median_s);
+        let tn = results
+            .iter()
+            .find(|r| r.name == *name && r.threads != 1)
+            .map(|r| r.stats.median_s);
+        let speedup = match (t1, tn) {
+            (Some(a), Some(b)) if b > 0.0 => a / b,
+            _ => 1.0,
+        };
+        out.push_str(&format!(
+            "    \"{}\": {:.3}{}\n",
+            name,
+            speedup,
+            if i + 1 < names.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    std::fs::write(path, out).expect("write BENCH_sem.json");
+    println!("wrote {path}");
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let quick = argv.iter().any(|a| a == "--quick");
+    let out_path = argv
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| argv.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_sem.json".to_string());
+    let sz = if quick { QUICK } else { FULL };
+
+    let host_threads = pool::default_threads();
+    let wide = host_threads.max(2);
+    println!(
+        "perf_report: host_threads={host_threads} (multi-thread pass uses {wide}){}",
+        if quick { " [quick]" } else { "" }
+    );
+
+    type BenchFn = fn(usize, Sizing) -> Stats;
+    let benches: [(&'static str, BenchFn); 4] = [
+        ("sem_operators", bench_sem_operators),
+        ("gather_scatter", bench_gather_scatter),
+        ("ns_step", bench_ns_step),
+        ("render_pipeline", bench_render_pipeline),
+    ];
+
+    let mut results = Vec::new();
+    for (name, f) in benches {
+        for threads in [1usize, wide] {
+            let stats = f(threads, sz);
+            println!(
+                "  {name:<18} threads={threads:<3} {:>10.3} ms/iter (median, ±{:.3} MAD, n={})",
+                stats.median_s * 1e3,
+                stats.mad_s * 1e3,
+                stats.n
+            );
+            results.push(BenchResult {
+                name,
+                threads,
+                stats,
+            });
+        }
+    }
+    write_report(&out_path, host_threads, quick, &results);
+}

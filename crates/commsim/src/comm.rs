@@ -515,6 +515,28 @@ impl Comm {
         result
     }
 
+    /// Price a collective without the rendezvous machinery — the
+    /// single-rank fast path for `allreduce{,_vec}` so hot solver loops
+    /// stay allocation-free (the general path boxes inputs and allocates
+    /// an `Arc` result even for one rank). The time charging mirrors
+    /// `collective` step for step so virtual-clock output is bit-identical.
+    fn charge_single_rank_collective(&mut self, payload_bytes: u64) {
+        let t_max = self.clock.now();
+        let out_time = t_max
+            + self
+                .world
+                .machine
+                .network
+                .collective_time(self.world.size, payload_bytes);
+        let wait = out_time - self.clock.now();
+        if wait > 0.0 {
+            self.stats.time_comm += wait;
+        }
+        self.clock.advance_to(out_time);
+        self.tick();
+        self.stats.collectives += 1;
+    }
+
     fn coll_wait(&self, st: &mut parking_lot::MutexGuard<'_, CollState>) {
         self.world
             .coll_cv
@@ -536,11 +558,24 @@ impl Comm {
 
     /// Allreduce one scalar — MPI_Allreduce on a single f64.
     pub fn allreduce(&mut self, value: f64, op: ReduceOp) -> f64 {
+        if self.world.size == 1 {
+            self.charge_single_rank_collective(8);
+            // Same fold as the general path (identity ⊕ value) so edge
+            // cases like -0.0 normalize identically.
+            return op.apply(op.identity(), value);
+        }
         *self.collective(value, 8, move |v| op.fold(v))
     }
 
     /// Elementwise allreduce of a slice, in place.
     pub fn allreduce_vec(&mut self, values: &mut [f64], op: ReduceOp) {
+        if self.world.size == 1 {
+            self.charge_single_rank_collective((values.len() * 8) as u64);
+            for v in values.iter_mut() {
+                *v = op.apply(op.identity(), *v);
+            }
+            return;
+        }
         let n = values.len();
         let input = values.to_vec();
         let result = self.collective(input, (n * 8) as u64, move |contribs| {

@@ -82,6 +82,11 @@ where
 {
     let world = World::new(size, machine, registry);
     let f = Arc::new(f);
+    // Rank threads share one global compute pool (see `rayon::pool`); the
+    // spawning thread's pool-size override carries over so e.g.
+    // `pool::with_threads(1, || run_ranks(..))` forces sequential kernels
+    // inside every rank.
+    let pool_override = rayon::pool::override_threads();
     let mut handles = Vec::with_capacity(size);
     for rank in 0..size {
         let world = Arc::clone(&world);
@@ -92,7 +97,7 @@ where
             .spawn(move || {
                 let mut comm = world.attach(rank);
                 let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    f(&mut comm)
+                    rayon::pool::with_override(pool_override, || f(&mut comm))
                 }));
                 match outcome {
                     Ok(value) => {

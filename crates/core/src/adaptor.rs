@@ -21,7 +21,7 @@ pub const MESH_NAME: &str = "mesh";
 
 /// Adapts a [`FlowSolver`] to the SENSEI-style [`DataAdaptor`] contract.
 pub struct NekDataAdaptor<'a> {
-    solver: &'a FlowSolver,
+    solver: &'a mut FlowSolver,
     rank: usize,
     nranks: usize,
     vtk_accountant: Accountant,
@@ -31,7 +31,7 @@ pub struct NekDataAdaptor<'a> {
 impl<'a> NekDataAdaptor<'a> {
     /// Wrap the solver for this rank; host-side VTK copies are charged to
     /// the rank's `vtk` accountant.
-    pub fn new(comm: &Comm, solver: &'a FlowSolver) -> Self {
+    pub fn new(comm: &Comm, solver: &'a mut FlowSolver) -> Self {
         Self {
             solver,
             rank: comm.rank(),
@@ -258,8 +258,8 @@ mod tests {
     #[test]
     fn geometry_export_subdivides_elements() {
         let res = run_ranks(2, MachineModel::test_tiny(), |comm| {
-            let solver = small_pb146_solver(comm);
-            let mut da = NekDataAdaptor::new(comm, &solver);
+            let mut solver = small_pb146_solver(comm);
+            let mut da = NekDataAdaptor::new(comm, &mut solver);
             let mb = da.mesh(comm, MESH_NAME).unwrap();
             let (idx, g) = mb.local_blocks().next().unwrap();
             g.validate().unwrap();
@@ -277,8 +277,9 @@ mod tests {
     #[test]
     fn add_array_stages_d2h_and_charges_vtk_memory() {
         let res = run_ranks(1, MachineModel::test_tiny(), |comm| {
-            let solver = small_pb146_solver(comm);
-            let mut da = NekDataAdaptor::new(comm, &solver);
+            let mut solver = small_pb146_solver(comm);
+            let n = solver.n_nodes() as u64;
+            let mut da = NekDataAdaptor::new(comm, &mut solver);
             let mut mb = da.mesh(comm, MESH_NAME).unwrap();
             let d2h_before = comm.stats().bytes_d2h;
             da.add_array(comm, &mut mb, MESH_NAME, Centering::Point, "velocity")
@@ -287,7 +288,6 @@ mod tests {
                 .unwrap();
             let staged = comm.stats().bytes_d2h - d2h_before;
             let vtk_mem = comm.accountant("vtk").current();
-            let n = solver.n_nodes() as u64;
             da.release_data();
             let after_release = comm.accountant("vtk").current();
             (staged, n, vtk_mem, after_release)
@@ -302,8 +302,8 @@ mod tests {
     #[test]
     fn metadata_counts_are_global_and_arrays_depend_on_case() {
         let res = run_ranks(2, MachineModel::test_tiny(), |comm| {
-            let solver = small_pb146_solver(comm);
-            let mut da = NekDataAdaptor::new(comm, &solver);
+            let mut solver = small_pb146_solver(comm);
+            let mut da = NekDataAdaptor::new(comm, &mut solver);
             let md = da.mesh_metadata(comm, MESH_NAME).unwrap();
             let has_temp = md.array("temperature").is_some();
             (md.global_cells, md.n_blocks, has_temp)
@@ -319,8 +319,8 @@ mod tests {
             let mut params = CaseParams::rbc_default();
             params.elems = [2, 2, 2];
             params.order = 2;
-            let solver = rbc(&params, 1e4, 0.7).build(comm);
-            let mut da = NekDataAdaptor::new(comm, &solver);
+            let mut solver = rbc(&params, 1e4, 0.7).build(comm);
+            let mut da = NekDataAdaptor::new(comm, &mut solver);
             let md = da.mesh_metadata(comm, MESH_NAME).unwrap();
             md.array("temperature").is_some()
         });
@@ -330,8 +330,8 @@ mod tests {
     #[test]
     fn unknown_requests_error() {
         run_ranks(1, MachineModel::test_tiny(), |comm| {
-            let solver = small_pb146_solver(comm);
-            let mut da = NekDataAdaptor::new(comm, &solver);
+            let mut solver = small_pb146_solver(comm);
+            let mut da = NekDataAdaptor::new(comm, &mut solver);
             assert!(da.mesh(comm, "other").is_err());
             let mut mb = da.mesh(comm, MESH_NAME).unwrap();
             assert!(da
@@ -353,7 +353,7 @@ mod tests {
             for _ in 0..3 {
                 solver.step(comm);
             }
-            let mut da = NekDataAdaptor::new(comm, &solver);
+            let mut da = NekDataAdaptor::new(comm, &mut solver);
             let md = da.mesh_metadata(comm, MESH_NAME).unwrap();
             assert!(md.array("vorticity").is_some());
             assert!(md.array("q_criterion").is_some());
@@ -387,8 +387,8 @@ mod tests {
     #[test]
     fn exported_field_values_match_solver_state() {
         let res = run_ranks(1, MachineModel::test_tiny(), |comm| {
-            let solver = small_pb146_solver(comm);
-            let mut da = NekDataAdaptor::new(comm, &solver);
+            let mut solver = small_pb146_solver(comm);
+            let mut da = NekDataAdaptor::new(comm, &mut solver);
             let mut mb = da.mesh(comm, MESH_NAME).unwrap();
             da.add_array(comm, &mut mb, MESH_NAME, Centering::Point, "velocity")
                 .unwrap();

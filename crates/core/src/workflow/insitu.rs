@@ -149,7 +149,7 @@ pub fn run_insitu(cfg: &InSituConfig) -> InSituReport {
                             .expect("valid generated config");
                     for s in 1..=steps {
                         solver.step(comm);
-                        let mut da = NekDataAdaptor::new(comm, &solver);
+                        let mut da = NekDataAdaptor::new(comm, &mut solver);
                         bridge
                             .update(comm, s as u64, &mut da)
                             .expect("in situ update");

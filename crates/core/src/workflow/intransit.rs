@@ -235,7 +235,7 @@ pub fn run_intransit(cfg: &InTransitConfig) -> InTransitReport {
             drop(setup);
             for s in 1..=steps {
                 solver.step(comm);
-                let mut da = NekDataAdaptor::new(comm, &solver);
+                let mut da = NekDataAdaptor::new(comm, &mut solver);
                 bridge.update(comm, s as u64, &mut da).expect("update");
             }
             {

@@ -29,6 +29,13 @@ impl TriangleSoup {
         self.scalars.extend(other.scalars);
     }
 
+    /// Drop all triangles but keep the allocations, so a soup can be
+    /// refilled across passes/triggers without reallocating.
+    pub fn clear(&mut self) {
+        self.positions.clear();
+        self.scalars.clear();
+    }
+
     /// Scalar range over all vertices.
     pub fn scalar_range(&self) -> Option<(f64, f64)> {
         if self.scalars.is_empty() {
@@ -79,9 +86,21 @@ pub fn marching_tets(
     iso: f64,
     color: &[f64],
 ) -> TriangleSoup {
+    let mut soup = TriangleSoup::default();
+    marching_tets_into(grid, level, iso, color, &mut soup);
+    soup
+}
+
+/// [`marching_tets`], appending into an existing soup (buffer reuse).
+pub fn marching_tets_into(
+    grid: &UnstructuredGrid,
+    level: &[f64],
+    iso: f64,
+    color: &[f64],
+    soup: &mut TriangleSoup,
+) {
     assert_eq!(level.len(), grid.n_points(), "level field size mismatch");
     assert_eq!(color.len(), grid.n_points(), "color field size mismatch");
-    let mut soup = TriangleSoup::default();
     for c in 0..grid.n_cells() {
         let pts = grid.cell_points(c);
         match grid.types[c] {
@@ -93,7 +112,7 @@ pub fn marching_tets(
                         pts[tet[2]] as usize,
                         pts[tet[3]] as usize,
                     ];
-                    march_one_tet(grid, &ids, level, iso, color, &mut soup);
+                    march_one_tet(grid, &ids, level, iso, color, soup);
                 }
             }
             meshdata::CellType::Tetra => {
@@ -103,12 +122,11 @@ pub fn marching_tets(
                     pts[2] as usize,
                     pts[3] as usize,
                 ];
-                march_one_tet(grid, &ids, level, iso, color, &mut soup);
+                march_one_tet(grid, &ids, level, iso, color, soup);
             }
             _ => { /* 1-D/2-D cells carry no isosurface */ }
         }
     }
-    soup
 }
 
 fn march_one_tet(
@@ -198,8 +216,21 @@ pub fn slice_plane(
     normal: [f64; 3],
     color_array: &str,
 ) -> TriangleSoup {
+    let mut soup = TriangleSoup::default();
+    slice_plane_into(grid, origin, normal, color_array, &mut soup);
+    soup
+}
+
+/// [`slice_plane`], appending into an existing soup (buffer reuse).
+pub fn slice_plane_into(
+    grid: &UnstructuredGrid,
+    origin: [f64; 3],
+    normal: [f64; 3],
+    color_array: &str,
+    soup: &mut TriangleSoup,
+) {
     let Some(color) = grid.find_array(color_array, Centering::Point) else {
-        return TriangleSoup::default();
+        return;
     };
     let color = scalar_view(color);
     let level: Vec<f64> = grid
@@ -211,22 +242,36 @@ pub fn slice_plane(
                 + (p[2] - origin[2]) * normal[2]
         })
         .collect();
-    marching_tets(grid, &level, 0.0, &color)
+    marching_tets_into(grid, &level, 0.0, &color, soup);
 }
 
 /// Extract the isosurface `array = value`, colored by the same array.
 pub fn contour(grid: &UnstructuredGrid, array: &str, value: f64) -> TriangleSoup {
+    let mut soup = TriangleSoup::default();
+    contour_into(grid, array, value, &mut soup);
+    soup
+}
+
+/// [`contour`], appending into an existing soup (buffer reuse).
+pub fn contour_into(grid: &UnstructuredGrid, array: &str, value: f64, soup: &mut TriangleSoup) {
     let Some(a) = grid.find_array(array, Centering::Point) else {
-        return TriangleSoup::default();
+        return;
     };
     let level = scalar_view(a);
-    marching_tets(grid, &level, value, &level)
+    marching_tets_into(grid, &level, value, &level, soup);
 }
 
 /// Extract the external surface (faces owned by exactly one cell), colored
 /// by a point array. Quads are emitted as two triangles.
 pub fn surface(grid: &UnstructuredGrid, color_array: &str) -> TriangleSoup {
-    surface_of_cells(grid, color_array, |_| true)
+    let mut soup = TriangleSoup::default();
+    surface_into(grid, color_array, &mut soup);
+    soup
+}
+
+/// [`surface`], appending into an existing soup (buffer reuse).
+pub fn surface_into(grid: &UnstructuredGrid, color_array: &str, soup: &mut TriangleSoup) {
+    surface_of_cells(grid, color_array, |_| true, soup);
 }
 
 /// Threshold filter: keep hex cells whose mean point value of
@@ -240,22 +285,42 @@ pub fn threshold(
     hi: f64,
     color_array: &str,
 ) -> TriangleSoup {
+    let mut soup = TriangleSoup::default();
+    threshold_into(grid, threshold_array, lo, hi, color_array, &mut soup);
+    soup
+}
+
+/// [`threshold`], appending into an existing soup (buffer reuse).
+pub fn threshold_into(
+    grid: &UnstructuredGrid,
+    threshold_array: &str,
+    lo: f64,
+    hi: f64,
+    color_array: &str,
+    soup: &mut TriangleSoup,
+) {
     let Some(t) = grid.find_array(threshold_array, Centering::Point) else {
-        return TriangleSoup::default();
+        return;
     };
     let values = scalar_view(t);
-    surface_of_cells(grid, color_array, |cell_pts| {
-        let mean: f64 =
-            cell_pts.iter().map(|&p| values[p as usize]).sum::<f64>() / cell_pts.len() as f64;
-        (lo..=hi).contains(&mean)
-    })
+    surface_of_cells(
+        grid,
+        color_array,
+        |cell_pts| {
+            let mean: f64 =
+                cell_pts.iter().map(|&p| values[p as usize]).sum::<f64>() / cell_pts.len() as f64;
+            (lo..=hi).contains(&mean)
+        },
+        soup,
+    );
 }
 
 fn surface_of_cells(
     grid: &UnstructuredGrid,
     color_array: &str,
     keep: impl Fn(&[i64]) -> bool,
-) -> TriangleSoup {
+    soup: &mut TriangleSoup,
+) {
     use std::collections::HashMap;
     let color: Vec<f64> = match grid.find_array(color_array, Centering::Point) {
         Some(a) => scalar_view(a),
@@ -289,7 +354,6 @@ fn surface_of_cells(
                 .or_insert((quad, 1));
         }
     }
-    let mut soup = TriangleSoup::default();
     let mut external: Vec<[i64; 4]> = faces
         .into_values()
         .filter_map(|(quad, count)| (count == 1).then_some(quad))
@@ -299,19 +363,18 @@ fn surface_of_cells(
         let p = |i: i64| grid.points[i as usize];
         let s = |i: i64| color[i as usize];
         push_tri(
-            &mut soup,
+            soup,
             (p(quad[0]), s(quad[0])),
             (p(quad[1]), s(quad[1])),
             (p(quad[2]), s(quad[2])),
         );
         push_tri(
-            &mut soup,
+            soup,
             (p(quad[0]), s(quad[0])),
             (p(quad[2]), s(quad[2])),
             (p(quad[3]), s(quad[3])),
         );
     }
-    soup
 }
 
 #[cfg(test)]

@@ -93,6 +93,17 @@ pub struct RenderedImage {
     pub png: Option<Vec<u8>>,
 }
 
+/// Reusable buffers for [`RenderPipeline::execute_with`]: the triangle
+/// soup and the local framebuffer survive across passes and triggers, so
+/// steady-state rendering stops reallocating its two largest buffers.
+/// (Non-root ranks still hand their framebuffer to the compositor each
+/// pass — that transfer is the simulated MPI payload.)
+#[derive(Debug, Default)]
+pub struct RenderScratch {
+    fb: Framebuffer,
+    soup: TriangleSoup,
+}
+
 impl RenderPipeline {
     /// The paper's two-image Catalyst setup: a pressure slice and a
     /// velocity-magnitude contour.
@@ -136,6 +147,19 @@ impl RenderPipeline {
 
     /// Run every pass over the local blocks; images materialize on rank 0.
     pub fn execute(&self, comm: &mut Comm, mb: &MultiBlock, step: u64) -> Vec<RenderedImage> {
+        self.execute_with(comm, mb, step, &mut RenderScratch::default())
+    }
+
+    /// [`execute`](Self::execute) with caller-owned scratch buffers, so
+    /// repeated triggers reuse the framebuffer and triangle-soup
+    /// allocations. Results are identical to `execute`.
+    pub fn execute_with(
+        &self,
+        comm: &mut Comm,
+        mb: &MultiBlock,
+        step: u64,
+        scratch: &mut RenderScratch,
+    ) -> Vec<RenderedImage> {
         // Global bounds for camera framing.
         let local = mb.bounds().unwrap_or([0.0, 1.0, 0.0, 1.0, 0.0, 1.0]);
         let mut packed = [
@@ -156,28 +180,30 @@ impl RenderPipeline {
                 None => global_array_range(comm, mb, &pass.array),
             };
 
-            // Filter: extract local geometry (host-side work).
-            let mut soup = TriangleSoup::default();
+            // Filter: extract local geometry (host-side work) into the
+            // reusable soup.
+            let soup = &mut scratch.soup;
+            soup.clear();
             let mut n_cells = 0usize;
             for (_, g) in mb.local_blocks() {
                 n_cells += g.n_cells();
-                let part = match &pass.filter {
+                match &pass.filter {
                     FilterKind::Slice { origin, normal } => {
-                        filters::slice_plane(g, *origin, *normal, &pass.array)
+                        filters::slice_plane_into(g, *origin, *normal, &pass.array, soup)
                     }
                     FilterKind::ContourAtFraction(f) => {
-                        filters::contour(g, &pass.array, lo + f * (hi - lo))
+                        filters::contour_into(g, &pass.array, lo + f * (hi - lo), soup)
                     }
-                    FilterKind::Surface => filters::surface(g, &pass.array),
-                    FilterKind::ThresholdBand { lo: f0, hi: f1 } => filters::threshold(
+                    FilterKind::Surface => filters::surface_into(g, &pass.array, soup),
+                    FilterKind::ThresholdBand { lo: f0, hi: f1 } => filters::threshold_into(
                         g,
                         &pass.array,
                         lo + f0 * (hi - lo),
                         lo + f1 * (hi - lo),
                         &pass.array,
+                        soup,
                     ),
-                };
-                soup.extend(part);
+                }
             }
             // ~6 tets × ~40 flops per cell for extraction.
             comm.compute_host(n_cells as f64 * 240.0, n_cells as f64 * 64.0);
@@ -185,44 +211,52 @@ impl RenderPipeline {
             drop(filter_span);
             let raster_span = comm.span("render/raster");
 
-            // Rasterize locally. Triangle setup scales with the mesh
-            // (charged at the possibly-derated rates); per-pixel fill does
-            // not, so it is charged at the machine's true rates via the
-            // derate factor.
-            let mut fb = Framebuffer::new(self.width, self.height);
+            // Rasterize locally into the reusable framebuffer. Triangle
+            // setup scales with the mesh (charged at the possibly-derated
+            // rates); per-pixel fill does not, so it is charged at the
+            // machine's true rates via the derate factor.
+            scratch.fb.reset_to(self.width, self.height);
             // Framebuffer memory is pixel-proportional: account the
             // derate-adjusted size so it stays in proportion to the
             // mesh-proportional accountants on scaled runs.
             let fb_account =
-                (fb.heap_bytes() as f64 / comm.machine().derate_factor).max(1.0) as u64;
+                (scratch.fb.heap_bytes() as f64 / comm.machine().derate_factor).max(1.0) as u64;
             let _fb_charge = render_acct.charge(fb_account);
             let camera = Camera::framing(bounds, pass.camera_dir);
             let n_tris = soup.n_triangles();
-            fb.draw(&camera, &soup, &pass.colormap, (lo, hi));
+            scratch.fb.draw(&camera, soup, &pass.colormap, (lo, hi));
             let s = 1.0 / comm.machine().derate_factor;
             comm.compute_host(n_tris as f64 * 300.0, soup.heap_bytes() as f64);
             comm.compute_host(
                 (self.width * self.height) as f64 * 4.0 * s,
-                fb.heap_bytes() as f64 * s,
+                scratch.fb.heap_bytes() as f64 * s,
             );
             drop(raster_span);
             let _composite_span = comm.span("render/composite");
 
-            // Composite and encode on root.
+            // Composite and encode on root. The compositor takes the
+            // framebuffer by value (it is the message payload off-root);
+            // rank 0 gets the merged image back and returns it to the
+            // scratch afterwards so the next pass reuses the allocation.
+            let local_fb = std::mem::take(&mut scratch.fb);
             let composited = match self.compositing {
-                Compositing::Gather => composite_to_root(comm, fb),
-                Compositing::Tree => composite_tree(comm, fb),
+                Compositing::Gather => composite_to_root(comm, local_fb),
+                Compositing::Tree => composite_tree(comm, local_fb),
             };
-            let png = composited.map(|mut fb| {
-                if self.legend {
-                    fb.draw_legend(&pass.colormap, (lo, hi));
+            let png = match composited {
+                Some(mut fb) => {
+                    if self.legend {
+                        fb.draw_legend(&pass.colormap, (lo, hi));
+                    }
+                    let png = encode_png(&fb);
+                    // Encoding is pixel-proportional: true rates.
+                    let s = 1.0 / comm.machine().derate_factor;
+                    comm.compute_host(png.len() as f64 * s, png.len() as f64 * 2.0 * s);
+                    scratch.fb = fb;
+                    Some(png)
                 }
-                let png = encode_png(&fb);
-                // Encoding is pixel-proportional: true rates.
-                let s = 1.0 / comm.machine().derate_factor;
-                comm.compute_host(png.len() as f64 * s, png.len() as f64 * 2.0 * s);
-                png
-            });
+                None => None,
+            };
             images.push(RenderedImage {
                 name: format!("{}_{:06}", pass.name, step),
                 png,
@@ -263,6 +297,7 @@ pub struct CatalystAnalysis {
     images_rendered: u64,
     bytes_written: u64,
     last_images: Vec<RenderedImage>,
+    scratch: RenderScratch,
 }
 
 impl CatalystAnalysis {
@@ -280,6 +315,7 @@ impl CatalystAnalysis {
             images_rendered: 0,
             bytes_written: 0,
             last_images: Vec::new(),
+            scratch: RenderScratch::default(),
         }
     }
 
@@ -344,7 +380,9 @@ impl AnalysisAdaptor for CatalystAnalysis {
             data.add_array(comm, &mut mb, &self.mesh, Centering::Point, &array)?;
         }
         drop(copy);
-        let images = self.pipeline.execute(comm, &mb, data.time_step());
+        let images = self
+            .pipeline
+            .execute_with(comm, &mb, data.time_step(), &mut self.scratch);
         let _write = comm.span("render/write");
         for img in &images {
             if let Some(png) = &img.png {

@@ -21,6 +21,14 @@ pub struct Framebuffer {
 /// Background color (dark slate, ParaView-like).
 pub const BACKGROUND: [u8; 3] = [32, 32, 40];
 
+impl Default for Framebuffer {
+    /// An empty 0×0 framebuffer — a placeholder for `mem::take` when a
+    /// buffer is handed off to the compositor.
+    fn default() -> Self {
+        Self::new(0, 0)
+    }
+}
+
 impl Framebuffer {
     /// A cleared framebuffer.
     pub fn new(width: usize, height: usize) -> Self {
@@ -30,6 +38,25 @@ impl Framebuffer {
             color: vec![BACKGROUND; width * height],
             depth: vec![f32::INFINITY; width * height],
         }
+    }
+
+    /// Clear to background without touching the allocations (buffer reuse
+    /// across passes/triggers).
+    pub fn reset(&mut self) {
+        self.color.fill(BACKGROUND);
+        self.depth.fill(f32::INFINITY);
+    }
+
+    /// Resize if needed, then clear. When the size already matches, the
+    /// existing allocations are reused as-is.
+    pub fn reset_to(&mut self, width: usize, height: usize) {
+        if self.width != width || self.height != height {
+            self.width = width;
+            self.height = height;
+            self.color.resize(width * height, BACKGROUND);
+            self.depth.resize(width * height, f32::INFINITY);
+        }
+        self.reset();
     }
 
     /// Bytes held (for memory accounting).

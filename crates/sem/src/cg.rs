@@ -7,6 +7,7 @@
 //! communication signature NekRS's pressure/viscous solves show at scale.
 
 use crate::gs::GatherScatter;
+use crate::workspace::Workspace;
 use commsim::{Comm, ReduceOp};
 
 /// Solver controls.
@@ -63,9 +64,39 @@ pub fn wdot(comm: &mut Comm, a: &[f64], b: &[f64], weights: &[f64]) -> f64 {
 /// the initial guess (assembled/continuous, zero on masked nodes) and is
 /// overwritten with the solution. `diag_inv` is the inverse of the
 /// assembled operator diagonal (with masked entries arbitrary), `mask` is 1
-/// on free nodes and 0 on Dirichlet nodes.
+/// on free nodes and 0 on Dirichlet nodes. The four CG work vectors come
+/// from `ws` and are returned to it, so repeated solves don't allocate.
 #[allow(clippy::too_many_arguments)]
 pub fn solve(
+    comm: &mut Comm,
+    gs: &GatherScatter,
+    apply: impl FnMut(&mut Comm, &[f64], &mut [f64]),
+    b: &[f64],
+    x: &mut [f64],
+    diag_inv: &[f64],
+    mask: &[f64],
+    cfg: &CgConfig,
+    ws: &mut Workspace,
+) -> CgResult {
+    let _sp = comm.span("sem/cg");
+    debug_assert_eq!(ws.len(), b.len(), "workspace sized for a different mesh");
+    // Every element of r/z/p/q is written before it is read.
+    let mut r = ws.take_uninit();
+    let mut z = ws.take_uninit();
+    let mut p = ws.take_uninit();
+    let mut q = ws.take_uninit();
+    let result = solve_with(
+        comm, gs, apply, b, x, diag_inv, mask, cfg, &mut r, &mut z, &mut p, &mut q,
+    );
+    ws.put(r);
+    ws.put(z);
+    ws.put(p);
+    ws.put(q);
+    result
+}
+
+#[allow(clippy::too_many_arguments)]
+fn solve_with(
     comm: &mut Comm,
     gs: &GatherScatter,
     mut apply: impl FnMut(&mut Comm, &[f64], &mut [f64]),
@@ -74,29 +105,28 @@ pub fn solve(
     diag_inv: &[f64],
     mask: &[f64],
     cfg: &CgConfig,
+    r: &mut [f64],
+    z: &mut [f64],
+    p: &mut [f64],
+    q: &mut [f64],
 ) -> CgResult {
-    let _sp = comm.span("sem/cg");
     let n = b.len();
     let w = gs.mult_inv();
-    let mut r = vec![0.0; n];
-    let mut z = vec![0.0; n];
-    let mut p = vec![0.0; n];
-    let mut q = vec![0.0; n];
 
     // r = b - mask·GS(A x).
-    apply(comm, x, &mut q);
-    gs.sum(comm, &mut q);
+    apply(comm, x, &mut *q);
+    gs.sum(comm, &mut *q);
     for i in 0..n {
         r[i] = b[i] - mask[i] * q[i];
     }
     if cfg.project_mean {
-        remove_weighted_mean(comm, &mut r, w, mask);
+        remove_weighted_mean(comm, &mut *r, w, mask);
     }
 
     let norm_b = wdot(comm, b, b, w).sqrt();
     let target = (cfg.tol * norm_b).max(cfg.abs_tol);
 
-    let mut rnorm = wdot(comm, &r, &r, w).sqrt();
+    let mut rnorm = wdot(comm, &*r, &*r, w).sqrt();
     if rnorm <= target {
         return CgResult {
             iterations: 0,
@@ -108,18 +138,18 @@ pub fn solve(
     for i in 0..n {
         z[i] = diag_inv[i] * r[i] * mask[i];
     }
-    p.copy_from_slice(&z);
-    let mut rz = wdot(comm, &r, &z, w);
+    p.copy_from_slice(&*z);
+    let mut rz = wdot(comm, &*r, &*z, w);
 
     let mut iterations = 0;
     while iterations < cfg.max_iter {
         iterations += 1;
-        apply(comm, &p, &mut q);
-        gs.sum(comm, &mut q);
+        apply(comm, &*p, &mut *q);
+        gs.sum(comm, &mut *q);
         for i in 0..n {
             q[i] *= mask[i];
         }
-        let pq = wdot(comm, &p, &q, w);
+        let pq = wdot(comm, &*p, &*q, w);
         if pq.abs() < f64::MIN_POSITIVE * 1e10 {
             break; // operator degenerate on remaining subspace
         }
@@ -129,16 +159,16 @@ pub fn solve(
             r[i] -= alpha * q[i];
         }
         if cfg.project_mean {
-            remove_weighted_mean(comm, &mut r, w, mask);
+            remove_weighted_mean(comm, &mut *r, w, mask);
         }
-        rnorm = wdot(comm, &r, &r, w).sqrt();
+        rnorm = wdot(comm, &*r, &*r, w).sqrt();
         if rnorm <= target {
             break;
         }
         for i in 0..n {
             z[i] = diag_inv[i] * r[i] * mask[i];
         }
-        let rz_new = wdot(comm, &r, &z, w);
+        let rz_new = wdot(comm, &*r, &*z, w);
         let beta = rz_new / rz;
         rz = rz_new;
         for i in 0..n {
@@ -222,6 +252,7 @@ mod tests {
 
             let mut x = vec![0.0; n];
             let mut scratch = vec![0.0; n];
+            let mut ws = Workspace::new(n);
             let cfg = CgConfig {
                 tol: 1e-10,
                 max_iter: 500,
@@ -236,6 +267,7 @@ mod tests {
                 &diag_inv,
                 &mask,
                 &cfg,
+                &mut ws,
             );
             let err = x
                 .iter()
@@ -304,6 +336,7 @@ mod tests {
             let diag_inv = vec![1.0; n];
             let mask = vec![1.0; n];
             let mut scratch = vec![0.0; n];
+            let mut ws = Workspace::new(n);
             solve(
                 comm,
                 &gs,
@@ -313,6 +346,7 @@ mod tests {
                 &diag_inv,
                 &mask,
                 &CgConfig::default(),
+                &mut ws,
             )
         });
         assert_eq!(res[0].iterations, 0);
@@ -340,6 +374,7 @@ mod tests {
             let mask = vec![1.0; n];
             let mut x = vec![0.0; n];
             let mut scratch = vec![0.0; n];
+            let mut ws = Workspace::new(n);
             let cfg = CgConfig {
                 tol: 1e-10,
                 max_iter: 400,
@@ -355,6 +390,7 @@ mod tests {
                 &diag_inv,
                 &mask,
                 &cfg,
+                &mut ws,
             );
             let err = x
                 .iter()
@@ -386,6 +422,7 @@ mod tests {
             let diag_inv = vec![1.0; n];
             let mut x = vec![0.0; n];
             let mut scratch = vec![0.0; n];
+            let mut ws = Workspace::new(n);
             let cfg = CgConfig {
                 tol: 1e-30,
                 abs_tol: 0.0,
@@ -401,6 +438,7 @@ mod tests {
                 &diag_inv,
                 &mask,
                 &cfg,
+                &mut ws,
             )
         });
         assert_eq!(res[0].iterations, 3);

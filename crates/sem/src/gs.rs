@@ -189,23 +189,30 @@ fn build_exchange(
         for j in 0..l.np {
             for i in 0..l.np {
                 // The neighbor rank owns this node iff any fluid element on
-                // the far side of the plane shares it.
-                let mut dxs = vec![0isize];
+                // the far side of the plane shares it. Offsets fit in stack
+                // arrays: a node sits on at most one x- and one y-boundary.
+                let mut dxs = [0isize; 2];
+                let mut n_dx = 1;
                 if i == 0 {
-                    dxs.push(-1);
+                    dxs[n_dx] = -1;
+                    n_dx += 1;
                 }
                 if i == n {
-                    dxs.push(1);
+                    dxs[n_dx] = 1;
+                    n_dx += 1;
                 }
-                let mut dys = vec![0isize];
+                let mut dys = [0isize; 2];
+                let mut n_dy = 1;
                 if j == 0 {
-                    dys.push(-1);
+                    dys[n_dy] = -1;
+                    n_dy += 1;
                 }
                 if j == n {
-                    dys.push(1);
+                    dys[n_dy] = 1;
+                    n_dy += 1;
                 }
-                let shared = dxs.iter().any(|&dx| {
-                    dys.iter().any(|&dy| {
+                let shared = dxs[..n_dx].iter().any(|&dx| {
+                    dys[..n_dy].iter().any(|&dy| {
                         mesh.neighbor_elem(*e, [dx, dy, dz])
                             .is_some_and(|ne| !mesh.spec.is_solid(ne))
                     })

@@ -41,8 +41,10 @@ pub mod navier_stokes;
 pub mod operators;
 pub mod quadrature;
 pub mod timestep;
+pub mod workspace;
 
 pub use cases::{pb146, rbc, CaseParams};
 pub use field::FieldLayout;
 pub use mesh::{Bc, BcSet, LocalMesh, MeshSpec};
 pub use navier_stokes::{FilterConfig, FlowSolver, SolverConfig, StepReport};
+pub use workspace::Workspace;

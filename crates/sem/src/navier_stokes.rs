@@ -23,7 +23,8 @@ use crate::cg::{self, CgConfig, CgResult};
 use crate::gs::GatherScatter;
 use crate::mesh::{BcSet, LocalMesh};
 use crate::operators::Ops;
-use crate::timestep::{bdf, ext};
+use crate::timestep::{bdf_coeffs, ext_coeffs};
+use crate::workspace::Workspace;
 use commsim::{Comm, ReduceOp};
 use memtrack::Charge;
 
@@ -165,6 +166,9 @@ pub struct FlowSolver {
     p_diag_inv: Vec<f64>,
     filter_matrix: Option<Vec<f64>>,
     scratch: Vec<f64>,
+    /// Scratch-buffer arena for all per-step temporaries; after the warm-up
+    /// steps the hot loop recycles these instead of allocating.
+    ws: Workspace,
     step_index: usize,
     time: f64,
     _gpu_charge: Charge,
@@ -251,10 +255,12 @@ impl FlowSolver {
             u,
             p: vec![0.0; n],
             t,
-            u_hist: Vec::new(),
-            adv_hist: Vec::new(),
-            t_hist: Vec::new(),
-            t_adv_hist: Vec::new(),
+            // Capacity for the steady-state ring length plus the one-slot
+            // overshoot during insert, so history pushes never reallocate.
+            u_hist: Vec::with_capacity(3),
+            adv_hist: Vec::with_capacity(4),
+            t_hist: Vec::with_capacity(3),
+            t_adv_hist: Vec::with_capacity(4),
             vel_mask,
             vel_vals,
             p_mask,
@@ -267,6 +273,7 @@ impl FlowSolver {
             p_diag_inv,
             filter_matrix,
             scratch: vec![0.0; n],
+            ws: Workspace::new(n),
             step_index: 0,
             time: 0.0,
             _gpu_charge: gpu_charge,
@@ -339,12 +346,13 @@ impl FlowSolver {
 
     /// Compute the vorticity ∇×u on the device and return it (continuous,
     /// gather-scatter averaged), staged to host.
-    pub fn vorticity_host(&self, comm: &mut Comm) -> [Vec<f64>; 3] {
+    pub fn vorticity_host(&mut self, comm: &mut Comm) -> [Vec<f64>; 3] {
         let n = self.n_nodes();
+        // The returned vectors are the host-side copies (the allocation is
+        // the staging buffer); intermediates reuse solver scratch.
         let mut wx = vec![0.0; n];
         let mut wy = vec![0.0; n];
         let mut wz = vec![0.0; n];
-        let mut scratch = vec![0.0; n];
         self.ops.curl(
             comm,
             &self.u[0],
@@ -353,7 +361,7 @@ impl FlowSolver {
             &mut wx,
             &mut wy,
             &mut wz,
-            &mut scratch,
+            &mut self.scratch,
         );
         self.gs.average(comm, &mut wx);
         self.gs.average(comm, &mut wy);
@@ -363,11 +371,11 @@ impl FlowSolver {
     }
 
     /// Compute the Q-criterion on the device (continuous) and stage it.
-    pub fn q_criterion_host(&self, comm: &mut Comm) -> Vec<f64> {
+    pub fn q_criterion_host(&mut self, comm: &mut Comm) -> Vec<f64> {
         let n = self.n_nodes();
         let mut q = vec![0.0; n];
         self.ops
-            .q_criterion(comm, &self.u[0], &self.u[1], &self.u[2], &mut q);
+            .q_criterion(comm, &self.u[0], &self.u[1], &self.u[2], &mut q, &mut self.ws);
         self.gs.average(comm, &mut q);
         comm.d2h((n * 8) as u64);
         q
@@ -440,14 +448,21 @@ impl FlowSolver {
     pub fn step(&mut self, comm: &mut Comm) -> StepReport {
         let n = self.n_nodes();
         let k = self.cfg.bdf_order.min(self.step_index + 1).clamp(1, 3);
-        let (b0, bprev) = bdf(k);
-        let a = ext(k);
+        let (b0, bprev) = bdf_coeffs(k);
+        let a = ext_coeffs(k);
         let dt = self.cfg.dt;
         let h0 = b0 / dt;
 
-        // 1. Advection (+ buoyancy) at time n.
+        // 1. Advection (+ buoyancy) at time n. (All per-step temporaries
+        // below come from the workspace arena and go back into it; `advect`
+        // and friends overwrite every element, so recycled contents never
+        // leak into results.)
         let sp = comm.span("sem/advection");
-        let mut adv: [Vec<f64>; 3] = [vec![0.0; n], vec![0.0; n], vec![0.0; n]];
+        let mut adv: [Vec<f64>; 3] = [
+            self.ws.take_uninit(),
+            self.ws.take_uninit(),
+            self.ws.take_uninit(),
+        ];
         for c in 0..3 {
             let (ux, uy, uz) = (&self.u[0], &self.u[1], &self.u[2]);
             self.ops
@@ -463,7 +478,7 @@ impl FlowSolver {
         }
         let mut t_adv: Option<Vec<f64>> = None;
         if let (Some(tc), Some(t)) = (&self.cfg.temperature, &self.t) {
-            let mut ta = vec![0.0; n];
+            let mut ta = self.ws.take_uninit();
             self.ops.advect(
                 comm,
                 &self.u[0],
@@ -481,18 +496,26 @@ impl FlowSolver {
         for c in 0..3 {
             self.gs.average(comm, &mut adv[c]);
         }
+        // Recycle the expiring ring slot before inserting so the push never
+        // grows the Vec and the buffers return to the arena.
+        if self.adv_hist.len() == 3 {
+            let old = self.adv_hist.pop().expect("ring non-empty");
+            self.ws.put3(old);
+        }
         self.adv_hist.insert(0, adv);
-        self.adv_hist.truncate(3);
         if let Some(mut ta) = t_adv {
             self.gs.average(comm, &mut ta);
+            if self.t_adv_hist.len() == 3 {
+                let old = self.t_adv_hist.pop().expect("ring non-empty");
+                self.ws.put(old);
+            }
             self.t_adv_hist.insert(0, ta);
-            self.t_adv_hist.truncate(3);
         }
         drop(sp);
 
         // 2. Tentative velocity û. (Pure local arithmetic: charges no
         // virtual time, so it carries no span.)
-        let mut u_hat: [Vec<f64>; 3] = [vec![0.0; n], vec![0.0; n], vec![0.0; n]];
+        let mut u_hat: [Vec<f64>; 3] = [self.ws.take(), self.ws.take(), self.ws.take()];
         for c in 0..3 {
             for (j, &bj) in bprev.iter().enumerate() {
                 let uj: &[f64] = if j == 0 {
@@ -516,7 +539,7 @@ impl FlowSolver {
 
         // 3. Pressure Poisson.
         let sp = comm.span("sem/pressure");
-        let mut div = vec![0.0; n];
+        let mut div = self.ws.take_uninit();
         self.ops.div(
             comm,
             &u_hat[0],
@@ -525,10 +548,11 @@ impl FlowSolver {
             &mut div,
             &mut self.scratch,
         );
-        let mut b_p = vec![0.0; n];
+        let mut b_p = self.ws.take_uninit();
         for i in 0..n {
             b_p[i] = -h0 * self.mass_diag[i] * div[i];
         }
+        self.ws.put(div);
         self.gs.sum(comm, &mut b_p);
         for i in 0..n {
             b_p[i] *= self.p_mask[i];
@@ -548,14 +572,16 @@ impl FlowSolver {
             &self.p_diag_inv,
             &self.p_mask,
             &p_cfg,
+            &mut self.ws,
         );
+        self.ws.put(b_p);
         drop(sp);
 
         // 4. Projection u** = û − (Δt/b₀)∇p.
         let sp = comm.span("sem/project");
-        let mut gx = vec![0.0; n];
-        let mut gy = vec![0.0; n];
-        let mut gz = vec![0.0; n];
+        let mut gx = self.ws.take_uninit();
+        let mut gy = self.ws.take_uninit();
+        let mut gz = self.ws.take_uninit();
         self.ops.grad(comm, &self.p, &mut gx, &mut gy, &mut gz);
         self.gs.average(comm, &mut gx);
         self.gs.average(comm, &mut gy);
@@ -566,15 +592,23 @@ impl FlowSolver {
             u_hat[1][i] -= proj * gy[i];
             u_hat[2][i] -= proj * gz[i];
         }
+        self.ws.put3([gx, gy, gz]);
         drop(sp);
 
         // Save current velocity into history before overwriting.
-        let u_old = self.u.clone();
+        let mut u_old: [Vec<f64>; 3] = [
+            self.ws.take_uninit(),
+            self.ws.take_uninit(),
+            self.ws.take_uninit(),
+        ];
+        for c in 0..3 {
+            u_old[c].copy_from_slice(&self.u[c]);
+        }
 
         // 5. Viscous Helmholtz per component.
         let sp = comm.span("sem/viscous");
         let nu = self.cfg.viscosity;
-        let mut h_diag_inv = vec![0.0; n];
+        let mut h_diag_inv = self.ws.take_uninit();
         for i in 0..n {
             let d = h0 * self.mass_diag_assembled[i] + nu * self.stiff_diag_assembled[i];
             h_diag_inv[i] = 1.0 / d;
@@ -595,8 +629,13 @@ impl FlowSolver {
             );
             velocity[c] = report;
         }
+        self.ws.put(h_diag_inv);
+        self.ws.put3(u_hat);
+        if self.u_hist.len() == 2 {
+            let old = self.u_hist.pop().expect("ring non-empty");
+            self.ws.put3(old);
+        }
         self.u_hist.insert(0, u_old);
-        self.u_hist.truncate(2);
         drop(sp);
 
         // 6. Temperature advection–diffusion.
@@ -610,17 +649,17 @@ impl FlowSolver {
         // Stabilization: modal filter on the advected fields, then restore
         // boundary values and continuity.
         let sp = comm.span("sem/filter");
-        if let Some(fm) = self.filter_matrix.clone() {
+        if let Some(fm) = self.filter_matrix.as_ref() {
             for c in 0..3 {
                 self.ops
-                    .apply_tensor_op(comm, &fm, &mut self.u[c], &mut self.scratch);
+                    .apply_tensor_op(comm, fm, &mut self.u[c], &mut self.scratch);
                 self.gs.average(comm, &mut self.u[c]);
                 for i in 0..n {
                     self.u[c][i] = self.u[c][i] * self.vel_mask[c][i] + self.vel_vals[c][i];
                 }
             }
             if let Some(t) = self.t.as_mut() {
-                self.ops.apply_tensor_op(comm, &fm, t, &mut self.scratch);
+                self.ops.apply_tensor_op(comm, fm, t, &mut self.scratch);
                 self.gs.average(comm, t);
                 for i in 0..n {
                     t[i] = t[i] * self.t_mask[i] + self.t_vals[i];
@@ -631,7 +670,7 @@ impl FlowSolver {
 
         // Diagnostics: divergence of the end-of-step velocity.
         let sp = comm.span("sem/diagnostics");
-        let mut div_new = vec![0.0; n];
+        let mut div_new = self.ws.take_uninit();
         self.ops.div(
             comm,
             &self.u[0],
@@ -648,6 +687,7 @@ impl FlowSolver {
             .map(|((&d, &m), &wi)| d * d * m * wi)
             .sum();
         let divergence = comm.allreduce(local, ReduceOp::Sum).sqrt();
+        self.ws.put(div_new);
         drop(sp);
 
         self.step_index += 1;
@@ -674,30 +714,29 @@ impl FlowSolver {
         h_diag_inv: &[f64],
     ) -> CgResult {
         let n = self.n_nodes();
-        let mask = &self.vel_mask[c];
-        let x_bc = &self.vel_vals[c];
 
-        // b = h0·M·u** − H·x_bc, assembled and masked.
-        let mut b = vec![0.0; n];
+        // b = h0·M·u** − H·x_bc, assembled and masked. (b, ax, x are
+        // workspace buffers, fully overwritten before use.)
+        let mut b = self.ws.take_uninit();
         for i in 0..n {
             b[i] = h0 * self.mass_diag[i] * rhs_field[i];
         }
         // H·x_bc = h0·M·x_bc + ν·A·x_bc.
-        let mut ax = vec![0.0; n];
+        let mut ax = self.ws.take_uninit();
         self.ops
-            .stiffness_apply(comm, x_bc, &mut ax, &mut self.scratch);
+            .stiffness_apply(comm, &self.vel_vals[c], &mut ax, &mut self.scratch);
         for i in 0..n {
-            b[i] -= h0 * self.mass_diag[i] * x_bc[i] + nu * ax[i];
+            b[i] -= h0 * self.mass_diag[i] * self.vel_vals[c][i] + nu * ax[i];
         }
         self.gs.sum(comm, &mut b);
         for i in 0..n {
-            b[i] *= mask[i];
+            b[i] *= self.vel_mask[c][i];
         }
 
         // Initial guess: interior part of the current solution.
-        let mut x = vec![0.0; n];
+        let mut x = self.ws.take_uninit();
         for i in 0..n {
-            x[i] = self.u[c][i] * mask[i];
+            x[i] = self.u[c][i] * self.vel_mask[c][i];
         }
         let ops = &self.ops;
         let mass_diag = &self.mass_diag;
@@ -714,12 +753,16 @@ impl FlowSolver {
             &b,
             &mut x,
             h_diag_inv,
-            mask,
+            &self.vel_mask[c],
             &self.cfg.velocity_cg,
+            &mut self.ws,
         );
         for i in 0..n {
-            self.u[c][i] = x[i] + x_bc[i];
+            self.u[c][i] = x[i] + self.vel_vals[c][i];
         }
+        self.ws.put(b);
+        self.ws.put(ax);
+        self.ws.put(x);
         result
     }
 
@@ -727,18 +770,25 @@ impl FlowSolver {
     /// update without pressure).
     fn temperature_step(&mut self, comm: &mut Comm, k: usize, b0: f64, dt: f64) -> CgResult {
         let n = self.n_nodes();
-        let tc = self.cfg.temperature.clone().expect("temperature config");
-        let (_, bprev) = bdf(k);
-        let a = ext(k);
+        let (_, bprev) = bdf_coeffs(k);
+        let a = ext_coeffs(k);
         let h0 = b0 / dt;
-        let t_now = self.t.clone().expect("temperature field");
+        let kappa = self
+            .cfg
+            .temperature
+            .as_ref()
+            .expect("temperature config")
+            .diffusivity;
 
-        let mut t_hat = vec![0.0; n];
-        for (j, &bj) in bprev.iter().enumerate() {
-            let tj: &[f64] = if j == 0 { &t_now } else { &self.t_hist[j - 1] };
-            let coeff = -bj / b0;
-            for i in 0..n {
-                t_hat[i] += coeff * tj[i];
+        let mut t_hat = self.ws.take();
+        {
+            let t_now = self.t.as_deref().expect("temperature field");
+            for (j, &bj) in bprev.iter().enumerate() {
+                let tj: &[f64] = if j == 0 { t_now } else { &self.t_hist[j - 1] };
+                let coeff = -bj / b0;
+                for i in 0..n {
+                    t_hat[i] += coeff * tj[i];
+                }
             }
         }
         for (j, &aj) in a.iter().enumerate() {
@@ -749,18 +799,17 @@ impl FlowSolver {
             }
         }
 
-        let kappa = tc.diffusivity;
-        let mut h_diag_inv = vec![0.0; n];
+        let mut h_diag_inv = self.ws.take_uninit();
         for i in 0..n {
             h_diag_inv[i] =
                 1.0 / (h0 * self.mass_diag_assembled[i] + kappa * self.stiff_diag_assembled[i]);
         }
 
-        let mut b = vec![0.0; n];
+        let mut b = self.ws.take_uninit();
         for i in 0..n {
             b[i] = h0 * self.mass_diag[i] * t_hat[i];
         }
-        let mut ax = vec![0.0; n];
+        let mut ax = self.ws.take_uninit();
         self.ops
             .stiffness_apply(comm, &self.t_vals, &mut ax, &mut self.scratch);
         for i in 0..n {
@@ -771,14 +820,18 @@ impl FlowSolver {
             b[i] *= self.t_mask[i];
         }
 
-        let mut x = vec![0.0; n];
-        for i in 0..n {
-            x[i] = t_now[i] * self.t_mask[i];
+        let mut x = self.ws.take_uninit();
+        {
+            let t_now = self.t.as_deref().expect("temperature field");
+            for i in 0..n {
+                x[i] = t_now[i] * self.t_mask[i];
+            }
         }
         let ops = &self.ops;
         let mass_diag = &self.mass_diag;
         let scratch = &mut self.scratch;
         let t_mask = &self.t_mask;
+        let t_cg = self.cfg.temperature.as_ref().expect("temperature config").cg;
         let result = cg::solve(
             comm,
             &self.gs,
@@ -792,15 +845,24 @@ impl FlowSolver {
             &mut x,
             &h_diag_inv,
             t_mask,
-            &tc.cg,
+            &t_cg,
+            &mut self.ws,
         );
-        let t = self.t.as_mut().expect("temperature field");
-        let mut t_new = vec![0.0; n];
+        let mut t_new = self.ws.take_uninit();
         for i in 0..n {
             t_new[i] = x[i] + self.t_vals[i];
         }
+        if self.t_hist.len() == 2 {
+            let old = self.t_hist.pop().expect("ring non-empty");
+            self.ws.put(old);
+        }
+        let t = self.t.as_mut().expect("temperature field");
         self.t_hist.insert(0, std::mem::replace(t, t_new));
-        self.t_hist.truncate(2);
+        self.ws.put(t_hat);
+        self.ws.put(h_diag_inv);
+        self.ws.put(b);
+        self.ws.put(ax);
+        self.ws.put(x);
         result
     }
 }
@@ -1202,7 +1264,7 @@ mod tests {
                 mesh.eval_nodal(|x| -x[0].cos() * x[1].sin()),
                 mesh.eval_nodal(|_| 0.0),
             ];
-            let solver = FlowSolver::new(
+            let mut solver = FlowSolver::new(
                 comm,
                 mesh,
                 SolverConfig::default(),
@@ -1234,7 +1296,7 @@ mod tests {
                 mesh.eval_nodal(|x| -x[0].cos() * x[1].sin()),
                 mesh.eval_nodal(|_| 0.0),
             ];
-            let solver = FlowSolver::new(
+            let mut solver = FlowSolver::new(
                 comm,
                 mesh,
                 SolverConfig::default(),

@@ -12,6 +12,7 @@
 use crate::basis::Basis1d;
 use crate::field::FieldLayout;
 use crate::mesh::LocalMesh;
+use crate::workspace::Workspace;
 use commsim::Comm;
 use rayon::prelude::*;
 
@@ -30,6 +31,9 @@ pub struct Ops {
     pub jac: f64,
     /// Tensor quadrature weights w_i w_j w_k per element-local node.
     pub w3: Vec<f64>,
+    /// 1-D stiffness diagonal `K1[i] = Σ_m w_m D[m][i]²`, cached so
+    /// `stiffness_diag` never recomputes it.
+    k1: Vec<f64>,
 }
 
 impl Ops {
@@ -48,6 +52,13 @@ impl Ops {
                 }
             }
         }
+        let mut k1 = vec![0.0; np];
+        for i in 0..np {
+            for m in 0..np {
+                let d = basis.deriv[m * np + i];
+                k1[i] += basis.weights[m] * d * d;
+            }
+        }
         Self {
             basis,
             layout,
@@ -55,6 +66,7 @@ impl Ops {
             jac: h[0] * h[1] * h[2] / 8.0,
             h,
             w3,
+            k1,
         }
     }
 
@@ -207,18 +219,17 @@ impl Ops {
     /// Diagonal of the unassembled stiffness operator (Jacobi
     /// preconditioner source). Assemble with gather-scatter before use.
     pub fn stiffness_diag(&self) -> Vec<f64> {
-        let np = self.np();
-        let b = &self.basis;
-        // K1[i] = Σ_m w_m D[m][i]².
-        let mut k1 = vec![0.0; np];
-        for i in 0..np {
-            for m in 0..np {
-                let d = b.deriv[m * np + i];
-                k1[i] += b.weights[m] * d * d;
-            }
-        }
         let mut out = vec![0.0; self.layout.n_nodes()];
-        let w = &b.weights;
+        self.stiffness_diag_into(&mut out);
+        out
+    }
+
+    /// Allocation-free form of [`Self::stiffness_diag`]: fill `out`
+    /// (length `n_nodes`) from the cached 1-D diagonal.
+    pub fn stiffness_diag_into(&self, out: &mut [f64]) {
+        let np = self.np();
+        let k1 = &self.k1;
+        let w = &self.basis.weights;
         for e in 0..self.layout.n_elems {
             for k in 0..np {
                 for j in 0..np {
@@ -232,7 +243,6 @@ impl Ops {
                 }
             }
         }
-        out
     }
 
     /// Apply a 1-D operator matrix `m` (row-major (N+1)²) along all three
@@ -303,12 +313,15 @@ impl Ops {
         uy: &[f64],
         uz: &[f64],
         out: &mut [f64],
+        ws: &mut Workspace,
     ) {
         let n = self.layout.n_nodes();
         // Full velocity-gradient tensor: nine derivative sweeps.
         self.charge_derivs(comm, 9.0);
         self.charge_pointwise(comm, 20.0, 10.0);
-        let mut grad = vec![vec![0.0; n]; 9];
+        // Nine gradient components from the workspace instead of a fresh
+        // `vec![vec![..]; 9]` per visualization step.
+        let mut grad = [(); 9].map(|_| ws.take_uninit());
         for (c, u) in [ux, uy, uz].into_iter().enumerate() {
             for axis in 0..3 {
                 self.deriv_nocost(u, axis, &mut grad[c * 3 + axis]);
@@ -327,6 +340,9 @@ impl Ops {
                 }
             }
             out[i] = 0.5 * (o2 - s2);
+        }
+        for b in grad {
+            ws.put(b);
         }
     }
 
@@ -373,7 +389,21 @@ pub fn axpy(out: &mut [f64], a: &[f64], s: f64, b: &[f64]) {
     }
 }
 
-fn deriv_elem(u: &[f64], d: &[f64], np: usize, axis: usize, s: f64, out: &mut [f64]) {
+// ----------------------------------------------------------------------
+// Element-local derivative kernels.
+//
+// The bodies below are the kernels' single source of truth; they are
+// `inline(always)` so the const-generic wrappers monomorphize with `np`
+// a compile-time constant, letting LLVM fully unroll the (N+1)-long MAC
+// loop and keep the 1-D operator row in registers. Loop nests iterate
+// `i` innermost on every axis so reads and writes are unit-stride
+// (pencils along y/z are gathered with stride np/np²). The accumulation
+// order of each output's m-sum is identical in every variant, so results
+// are bitwise identical regardless of dispatch path.
+// ----------------------------------------------------------------------
+
+#[inline(always)]
+fn deriv_elem_body(u: &[f64], d: &[f64], np: usize, axis: usize, s: f64, out: &mut [f64]) {
     match axis {
         0 => {
             for k in 0..np {
@@ -391,8 +421,8 @@ fn deriv_elem(u: &[f64], d: &[f64], np: usize, axis: usize, s: f64, out: &mut [f
         }
         1 => {
             for k in 0..np {
-                for i in 0..np {
-                    for j in 0..np {
+                for j in 0..np {
+                    for i in 0..np {
                         let mut acc = 0.0;
                         for m in 0..np {
                             acc += d[j * np + m] * u[(k * np + m) * np + i];
@@ -403,9 +433,9 @@ fn deriv_elem(u: &[f64], d: &[f64], np: usize, axis: usize, s: f64, out: &mut [f
             }
         }
         2 => {
-            for j in 0..np {
-                for i in 0..np {
-                    for k in 0..np {
+            for k in 0..np {
+                for j in 0..np {
+                    for i in 0..np {
                         let mut acc = 0.0;
                         for m in 0..np {
                             acc += d[k * np + m] * u[(m * np + j) * np + i];
@@ -419,7 +449,8 @@ fn deriv_elem(u: &[f64], d: &[f64], np: usize, axis: usize, s: f64, out: &mut [f
     }
 }
 
-fn deriv_t_elem_accum(u: &[f64], d: &[f64], np: usize, axis: usize, s: f64, out: &mut [f64]) {
+#[inline(always)]
+fn deriv_t_elem_body(u: &[f64], d: &[f64], np: usize, axis: usize, s: f64, out: &mut [f64]) {
     match axis {
         0 => {
             for k in 0..np {
@@ -437,8 +468,8 @@ fn deriv_t_elem_accum(u: &[f64], d: &[f64], np: usize, axis: usize, s: f64, out:
         }
         1 => {
             for k in 0..np {
-                for i in 0..np {
-                    for j in 0..np {
+                for j in 0..np {
+                    for i in 0..np {
                         let mut acc = 0.0;
                         for m in 0..np {
                             acc += d[m * np + j] * u[(k * np + m) * np + i];
@@ -449,9 +480,9 @@ fn deriv_t_elem_accum(u: &[f64], d: &[f64], np: usize, axis: usize, s: f64, out:
             }
         }
         2 => {
-            for j in 0..np {
-                for i in 0..np {
-                    for k in 0..np {
+            for k in 0..np {
+                for j in 0..np {
+                    for i in 0..np {
                         let mut acc = 0.0;
                         for m in 0..np {
                             acc += d[m * np + k] * u[(m * np + j) * np + i];
@@ -462,6 +493,46 @@ fn deriv_t_elem_accum(u: &[f64], d: &[f64], np: usize, axis: usize, s: f64, out:
             }
         }
         _ => unreachable!("axis must be 0..3"),
+    }
+}
+
+fn deriv_elem_fixed<const NP: usize>(u: &[f64], d: &[f64], axis: usize, s: f64, out: &mut [f64]) {
+    deriv_elem_body(u, d, NP, axis, s, out);
+}
+
+fn deriv_t_elem_fixed<const NP: usize>(
+    u: &[f64],
+    d: &[f64],
+    axis: usize,
+    s: f64,
+    out: &mut [f64],
+) {
+    deriv_t_elem_body(u, d, NP, axis, s, out);
+}
+
+fn deriv_elem(u: &[f64], d: &[f64], np: usize, axis: usize, s: f64, out: &mut [f64]) {
+    // Monomorphized fast paths for the production polynomial orders
+    // (N = 2..7 ⇒ np = 3..8); anything else takes the generic body.
+    match np {
+        3 => deriv_elem_fixed::<3>(u, d, axis, s, out),
+        4 => deriv_elem_fixed::<4>(u, d, axis, s, out),
+        5 => deriv_elem_fixed::<5>(u, d, axis, s, out),
+        6 => deriv_elem_fixed::<6>(u, d, axis, s, out),
+        7 => deriv_elem_fixed::<7>(u, d, axis, s, out),
+        8 => deriv_elem_fixed::<8>(u, d, axis, s, out),
+        _ => deriv_elem_body(u, d, np, axis, s, out),
+    }
+}
+
+fn deriv_t_elem_accum(u: &[f64], d: &[f64], np: usize, axis: usize, s: f64, out: &mut [f64]) {
+    match np {
+        3 => deriv_t_elem_fixed::<3>(u, d, axis, s, out),
+        4 => deriv_t_elem_fixed::<4>(u, d, axis, s, out),
+        5 => deriv_t_elem_fixed::<5>(u, d, axis, s, out),
+        6 => deriv_t_elem_fixed::<6>(u, d, axis, s, out),
+        7 => deriv_t_elem_fixed::<7>(u, d, axis, s, out),
+        8 => deriv_t_elem_fixed::<8>(u, d, axis, s, out),
+        _ => deriv_t_elem_body(u, d, np, axis, s, out),
     }
 }
 
@@ -698,12 +769,14 @@ mod tests {
             let uy = mesh.eval_nodal(|x| x[0]);
             let uz = vec![0.0; n];
             let mut q = vec![0.0; n];
-            ops.q_criterion(comm, &ux, &uy, &uz, &mut q);
+            let mut ws = Workspace::new(n);
+            ops.q_criterion(comm, &ux, &uy, &uz, &mut q, &mut ws);
             let q_rot = q[0];
             // Pure strain: u = (x, -y, 0) ⇒ Q < 0.
             let ux = mesh.eval_nodal(|x| x[0]);
             let uy = mesh.eval_nodal(|x| -x[1]);
-            ops.q_criterion(comm, &ux, &uy, &uz, &mut q);
+            ops.q_criterion(comm, &ux, &uy, &uz, &mut q, &mut ws);
+            assert_eq!(ws.available(), 9, "q_criterion must return its buffers");
             (q_rot, q[0])
         });
         assert!(q_rot > 0.9, "rotation must give Q>0: {q_rot}");

@@ -9,10 +9,20 @@
 /// # Panics
 /// Panics for `k` outside 1..=3.
 pub fn bdf(k: usize) -> (f64, Vec<f64>) {
+    let (b0, b) = bdf_coeffs(k);
+    (b0, b.to_vec())
+}
+
+/// Allocation-free variant of [`bdf`]: the history coefficients are
+/// borrowed from static tables. This is what the stepping hot path uses.
+///
+/// # Panics
+/// Panics for `k` outside 1..=3.
+pub fn bdf_coeffs(k: usize) -> (f64, &'static [f64]) {
     match k {
-        1 => (1.0, vec![-1.0]),
-        2 => (1.5, vec![-2.0, 0.5]),
-        3 => (11.0 / 6.0, vec![-3.0, 1.5, -1.0 / 3.0]),
+        1 => (1.0, &[-1.0]),
+        2 => (1.5, &[-2.0, 0.5]),
+        3 => (11.0 / 6.0, &[-3.0, 1.5, -1.0 / 3.0]),
         _ => panic!("BDF order {k} not supported (1..=3)"),
     }
 }
@@ -23,10 +33,18 @@ pub fn bdf(k: usize) -> (f64, Vec<f64>) {
 /// # Panics
 /// Panics for `k` outside 1..=3.
 pub fn ext(k: usize) -> Vec<f64> {
+    ext_coeffs(k).to_vec()
+}
+
+/// Allocation-free variant of [`ext`] borrowing from static tables.
+///
+/// # Panics
+/// Panics for `k` outside 1..=3.
+pub fn ext_coeffs(k: usize) -> &'static [f64] {
     match k {
-        1 => vec![1.0],
-        2 => vec![2.0, -1.0],
-        3 => vec![3.0, -3.0, 1.0],
+        1 => &[1.0],
+        2 => &[2.0, -1.0],
+        3 => &[3.0, -3.0, 1.0],
         _ => panic!("EXT order {k} not supported (1..=3)"),
     }
 }

@@ -35,7 +35,7 @@ fn main() {
             vec!["pressure".into(), "velocity".into()],
             Some(dir_for_ranks.clone()),
         );
-        let mut da = NekDataAdaptor::new(comm, &solver);
+        let mut da = NekDataAdaptor::new(comm, &mut solver);
         chk.execute(comm, &mut da).expect("checkpoint");
         let step = solver.step_index();
         comm.barrier();

@@ -37,7 +37,7 @@ fn main() {
         let mut completed = 0u64;
         for step in 1..=40u64 {
             solver.step(comm);
-            let mut da = NekDataAdaptor::new(comm, &solver);
+            let mut da = NekDataAdaptor::new(comm, &mut solver);
             let keep_going = bridge.update(comm, step, &mut da).expect("update");
             completed = step;
             if !keep_going {

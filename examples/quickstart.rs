@@ -35,7 +35,7 @@ fn main() {
         // 3. Main loop: step, then hand the state to SENSEI.
         for step in 1..=20u64 {
             solver.step(comm);
-            let mut adaptor = NekDataAdaptor::new(comm, &solver);
+            let mut adaptor = NekDataAdaptor::new(comm, &mut solver);
             bridge.update(comm, step, &mut adaptor).expect("in situ update");
         }
         bridge.finalize(comm).expect("finalize");

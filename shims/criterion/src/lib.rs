@@ -3,34 +3,73 @@
 //! `sample_size`, `bench_function` / `bench_with_input`, `Bencher::iter`,
 //! `BenchmarkId`, and `black_box`.
 //!
-//! Instead of criterion's adaptive sampling and statistics, each
-//! benchmark runs one warm-up iteration plus a small fixed batch and
-//! prints the mean wall time — enough to eyeball regressions and to keep
-//! `cargo bench` fast on the simulated whole-run benches.
+//! Instead of criterion's adaptive sampling, each benchmark runs one
+//! untimed warm-up iteration and then a small fixed number of
+//! individually timed samples on the monotonic clock, reporting the
+//! median and the median absolute deviation (MAD) — robust statistics
+//! that shrug off the occasional scheduler hiccup while keeping
+//! `cargo bench` fast on the simulated whole-run benches. The same
+//! [`measure`] harness backs the `perf_report` binary.
 
 use std::fmt::Display;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 /// Opaque-to-the-optimizer identity, re-exported from std.
 pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
 }
 
+/// Robust wall-clock statistics over independent samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    /// Median seconds per iteration.
+    pub median_s: f64,
+    /// Median absolute deviation from the median, in seconds.
+    pub mad_s: f64,
+    /// Number of timed samples.
+    pub n: usize,
+}
+
+/// Run `warmup` untimed calls, then `samples` individually timed calls of
+/// `f` on the monotonic clock; return median/MAD over the samples.
+pub fn measure<O, F: FnMut() -> O>(warmup: usize, samples: usize, mut f: F) -> Stats {
+    for _ in 0..warmup {
+        black_box(f());
+    }
+    let n = samples.max(1);
+    let mut times = Vec::with_capacity(n);
+    for _ in 0..n {
+        let start = Instant::now();
+        black_box(f());
+        times.push(start.elapsed().as_secs_f64());
+    }
+    let median_s = median(&mut times);
+    let mut dev: Vec<f64> = times.iter().map(|&t| (t - median_s).abs()).collect();
+    let mad_s = median(&mut dev);
+    Stats { median_s, mad_s, n }
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        0.5 * (xs[n / 2 - 1] + xs[n / 2])
+    }
+}
+
 /// Timing context handed to benchmark closures.
 pub struct Bencher {
-    iters: u64,
-    elapsed: Duration,
+    samples: usize,
+    stats: Option<Stats>,
 }
 
 impl Bencher {
-    /// Time `iters` calls of `f` (after one untimed warm-up call).
-    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
-        black_box(f());
-        let start = Instant::now();
-        for _ in 0..self.iters {
-            black_box(f());
-        }
-        self.elapsed = start.elapsed();
+    /// Measure `f`: one untimed warm-up call, then `samples` individually
+    /// timed calls; median/MAD are recorded for the report line.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, f: F) {
+        self.stats = Some(measure(1, self.samples, f));
     }
 }
 
@@ -146,21 +185,28 @@ impl BenchmarkGroup<'_> {
 }
 
 fn run_one<F: FnMut(&mut Bencher)>(group: &str, label: String, sample_size: usize, mut f: F) {
-    // Cap the batch well below criterion's defaults: several benches wrap
-    // entire simulated runs, and the point here is a smoke signal.
-    let iters = sample_size.clamp(1, 10) as u64;
+    // Cap the sample count well below criterion's defaults: several
+    // benches wrap entire simulated runs, and the point here is a smoke
+    // signal with honest statistics.
+    let samples = sample_size.clamp(1, 10);
     let mut b = Bencher {
-        iters,
-        elapsed: Duration::ZERO,
+        samples,
+        stats: None,
     };
     f(&mut b);
-    let mean = b.elapsed.as_secs_f64() / iters as f64;
     let full = if group.is_empty() {
         label
     } else {
         format!("{group}/{label}")
     };
-    println!("bench {full:<48} {:>12.3} ms/iter (n={iters})", mean * 1e3);
+    match b.stats {
+        Some(Stats { median_s, mad_s, n }) => println!(
+            "bench {full:<48} {:>12.3} ms/iter (median, ±{:.3} MAD, n={n})",
+            median_s * 1e3,
+            mad_s * 1e3
+        ),
+        None => println!("bench {full:<48} (no measurement: closure never called iter)"),
+    }
 }
 
 /// Collect benchmark functions into a runnable group.
@@ -197,8 +243,26 @@ mod tests {
             b.iter(|| calls += 1);
         });
         g.finish();
-        // 1 warm-up + 5 timed.
+        // 1 warm-up + 5 timed samples.
         assert_eq!(calls, 6);
+    }
+
+    #[test]
+    fn measure_reports_robust_stats() {
+        let stats = measure(2, 5, || std::thread::sleep(std::time::Duration::from_micros(200)));
+        assert_eq!(stats.n, 5);
+        assert!(stats.median_s >= 200e-6, "median {}", stats.median_s);
+        assert!(stats.mad_s >= 0.0);
+        // MAD is robust: it must stay well below the median for a steady
+        // workload even if one sample is slow.
+        assert!(stats.mad_s <= stats.median_s);
+    }
+
+    #[test]
+    fn median_handles_even_and_odd() {
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&mut [7.0]), 7.0);
     }
 
     #[test]

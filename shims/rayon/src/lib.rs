@@ -1,41 +1,393 @@
 //! Offline stand-in for the `rayon` subset this workspace uses:
-//! `par_chunks` / `par_chunks_mut` from the prelude.
+//! `par_chunks` / `par_chunks_mut` from the prelude — backed by a real
+//! work-distributing thread pool.
 //!
-//! The shim returns std's sequential `Chunks` / `ChunksMut` iterators,
-//! whose `zip` / `for_each` combinators match the rayon call sites
-//! verbatim. Virtual-clock cost modelling in commsim charges for the
-//! parallel speedup explicitly, so sequential execution here changes
-//! wall-clock only, not simulated results.
+//! Unlike the original sequential shim, chunks are now executed on a
+//! fixed pool of worker threads (sized from `available_parallelism`, or
+//! `NEK_POOL_THREADS` / `RAYON_NUM_THREADS` when set). The design keeps
+//! three properties the workspace depends on:
+//!
+//! * **Bitwise determinism.** Work is split into the same chunks as the
+//!   sequential iterators, each chunk writes only its own output slice,
+//!   and the arithmetic inside a chunk is untouched — so results are
+//!   bit-identical for any pool size, including 1.
+//! * **One shared pool.** commsim runs one thread per simulated rank;
+//!   all ranks submit to the same global pool so N ranks do not spawn
+//!   N×cores workers. Rank threads inherit the submitting thread's
+//!   [`pool::with_threads`] override (the commsim runner propagates it).
+//! * **Zero steady-state allocation.** A `for_each` batch lives on the
+//!   submitting thread's stack; the job queue holds raw batch pointers
+//!   in a pre-reserved ring, so hot-loop submissions do not touch the
+//!   heap.
+//!
+//! Panics inside a chunk poison the batch (remaining chunks are drained
+//! unexecuted), and the first panic payload is re-raised on the
+//! submitting thread once all workers have detached from the batch.
+
+/// The work-distributing thread pool behind `par_chunks{,_mut}`.
+pub mod pool {
+    use std::any::Any;
+    use std::cell::Cell;
+    use std::collections::VecDeque;
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::{Condvar, Mutex, OnceLock};
+    use std::thread::{self, Thread};
+    use std::time::Duration;
+
+    /// Hard cap on spawned workers (guards absurd env-var values).
+    const MAX_WORKERS: usize = 256;
+
+    /// One `for_each` submission. Lives on the submitting thread's stack;
+    /// `pending` counts one unit per queued helper entry plus one for the
+    /// submitter, and `run` does not return until it reaches zero, so no
+    /// worker ever touches a dead batch.
+    struct Batch {
+        job: &'static (dyn Fn(usize) + Sync),
+        next: AtomicUsize,
+        n_jobs: usize,
+        pending: AtomicUsize,
+        owner: Thread,
+        poisoned: AtomicBool,
+        panic: Mutex<Option<Box<dyn Any + Send>>>,
+    }
+
+    #[derive(Clone, Copy)]
+    struct BatchPtr(*const Batch);
+    // SAFETY: the pointee is kept alive by the `pending` protocol above,
+    // and `Batch` itself is only touched through &-references.
+    unsafe impl Send for BatchPtr {}
+
+    struct Shared {
+        queue: Mutex<VecDeque<BatchPtr>>,
+        available: Condvar,
+        workers: Mutex<usize>,
+    }
+
+    fn shared() -> &'static Shared {
+        static SHARED: OnceLock<Shared> = OnceLock::new();
+        SHARED.get_or_init(|| Shared {
+            // Pre-reserved so steady-state submissions never reallocate:
+            // at most one entry per worker is outstanding per batch.
+            queue: Mutex::new(VecDeque::with_capacity(4 * MAX_WORKERS)),
+            available: Condvar::new(),
+            workers: Mutex::new(0),
+        })
+    }
+
+    fn ensure_workers(sh: &'static Shared, wanted: usize) {
+        let wanted = wanted.min(MAX_WORKERS);
+        let mut count = sh.workers.lock().unwrap();
+        while *count < wanted {
+            let idx = *count;
+            thread::Builder::new()
+                .name(format!("sem-pool-{idx}"))
+                .stack_size(1 << 20)
+                .spawn(move || worker_loop(shared()))
+                .expect("spawn pool worker");
+            *count += 1;
+        }
+    }
+
+    fn worker_loop(sh: &'static Shared) {
+        loop {
+            let ptr = {
+                let mut q = sh.queue.lock().unwrap();
+                loop {
+                    if let Some(p) = q.pop_front() {
+                        break p;
+                    }
+                    q = sh.available.wait(q).unwrap();
+                }
+            };
+            // SAFETY: we hold one `pending` unit for this entry; the
+            // submitter keeps the batch alive until pending hits zero.
+            let batch: &Batch = unsafe { &*ptr.0 };
+            work_on(batch);
+            // Clone the owner handle *before* releasing our unit — after
+            // the fetch_sub the batch may be gone.
+            let owner = batch.owner.clone();
+            if batch.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                owner.unpark();
+            }
+        }
+    }
+
+    /// Claim chunk indices until the batch is exhausted. On panic, poison
+    /// the batch so remaining chunks are drained unexecuted and stash the
+    /// first payload for the submitter to re-raise.
+    fn work_on(batch: &Batch) {
+        loop {
+            let i = batch.next.fetch_add(1, Ordering::Relaxed);
+            if i >= batch.n_jobs {
+                return;
+            }
+            if batch.poisoned.load(Ordering::Relaxed) {
+                continue;
+            }
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| (batch.job)(i))) {
+                batch.poisoned.store(true, Ordering::Relaxed);
+                let mut slot = batch.panic.lock().unwrap();
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+        }
+    }
+
+    /// Execute `job(0..n_jobs)` across the pool. The submitting thread
+    /// always participates; with an effective size of 1 (the default on a
+    /// single-core host) this is a plain sequential loop with no
+    /// synchronization at all.
+    pub fn run<F: Fn(usize) + Sync>(n_jobs: usize, job: F) {
+        if n_jobs == 0 {
+            return;
+        }
+        let threads = current_threads().max(1);
+        let helpers = threads.saturating_sub(1).min(n_jobs - 1);
+        if helpers == 0 {
+            for i in 0..n_jobs {
+                job(i);
+            }
+            return;
+        }
+        let sh = shared();
+        ensure_workers(sh, helpers);
+        let job_ref: &(dyn Fn(usize) + Sync) = &job;
+        // SAFETY: lifetime-erased borrow of a stack closure. The batch
+        // protocol below guarantees every worker has made its last access
+        // (pending == 0) before `run` returns, so the borrow never
+        // outlives the closure.
+        let job_static: &'static (dyn Fn(usize) + Sync) =
+            unsafe { std::mem::transmute(job_ref) };
+        let batch = Batch {
+            job: job_static,
+            next: AtomicUsize::new(0),
+            n_jobs,
+            pending: AtomicUsize::new(helpers + 1),
+            owner: thread::current(),
+            poisoned: AtomicBool::new(false),
+            panic: Mutex::new(None),
+        };
+        {
+            let mut q = sh.queue.lock().unwrap();
+            for _ in 0..helpers {
+                q.push_back(BatchPtr(&batch));
+            }
+        }
+        if helpers == 1 {
+            sh.available.notify_one();
+        } else {
+            sh.available.notify_all();
+        }
+        work_on(&batch);
+        if batch.pending.fetch_sub(1, Ordering::AcqRel) != 1 {
+            // Timeout is a missed-unpark safety net, not the signal path.
+            while batch.pending.load(Ordering::Acquire) != 0 {
+                thread::park_timeout(Duration::from_micros(100));
+            }
+        }
+        let payload = { batch.panic.lock().unwrap().take() };
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+
+    thread_local! {
+        /// Per-thread pool-size override; 0 means "use the default".
+        static OVERRIDE: Cell<usize> = const { Cell::new(0) };
+    }
+
+    /// Process-wide default pool size: `NEK_POOL_THREADS`, then
+    /// `RAYON_NUM_THREADS`, then `available_parallelism`.
+    pub fn default_threads() -> usize {
+        static DEFAULT: OnceLock<usize> = OnceLock::new();
+        *DEFAULT.get_or_init(|| {
+            for var in ["NEK_POOL_THREADS", "RAYON_NUM_THREADS"] {
+                if let Some(n) = std::env::var(var)
+                    .ok()
+                    .and_then(|v| v.trim().parse::<usize>().ok())
+                {
+                    if n >= 1 {
+                        return n.min(MAX_WORKERS + 1);
+                    }
+                }
+            }
+            thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        })
+    }
+
+    /// Pool size par calls from this thread will use.
+    pub fn current_threads() -> usize {
+        let o = OVERRIDE.with(|c| c.get());
+        if o != 0 {
+            o
+        } else {
+            default_threads()
+        }
+    }
+
+    /// This thread's raw override (0 = none). The commsim runner reads
+    /// this on the spawning thread and re-installs it inside each rank
+    /// thread via [`with_override`], so `with_threads(n, || run_ranks(..))`
+    /// applies to the ranks' par calls too.
+    pub fn override_threads() -> usize {
+        OVERRIDE.with(|c| c.get())
+    }
+
+    /// Run `f` with this thread's pool size forced to `n` (>= 1).
+    pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+        with_override(n.max(1), f)
+    }
+
+    /// Install `o` (0 clears) as this thread's override for `f`'s
+    /// duration; restored even on panic.
+    pub fn with_override<R>(o: usize, f: impl FnOnce() -> R) -> R {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                OVERRIDE.with(|c| c.set(self.0));
+            }
+        }
+        let prev = OVERRIDE.with(|c| {
+            let p = c.get();
+            c.set(o);
+            p
+        });
+        let _restore = Restore(prev);
+        f()
+    }
+}
 
 /// Prelude mirroring `rayon::prelude` for the traits this workspace uses.
 pub mod prelude {
-    /// `par_chunks` over shared slices (sequential in this shim).
-    pub trait ParallelSlice<T> {
-        /// Iterate over `size`-sized chunks of the slice.
-        fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T>;
+    use crate::pool;
+
+    /// Raw-pointer wrapper so disjoint mutable chunks can be handed to
+    /// worker threads.
+    struct SendPtr<T>(*mut T);
+    // SAFETY: each job index derives a disjoint subslice from the base
+    // pointer; no two jobs alias.
+    unsafe impl<T: Send> Send for SendPtr<T> {}
+    unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+    impl<T> SendPtr<T> {
+        // Accessor (rather than field access) so closures capture the
+        // whole wrapper, keeping its Send/Sync impls in effect.
+        fn get(&self) -> *mut T {
+            self.0
+        }
     }
 
-    /// `par_chunks_mut` over mutable slices (sequential in this shim).
+    fn n_chunks(len: usize, size: usize) -> usize {
+        len.div_ceil(size)
+    }
+
+    /// Parallel iterator over `size`-sized chunks of a shared slice.
+    pub struct ParChunks<'a, T> {
+        slice: &'a [T],
+        size: usize,
+    }
+
+    /// Parallel iterator over `size`-sized chunks of a mutable slice.
+    pub struct ParChunksMut<'a, T> {
+        slice: &'a mut [T],
+        size: usize,
+    }
+
+    /// `ParChunksMut` zipped with `ParChunks`, pairing chunk i with chunk i.
+    pub struct ZipMut<'a, 'b, T, U> {
+        a: ParChunksMut<'a, T>,
+        b: ParChunks<'b, U>,
+    }
+
+    impl<'a, T: Sync> ParChunks<'a, T> {
+        /// Apply `f` to every chunk, distributed across the pool.
+        pub fn for_each<F: Fn(&[T]) + Sync>(self, f: F) {
+            let (slice, size) = (self.slice, self.size);
+            pool::run(n_chunks(slice.len(), size), |i| {
+                let start = i * size;
+                let end = (start + size).min(slice.len());
+                f(&slice[start..end]);
+            });
+        }
+    }
+
+    impl<'a, T: Send> ParChunksMut<'a, T> {
+        /// Pair with the chunks of a shared slice (rayon's `zip`).
+        pub fn zip<'b, U>(self, other: ParChunks<'b, U>) -> ZipMut<'a, 'b, T, U> {
+            ZipMut { a: self, b: other }
+        }
+
+        /// Apply `f` to every chunk, distributed across the pool.
+        pub fn for_each<F: Fn(&mut [T]) + Sync>(self, f: F) {
+            let size = self.size;
+            let len = self.slice.len();
+            let base = SendPtr(self.slice.as_mut_ptr());
+            pool::run(n_chunks(len, size), |i| {
+                let start = i * size;
+                let end = (start + size).min(len);
+                // SAFETY: job i touches only [start, end); chunks are
+                // disjoint by construction.
+                let chunk =
+                    unsafe { std::slice::from_raw_parts_mut(base.get().add(start), end - start) };
+                f(chunk);
+            });
+        }
+    }
+
+    impl<'a, 'b, T: Send, U: Sync> ZipMut<'a, 'b, T, U> {
+        /// Apply `f` to each `(mut_chunk, shared_chunk)` pair.
+        pub fn for_each<F: Fn((&mut [T], &[U])) + Sync>(self, f: F) {
+            let (a_size, a_len) = (self.a.size, self.a.slice.len());
+            let (b_size, b_len) = (self.b.size, self.b.slice.len());
+            let n = n_chunks(a_len, a_size).min(n_chunks(b_len, b_size));
+            let base = SendPtr(self.a.slice.as_mut_ptr());
+            let b = self.b.slice;
+            pool::run(n, |i| {
+                let astart = i * a_size;
+                let aend = (astart + a_size).min(a_len);
+                let bstart = i * b_size;
+                let bend = (bstart + b_size).min(b_len);
+                // SAFETY: job i touches only its own output range.
+                let ac = unsafe {
+                    std::slice::from_raw_parts_mut(base.get().add(astart), aend - astart)
+                };
+                f((ac, &b[bstart..bend]));
+            });
+        }
+    }
+
+    /// `par_chunks` over shared slices.
+    pub trait ParallelSlice<T> {
+        /// Parallel iterator over `size`-sized chunks of the slice.
+        fn par_chunks(&self, size: usize) -> ParChunks<'_, T>;
+    }
+
+    /// `par_chunks_mut` over mutable slices.
     pub trait ParallelSliceMut<T> {
-        /// Iterate over `size`-sized mutable chunks of the slice.
-        fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T>;
+        /// Parallel iterator over `size`-sized mutable chunks of the slice.
+        fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
     }
 
     impl<T> ParallelSlice<T> for [T] {
-        fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T> {
-            self.chunks(size)
+        fn par_chunks(&self, size: usize) -> ParChunks<'_, T> {
+            assert!(size > 0, "chunk size must be non-zero");
+            ParChunks { slice: self, size }
         }
     }
 
     impl<T> ParallelSliceMut<T> for [T] {
-        fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T> {
-            self.chunks_mut(size)
+        fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+            assert!(size > 0, "chunk size must be non-zero");
+            ParChunksMut { slice: self, size }
         }
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::pool;
     use super::prelude::*;
 
     #[test]
@@ -50,5 +402,85 @@ mod tests {
                 }
             });
         assert_eq!(dst, [2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn results_identical_across_pool_sizes() {
+        let n = 10_007; // deliberately not a multiple of the chunk size
+        let src: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let run = |threads: usize| {
+            pool::with_threads(threads, || {
+                let mut dst = vec![0.0f64; n];
+                dst.par_chunks_mut(64)
+                    .zip(src.par_chunks(64))
+                    .for_each(|(d, s)| {
+                        for (di, si) in d.iter_mut().zip(s) {
+                            *di = si * 1.5 + 0.25;
+                        }
+                    });
+                dst
+            })
+        };
+        let seq = run(1);
+        for threads in [2, 3, 8] {
+            let par = run(threads);
+            assert!(
+                seq.iter().zip(&par).all(|(a, b)| a.to_bits() == b.to_bits()),
+                "pool size {threads} changed results"
+            );
+        }
+    }
+
+    #[test]
+    fn uneven_tail_chunk_is_processed() {
+        pool::with_threads(4, || {
+            let mut v = vec![0u64; 130]; // 130 = 2*64 + tail of 2
+            v.par_chunks_mut(64).for_each(|c| {
+                for x in c.iter_mut() {
+                    *x = 7;
+                }
+            });
+            assert!(v.iter().all(|&x| x == 7));
+        });
+    }
+
+    #[test]
+    fn panic_in_chunk_propagates_and_pool_survives() {
+        let result = std::panic::catch_unwind(|| {
+            pool::with_threads(4, || {
+                let mut v = vec![0.0f64; 256];
+                v.par_chunks_mut(16).for_each(|c| {
+                    if c[0] == 0.0 {
+                        panic!("poisoned worker");
+                    }
+                });
+            });
+        });
+        let err = result.expect_err("panic should propagate to the submitter");
+        let msg = err
+            .downcast_ref::<&str>()
+            .copied()
+            .map(String::from)
+            .or_else(|| err.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("poisoned worker"), "unexpected payload: {msg}");
+
+        // The pool must stay usable after a poisoned batch.
+        pool::with_threads(4, || {
+            let mut v = [0u8; 64];
+            v.par_chunks_mut(8).for_each(|c| c.iter_mut().for_each(|x| *x = 1));
+            assert!(v.iter().all(|&x| x == 1));
+        });
+    }
+
+    #[test]
+    fn override_nests_and_restores() {
+        assert_eq!(pool::override_threads(), 0);
+        pool::with_threads(3, || {
+            assert_eq!(pool::current_threads(), 3);
+            pool::with_threads(1, || assert_eq!(pool::current_threads(), 1));
+            assert_eq!(pool::current_threads(), 3);
+        });
+        assert_eq!(pool::override_threads(), 0);
     }
 }

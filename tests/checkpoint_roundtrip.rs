@@ -32,7 +32,7 @@ fn vtu_checkpoint_roundtrips_bit_exact_across_ranks() {
             vec!["pressure".into(), "velocity".into()],
             Some(dir2.clone()),
         );
-        let mut da = NekDataAdaptor::new(comm, &solver);
+        let mut da = NekDataAdaptor::new(comm, &mut solver);
         chk.execute(comm, &mut da).expect("checkpoint");
         comm.barrier();
 
@@ -76,10 +76,10 @@ fn fld_and_vtu_checkpoints_are_consistent() {
         let mut params = CaseParams::pb146_default();
         params.elems = [2, 2, 2];
         params.order = 2;
-        let solver = pb146(&params, 2).build(comm);
+        let mut solver = pb146(&params, 2).build(comm);
         let mut fld = nek_sensei::FldCheckpointer::new(comm, None);
         let fld_bytes = fld.write(comm, &solver);
-        let mut da = NekDataAdaptor::new(comm, &solver);
+        let mut da = NekDataAdaptor::new(comm, &mut solver);
         let mut mb = da.mesh(comm, "mesh").unwrap();
         da.add_array(comm, &mut mb, "mesh", Centering::Point, "pressure")
             .unwrap();

@@ -20,7 +20,7 @@ fn simulate_with_config(config_xml: &'static str) -> Vec<(u64, u64)> {
                 .expect("valid config");
         for step in 1..=6u64 {
             solver.step(comm);
-            let mut da = NekDataAdaptor::new(comm, &solver);
+            let mut da = NekDataAdaptor::new(comm, &mut solver);
             bridge.update(comm, step, &mut da).expect("update");
         }
         bridge.finalize(comm).expect("finalize");

@@ -1,0 +1,162 @@
+//! The thread pool must change wall time only — never results.
+//!
+//! `shims/rayon` distributes `par_chunks` work across a real pool, but
+//! each chunk writes a fixed, disjoint output range and per-chunk
+//! arithmetic order is untouched, so solver fields and rendered frames
+//! must be *bitwise* identical whatever the pool width. These tests pin
+//! that contract, plus the pool's panic/poisoning behavior and the
+//! propagation of pool-width overrides into commsim's rank threads.
+
+use commsim::{run_ranks, MachineModel};
+use nek_sensei::{run_insitu, InSituConfig, InSituMode};
+use rayon::pool;
+use sem::cases::{pb146, CaseParams};
+use sem::navier_stokes::FieldId;
+
+/// FNV-1a 64 — tiny, dependency-free, and stable across platforms.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Run a short pb146 solve on 2 ranks and return every field as raw bits.
+fn solve_field_bits(pool_threads: usize) -> Vec<Vec<u64>> {
+    pool::with_override(pool_threads, || {
+        let per_rank = run_ranks(2, MachineModel::test_tiny(), |comm| {
+            let mut params = CaseParams::pb146_default();
+            params.elems = [2, 2, 4];
+            params.order = 3;
+            let mut solver = pb146(&params, 8).build(comm);
+            for _ in 0..4 {
+                solver.step(comm);
+            }
+            [
+                FieldId::VelX,
+                FieldId::VelY,
+                FieldId::VelZ,
+                FieldId::Pressure,
+            ]
+            .iter()
+            .map(|&id| {
+                solver
+                    .field_device(id)
+                    .expect("field exists")
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<u64>>()
+            })
+            .collect::<Vec<_>>()
+        });
+        per_rank.into_iter().flatten().collect()
+    })
+}
+
+#[test]
+fn solver_fields_bitwise_identical_across_pool_widths() {
+    let sequential = solve_field_bits(1);
+    for threads in [2usize, 4] {
+        let parallel = solve_field_bits(threads);
+        assert_eq!(
+            sequential, parallel,
+            "solver fields diverged between 1 and {threads} pool threads"
+        );
+    }
+}
+
+/// Render the pb146 Catalyst frames and hash every PNG written.
+fn golden_hashes(pool_threads: usize, tag: &str) -> Vec<(String, u64)> {
+    let dir = std::env::temp_dir().join(format!(
+        "nek-sensei-par-det-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    pool::with_override(pool_threads, || {
+        let mut params = CaseParams::pb146_default();
+        params.elems = [2, 2, 4];
+        params.order = 2;
+        let report = run_insitu(&InSituConfig {
+            case: pb146(&params, 8),
+            ranks: 2,
+            steps: 3,
+            trigger_every: 3,
+            machine: MachineModel::test_tiny(),
+            image_size: (64, 48),
+            mode: InSituMode::Catalyst,
+            output_dir: Some(dir.clone()),
+            trace: false,
+        });
+        assert!(report.files_written > 0, "Catalyst must write images");
+    });
+    let mut hashes: Vec<(String, u64)> = std::fs::read_dir(&dir)
+        .expect("scratch dir")
+        .map(|e| {
+            let e = e.expect("dir entry");
+            let name = e.file_name().to_string_lossy().into_owned();
+            let bytes = std::fs::read(e.path()).expect("png bytes");
+            (name, fnv1a64(&bytes))
+        })
+        .collect();
+    hashes.sort();
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(!hashes.is_empty(), "no frames rendered");
+    hashes
+}
+
+#[test]
+fn golden_image_hashes_identical_across_pool_widths() {
+    let sequential = golden_hashes(1, "seq");
+    let parallel = golden_hashes(4, "par");
+    assert_eq!(
+        sequential, parallel,
+        "rendered frames diverged between 1 and 4 pool threads"
+    );
+}
+
+#[test]
+fn pool_override_propagates_into_rank_threads() {
+    let widths = pool::with_override(3, || {
+        run_ranks(2, MachineModel::test_tiny(), |comm| {
+            let _ = comm.rank();
+            pool::current_threads()
+        })
+    });
+    assert_eq!(widths, vec![3, 3], "rank threads must adopt the override");
+    // Outside the override the default is back in force.
+    assert_eq!(pool::current_threads(), pool::default_threads());
+}
+
+#[test]
+fn poisoned_worker_panic_reaches_caller_and_pool_survives() {
+    use rayon::prelude::*;
+
+    let panicked = std::panic::catch_unwind(|| {
+        pool::with_threads(4, || {
+            let mut data = vec![0.0f64; 4096];
+            data.par_chunks_mut(64).for_each(|chunk| {
+                if chunk[0] == 0.0 {
+                    // Every chunk trips this; the first panic wins and the
+                    // rest are drained without running.
+                    panic!("injected worker panic");
+                }
+            });
+        })
+    });
+    assert!(panicked.is_err(), "worker panic must reach the submitter");
+
+    // The pool is not wedged: the next parallel op completes and the
+    // results are correct.
+    pool::with_threads(4, || {
+        let mut data = vec![1.0f64; 4096];
+        data.par_chunks_mut(64).for_each(|chunk| {
+            for v in chunk.iter_mut() {
+                *v += 1.0;
+            }
+        });
+        assert!(data.iter().all(|&v| v == 2.0));
+    });
+}

@@ -24,7 +24,7 @@ fn watchdog_stops_a_simulation_mid_run() {
         for step in 1..=10u64 {
             solver.step(comm);
             steps_run = step;
-            let mut da = NekDataAdaptor::new(comm, &solver);
+            let mut da = NekDataAdaptor::new(comm, &mut solver);
             if !bridge.update(comm, step, &mut da).unwrap() {
                 break;
             }
@@ -68,12 +68,12 @@ fn discard_policy_loses_steps_but_keeps_the_stream_consistent() {
         let mut params = CaseParams::pb146_default();
         params.elems = [2, 2, 2];
         params.order = 1;
-        let solver = pb146(&params, 2).build(comm);
+        let mut solver = pb146(&params, 2).build(comm);
         let mut analysis = TransportAnalysis::new("mesh", vec!["pressure".into()], writer);
         for step in 1..=30u64 {
             // Reuse the same solver state; only the step stamp changes.
             let mut da = NekDataAdaptorShim {
-                inner: NekDataAdaptor::new(comm, &solver),
+                inner: NekDataAdaptor::new(comm, &mut solver),
                 step,
             };
             analysis.execute(comm, &mut da).unwrap();
