@@ -34,6 +34,8 @@ fn bench_insitu(c: &mut Criterion) {
                         machine: MachineModel::polaris(),
                         image_size: (64, 48),
                         mode,
+                        exec: Default::default(),
+                        faults: commsim::FaultPlan::none(),
                         output_dir: None,
                         trace: false,
                     });

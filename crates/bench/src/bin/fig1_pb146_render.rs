@@ -5,12 +5,8 @@
 //! velocity magnitude plus a pressure slice. PNGs land under `--out`
 //! (default `out/fig1`).
 
-use bench_harness::HarnessArgs;
+use bench_harness::{cases, HarnessArgs};
 use commsim::{run_ranks, MachineModel};
-use insitu::{AnalysisAdaptor, DataAdaptor};
-use nek_sensei::NekDataAdaptor;
-use render::pipeline::{FilterKind, RenderPass, RenderPipeline};
-use render::{CatalystAnalysis, Colormap};
 use sem::cases::{pb146, CaseParams};
 
 fn main() {
@@ -29,50 +25,13 @@ fn main() {
         for _ in 0..steps {
             solver.step(comm);
         }
-        let pipeline = RenderPipeline {
-            width: 1000,
-            height: 750,
-            passes: vec![
-                RenderPass {
-                    name: "pebble_bed_surface".into(),
-                    filter: FilterKind::Surface,
-                    array: "velocity".into(),
-                    colormap: Colormap::viridis(),
-                    range: None,
-                    camera_dir: [1.0, 0.8, 0.45],
-                },
-                RenderPass {
-                    name: "pressure_slice".into(),
-                    filter: FilterKind::Slice {
-                        origin: [0.5, 0.5, 1.0],
-                        normal: [0.0, 1.0, 0.0],
-                    },
-                    array: "pressure".into(),
-                    colormap: Colormap::cool_warm(),
-                    range: None,
-                    camera_dir: [0.0, -1.0, 0.15],
-                },
-                RenderPass {
-                    name: "q_criterion_cores".into(),
-                    filter: FilterKind::ContourAtFraction(0.55),
-                    array: "q_criterion".into(),
-                    colormap: Colormap::viridis(),
-                    range: None,
-                    camera_dir: [0.8, 1.0, 0.5],
-                },
-            ],
-            compositing: render::pipeline::Compositing::Gather,
-            legend: true,
-        };
-        let mut analysis = CatalystAnalysis::new("mesh", pipeline, Some(out.clone()));
-        let mut da = NekDataAdaptor::new(comm, &mut solver);
-        analysis.execute(comm, &mut da).expect("render");
-        da.release_data();
-        (
-            solver.kinetic_energy(comm),
-            analysis.images_rendered(),
-            analysis.bytes_written(),
-        )
+        let (images, bytes) = cases::render_current_state(
+            comm,
+            &mut solver,
+            cases::pb146_showcase_pipeline(),
+            Some(out.clone()),
+        );
+        (solver.kinetic_energy(comm), images, bytes)
     });
 
     let (ke, images, bytes) = results[0];

@@ -12,44 +12,22 @@
 //! Original < Checkpointing ≲ Catalyst, with Catalyst bearing a slight
 //! overhead over Checkpointing.
 
-use bench_harness::{fmt_secs, format_table, maybe_write_csv, maybe_write_trace, HarnessArgs};
-use commsim::MachineModel;
-use nek_sensei::{run_insitu, InSituConfig, InSituMode};
-use sem::cases::{pb146, CaseParams};
+use bench_harness::{cases, fmt_secs, format_table, maybe_write_csv, maybe_write_trace, HarnessArgs};
+use nek_sensei::{run_insitu, InSituMode};
 
 fn main() {
     let args = HarnessArgs::parse();
-    let scale = if args.full { 1 } else { args.scale.unwrap_or(40) };
-    let paper_ranks = [280usize, 560, 1120];
-    let ranks: Vec<usize> = paper_ranks
-        .iter()
-        .map(|&r| (r / scale).max(2))
-        .collect();
-    let steps = args.steps.unwrap_or(if args.full { 3000 } else { 60 });
-    let trigger = args.trigger.unwrap_or(if args.full { 100 } else { 10 });
-
-    // Strong scaling: one global mesh sized for the largest rank count.
-    let nz = *ranks.iter().max().expect("nonempty");
-    let mut params = CaseParams::pb146_default();
-    params.elems = [4, 4, nz.max(8)];
-    let case = pb146(&params, 146);
-
-    // Restore the paper's compute:communication ratio: the production
-    // pb146 mesh is ~350k spectral elements at N=7 (≈1.8e8 grid points);
-    // derate the machine's throughputs by the per-rank size ratio so each
-    // rank's kernels/transfers/IO take as long as they would at full scale.
-    let paper_nodes = 350_000.0 * 512.0;
-    let our_nodes = (case.n_fluid_elems() * (params.order + 1).pow(3)) as f64;
-    let derate = ((paper_nodes / our_nodes) * (ranks[0] as f64 / paper_ranks[0] as f64)).max(1.0);
-    let machine = MachineModel::polaris().derate_throughput(derate);
+    let sweep = cases::pb146_strong_scaling(&args);
+    let (paper_ranks, ranks) = (sweep.paper_ranks.clone(), sweep.ranks.clone());
     println!(
-        "pb146: {} fluid elements (of {}), order {}, {} steps, trigger every {}, throughput derating {:.0}x",
-        case.n_fluid_elems(),
-        params.elems.iter().product::<usize>(),
-        params.order,
-        steps,
-        trigger,
-        derate
+        "pb146: {} fluid elements (of {}), order {}, {} steps, trigger every {}, throughput derating {:.0}x, exec {}",
+        sweep.case.n_fluid_elems(),
+        sweep.params.elems.iter().product::<usize>(),
+        sweep.params.order,
+        sweep.steps,
+        sweep.trigger,
+        sweep.derate,
+        args.exec_mode().label()
     );
 
     let mut rows = Vec::new();
@@ -61,17 +39,10 @@ fn main() {
     ] {
         let mut times = Vec::new();
         for (&paper_r, &r) in paper_ranks.iter().zip(&ranks) {
-            let report = run_insitu(&InSituConfig {
-                case: case.clone(),
-                ranks: r,
-                steps,
-                trigger_every: trigger,
-                machine: machine.clone(),
-                image_size: (800, 600),
-                mode,
-                output_dir: None,
-                trace: args.trace_out.is_some(),
-            });
+            let mut cfg = cases::insitu_config(&sweep, r, mode);
+            cfg.exec = args.exec_mode();
+            cfg.trace = args.trace_out.is_some();
+            let report = run_insitu(&cfg);
             println!(
                 "  {:<13} paper-ranks={paper_r:<5} ranks={r:<4} time={}",
                 mode.label(),

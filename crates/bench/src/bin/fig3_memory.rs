@@ -5,47 +5,25 @@
 //! ranks; the observation is that Catalyst sits ≈25% above Checkpointing
 //! because of the GPU→CPU staging plus the VTK/rendering copies.
 
-use bench_harness::{format_table, maybe_write_csv, HarnessArgs};
-use commsim::MachineModel;
+use bench_harness::{cases, format_table, maybe_write_csv, HarnessArgs};
 use memtrack::human_bytes;
-use nek_sensei::{run_insitu, InSituConfig, InSituMode};
-use sem::cases::{pb146, CaseParams};
+use nek_sensei::{run_insitu, InSituMode};
 
 fn main() {
     let args = HarnessArgs::parse();
-    let scale = if args.full { 1 } else { args.scale.unwrap_or(40) };
-    let paper_ranks = [280usize, 560, 1120];
-    let ranks: Vec<usize> = paper_ranks.iter().map(|&r| (r / scale).max(2)).collect();
-    let steps = args.steps.unwrap_or(if args.full { 3000 } else { 60 });
-    let trigger = args.trigger.unwrap_or(if args.full { 100 } else { 10 });
-
-    let nz = *ranks.iter().max().expect("nonempty");
-    let mut params = CaseParams::pb146_default();
-    params.elems = [4, 4, nz.max(8)];
-    let case = pb146(&params, 146);
-    // Same throughput derating as fig2 (memory is unaffected by rates but
-    // the runs should be the same runs).
-    let paper_nodes = 350_000.0 * 512.0;
-    let our_nodes = (case.n_fluid_elems() * (params.order + 1).pow(3)) as f64;
-    let derate = ((paper_nodes / our_nodes) * (ranks[0] as f64 / paper_ranks[0] as f64)).max(1.0);
-    let machine = MachineModel::polaris().derate_throughput(derate);
+    // Same sweep as fig2 (memory is unaffected by rates but the runs
+    // should be the same runs).
+    let sweep = cases::pb146_strong_scaling(&args);
+    let (paper_ranks, ranks) = (sweep.paper_ranks.clone(), sweep.ranks.clone());
 
     let mut rows = Vec::new();
     let mut mems: Vec<(InSituMode, Vec<u64>)> = Vec::new();
     for mode in [InSituMode::Checkpointing, InSituMode::Catalyst] {
         let mut per_scale = Vec::new();
         for (&paper_r, &r) in paper_ranks.iter().zip(&ranks) {
-            let report = run_insitu(&InSituConfig {
-                case: case.clone(),
-                ranks: r,
-                steps,
-                trigger_every: trigger,
-                machine: machine.clone(),
-                image_size: (800, 600),
-                mode,
-                output_dir: None,
-                trace: false,
-            });
+            let mut cfg = cases::insitu_config(&sweep, r, mode);
+            cfg.exec = args.exec_mode();
+            let report = run_insitu(&cfg);
             let mem = report.memory();
             println!(
                 "  {:<13} paper-ranks={paper_r:<5} ranks={r:<4} host-aggregate-peak={}",

@@ -4,12 +4,8 @@
 //! paper's side view: a vertical slice colored by temperature, with a
 //! velocity-magnitude contour as the second image.
 
-use bench_harness::HarnessArgs;
+use bench_harness::{cases, HarnessArgs};
 use commsim::{run_ranks, MachineModel};
-use insitu::{AnalysisAdaptor, DataAdaptor};
-use nek_sensei::NekDataAdaptor;
-use render::pipeline::{FilterKind, RenderPass, RenderPipeline};
-use render::{CatalystAnalysis, Colormap};
 use sem::cases::{rbc, CaseParams};
 
 fn main() {
@@ -28,41 +24,16 @@ fn main() {
         for _ in 0..steps {
             solver.step(comm);
         }
-        let pipeline = RenderPipeline {
-            width: 1200,
-            height: 500,
-            passes: vec![
-                RenderPass {
-                    name: "rbc_side_temperature".into(),
-                    filter: FilterKind::Slice {
-                        origin: [1.0, 1.0, 0.5],
-                        normal: [0.0, 1.0, 0.0],
-                    },
-                    array: "temperature".into(),
-                    colormap: Colormap::cool_warm(),
-                    range: Some((0.0, 1.0)),
-                    camera_dir: [0.0, -1.0, 0.0],
-                },
-                RenderPass {
-                    name: "rbc_velocity_contour".into(),
-                    filter: FilterKind::ContourAtFraction(0.5),
-                    array: "velocity".into(),
-                    colormap: Colormap::viridis(),
-                    range: None,
-                    camera_dir: [0.6, -1.0, 0.35],
-                },
-            ],
-            compositing: render::pipeline::Compositing::Gather,
-            legend: true,
-        };
-        let mut analysis = CatalystAnalysis::new("mesh", pipeline, Some(out.clone()));
-        let mut da = NekDataAdaptor::new(comm, &mut solver);
-        analysis.execute(comm, &mut da).expect("render");
-        da.release_data();
+        let (images, _bytes) = cases::render_current_state(
+            comm,
+            &mut solver,
+            cases::rbc_side_view_pipeline(),
+            Some(out.clone()),
+        );
         (
             solver.kinetic_energy(comm),
             solver.max_velocity(comm),
-            analysis.images_rendered(),
+            images,
         )
     });
 

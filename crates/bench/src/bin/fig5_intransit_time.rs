@@ -8,11 +8,8 @@
 //! simulation's time per step should be nearly flat in both the node count
 //! (good weak scaling) and the endpoint mode (small in-transit overhead).
 
-use bench_harness::{fmt_secs, format_table, maybe_write_csv, maybe_write_trace, HarnessArgs};
-use commsim::MachineModel;
-use nek_sensei::{run_intransit, EndpointMode, InTransitConfig};
-use sem::cases::{rbc, CaseParams};
-use transport::{QueuePolicy, StagingLink};
+use bench_harness::{cases, fmt_secs, format_table, maybe_write_csv, maybe_write_trace, HarnessArgs};
+use nek_sensei::{run_intransit, EndpointMode};
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -28,9 +25,7 @@ fn main() {
     // 3 (576 nodes). A production RBC run puts ~4e5 grid points on each
     // A100; derate throughputs by the ratio so per-step times match the
     // paper's regime (see DESIGN.md).
-    let our_per_rank_nodes = (3 * 3 * 4usize.pow(3)) as f64;
-    let derate = (4.0e5 / our_per_rank_nodes).max(1.0);
-    let machine = MachineModel::juwels_booster().derate_throughput(derate);
+    let (machine, derate) = cases::juwels_derated();
     println!("throughput derating {derate:.0}x (paper-regime per-rank load)");
 
     let mut rows = Vec::new();
@@ -42,36 +37,10 @@ fn main() {
     ] {
         let mut times = Vec::new();
         for &sim_ranks in &sim_rank_counts {
-            let mut params = CaseParams::rbc_default();
-            params.elems = [3, 3, sim_ranks];
-            params.order = 3;
-            // Weak scaling: the domain grows with the rank count so the
-            // element size (and solver conditioning) is constant.
-            params.lengths = Some([2.0, 2.0, sim_ranks as f64 / 4.0]);
-            let mut case = rbc(&params, 1e5, 0.7);
-            // Emulate NekRS's resolution-independent (p-multigrid) pressure
-            // solve with a fixed-work CG: constant iterations per step.
-            case.config.pressure_cg.tol = 1e-12;
-            case.config.pressure_cg.abs_tol = 1e-30;
-            case.config.pressure_cg.max_iter = 25;
-            let report = run_intransit(&InTransitConfig {
-                case,
-                sim_ranks,
-                ratio: 4,
-                steps,
-                trigger_every: trigger,
-                machine: machine.clone(),
-                link: StagingLink::ucx_hdr200(),
-                queue_capacity: 8,
-                policy: QueuePolicy::Block,
-                mode,
-                image_size: (800, 600),
-                output_dir: None,
-                faults: commsim::FaultPlan::none(),
-                writer_config: transport::WriterConfig::default(),
-                fallback_dir: None,
-                trace: args.trace_out.is_some(),
-            });
+            let mut cfg =
+                cases::intransit_config(sim_ranks, steps, trigger, machine.clone(), mode);
+            cfg.trace = args.trace_out.is_some();
+            let report = run_intransit(&cfg);
             println!(
                 "  {:<13} sim-ranks={sim_ranks:<4} endpoint-ranks={:<3} mean-step={}",
                 mode.label(),

@@ -7,12 +7,9 @@
 //! the architectural point — simulation-node memory is independent of the
 //! number of visualization nodes.
 
-use bench_harness::{format_table, maybe_write_csv, HarnessArgs};
-use commsim::MachineModel;
+use bench_harness::{cases, format_table, maybe_write_csv, HarnessArgs};
 use memtrack::human_bytes;
-use nek_sensei::{run_intransit, EndpointMode, InTransitConfig};
-use sem::cases::{rbc, CaseParams};
-use transport::{QueuePolicy, StagingLink};
+use nek_sensei::{run_intransit, EndpointMode};
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -26,9 +23,7 @@ fn main() {
 
     // Same derating as fig5 so the runs are the same runs (memory itself
     // is rate-independent).
-    let our_per_rank_nodes = (3 * 3 * 4usize.pow(3)) as f64;
-    let derate = (4.0e5 / our_per_rank_nodes).max(1.0);
-    let machine = MachineModel::juwels_booster().derate_throughput(derate);
+    let (machine, _derate) = cases::juwels_derated();
 
     let mut rows = Vec::new();
     let mut by_mode: Vec<(EndpointMode, Vec<u64>)> = Vec::new();
@@ -39,36 +34,13 @@ fn main() {
     ] {
         let mut mems = Vec::new();
         for &sim_ranks in &sim_rank_counts {
-            let mut params = CaseParams::rbc_default();
-            params.elems = [3, 3, sim_ranks];
-            params.order = 3;
-            // Weak scaling: the domain grows with the rank count so the
-            // element size (and solver conditioning) is constant.
-            params.lengths = Some([2.0, 2.0, sim_ranks as f64 / 4.0]);
-            let mut case = rbc(&params, 1e5, 0.7);
-            // Emulate NekRS's resolution-independent (p-multigrid) pressure
-            // solve with a fixed-work CG: constant iterations per step.
-            case.config.pressure_cg.tol = 1e-12;
-            case.config.pressure_cg.abs_tol = 1e-30;
-            case.config.pressure_cg.max_iter = 25;
-            let report = run_intransit(&InTransitConfig {
-                case,
+            let report = run_intransit(&cases::intransit_config(
                 sim_ranks,
-                ratio: 4,
                 steps,
-                trigger_every: trigger,
-                machine: machine.clone(),
-                link: StagingLink::ucx_hdr200(),
-                queue_capacity: 8,
-                policy: QueuePolicy::Block,
+                trigger,
+                machine.clone(),
                 mode,
-                image_size: (800, 600),
-                output_dir: None,
-                faults: commsim::FaultPlan::none(),
-                writer_config: transport::WriterConfig::default(),
-                fallback_dir: None,
-                trace: false,
-            });
+            ));
             println!(
                 "  {:<13} sim-ranks={sim_ranks:<4} per-node-peak={}",
                 mode.label(),

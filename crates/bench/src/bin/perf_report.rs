@@ -131,8 +131,9 @@ fn bench_render_pipeline(threads: usize, sz: Sizing) -> Stats {
             pipeline.width = sz.image;
             pipeline.height = sz.image;
             let mut analysis = CatalystAnalysis::new("mesh", pipeline, None);
+            let plane = nek_sensei::SnapshotPlane::new(comm, &solver);
             measure(1, sz.samples, || {
-                let mut da = nek_sensei::NekDataAdaptor::new(comm, &mut solver);
+                let mut da = plane.publish(comm, &mut solver, ["pressure", "velocity"]);
                 insitu::AnalysisAdaptor::execute(&mut analysis, comm, &mut da)
                     .expect("render pipeline");
             })
@@ -140,15 +141,78 @@ fn bench_render_pipeline(threads: usize, sz: Sizing) -> Stats {
     })
 }
 
+/// Virtual-clock time of the same Catalyst run in synchronous vs
+/// pipelined execution, plus the overlap ratio: the fraction of the
+/// in situ overhead (time beyond the bare solver) hidden by running the
+/// consumers concurrently with the next timesteps.
+struct ExecOverlap {
+    original_s: f64,
+    sync_s: f64,
+    pipelined_s: f64,
+}
+
+impl ExecOverlap {
+    fn overlap_ratio(&self) -> f64 {
+        let overhead = self.sync_s - self.original_s;
+        if overhead <= 0.0 {
+            return 0.0;
+        }
+        ((self.sync_s - self.pipelined_s) / overhead).clamp(0.0, 1.0)
+    }
+}
+
+fn measure_exec_overlap(quick: bool) -> ExecOverlap {
+    use nek_sensei::{run_insitu, ExecMode, InSituConfig, InSituMode};
+    let mut params = CaseParams::pb146_default();
+    params.elems = if quick { [2, 2, 4] } else { [3, 3, 6] };
+    params.order = 3;
+    let case = pb146(&params, 8);
+    let run = |mode, exec| {
+        run_insitu(&InSituConfig {
+            case: case.clone(),
+            ranks: 2,
+            steps: if quick { 6 } else { 12 },
+            trigger_every: 2,
+            machine: MachineModel::polaris(),
+            image_size: (128, 96),
+            mode,
+            exec,
+            faults: commsim::FaultPlan::none(),
+            output_dir: None,
+            trace: false,
+        })
+        .metrics
+        .time_to_solution
+    };
+    ExecOverlap {
+        original_s: run(InSituMode::Original, ExecMode::Synchronous),
+        sync_s: run(InSituMode::Catalyst, ExecMode::Synchronous),
+        pipelined_s: run(InSituMode::Catalyst, ExecMode::Pipelined),
+    }
+}
+
 fn json_escape_free(name: &str) -> &str {
     // Bench names are static identifiers; nothing to escape.
     name
 }
 
-fn write_report(path: &str, host_threads: usize, quick: bool, results: &[BenchResult]) {
+fn write_report(
+    path: &str,
+    host_threads: usize,
+    quick: bool,
+    results: &[BenchResult],
+    overlap: &ExecOverlap,
+) {
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"host_threads\": {host_threads},\n"));
     out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str(&format!(
+        "  \"insitu_exec\": {{\"original_virtual_s\": {:.9}, \"sync_virtual_s\": {:.9}, \"pipelined_virtual_s\": {:.9}, \"overlap_ratio\": {:.4}}},\n",
+        overlap.original_s,
+        overlap.sync_s,
+        overlap.pipelined_s,
+        overlap.overlap_ratio()
+    ));
     out.push_str("  \"benches\": [\n");
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(
@@ -236,5 +300,13 @@ fn main() {
             });
         }
     }
-    write_report(&out_path, host_threads, quick, &results);
+    let overlap = measure_exec_overlap(quick);
+    println!(
+        "  insitu exec (virtual): original {:.4}s, sync {:.4}s, pipelined {:.4}s → overlap ratio {:.2}",
+        overlap.original_s,
+        overlap.sync_s,
+        overlap.pipelined_s,
+        overlap.overlap_ratio()
+    );
+    write_report(&out_path, host_threads, quick, &results, &overlap);
 }

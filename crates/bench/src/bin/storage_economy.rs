@@ -34,6 +34,8 @@ fn main() {
             machine: MachineModel::polaris(),
             image_size: (800, 600),
             mode,
+            exec: args.exec_mode(),
+            faults: commsim::FaultPlan::none(),
             output_dir: args.out.clone().map(|d| d.join(mode.label())),
             trace: false,
         });

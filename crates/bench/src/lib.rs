@@ -16,6 +16,8 @@
 
 use std::fmt::Write as _;
 
+pub mod cases;
+
 /// Parsed common CLI flags.
 #[derive(Debug, Clone, Default)]
 pub struct HarnessArgs {
@@ -32,6 +34,8 @@ pub struct HarnessArgs {
     /// Directory for Chrome trace-event JSON files (one per run cell);
     /// also enables the per-phase breakdown printout.
     pub trace_out: Option<std::path::PathBuf>,
+    /// Run consumers pipelined (overlapped with stepping).
+    pub pipelined: bool,
 }
 
 impl HarnessArgs {
@@ -46,10 +50,11 @@ impl HarnessArgs {
                 "--trigger" => args.trigger = it.next().and_then(|v| v.parse().ok()),
                 "--out" => args.out = it.next().map(Into::into),
                 "--full" => args.full = true,
+                "--pipelined" => args.pipelined = true,
                 "--trace-out" => args.trace_out = it.next().map(Into::into),
                 "--help" | "-h" => {
                     eprintln!(
-                        "flags: --scale N | --steps N | --trigger N | --out DIR | --trace-out DIR | --full"
+                        "flags: --scale N | --steps N | --trigger N | --out DIR | --trace-out DIR | --full | --pipelined"
                     );
                     std::process::exit(0);
                 }
@@ -57,6 +62,16 @@ impl HarnessArgs {
             }
         }
         args
+    }
+
+    /// Execution mode for the in situ runners: `--pipelined` wins,
+    /// otherwise the `NEK_EXEC_MODE` default applies.
+    pub fn exec_mode(&self) -> nek_sensei::ExecMode {
+        if self.pipelined {
+            nek_sensei::ExecMode::Pipelined
+        } else {
+            nek_sensei::ExecMode::default()
+        }
     }
 }
 

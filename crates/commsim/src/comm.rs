@@ -275,6 +275,19 @@ impl Comm {
         self.tick();
     }
 
+    /// Advance this rank's clock to absolute virtual time `t` (no-op when
+    /// the clock is already at or past `t` — virtual time never rewinds).
+    ///
+    /// This is how overlapped (pipelined) execution charges `max(a, b)`
+    /// instead of `a + b`: both sides advance to the same barrier time.
+    pub fn advance_to(&mut self, t: f64) {
+        let now = self.clock.now();
+        if t > now {
+            self.clock.advance(t - now);
+        }
+        self.tick();
+    }
+
     /// Charge a GPU kernel (roofline of flops and device-memory bytes).
     pub fn compute_gpu(&mut self, flops: f64, bytes: f64) {
         let t = self.world.machine.gpu_kernel_time(flops, bytes);

@@ -1,12 +1,26 @@
-//! The `nek_sensei::DataAdaptor` of the paper (Listing 2).
+//! The `nek_sensei::DataAdaptor` of the paper (Listing 2), rebuilt on the
+//! owned snapshot data plane.
 //!
 //! Presents one rank's SEM solver state as a VTK-model multiblock. The
 //! high-order element is exported the way Nek tools export to VTK: each
 //! spectral element becomes `N³` linear hexahedra over its `(N+1)³` GLL
-//! nodes, and nodal fields map 1:1 onto the grid points. Because the
-//! solver's fields are device-resident, `add_array` stages them through
-//! [`sem::navier_stokes::FlowSolver::stage_to_host`], paying the D2H copy
-//! the paper identifies as the price of coupling a GPU code to VTK.
+//! nodes, and nodal fields map 1:1 onto the grid points.
+//!
+//! The coupling is split in two:
+//!
+//! - [`NekGeometry`] — the static export (points, cells, array catalogue,
+//!   global counts, bounds). Built **once** per run with one collective,
+//!   then shared by every consumer via `Arc`; the per-trigger rebuild and
+//!   the per-call `Vec<ArrayInfo>` reconstruction are gone.
+//! - [`SnapshotAdaptor`] — a thin view over one published
+//!   [`sem::snapshot::FieldSnapshot`]. Field arrays are handed to VTK as
+//!   refcounted aliases of the snapshot's staged buffers
+//!   (`ArrayData::F64Shared`), so no consumer pays a second copy and no
+//!   consumer ever holds `&mut FlowSolver`.
+//!
+//! The D2H staging the paper identifies as the price of GPU↔VTK coupling
+//! is paid exactly once per published step, inside
+//! [`sem::navier_stokes::FlowSolver::publish_snapshot`].
 
 use commsim::{Comm, ReduceOp};
 use insitu::DataAdaptor;
@@ -15,80 +29,41 @@ use meshdata::{
     ArrayInfo, CellType, Centering, DataArray, MeshMetadata, MultiBlock, UnstructuredGrid,
 };
 use sem::navier_stokes::{FieldId, FlowSolver};
+use sem::snapshot::{FieldSnapshot, SnapshotPool, SnapshotSpec};
+use std::sync::Arc;
 
 /// The mesh name this adaptor publishes (NekRS has a single fluid mesh).
 pub const MESH_NAME: &str = "mesh";
 
-/// Adapts a [`FlowSolver`] to the SENSEI-style [`DataAdaptor`] contract.
-pub struct NekDataAdaptor<'a> {
-    solver: &'a mut FlowSolver,
+/// The static half of the VTK export: grid geometry, array catalogue, and
+/// global mesh metadata. Built once per run and shared by all consumers.
+pub struct NekGeometry {
+    grid: UnstructuredGrid,
+    arrays: Vec<ArrayInfo>,
+    n_blocks: usize,
     rank: usize,
-    nranks: usize,
-    vtk_accountant: Accountant,
-    charges: Vec<Charge>,
+    global_points: u64,
+    global_cells: u64,
+    bounds: [f64; 6],
+    /// Keeps the host-resident geometry accounted for the run's lifetime.
+    _charge: Charge,
 }
 
-impl<'a> NekDataAdaptor<'a> {
-    /// Wrap the solver for this rank; host-side VTK copies are charged to
-    /// the rank's `vtk` accountant.
-    pub fn new(comm: &Comm, solver: &'a mut FlowSolver) -> Self {
-        Self {
-            solver,
-            rank: comm.rank(),
-            nranks: comm.size(),
-            vtk_accountant: comm.accountant("vtk"),
-            charges: Vec::new(),
-        }
-    }
-
-    /// Names of the arrays this solver can provide.
-    pub fn available_arrays(&self) -> Vec<ArrayInfo> {
-        let mut arrays = vec![
-            ArrayInfo {
-                name: "pressure".into(),
-                centering: Centering::Point,
-                components: 1,
-            },
-            ArrayInfo {
-                name: "velocity".into(),
-                centering: Centering::Point,
-                components: 3,
-            },
-        ];
-        if self.solver.field_device(FieldId::Temperature).is_some() {
-            arrays.push(ArrayInfo {
-                name: "temperature".into(),
-                centering: Centering::Point,
-                components: 1,
-            });
-        }
-        // Derived fields, computed on demand on the device (as NekRS's
-        // userchk-style post-processing kernels do) and then staged.
-        arrays.push(ArrayInfo {
-            name: "vorticity".into(),
-            centering: Centering::Point,
-            components: 3,
-        });
-        arrays.push(ArrayInfo {
-            name: "q_criterion".into(),
-            centering: Centering::Point,
-            components: 1,
-        });
-        arrays
-    }
-
-    fn build_geometry(&mut self, comm: &mut Comm) -> UnstructuredGrid {
-        let mesh = &self.solver.mesh;
+impl NekGeometry {
+    /// Export the solver's mesh once: subdivide elements, take the global
+    /// point/cell counts (one collective), and record the array catalogue.
+    pub fn build(comm: &mut Comm, solver: &FlowSolver) -> Self {
+        let mesh = &solver.mesh;
         let l = mesh.layout();
         let n = mesh.spec.order;
         let np = l.np;
-        let mut g = UnstructuredGrid::new();
-        g.points.reserve(l.n_nodes());
+        let mut grid = UnstructuredGrid::new();
+        grid.points.reserve(l.n_nodes());
         for le in 0..mesh.elems.len() {
             for k in 0..np {
                 for j in 0..np {
                     for i in 0..np {
-                        g.add_point(mesh.node_coords(le, i, j, k));
+                        grid.add_point(mesh.node_coords(le, i, j, k));
                     }
                 }
             }
@@ -100,7 +75,7 @@ impl<'a> NekDataAdaptor<'a> {
                         let id = |ii: usize, jj: usize, kk: usize| {
                             l.idx(le, i + ii, j + jj, k + kk) as i64
                         };
-                        g.add_cell(
+                        grid.add_cell(
                             CellType::Hexahedron,
                             &[
                                 id(0, 0, 0),
@@ -117,21 +92,183 @@ impl<'a> NekDataAdaptor<'a> {
                 }
             }
         }
-        // Geometry assembly is a host-side sweep over points + cells.
-        let bytes = g.heap_bytes();
+        // Geometry assembly is a host-side sweep over points + cells; the
+        // export stays resident for the whole run.
+        let bytes = grid.heap_bytes();
         comm.compute_host(bytes as f64 * 0.5, bytes as f64);
-        self.charges.push(self.vtk_accountant.charge(bytes));
-        g
+        let charge = comm.accountant("vtk").charge(bytes);
+
+        let mut arrays = vec![
+            ArrayInfo {
+                name: "pressure".into(),
+                centering: Centering::Point,
+                components: 1,
+            },
+            ArrayInfo {
+                name: "velocity".into(),
+                centering: Centering::Point,
+                components: 3,
+            },
+        ];
+        if solver.field_device(FieldId::Temperature).is_some() {
+            arrays.push(ArrayInfo {
+                name: "temperature".into(),
+                centering: Centering::Point,
+                components: 1,
+            });
+        }
+        // Derived fields, computed on demand on the device (as NekRS's
+        // userchk-style post-processing kernels do) at publish time.
+        arrays.push(ArrayInfo {
+            name: "vorticity".into(),
+            centering: Centering::Point,
+            components: 3,
+        });
+        arrays.push(ArrayInfo {
+            name: "q_criterion".into(),
+            centering: Centering::Point,
+            components: 1,
+        });
+
+        let mut counts = [
+            l.n_nodes() as f64,
+            (mesh.elems.len() * n * n * n) as f64,
+        ];
+        comm.allreduce_vec(&mut counts, ReduceOp::Sum);
+        let lengths = mesh.spec.lengths;
+
+        Self {
+            grid,
+            arrays,
+            n_blocks: comm.size(),
+            rank: comm.rank(),
+            global_points: counts[0] as u64,
+            global_cells: counts[1] as u64,
+            bounds: [0.0, lengths[0], 0.0, lengths[1], 0.0, lengths[2]],
+            _charge: charge,
+        }
     }
 
-    fn stage(&mut self, comm: &mut Comm, id: FieldId) -> insitu::Result<Vec<f64>> {
-        self.solver
-            .stage_to_host(comm, id)
-            .ok_or_else(|| insitu::Error::NoSuchData(format!("{id:?}")))
+    /// Names of the arrays this export can provide — precomputed at
+    /// construction, returned as a slice (no per-call rebuilds).
+    pub fn available_arrays(&self) -> &[ArrayInfo] {
+        &self.arrays
+    }
+
+    /// The rank-local exported grid.
+    pub fn grid(&self) -> &UnstructuredGrid {
+        &self.grid
+    }
+
+    /// Global mesh metadata stamped with `time`/`time_step`. Collective
+    /// counts were taken at construction, so this is allocation-only.
+    pub fn metadata(&self, time: f64, time_step: u64) -> MeshMetadata {
+        MeshMetadata {
+            mesh_name: MESH_NAME.into(),
+            n_blocks: self.n_blocks,
+            global_points: self.global_points,
+            global_cells: self.global_cells,
+            arrays: self.arrays.clone(),
+            bounds: Some(self.bounds),
+            time,
+            time_step,
+        }
     }
 }
 
-impl DataAdaptor for NekDataAdaptor<'_> {
+/// The solver-side half of the data plane, bundled for embedding code:
+/// the geometry is built once and the pooled staging buffers are reused
+/// across published steps, so steady-state publishing allocates nothing.
+///
+/// ```ignore
+/// let plane = SnapshotPlane::new(comm, &solver);
+/// loop {
+///     solver.step(comm);
+///     if bridge.triggers_at(step) {
+///         let mut da = plane.publish(comm, &mut solver, bridge.arrays_at(step));
+///         bridge.update(comm, step, &mut da)?;
+///     }
+/// }
+/// ```
+pub struct SnapshotPlane {
+    pool: SnapshotPool,
+    geometry: Arc<NekGeometry>,
+}
+
+impl SnapshotPlane {
+    /// Build the geometry cache and staging pool for `solver`'s mesh.
+    pub fn new(comm: &mut Comm, solver: &FlowSolver) -> Self {
+        Self {
+            pool: SnapshotPool::new(comm.accountant("snapshot-pool")),
+            geometry: Arc::new(NekGeometry::build(comm, solver)),
+        }
+    }
+
+    /// The cached geometry.
+    pub fn geometry(&self) -> &Arc<NekGeometry> {
+        &self.geometry
+    }
+
+    /// The staging buffer pool.
+    pub fn pool(&self) -> &SnapshotPool {
+        &self.pool
+    }
+
+    /// Publish the named arrays (unknown names are ignored here and
+    /// surface as `NoSuchData` at consumption) and wrap the snapshot for
+    /// SENSEI consumption.
+    pub fn publish<S: AsRef<str>>(
+        &self,
+        comm: &mut Comm,
+        solver: &mut FlowSolver,
+        arrays: impl IntoIterator<Item = S>,
+    ) -> SnapshotAdaptor {
+        let spec = SnapshotSpec::from_names(arrays);
+        let snapshot = solver.publish_snapshot(comm, &spec, &self.pool);
+        SnapshotAdaptor::new(comm, snapshot, Arc::clone(&self.geometry))
+    }
+}
+
+/// Adapts one published [`FieldSnapshot`] (plus the shared [`NekGeometry`])
+/// to the SENSEI-style [`DataAdaptor`] contract. Holds no solver borrow:
+/// consumers can run on another thread while the solver advances.
+pub struct SnapshotAdaptor {
+    snapshot: Arc<FieldSnapshot>,
+    geometry: Arc<NekGeometry>,
+    vtk_accountant: Accountant,
+    charges: Vec<Charge>,
+    time_override: Option<f64>,
+    step_override: Option<u64>,
+}
+
+impl SnapshotAdaptor {
+    /// View `snapshot` through `geometry`; transient host-side VTK copies
+    /// are charged to the rank's `vtk` accountant.
+    pub fn new(comm: &Comm, snapshot: Arc<FieldSnapshot>, geometry: Arc<NekGeometry>) -> Self {
+        Self {
+            snapshot,
+            geometry,
+            vtk_accountant: comm.accountant("vtk"),
+            charges: Vec::new(),
+            time_override: None,
+            step_override: None,
+        }
+    }
+
+    /// The snapshot being presented.
+    pub fn snapshot(&self) -> &Arc<FieldSnapshot> {
+        &self.snapshot
+    }
+
+    /// Override the reported `time`/`time_step` (replay and steering
+    /// harnesses re-present one snapshot under synthetic stamps).
+    pub fn set_time_stamp(&mut self, time: f64, time_step: u64) {
+        self.time_override = Some(time);
+        self.step_override = Some(time_step);
+    }
+}
+
+impl DataAdaptor for SnapshotAdaptor {
     fn num_meshes(&self) -> usize {
         1
     }
@@ -141,37 +278,25 @@ impl DataAdaptor for NekDataAdaptor<'_> {
         MESH_NAME
     }
 
-    fn mesh_metadata(&mut self, comm: &mut Comm, mesh: &str) -> insitu::Result<MeshMetadata> {
+    fn mesh_metadata(&mut self, _comm: &mut Comm, mesh: &str) -> insitu::Result<MeshMetadata> {
         check_mesh(mesh)?;
-        let l = self.solver.mesh.layout();
-        let n = self.solver.mesh.spec.order;
-        let mut counts = [
-            l.n_nodes() as f64,
-            (self.solver.mesh.elems.len() * n * n * n) as f64,
-        ];
-        comm.allreduce_vec(&mut counts, ReduceOp::Sum);
-        let lengths = self.solver.mesh.spec.lengths;
-        Ok(MeshMetadata {
-            mesh_name: MESH_NAME.into(),
-            n_blocks: self.nranks,
-            global_points: counts[0] as u64,
-            global_cells: counts[1] as u64,
-            arrays: self.available_arrays(),
-            bounds: Some([0.0, lengths[0], 0.0, lengths[1], 0.0, lengths[2]]),
-            time: self.solver.time(),
-            time_step: self.solver.step_index() as u64,
-        })
+        Ok(self.geometry.metadata(self.time(), self.time_step()))
     }
 
     fn mesh(&mut self, comm: &mut Comm, mesh: &str) -> insitu::Result<MultiBlock> {
         check_mesh(mesh)?;
-        let g = self.build_geometry(comm);
-        Ok(MultiBlock::local(self.rank, self.nranks, g))
+        // The consumer gets its own VTK copy of the geometry (the paper's
+        // conversion cost); field arrays below stay zero-copy.
+        let g = self.geometry.grid().clone();
+        let bytes = g.heap_bytes();
+        comm.compute_host(bytes as f64 * 0.5, bytes as f64);
+        self.charges.push(self.vtk_accountant.charge(bytes));
+        Ok(MultiBlock::local(self.geometry.rank, self.geometry.n_blocks, g))
     }
 
     fn add_array(
         &mut self,
-        comm: &mut Comm,
+        _comm: &mut Comm,
         mb: &mut MultiBlock,
         mesh: &str,
         centering: Centering,
@@ -183,28 +308,16 @@ impl DataAdaptor for NekDataAdaptor<'_> {
                 "cell array '{array}' (solver fields are point-centered)"
             )));
         }
-        let data = match array {
-            "pressure" => DataArray::scalars_f64("pressure", self.stage(comm, FieldId::Pressure)?),
-            "temperature" => {
-                DataArray::scalars_f64("temperature", self.stage(comm, FieldId::Temperature)?)
-            }
-            "velocity" => {
-                let u = self.stage(comm, FieldId::VelX)?;
-                let v = self.stage(comm, FieldId::VelY)?;
-                let w = self.stage(comm, FieldId::VelZ)?;
-                DataArray::vectors_f64("velocity", interleave3(&u, &v, &w))
-            }
-            "vorticity" => {
-                let [wx, wy, wz] = self.solver.vorticity_host(comm);
-                DataArray::vectors_f64("vorticity", interleave3(&wx, &wy, &wz))
-            }
-            "q_criterion" => {
-                DataArray::scalars_f64("q_criterion", self.solver.q_criterion_host(comm))
-            }
-            other => return Err(insitu::Error::NoSuchData(format!("array '{other}'"))),
+        let Some(field) = self.snapshot.field(array) else {
+            return Err(insitu::Error::NoSuchData(format!(
+                "array '{array}' (not in snapshot v{})",
+                self.snapshot.version
+            )));
         };
+        // Zero-copy: the consumer's DataArray aliases the staged buffer.
+        let data = DataArray::shared_f64(field.name, field.components, field.shared());
         self.charges.push(self.vtk_accountant.charge(data.heap_bytes()));
-        let Some(block) = mb.blocks[self.rank].as_mut() else {
+        let Some(block) = mb.blocks[self.geometry.rank].as_mut() else {
             return Err(insitu::Error::NoSuchData("local block missing".into()));
         };
         block.add_point_data(data)?;
@@ -212,26 +325,16 @@ impl DataAdaptor for NekDataAdaptor<'_> {
     }
 
     fn time(&self) -> f64 {
-        self.solver.time()
+        self.time_override.unwrap_or(self.snapshot.time)
     }
 
     fn time_step(&self) -> u64 {
-        self.solver.step_index() as u64
+        self.step_override.unwrap_or(self.snapshot.version as u64)
     }
 
     fn release_data(&mut self) {
         self.charges.clear();
     }
-}
-
-fn interleave3(a: &[f64], b: &[f64], c: &[f64]) -> Vec<f64> {
-    let mut out = Vec::with_capacity(a.len() * 3);
-    for i in 0..a.len() {
-        out.push(a[i]);
-        out.push(b[i]);
-        out.push(c[i]);
-    }
-    out
 }
 
 fn check_mesh(mesh: &str) -> insitu::Result<()> {
@@ -247,6 +350,7 @@ mod tests {
     use super::*;
     use commsim::{run_ranks, MachineModel};
     use sem::cases::{pb146, rbc, CaseParams};
+    use sem::snapshot::{SnapshotPool, SnapshotSpec};
 
     fn small_pb146_solver(comm: &mut Comm) -> FlowSolver {
         let mut params = CaseParams::pb146_default();
@@ -255,11 +359,23 @@ mod tests {
         pb146(&params, 4).build(comm)
     }
 
+    fn publish(
+        comm: &mut Comm,
+        solver: &mut FlowSolver,
+        spec: SnapshotSpec,
+    ) -> (Arc<FieldSnapshot>, Arc<NekGeometry>, SnapshotPool) {
+        let geometry = Arc::new(NekGeometry::build(comm, solver));
+        let pool = SnapshotPool::new(comm.accountant("snapshot-pool"));
+        let snap = solver.publish_snapshot(comm, &spec, &pool);
+        (snap, geometry, pool)
+    }
+
     #[test]
     fn geometry_export_subdivides_elements() {
         let res = run_ranks(2, MachineModel::test_tiny(), |comm| {
             let mut solver = small_pb146_solver(comm);
-            let mut da = NekDataAdaptor::new(comm, &mut solver);
+            let (snap, geo, _pool) = publish(comm, &mut solver, SnapshotSpec::default());
+            let mut da = SnapshotAdaptor::new(comm, snap, geo);
             let mb = da.mesh(comm, MESH_NAME).unwrap();
             let (idx, g) = mb.local_blocks().next().unwrap();
             g.validate().unwrap();
@@ -275,35 +391,72 @@ mod tests {
     }
 
     #[test]
-    fn add_array_stages_d2h_and_charges_vtk_memory() {
+    fn publish_stages_d2h_once_for_any_number_of_consumers() {
         let res = run_ranks(1, MachineModel::test_tiny(), |comm| {
             let mut solver = small_pb146_solver(comm);
             let n = solver.n_nodes() as u64;
-            let mut da = NekDataAdaptor::new(comm, &mut solver);
-            let mut mb = da.mesh(comm, MESH_NAME).unwrap();
+            let geo = Arc::new(NekGeometry::build(comm, &solver));
+            let pool = SnapshotPool::new(comm.accountant("snapshot-pool"));
+            let spec = SnapshotSpec::from_names(["velocity", "pressure"]);
             let d2h_before = comm.stats().bytes_d2h;
-            da.add_array(comm, &mut mb, MESH_NAME, Centering::Point, "velocity")
-                .unwrap();
-            da.add_array(comm, &mut mb, MESH_NAME, Centering::Point, "pressure")
-                .unwrap();
+            let snap = solver.publish_snapshot(comm, &spec, &pool);
             let staged = comm.stats().bytes_d2h - d2h_before;
-            let vtk_mem = comm.accountant("vtk").current();
-            da.release_data();
-            let after_release = comm.accountant("vtk").current();
-            (staged, n, vtk_mem, after_release)
+
+            // Two independent consumers; neither re-stages anything.
+            let d2h_mid = comm.stats().bytes_d2h;
+            for _ in 0..2 {
+                let mut da = SnapshotAdaptor::new(comm, Arc::clone(&snap), Arc::clone(&geo));
+                let mut mb = da.mesh(comm, MESH_NAME).unwrap();
+                da.add_array(comm, &mut mb, MESH_NAME, Centering::Point, "velocity")
+                    .unwrap();
+                da.add_array(comm, &mut mb, MESH_NAME, Centering::Point, "pressure")
+                    .unwrap();
+                da.release_data();
+            }
+            let consumer_staged = comm.stats().bytes_d2h - d2h_mid;
+            (staged, n, consumer_staged)
         });
-        let (staged, n, vtk_mem, after) = res[0];
+        let (staged, n, consumer_staged) = res[0];
         // velocity = 3 fields + pressure = 1 field, 8 B per node each.
         assert_eq!(staged, 4 * n * 8);
-        assert!(vtk_mem > 4 * n * 8, "geometry + arrays charged");
-        assert_eq!(after, 0, "release_data frees the VTK copies");
+        assert_eq!(consumer_staged, 0, "consumers must not re-stage D2H");
+    }
+
+    #[test]
+    fn consumer_arrays_are_zero_copy_and_vtk_charge_releases() {
+        let res = run_ranks(1, MachineModel::test_tiny(), |comm| {
+            let mut solver = small_pb146_solver(comm);
+            let spec = SnapshotSpec::from_names(["velocity", "pressure"]);
+            let (snap, geo, _pool) = publish(comm, &mut solver, spec);
+            let geometry_resident = comm.accountant("vtk").current();
+            let mut da = SnapshotAdaptor::new(comm, snap, geo);
+            let mut mb = da.mesh(comm, MESH_NAME).unwrap();
+            let after_mesh = comm.accountant("vtk").current();
+            da.add_array(comm, &mut mb, MESH_NAME, Centering::Point, "velocity")
+                .unwrap();
+            let after_arrays = comm.accountant("vtk").current();
+            da.release_data();
+            let after_release = comm.accountant("vtk").current();
+            drop(da);
+            (geometry_resident, after_mesh, after_arrays, after_release)
+        });
+        let (geometry_resident, after_mesh, after_arrays, after_release) = res[0];
+        assert!(geometry_resident > 0, "geometry export stays resident");
+        assert!(after_mesh > geometry_resident, "mesh() charges a VTK copy");
+        // Shared arrays alias pooled buffers: no meaningful extra charge.
+        assert!(after_arrays - after_mesh < 1024, "arrays must be zero-copy");
+        assert_eq!(
+            after_release, geometry_resident,
+            "release_data frees the transient copies, keeps the export"
+        );
     }
 
     #[test]
     fn metadata_counts_are_global_and_arrays_depend_on_case() {
         let res = run_ranks(2, MachineModel::test_tiny(), |comm| {
             let mut solver = small_pb146_solver(comm);
-            let mut da = NekDataAdaptor::new(comm, &mut solver);
+            let (snap, geo, _pool) = publish(comm, &mut solver, SnapshotSpec::default());
+            let mut da = SnapshotAdaptor::new(comm, snap, geo);
             let md = da.mesh_metadata(comm, MESH_NAME).unwrap();
             let has_temp = md.array("temperature").is_some();
             (md.global_cells, md.n_blocks, has_temp)
@@ -320,18 +473,29 @@ mod tests {
             params.elems = [2, 2, 2];
             params.order = 2;
             let mut solver = rbc(&params, 1e4, 0.7).build(comm);
-            let mut da = NekDataAdaptor::new(comm, &mut solver);
-            let md = da.mesh_metadata(comm, MESH_NAME).unwrap();
-            md.array("temperature").is_some()
+            let (snap, geo, _pool) = publish(comm, &mut solver, SnapshotSpec::default());
+            let da = SnapshotAdaptor::new(comm, snap, Arc::clone(&geo));
+            // Satellite check: the catalogue is precomputed — repeated calls
+            // return the same slice, no rebuilds.
+            let first = geo.available_arrays().as_ptr();
+            let second = geo.available_arrays().as_ptr();
+            drop(da);
+            (
+                geo.available_arrays().iter().any(|a| a.name == "temperature"),
+                std::ptr::eq(first, second),
+            )
         });
-        assert!(res[0], "RBC case must expose temperature");
+        assert!(res[0].0, "RBC case must expose temperature");
+        assert!(res[0].1, "array catalogue must not be rebuilt per call");
     }
 
     #[test]
     fn unknown_requests_error() {
         run_ranks(1, MachineModel::test_tiny(), |comm| {
             let mut solver = small_pb146_solver(comm);
-            let mut da = NekDataAdaptor::new(comm, &mut solver);
+            let spec = SnapshotSpec::from_names(["pressure"]);
+            let (snap, geo, _pool) = publish(comm, &mut solver, spec);
+            let mut da = SnapshotAdaptor::new(comm, snap, geo);
             assert!(da.mesh(comm, "other").is_err());
             let mut mb = da.mesh(comm, MESH_NAME).unwrap();
             assert!(da
@@ -340,8 +504,13 @@ mod tests {
             assert!(da
                 .add_array(comm, &mut mb, MESH_NAME, Centering::Cell, "pressure")
                 .is_err());
+            // pb146 has no temperature, so the snapshot cannot carry it.
             assert!(da
                 .add_array(comm, &mut mb, MESH_NAME, Centering::Point, "temperature")
+                .is_err());
+            // pressure was published, velocity was not requested.
+            assert!(da
+                .add_array(comm, &mut mb, MESH_NAME, Centering::Point, "velocity")
                 .is_err());
         });
     }
@@ -353,12 +522,16 @@ mod tests {
             for _ in 0..3 {
                 solver.step(comm);
             }
-            let mut da = NekDataAdaptor::new(comm, &mut solver);
-            let md = da.mesh_metadata(comm, MESH_NAME).unwrap();
+            let geo = Arc::new(NekGeometry::build(comm, &solver));
+            let pool = SnapshotPool::new(comm.accountant("snapshot-pool"));
+            let md = geo.metadata(solver.time(), solver.step_index() as u64);
             assert!(md.array("vorticity").is_some());
             assert!(md.array("q_criterion").is_some());
-            let mut mb = da.mesh(comm, MESH_NAME).unwrap();
             let d2h_before = comm.stats().bytes_d2h;
+            let spec = SnapshotSpec::from_names(["vorticity", "q_criterion"]);
+            let snap = solver.publish_snapshot(comm, &spec, &pool);
+            let mut da = SnapshotAdaptor::new(comm, snap, geo);
+            let mut mb = da.mesh(comm, MESH_NAME).unwrap();
             da.add_array(comm, &mut mb, MESH_NAME, Centering::Point, "vorticity")
                 .unwrap();
             da.add_array(comm, &mut mb, MESH_NAME, Centering::Point, "q_criterion")
@@ -388,7 +561,9 @@ mod tests {
     fn exported_field_values_match_solver_state() {
         let res = run_ranks(1, MachineModel::test_tiny(), |comm| {
             let mut solver = small_pb146_solver(comm);
-            let mut da = NekDataAdaptor::new(comm, &mut solver);
+            let spec = SnapshotSpec::from_names(["velocity"]);
+            let (snap, geo, _pool) = publish(comm, &mut solver, spec);
+            let mut da = SnapshotAdaptor::new(comm, snap, geo);
             let mut mb = da.mesh(comm, MESH_NAME).unwrap();
             da.add_array(comm, &mut mb, MESH_NAME, Centering::Point, "velocity")
                 .unwrap();
@@ -400,5 +575,22 @@ mod tests {
                 .fold(0.0, f64::max)
         });
         assert_eq!(res[0], 0.0, "export must be bit-exact");
+    }
+
+    #[test]
+    fn time_stamp_override_rewrites_reported_step() {
+        run_ranks(1, MachineModel::test_tiny(), |comm| {
+            let mut solver = small_pb146_solver(comm);
+            solver.step(comm);
+            let spec = SnapshotSpec::from_names(["pressure"]);
+            let (snap, geo, _pool) = publish(comm, &mut solver, spec);
+            let mut da = SnapshotAdaptor::new(comm, snap, geo);
+            assert_eq!(da.time_step(), 1);
+            da.set_time_stamp(9.5, 42);
+            assert_eq!(da.time_step(), 42);
+            assert_eq!(da.time(), 9.5);
+            let md = da.mesh_metadata(comm, MESH_NAME).unwrap();
+            assert_eq!(md.time_step, 42);
+        });
     }
 }

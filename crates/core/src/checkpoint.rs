@@ -8,7 +8,8 @@
 
 use commsim::Comm;
 use memtrack::Accountant;
-use sem::navier_stokes::{FieldId, FlowSolver};
+use sem::navier_stokes::FlowSolver;
+use sem::snapshot::FieldSnapshot;
 
 /// Magic prefix of a dump file.
 const FLD_MAGIC: &[u8; 8] = b"NEKFLD01";
@@ -33,36 +34,48 @@ impl FldCheckpointer {
         }
     }
 
-    /// Write one checkpoint of all solver fields. Returns bytes written by
-    /// this rank.
-    pub fn write(&mut self, comm: &mut Comm, solver: &FlowSolver) -> u64 {
-        let mut fields: Vec<(&str, Vec<f64>)> = Vec::new();
-        for (name, id) in [
-            ("velx", FieldId::VelX),
-            ("vely", FieldId::VelY),
-            ("velz", FieldId::VelZ),
-            ("pressure", FieldId::Pressure),
-            ("temperature", FieldId::Temperature),
-        ] {
-            if let Some(data) = solver.stage_to_host(comm, id) {
-                fields.push((name, data));
-            }
+    /// Write one checkpoint from a published snapshot (NEKFLD01 format,
+    /// unchanged: the snapshot's interleaved velocity is de-interleaved
+    /// back into `velx`/`vely`/`velz` components). The D2H staging was
+    /// already paid once at publish time. Returns bytes written by this
+    /// rank.
+    pub fn write(&mut self, comm: &mut Comm, snap: &FieldSnapshot) -> u64 {
+        let n = snap.n_nodes as u64;
+        let velocity = snap.field("velocity");
+        let mut n_fields = 0u32;
+        if velocity.is_some() {
+            n_fields += 3;
         }
-        let n = solver.n_nodes() as u64;
-        let mut buf = Vec::with_capacity((fields.len() as u64 * n * 8 + 64) as usize);
+        let scalars: Vec<(&str, &[f64])> = ["pressure", "temperature"]
+            .iter()
+            .filter_map(|name| snap.field(name).map(|f| (*name, f.values())))
+            .collect();
+        n_fields += scalars.len() as u32;
+
+        let mut buf = Vec::with_capacity((u64::from(n_fields) * n * 8 + 64) as usize);
         buf.extend_from_slice(FLD_MAGIC);
-        buf.extend_from_slice(&(solver.step_index() as u64).to_le_bytes());
-        buf.extend_from_slice(&solver.time().to_le_bytes());
+        buf.extend_from_slice(&(snap.version as u64).to_le_bytes());
+        buf.extend_from_slice(&snap.time.to_le_bytes());
         buf.extend_from_slice(&n.to_le_bytes());
-        buf.extend_from_slice(&(fields.len() as u32).to_le_bytes());
-        for (name, data) in &fields {
+        buf.extend_from_slice(&n_fields.to_le_bytes());
+        let push_field = |buf: &mut Vec<u8>, name: &str, values: &mut dyn Iterator<Item = f64>| {
             let mut tag = [0u8; 12];
             tag[..name.len()].copy_from_slice(name.as_bytes());
             buf.extend_from_slice(&tag);
-            for v in data {
+            for v in values {
                 buf.extend_from_slice(&v.to_le_bytes());
             }
+        };
+        if let Some(vel) = velocity {
+            let v = vel.values();
+            for (c, name) in ["velx", "vely", "velz"].iter().enumerate() {
+                push_field(&mut buf, name, &mut (0..n as usize).map(|i| v[3 * i + c]));
+            }
         }
+        for (name, values) in &scalars {
+            push_field(&mut buf, name, &mut values.iter().copied());
+        }
+
         let nbytes = buf.len() as u64;
         // The serialization buffer is resident while the write drains.
         let charge = self.buffer_accountant.charge(nbytes);
@@ -73,7 +86,7 @@ impl FldCheckpointer {
         self.bytes_written += nbytes;
         if let Some(dir) = &self.output_dir {
             if std::fs::create_dir_all(dir).is_ok() {
-                let name = format!("fld_{:06}_r{}.bin", solver.step_index(), comm.rank());
+                let name = format!("fld_{:06}_r{}.bin", snap.version, comm.rank());
                 let _ = std::fs::write(dir.join(name), &buf);
             }
         }
@@ -176,6 +189,21 @@ mod tests {
     use super::*;
     use commsim::{run_ranks, MachineModel};
     use sem::cases::{pb146, CaseParams};
+    use sem::snapshot::{SnapshotPool, SnapshotSpec};
+    use std::sync::Arc;
+
+    /// Publish the checkpoint fields (velocity + pressure + temperature if
+    /// present) — the staging step that used to live inside `write`.
+    fn checkpoint_snapshot(comm: &mut Comm, solver: &mut FlowSolver) -> Arc<FieldSnapshot> {
+        let pool = SnapshotPool::new(comm.accountant("snapshot-pool"));
+        let spec = SnapshotSpec {
+            pressure: true,
+            velocity: true,
+            temperature: true,
+            ..Default::default()
+        };
+        solver.publish_snapshot(comm, &spec, &pool)
+    }
 
     #[test]
     fn dump_size_matches_field_count() {
@@ -183,11 +211,12 @@ mod tests {
             let mut params = CaseParams::pb146_default();
             params.elems = [2, 2, 4];
             params.order = 2;
-            let solver = pb146(&params, 4).build(comm);
+            let mut solver = pb146(&params, 4).build(comm);
             let mut chk = FldCheckpointer::new(comm, None);
             let before_d2h = comm.stats().bytes_d2h;
-            let nbytes = chk.write(comm, &solver);
+            let snap = checkpoint_snapshot(comm, &mut solver);
             let staged = comm.stats().bytes_d2h - before_d2h;
+            let nbytes = chk.write(comm, &snap);
             let n = solver.n_nodes() as u64;
             (nbytes, staged, n, chk.files_written(), comm.stats().files_written)
         });
@@ -208,9 +237,10 @@ mod tests {
             let mut params = CaseParams::pb146_default();
             params.elems = [4, 4, 6];
             params.order = 3;
-            let solver = pb146(&params, 20).build(comm);
+            let mut solver = pb146(&params, 20).build(comm);
             let mut chk = FldCheckpointer::new(comm, None);
-            chk.write(comm, &solver)
+            let snap = checkpoint_snapshot(comm, &mut solver);
+            chk.write(comm, &snap)
         });
         // ~76 fluid elements × 64 nodes × 4 fields × 8 B ≈ 150 KB per
         // trigger — already ~15× a typical rendered PNG at this scale, and
@@ -232,7 +262,8 @@ mod tests {
                 solver.step(comm);
             }
             let mut chk = FldCheckpointer::new(comm, Some(dir2.clone()));
-            chk.write(comm, &solver);
+            let snap = checkpoint_snapshot(comm, &mut solver);
+            chk.write(comm, &snap);
             comm.barrier();
             // Read back and restore into a fresh solver.
             let path = dir2.join(format!("fld_{:06}_r{}.bin", solver.step_index(), comm.rank()));
@@ -269,10 +300,11 @@ mod tests {
             let mut params = CaseParams::pb146_default();
             params.elems = [2, 2, 2];
             params.order = 1;
-            let solver = pb146(&params, 2).build(comm);
+            let mut solver = pb146(&params, 2).build(comm);
             let dir = std::env::temp_dir().join(format!("fld_trunc_{}", std::process::id()));
             let mut chk = FldCheckpointer::new(comm, Some(dir.clone()));
-            chk.write(comm, &solver);
+            let snap = checkpoint_snapshot(comm, &mut solver);
+            chk.write(comm, &snap);
             let path = dir.join("fld_000000_r0.bin");
             let bytes = std::fs::read(&path).unwrap();
             std::fs::remove_dir_all(&dir).ok();
@@ -296,9 +328,10 @@ mod tests {
             let mut params = CaseParams::pb146_default();
             params.elems = [2, 2, 2];
             params.order = 1;
-            let solver = pb146(&params, 2).build(comm);
+            let mut solver = pb146(&params, 2).build(comm);
             let mut chk = FldCheckpointer::new(comm, Some(dir2.clone()));
-            chk.write(comm, &solver);
+            let snap = checkpoint_snapshot(comm, &mut solver);
+            chk.write(comm, &snap);
         });
         let bytes = std::fs::read(dir.join("fld_000000_r0.bin")).unwrap();
         assert_eq!(&bytes[0..8], FLD_MAGIC);

@@ -4,10 +4,12 @@
 //! The paper (§3) describes exactly three pieces of coupling code, all
 //! rebuilt here:
 //!
-//! 1. **`nek_sensei::DataAdaptor`** (Listing 2) → [`adaptor::NekDataAdaptor`]:
-//!    presents the solver's GPU-resident fields as VTK-model meshes. Every
-//!    `add_array` stages the field device→host first (VTK cannot consume
-//!    device memory) and charges the copy — the paper's central overhead.
+//! 1. **`nek_sensei::DataAdaptor`** (Listing 2) → [`adaptor::SnapshotAdaptor`]:
+//!    presents a published [`sem::snapshot::FieldSnapshot`] as VTK-model
+//!    meshes over the cached [`adaptor::NekGeometry`]. The solver stages
+//!    each requested field device→host exactly once at publish time — the
+//!    paper's central overhead — and consumers share the staged buffers
+//!    zero-copy.
 //! 2. **the bridge** (Listing 3) → re-exported from [`insitu::bridge`],
 //!    driven by the workflow runners.
 //! 3. **run configurations** → [`workflow`]: the §4.1 in situ pebble-bed
@@ -28,11 +30,13 @@ pub mod checkpoint;
 pub mod metrics;
 pub mod workflow;
 
-pub use adaptor::NekDataAdaptor;
+pub use adaptor::{NekGeometry, SnapshotAdaptor, SnapshotPlane, MESH_NAME};
 pub use checkpoint::{read_fld, FldCheckpointer, FldDump};
 pub use metrics::{
     DegradationSummary, MemoryBreakdown, PhaseBreakdown, PhaseStat, RankPhases, RankTrace,
     RunMetrics,
 };
-pub use workflow::insitu::{run_insitu, InSituConfig, InSituMode, InSituReport};
+pub use workflow::insitu::{
+    run_insitu, ExecMode, InSituConfig, InSituMode, InSituReport, PIPELINE_DEPTH,
+};
 pub use workflow::intransit::{run_intransit, EndpointMode, InTransitConfig, InTransitReport};

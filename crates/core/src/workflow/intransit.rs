@@ -10,8 +10,9 @@
 //! (and are) nearly independent of the endpoint configuration, because the
 //! heavy work happens on the other side of the staging link.
 
-use crate::adaptor::NekDataAdaptor;
+use crate::adaptor::{NekGeometry, SnapshotAdaptor};
 use crate::metrics::{DegradationSummary, RunMetrics};
+use sem::snapshot::{SnapshotPool, SnapshotSpec};
 use commsim::{
     run_ranks_with_registry, CommStats, FaultPlan, MachineModel, PhaseBreakdown, RankTrace,
 };
@@ -233,10 +234,27 @@ pub fn run_intransit(cfg: &InTransitConfig) -> InTransitReport {
             let mut bridge =
                 Bridge::initialize(comm, &xml, &factories).expect("valid generated config");
             drop(setup);
+            let pool = SnapshotPool::new(comm.accountant("snapshot-pool"));
+            // Built on the first trigger: NoTransport never pays for the
+            // VTK geometry, matching its bare-solver memory profile.
+            let mut geometry: Option<Arc<NekGeometry>> = None;
             for s in 1..=steps {
                 solver.step(comm);
-                let mut da = NekDataAdaptor::new(comm, &mut solver);
-                bridge.update(comm, s as u64, &mut da).expect("update");
+                let step = s as u64;
+                if !bridge.triggers_at(step) {
+                    continue;
+                }
+                if geometry.is_none() {
+                    geometry = Some(Arc::new(NekGeometry::build(comm, &solver)));
+                }
+                let spec = SnapshotSpec::from_names(bridge.arrays_at(step));
+                let snap = solver.publish_snapshot(comm, &spec, &pool);
+                let mut da = SnapshotAdaptor::new(
+                    comm,
+                    snap,
+                    Arc::clone(geometry.as_ref().expect("built above")),
+                );
+                bridge.update(comm, step, &mut da).expect("update");
             }
             {
                 let _sp = comm.span("sim/finalize");

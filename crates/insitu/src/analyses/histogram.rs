@@ -75,6 +75,10 @@ impl AnalysisAdaptor for HistogramAnalysis {
         "histogram"
     }
 
+    fn required_arrays(&self) -> Vec<String> {
+        vec![self.array.clone()]
+    }
+
     fn execute(&mut self, comm: &mut Comm, data: &mut dyn DataAdaptor) -> Result<bool> {
         let mut mb = data.mesh(comm, &self.mesh)?;
         data.add_array(comm, &mut mb, &self.mesh, self.centering, &self.array)?;

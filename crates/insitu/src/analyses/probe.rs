@@ -77,6 +77,10 @@ impl AnalysisAdaptor for ProbeAnalysis {
         "probe"
     }
 
+    fn required_arrays(&self) -> Vec<String> {
+        vec![self.array.clone()]
+    }
+
     fn execute(&mut self, comm: &mut Comm, data: &mut dyn DataAdaptor) -> Result<bool> {
         let mut mb = data.mesh(comm, &self.mesh)?;
         data.add_array(comm, &mut mb, &self.mesh, Centering::Point, &self.array)?;

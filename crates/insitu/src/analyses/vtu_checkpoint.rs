@@ -99,6 +99,10 @@ impl AnalysisAdaptor for VtuCheckpointAnalysis {
         "vtu-checkpoint"
     }
 
+    fn required_arrays(&self) -> Vec<String> {
+        self.arrays.clone()
+    }
+
     fn execute(&mut self, comm: &mut Comm, data: &mut dyn DataAdaptor) -> Result<bool> {
         let mut mb = data.mesh(comm, &self.mesh)?;
         for a in &self.arrays {

@@ -22,6 +22,14 @@ pub trait AnalysisAdaptor: Send {
     /// Back-end failures (I/O, rendering, transport).
     fn execute(&mut self, comm: &mut Comm, data: &mut dyn DataAdaptor) -> Result<bool>;
 
+    /// Array names this analysis will request via
+    /// [`crate::DataAdaptor::add_array`]. The driver uses the union across
+    /// active analyses to publish each field exactly once per trigger.
+    /// Defaults to empty (the analysis reads no field data).
+    fn required_arrays(&self) -> Vec<String> {
+        Vec::new()
+    }
+
     /// Flush and release resources at end of run.
     ///
     /// # Errors

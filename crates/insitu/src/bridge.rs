@@ -66,6 +66,22 @@ impl Bridge {
         self.analyses.finalize(comm)
     }
 
+    /// True when `update(step)` would actually run an analysis — false
+    /// when nothing triggers at `step` or the bridge has been stopped.
+    /// Drivers use this to skip publishing a snapshot entirely.
+    pub fn triggers_at(&self, step: u64) -> bool {
+        !self.stopped && self.analyses.triggers_at(step)
+    }
+
+    /// Array names the analyses triggering at `step` will request
+    /// (deduplicated, first-seen order; empty once stopped).
+    pub fn arrays_at(&self, step: u64) -> Vec<String> {
+        if self.stopped {
+            return Vec::new();
+        }
+        self.analyses.arrays_at(step)
+    }
+
     /// The configured analyses (for inspection/metrics).
     pub fn analyses(&self) -> &ConfigurableAnalysis {
         &self.analyses

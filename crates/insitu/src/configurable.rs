@@ -150,6 +150,30 @@ impl ConfigurableAnalysis {
         Ok(keep_going)
     }
 
+    /// True when at least one analysis would run at `step` — the driver's
+    /// publish gate: no trigger, no snapshot, no D2H traffic.
+    pub fn triggers_at(&self, step: u64) -> bool {
+        self.entries
+            .iter()
+            .any(|e| step.is_multiple_of(e.spec.frequency))
+    }
+
+    /// Deduplicated union of array names the analyses triggering at `step`
+    /// will request, in first-seen order.
+    pub fn arrays_at(&self, step: u64) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for e in &self.entries {
+            if step.is_multiple_of(e.spec.frequency) {
+                for a in e.adaptor.required_arrays() {
+                    if !out.contains(&a) {
+                        out.push(a);
+                    }
+                }
+            }
+        }
+        out
+    }
+
     /// Finalize every adaptor.
     ///
     /// # Errors

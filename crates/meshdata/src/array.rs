@@ -1,5 +1,7 @@
 //! Named, typed attribute arrays (the VTK `vtkDataArray` analogue).
 
+use std::sync::Arc;
+
 /// Where an array lives on the mesh.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Centering {
@@ -25,6 +27,9 @@ pub enum ArrayData {
     F32(Vec<f32>),
     /// 64-bit floats (native solver precision).
     F64(Vec<f64>),
+    /// 64-bit floats shared by reference with the producing snapshot —
+    /// zero-copy: many consumers alias one staged buffer.
+    F64Shared(Arc<Vec<f64>>),
     /// 64-bit signed integers (connectivity, ids).
     I64(Vec<i64>),
     /// Bytes (cell types, masks).
@@ -37,6 +42,7 @@ impl ArrayData {
         match self {
             ArrayData::F32(v) => v.len(),
             ArrayData::F64(v) => v.len(),
+            ArrayData::F64Shared(v) => v.len(),
             ArrayData::I64(v) => v.len(),
             ArrayData::U8(v) => v.len(),
         }
@@ -47,6 +53,9 @@ impl ArrayData {
         match self {
             ArrayData::F32(v) => (v.capacity() * 4) as u64,
             ArrayData::F64(v) => (v.capacity() * 8) as u64,
+            // Shared storage is owned by the snapshot pool and accounted
+            // there; a consumer's alias adds no heap of its own.
+            ArrayData::F64Shared(_) => 0,
             ArrayData::I64(v) => (v.capacity() * 8) as u64,
             ArrayData::U8(v) => v.capacity() as u64,
         }
@@ -56,7 +65,7 @@ impl ArrayData {
     pub fn vtk_type_name(&self) -> &'static str {
         match self {
             ArrayData::F32(_) => "Float32",
-            ArrayData::F64(_) => "Float64",
+            ArrayData::F64(_) | ArrayData::F64Shared(_) => "Float64",
             ArrayData::I64(_) => "Int64",
             ArrayData::U8(_) => "UInt8",
         }
@@ -66,7 +75,7 @@ impl ArrayData {
     pub fn scalar_size(&self) -> usize {
         match self {
             ArrayData::F32(_) => 4,
-            ArrayData::F64(_) => 8,
+            ArrayData::F64(_) | ArrayData::F64Shared(_) => 8,
             ArrayData::I64(_) => 8,
             ArrayData::U8(_) => 1,
         }
@@ -77,6 +86,7 @@ impl ArrayData {
         match self {
             ArrayData::F32(v) => v[i] as f64,
             ArrayData::F64(v) => v[i],
+            ArrayData::F64Shared(v) => v[i],
             ArrayData::I64(v) => v[i] as f64,
             ArrayData::U8(v) => v[i] as f64,
         }
@@ -87,6 +97,7 @@ impl ArrayData {
         match self {
             ArrayData::F32(v) => v.iter().flat_map(|x| x.to_le_bytes()).collect(),
             ArrayData::F64(v) => v.iter().flat_map(|x| x.to_le_bytes()).collect(),
+            ArrayData::F64Shared(v) => v.iter().flat_map(|x| x.to_le_bytes()).collect(),
             ArrayData::I64(v) => v.iter().flat_map(|x| x.to_le_bytes()).collect(),
             ArrayData::U8(v) => v.clone(),
         }
@@ -133,6 +144,29 @@ impl DataArray {
             name: name.into(),
             components: 3,
             data: ArrayData::F64(values),
+        }
+    }
+
+    /// An `f64` array aliasing shared (snapshot-owned) storage, zero-copy.
+    ///
+    /// # Panics
+    /// Panics if `components` is zero or `values.len()` is not a multiple
+    /// of `components`.
+    pub fn shared_f64(
+        name: impl Into<String>,
+        components: usize,
+        values: Arc<Vec<f64>>,
+    ) -> Self {
+        assert!(components >= 1, "components must be at least 1");
+        assert_eq!(
+            values.len() % components,
+            0,
+            "shared array length must be components·n"
+        );
+        Self {
+            name: name.into(),
+            components,
+            data: ArrayData::F64Shared(values),
         }
     }
 

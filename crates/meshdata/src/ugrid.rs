@@ -242,6 +242,8 @@ impl UnstructuredGrid {
         for a in &self.point_data {
             let data = match &a.data {
                 ArrayData::F64(v) => ArrayData::F64(gather_tuples(v, &kept, a.components)),
+                // Welding subsets the tuples, so the result is owned.
+                ArrayData::F64Shared(v) => ArrayData::F64(gather_tuples(v, &kept, a.components)),
                 ArrayData::F32(v) => ArrayData::F32(gather_tuples(v, &kept, a.components)),
                 ArrayData::I64(v) => ArrayData::I64(gather_tuples(v, &kept, a.components)),
                 ArrayData::U8(v) => ArrayData::U8(gather_tuples(v, &kept, a.components)),

@@ -76,6 +76,7 @@ fn write_attribute(out: &mut Vec<u8>, a: &DataArray, _c: Centering) -> std::io::
             match &a.data {
                 ArrayData::F32(v) => writeln!(out, "{}", v[i])?,
                 ArrayData::F64(v) => writeln!(out, "{}", v[i])?,
+                ArrayData::F64Shared(v) => writeln!(out, "{}", v[i])?,
                 ArrayData::I64(v) => writeln!(out, "{}", v[i])?,
                 ArrayData::U8(v) => writeln!(out, "{}", v[i])?,
             }

@@ -196,6 +196,7 @@ fn write_ascii_values(data: &ArrayData, w: &mut impl Write) -> std::io::Result<(
         match data {
             ArrayData::F32(v) => write!(w, "{}", v[i])?,
             ArrayData::F64(v) => write!(w, "{}", v[i])?,
+            ArrayData::F64Shared(v) => write!(w, "{}", v[i])?,
             ArrayData::I64(v) => write!(w, "{}", v[i])?,
             ArrayData::U8(v) => write!(w, "{}", v[i])?,
         }

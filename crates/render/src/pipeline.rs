@@ -373,6 +373,10 @@ impl AnalysisAdaptor for CatalystAnalysis {
         "catalyst"
     }
 
+    fn required_arrays(&self) -> Vec<String> {
+        self.pipeline.required_arrays()
+    }
+
     fn execute(&mut self, comm: &mut Comm, data: &mut dyn DataAdaptor) -> insitu::Result<bool> {
         let copy = comm.span("insitu/copy");
         let mut mb = data.mesh(comm, &self.mesh)?;

@@ -40,6 +40,7 @@ pub mod mesh;
 pub mod navier_stokes;
 pub mod operators;
 pub mod quadrature;
+pub mod snapshot;
 pub mod timestep;
 pub mod workspace;
 
@@ -47,4 +48,5 @@ pub use cases::{pb146, rbc, CaseParams};
 pub use field::FieldLayout;
 pub use mesh::{Bc, BcSet, LocalMesh, MeshSpec};
 pub use navier_stokes::{FilterConfig, FlowSolver, SolverConfig, StepReport};
+pub use snapshot::{FieldSnapshot, PoolStats, SnapshotField, SnapshotPool, SnapshotSpec};
 pub use workspace::Workspace;

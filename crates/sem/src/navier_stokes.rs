@@ -23,10 +23,12 @@ use crate::cg::{self, CgConfig, CgResult};
 use crate::gs::GatherScatter;
 use crate::mesh::{BcSet, LocalMesh};
 use crate::operators::Ops;
+use crate::snapshot::{self, FieldSnapshot, SnapshotPool, SnapshotSpec};
 use crate::timestep::{bdf_coeffs, ext_coeffs};
 use crate::workspace::Workspace;
 use commsim::{Comm, ReduceOp};
 use memtrack::Charge;
+use std::sync::Arc;
 
 /// Temperature-equation configuration (enables Boussinesq coupling).
 #[derive(Debug, Clone)]
@@ -379,6 +381,100 @@ impl FlowSolver {
         self.gs.average(comm, &mut q);
         comm.d2h((n * 8) as u64);
         q
+    }
+
+    /// Stage every field requested by `spec` into an owned, pooled
+    /// [`FieldSnapshot`] — the single D2H publish point of the data plane.
+    ///
+    /// Primary fields (velocity, pressure, temperature) share one pooled
+    /// D2H transfer; derived fields (vorticity, Q-criterion) are computed
+    /// on device and staged with their own transfers, exactly as the
+    /// per-field staging paths used to charge. Each field is staged once
+    /// per call no matter how many consumers later read the snapshot.
+    pub fn publish_snapshot(
+        &mut self,
+        comm: &mut Comm,
+        spec: &SnapshotSpec,
+        pool: &SnapshotPool,
+    ) -> Arc<FieldSnapshot> {
+        let _span = comm.span("snapshot/publish");
+        let n = self.n_nodes();
+        let mut fields = Vec::with_capacity(5);
+        let mut primary_bytes = 0u64;
+
+        if spec.velocity {
+            let mut buf = pool.take(3 * n);
+            for i in 0..n {
+                buf[3 * i] = self.u[0][i];
+                buf[3 * i + 1] = self.u[1][i];
+                buf[3 * i + 2] = self.u[2][i];
+            }
+            primary_bytes += (3 * n * 8) as u64;
+            fields.push(snapshot::field_from_pooled("velocity", 3, buf));
+        }
+        if spec.pressure {
+            let mut buf = pool.take(n);
+            buf.copy_from_slice(&self.p);
+            primary_bytes += (n * 8) as u64;
+            fields.push(snapshot::field_from_pooled("pressure", 1, buf));
+        }
+        if spec.temperature {
+            if let Some(t) = &self.t {
+                let mut buf = pool.take(n);
+                buf.copy_from_slice(t);
+                primary_bytes += (n * 8) as u64;
+                fields.push(snapshot::field_from_pooled("temperature", 1, buf));
+            }
+        }
+        if primary_bytes > 0 {
+            comm.d2h(primary_bytes);
+        }
+
+        if spec.vorticity {
+            let mut wx = pool.take(n);
+            let mut wy = pool.take(n);
+            let mut wz = pool.take(n);
+            self.ops.curl(
+                comm,
+                &self.u[0],
+                &self.u[1],
+                &self.u[2],
+                &mut wx,
+                &mut wy,
+                &mut wz,
+                &mut self.scratch,
+            );
+            self.gs.average(comm, &mut wx);
+            self.gs.average(comm, &mut wy);
+            self.gs.average(comm, &mut wz);
+            comm.d2h((3 * n * 8) as u64);
+            let mut buf = pool.take(3 * n);
+            for i in 0..n {
+                buf[3 * i] = wx[i];
+                buf[3 * i + 1] = wy[i];
+                buf[3 * i + 2] = wz[i];
+            }
+            pool.put(wx);
+            pool.put(wy);
+            pool.put(wz);
+            fields.push(snapshot::field_from_pooled("vorticity", 3, buf));
+        }
+        if spec.q_criterion {
+            let mut q = pool.take(n);
+            self.ops
+                .q_criterion(comm, &self.u[0], &self.u[1], &self.u[2], &mut q, &mut self.ws);
+            self.gs.average(comm, &mut q);
+            comm.d2h((n * 8) as u64);
+            fields.push(snapshot::field_from_pooled("q_criterion", 1, q));
+        }
+
+        Arc::new(FieldSnapshot::new(
+            self.step_index,
+            self.time,
+            n,
+            fields,
+            pool,
+        ))
     }
 
     /// Restore primary fields from a checkpoint (velocity, pressure, and

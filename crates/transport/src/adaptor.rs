@@ -193,6 +193,10 @@ impl AnalysisAdaptor for TransportAnalysis {
         "adios-sst"
     }
 
+    fn required_arrays(&self) -> Vec<String> {
+        self.arrays.clone()
+    }
+
     fn execute(&mut self, comm: &mut Comm, data: &mut dyn DataAdaptor) -> insitu::Result<bool> {
         let copy = comm.span("insitu/copy");
         let mut mb = data.mesh(comm, &self.mesh)?;

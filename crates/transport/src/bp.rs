@@ -131,7 +131,9 @@ fn put_arrays(out: &mut BytesMut, arrays: &[DataArray]) {
         out.put_u32_le(a.components as u32);
         let (tag, bytes): (u8, Vec<u8>) = match &a.data {
             ArrayData::F32(_) => (0, a.data.to_le_bytes()),
-            ArrayData::F64(_) => (1, a.data.to_le_bytes()),
+            // Shared snapshot storage marshals as plain Float64 so the
+            // endpoint reconstructs an owned array.
+            ArrayData::F64(_) | ArrayData::F64Shared(_) => (1, a.data.to_le_bytes()),
             ArrayData::I64(_) => (2, a.data.to_le_bytes()),
             ArrayData::U8(_) => (3, a.data.to_le_bytes()),
         };

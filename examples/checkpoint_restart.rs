@@ -12,7 +12,7 @@ use insitu::analyses::VtuCheckpointAnalysis;
 use insitu::AnalysisAdaptor;
 use meshdata::reader::read_vtu;
 use meshdata::Centering;
-use nek_sensei::NekDataAdaptor;
+use nek_sensei::SnapshotPlane;
 use sem::cases::{pb146, CaseParams};
 use sem::navier_stokes::FieldId;
 
@@ -35,7 +35,8 @@ fn main() {
             vec!["pressure".into(), "velocity".into()],
             Some(dir_for_ranks.clone()),
         );
-        let mut da = NekDataAdaptor::new(comm, &mut solver);
+        let plane = SnapshotPlane::new(comm, &solver);
+        let mut da = plane.publish(comm, &mut solver, ["pressure", "velocity"]);
         chk.execute(comm, &mut da).expect("checkpoint");
         let step = solver.step_index();
         comm.barrier();

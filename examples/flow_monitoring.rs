@@ -10,7 +10,7 @@
 
 use commsim::{run_ranks, MachineModel};
 use insitu::Bridge;
-use nek_sensei::NekDataAdaptor;
+use nek_sensei::SnapshotPlane;
 use sem::cases::{rbc, CaseParams};
 
 fn main() {
@@ -34,13 +34,16 @@ fn main() {
         params.order = 3;
         let mut solver = rbc(&params, 1e5, 0.7).build(comm);
         let mut bridge = Bridge::initialize(comm, &config, &[]).expect("valid config");
+        let plane = SnapshotPlane::new(comm, &solver);
         let mut completed = 0u64;
         for step in 1..=40u64 {
             solver.step(comm);
-            let mut da = NekDataAdaptor::new(comm, &mut solver);
-            let keep_going = bridge.update(comm, step, &mut da).expect("update");
             completed = step;
-            if !keep_going {
+            if !bridge.triggers_at(step) {
+                continue;
+            }
+            let mut da = plane.publish(comm, &mut solver, bridge.arrays_at(step));
+            if !bridge.update(comm, step, &mut da).expect("update") {
                 break; // the watchdog tripped
             }
         }

@@ -38,6 +38,8 @@ fn main() {
         machine,
         image_size: (800, 600),
         mode: InSituMode::Original,
+        exec: nek_sensei::ExecMode::default(),
+        faults: commsim::FaultPlan::none(),
         trace: false,
         output_dir: None,
     };

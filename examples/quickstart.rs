@@ -10,7 +10,7 @@
 
 use commsim::{run_ranks, MachineModel};
 use insitu::Bridge;
-use nek_sensei::NekDataAdaptor;
+use nek_sensei::SnapshotPlane;
 use sem::cases::{pb146, CaseParams};
 
 fn main() {
@@ -28,15 +28,20 @@ fn main() {
         params.elems = [4, 4, 6];
         let mut solver = pb146(&params, 30).build(comm);
 
-        // 2. Initialize the bridge (paper Listing 3).
+        // 2. Initialize the bridge (paper Listing 3) and the snapshot
+        //    data plane (geometry cached once, staging buffers pooled).
         let mut bridge =
             Bridge::initialize(comm, CONFIG, &[]).expect("valid config");
+        let plane = SnapshotPlane::new(comm, &solver);
 
-        // 3. Main loop: step, then hand the state to SENSEI.
+        // 3. Main loop: step; when an analysis triggers, publish exactly
+        //    the fields it needs and hand the snapshot to SENSEI.
         for step in 1..=20u64 {
             solver.step(comm);
-            let mut adaptor = NekDataAdaptor::new(comm, &mut solver);
-            bridge.update(comm, step, &mut adaptor).expect("in situ update");
+            if bridge.triggers_at(step) {
+                let mut adaptor = plane.publish(comm, &mut solver, bridge.arrays_at(step));
+                bridge.update(comm, step, &mut adaptor).expect("in situ update");
+            }
         }
         bridge.finalize(comm).expect("finalize");
 

@@ -6,9 +6,10 @@ use insitu::analyses::VtuCheckpointAnalysis;
 use insitu::{AnalysisAdaptor, DataAdaptor};
 use meshdata::reader::read_vtu;
 use meshdata::Centering;
-use nek_sensei::NekDataAdaptor;
+use nek_sensei::SnapshotPlane;
 use sem::cases::{pb146, CaseParams};
 use sem::navier_stokes::FieldId;
+use sem::snapshot::{SnapshotPool, SnapshotSpec};
 
 fn temp_dir(tag: &str) -> std::path::PathBuf {
     std::env::temp_dir().join(format!("nek_sensei_it_{tag}_{}", std::process::id()))
@@ -32,7 +33,8 @@ fn vtu_checkpoint_roundtrips_bit_exact_across_ranks() {
             vec!["pressure".into(), "velocity".into()],
             Some(dir2.clone()),
         );
-        let mut da = NekDataAdaptor::new(comm, &mut solver);
+        let plane = SnapshotPlane::new(comm, &solver);
+        let mut da = plane.publish(comm, &mut solver, ["pressure", "velocity"]);
         chk.execute(comm, &mut da).expect("checkpoint");
         comm.barrier();
 
@@ -77,9 +79,17 @@ fn fld_and_vtu_checkpoints_are_consistent() {
         params.elems = [2, 2, 2];
         params.order = 2;
         let mut solver = pb146(&params, 2).build(comm);
+        let pool = SnapshotPool::new(comm.accountant("snapshot-pool"));
+        let spec = SnapshotSpec {
+            pressure: true,
+            velocity: true,
+            ..SnapshotSpec::default()
+        };
+        let snap = solver.publish_snapshot(comm, &spec, &pool);
         let mut fld = nek_sensei::FldCheckpointer::new(comm, None);
-        let fld_bytes = fld.write(comm, &solver);
-        let mut da = NekDataAdaptor::new(comm, &mut solver);
+        let fld_bytes = fld.write(comm, &snap);
+        let plane = SnapshotPlane::new(comm, &solver);
+        let mut da = plane.publish(comm, &mut solver, ["pressure", "velocity"]);
         let mut mb = da.mesh(comm, "mesh").unwrap();
         da.add_array(comm, &mut mb, "mesh", Centering::Point, "pressure")
             .unwrap();

@@ -4,7 +4,7 @@
 
 use commsim::{run_ranks, MachineModel};
 use insitu::Bridge;
-use nek_sensei::NekDataAdaptor;
+use nek_sensei::SnapshotPlane;
 use render::CatalystAnalysis;
 use sem::cases::{pb146, CaseParams};
 
@@ -18,9 +18,13 @@ fn simulate_with_config(config_xml: &'static str) -> Vec<(u64, u64)> {
         let mut bridge =
             Bridge::initialize(comm, config_xml, &[CatalystAnalysis::factory()])
                 .expect("valid config");
+        let plane = SnapshotPlane::new(comm, &solver);
         for step in 1..=6u64 {
             solver.step(comm);
-            let mut da = NekDataAdaptor::new(comm, &mut solver);
+            if !bridge.triggers_at(step) {
+                continue;
+            }
+            let mut da = plane.publish(comm, &mut solver, bridge.arrays_at(step));
             bridge.update(comm, step, &mut da).expect("update");
         }
         bridge.finalize(comm).expect("finalize");

@@ -20,6 +20,8 @@ fn one_run(mode: InSituMode) -> (f64, u64, u64, u64) {
         machine: MachineModel::polaris(),
         image_size: (64, 48),
         mode,
+        exec: Default::default(),
+        faults: commsim::FaultPlan::none(),
         output_dir: None,
         trace: false,
     });
@@ -69,6 +71,8 @@ fn derating_scales_compute_time_exactly() {
             machine,
             image_size: (64, 48),
             mode: InSituMode::Checkpointing,
+            exec: Default::default(),
+            faults: commsim::FaultPlan::none(),
             output_dir: None,
             trace: false,
         });

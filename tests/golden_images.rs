@@ -74,6 +74,8 @@ fn pb146_insitu_frames_match_goldens() {
         machine: MachineModel::test_tiny(),
         image_size: (64, 48),
         mode: InSituMode::Catalyst,
+        exec: Default::default(),
+        faults: commsim::FaultPlan::none(),
         output_dir: Some(dir.clone()),
         trace: false,
     });

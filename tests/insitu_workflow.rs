@@ -18,6 +18,8 @@ fn config(mode: InSituMode) -> InSituConfig {
         machine: MachineModel::polaris(),
         image_size: (80, 60),
         mode,
+        exec: Default::default(),
+        faults: commsim::FaultPlan::none(),
         output_dir: None,
         trace: false,
     }

@@ -87,6 +87,8 @@ fn golden_hashes(pool_threads: usize, tag: &str) -> Vec<(String, u64)> {
             machine: MachineModel::test_tiny(),
             image_size: (64, 48),
             mode: InSituMode::Catalyst,
+            exec: Default::default(),
+            faults: commsim::FaultPlan::none(),
             output_dir: Some(dir.clone()),
             trace: false,
         });

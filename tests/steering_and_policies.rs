@@ -3,7 +3,7 @@
 
 use commsim::{run_ranks, run_ranks_with_state, MachineModel};
 use insitu::Bridge;
-use nek_sensei::NekDataAdaptor;
+use nek_sensei::SnapshotPlane;
 use sem::cases::{pb146, CaseParams};
 use transport::{QueuePolicy, StagingLink, StagingNetwork, TransportAnalysis};
 
@@ -20,11 +20,15 @@ fn watchdog_stops_a_simulation_mid_run() {
             <analysis type="watchdog" array="velocity" frequency="2" max="1e-6"/>
         </sensei>"#;
         let mut bridge = Bridge::initialize(comm, xml, &[]).unwrap();
+        let plane = SnapshotPlane::new(comm, &solver);
         let mut steps_run = 0;
         for step in 1..=10u64 {
             solver.step(comm);
             steps_run = step;
-            let mut da = NekDataAdaptor::new(comm, &mut solver);
+            if !bridge.triggers_at(step) {
+                continue;
+            }
+            let mut da = plane.publish(comm, &mut solver, bridge.arrays_at(step));
             if !bridge.update(comm, step, &mut da).unwrap() {
                 break;
             }
@@ -70,12 +74,11 @@ fn discard_policy_loses_steps_but_keeps_the_stream_consistent() {
         params.order = 1;
         let mut solver = pb146(&params, 2).build(comm);
         let mut analysis = TransportAnalysis::new("mesh", vec!["pressure".into()], writer);
+        let plane = SnapshotPlane::new(comm, &solver);
         for step in 1..=30u64 {
             // Reuse the same solver state; only the step stamp changes.
-            let mut da = NekDataAdaptorShim {
-                inner: NekDataAdaptor::new(comm, &mut solver),
-                step,
-            };
+            let mut da = plane.publish(comm, &mut solver, ["pressure"]);
+            da.set_time_stamp(step as f64, step);
             analysis.execute(comm, &mut da).unwrap();
         }
         analysis.stats()
@@ -88,53 +91,4 @@ fn discard_policy_loses_steps_but_keeps_the_stream_consistent() {
     assert_eq!(written as usize, delivered.len());
     // Delivered steps arrive in increasing order.
     assert!(delivered.windows(2).all(|w| w[0] < w[1]), "{delivered:?}");
-}
-
-/// Wraps the adaptor to override the timestep stamp (the test replays one
-/// state at many steps).
-struct NekDataAdaptorShim<'a> {
-    inner: NekDataAdaptor<'a>,
-    step: u64,
-}
-
-impl insitu::DataAdaptor for NekDataAdaptorShim<'_> {
-    fn num_meshes(&self) -> usize {
-        self.inner.num_meshes()
-    }
-    fn mesh_name(&self, idx: usize) -> &str {
-        self.inner.mesh_name(idx)
-    }
-    fn mesh_metadata(
-        &mut self,
-        comm: &mut commsim::Comm,
-        mesh: &str,
-    ) -> insitu::Result<meshdata::MeshMetadata> {
-        self.inner.mesh_metadata(comm, mesh)
-    }
-    fn mesh(
-        &mut self,
-        comm: &mut commsim::Comm,
-        mesh: &str,
-    ) -> insitu::Result<meshdata::MultiBlock> {
-        self.inner.mesh(comm, mesh)
-    }
-    fn add_array(
-        &mut self,
-        comm: &mut commsim::Comm,
-        mb: &mut meshdata::MultiBlock,
-        mesh: &str,
-        centering: meshdata::Centering,
-        array: &str,
-    ) -> insitu::Result<()> {
-        self.inner.add_array(comm, mb, mesh, centering, array)
-    }
-    fn time(&self) -> f64 {
-        self.step as f64
-    }
-    fn time_step(&self) -> u64 {
-        self.step
-    }
-    fn release_data(&mut self) {
-        self.inner.release_data();
-    }
 }

@@ -35,6 +35,15 @@ fn traced_intransit(sim_ranks: usize, mode: EndpointMode) -> InTransitConfig {
     }
 }
 
+/// Rank worlds a traced in situ run produces: 1 synchronously, 2 when
+/// `NEK_EXEC_MODE=pipelined` adds the consumer world (pid 1).
+fn insitu_worlds() -> usize {
+    match nek_sensei::ExecMode::default() {
+        nek_sensei::ExecMode::Pipelined => 2,
+        nek_sensei::ExecMode::Synchronous => 1,
+    }
+}
+
 fn traced_insitu(ranks: usize) -> InSituConfig {
     let mut params = CaseParams::rbc_default();
     params.elems = [2, 2, ranks.max(2)];
@@ -47,6 +56,8 @@ fn traced_insitu(ranks: usize) -> InSituConfig {
         machine: MachineModel::test_tiny(),
         image_size: (80, 60),
         mode: InSituMode::Catalyst,
+        exec: Default::default(),
+        faults: commsim::FaultPlan::none(),
         output_dir: None,
         trace: true,
     }
@@ -95,7 +106,7 @@ fn intransit_catalyst_attributes_virtual_time_to_phases() {
 fn insitu_catalyst_attribution_holds_without_transport() {
     let r = run_insitu(&traced_insitu(4));
     let phases = r.phases.expect("trace: true produces a breakdown");
-    assert_eq!(phases.ranks.len(), 4);
+    assert_eq!(phases.ranks.len(), 4 * insitu_worlds());
     assert_phases_bounded_by_wall(&phases);
     assert!(phases.attributed_fraction() >= 0.95, "{}", phases.to_table());
     // In situ everything happens on the simulation ranks: in-situ copy
@@ -215,7 +226,7 @@ fn assert_structurally_valid_json(s: &str) {
 #[test]
 fn chrome_trace_for_four_ranks_is_well_formed() {
     let r = run_insitu(&traced_insitu(4));
-    assert_eq!(r.traces.len(), 4);
+    assert_eq!(r.traces.len(), 4 * insitu_worlds());
     let json = chrome_trace_json(&r.traces);
     let t = json.trim();
     assert!(t.starts_with('['), "trace-event format is a JSON array");
