@@ -38,6 +38,7 @@ fn bench_insitu(c: &mut Criterion) {
                         faults: commsim::FaultPlan::none(),
                         output_dir: None,
                         trace: false,
+                        telemetry: false,
                     });
                     black_box(report.metrics.time_to_solution)
                 })

@@ -41,6 +41,7 @@ fn bench_intransit(c: &mut Criterion) {
                         writer_config: transport::WriterConfig::default(),
                         fallback_dir: None,
                         trace: false,
+                        telemetry: false,
                     });
                     black_box(report.sim.mean_step_time)
                 })

@@ -39,6 +39,7 @@ fn sweep_config(steps: usize, trigger: u64, faults: FaultPlan) -> InTransitConfi
         writer_config: WriterConfig::default(),
         fallback_dir: None,
         trace: false,
+        telemetry: false,
     }
 }
 

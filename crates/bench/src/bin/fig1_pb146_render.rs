@@ -5,8 +5,8 @@
 //! velocity magnitude plus a pressure slice. PNGs land under `--out`
 //! (default `out/fig1`).
 
-use bench_harness::{cases, HarnessArgs};
-use commsim::{run_ranks, MachineModel};
+use bench_harness::{cases, maybe_write_report, HarnessArgs};
+use commsim::{run_ranks, MachineModel, TelemetryHub};
 use sem::cases::{pb146, CaseParams};
 
 fn main() {
@@ -18,7 +18,15 @@ fn main() {
     let steps = args.steps.unwrap_or(30);
     let ranks = 4;
 
+    // Render harnesses have no workflow driver, so `--report-out` gets
+    // the hub-only artifact: instrument totals (sem/step_time quantiles,
+    // render counters), no per-step series.
+    let hub = args.telemetry().then(TelemetryHub::default);
+    let rank_hub = hub.clone();
     let results = run_ranks(ranks, MachineModel::polaris(), move |comm| {
+        if let Some(hub) = &rank_hub {
+            comm.enable_telemetry(hub, 0);
+        }
         let params = CaseParams::pb146_default();
         let case = pb146(&params, 146);
         let mut solver = case.build(comm);
@@ -38,4 +46,26 @@ fn main() {
     println!("pb146 after {steps} steps: kinetic energy {ke:.4}");
     println!("Figure 1: rendered {images} image(s), {bytes} bytes of PNGs");
     println!("(rank 0 wrote the files; see the output directory)");
+    if let Some(hub) = &hub {
+        let report = telemetry::RunReport::collect(
+            telemetry::Manifest {
+                case: "pb146".into(),
+                workflow: "render".into(),
+                mode: "showcase".into(),
+                exec: "synchronous".into(),
+                ranks,
+                endpoint_ranks: 0,
+                steps: steps as u64,
+                trigger_every: steps as u64,
+                machine: "polaris".into(),
+                fault_plan: "none".into(),
+                pool_threads: rayon::pool::current_threads(),
+                pipeline_depth: 0,
+            },
+            hub,
+            Vec::new(),
+            telemetry::MemorySummary::default(),
+        );
+        maybe_write_report(&args, "fig1_pb146_render", Some(&report));
+    }
 }

@@ -12,7 +12,10 @@
 //! Original < Checkpointing ≲ Catalyst, with Catalyst bearing a slight
 //! overhead over Checkpointing.
 
-use bench_harness::{cases, fmt_secs, format_table, maybe_write_csv, maybe_write_trace, HarnessArgs};
+use bench_harness::{
+    cases, fmt_secs, format_table, maybe_write_csv, maybe_write_report, maybe_write_trace,
+    HarnessArgs,
+};
 use nek_sensei::{run_insitu, InSituMode};
 
 fn main() {
@@ -42,18 +45,16 @@ fn main() {
             let mut cfg = cases::insitu_config(&sweep, r, mode);
             cfg.exec = args.exec_mode();
             cfg.trace = args.trace_out.is_some();
+            cfg.telemetry = args.telemetry();
             let report = run_insitu(&cfg);
             println!(
                 "  {:<13} paper-ranks={paper_r:<5} ranks={r:<4} time={}",
                 mode.label(),
                 fmt_secs(report.metrics.time_to_solution)
             );
-            maybe_write_trace(
-                &args,
-                &format!("fig2_{}_{r}ranks", mode.label().to_lowercase()),
-                &report.traces,
-                report.phases.as_ref(),
-            );
+            let cell = format!("fig2_{}_{r}ranks", mode.label().to_lowercase());
+            maybe_write_trace(&args, &cell, &report.traces, report.phases.as_ref());
+            maybe_write_report(&args, &cell, report.run_report.as_ref());
             let t = &report.metrics.totals;
             let per_rank = |x: f64| x / r as f64;
             rows.push(vec![

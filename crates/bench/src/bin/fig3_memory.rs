@@ -5,7 +5,7 @@
 //! ranks; the observation is that Catalyst sits ≈25% above Checkpointing
 //! because of the GPU→CPU staging plus the VTK/rendering copies.
 
-use bench_harness::{cases, format_table, maybe_write_csv, HarnessArgs};
+use bench_harness::{cases, format_table, maybe_write_csv, maybe_write_report, HarnessArgs};
 use memtrack::human_bytes;
 use nek_sensei::{run_insitu, InSituMode};
 
@@ -23,12 +23,18 @@ fn main() {
         for (&paper_r, &r) in paper_ranks.iter().zip(&ranks) {
             let mut cfg = cases::insitu_config(&sweep, r, mode);
             cfg.exec = args.exec_mode();
+            cfg.telemetry = args.telemetry();
             let report = run_insitu(&cfg);
             let mem = report.memory();
             println!(
                 "  {:<13} paper-ranks={paper_r:<5} ranks={r:<4} host-aggregate-peak={}",
                 mode.label(),
                 human_bytes(mem.host_aggregate_peak)
+            );
+            maybe_write_report(
+                &args,
+                &format!("fig3_{}_{r}ranks", mode.label().to_lowercase()),
+                report.run_report.as_ref(),
             );
             rows.push(vec![
                 mode.label().to_string(),
@@ -37,6 +43,7 @@ fn main() {
                 mem.host_aggregate_peak.to_string(),
                 mem.host_max_rank_peak.to_string(),
                 mem.gpu_aggregate_peak.to_string(),
+                mem.unscoped.to_string(),
             ]);
             per_scale.push(mem.host_aggregate_peak);
         }
@@ -50,6 +57,7 @@ fn main() {
         "host_aggregate_peak_B",
         "host_max_rank_peak_B",
         "gpu_aggregate_peak_B",
+        "unscoped_B",
     ];
     println!("\nFigure 3 — memory high-water marks (tracking accountants)");
     println!("{}", format_table(&headers, &rows));

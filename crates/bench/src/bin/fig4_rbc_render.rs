@@ -4,8 +4,8 @@
 //! paper's side view: a vertical slice colored by temperature, with a
 //! velocity-magnitude contour as the second image.
 
-use bench_harness::{cases, HarnessArgs};
-use commsim::{run_ranks, MachineModel};
+use bench_harness::{cases, maybe_write_report, HarnessArgs};
+use commsim::{run_ranks, MachineModel, TelemetryHub};
 use sem::cases::{rbc, CaseParams};
 
 fn main() {
@@ -17,7 +17,14 @@ fn main() {
     let steps = args.steps.unwrap_or(120);
     let ranks = 4;
 
+    // Hub-only telemetry, like fig1: instrument totals without a
+    // workflow driver's per-step series.
+    let hub = args.telemetry().then(TelemetryHub::default);
+    let rank_hub = hub.clone();
     let results = run_ranks(ranks, MachineModel::juwels_booster(), move |comm| {
+        if let Some(hub) = &rank_hub {
+            comm.enable_telemetry(hub, 0);
+        }
         let params = CaseParams::rbc_default();
         let case = rbc(&params, 1e5, 0.7);
         let mut solver = case.build(comm);
@@ -42,5 +49,27 @@ fn main() {
     println!("Figure 4: rendered {images} image(s) to the output directory");
     if ke < 1e-9 {
         println!("note: convection has not set in yet — try more --steps");
+    }
+    if let Some(hub) = &hub {
+        let report = telemetry::RunReport::collect(
+            telemetry::Manifest {
+                case: "rbc".into(),
+                workflow: "render".into(),
+                mode: "side_view".into(),
+                exec: "synchronous".into(),
+                ranks,
+                endpoint_ranks: 0,
+                steps: steps as u64,
+                trigger_every: steps as u64,
+                machine: "juwels-booster".into(),
+                fault_plan: "none".into(),
+                pool_threads: rayon::pool::current_threads(),
+                pipeline_depth: 0,
+            },
+            hub,
+            Vec::new(),
+            telemetry::MemorySummary::default(),
+        );
+        maybe_write_report(&args, "fig4_rbc_render", Some(&report));
     }
 }

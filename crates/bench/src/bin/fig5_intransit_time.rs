@@ -8,7 +8,10 @@
 //! simulation's time per step should be nearly flat in both the node count
 //! (good weak scaling) and the endpoint mode (small in-transit overhead).
 
-use bench_harness::{cases, fmt_secs, format_table, maybe_write_csv, maybe_write_trace, HarnessArgs};
+use bench_harness::{
+    cases, fmt_secs, format_table, maybe_write_csv, maybe_write_report, maybe_write_trace,
+    HarnessArgs,
+};
 use nek_sensei::{run_intransit, EndpointMode};
 
 fn main() {
@@ -40,6 +43,7 @@ fn main() {
             let mut cfg =
                 cases::intransit_config(sim_ranks, steps, trigger, machine.clone(), mode);
             cfg.trace = args.trace_out.is_some();
+            cfg.telemetry = args.telemetry();
             let report = run_intransit(&cfg);
             println!(
                 "  {:<13} sim-ranks={sim_ranks:<4} endpoint-ranks={:<3} mean-step={}",
@@ -47,15 +51,12 @@ fn main() {
                 report.endpoint_ranks,
                 fmt_secs(report.sim.mean_step_time)
             );
-            maybe_write_trace(
-                &args,
-                &format!(
-                    "fig5_{}_{sim_ranks}ranks",
-                    mode.label().to_lowercase().replace(' ', "_")
-                ),
-                &report.traces,
-                report.phases.as_ref(),
+            let cell = format!(
+                "fig5_{}_{sim_ranks}ranks",
+                mode.label().to_lowercase().replace(' ', "_")
             );
+            maybe_write_trace(&args, &cell, &report.traces, report.phases.as_ref());
+            maybe_write_report(&args, &cell, report.run_report.as_ref());
             rows.push(vec![
                 mode.label().to_string(),
                 sim_ranks.to_string(),

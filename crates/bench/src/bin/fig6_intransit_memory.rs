@@ -7,7 +7,7 @@
 //! the architectural point — simulation-node memory is independent of the
 //! number of visualization nodes.
 
-use bench_harness::{cases, format_table, maybe_write_csv, HarnessArgs};
+use bench_harness::{cases, format_table, maybe_write_csv, maybe_write_report, HarnessArgs};
 use memtrack::human_bytes;
 use nek_sensei::{run_intransit, EndpointMode};
 
@@ -34,23 +34,29 @@ fn main() {
     ] {
         let mut mems = Vec::new();
         for &sim_ranks in &sim_rank_counts {
-            let report = run_intransit(&cases::intransit_config(
-                sim_ranks,
-                steps,
-                trigger,
-                machine.clone(),
-                mode,
-            ));
+            let mut cfg =
+                cases::intransit_config(sim_ranks, steps, trigger, machine.clone(), mode);
+            cfg.telemetry = args.telemetry();
+            let report = run_intransit(&cfg);
             println!(
                 "  {:<13} sim-ranks={sim_ranks:<4} per-node-peak={}",
                 mode.label(),
                 human_bytes(report.sim_node_mem_peak)
+            );
+            maybe_write_report(
+                &args,
+                &format!(
+                    "fig6_{}_{sim_ranks}ranks",
+                    mode.label().to_lowercase().replace(' ', "_")
+                ),
+                report.run_report.as_ref(),
             );
             rows.push(vec![
                 mode.label().to_string(),
                 sim_ranks.to_string(),
                 report.sim_node_mem_peak.to_string(),
                 report.sim.memory.host_aggregate_peak.to_string(),
+                report.sim.memory.unscoped.to_string(),
                 report.endpoint_ranks.to_string(),
             ]);
             mems.push(report.sim_node_mem_peak);
@@ -63,6 +69,7 @@ fn main() {
         "sim_ranks",
         "sim_node_mem_peak_B",
         "host_aggregate_peak_B",
+        "unscoped_B",
         "endpoint_ranks",
     ];
     println!("\nFigure 6 — memory footprint per simulation node (JUWELS model)");

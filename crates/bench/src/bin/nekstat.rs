@@ -1,0 +1,269 @@
+//! **nekstat** — read one or two `RunReport` JSON artifacts (written by
+//! the figure harnesses via `--report-out`) and print a human summary,
+//! no stdout scraping required.
+//!
+//! ```text
+//! nekstat reports/fig2_catalyst_7ranks.report.json            # summary
+//! nekstat before.report.json after.report.json                # diff
+//! ```
+
+use bench_harness::{fmt_secs, format_table};
+use std::collections::BTreeMap;
+use telemetry::{EventKind, MetricValue, RunReport};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [path] => summarize(&load(path)),
+        [a, b] => diff(&load(a), &load(b)),
+        _ => {
+            eprintln!("usage: nekstat <report.json> [other-report.json]");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn load(path: &str) -> RunReport {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("nekstat: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    RunReport::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("nekstat: {path}: {e}");
+        std::process::exit(1);
+    })
+}
+
+/// Strip a `rank<k>/` or `endpoint<k>/` prefix so per-rank instruments
+/// aggregate into one row per logical metric.
+fn base_name(name: &str) -> (&str, bool) {
+    if let Some((scope, rest)) = name.split_once('/') {
+        let endpoint = scope.starts_with("endpoint");
+        let scoped = (scope.starts_with("rank") || endpoint)
+            && scope
+                .trim_start_matches("rank")
+                .trim_start_matches("endpoint")
+                .chars()
+                .all(|c| c.is_ascii_digit());
+        if scoped {
+            return (rest, endpoint);
+        }
+    }
+    (name, false)
+}
+
+/// One aggregated row per logical metric: counters and gauges sum over
+/// ranks; histograms combine counts exactly and keep the worst p95.
+enum Agg {
+    Counter(u64),
+    Gauge(f64),
+    Histogram { count: u64, p50: f64, p95: f64, max: f64 },
+}
+
+fn aggregate(report: &RunReport) -> BTreeMap<String, Agg> {
+    let mut out: BTreeMap<String, Agg> = BTreeMap::new();
+    for (name, value) in &report.metrics {
+        let (base, endpoint) = base_name(name);
+        let key = if endpoint {
+            format!("endpoint:{base}")
+        } else {
+            base.to_string()
+        };
+        match (out.get_mut(&key), value) {
+            (None, MetricValue::Counter(c)) => {
+                out.insert(key, Agg::Counter(*c));
+            }
+            (None, MetricValue::Gauge(g)) => {
+                out.insert(key, Agg::Gauge(*g));
+            }
+            (None, MetricValue::Histogram(h)) => {
+                out.insert(
+                    key,
+                    Agg::Histogram {
+                        count: h.count,
+                        p50: h.p50,
+                        p95: h.p95,
+                        max: h.max,
+                    },
+                );
+            }
+            (Some(Agg::Counter(total)), MetricValue::Counter(c)) => *total += c,
+            (Some(Agg::Gauge(total)), MetricValue::Gauge(g)) => *total += g,
+            (Some(Agg::Histogram { count, p50, p95, max }), MetricValue::Histogram(h)) => {
+                *count += h.count;
+                *p50 = p50.max(h.p50);
+                *p95 = p95.max(h.p95);
+                *max = max.max(h.max);
+            }
+            // Mixed types under one base name: keep the first.
+            _ => {}
+        }
+    }
+    out
+}
+
+fn agg_cell(a: &Agg) -> String {
+    match a {
+        Agg::Counter(c) => c.to_string(),
+        Agg::Gauge(g) => format!("{g:.3}"),
+        Agg::Histogram { count, p50, p95, max } => format!(
+            "n={count} p50={} p95={} max={}",
+            fmt_secs(*p50),
+            fmt_secs(*p95),
+            fmt_secs(*max)
+        ),
+    }
+}
+
+fn summarize(r: &RunReport) {
+    let m = &r.manifest;
+    println!(
+        "{} / {} / {} ({}) — {} ranks (+{} endpoint), {} steps, trigger every {}, machine {}",
+        m.case, m.workflow, m.mode, m.exec, m.ranks, m.endpoint_ranks, m.steps, m.trigger_every,
+        m.machine
+    );
+    println!(
+        "faults: {} | pool threads: {} | pipeline depth: {}",
+        m.fault_plan, m.pool_threads, m.pipeline_depth
+    );
+
+    if !r.series.is_empty() {
+        let n = r.series.len();
+        let total: f64 = r.series.iter().map(|s| s.t_end - s.t_start).sum();
+        let max = r
+            .series
+            .iter()
+            .map(|s| s.t_end - s.t_start)
+            .fold(0.0, f64::max);
+        println!(
+            "\nstep series: {n} samples ({} evicted), mean {} p95 {} max {}",
+            r.evicted_samples,
+            fmt_secs(total / n as f64),
+            fmt_secs(r.step_time_p95()),
+            fmt_secs(max)
+        );
+        let bp = r.total_backpressure_wait();
+        if bp > 0.0 {
+            println!("backpressure wait (rank 0, total): {}", fmt_secs(bp));
+        }
+        let retries = r.series.last().map(|s| s.retries).unwrap_or(0);
+        if retries > 0 {
+            println!("transport retries by final step: {retries}");
+        }
+    }
+
+    let aggs = aggregate(r);
+    if !aggs.is_empty() {
+        let rows: Vec<Vec<String>> = aggs
+            .iter()
+            .map(|(name, a)| vec![name.clone(), agg_cell(a)])
+            .collect();
+        println!("\nmetrics (summed over ranks; endpoint world prefixed)");
+        print!("{}", format_table(&["metric", "value"], &rows));
+    }
+
+    if !r.events.is_empty() {
+        println!("\nevents ({}):", r.events.len());
+        for e in &r.events {
+            let step = e.step.map(|s| format!(" step {s}")).unwrap_or_default();
+            println!(
+                "  t={:<12} pid{} rank{}{} {}: {}",
+                format!("{:.4}s", e.at),
+                e.pid,
+                e.rank,
+                step,
+                e.kind.as_str(),
+                e.detail
+            );
+        }
+    }
+
+    let mem = &r.memory;
+    if mem.host_aggregate_peak + mem.gpu_aggregate_peak + mem.unscoped > 0 {
+        println!(
+            "\nmemory peaks: host aggregate {} (max rank {}), gpu {}, unscoped {}",
+            mem.host_aggregate_peak, mem.host_max_rank_peak, mem.gpu_aggregate_peak, mem.unscoped
+        );
+    }
+}
+
+fn pct(old: f64, new: f64) -> String {
+    if old == 0.0 {
+        if new == 0.0 {
+            "±0.0%".into()
+        } else {
+            "new".into()
+        }
+    } else {
+        format!("{:+.1}%", (new / old - 1.0) * 100.0)
+    }
+}
+
+fn diff(a: &RunReport, b: &RunReport) {
+    let (ma, mb) = (&a.manifest, &b.manifest);
+    println!(
+        "A: {} {} {} ({}) ranks={} steps={}",
+        ma.case, ma.workflow, ma.mode, ma.exec, ma.ranks, ma.steps
+    );
+    println!(
+        "B: {} {} {} ({}) ranks={} steps={}",
+        mb.case, mb.workflow, mb.mode, mb.exec, mb.ranks, mb.steps
+    );
+    if ma != mb {
+        println!("note: manifests differ — deltas compare different configurations");
+    }
+
+    println!(
+        "\nstep time p95: {} -> {} ({})",
+        fmt_secs(a.step_time_p95()),
+        fmt_secs(b.step_time_p95()),
+        pct(a.step_time_p95(), b.step_time_p95())
+    );
+    println!(
+        "backpressure wait: {} -> {} ({})",
+        fmt_secs(a.total_backpressure_wait()),
+        fmt_secs(b.total_backpressure_wait()),
+        pct(a.total_backpressure_wait(), b.total_backpressure_wait())
+    );
+    println!("events: {} -> {}", a.events.len(), b.events.len());
+
+    let (aa, ab) = (aggregate(a), aggregate(b));
+    let mut rows = Vec::new();
+    for (name, va) in &aa {
+        let Some(vb) = ab.get(name) else {
+            rows.push(vec![name.clone(), agg_cell(va), "-".into(), "removed".into()]);
+            continue;
+        };
+        let delta = match (va, vb) {
+            (Agg::Counter(x), Agg::Counter(y)) => pct(*x as f64, *y as f64),
+            (Agg::Gauge(x), Agg::Gauge(y)) => pct(*x, *y),
+            (Agg::Histogram { p95: x, .. }, Agg::Histogram { p95: y, .. }) => pct(*x, *y),
+            _ => "type-changed".into(),
+        };
+        rows.push(vec![name.clone(), agg_cell(va), agg_cell(vb), delta]);
+    }
+    for (name, vb) in &ab {
+        if !aa.contains_key(name) {
+            rows.push(vec![name.clone(), "-".into(), agg_cell(vb), "new".into()]);
+        }
+    }
+    if !rows.is_empty() {
+        println!("\nmetric deltas (A -> B)");
+        print!("{}", format_table(&["metric", "A", "B", "delta"], &rows));
+    }
+
+    // Fault-visibility digest: where the interesting events moved.
+    for kind in [
+        EventKind::FaultInjected,
+        EventKind::CircuitBreakerOpen,
+        EventKind::EngineSwitch,
+        EventKind::CheckpointWrite,
+        EventKind::EndpointCrash,
+    ] {
+        let ca = a.events_of(kind).count();
+        let cb = b.events_of(kind).count();
+        if ca + cb > 0 {
+            println!("{}: {ca} -> {cb}", kind.as_str());
+        }
+    }
+}

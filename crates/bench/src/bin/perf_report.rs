@@ -10,7 +10,12 @@
 //! host the two configurations are expected to tie (the report records
 //! `host_threads` so CI readers can tell).
 //!
-//! Usage: `perf_report [--quick] [--out BENCH_sem.json]`
+//! Usage: `perf_report [--quick] [--out BENCH_sem.json] [--baseline PATH]`
+//!
+//! `--baseline PATH` compares each bench median against a committed
+//! earlier `BENCH_sem.json` and prints warnings for drifts beyond ±15%.
+//! The comparison is informational only (wall-clock medians on shared CI
+//! runners are noisy): it never changes the exit code.
 
 use commsim::{run_ranks, Comm, MachineModel};
 use criterion::{measure, Stats};
@@ -180,6 +185,7 @@ fn measure_exec_overlap(quick: bool) -> ExecOverlap {
             faults: commsim::FaultPlan::none(),
             output_dir: None,
             trace: false,
+            telemetry: false,
         })
         .metrics
         .time_to_solution
@@ -257,6 +263,69 @@ fn write_report(
     println!("wrote {path}");
 }
 
+/// Tolerated relative drift of a bench median against the baseline.
+const BASELINE_TOLERANCE: f64 = 0.15;
+
+/// Compare `results` against a committed `BENCH_sem.json`. Warn-only:
+/// wall-clock medians on shared runners are too noisy to gate merges.
+fn compare_baseline(path: &str, results: &[BenchResult]) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            println!("baseline: cannot read {path}: {e} (skipping comparison)");
+            return;
+        }
+    };
+    let doc = match telemetry::json::parse(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            println!("baseline: {path} is not valid JSON: {e} (skipping comparison)");
+            return;
+        }
+    };
+    let Some(benches) = doc.get("benches").and_then(|b| b.as_arr()) else {
+        println!("baseline: {path} has no benches array (skipping comparison)");
+        return;
+    };
+    println!("baseline comparison vs {path} (±{:.0}% tolerance, warn-only):", BASELINE_TOLERANCE * 100.0);
+    let mut drifted = 0usize;
+    for r in results {
+        let base = benches.iter().find(|b| {
+            b.get("name").and_then(|v| v.as_str()) == Some(r.name)
+                && b.get("threads").and_then(|v| v.as_u64()) == Some(r.threads as u64)
+        });
+        let Some(median) = base.and_then(|b| b.get("median_s")).and_then(|v| v.as_f64()) else {
+            println!("  {:<18} threads={:<3} no baseline entry", r.name, r.threads);
+            continue;
+        };
+        if median <= 0.0 {
+            continue;
+        }
+        let drift = r.stats.median_s / median - 1.0;
+        if drift.abs() > BASELINE_TOLERANCE {
+            drifted += 1;
+            println!(
+                "  WARNING {:<10} threads={:<3} {:+.1}% vs baseline ({:.3} ms -> {:.3} ms)",
+                r.name,
+                r.threads,
+                drift * 100.0,
+                median * 1e3,
+                r.stats.median_s * 1e3
+            );
+        } else {
+            println!(
+                "  ok      {:<10} threads={:<3} {:+.1}%",
+                r.name,
+                r.threads,
+                drift * 100.0
+            );
+        }
+    }
+    if drifted > 0 {
+        println!("baseline: {drifted} bench(es) drifted beyond tolerance (informational)");
+    }
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let quick = argv.iter().any(|a| a == "--quick");
@@ -266,6 +335,11 @@ fn main() {
         .and_then(|i| argv.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_sem.json".to_string());
+    let baseline = argv
+        .iter()
+        .position(|a| a == "--baseline")
+        .and_then(|i| argv.get(i + 1))
+        .cloned();
     let sz = if quick { QUICK } else { FULL };
 
     let host_threads = pool::default_threads();
@@ -309,4 +383,7 @@ fn main() {
         overlap.overlap_ratio()
     );
     write_report(&out_path, host_threads, quick, &results, &overlap);
+    if let Some(baseline) = baseline {
+        compare_baseline(&baseline, &results);
+    }
 }

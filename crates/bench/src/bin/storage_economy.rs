@@ -38,6 +38,7 @@ fn main() {
             faults: commsim::FaultPlan::none(),
             output_dir: args.out.clone().map(|d| d.join(mode.label())),
             trace: false,
+            telemetry: false,
         });
         rows.push(vec![
             mode.label().to_string(),

@@ -90,6 +90,7 @@ pub fn insitu_config(sweep: &Pb146Sweep, ranks: usize, mode: InSituMode) -> InSi
         faults: FaultPlan::none(),
         output_dir: None,
         trace: false,
+        telemetry: false,
     }
 }
 
@@ -149,6 +150,7 @@ pub fn intransit_config(
         writer_config: WriterConfig::default(),
         fallback_dir: None,
         trace: false,
+        telemetry: false,
     }
 }
 

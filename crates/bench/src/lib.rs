@@ -34,6 +34,9 @@ pub struct HarnessArgs {
     /// Directory for Chrome trace-event JSON files (one per run cell);
     /// also enables the per-phase breakdown printout.
     pub trace_out: Option<std::path::PathBuf>,
+    /// Directory for RunReport JSON artifacts (one per run cell); also
+    /// enables the telemetry bus on the instrumented runs.
+    pub report_out: Option<std::path::PathBuf>,
     /// Run consumers pipelined (overlapped with stepping).
     pub pipelined: bool,
 }
@@ -52,9 +55,10 @@ impl HarnessArgs {
                 "--full" => args.full = true,
                 "--pipelined" => args.pipelined = true,
                 "--trace-out" => args.trace_out = it.next().map(Into::into),
+                "--report-out" => args.report_out = it.next().map(Into::into),
                 "--help" | "-h" => {
                     eprintln!(
-                        "flags: --scale N | --steps N | --trigger N | --out DIR | --trace-out DIR | --full | --pipelined"
+                        "flags: --scale N | --steps N | --trigger N | --out DIR | --trace-out DIR | --report-out DIR | --full | --pipelined"
                     );
                     std::process::exit(0);
                 }
@@ -72,6 +76,12 @@ impl HarnessArgs {
         } else {
             nek_sensei::ExecMode::default()
         }
+    }
+
+    /// Should the runs attach the telemetry bus? (`--report-out` implies
+    /// yes; there is nowhere to put the artifact otherwise.)
+    pub fn telemetry(&self) -> bool {
+        self.report_out.is_some()
     }
 }
 
@@ -162,6 +172,35 @@ pub fn maybe_write_trace(
             p.attributed_fraction() * 100.0
         );
         print!("{}", p.to_table());
+    }
+}
+
+/// When `--report-out DIR` is set, write one RunReport JSON per run cell
+/// (`<name>.report.json`, readable by `nekstat`) and print a one-line
+/// digest.
+pub fn maybe_write_report(
+    args: &HarnessArgs,
+    name: &str,
+    report: Option<&telemetry::RunReport>,
+) {
+    let Some(dir) = &args.report_out else {
+        return;
+    };
+    let Some(report) = report else {
+        return;
+    };
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.report.json"));
+    if std::fs::write(&path, report.to_json()).is_ok() {
+        println!(
+            "wrote {} ({} samples, {} events, p95 step {})",
+            path.display(),
+            report.series.len(),
+            report.events.len(),
+            fmt_secs(report.step_time_p95()),
+        );
     }
 }
 

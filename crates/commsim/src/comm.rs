@@ -22,6 +22,7 @@ use std::any::Any;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+use telemetry::{RankTelemetry, TelemetryHub};
 use trace::{RankTrace, SpanGuard, Tracer};
 
 /// Errors surfaced by non-panicking communicator operations.
@@ -156,6 +157,7 @@ impl World {
             stats: CommStats::default(),
             tracer: Tracer::disabled(),
             time_cell: None,
+            telemetry: RankTelemetry::default(),
         }
     }
 
@@ -184,6 +186,9 @@ pub struct Comm {
     /// Published copy of `clock.now()` (f64 bits) the tracer reads span
     /// stamps from; `None` until tracing is enabled.
     time_cell: Option<Arc<AtomicU64>>,
+    /// Rank-scoped handle onto the run's telemetry hub; the disabled
+    /// default makes every instrument a no-op.
+    telemetry: RankTelemetry,
 }
 
 impl Comm {
@@ -263,6 +268,35 @@ impl Comm {
     pub fn take_trace(&mut self) -> Option<RankTrace> {
         self.tick();
         self.tracer.take()
+    }
+
+    // ------------------------------------------------------------------
+    // Telemetry
+    // ------------------------------------------------------------------
+
+    /// Scope this rank's instruments onto `hub` (`rank<r>/...` names for
+    /// pid 0, `endpoint<r>/...` for any other pid). Telemetry never
+    /// advances the clock, so enabling it cannot perturb a run's virtual
+    /// timings.
+    pub fn enable_telemetry(&mut self, hub: &TelemetryHub, pid: u32) {
+        self.telemetry = RankTelemetry::new(hub, pid, self.rank);
+    }
+
+    /// This rank's telemetry handle (disabled — all instruments no-ops —
+    /// unless [`Comm::enable_telemetry`] ran).
+    pub fn telemetry(&self) -> &RankTelemetry {
+        &self.telemetry
+    }
+
+    /// Record a structured telemetry event stamped with this rank's
+    /// current virtual time. No-op when telemetry is disabled.
+    pub fn telemetry_event(
+        &self,
+        kind: telemetry::EventKind,
+        step: Option<u64>,
+        detail: impl Into<String>,
+    ) {
+        self.telemetry.event(self.clock.now(), kind, step, detail);
     }
 
     // ------------------------------------------------------------------

@@ -49,6 +49,10 @@ pub use stats::CommStats;
 // only name these types in signatures.
 pub use trace::chrome::chrome_trace_json;
 pub use trace::{PhaseBreakdown, PhaseStat, RankPhases, RankTrace, Span, SpanGuard, Tracer};
+// Same deal for the telemetry vocabulary: instrumented crates reach the
+// bus through `Comm::telemetry` / `Comm::telemetry_event` and only name
+// these types in signatures.
+pub use telemetry::{Counter, EventKind, Gauge, Histogram, RankTelemetry, TelemetryHub};
 
 #[cfg(test)]
 mod tests {

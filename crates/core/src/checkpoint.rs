@@ -84,6 +84,14 @@ impl FldCheckpointer {
         drop(charge);
         self.files_written += 1;
         self.bytes_written += nbytes;
+        comm.telemetry()
+            .counter("checkpoint/bytes_written")
+            .add(nbytes);
+        comm.telemetry_event(
+            commsim::EventKind::CheckpointWrite,
+            Some(snap.version as u64),
+            format!("{nbytes} B fld"),
+        );
         if let Some(dir) = &self.output_dir {
             if std::fs::create_dir_all(dir).is_ok() {
                 let name = format!("fld_{:06}_r{}.bin", snap.version, comm.rank());

@@ -6,9 +6,12 @@ use memtrack::{Registry, Snapshot};
 
 // Time attribution lives next to memory attribution: `MemoryBreakdown`
 // answers "where did the bytes go", `PhaseBreakdown` answers "where did
-// the virtual seconds go" (per rank, per span name; see the `trace`
-// crate). Workflow reports carry one when run with `trace: true`.
-pub use commsim::{PhaseBreakdown, PhaseStat, RankPhases, RankTrace};
+// the virtual seconds go" (per rank, per span name). These types are
+// defined — and the aggregation implemented — in the `trace` crate,
+// which is their one canonical home; `commsim` re-exports them only so
+// instrumented crates need no direct `trace` dependency. Workflow
+// reports carry a breakdown when run with `trace: true`.
+pub use trace::{PhaseBreakdown, PhaseStat, RankPhases, RankTrace};
 
 /// Host/device memory split for one run, derived from the per-rank
 /// accountants (`rank<r>/<subsystem>`).
@@ -20,6 +23,11 @@ pub struct MemoryBreakdown {
     pub host_max_rank_peak: u64,
     /// Sum over ranks of device (`gpu`) peaks.
     pub gpu_aggregate_peak: u64,
+    /// Peak bytes in accountants without a `rank<r>/` prefix (shared or
+    /// process-global allocations that belong to no single rank). Not
+    /// part of the per-rank host figures, but surfaced so nothing the
+    /// registry tracked disappears from the report.
+    pub unscoped: u64,
 }
 
 /// Compute the breakdown from a registry snapshot. Host = every subsystem
@@ -33,8 +41,11 @@ fn breakdown_of(snap: &Snapshot) -> MemoryBreakdown {
     use std::collections::BTreeMap;
     let mut host_by_rank: BTreeMap<String, u64> = BTreeMap::new();
     let mut gpu = 0u64;
+    let mut unscoped = 0u64;
     for (name, _cur, peak) in &snap.entries {
         let Some((rank, subsystem)) = name.split_once('/') else {
+            // No `rank<r>/` prefix: count it instead of dropping it.
+            unscoped += peak;
             continue;
         };
         if subsystem == "gpu" {
@@ -47,6 +58,7 @@ fn breakdown_of(snap: &Snapshot) -> MemoryBreakdown {
         host_aggregate_peak: host_by_rank.values().sum(),
         host_max_rank_peak: host_by_rank.values().copied().max().unwrap_or(0),
         gpu_aggregate_peak: gpu,
+        unscoped,
     }
 }
 
@@ -148,11 +160,12 @@ mod tests {
         reg.accountant("rank0/host-base").charge_raw(50);
         reg.accountant("rank1/gpu").charge_raw(1000);
         reg.accountant("rank1/vtk").charge_raw(300);
-        reg.accountant("unscoped").charge_raw(7); // ignored: no rank prefix
+        reg.accountant("unscoped").charge_raw(7); // no rank prefix
         let b = memory_breakdown(&reg);
         assert_eq!(b.gpu_aggregate_peak, 2000);
-        assert_eq!(b.host_aggregate_peak, 450);
+        assert_eq!(b.host_aggregate_peak, 450, "unscoped stays out of per-rank host");
         assert_eq!(b.host_max_rank_peak, 300);
+        assert_eq!(b.unscoped, 7, "but is counted, not dropped");
     }
 
     #[test]

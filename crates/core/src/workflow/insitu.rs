@@ -31,8 +31,10 @@ use std::sync::Arc;
 use crate::adaptor::{NekGeometry, SnapshotAdaptor};
 use crate::checkpoint::FldCheckpointer;
 use crate::metrics::{MemoryBreakdown, RunMetrics};
+use crate::workflow::sampler::{fault_summary, memory_summary, StepSampler};
 use commsim::{
-    run_ranks_with_registry, Comm, CommStats, FaultPlan, MachineModel, PhaseBreakdown, RankTrace,
+    run_ranks_with_registry, Comm, CommStats, EventKind, FaultPlan, MachineModel, PhaseBreakdown,
+    RankTrace, TelemetryHub,
 };
 use insitu::Bridge;
 use memtrack::Registry;
@@ -128,6 +130,12 @@ pub struct InSituConfig {
     pub output_dir: Option<std::path::PathBuf>,
     /// Record per-phase spans against the virtual clock (see `trace`).
     pub trace: bool,
+    /// Run with the telemetry bus attached: typed metrics, the per-step
+    /// flight recorder, and the structured event log, collected into
+    /// [`InSituReport::run_report`]. Telemetry observes the virtual clock
+    /// but never advances it, so solver output is bitwise identical with
+    /// this on or off.
+    pub telemetry: bool,
 }
 
 /// What one run produced.
@@ -155,6 +163,10 @@ pub struct InSituReport {
     /// staging-buffer high-water mark. Pipelined runs are bounded at
     /// [`PIPELINE_DEPTH`] snapshots' worth of buffers per rank.
     pub snapshot_pool_rank_peak: u64,
+    /// The unified telemetry artifact (None unless `telemetry` was set):
+    /// per-step flight-recorder series, metric registry dump, structured
+    /// event log, and memory watermarks.
+    pub run_report: Option<telemetry::RunReport>,
 }
 
 impl InSituReport {
@@ -199,6 +211,7 @@ fn report_from(
     registry: &Registry,
     times_stats: Vec<(f64, CommStats)>,
     traces: Vec<RankTrace>,
+    hub: Option<&TelemetryHub>,
 ) -> InSituReport {
     let metrics = RunMetrics::from_ranks(&times_stats, cfg.steps, registry);
     let phases = (!traces.is_empty()).then(|| PhaseBreakdown::from_traces(&traces));
@@ -210,6 +223,14 @@ fn report_from(
         .map(|(_, _, peak)| *peak)
         .max()
         .unwrap_or(0);
+    let run_report = hub.map(|hub| {
+        telemetry::RunReport::collect(
+            insitu_manifest(cfg),
+            hub,
+            registry.snapshot().entries,
+            memory_summary(&metrics.memory),
+        )
+    });
     InSituReport {
         mode: cfg.mode,
         exec: cfg.exec,
@@ -221,6 +242,26 @@ fn report_from(
         traces,
         phases,
         snapshot_pool_rank_peak,
+        run_report,
+    }
+}
+
+fn insitu_manifest(cfg: &InSituConfig) -> telemetry::Manifest {
+    let pipelined = cfg.exec == ExecMode::Pipelined && cfg.mode != InSituMode::Original;
+    telemetry::Manifest {
+        case: cfg.case.name.clone(),
+        workflow: "insitu".into(),
+        mode: cfg.mode.label().to_ascii_lowercase(),
+        exec: cfg.exec.label().into(),
+        ranks: cfg.ranks,
+        // The pipelined consumer world mirrors the sim world 1:1.
+        endpoint_ranks: if pipelined { cfg.ranks } else { 0 },
+        steps: cfg.steps as u64,
+        trigger_every: cfg.trigger_every.max(1),
+        machine: cfg.machine.name.into(),
+        fault_plan: fault_summary(&cfg.faults),
+        pool_threads: rayon::pool::current_threads(),
+        pipeline_depth: if pipelined { PIPELINE_DEPTH } else { 0 },
     }
 }
 
@@ -230,6 +271,7 @@ fn report_from(
 
 fn run_synchronous(cfg: &InSituConfig) -> InSituReport {
     let registry = Registry::new();
+    let hub = cfg.telemetry.then(TelemetryHub::default);
     let case = cfg.case.clone();
     let mode = cfg.mode;
     let steps = cfg.steps;
@@ -237,6 +279,8 @@ fn run_synchronous(cfg: &InSituConfig) -> InSituReport {
     let (width, height) = cfg.image_size;
     let output_dir = cfg.output_dir.clone();
     let trace = cfg.trace;
+    let rank_hub = hub.clone();
+    let rank_registry = registry.clone();
 
     let results = run_ranks_with_registry(
         cfg.ranks,
@@ -246,6 +290,9 @@ fn run_synchronous(cfg: &InSituConfig) -> InSituReport {
             if trace {
                 comm.enable_tracing(0);
             }
+            if let Some(hub) = &rank_hub {
+                comm.enable_telemetry(hub, 0);
+            }
             let setup = comm.span("sim/setup");
             let mut solver = case.build(comm);
             drop(setup);
@@ -253,11 +300,19 @@ fn run_synchronous(cfg: &InSituConfig) -> InSituReport {
             // buffers (NekRS keeps roughly the field set on the host too).
             let host_base = comm.accountant("host-base");
             let _base = host_base.charge(solver.n_nodes() as u64 * 8 * 60);
+            // Rank 0 feeds the flight recorder one sample per step.
+            let mut sampler = (comm.rank() == 0)
+                .then(|| rank_hub.clone())
+                .flatten()
+                .map(|hub| StepSampler::new(hub, rank_registry.clone(), comm.now()));
 
             match mode {
                 InSituMode::Original => {
-                    for _ in 0..steps {
+                    for s in 1..=steps {
                         solver.step(comm);
+                        if let Some(sampler) = &mut sampler {
+                            sampler.sample(comm, s as u64, None, 0.0);
+                        }
                     }
                 }
                 InSituMode::Checkpointing => {
@@ -276,6 +331,9 @@ fn run_synchronous(cfg: &InSituConfig) -> InSituReport {
                             let _sp = comm.span("insitu/checkpoint");
                             chk.write(comm, &snap);
                         }
+                        if let Some(sampler) = &mut sampler {
+                            sampler.sample(comm, s as u64, Some(&pool), 0.0);
+                        }
                     }
                 }
                 InSituMode::Catalyst => {
@@ -288,15 +346,18 @@ fn run_synchronous(cfg: &InSituConfig) -> InSituReport {
                     for s in 1..=steps {
                         solver.step(comm);
                         let step = s as u64;
-                        if !bridge.triggers_at(step) {
-                            continue;
+                        if bridge.triggers_at(step) {
+                            let spec = SnapshotSpec::from_names(bridge.arrays_at(step));
+                            let snap = solver.publish_snapshot(comm, &spec, &pool);
+                            let mut da =
+                                SnapshotAdaptor::new(comm, snap, Arc::clone(&geometry));
+                            bridge
+                                .update(comm, step, &mut da)
+                                .expect("in situ update");
                         }
-                        let spec = SnapshotSpec::from_names(bridge.arrays_at(step));
-                        let snap = solver.publish_snapshot(comm, &spec, &pool);
-                        let mut da = SnapshotAdaptor::new(comm, snap, Arc::clone(&geometry));
-                        bridge
-                            .update(comm, step, &mut da)
-                            .expect("in situ update");
+                        if let Some(sampler) = &mut sampler {
+                            sampler.sample(comm, step, Some(&pool), 0.0);
+                        }
                     }
                     bridge.finalize(comm).expect("finalize");
                 }
@@ -312,7 +373,7 @@ fn run_synchronous(cfg: &InSituConfig) -> InSituReport {
     let times_stats: Vec<(f64, CommStats)> =
         results.iter().map(|r| (r.time, r.stats)).collect();
     let traces: Vec<RankTrace> = results.into_iter().filter_map(|r| r.value).collect();
-    report_from(cfg, &registry, times_stats, traces)
+    report_from(cfg, &registry, times_stats, traces, hub.as_ref())
 }
 
 // ---------------------------------------------------------------------------
@@ -346,6 +407,9 @@ struct ProducerLink {
     frames: mpsc::Sender<ToConsumer>,
     credits: mpsc::Receiver<Credit>,
     in_flight: usize,
+    /// Cumulative virtual seconds this producer spent blocked on a full
+    /// pipeline (the flight recorder diffs this per step).
+    backpressure_wait: f64,
 }
 
 impl ProducerLink {
@@ -355,8 +419,10 @@ impl ProducerLink {
     fn reserve(&mut self, comm: &mut Comm) {
         while self.in_flight >= PIPELINE_DEPTH {
             let _sp = comm.span("snapshot/backpressure");
+            let before = comm.now();
             let credit = self.credits.recv().expect("consumer rank alive");
             comm.advance_to(credit.finished_at);
+            self.backpressure_wait += (comm.now() - before).max(0.0);
             self.in_flight -= 1;
         }
     }
@@ -398,6 +464,7 @@ fn pipeline_links(ranks: usize) -> (Vec<Option<ProducerLink>>, Vec<Option<Consum
             frames: frame_tx,
             credits: credit_rx,
             in_flight: 0,
+            backpressure_wait: 0.0,
         }));
         consumers.push(Some(ConsumerLink {
             frames: frame_rx,
@@ -418,6 +485,12 @@ fn consumer_arrive(comm: &mut Comm, faults: &FaultPlan, frame: &PublishedFrame) 
     }
     let stall = faults.stall_secs(comm.rank(), frame.step);
     if stall > 0.0 {
+        // Stamped at the stall's onset: event time = when the fault bit.
+        comm.telemetry_event(
+            EventKind::FaultInjected,
+            Some(frame.step),
+            format!("consumer stall {stall}s"),
+        );
         let _sp = comm.span("insitu/stall");
         comm.advance(stall);
     }
@@ -494,6 +567,7 @@ fn consume_catalyst(
 
 fn run_pipelined(cfg: &InSituConfig) -> InSituReport {
     let registry = Registry::new();
+    let hub = cfg.telemetry.then(TelemetryHub::default);
     let (producer_links, consumer_links) = pipeline_links(cfg.ranks);
     let producer_links = Arc::new(Mutex::new(producer_links));
     let consumer_links = Arc::new(Mutex::new(consumer_links));
@@ -512,10 +586,14 @@ fn run_pipelined(cfg: &InSituConfig) -> InSituReport {
         let trace = cfg.trace;
         let faults = cfg.faults.clone();
         let links = Arc::clone(&consumer_links);
+        let hub = hub.clone();
         std::thread::spawn(move || {
             run_ranks_with_registry(ranks, machine, registry, move |comm| {
                 if trace {
                     comm.enable_tracing(1);
+                }
+                if let Some(hub) = &hub {
+                    comm.enable_telemetry(hub, 1);
                 }
                 let link = links.lock()[comm.rank()]
                     .take()
@@ -549,6 +627,8 @@ fn run_pipelined(cfg: &InSituConfig) -> InSituReport {
     let trigger = cfg.trigger_every.max(1);
     let trace = cfg.trace;
     let links = Arc::clone(&producer_links);
+    let rank_hub = hub.clone();
+    let rank_registry = registry.clone();
     let producer_results = run_ranks_with_registry(
         cfg.ranks,
         cfg.machine.clone(),
@@ -557,11 +637,18 @@ fn run_pipelined(cfg: &InSituConfig) -> InSituReport {
             if trace {
                 comm.enable_tracing(0);
             }
+            if let Some(hub) = &rank_hub {
+                comm.enable_telemetry(hub, 0);
+            }
             let setup = comm.span("sim/setup");
             let mut solver = case.build(comm);
             drop(setup);
             let host_base = comm.accountant("host-base");
             let _base = host_base.charge(solver.n_nodes() as u64 * 8 * 60);
+            let mut sampler = (comm.rank() == 0)
+                .then(|| rank_hub.clone())
+                .flatten()
+                .map(|hub| StepSampler::new(hub, rank_registry.clone(), comm.now()));
 
             let mut link = links.lock()[comm.rank()]
                 .take()
@@ -604,6 +691,9 @@ fn run_pipelined(cfg: &InSituConfig) -> InSituReport {
                         published_at: comm.now(),
                     });
                 }
+                if let Some(sampler) = &mut sampler {
+                    sampler.sample(comm, step, Some(&pool), link.backpressure_wait);
+                }
             }
             link.finish(comm);
             {
@@ -625,7 +715,7 @@ fn run_pipelined(cfg: &InSituConfig) -> InSituReport {
         .chain(consumer_results)
         .filter_map(|r| r.value)
         .collect();
-    report_from(cfg, &registry, times_stats, traces)
+    report_from(cfg, &registry, times_stats, traces, hub.as_ref())
 }
 
 #[cfg(test)]
@@ -649,6 +739,7 @@ mod tests {
             faults: FaultPlan::none(),
             output_dir: None,
             trace: false,
+            telemetry: false,
         }
     }
 

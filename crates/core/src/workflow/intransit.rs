@@ -12,9 +12,11 @@
 
 use crate::adaptor::{NekGeometry, SnapshotAdaptor};
 use crate::metrics::{DegradationSummary, RunMetrics};
+use crate::workflow::sampler::{fault_summary, memory_summary, StepSampler};
 use sem::snapshot::{SnapshotPool, SnapshotSpec};
 use commsim::{
     run_ranks_with_registry, CommStats, FaultPlan, MachineModel, PhaseBreakdown, RankTrace,
+    TelemetryHub,
 };
 use insitu::Bridge;
 use memtrack::Registry;
@@ -88,6 +90,11 @@ pub struct InTransitConfig {
     /// Record per-phase spans against the virtual clock, on both the
     /// simulation and endpoint worlds (see `trace`).
     pub trace: bool,
+    /// Attach the telemetry bus (metrics + flight recorder + event log)
+    /// to both worlds and collect [`InTransitReport::run_report`].
+    /// Endpoint-world instruments register under `endpoint<r>/` so the
+    /// two worlds never collide on a name.
+    pub telemetry: bool,
 }
 
 /// What one in-transit run produced.
@@ -128,6 +135,8 @@ pub struct InTransitReport {
     pub traces: Vec<RankTrace>,
     /// Per-phase attribution of virtual wall time (None unless traced).
     pub phases: Option<PhaseBreakdown>,
+    /// The unified telemetry artifact (None unless `telemetry` was set).
+    pub run_report: Option<telemetry::RunReport>,
 }
 
 /// Execute one in-transit configuration.
@@ -139,6 +148,7 @@ pub fn run_intransit(cfg: &InTransitConfig) -> InTransitReport {
     };
 
     let registry = Registry::new();
+    let hub = cfg.telemetry.then(TelemetryHub::default);
     let case = cfg.case.clone();
     let steps = cfg.steps;
     let trigger = cfg.trigger_every.max(1);
@@ -160,10 +170,14 @@ pub fn run_intransit(cfg: &InTransitConfig) -> InTransitReport {
         let sim_ranks = cfg.sim_ranks;
         let mode = cfg.mode;
         let trace = cfg.trace;
+        let endpoint_hub = hub.clone();
         let handle = std::thread::spawn(move || {
             commsim::run_ranks_with_state(machine, readers, move |comm, mut reader| {
                 if trace {
                     comm.enable_tracing(1);
+                }
+                if let Some(hub) = &endpoint_hub {
+                    comm.enable_telemetry(hub, 1);
                 }
                 reader.set_accountant(comm.accountant("staging"));
                 let factories = match mode {
@@ -195,6 +209,8 @@ pub fn run_intransit(cfg: &InTransitConfig) -> InTransitReport {
     let sink = Arc::clone(&report_sink);
     let fallback_dir = cfg.fallback_dir.clone();
     let trace = cfg.trace;
+    let rank_hub = hub.clone();
+    let rank_registry = registry.clone();
     let results = run_ranks_with_registry(
         cfg.sim_ranks,
         cfg.machine.clone(),
@@ -202,6 +218,9 @@ pub fn run_intransit(cfg: &InTransitConfig) -> InTransitReport {
         move |comm| {
             if trace {
                 comm.enable_tracing(0);
+            }
+            if let Some(hub) = &rank_hub {
+                comm.enable_telemetry(hub, 0);
             }
             let setup = comm.span("sim/setup");
             let mut solver = case.build(comm);
@@ -235,26 +254,32 @@ pub fn run_intransit(cfg: &InTransitConfig) -> InTransitReport {
                 Bridge::initialize(comm, &xml, &factories).expect("valid generated config");
             drop(setup);
             let pool = SnapshotPool::new(comm.accountant("snapshot-pool"));
+            let mut sampler = (comm.rank() == 0)
+                .then(|| rank_hub.clone())
+                .flatten()
+                .map(|hub| StepSampler::new(hub, rank_registry.clone(), comm.now()));
             // Built on the first trigger: NoTransport never pays for the
             // VTK geometry, matching its bare-solver memory profile.
             let mut geometry: Option<Arc<NekGeometry>> = None;
             for s in 1..=steps {
                 solver.step(comm);
                 let step = s as u64;
-                if !bridge.triggers_at(step) {
-                    continue;
+                if bridge.triggers_at(step) {
+                    if geometry.is_none() {
+                        geometry = Some(Arc::new(NekGeometry::build(comm, &solver)));
+                    }
+                    let spec = SnapshotSpec::from_names(bridge.arrays_at(step));
+                    let snap = solver.publish_snapshot(comm, &spec, &pool);
+                    let mut da = SnapshotAdaptor::new(
+                        comm,
+                        snap,
+                        Arc::clone(geometry.as_ref().expect("built above")),
+                    );
+                    bridge.update(comm, step, &mut da).expect("update");
                 }
-                if geometry.is_none() {
-                    geometry = Some(Arc::new(NekGeometry::build(comm, &solver)));
+                if let Some(sampler) = &mut sampler {
+                    sampler.sample(comm, step, Some(&pool), 0.0);
                 }
-                let spec = SnapshotSpec::from_names(bridge.arrays_at(step));
-                let snap = solver.publish_snapshot(comm, &spec, &pool);
-                let mut da = SnapshotAdaptor::new(
-                    comm,
-                    snap,
-                    Arc::clone(geometry.as_ref().expect("built above")),
-                );
-                bridge.update(comm, step, &mut da).expect("update");
             }
             {
                 let _sp = comm.span("sim/finalize");
@@ -324,6 +349,28 @@ pub fn run_intransit(cfg: &InTransitConfig) -> InTransitReport {
     };
 
     let phases = (!traces.is_empty()).then(|| PhaseBreakdown::from_traces(&traces));
+    let run_report = hub.as_ref().map(|hub| {
+        telemetry::RunReport::collect(
+            telemetry::Manifest {
+                case: cfg.case.name.clone(),
+                workflow: "intransit".into(),
+                mode: cfg.mode.label().to_ascii_lowercase(),
+                exec: "concurrent".into(),
+                ranks: cfg.sim_ranks,
+                endpoint_ranks,
+                steps: cfg.steps as u64,
+                trigger_every: cfg.trigger_every.max(1),
+                machine: cfg.machine.name.into(),
+                fault_plan: fault_summary(&cfg.faults),
+                pool_threads: rayon::pool::current_threads(),
+                // The staging queue bound plays the credit-depth role here.
+                pipeline_depth: cfg.queue_capacity,
+            },
+            hub,
+            registry.snapshot().entries,
+            memory_summary(&sim.memory),
+        )
+    });
     InTransitReport {
         mode: cfg.mode,
         sim_ranks: cfg.sim_ranks,
@@ -341,6 +388,7 @@ pub fn run_intransit(cfg: &InTransitConfig) -> InTransitReport {
         degradation,
         traces,
         phases,
+        run_report,
     }
 }
 
@@ -391,6 +439,7 @@ mod tests {
             writer_config: WriterConfig::default(),
             fallback_dir: None,
             trace: false,
+            telemetry: false,
         }
     }
 

@@ -2,3 +2,4 @@
 
 pub mod insitu;
 pub mod intransit;
+mod sampler;

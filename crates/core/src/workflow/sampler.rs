@@ -1,0 +1,132 @@
+//! Per-step flight-recorder sampling for the workflow drivers.
+//!
+//! Rank 0 of the simulation world owns one [`StepSampler`] and calls
+//! [`StepSampler::sample`] after every solver step. Each call snapshots
+//! the cheap-to-read state of the run — rank-0 tracer self-times, the
+//! snapshot pool, transport gauges on the hub, and the memory registry —
+//! into one [`telemetry::StepSample`] pushed onto the hub's ring buffer.
+//!
+//! Everything read here is either already maintained (gauges, counters,
+//! the memory registry) or derived by diffing cumulative totals between
+//! consecutive calls (tracer self-time per span, backpressure wait), so
+//! sampling never advances the virtual clock and a run produces bitwise
+//! identical solver output with telemetry on or off.
+
+use std::collections::BTreeMap;
+
+use commsim::{Comm, FaultPlan};
+use memtrack::Registry;
+use sem::snapshot::SnapshotPool;
+use telemetry::{MemorySummary, StepSample, TelemetryHub};
+
+use crate::metrics::MemoryBreakdown;
+
+/// Compact human-readable fault-plan description for the run manifest.
+pub(crate) fn fault_summary(plan: &FaultPlan) -> String {
+    let l = &plan.link;
+    let mut parts = Vec::new();
+    if l.drop_prob > 0.0 || l.corrupt_prob > 0.0 || l.delay_prob > 0.0 {
+        parts.push(format!(
+            "link(drop={} corrupt={} delay={})",
+            l.drop_prob, l.corrupt_prob, l.delay_prob
+        ));
+    }
+    if !plan.crashes.is_empty() {
+        parts.push(format!("crashes={}", plan.crashes.len()));
+    }
+    if !plan.stalls.is_empty() {
+        parts.push(format!("stalls={}", plan.stalls.len()));
+    }
+    if parts.is_empty() {
+        "none".into()
+    } else {
+        parts.join(" ")
+    }
+}
+
+/// Mirror a [`MemoryBreakdown`] into the telemetry crate's plain-number
+/// summary (telemetry stays dependency-free, so the types are distinct).
+pub(crate) fn memory_summary(b: &MemoryBreakdown) -> MemorySummary {
+    MemorySummary {
+        host_aggregate_peak: b.host_aggregate_peak,
+        host_max_rank_peak: b.host_max_rank_peak,
+        gpu_aggregate_peak: b.gpu_aggregate_peak,
+        unscoped: b.unscoped,
+    }
+}
+
+/// Rank-0 per-step series sampler (see module docs).
+pub(crate) struct StepSampler {
+    hub: TelemetryHub,
+    registry: Registry,
+    /// Rank-0 virtual time at the end of the previous sample.
+    t_prev: f64,
+    /// Cumulative tracer self-times at the previous sample (diffed to get
+    /// per-step phase attribution).
+    phase_prev: BTreeMap<String, f64>,
+    /// Cumulative backpressure wait at the previous sample.
+    backpressure_prev: f64,
+}
+
+impl StepSampler {
+    /// Start a sampler at virtual time `t_start` (rank 0's clock before
+    /// the first step).
+    pub(crate) fn new(hub: TelemetryHub, registry: Registry, t_start: f64) -> Self {
+        Self {
+            hub,
+            registry,
+            t_prev: t_start,
+            phase_prev: BTreeMap::new(),
+            backpressure_prev: 0.0,
+        }
+    }
+
+    /// Record one step. `backpressure_total` is the *cumulative* pipeline
+    /// backpressure wait on this rank (0 for synchronous runs); the
+    /// sampler diffs it against the previous call.
+    pub(crate) fn sample(
+        &mut self,
+        comm: &Comm,
+        step: u64,
+        pool: Option<&SnapshotPool>,
+        backpressure_total: f64,
+    ) {
+        let t_end = comm.now();
+        let phase_now = comm.tracer().self_totals();
+        let mut phase_self: Vec<(String, f64)> = Vec::new();
+        for (name, total) in &phase_now {
+            let delta = total - self.phase_prev.get(name).copied().unwrap_or(0.0);
+            if delta > 0.0 {
+                phase_self.push((name.clone(), delta));
+            }
+        }
+        let (pool_resident_bytes, pool_free_buffers) = match pool {
+            Some(p) => {
+                let s = p.stats();
+                (s.resident_bytes, s.free_buffers as u64)
+            }
+            None => (0, 0),
+        };
+        let (mut mem_current, mut mem_peak) = (0u64, 0u64);
+        for (_, cur, peak) in &self.registry.snapshot().entries {
+            mem_current += cur;
+            mem_peak += peak;
+        }
+        self.hub.record(StepSample {
+            step,
+            t_start: self.t_prev,
+            t_end,
+            phase_self,
+            pool_resident_bytes,
+            pool_free_buffers,
+            backpressure_wait: (backpressure_total - self.backpressure_prev).max(0.0),
+            queue_depth: self.hub.gauge_sum("transport/queue_depth"),
+            retries: self.hub.counter_sum("transport/retries"),
+            mem_current,
+            mem_peak,
+        });
+        self.t_prev = t_end;
+        self.phase_prev = phase_now;
+        self.backpressure_prev = backpressure_total;
+    }
+}

@@ -50,6 +50,7 @@ impl Bridge {
         if self.stopped {
             return Ok(false);
         }
+        comm.telemetry().counter("insitu/updates").inc();
         let _sp = comm.span("insitu/execute");
         let keep_going = self.analyses.execute(comm, step, data)?;
         if !keep_going {

@@ -160,6 +160,7 @@ impl RenderPipeline {
         step: u64,
         scratch: &mut RenderScratch,
     ) -> Vec<RenderedImage> {
+        let t_render_start = comm.now();
         // Global bounds for camera framing.
         let local = mb.bounds().unwrap_or([0.0, 1.0, 0.0, 1.0, 0.0, 1.0]);
         let mut packed = [
@@ -261,6 +262,13 @@ impl RenderPipeline {
                 name: format!("{}_{:06}", pass.name, step),
                 png,
             });
+        }
+        let telemetry = comm.telemetry();
+        if telemetry.enabled() {
+            telemetry.counter("render/frames").add(images.len() as u64);
+            telemetry
+                .histogram("render/execute_time")
+                .observe(comm.now() - t_render_start);
         }
         images
     }

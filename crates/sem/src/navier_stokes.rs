@@ -173,6 +173,9 @@ pub struct FlowSolver {
     ws: Workspace,
     step_index: usize,
     time: f64,
+    /// Lazily-bound telemetry instrument for per-step virtual time
+    /// (`rank<r>/sem/step_time`); a no-op handle when telemetry is off.
+    step_hist: Option<commsim::Histogram>,
     _gpu_charge: Charge,
 }
 
@@ -278,6 +281,7 @@ impl FlowSolver {
             ws: Workspace::new(n),
             step_index: 0,
             time: 0.0,
+            step_hist: None,
             _gpu_charge: gpu_charge,
         }
     }
@@ -542,6 +546,7 @@ impl FlowSolver {
 
     /// Advance one timestep.
     pub fn step(&mut self, comm: &mut Comm) -> StepReport {
+        let t_step_start = comm.now();
         let n = self.n_nodes();
         let k = self.cfg.bdf_order.min(self.step_index + 1).clamp(1, 3);
         let (b0, bprev) = bdf_coeffs(k);
@@ -788,6 +793,9 @@ impl FlowSolver {
 
         self.step_index += 1;
         self.time += dt;
+        self.step_hist
+            .get_or_insert_with(|| comm.telemetry().histogram("sem/step_time"))
+            .observe(comm.now() - t_step_start);
         StepReport {
             step: self.step_index,
             time: self.time,

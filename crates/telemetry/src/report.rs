@@ -1,0 +1,521 @@
+//! The `RunReport`: one serializable artifact per run.
+
+use crate::instruments::{HistogramSnapshot, MetricValue, TelemetryHub};
+use crate::json::{self, push_f64, push_str, Value};
+use crate::recorder::{Event, EventKind, StepSample};
+use std::fmt::Write as _;
+
+/// Schema tag written into every report (bump on breaking layout
+/// changes; `nekstat` and CI validate it).
+pub const REPORT_SCHEMA: &str = "nekstat/run-report/v1";
+
+/// What was run: enough to reproduce the configuration and to label
+/// the report in `nekstat` output.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Manifest {
+    /// Case name (`pb146`, `rbc`, …).
+    pub case: String,
+    /// `insitu` or `intransit` (or `render` for the image harnesses).
+    pub workflow: String,
+    /// In situ mode (`original` / `checkpointing` / `catalyst`) or the
+    /// in-transit queue policy.
+    pub mode: String,
+    /// Execution mode (`synchronous` / `pipelined`).
+    pub exec: String,
+    /// Simulation ranks.
+    pub ranks: usize,
+    /// Endpoint (consumer world) ranks; 0 for pure in situ.
+    pub endpoint_ranks: usize,
+    /// Steps run.
+    pub steps: u64,
+    /// Analysis trigger cadence.
+    pub trigger_every: u64,
+    /// Machine model name.
+    pub machine: String,
+    /// Human-readable fault plan summary (`"none"` when clean).
+    pub fault_plan: String,
+    /// Shared thread-pool width on the host.
+    pub pool_threads: usize,
+    /// Pipeline credit depth (0 when synchronous).
+    pub pipeline_depth: usize,
+}
+
+/// Host/GPU memory roll-up (mirrors `MemoryBreakdown` in core, kept
+/// here as plain numbers so the crate stays dependency-free).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemorySummary {
+    /// Sum of host peaks over ranks.
+    pub host_aggregate_peak: u64,
+    /// Largest single-rank host peak.
+    pub host_max_rank_peak: u64,
+    /// Sum of GPU peaks over ranks.
+    pub gpu_aggregate_peak: u64,
+    /// Peak bytes in accountants with no `rank<r>/` prefix.
+    pub unscoped: u64,
+}
+
+/// The single artifact a telemetry-enabled run emits.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunReport {
+    /// Run configuration.
+    pub manifest: Manifest,
+    /// Final value of every instrument, sorted by name.
+    pub metrics: Vec<(String, MetricValue)>,
+    /// Per-step time series (possibly ring-truncated to the newest
+    /// steps; see `evicted_samples`).
+    pub series: Vec<StepSample>,
+    /// Samples dropped by the flight-recorder ring, oldest-first.
+    pub evicted_samples: u64,
+    /// Structured events sorted by virtual time.
+    pub events: Vec<Event>,
+    /// Per-accountant `(name, current, peak)` bytes, sorted by name.
+    pub watermarks: Vec<(String, u64, u64)>,
+    /// Memory roll-up.
+    pub memory: MemorySummary,
+}
+
+impl RunReport {
+    /// Drain `hub` into a report. `watermarks` and `memory` come from
+    /// the caller's memtrack registry (core owns that translation).
+    pub fn collect(
+        manifest: Manifest,
+        hub: &TelemetryHub,
+        watermarks: Vec<(String, u64, u64)>,
+        memory: MemorySummary,
+    ) -> Self {
+        let (series, evicted_samples) = hub.take_series();
+        Self {
+            manifest,
+            metrics: hub.metrics_snapshot(),
+            series,
+            evicted_samples,
+            events: hub.take_events_sorted(),
+            watermarks,
+            memory,
+        }
+    }
+
+    /// The final value of instrument `name`, if present.
+    pub fn metric(&self, name: &str) -> Option<&MetricValue> {
+        self.metrics
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
+    }
+
+    /// Events of one kind, in report (virtual-time) order.
+    pub fn events_of(&self, kind: EventKind) -> impl Iterator<Item = &Event> {
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Exact p95 of per-step wall (virtual) time from the series
+    /// (zero when the series is empty).
+    pub fn step_time_p95(&self) -> f64 {
+        let mut times: Vec<f64> = self
+            .series
+            .iter()
+            .map(|s| s.t_end - s.t_start)
+            .collect();
+        if times.is_empty() {
+            return 0.0;
+        }
+        times.sort_by(f64::total_cmp);
+        let idx = ((0.95 * times.len() as f64).ceil() as usize).max(1) - 1;
+        times[idx.min(times.len() - 1)]
+    }
+
+    /// Total rank-0 backpressure wait over the series, in seconds.
+    pub fn total_backpressure_wait(&self) -> f64 {
+        self.series.iter().map(|s| s.backpressure_wait).sum()
+    }
+
+    /// Serialize to the `nekstat/run-report/v1` JSON document.
+    pub fn to_json(&self) -> String {
+        let mut o = String::with_capacity(4096);
+        o.push_str("{\n  \"schema\": ");
+        push_str(&mut o, REPORT_SCHEMA);
+        o.push_str(",\n  \"manifest\": {");
+        let m = &self.manifest;
+        let str_fields = [
+            ("case", &m.case),
+            ("workflow", &m.workflow),
+            ("mode", &m.mode),
+            ("exec", &m.exec),
+            ("machine", &m.machine),
+            ("fault_plan", &m.fault_plan),
+        ];
+        for (k, v) in str_fields {
+            o.push_str("\n    ");
+            push_str(&mut o, k);
+            o.push_str(": ");
+            push_str(&mut o, v);
+            o.push(',');
+        }
+        let num_fields = [
+            ("ranks", m.ranks as u64),
+            ("endpoint_ranks", m.endpoint_ranks as u64),
+            ("steps", m.steps),
+            ("trigger_every", m.trigger_every),
+            ("pool_threads", m.pool_threads as u64),
+            ("pipeline_depth", m.pipeline_depth as u64),
+        ];
+        for (i, (k, v)) in num_fields.iter().enumerate() {
+            o.push_str("\n    ");
+            push_str(&mut o, k);
+            let _ = write!(o, ": {v}");
+            if i + 1 < num_fields.len() {
+                o.push(',');
+            }
+        }
+        o.push_str("\n  },\n  \"metrics\": [");
+        for (i, (name, v)) in self.metrics.iter().enumerate() {
+            o.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            o.push_str("{\"name\": ");
+            push_str(&mut o, name);
+            match v {
+                MetricValue::Counter(c) => {
+                    let _ = write!(o, ", \"type\": \"counter\", \"value\": {c}");
+                }
+                MetricValue::Gauge(g) => {
+                    o.push_str(", \"type\": \"gauge\", \"value\": ");
+                    push_f64(&mut o, *g);
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = write!(o, ", \"type\": \"histogram\", \"count\": {}", h.count);
+                    for (k, x) in [
+                        ("sum", h.sum),
+                        ("p50", h.p50),
+                        ("p95", h.p95),
+                        ("min", h.min),
+                        ("max", h.max),
+                    ] {
+                        let _ = write!(o, ", \"{k}\": ");
+                        push_f64(&mut o, x);
+                    }
+                }
+            }
+            o.push('}');
+        }
+        o.push_str("\n  ],\n  \"series\": [");
+        for (i, s) in self.series.iter().enumerate() {
+            o.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            let _ = write!(o, "{{\"step\": {}, \"t_start\": ", s.step);
+            push_f64(&mut o, s.t_start);
+            o.push_str(", \"t_end\": ");
+            push_f64(&mut o, s.t_end);
+            o.push_str(", \"phase_self\": {");
+            for (j, (name, secs)) in s.phase_self.iter().enumerate() {
+                if j > 0 {
+                    o.push_str(", ");
+                }
+                push_str(&mut o, name);
+                o.push_str(": ");
+                push_f64(&mut o, *secs);
+            }
+            let _ = write!(
+                o,
+                "}}, \"pool_resident_bytes\": {}, \"pool_free_buffers\": {}",
+                s.pool_resident_bytes, s.pool_free_buffers
+            );
+            o.push_str(", \"backpressure_wait\": ");
+            push_f64(&mut o, s.backpressure_wait);
+            o.push_str(", \"queue_depth\": ");
+            push_f64(&mut o, s.queue_depth);
+            let _ = write!(
+                o,
+                ", \"retries\": {}, \"mem_current\": {}, \"mem_peak\": {}}}",
+                s.retries, s.mem_current, s.mem_peak
+            );
+        }
+        let _ = write!(
+            o,
+            "\n  ],\n  \"evicted_samples\": {},\n  \"events\": [",
+            self.evicted_samples
+        );
+        for (i, e) in self.events.iter().enumerate() {
+            o.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            o.push_str("{\"at\": ");
+            push_f64(&mut o, e.at);
+            let _ = write!(o, ", \"pid\": {}, \"rank\": {}, \"step\": ", e.pid, e.rank);
+            match e.step {
+                Some(s) => {
+                    let _ = write!(o, "{s}");
+                }
+                None => o.push_str("null"),
+            }
+            o.push_str(", \"kind\": ");
+            push_str(&mut o, e.kind.as_str());
+            o.push_str(", \"detail\": ");
+            push_str(&mut o, &e.detail);
+            o.push('}');
+        }
+        o.push_str("\n  ],\n  \"watermarks\": [");
+        for (i, (name, current, peak)) in self.watermarks.iter().enumerate() {
+            o.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            o.push_str("{\"name\": ");
+            push_str(&mut o, name);
+            let _ = write!(o, ", \"current\": {current}, \"peak\": {peak}}}");
+        }
+        let mem = &self.memory;
+        let _ = write!(
+            o,
+            "\n  ],\n  \"memory\": {{\"host_aggregate_peak\": {}, \"host_max_rank_peak\": {}, \"gpu_aggregate_peak\": {}, \"unscoped\": {}}}\n}}\n",
+            mem.host_aggregate_peak, mem.host_max_rank_peak, mem.gpu_aggregate_peak, mem.unscoped
+        );
+        o
+    }
+
+    /// Parse a `nekstat/run-report/v1` document.
+    ///
+    /// # Errors
+    /// Malformed JSON or a layout that does not match the schema.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let v = json::parse(text)?;
+        let schema = v
+            .get("schema")
+            .and_then(Value::as_str)
+            .ok_or("missing schema tag")?;
+        if schema != REPORT_SCHEMA {
+            return Err(format!("unsupported schema {schema:?}"));
+        }
+        let man = v.get("manifest").ok_or("missing manifest")?;
+        let gs = |k: &str| -> String {
+            man.get(k)
+                .and_then(Value::as_str)
+                .unwrap_or_default()
+                .to_string()
+        };
+        let gn = |k: &str| -> u64 { man.get(k).and_then(Value::as_u64).unwrap_or(0) };
+        let manifest = Manifest {
+            case: gs("case"),
+            workflow: gs("workflow"),
+            mode: gs("mode"),
+            exec: gs("exec"),
+            ranks: gn("ranks") as usize,
+            endpoint_ranks: gn("endpoint_ranks") as usize,
+            steps: gn("steps"),
+            trigger_every: gn("trigger_every"),
+            machine: gs("machine"),
+            fault_plan: gs("fault_plan"),
+            pool_threads: gn("pool_threads") as usize,
+            pipeline_depth: gn("pipeline_depth") as usize,
+        };
+        let mut metrics = Vec::new();
+        for mv in v
+            .get("metrics")
+            .and_then(Value::as_arr)
+            .ok_or("missing metrics")?
+        {
+            let name = mv
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or("metric without name")?
+                .to_string();
+            let kind = mv.get("type").and_then(Value::as_str).unwrap_or("");
+            let value = match kind {
+                "counter" => MetricValue::Counter(
+                    mv.get("value").and_then(Value::as_u64).unwrap_or(0),
+                ),
+                "gauge" => MetricValue::Gauge(
+                    mv.get("value").and_then(Value::as_f64).unwrap_or(0.0),
+                ),
+                "histogram" => {
+                    let f = |k: &str| mv.get(k).and_then(Value::as_f64).unwrap_or(0.0);
+                    MetricValue::Histogram(HistogramSnapshot {
+                        count: mv.get("count").and_then(Value::as_u64).unwrap_or(0),
+                        sum: f("sum"),
+                        p50: f("p50"),
+                        p95: f("p95"),
+                        min: f("min"),
+                        max: f("max"),
+                    })
+                }
+                other => return Err(format!("unknown metric type {other:?}")),
+            };
+            metrics.push((name, value));
+        }
+        let mut series = Vec::new();
+        for sv in v
+            .get("series")
+            .and_then(Value::as_arr)
+            .ok_or("missing series")?
+        {
+            let f = |k: &str| sv.get(k).and_then(Value::as_f64).unwrap_or(0.0);
+            let n = |k: &str| sv.get(k).and_then(Value::as_u64).unwrap_or(0);
+            let mut phase_self = Vec::new();
+            if let Some(Value::Obj(m)) = sv.get("phase_self") {
+                for (k, x) in m {
+                    phase_self.push((k.clone(), x.as_f64().unwrap_or(0.0)));
+                }
+            }
+            series.push(StepSample {
+                step: n("step"),
+                t_start: f("t_start"),
+                t_end: f("t_end"),
+                phase_self,
+                pool_resident_bytes: n("pool_resident_bytes"),
+                pool_free_buffers: n("pool_free_buffers"),
+                backpressure_wait: f("backpressure_wait"),
+                queue_depth: f("queue_depth"),
+                retries: n("retries"),
+                mem_current: n("mem_current"),
+                mem_peak: n("mem_peak"),
+            });
+        }
+        let mut events = Vec::new();
+        for ev in v
+            .get("events")
+            .and_then(Value::as_arr)
+            .ok_or("missing events")?
+        {
+            let kind = ev
+                .get("kind")
+                .and_then(Value::as_str)
+                .and_then(EventKind::parse)
+                .ok_or("event with unknown kind")?;
+            events.push(Event {
+                at: ev.get("at").and_then(Value::as_f64).unwrap_or(0.0),
+                pid: ev.get("pid").and_then(Value::as_u64).unwrap_or(0) as u32,
+                rank: ev.get("rank").and_then(Value::as_u64).unwrap_or(0) as usize,
+                step: ev.get("step").and_then(Value::as_u64),
+                kind,
+                detail: ev
+                    .get("detail")
+                    .and_then(Value::as_str)
+                    .unwrap_or_default()
+                    .to_string(),
+            });
+        }
+        let mut watermarks = Vec::new();
+        for wv in v
+            .get("watermarks")
+            .and_then(Value::as_arr)
+            .unwrap_or_default()
+        {
+            watermarks.push((
+                wv.get("name")
+                    .and_then(Value::as_str)
+                    .unwrap_or_default()
+                    .to_string(),
+                wv.get("current").and_then(Value::as_u64).unwrap_or(0),
+                wv.get("peak").and_then(Value::as_u64).unwrap_or(0),
+            ));
+        }
+        let memv = v.get("memory").ok_or("missing memory")?;
+        let mn = |k: &str| memv.get(k).and_then(Value::as_u64).unwrap_or(0);
+        Ok(Self {
+            manifest,
+            metrics,
+            series,
+            evicted_samples: v
+                .get("evicted_samples")
+                .and_then(Value::as_u64)
+                .unwrap_or(0),
+            events,
+            watermarks,
+            memory: MemorySummary {
+                host_aggregate_peak: mn("host_aggregate_peak"),
+                host_max_rank_peak: mn("host_max_rank_peak"),
+                gpu_aggregate_peak: mn("gpu_aggregate_peak"),
+                unscoped: mn("unscoped"),
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> RunReport {
+        let hub = TelemetryHub::default();
+        let rt = crate::RankTelemetry::new(&hub, 0, 0);
+        rt.counter("transport/retries").add(3);
+        rt.gauge("pool/free").set(2.0);
+        let h = rt.histogram("sem/step_time");
+        for v in [0.1, 0.2, 0.3, 0.9] {
+            h.observe(v);
+        }
+        rt.event(1.25, EventKind::CircuitBreakerOpen, Some(6), "3 strikes");
+        rt.event(0.5, EventKind::FaultInjected, Some(2), "stall 50s");
+        hub.record(StepSample {
+            step: 1,
+            t_start: 0.0,
+            t_end: 0.4,
+            phase_self: vec![("sem/cg".into(), 0.3), ("snapshot/publish".into(), 0.05)],
+            pool_resident_bytes: 1024,
+            pool_free_buffers: 2,
+            backpressure_wait: 0.0,
+            queue_depth: 0.0,
+            retries: 0,
+            mem_current: 4096,
+            mem_peak: 8192,
+        });
+        hub.record(StepSample {
+            step: 2,
+            t_start: 0.5,
+            t_end: 1.5,
+            backpressure_wait: 0.25,
+            retries: 3,
+            ..StepSample::default()
+        });
+        RunReport::collect(
+            Manifest {
+                case: "pb146".into(),
+                workflow: "insitu".into(),
+                mode: "checkpointing".into(),
+                exec: "pipelined".into(),
+                ranks: 4,
+                endpoint_ranks: 0,
+                steps: 2,
+                trigger_every: 1,
+                machine: "polaris-derated".into(),
+                fault_plan: "consumer stall @2".into(),
+                pool_threads: 4,
+                pipeline_depth: 2,
+            },
+            &hub,
+            vec![("rank0/solver".into(), 100, 200)],
+            MemorySummary {
+                host_aggregate_peak: 200,
+                host_max_rank_peak: 200,
+                gpu_aggregate_peak: 50,
+                unscoped: 7,
+            },
+        )
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let report = fixture();
+        let text = report.to_json();
+        let parsed = RunReport::from_json(&text).unwrap();
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn collect_sorts_events_by_virtual_time() {
+        let report = fixture();
+        assert_eq!(report.events.len(), 2);
+        assert_eq!(report.events[0].kind, EventKind::FaultInjected);
+        assert_eq!(report.events[1].kind, EventKind::CircuitBreakerOpen);
+        assert!(report.events[0].at < report.events[1].at);
+    }
+
+    #[test]
+    fn derived_readouts_match_series() {
+        let report = fixture();
+        assert_eq!(report.step_time_p95(), 1.0, "slowest of two steps");
+        assert_eq!(report.total_backpressure_wait(), 0.25);
+        assert_eq!(
+            report.metric("rank0/transport/retries"),
+            Some(&MetricValue::Counter(3))
+        );
+    }
+
+    #[test]
+    fn rejects_wrong_schema() {
+        assert!(RunReport::from_json("{\"schema\": \"other/v9\"}").is_err());
+        assert!(RunReport::from_json("not json").is_err());
+    }
+}

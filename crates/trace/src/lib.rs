@@ -101,6 +101,10 @@ struct TracerState {
     next_id: u64,
     open: Vec<OpenSpan>,
     closed: Vec<Span>,
+    /// Cumulative self time per span name over every span closed so
+    /// far — a running aggregate cheap enough to read once per step
+    /// (the telemetry flight recorder diffs consecutive readings).
+    self_totals: std::collections::BTreeMap<String, f64>,
 }
 
 struct Inner {
@@ -168,6 +172,7 @@ impl Tracer {
                     next_id: 0,
                     open: Vec::new(),
                     closed: Vec::new(),
+                    self_totals: std::collections::BTreeMap::new(),
                 }),
             })),
         }
@@ -224,14 +229,28 @@ impl Tracer {
             if let Some(parent) = st.open.last_mut() {
                 parent.child_time += inclusive;
             }
+            let self_time = (inclusive - span.child_time).max(0.0);
+            *st.self_totals.entry(span.name.clone()).or_insert(0.0) += self_time;
             st.closed.push(Span {
                 name: span.name,
                 start: span.start,
                 end: now,
                 depth,
-                self_time: (inclusive - span.child_time).max(0.0),
+                self_time,
             });
         }
+    }
+
+    /// Cumulative self time per span name over every span closed so far
+    /// (since creation or the last [`Self::take`]). Empty when the
+    /// tracer is disabled. Open spans are not included until they
+    /// close, so readings taken at step boundaries (where the
+    /// instrumented phases have all closed) are exact.
+    pub fn self_totals(&self) -> std::collections::BTreeMap<String, f64> {
+        self.inner
+            .as_ref()
+            .map(|inner| inner.lock().self_totals.clone())
+            .unwrap_or_default()
     }
 
     /// Force-close any open spans and return everything recorded so far,
@@ -247,15 +266,18 @@ impl Tracer {
             if let Some(parent) = st.open.last_mut() {
                 parent.child_time += inclusive;
             }
+            let self_time = (inclusive - span.child_time).max(0.0);
+            *st.self_totals.entry(span.name.clone()).or_insert(0.0) += self_time;
             st.closed.push(Span {
                 name: span.name,
                 start: span.start,
                 end: now,
                 depth,
-                self_time: (inclusive - span.child_time).max(0.0),
+                self_time,
             });
         }
         let spans = std::mem::take(&mut st.closed);
+        st.self_totals.clear();
         Some(RankTrace {
             pid: inner.pid,
             rank: inner.rank,
@@ -395,6 +417,31 @@ mod tests {
         let trace = t.take().unwrap();
         assert_eq!(trace.spans.len(), 1);
         assert!(trace.spans[0].duration() > 0.0);
+    }
+
+    #[test]
+    fn self_totals_accumulate_and_reset_on_take() {
+        let c = cell(0.0);
+        let t = Tracer::virtual_clock(0, 0, Arc::clone(&c));
+        {
+            let _outer = t.span("phase/a");
+            set(&c, 1.0);
+            {
+                let _inner = t.span("phase/b");
+                set(&c, 4.0);
+            }
+            set(&c, 5.0);
+        }
+        {
+            let _again = t.span("phase/b");
+            set(&c, 6.0);
+        }
+        let totals = t.self_totals();
+        assert!((totals["phase/a"] - 2.0).abs() < 1e-12);
+        assert!((totals["phase/b"] - 4.0).abs() < 1e-12, "3.0 + 1.0");
+        let _ = t.take().unwrap();
+        assert!(t.self_totals().is_empty(), "take resets the aggregate");
+        assert!(Tracer::disabled().self_totals().is_empty());
     }
 
     #[test]

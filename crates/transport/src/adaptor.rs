@@ -184,6 +184,11 @@ impl TransportAnalysis {
         self.parked_steps += 1;
         self.switch_step = Some(step);
         self.fallback = Some(fw);
+        comm.telemetry_event(
+            commsim::EventKind::EngineSwitch,
+            Some(step),
+            format!("producer {} parked to bp file engine: {error}", self.writer.producer),
+        );
         Ok(())
     }
 }

@@ -223,6 +223,7 @@ impl SstWriter {
                     let _sp = comm.span("transport/retry");
                     comm.advance(self.config.ack_timeout + self.config.backoff(attempt));
                     self.retries += 1;
+                    comm.telemetry().counter("transport/retries").inc();
                     attempt += 1;
                     if attempt >= self.config.max_attempts {
                         return self.fail_step(
@@ -257,6 +258,7 @@ impl SstWriter {
                             + self.config.backoff(attempt),
                     );
                     self.retries += 1;
+                    comm.telemetry().counter("transport/retries").inc();
                     attempt += 1;
                     if attempt >= self.config.max_attempts {
                         return self.fail_step(
@@ -349,6 +351,11 @@ impl SstWriter {
         if error == TransportError::Disconnected {
             // Unrecoverable: the reader is gone, nothing can be notified.
             self.breaker_open = true;
+            comm.telemetry_event(
+                commsim::EventKind::CircuitBreakerOpen,
+                Some(step),
+                "endpoint disconnected",
+            );
             return Err(WriteError { error, payload });
         }
         // Reliable control plane: tell the reader this step will not
@@ -357,6 +364,11 @@ impl SstWriter {
         self.consecutive_failures += 1;
         if self.consecutive_failures >= self.config.breaker_threshold {
             self.breaker_open = true;
+            comm.telemetry_event(
+                commsim::EventKind::CircuitBreakerOpen,
+                Some(step),
+                format!("{} consecutive failures", self.consecutive_failures),
+            );
             self.control(comm, PacketKind::Detach, step, true);
             return Err(WriteError {
                 error: TransportError::CircuitOpen,
@@ -468,6 +480,11 @@ impl SstReader {
             if let Some(delivery) = self.pop_deliverable(comm) {
                 if let Some(at) = self.faults.crash_step(self.index) {
                     if delivery.step >= at {
+                        comm.telemetry_event(
+                            commsim::EventKind::EndpointCrash,
+                            Some(at),
+                            format!("endpoint {} crashed", self.index),
+                        );
                         self.crash();
                         return None;
                     }
@@ -540,6 +557,10 @@ impl SstReader {
                     a.charge_raw(nbytes);
                 }
                 entry.push(packet);
+                let staged = self.staged_bytes();
+                comm.telemetry()
+                    .gauge("transport/queue_depth")
+                    .set(staged as f64);
             }
             PacketKind::Skip => {
                 self.skipped
@@ -593,6 +614,11 @@ impl SstReader {
         // which back-pressures writers through the published drain time.
         let stall = self.faults.stall_secs(self.index, step);
         if stall > 0.0 {
+            comm.telemetry_event(
+                commsim::EventKind::FaultInjected,
+                Some(step),
+                format!("consumer stall {stall}s on endpoint {}", self.index),
+            );
             comm.advance(stall);
         }
         *self.state.drain_time.lock() = comm.now();
@@ -600,6 +626,10 @@ impl SstReader {
             let bytes: u64 = packets.iter().map(|p| p.payload.len() as u64).sum();
             a.credit_raw(bytes);
         }
+        let staged = self.staged_bytes();
+        comm.telemetry()
+            .gauge("transport/queue_depth")
+            .set(staged as f64);
         if missing.is_empty() {
             self.complete_steps += 1;
         } else {
@@ -611,6 +641,15 @@ impl SstReader {
             packets,
             missing,
         })
+    }
+
+    /// Bytes currently staged (accepted, not yet delivered).
+    fn staged_bytes(&self) -> u64 {
+        self.pending
+            .values()
+            .flatten()
+            .map(|p| p.payload.len() as u64)
+            .sum()
     }
 
     /// Total payload bytes received (including CRC-rejected frames).

@@ -41,6 +41,7 @@ fn main() {
         exec: nek_sensei::ExecMode::default(),
         faults: commsim::FaultPlan::none(),
         trace: false,
+        telemetry: false,
         output_dir: None,
     };
 

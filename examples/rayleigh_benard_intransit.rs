@@ -34,6 +34,7 @@ fn main() {
         writer_config: transport::WriterConfig::default(),
         fallback_dir: None,
         trace: false,
+        telemetry: false,
     };
 
     println!("RBC at Ra=1e5, Pr=0.7 on 8 simulation ranks (+ endpoints at 4:1)\n");

@@ -24,6 +24,7 @@ fn one_run(mode: InSituMode) -> (f64, u64, u64, u64) {
         faults: commsim::FaultPlan::none(),
         output_dir: None,
         trace: false,
+        telemetry: false,
     });
     (
         r.metrics.time_to_solution,
@@ -75,6 +76,7 @@ fn derating_scales_compute_time_exactly() {
             faults: commsim::FaultPlan::none(),
             output_dir: None,
             trace: false,
+            telemetry: false,
         });
         (r.metrics.time_to_solution, r.metrics.totals.time_gpu_compute)
     };

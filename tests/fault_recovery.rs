@@ -32,6 +32,7 @@ fn faulty_config(steps: usize, faults: FaultPlan) -> InTransitConfig {
         writer_config: WriterConfig::default(),
         fallback_dir: None,
         trace: false,
+        telemetry: false,
     }
 }
 

@@ -22,6 +22,7 @@ fn config(mode: InSituMode) -> InSituConfig {
         faults: commsim::FaultPlan::none(),
         output_dir: None,
         trace: false,
+        telemetry: false,
     }
 }
 

@@ -27,6 +27,7 @@ fn config(sim_ranks: usize, mode: EndpointMode) -> InTransitConfig {
         writer_config: transport::WriterConfig::default(),
         fallback_dir: None,
         trace: false,
+        telemetry: false,
     }
 }
 

@@ -91,6 +91,7 @@ fn golden_hashes(pool_threads: usize, tag: &str) -> Vec<(String, u64)> {
             faults: commsim::FaultPlan::none(),
             output_dir: Some(dir.clone()),
             trace: false,
+            telemetry: false,
         });
         assert!(report.files_written > 0, "Catalyst must write images");
     });

@@ -26,6 +26,7 @@ fn catalyst_config(exec: ExecMode) -> InSituConfig {
         faults: FaultPlan::none(),
         output_dir: None,
         trace: false,
+        telemetry: false,
     }
 }
 

@@ -1,0 +1,243 @@
+//! Integration: the unified telemetry bus end to end — a pipelined in situ
+//! run with fault injection and a degraded in-transit run each emit one
+//! `RunReport` that answers the observability questions (per-step series,
+//! p95 step time, backpressure, virtual fault timestamps, memory
+//! watermarks) without scraping stdout, and attaching the bus never
+//! perturbs the solver.
+
+use commsim::{ConsumerStall, FaultPlan, LinkFaultSpec, MachineModel};
+use nek_sensei::{
+    run_insitu, run_intransit, EndpointMode, ExecMode, InSituConfig, InSituMode, InTransitConfig,
+};
+use sem::cases::{pb146, rbc, CaseParams};
+use telemetry::{EventKind, RunReport, REPORT_SCHEMA};
+use transport::{QueuePolicy, StagingLink, WriterConfig};
+
+/// Pipelined checkpointing run with a 50-virtual-second consumer stall at
+/// step 2 — the ISSUE's flagship scenario.
+fn stalled_insitu_config(telemetry: bool, output_dir: Option<std::path::PathBuf>) -> InSituConfig {
+    let mut params = CaseParams::pb146_default();
+    params.elems = [2, 2, 4];
+    params.order = 2;
+    InSituConfig {
+        case: pb146(&params, 4),
+        ranks: 2,
+        steps: 8,
+        trigger_every: 2,
+        machine: MachineModel::polaris(),
+        image_size: (64, 48),
+        mode: InSituMode::Checkpointing,
+        exec: ExecMode::Pipelined,
+        faults: FaultPlan {
+            stalls: vec![ConsumerStall {
+                endpoint: 0,
+                at_step: 2,
+                seconds: 50.0,
+            }],
+            ..FaultPlan::none()
+        },
+        output_dir,
+        trace: true,
+        telemetry,
+    }
+}
+
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "nek-sensei-telemetry-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+#[test]
+fn pipelined_fault_run_emits_complete_run_report() {
+    let r = run_insitu(&stalled_insitu_config(true, None));
+    let report = r.run_report.expect("telemetry: true collects a report");
+
+    // Manifest describes the run.
+    assert_eq!(report.manifest.workflow, "insitu");
+    assert_eq!(report.manifest.mode, "checkpointing");
+    assert_eq!(report.manifest.exec, "pipelined");
+    assert_eq!(report.manifest.ranks, 2);
+    assert_eq!(report.manifest.steps, 8);
+    assert!(report.manifest.fault_plan.contains("stalls=1"));
+
+    // Series/step-count agreement: one sample per solver step, none
+    // evicted at this size, steps contiguous from 1.
+    assert_eq!(report.series.len(), 8);
+    assert_eq!(report.evicted_samples, 0);
+    let steps: Vec<u64> = report.series.iter().map(|s| s.step).collect();
+    assert_eq!(steps, (1..=8).collect::<Vec<_>>());
+    // The series timeline is contiguous on rank 0's clock.
+    for w in report.series.windows(2) {
+        assert_eq!(
+            w[0].t_end.to_bits(),
+            w[1].t_start.to_bits(),
+            "sample boundaries must chain"
+        );
+    }
+
+    // The p95 readout works and the stall's backpressure reached the
+    // producer (50 s parked in a <1 s/step run must dominate).
+    assert!(report.step_time_p95() > 0.0);
+    assert!(
+        report.total_backpressure_wait() > 10.0,
+        "50 s stall must back up into the producer: got {}",
+        report.total_backpressure_wait()
+    );
+
+    // Traced phase self-times landed in the samples.
+    assert!(
+        report
+            .series
+            .iter()
+            .any(|s| s.phase_self.iter().any(|(n, t)| n == "sem/cg" && *t > 0.0)),
+        "per-step phase attribution missing"
+    );
+
+    // The injected stall is a structured event with its virtual onset
+    // time, and checkpoint writes are logged too.
+    let stalls: Vec<_> = report.events_of(EventKind::FaultInjected).collect();
+    assert_eq!(stalls.len(), 1, "one stall injected");
+    assert_eq!(stalls[0].step, Some(2));
+    assert!(stalls[0].at > 0.0, "virtual timestamp recorded");
+    assert_eq!(stalls[0].pid, 1, "stall happens on the consumer world");
+    assert_eq!(report.events_of(EventKind::CheckpointWrite).count(), 8, "4 triggers x 2 ranks");
+
+    // Events come out sorted by virtual time.
+    for w in report.events.windows(2) {
+        assert!(w[0].at <= w[1].at, "events must be time-ordered");
+    }
+
+    // Memory watermarks: every accountant present, roll-up consistent.
+    assert!(!report.watermarks.is_empty());
+    assert!(report
+        .watermarks
+        .iter()
+        .any(|(name, _, peak)| name.ends_with("/snapshot-pool") && *peak > 0));
+    assert!(report.memory.host_aggregate_peak > 0);
+
+    // Instrument registry captured the solver histogram (sim world) and
+    // the checkpoint counter (consumer world, `endpoint<r>/` scope).
+    assert!(report.metric("rank0/sem/step_time").is_some());
+    assert!(report.metric("endpoint0/checkpoint/bytes_written").is_some());
+}
+
+#[test]
+fn telemetry_is_invisible_to_the_solver() {
+    // Bitwise-identical artifacts: the same faulted pipelined run, with
+    // and without the bus attached, must write identical checkpoints and
+    // finish at the identical virtual time.
+    let dir_off = scratch_dir("off");
+    let dir_on = scratch_dir("on");
+    let off = run_insitu(&stalled_insitu_config(false, Some(dir_off.clone())));
+    let on = run_insitu(&stalled_insitu_config(true, Some(dir_on.clone())));
+
+    assert!(off.run_report.is_none());
+    assert!(on.run_report.is_some());
+    assert_eq!(
+        off.metrics.time_to_solution.to_bits(),
+        on.metrics.time_to_solution.to_bits(),
+        "telemetry must never advance the virtual clock"
+    );
+    assert_eq!(off.bytes_written, on.bytes_written);
+
+    let mut names_off: Vec<String> = std::fs::read_dir(&dir_off)
+        .expect("dir")
+        .map(|e| e.expect("entry").file_name().into_string().expect("utf8"))
+        .collect();
+    names_off.sort();
+    assert!(!names_off.is_empty(), "checkpoint files written");
+    for name in &names_off {
+        let a = std::fs::read(dir_off.join(name)).expect("read off");
+        let b = std::fs::read(dir_on.join(name)).expect("read on");
+        assert_eq!(a, b, "{name} must be bitwise identical");
+    }
+    let _ = std::fs::remove_dir_all(&dir_off);
+    let _ = std::fs::remove_dir_all(&dir_on);
+}
+
+#[test]
+fn intransit_degradation_is_visible_in_the_event_log() {
+    // Total link failure: every producer's circuit breaker opens and it
+    // switches to the BP file engine — all visible as timestamped events.
+    let dir = scratch_dir("intransit");
+    let mut params = CaseParams::rbc_default();
+    params.elems = [2, 2, 4];
+    params.order = 2;
+    let cfg = InTransitConfig {
+        case: rbc(&params, 1e4, 0.7),
+        sim_ranks: 4,
+        ratio: 4,
+        steps: 10,
+        trigger_every: 2,
+        machine: MachineModel::juwels_booster(),
+        link: StagingLink::ucx_hdr200(),
+        queue_capacity: 8,
+        policy: QueuePolicy::Block,
+        mode: EndpointMode::Checkpointing,
+        image_size: (64, 48),
+        output_dir: None,
+        faults: FaultPlan::with_link(
+            42,
+            LinkFaultSpec {
+                drop_prob: 1.0,
+                ..LinkFaultSpec::default()
+            },
+        ),
+        writer_config: WriterConfig::default(),
+        fallback_dir: Some(dir.clone()),
+        trace: false,
+        telemetry: true,
+    };
+    let r = run_intransit(&cfg);
+    let report = r.run_report.expect("telemetry: true collects a report");
+
+    assert_eq!(report.manifest.workflow, "intransit");
+    assert_eq!(report.manifest.endpoint_ranks, 1);
+
+    // One breaker-open and one engine-switch per producer, each with a
+    // positive virtual timestamp and ordered within each producer.
+    let opens: Vec<_> = report.events_of(EventKind::CircuitBreakerOpen).collect();
+    let switches: Vec<_> = report.events_of(EventKind::EngineSwitch).collect();
+    assert_eq!(opens.len(), 4, "one per producer");
+    assert_eq!(switches.len(), 4, "one per producer");
+    for e in opens.iter().chain(&switches) {
+        assert!(e.at > 0.0, "virtual timestamp recorded: {e:?}");
+    }
+    for producer in 0..4usize {
+        let open = opens.iter().find(|e| e.rank == producer).expect("open");
+        let sw = switches.iter().find(|e| e.rank == producer).expect("switch");
+        assert!(open.at <= sw.at, "breaker opens before the engine switch");
+        assert_eq!(sw.step, Some(6), "switch at the breaker-tripping trigger");
+    }
+
+    // Retries accumulated in the sim-world counters and the series.
+    let retries: u64 = report
+        .metrics
+        .iter()
+        .filter(|(n, _)| n.ends_with("/transport/retries"))
+        .map(|(_, v)| match v {
+            telemetry::MetricValue::Counter(c) => *c,
+            _ => 0,
+        })
+        .sum();
+    assert!(retries > 0, "dropped frames must show up as retries");
+    assert!(report.series.last().expect("series").retries > 0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn run_report_round_trips_through_json() {
+    // A real report (not a fixture) survives serialize → parse losslessly.
+    let r = run_insitu(&stalled_insitu_config(true, None));
+    let report = r.run_report.expect("report");
+    let json = report.to_json();
+    assert!(json.contains(REPORT_SCHEMA));
+    let back = RunReport::from_json(&json).expect("parse own output");
+    assert_eq!(report, back, "JSON round trip must be lossless");
+}

@@ -32,6 +32,7 @@ fn traced_intransit(sim_ranks: usize, mode: EndpointMode) -> InTransitConfig {
         writer_config: WriterConfig::default(),
         fallback_dir: None,
         trace: true,
+        telemetry: false,
     }
 }
 
@@ -60,6 +61,7 @@ fn traced_insitu(ranks: usize) -> InSituConfig {
         faults: commsim::FaultPlan::none(),
         output_dir: None,
         trace: true,
+        telemetry: false,
     }
 }
 
