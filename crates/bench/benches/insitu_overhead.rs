@@ -39,6 +39,7 @@ fn bench_insitu(c: &mut Criterion) {
                         output_dir: None,
                         trace: false,
                         telemetry: false,
+                        recovery: Default::default(),
                     });
                     black_box(report.metrics.time_to_solution)
                 })

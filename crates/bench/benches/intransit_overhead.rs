@@ -42,6 +42,7 @@ fn bench_intransit(c: &mut Criterion) {
                         fallback_dir: None,
                         trace: false,
                         telemetry: false,
+                        recovery: Default::default(),
                     });
                     black_box(report.sim.mean_step_time)
                 })

@@ -40,6 +40,7 @@ fn sweep_config(steps: usize, trigger: u64, faults: FaultPlan) -> InTransitConfi
         fallback_dir: None,
         trace: false,
         telemetry: false,
+        recovery: Default::default(),
     }
 }
 
@@ -116,6 +117,7 @@ fn main() {
     let drop_rates = [0.0, 0.1, 0.3];
     let crash_steps = [None, Some(trigger + 1)];
     let mut rows = Vec::new();
+    let mut cells = Vec::new();
     for crash in crash_steps {
         for drop_prob in drop_rates {
             let tag = format!("d{}c{}", (drop_prob * 100.0) as u32, crash.unwrap_or(0));
@@ -143,6 +145,7 @@ fn main() {
                 r.endpoint_partial_steps.to_string(),
                 r.endpoint_crashes.to_string(),
             ]);
+            cells.push((drop_prob, crash, d, parked_files, r.endpoint_crashes));
         }
     }
 
@@ -160,6 +163,42 @@ fn main() {
     ];
     println!("{}", format_table(&headers, &rows));
     maybe_write_csv(&args, "fault_sweep", &headers, &rows);
+
+    // Machine-readable recovery-stats summary for CI (`--json-out FILE`).
+    if let Some(path) = &args.json_out {
+        let mut out = String::new();
+        out.push_str("{\"schema\": \"nekstat/fault-sweep/v1\", ");
+        out.push_str(&format!(
+            "\"seed\": {seed}, \"steps\": {steps}, \"trigger_every\": {trigger}, \
+             \"triggers_per_rank\": {triggers_per_rank}, \"cells\": ["
+        ));
+        for (i, (drop_prob, crash, d, parked_files, ep_crashes)) in cells.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"drop_prob\": {drop_prob}, \"crash_step\": {}, \
+                 \"staged\": {}, \"lost\": {}, \"parked\": {}, \
+                 \"parked_readback\": {}, \"switch_step\": {}, \
+                 \"retries\": {}, \"endpoint_crashes\": {}, \"degraded\": {}}}",
+                crash.map_or("null".into(), |s| s.to_string()),
+                d.staged_steps,
+                d.lost_steps,
+                d.parked_steps,
+                parked_files,
+                d.first_switch_step.map_or("null".into(), |s| s.to_string()),
+                d.retries,
+                ep_crashes,
+                d.degraded(),
+            ));
+        }
+        out.push_str("]}");
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        std::fs::write(path, out).expect("write JSON summary");
+        println!("wrote {}", path.display());
+    }
 
     // Invariant 1: the crash cell degrades without losing triggers.
     let crash_at = trigger + 1;

@@ -14,9 +14,9 @@
 
 use bench_harness::{
     cases, fmt_secs, format_table, maybe_write_csv, maybe_write_report, maybe_write_trace,
-    HarnessArgs,
+    run_insitu_cell, HarnessArgs,
 };
-use nek_sensei::{run_insitu, InSituMode};
+use nek_sensei::InSituMode;
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -46,13 +46,13 @@ fn main() {
             cfg.exec = args.exec_mode();
             cfg.trace = args.trace_out.is_some();
             cfg.telemetry = args.telemetry();
-            let report = run_insitu(&cfg);
+            let cell = format!("fig2_{}_{r}ranks", mode.label().to_lowercase());
+            let report = run_insitu_cell(&args, &cell, cfg);
             println!(
                 "  {:<13} paper-ranks={paper_r:<5} ranks={r:<4} time={}",
                 mode.label(),
                 fmt_secs(report.metrics.time_to_solution)
             );
-            let cell = format!("fig2_{}_{r}ranks", mode.label().to_lowercase());
             maybe_write_trace(&args, &cell, &report.traces, report.phases.as_ref());
             maybe_write_report(&args, &cell, report.run_report.as_ref());
             let t = &report.metrics.totals;

@@ -186,6 +186,7 @@ fn measure_exec_overlap(quick: bool) -> ExecOverlap {
             output_dir: None,
             trace: false,
             telemetry: false,
+            recovery: Default::default(),
         })
         .metrics
         .time_to_solution

@@ -39,6 +39,7 @@ fn main() {
             output_dir: args.out.clone().map(|d| d.join(mode.label())),
             trace: false,
             telemetry: false,
+            recovery: Default::default(),
         });
         rows.push(vec![
             mode.label().to_string(),

@@ -91,6 +91,7 @@ pub fn insitu_config(sweep: &Pb146Sweep, ranks: usize, mode: InSituMode) -> InSi
         output_dir: None,
         trace: false,
         telemetry: false,
+        recovery: Default::default(),
     }
 }
 
@@ -151,6 +152,7 @@ pub fn intransit_config(
         fallback_dir: None,
         trace: false,
         telemetry: false,
+        recovery: Default::default(),
     }
 }
 

@@ -39,6 +39,18 @@ pub struct HarnessArgs {
     pub report_out: Option<std::path::PathBuf>,
     /// Run consumers pipelined (overlapped with stepping).
     pub pipelined: bool,
+    /// Seed count for the chaos soak matrix.
+    pub seeds: Option<u64>,
+    /// File for a machine-readable JSON summary of the run.
+    pub json_out: Option<std::path::PathBuf>,
+    /// Resume from the newest valid checkpoint generation in this
+    /// directory instead of starting from step 0.
+    pub restart_from: Option<std::path::PathBuf>,
+    /// Cut crash-consistent checkpoint generations under this directory
+    /// (enables the run supervisor).
+    pub checkpoint_dir: Option<std::path::PathBuf>,
+    /// Checkpoint cadence in steps (default 2 when supervision is on).
+    pub checkpoint_every: Option<u64>,
 }
 
 impl HarnessArgs {
@@ -56,9 +68,16 @@ impl HarnessArgs {
                 "--pipelined" => args.pipelined = true,
                 "--trace-out" => args.trace_out = it.next().map(Into::into),
                 "--report-out" => args.report_out = it.next().map(Into::into),
+                "--seeds" => args.seeds = it.next().and_then(|v| v.parse().ok()),
+                "--json-out" => args.json_out = it.next().map(Into::into),
+                "--restart-from" => args.restart_from = it.next().map(Into::into),
+                "--checkpoint-dir" => args.checkpoint_dir = it.next().map(Into::into),
+                "--checkpoint-every" => {
+                    args.checkpoint_every = it.next().and_then(|v| v.parse().ok())
+                }
                 "--help" | "-h" => {
                     eprintln!(
-                        "flags: --scale N | --steps N | --trigger N | --out DIR | --trace-out DIR | --report-out DIR | --full | --pipelined"
+                        "flags: --scale N | --steps N | --trigger N | --out DIR | --trace-out DIR | --report-out DIR | --full | --pipelined | --seeds N | --json-out FILE | --restart-from DIR | --checkpoint-dir DIR | --checkpoint-every N"
                     );
                     std::process::exit(0);
                 }
@@ -83,6 +102,66 @@ impl HarnessArgs {
     pub fn telemetry(&self) -> bool {
         self.report_out.is_some()
     }
+}
+
+/// Run one in situ cell honoring the crash-recovery flags: resume from the
+/// newest valid generation under `--restart-from`, and run under the
+/// supervisor (cutting generations into `--checkpoint-dir/<cell>`) when
+/// supervision is requested. Without either flag this is plain
+/// [`nek_sensei::run_insitu`].
+pub fn run_insitu_cell(
+    args: &HarnessArgs,
+    cell: &str,
+    mut cfg: nek_sensei::InSituConfig,
+) -> nek_sensei::InSituReport {
+    if let Some(dir) = &args.restart_from {
+        let scan = nek_sensei::scan_for_restore(dir, cfg.ranks);
+        for q in &scan.quarantined {
+            eprintln!(
+                "warning: quarantined generation {} in {}: {}",
+                q.step,
+                dir.display(),
+                q.reason
+            );
+        }
+        for f in &scan.foreign {
+            eprintln!(
+                "note: skipping generation {} in {}: {}",
+                f.step,
+                dir.display(),
+                f.reason
+            );
+        }
+        match scan.restored {
+            Some(generation) => {
+                println!(
+                    "  resuming from generation {} in {}",
+                    generation.step,
+                    dir.display()
+                );
+                cfg.recovery.resume_from = Some(std::sync::Arc::new(generation));
+            }
+            None => eprintln!(
+                "warning: no restorable generation in {}; starting from step 0",
+                dir.display()
+            ),
+        }
+    }
+    let Some(dir) = &args.checkpoint_dir else {
+        return nek_sensei::run_insitu(&cfg);
+    };
+    // Each cell gets its own generation directory: sweeps mix rank counts,
+    // and generations are only restorable into an equally sized world.
+    let every = args.checkpoint_every.unwrap_or(2);
+    let sup = nek_sensei::SupervisorConfig::new(dir.join(cell), every);
+    let out = nek_sensei::run_supervised_insitu(&cfg, &sup);
+    if out.recovery.restarts > 0 {
+        println!(
+            "  supervisor: {} restarts, {} steps lost, {} generations quarantined",
+            out.recovery.restarts, out.recovery.lost_steps, out.recovery.quarantined
+        );
+    }
+    out.report
 }
 
 /// Render an aligned text table.

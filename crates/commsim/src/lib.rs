@@ -39,7 +39,10 @@ pub mod stats;
 
 pub use clock::Clock;
 pub use comm::{Comm, CommError, World};
-pub use fault::{AttemptFate, ConsumerStall, EndpointCrash, FaultPlan, LinkFaultSpec};
+pub use fault::{
+    AttemptFate, CheckpointCorruption, ConsumerStall, EndpointCrash, FaultPlan, InjectedCrash,
+    LinkFaultSpec, SimRankCrash, WatchdogTimeout,
+};
 pub use machine::{FilesystemModel, GpuModel, MachineModel, NetworkModel};
 pub use reduce::ReduceOp;
 pub use runner::{run_ranks, run_ranks_with_registry, run_ranks_with_state, RankResult};

@@ -11,8 +11,84 @@ use memtrack::Accountant;
 use sem::navier_stokes::FlowSolver;
 use sem::snapshot::FieldSnapshot;
 
+mod store;
+
+pub use store::{
+    scan_for_restore, CheckpointSpec, CheckpointStore, QuarantinedGeneration, RecoveryScan,
+    RestoredGeneration,
+};
+pub(crate) use store::quarantine_generation;
+
 /// Magic prefix of a dump file.
 const FLD_MAGIC: &[u8; 8] = b"NEKFLD01";
+
+/// Width of a field-name tag in the dump format.
+const TAG_LEN: usize = 12;
+
+/// An encoded NEKFLD01 dump plus what the encoder had to compromise on.
+pub struct EncodedFld {
+    /// The serialized dump.
+    pub bytes: Vec<u8>,
+    /// Field names longer than the 12-byte tag, truncated on write.
+    pub truncated_tags: Vec<String>,
+}
+
+/// Serialize a published snapshot in the NEKFLD01 format (the snapshot's
+/// interleaved velocity is de-interleaved back into `velx`/`vely`/`velz`
+/// components). Field names longer than the 12-byte tag are truncated at
+/// a character boundary and reported in
+/// [`EncodedFld::truncated_tags`] instead of panicking.
+pub fn encode_fld(snap: &FieldSnapshot) -> EncodedFld {
+    let n = snap.n_nodes as u64;
+    let velocity = snap.field("velocity");
+    let mut n_fields = 0u32;
+    if velocity.is_some() {
+        n_fields += 3;
+    }
+    let scalars: Vec<(&str, &[f64])> = snap
+        .fields()
+        .iter()
+        .filter(|f| f.name != "velocity")
+        .map(|f| (f.name, f.values()))
+        .collect();
+    n_fields += scalars.len() as u32;
+
+    let mut truncated_tags = Vec::new();
+    let mut buf = Vec::with_capacity((u64::from(n_fields) * n * 8 + 64) as usize);
+    buf.extend_from_slice(FLD_MAGIC);
+    buf.extend_from_slice(&(snap.version as u64).to_le_bytes());
+    buf.extend_from_slice(&snap.time.to_le_bytes());
+    buf.extend_from_slice(&n.to_le_bytes());
+    buf.extend_from_slice(&n_fields.to_le_bytes());
+    let mut push_field = |buf: &mut Vec<u8>, name: &str, values: &mut dyn Iterator<Item = f64>| {
+        let mut take = name.len().min(TAG_LEN);
+        while !name.is_char_boundary(take) {
+            take -= 1;
+        }
+        if take < name.len() {
+            truncated_tags.push(name.to_string());
+        }
+        let mut tag = [0u8; TAG_LEN];
+        tag[..take].copy_from_slice(&name.as_bytes()[..take]);
+        buf.extend_from_slice(&tag);
+        for v in values {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+    };
+    if let Some(vel) = velocity {
+        let v = vel.values();
+        for (c, name) in ["velx", "vely", "velz"].iter().enumerate() {
+            push_field(&mut buf, name, &mut (0..n as usize).map(|i| v[3 * i + c]));
+        }
+    }
+    for (name, values) in &scalars {
+        push_field(&mut buf, name, &mut values.iter().copied());
+    }
+    EncodedFld {
+        bytes: buf,
+        truncated_tags,
+    }
+}
 
 /// Raw field-dump checkpointer for one rank.
 pub struct FldCheckpointer {
@@ -40,42 +116,16 @@ impl FldCheckpointer {
     /// already paid once at publish time. Returns bytes written by this
     /// rank.
     pub fn write(&mut self, comm: &mut Comm, snap: &FieldSnapshot) -> u64 {
-        let n = snap.n_nodes as u64;
-        let velocity = snap.field("velocity");
-        let mut n_fields = 0u32;
-        if velocity.is_some() {
-            n_fields += 3;
+        let encoded = encode_fld(snap);
+        for name in &encoded.truncated_tags {
+            comm.telemetry().counter("checkpoint/tag_truncated").inc();
+            comm.telemetry_event(
+                commsim::EventKind::CheckpointWrite,
+                Some(snap.version as u64),
+                format!("warning: field tag '{name}' truncated to {TAG_LEN} bytes"),
+            );
         }
-        let scalars: Vec<(&str, &[f64])> = ["pressure", "temperature"]
-            .iter()
-            .filter_map(|name| snap.field(name).map(|f| (*name, f.values())))
-            .collect();
-        n_fields += scalars.len() as u32;
-
-        let mut buf = Vec::with_capacity((u64::from(n_fields) * n * 8 + 64) as usize);
-        buf.extend_from_slice(FLD_MAGIC);
-        buf.extend_from_slice(&(snap.version as u64).to_le_bytes());
-        buf.extend_from_slice(&snap.time.to_le_bytes());
-        buf.extend_from_slice(&n.to_le_bytes());
-        buf.extend_from_slice(&n_fields.to_le_bytes());
-        let push_field = |buf: &mut Vec<u8>, name: &str, values: &mut dyn Iterator<Item = f64>| {
-            let mut tag = [0u8; 12];
-            tag[..name.len()].copy_from_slice(name.as_bytes());
-            buf.extend_from_slice(&tag);
-            for v in values {
-                buf.extend_from_slice(&v.to_le_bytes());
-            }
-        };
-        if let Some(vel) = velocity {
-            let v = vel.values();
-            for (c, name) in ["velx", "vely", "velz"].iter().enumerate() {
-                push_field(&mut buf, name, &mut (0..n as usize).map(|i| v[3 * i + c]));
-            }
-        }
-        for (name, values) in &scalars {
-            push_field(&mut buf, name, &mut values.iter().copied());
-        }
-
+        let buf = encoded.bytes;
         let nbytes = buf.len() as u64;
         // The serialization buffer is resident while the write drains.
         let charge = self.buffer_accountant.charge(nbytes);
@@ -137,19 +187,77 @@ impl FldDump {
     /// Restore a solver from this dump (clears histories; see
     /// [`sem::navier_stokes::FlowSolver::restore`]).
     ///
-    /// # Panics
-    /// Panics if a required field is missing or mis-sized.
-    pub fn restore_into(&self, comm: &mut commsim::Comm, solver: &mut FlowSolver) {
-        let u = [
-            self.field("velx").expect("velx in dump").to_vec(),
-            self.field("vely").expect("vely in dump").to_vec(),
-            self.field("velz").expect("velz in dump").to_vec(),
-        ];
-        let p = self.field("pressure").expect("pressure in dump").to_vec();
-        let t = self.field("temperature").map(<[f64]>::to_vec);
+    /// # Errors
+    /// Returns [`RestoreError`] when a required field is missing or
+    /// mis-sized — a bad dump is a quarantine event for the supervisor,
+    /// never a crash.
+    pub fn restore_into(
+        &self,
+        comm: &mut commsim::Comm,
+        solver: &mut FlowSolver,
+    ) -> Result<(), RestoreError> {
+        let n = solver.n_nodes();
+        let required = |name: &str| -> Result<Vec<f64>, RestoreError> {
+            let values = self
+                .field(name)
+                .ok_or_else(|| RestoreError::MissingField(name.to_string()))?;
+            if values.len() != n {
+                return Err(RestoreError::WrongSize {
+                    field: name.to_string(),
+                    expected: n,
+                    got: values.len(),
+                });
+            }
+            Ok(values.to_vec())
+        };
+        let u = [required("velx")?, required("vely")?, required("velz")?];
+        let p = required("pressure")?;
+        let t = match self.field("temperature") {
+            Some(values) if values.len() != n => {
+                return Err(RestoreError::WrongSize {
+                    field: "temperature".to_string(),
+                    expected: n,
+                    got: values.len(),
+                })
+            }
+            Some(values) => Some(values.to_vec()),
+            None => None,
+        };
         solver.restore(comm, self.step as usize, self.time, u, p, t);
+        Ok(())
     }
 }
+
+/// Why a parsed dump could not be restored into a solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RestoreError {
+    /// A field the solver needs is absent from the dump.
+    MissingField(String),
+    /// A field's length does not match the solver's local node count.
+    WrongSize {
+        /// Field name.
+        field: String,
+        /// Solver-local node count.
+        expected: usize,
+        /// Values found in the dump.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::MissingField(name) => write!(f, "dump is missing field '{name}'"),
+            Self::WrongSize {
+                field,
+                expected,
+                got,
+            } => write!(f, "field '{field}' has {got} values, solver needs {expected}"),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
 
 /// Parse a dump produced by [`FldCheckpointer::write`].
 ///
@@ -165,16 +273,28 @@ pub fn read_fld(bytes: &[u8]) -> Result<FldDump, String> {
     let time = f64::from_le_bytes(bytes[16..24].try_into().expect("checked"));
     let n = u64::from_le_bytes(bytes[24..32].try_into().expect("checked"));
     let n_fields = u32::from_le_bytes(bytes[32..36].try_into().expect("checked"));
+    // Validate the declared sizes against what is actually present BEFORE
+    // allocating anything: a corrupted header must not drive a huge (or
+    // overflowing) `Vec::with_capacity`.
+    let field_bytes = (n as usize)
+        .checked_mul(8)
+        .and_then(|b| b.checked_add(TAG_LEN))
+        .ok_or_else(|| "field size overflows".to_string())?;
+    let body_bytes = field_bytes
+        .checked_mul(n_fields as usize)
+        .and_then(|b| b.checked_add(36))
+        .ok_or_else(|| "body size overflows".to_string())?;
+    need(bytes.len() >= body_bytes, "declared fields")?;
     let mut pos = 36usize;
     let mut fields = Vec::with_capacity(n_fields as usize);
     for _ in 0..n_fields {
-        need(bytes.len() >= pos + 12 + n as usize * 8, "field block")?;
-        let tag = &bytes[pos..pos + 12];
+        need(bytes.len() >= pos + TAG_LEN + n as usize * 8, "field block")?;
+        let tag = &bytes[pos..pos + TAG_LEN];
         let name = std::str::from_utf8(tag)
             .map_err(|_| "non-utf8 field tag".to_string())?
             .trim_end_matches('\0')
             .to_string();
-        pos += 12;
+        pos += TAG_LEN;
         let mut values = Vec::with_capacity(n as usize);
         for _ in 0..n {
             values.push(f64::from_le_bytes(
@@ -279,7 +399,7 @@ mod tests {
             assert_eq!(dump.step, 3);
             assert_eq!(dump.n_nodes as usize, solver.n_nodes());
             let mut fresh = case.build(comm);
-            dump.restore_into(comm, &mut fresh);
+            dump.restore_into(comm, &mut fresh).expect("valid dump");
             assert_eq!(fresh.step_index(), 3);
             // Restored fields are bit-exact.
             use sem::navier_stokes::FieldId;
@@ -326,6 +446,74 @@ mod tests {
         let mut corrupted = bytes.clone();
         corrupted[0] ^= 0xFF;
         assert!(read_fld(&corrupted).is_err());
+    }
+
+    #[test]
+    fn long_field_names_truncate_instead_of_panicking() {
+        use sem::snapshot::SnapshotField;
+        let pool = SnapshotPool::new(memtrack::Accountant::new("t"));
+        let fields = vec![
+            SnapshotField::new("a_very_long_field_name", 1, vec![1.0, 2.0]),
+            SnapshotField::new("pressure", 1, vec![3.0, 4.0]),
+        ];
+        let snap = FieldSnapshot::new(7, 0.5, 2, fields, &pool);
+        let encoded = encode_fld(&snap);
+        assert_eq!(encoded.truncated_tags, vec!["a_very_long_field_name"]);
+        let dump = read_fld(&encoded.bytes).expect("parse");
+        assert_eq!(dump.step, 7);
+        assert_eq!(dump.fields[0].0, "a_very_long_", "12-byte tag prefix");
+        assert_eq!(dump.field("pressure"), Some(&[3.0, 4.0][..]));
+    }
+
+    #[test]
+    fn read_fld_rejects_oversized_declared_header_without_allocating() {
+        // A header claiming u32::MAX fields over u64::MAX nodes must fail
+        // fast instead of attempting a giant allocation.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(FLD_MAGIC);
+        bytes.extend_from_slice(&1u64.to_le_bytes()); // step
+        bytes.extend_from_slice(&0f64.to_le_bytes()); // time
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes()); // n_nodes
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // n_fields
+        assert!(read_fld(&bytes).is_err());
+        // Same with values that multiply past usize but look plausible.
+        bytes.truncate(24);
+        bytes.extend_from_slice(&(1u64 << 40).to_le_bytes());
+        bytes.extend_from_slice(&1000u32.to_le_bytes());
+        assert!(read_fld(&bytes).is_err());
+    }
+
+    #[test]
+    fn restore_into_reports_missing_and_mis_sized_fields() {
+        run_ranks(1, MachineModel::test_tiny(), |comm| {
+            let mut params = CaseParams::pb146_default();
+            params.elems = [2, 2, 2];
+            params.order = 1;
+            let mut solver = pb146(&params, 2).build(comm);
+            let n = solver.n_nodes();
+            let mut dump = FldDump {
+                step: 1,
+                time: 0.0,
+                n_nodes: n as u64,
+                fields: vec![
+                    ("velx".into(), vec![0.0; n]),
+                    ("vely".into(), vec![0.0; n]),
+                    ("velz".into(), vec![0.0; n]),
+                ],
+            };
+            assert_eq!(
+                dump.restore_into(comm, &mut solver),
+                Err(RestoreError::MissingField("pressure".into()))
+            );
+            dump.fields.push(("pressure".into(), vec![0.0; n / 2]));
+            assert!(matches!(
+                dump.restore_into(comm, &mut solver),
+                Err(RestoreError::WrongSize { ref field, .. }) if field == "pressure"
+            ));
+            *dump.fields.last_mut().unwrap() = ("pressure".into(), vec![0.0; n]);
+            dump.restore_into(comm, &mut solver).expect("now complete");
+            assert_eq!(solver.step_index(), 1);
+        });
     }
 
     #[test]

@@ -31,7 +31,11 @@ pub mod metrics;
 pub mod workflow;
 
 pub use adaptor::{NekGeometry, SnapshotAdaptor, SnapshotPlane, MESH_NAME};
-pub use checkpoint::{read_fld, FldCheckpointer, FldDump};
+pub use checkpoint::{
+    encode_fld, read_fld, scan_for_restore, CheckpointSpec, CheckpointStore, EncodedFld,
+    FldCheckpointer, FldDump, QuarantinedGeneration, RecoveryScan, RestoreError,
+    RestoredGeneration,
+};
 pub use metrics::{
     DegradationSummary, MemoryBreakdown, PhaseBreakdown, PhaseStat, RankPhases, RankTrace,
     RunMetrics,
@@ -40,3 +44,7 @@ pub use workflow::insitu::{
     run_insitu, ExecMode, InSituConfig, InSituMode, InSituReport, PIPELINE_DEPTH,
 };
 pub use workflow::intransit::{run_intransit, EndpointMode, InTransitConfig, InTransitReport};
+pub use workflow::supervisor::{
+    run_supervised_insitu, run_supervised_intransit, AttemptOutcome, FailureKind, RecoveryOptions,
+    RecoveryStats, SupervisedReport, SupervisorConfig,
+};

@@ -32,6 +32,8 @@ use crate::adaptor::{NekGeometry, SnapshotAdaptor};
 use crate::checkpoint::FldCheckpointer;
 use crate::metrics::{MemoryBreakdown, RunMetrics};
 use crate::workflow::sampler::{fault_summary, memory_summary, StepSampler};
+use crate::workflow::supervisor::{resume_solver, RecoveryOptions, SupervisedStepper};
+use commsim::WatchdogTimeout;
 use commsim::{
     run_ranks_with_registry, Comm, CommStats, EventKind, FaultPlan, MachineModel, PhaseBreakdown,
     RankTrace, TelemetryHub,
@@ -136,6 +138,10 @@ pub struct InSituConfig {
     /// but never advances it, so solver output is bitwise identical with
     /// this on or off.
     pub telemetry: bool,
+    /// Crash-recovery plumbing (supervised checkpoint cadence, restart
+    /// point, pipeline watchdog, externally owned hub); the default
+    /// disables it all. See [`crate::workflow::supervisor`].
+    pub recovery: RecoveryOptions,
 }
 
 /// What one run produced.
@@ -271,7 +277,9 @@ fn insitu_manifest(cfg: &InSituConfig) -> telemetry::Manifest {
 
 fn run_synchronous(cfg: &InSituConfig) -> InSituReport {
     let registry = Registry::new();
-    let hub = cfg.telemetry.then(TelemetryHub::default);
+    let hub = cfg
+        .telemetry
+        .then(|| cfg.recovery.hub.clone().unwrap_or_default());
     let case = cfg.case.clone();
     let mode = cfg.mode;
     let steps = cfg.steps;
@@ -279,6 +287,8 @@ fn run_synchronous(cfg: &InSituConfig) -> InSituReport {
     let (width, height) = cfg.image_size;
     let output_dir = cfg.output_dir.clone();
     let trace = cfg.trace;
+    let faults = cfg.faults.clone();
+    let recovery = cfg.recovery.clone();
     let rank_hub = hub.clone();
     let rank_registry = registry.clone();
 
@@ -300,6 +310,8 @@ fn run_synchronous(cfg: &InSituConfig) -> InSituReport {
             // buffers (NekRS keeps roughly the field set on the host too).
             let host_base = comm.accountant("host-base");
             let _base = host_base.charge(solver.n_nodes() as u64 * 8 * 60);
+            let start = resume_solver(comm, &mut solver, &recovery);
+            let mut supervised = SupervisedStepper::new(comm, &recovery, &faults);
             // Rank 0 feeds the flight recorder one sample per step.
             let mut sampler = (comm.rank() == 0)
                 .then(|| rank_hub.clone())
@@ -308,8 +320,9 @@ fn run_synchronous(cfg: &InSituConfig) -> InSituReport {
 
             match mode {
                 InSituMode::Original => {
-                    for s in 1..=steps {
+                    for s in start..=steps {
                         solver.step(comm);
+                        supervised.after_step(comm, &mut solver, s as u64);
                         if let Some(sampler) = &mut sampler {
                             sampler.sample(comm, s as u64, None, 0.0);
                         }
@@ -324,8 +337,9 @@ fn run_synchronous(cfg: &InSituConfig) -> InSituReport {
                         temperature: true,
                         ..SnapshotSpec::default()
                     };
-                    for s in 1..=steps {
+                    for s in start..=steps {
                         solver.step(comm);
+                        supervised.after_step(comm, &mut solver, s as u64);
                         if (s as u64).is_multiple_of(trigger) {
                             let snap = solver.publish_snapshot(comm, &spec, &pool);
                             let _sp = comm.span("insitu/checkpoint");
@@ -343,8 +357,9 @@ fn run_synchronous(cfg: &InSituConfig) -> InSituReport {
                             .expect("valid generated config");
                     let geometry = Arc::new(NekGeometry::build(comm, &solver));
                     let pool = SnapshotPool::new(comm.accountant("snapshot-pool"));
-                    for s in 1..=steps {
+                    for s in start..=steps {
                         solver.step(comm);
+                        supervised.after_step(comm, &mut solver, s as u64);
                         let step = s as u64;
                         if bridge.triggers_at(step) {
                             let spec = SnapshotSpec::from_names(bridge.arrays_at(step));
@@ -415,15 +430,33 @@ struct ProducerLink {
 impl ProducerLink {
     /// Block until a pipeline slot is free. Waiting is charged to the
     /// virtual clock: the producer cannot be further ahead than the
-    /// moment the consumer freed the slot.
-    fn reserve(&mut self, comm: &mut Comm) {
+    /// moment the consumer freed the slot. When a `watchdog` deadline is
+    /// set and a single credit wait exceeds it (a stalled consumer), the
+    /// producer raises a typed [`WatchdogTimeout`] panic for the
+    /// supervisor to classify.
+    fn reserve(&mut self, comm: &mut Comm, step: u64, watchdog: Option<f64>) {
         while self.in_flight >= PIPELINE_DEPTH {
             let _sp = comm.span("snapshot/backpressure");
             let before = comm.now();
             let credit = self.credits.recv().expect("consumer rank alive");
             comm.advance_to(credit.finished_at);
-            self.backpressure_wait += (comm.now() - before).max(0.0);
+            let waited = (comm.now() - before).max(0.0);
+            self.backpressure_wait += waited;
             self.in_flight -= 1;
+            if let Some(deadline) = watchdog {
+                if waited > deadline {
+                    comm.telemetry_event(
+                        EventKind::FaultInjected,
+                        Some(step),
+                        format!("watchdog: credit wait {waited:.1}s > deadline {deadline:.1}s"),
+                    );
+                    std::panic::panic_any(WatchdogTimeout {
+                        rank: comm.rank(),
+                        step,
+                        waited,
+                    });
+                }
+            }
         }
     }
 
@@ -567,7 +600,9 @@ fn consume_catalyst(
 
 fn run_pipelined(cfg: &InSituConfig) -> InSituReport {
     let registry = Registry::new();
-    let hub = cfg.telemetry.then(TelemetryHub::default);
+    let hub = cfg
+        .telemetry
+        .then(|| cfg.recovery.hub.clone().unwrap_or_default());
     let (producer_links, consumer_links) = pipeline_links(cfg.ranks);
     let producer_links = Arc::new(Mutex::new(producer_links));
     let consumer_links = Arc::new(Mutex::new(consumer_links));
@@ -626,6 +661,8 @@ fn run_pipelined(cfg: &InSituConfig) -> InSituReport {
     let steps = cfg.steps;
     let trigger = cfg.trigger_every.max(1);
     let trace = cfg.trace;
+    let producer_faults = cfg.faults.clone();
+    let recovery = cfg.recovery.clone();
     let links = Arc::clone(&producer_links);
     let rank_hub = hub.clone();
     let rank_registry = registry.clone();
@@ -645,6 +682,9 @@ fn run_pipelined(cfg: &InSituConfig) -> InSituReport {
             drop(setup);
             let host_base = comm.accountant("host-base");
             let _base = host_base.charge(solver.n_nodes() as u64 * 8 * 60);
+            let start = resume_solver(comm, &mut solver, &recovery);
+            let mut supervised = SupervisedStepper::new(comm, &recovery, &producer_faults);
+            let watchdog = recovery.watchdog;
             let mut sampler = (comm.rank() == 0)
                 .then(|| rank_hub.clone())
                 .flatten()
@@ -678,11 +718,12 @@ fn run_pipelined(cfg: &InSituConfig) -> InSituReport {
                 InSituMode::Original => unreachable!("original runs synchronously"),
             };
 
-            for s in 1..=steps {
+            for s in start..=steps {
                 solver.step(comm);
                 let step = s as u64;
+                supervised.after_step(comm, &mut solver, step);
                 if step.is_multiple_of(trigger) {
-                    link.reserve(comm);
+                    link.reserve(comm, step, watchdog);
                     let snapshot = solver.publish_snapshot(comm, &spec, &pool);
                     link.send(PublishedFrame {
                         snapshot,
@@ -740,6 +781,7 @@ mod tests {
             output_dir: None,
             trace: false,
             telemetry: false,
+            recovery: RecoveryOptions::default(),
         }
     }
 

@@ -13,10 +13,10 @@
 use crate::adaptor::{NekGeometry, SnapshotAdaptor};
 use crate::metrics::{DegradationSummary, RunMetrics};
 use crate::workflow::sampler::{fault_summary, memory_summary, StepSampler};
+use crate::workflow::supervisor::{resume_solver, RecoveryOptions, SupervisedStepper};
 use sem::snapshot::{SnapshotPool, SnapshotSpec};
 use commsim::{
     run_ranks_with_registry, CommStats, FaultPlan, MachineModel, PhaseBreakdown, RankTrace,
-    TelemetryHub,
 };
 use insitu::Bridge;
 use memtrack::Registry;
@@ -95,6 +95,10 @@ pub struct InTransitConfig {
     /// Endpoint-world instruments register under `endpoint<r>/` so the
     /// two worlds never collide on a name.
     pub telemetry: bool,
+    /// Crash-recovery plumbing (supervised checkpoint cadence, restart
+    /// point, externally owned hub); the default disables it all. See
+    /// [`crate::workflow::supervisor`].
+    pub recovery: RecoveryOptions,
 }
 
 /// What one in-transit run produced.
@@ -148,7 +152,9 @@ pub fn run_intransit(cfg: &InTransitConfig) -> InTransitReport {
     };
 
     let registry = Registry::new();
-    let hub = cfg.telemetry.then(TelemetryHub::default);
+    let hub = cfg
+        .telemetry
+        .then(|| cfg.recovery.hub.clone().unwrap_or_default());
     let case = cfg.case.clone();
     let steps = cfg.steps;
     let trigger = cfg.trigger_every.max(1);
@@ -209,6 +215,8 @@ pub fn run_intransit(cfg: &InTransitConfig) -> InTransitReport {
     let sink = Arc::clone(&report_sink);
     let fallback_dir = cfg.fallback_dir.clone();
     let trace = cfg.trace;
+    let sim_faults = cfg.faults.clone();
+    let recovery = cfg.recovery.clone();
     let rank_hub = hub.clone();
     let rank_registry = registry.clone();
     let results = run_ranks_with_registry(
@@ -253,6 +261,8 @@ pub fn run_intransit(cfg: &InTransitConfig) -> InTransitReport {
             let mut bridge =
                 Bridge::initialize(comm, &xml, &factories).expect("valid generated config");
             drop(setup);
+            let start = resume_solver(comm, &mut solver, &recovery);
+            let mut supervised = SupervisedStepper::new(comm, &recovery, &sim_faults);
             let pool = SnapshotPool::new(comm.accountant("snapshot-pool"));
             let mut sampler = (comm.rank() == 0)
                 .then(|| rank_hub.clone())
@@ -261,9 +271,10 @@ pub fn run_intransit(cfg: &InTransitConfig) -> InTransitReport {
             // Built on the first trigger: NoTransport never pays for the
             // VTK geometry, matching its bare-solver memory profile.
             let mut geometry: Option<Arc<NekGeometry>> = None;
-            for s in 1..=steps {
+            for s in start..=steps {
                 solver.step(comm);
                 let step = s as u64;
+                supervised.after_step(comm, &mut solver, step);
                 if bridge.triggers_at(step) {
                     if geometry.is_none() {
                         geometry = Some(Arc::new(NekGeometry::build(comm, &solver)));
@@ -440,6 +451,7 @@ mod tests {
             fallback_dir: None,
             trace: false,
             telemetry: false,
+            recovery: RecoveryOptions::default(),
         }
     }
 

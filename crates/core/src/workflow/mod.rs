@@ -3,3 +3,4 @@
 pub mod insitu;
 pub mod intransit;
 mod sampler;
+pub mod supervisor;

@@ -37,6 +37,12 @@ pub(crate) fn fault_summary(plan: &FaultPlan) -> String {
     if !plan.stalls.is_empty() {
         parts.push(format!("stalls={}", plan.stalls.len()));
     }
+    if !plan.sim_crashes.is_empty() {
+        parts.push(format!("sim_crashes={}", plan.sim_crashes.len()));
+    }
+    if !plan.disk_corruptions.is_empty() {
+        parts.push(format!("disk_corruptions={}", plan.disk_corruptions.len()));
+    }
     if parts.is_empty() {
         "none".into()
     } else {

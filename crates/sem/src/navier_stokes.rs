@@ -548,7 +548,15 @@ impl FlowSolver {
     pub fn step(&mut self, comm: &mut Comm) -> StepReport {
         let t_step_start = comm.now();
         let n = self.n_nodes();
-        let k = self.cfg.bdf_order.min(self.step_index + 1).clamp(1, 3);
+        // Ramp the BDF/EXT order from the history actually available, not
+        // from `step_index`: after `restore` the step counter is mid-run but
+        // the rings are empty, and the scheme must ramp back up from
+        // BDF1/EXT1 exactly as on a cold start.
+        let k = self
+            .cfg
+            .bdf_order
+            .min(self.u_hist.len() + 1)
+            .clamp(1, 3);
         let (b0, bprev) = bdf_coeffs(k);
         let a = ext_coeffs(k);
         let dt = self.cfg.dt;

@@ -227,7 +227,10 @@ pub struct SnapshotField {
 }
 
 impl SnapshotField {
-    fn new(name: &'static str, components: usize, buf: Vec<f64>) -> Self {
+    /// Build a field from an owned buffer. Normally fields come from
+    /// [`crate::FlowSolver::publish_snapshot`]; this is public so tests
+    /// and checkpoint tooling can assemble synthetic snapshots.
+    pub fn new(name: &'static str, components: usize, buf: Vec<f64>) -> Self {
         Self {
             name,
             components,

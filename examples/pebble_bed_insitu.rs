@@ -42,6 +42,7 @@ fn main() {
         faults: commsim::FaultPlan::none(),
         trace: false,
         telemetry: false,
+        recovery: Default::default(),
         output_dir: None,
     };
 

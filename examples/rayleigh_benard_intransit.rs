@@ -35,6 +35,7 @@ fn main() {
         fallback_dir: None,
         trace: false,
         telemetry: false,
+        recovery: Default::default(),
     };
 
     println!("RBC at Ra=1e5, Pr=0.7 on 8 simulation ranks (+ endpoints at 4:1)\n");

@@ -1,0 +1,153 @@
+//! End-to-end crash → restore → complete: a supervised run is killed
+//! mid-flight by an injected rank crash, the supervisor restores every
+//! rank from the newest CRC-valid checkpoint generation, and the run
+//! finishes with the recovery fully visible in the RunReport.
+
+use commsim::{CheckpointCorruption, FaultPlan, MachineModel, SimRankCrash};
+use nek_sensei::{
+    run_supervised_insitu, run_supervised_intransit, EndpointMode, ExecMode, FailureKind,
+    InSituConfig, InSituMode, InTransitConfig, RecoveryOptions, SupervisorConfig,
+};
+use sem::cases::{pb146, rbc, CaseParams};
+use telemetry::EventKind;
+use transport::{QueuePolicy, StagingLink, WriterConfig};
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("crash_restart_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn insitu_cfg(steps: usize, faults: FaultPlan) -> InSituConfig {
+    let mut params = CaseParams::pb146_default();
+    params.elems = [2, 2, 4];
+    params.order = 2;
+    InSituConfig {
+        case: pb146(&params, 4),
+        ranks: 2,
+        steps,
+        trigger_every: 2,
+        machine: MachineModel::test_tiny(),
+        image_size: (32, 24),
+        mode: InSituMode::Original,
+        exec: ExecMode::Synchronous,
+        faults,
+        output_dir: None,
+        trace: false,
+        telemetry: false,
+        recovery: RecoveryOptions::default(),
+    }
+}
+
+#[test]
+fn insitu_crash_restores_and_completes_with_one_recovery() {
+    let dir = scratch("insitu");
+    let faults = FaultPlan {
+        sim_crashes: vec![SimRankCrash {
+            rank: 1,
+            at_step: 5,
+        }],
+        ..FaultPlan::none()
+    };
+    let sup = SupervisorConfig::new(dir.clone(), 2);
+    let out = run_supervised_insitu(&insitu_cfg(8, faults), &sup);
+
+    assert_eq!(out.report.steps, 8, "the run completes despite the crash");
+    assert_eq!(out.recovery.restarts, 1);
+    assert_eq!(out.recovery.outcomes[0].failure, FailureKind::InjectedCrash);
+    assert_eq!(out.recovery.outcomes[0].resumed_from, 4);
+    assert!(out.recovery.lost_steps <= 2, "≤ one checkpoint interval");
+
+    // Exactly one recovery in the RunReport: the fault fired, a restore
+    // started, and it completed — all on the telemetry bus.
+    let report = out.report.run_report.expect("supervision forces telemetry");
+    let count = |kind: EventKind| report.events.iter().filter(|e| e.kind == kind).count();
+    assert_eq!(count(EventKind::RecoveryStarted), 1);
+    assert_eq!(count(EventKind::RecoveryCompleted), 1);
+    assert!(count(EventKind::FaultInjected) >= 1, "the crash is logged");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_newest_generation_falls_back_to_older_one() {
+    let dir = scratch("corrupt");
+    // Bit-rot the newest generation before the crash: the recovery scan
+    // must quarantine it and restore the older, still-valid one rather
+    // than ever loading bytes that fail the manifest CRC.
+    let faults = FaultPlan {
+        sim_crashes: vec![SimRankCrash {
+            rank: 0,
+            at_step: 5,
+        }],
+        disk_corruptions: vec![CheckpointCorruption {
+            rank: 1,
+            at_step: 4,
+        }],
+        ..FaultPlan::none()
+    };
+    let sup = SupervisorConfig::new(dir.clone(), 2);
+    let out = run_supervised_insitu(&insitu_cfg(8, faults), &sup);
+
+    assert_eq!(out.report.steps, 8);
+    assert_eq!(out.recovery.restarts, 1);
+    let o = &out.recovery.outcomes[0];
+    assert_eq!(o.resumed_from, 2, "generation 4 is rotten, 2 restores");
+    assert!(o.quarantined.contains(&4), "the rotten generation quarantines");
+    assert!(!o.quarantined.contains(&o.resumed_from));
+    assert!(out.recovery.quarantined >= 1);
+
+    let report = out.report.run_report.expect("supervision forces telemetry");
+    let quarantines = report
+        .events
+        .iter()
+        .filter(|e| e.kind == EventKind::GenerationQuarantined)
+        .count();
+    assert_eq!(quarantines as u64, out.recovery.quarantined);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn intransit_crash_restores_and_completes_with_one_recovery() {
+    let dir = scratch("intransit");
+    let mut params = CaseParams::rbc_default();
+    params.elems = [2, 2, 4];
+    params.order = 2;
+    let cfg = InTransitConfig {
+        case: rbc(&params, 1e4, 0.7),
+        sim_ranks: 4,
+        ratio: 4,
+        steps: 8,
+        trigger_every: 2,
+        machine: MachineModel::test_tiny(),
+        link: StagingLink::ucx_hdr200(),
+        queue_capacity: 8,
+        policy: QueuePolicy::Block,
+        mode: EndpointMode::Checkpointing,
+        image_size: (32, 24),
+        output_dir: None,
+        faults: FaultPlan {
+            sim_crashes: vec![SimRankCrash {
+                rank: 2,
+                at_step: 5,
+            }],
+            ..FaultPlan::none()
+        },
+        writer_config: WriterConfig::default(),
+        fallback_dir: None,
+        trace: false,
+        telemetry: false,
+        recovery: RecoveryOptions::default(),
+    };
+    let sup = SupervisorConfig::new(dir.clone(), 2);
+    let out = run_supervised_intransit(&cfg, &sup);
+
+    assert_eq!(out.report.steps, 8);
+    assert_eq!(out.recovery.restarts, 1);
+    assert_eq!(out.recovery.outcomes[0].failure, FailureKind::InjectedCrash);
+    assert!(out.recovery.lost_steps <= 2, "≤ one checkpoint interval");
+    let report = out.report.run_report.expect("supervision forces telemetry");
+    let count = |kind: EventKind| report.events.iter().filter(|e| e.kind == kind).count();
+    assert_eq!(count(EventKind::RecoveryStarted), 1);
+    assert_eq!(count(EventKind::RecoveryCompleted), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -25,6 +25,7 @@ fn one_run(mode: InSituMode) -> (f64, u64, u64, u64) {
         output_dir: None,
         trace: false,
         telemetry: false,
+        recovery: Default::default(),
     });
     (
         r.metrics.time_to_solution,
@@ -77,6 +78,7 @@ fn derating_scales_compute_time_exactly() {
             output_dir: None,
             trace: false,
             telemetry: false,
+            recovery: Default::default(),
         });
         (r.metrics.time_to_solution, r.metrics.totals.time_gpu_compute)
     };

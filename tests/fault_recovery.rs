@@ -33,6 +33,7 @@ fn faulty_config(steps: usize, faults: FaultPlan) -> InTransitConfig {
         fallback_dir: None,
         trace: false,
         telemetry: false,
+        recovery: Default::default(),
     }
 }
 

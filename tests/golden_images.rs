@@ -79,6 +79,7 @@ fn pb146_insitu_frames_match_goldens() {
         output_dir: Some(dir.clone()),
         trace: false,
         telemetry: false,
+        recovery: Default::default(),
     });
     assert!(report.files_written > 0, "Catalyst must write images");
     // Trigger fires once, at step 3: the paper's two-image setup.
@@ -120,6 +121,7 @@ fn rbc_intransit_frames_match_goldens() {
         fallback_dir: None,
         trace: false,
         telemetry: false,
+        recovery: Default::default(),
     });
     assert_eq!(report.endpoint_steps, 2, "triggers at steps 2 and 4");
     // The endpoint renders on every delivered trigger; pin the last one.

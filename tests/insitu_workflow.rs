@@ -23,6 +23,7 @@ fn config(mode: InSituMode) -> InSituConfig {
         output_dir: None,
         trace: false,
         telemetry: false,
+        recovery: Default::default(),
     }
 }
 

@@ -28,6 +28,7 @@ fn config(sim_ranks: usize, mode: EndpointMode) -> InTransitConfig {
         fallback_dir: None,
         trace: false,
         telemetry: false,
+        recovery: Default::default(),
     }
 }
 

@@ -92,6 +92,7 @@ fn golden_hashes(pool_threads: usize, tag: &str) -> Vec<(String, u64)> {
             output_dir: Some(dir.clone()),
             trace: false,
             telemetry: false,
+            recovery: Default::default(),
         });
         assert!(report.files_written > 0, "Catalyst must write images");
     });

@@ -167,3 +167,54 @@ fn gs_multiplicity_partitions_unity() {
         }
     }
 }
+
+/// A small valid NEKFLD01 dump to mutate in the fuzz cases below.
+fn valid_fld_bytes() -> Vec<u8> {
+    use memtrack::Accountant;
+    use sem::snapshot::{FieldSnapshot, SnapshotField, SnapshotPool};
+    let pool = SnapshotPool::new(Accountant::new("fuzz"));
+    let fields = vec![
+        SnapshotField::new("pressure", 1, vec![0.25, -1.5, 3.0]),
+        SnapshotField::new("velocity", 3, (0..9).map(f64::from).collect()),
+    ];
+    let snap = FieldSnapshot::new(11, 0.75, 3, fields, &pool);
+    nek_sensei::encode_fld(&snap).bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // A checkpoint reader fed disk garbage must reject it with an error,
+    // never panic or over-allocate (the supervisor turns parse errors into
+    // generation quarantines, so they have to surface as values).
+    #[test]
+    fn read_fld_never_panics_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(0u8..=255, 0..256)
+    ) {
+        let _ = nek_sensei::read_fld(&bytes);
+    }
+
+    #[test]
+    fn read_fld_never_panics_on_truncated_dump(cut in 0usize..400) {
+        let bytes = valid_fld_bytes();
+        let cut = cut.min(bytes.len());
+        let r = nek_sensei::read_fld(&bytes[..cut]);
+        if cut < bytes.len() {
+            prop_assert!(r.is_err(), "truncation at {cut} must not parse");
+        } else {
+            prop_assert!(r.is_ok());
+        }
+    }
+
+    #[test]
+    fn read_fld_never_panics_on_bit_flipped_dump(
+        byte in 0usize..4096, bit in 0u8..8
+    ) {
+        let mut bytes = valid_fld_bytes();
+        let byte = byte % bytes.len();
+        bytes[byte] ^= 1 << bit;
+        // Bit rot in the payload may still parse (integrity is the
+        // manifest CRC's job); the reader just must not panic.
+        let _ = nek_sensei::read_fld(&bytes);
+    }
+}

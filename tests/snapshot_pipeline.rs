@@ -27,6 +27,7 @@ fn catalyst_config(exec: ExecMode) -> InSituConfig {
         output_dir: None,
         trace: false,
         telemetry: false,
+        recovery: Default::default(),
     }
 }
 

@@ -39,6 +39,7 @@ fn stalled_insitu_config(telemetry: bool, output_dir: Option<std::path::PathBuf>
         output_dir,
         trace: true,
         telemetry,
+        recovery: Default::default(),
     }
 }
 
@@ -192,6 +193,7 @@ fn intransit_degradation_is_visible_in_the_event_log() {
         fallback_dir: Some(dir.clone()),
         trace: false,
         telemetry: true,
+        recovery: Default::default(),
     };
     let r = run_intransit(&cfg);
     let report = r.run_report.expect("telemetry: true collects a report");

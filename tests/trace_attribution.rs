@@ -33,6 +33,7 @@ fn traced_intransit(sim_ranks: usize, mode: EndpointMode) -> InTransitConfig {
         fallback_dir: None,
         trace: true,
         telemetry: false,
+        recovery: Default::default(),
     }
 }
 
@@ -62,6 +63,7 @@ fn traced_insitu(ranks: usize) -> InSituConfig {
         output_dir: None,
         trace: true,
         telemetry: false,
+        recovery: Default::default(),
     }
 }
 
