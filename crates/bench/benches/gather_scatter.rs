@@ -15,8 +15,7 @@ fn bench_gs(c: &mut Criterion) {
             b.iter(|| {
                 // Includes world setup: gs.sum needs a live communicator.
                 let res = run_ranks(1, MachineModel::test_tiny(), move |comm| {
-                    let spec =
-                        Arc::new(MeshSpec::box_mesh(order, elems, [1.0; 3], [false; 3]));
+                    let spec = Arc::new(MeshSpec::box_mesh(order, elems, [1.0; 3], [false; 3]));
                     let mesh = LocalMesh::new(spec, 0, 1);
                     let gs = GatherScatter::new(&mesh, comm);
                     let mut f = mesh.eval_nodal(|x| x[0] + x[1] * x[2]);
@@ -34,8 +33,7 @@ fn bench_gs(c: &mut Criterion) {
     group.bench_function("assembly_sorted_segments", |b| {
         b.iter(|| {
             let res = run_ranks(1, MachineModel::test_tiny(), |comm| {
-                let spec =
-                    Arc::new(MeshSpec::box_mesh(4, [4, 4, 4], [1.0; 3], [false; 3]));
+                let spec = Arc::new(MeshSpec::box_mesh(4, [4, 4, 4], [1.0; 3], [false; 3]));
                 let mesh = LocalMesh::new(spec, 0, 1);
                 let gs = GatherScatter::new(&mesh, comm);
                 let mut f = mesh.eval_nodal(|x| x[0] * 31.0 + x[1]);
@@ -55,8 +53,7 @@ fn bench_gs(c: &mut Criterion) {
         b.iter(|| {
             let res = run_ranks(1, MachineModel::test_tiny(), |comm| {
                 use std::collections::HashMap;
-                let spec =
-                    Arc::new(MeshSpec::box_mesh(4, [4, 4, 4], [1.0; 3], [false; 3]));
+                let spec = Arc::new(MeshSpec::box_mesh(4, [4, 4, 4], [1.0; 3], [false; 3]));
                 let mesh = LocalMesh::new(spec, comm.rank(), comm.size());
                 let l = mesh.layout();
                 // Precompute gids as the library does.
@@ -88,30 +85,21 @@ fn bench_gs(c: &mut Criterion) {
 
     // Halo exchange scaling: same mesh, more ranks.
     for ranks in [1usize, 2, 4] {
-        group.bench_with_input(
-            BenchmarkId::new("sum_ranks", ranks),
-            &ranks,
-            |b, &ranks| {
-                b.iter(|| {
-                    let res = run_ranks(ranks, MachineModel::test_tiny(), move |comm| {
-                        let spec = Arc::new(MeshSpec::box_mesh(
-                            3,
-                            [4, 4, 8],
-                            [1.0; 3],
-                            [false; 3],
-                        ));
-                        let mesh = LocalMesh::new(spec, comm.rank(), comm.size());
-                        let gs = GatherScatter::new(&mesh, comm);
-                        let mut f = vec![1.0; mesh.layout().n_nodes()];
-                        for _ in 0..10 {
-                            gs.sum(comm, &mut f);
-                        }
-                        f.first().copied().unwrap_or(0.0)
-                    });
-                    black_box(res);
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("sum_ranks", ranks), &ranks, |b, &ranks| {
+            b.iter(|| {
+                let res = run_ranks(ranks, MachineModel::test_tiny(), move |comm| {
+                    let spec = Arc::new(MeshSpec::box_mesh(3, [4, 4, 8], [1.0; 3], [false; 3]));
+                    let mesh = LocalMesh::new(spec, comm.rank(), comm.size());
+                    let gs = GatherScatter::new(&mesh, comm);
+                    let mut f = vec![1.0; mesh.layout().n_nodes()];
+                    for _ in 0..10 {
+                        gs.sum(comm, &mut f);
+                    }
+                    f.first().copied().unwrap_or(0.0)
+                });
+                black_box(res);
+            })
+        });
     }
     group.finish();
 }

@@ -18,33 +18,30 @@ fn bench_insitu(c: &mut Criterion) {
         InSituMode::Checkpointing,
         InSituMode::Catalyst,
     ] {
-        group.bench_with_input(
-            BenchmarkId::new("mode", mode.label()),
-            &mode,
-            |b, &mode| {
-                b.iter(|| {
-                    let mut params = CaseParams::pb146_default();
-                    params.elems = [2, 2, 4];
-                    params.order = 2;
-                    let report = run_insitu(&InSituConfig {
-                        case: pb146(&params, 4),
-                        ranks: 2,
-                        steps: 3,
-                        trigger_every: 1,
-                        machine: MachineModel::polaris(),
-                        image_size: (64, 48),
-                        mode,
-                        exec: Default::default(),
-                        faults: commsim::FaultPlan::none(),
-                        output_dir: None,
-                        trace: false,
-                        telemetry: false,
-                        recovery: Default::default(),
-                    });
-                    black_box(report.metrics.time_to_solution)
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("mode", mode.label()), &mode, |b, &mode| {
+            b.iter(|| {
+                let mut params = CaseParams::pb146_default();
+                params.elems = [2, 2, 4];
+                params.order = 2;
+                let report = run_insitu(&InSituConfig {
+                    case: pb146(&params, 4),
+                    ranks: 2,
+                    steps: 3,
+                    trigger_every: 1,
+                    machine: MachineModel::polaris(),
+                    image_size: (64, 48),
+                    mode,
+                    exec: Default::default(),
+                    sched: Default::default(),
+                    faults: commsim::FaultPlan::none(),
+                    output_dir: None,
+                    trace: false,
+                    telemetry: false,
+                    recovery: Default::default(),
+                });
+                black_box(report.metrics.time_to_solution)
+            })
+        });
     }
     group.finish();
 }

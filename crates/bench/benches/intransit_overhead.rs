@@ -16,38 +16,35 @@ fn bench_intransit(c: &mut Criterion) {
         EndpointMode::Checkpointing,
         EndpointMode::Catalyst,
     ] {
-        group.bench_with_input(
-            BenchmarkId::new("mode", mode.label()),
-            &mode,
-            |b, &mode| {
-                b.iter(|| {
-                    let mut params = CaseParams::rbc_default();
-                    params.elems = [2, 2, 4];
-                    params.order = 2;
-                    let report = run_intransit(&InTransitConfig {
-                        case: rbc(&params, 1e4, 0.7),
-                        sim_ranks: 4,
-                        ratio: 4,
-                        steps: 3,
-                        trigger_every: 1,
-                        machine: MachineModel::juwels_booster(),
-                        link: StagingLink::ucx_hdr200(),
-                        queue_capacity: 8,
-                        policy: QueuePolicy::Block,
-                        mode,
-                        image_size: (64, 48),
-                        output_dir: None,
-                        faults: commsim::FaultPlan::none(),
-                        writer_config: transport::WriterConfig::default(),
-                        fallback_dir: None,
-                        trace: false,
-                        telemetry: false,
-                        recovery: Default::default(),
-                    });
-                    black_box(report.sim.mean_step_time)
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("mode", mode.label()), &mode, |b, &mode| {
+            b.iter(|| {
+                let mut params = CaseParams::rbc_default();
+                params.elems = [2, 2, 4];
+                params.order = 2;
+                let report = run_intransit(&InTransitConfig {
+                    case: rbc(&params, 1e4, 0.7),
+                    sim_ranks: 4,
+                    ratio: 4,
+                    steps: 3,
+                    trigger_every: 1,
+                    machine: MachineModel::juwels_booster(),
+                    link: StagingLink::ucx_hdr200(),
+                    queue_capacity: 8,
+                    policy: QueuePolicy::Block,
+                    mode,
+                    sched: Default::default(),
+                    image_size: (64, 48),
+                    output_dir: None,
+                    faults: commsim::FaultPlan::none(),
+                    writer_config: transport::WriterConfig::default(),
+                    fallback_dir: None,
+                    trace: false,
+                    telemetry: false,
+                    recovery: Default::default(),
+                });
+                black_box(report.sim.mean_step_time)
+            })
+        });
     }
     group.finish();
 }

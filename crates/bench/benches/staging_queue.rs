@@ -20,13 +20,14 @@ fn run_policy(policy: QueuePolicy, steps: u64) -> (u64, u64) {
             n
         })
     });
-    let writer_stats = run_ranks_with_state(MachineModel::test_tiny(), writers, move |comm, mut w| {
-        for s in 0..steps {
-            w.write(comm, s, 0.0, vec![0u8; 4096])
-                .expect("fault-free staging write");
-        }
-        (w.steps_written(), w.steps_dropped())
-    });
+    let writer_stats =
+        run_ranks_with_state(MachineModel::test_tiny(), writers, move |comm, mut w| {
+            for s in 0..steps {
+                w.write(comm, s, 0.0, vec![0u8; 4096])
+                    .expect("fault-free staging write");
+            }
+            (w.steps_written(), w.steps_dropped())
+        });
     let consumed = reader_thread.join().expect("reader world")[0];
     let (written, dropped) = writer_stats[0];
     assert_eq!(written, consumed);

@@ -22,9 +22,7 @@
 //! subset), `--json-out FILE` writes a machine-readable summary.
 
 use bench_harness::{format_table, HarnessArgs};
-use commsim::{
-    CheckpointCorruption, ConsumerStall, FaultPlan, MachineModel, SimRankCrash,
-};
+use commsim::{CheckpointCorruption, ConsumerStall, FaultPlan, MachineModel, SimRankCrash};
 use nek_sensei::{
     run_supervised_insitu, run_supervised_intransit, EndpointMode, ExecMode, InSituConfig,
     InSituMode, InTransitConfig, RecoveryOptions, RecoveryStats, SupervisorConfig,
@@ -166,6 +164,7 @@ fn insitu_cfg(faults: FaultPlan, hub: TelemetryHub) -> InSituConfig {
         image_size: (32, 24),
         mode: InSituMode::Original,
         exec: ExecMode::Synchronous,
+        sched: Default::default(),
         faults,
         output_dir: None,
         trace: false,
@@ -192,6 +191,7 @@ fn intransit_cfg(faults: FaultPlan, hub: TelemetryHub) -> InTransitConfig {
         queue_capacity: 8,
         policy: QueuePolicy::Block,
         mode: EndpointMode::Checkpointing,
+        sched: Default::default(),
         image_size: (32, 24),
         output_dir: None,
         faults,
@@ -248,7 +248,10 @@ fn assert_contract(
     );
 
     // Counters: the supervisor's ledger and the hub agree.
-    assert_eq!(hub.counter_sum("supervisor/restarts"), stats.restarts as u64);
+    assert_eq!(
+        hub.counter_sum("supervisor/restarts"),
+        stats.restarts as u64
+    );
     assert_eq!(hub.counter_sum("supervisor/lost_steps"), stats.lost_steps);
     assert_eq!(
         hub.counter_sum("supervisor/quarantined_generations"),
@@ -280,10 +283,7 @@ struct SeedResult {
 
 fn run_seed(seed: u64) -> SeedResult {
     let sched = schedule(seed);
-    let dir = std::env::temp_dir().join(format!(
-        "chaos-soak-s{seed}-{}",
-        std::process::id()
-    ));
+    let dir = std::env::temp_dir().join(format!("chaos-soak-s{seed}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let mut sup = SupervisorConfig::new(dir.clone(), INTERVAL);
     sup.max_restarts = MAX_RESTARTS;
@@ -303,7 +303,10 @@ fn run_seed(seed: u64) -> SeedResult {
         }
     };
 
-    assert_eq!(steps_done, STEPS, "seed {seed}: run must complete all steps");
+    assert_eq!(
+        steps_done, STEPS,
+        "seed {seed}: run must complete all steps"
+    );
     assert_contract(seed, &sched, &stats, &hub, &report);
     let _ = std::fs::remove_dir_all(&dir);
 
@@ -386,7 +389,14 @@ fn main() {
     }
 
     let headers = [
-        "seed", "driver", "crashes", "corrupt", "stalls", "restarts", "lost", "quarantined",
+        "seed",
+        "driver",
+        "crashes",
+        "corrupt",
+        "stalls",
+        "restarts",
+        "lost",
+        "quarantined",
     ];
     let rows: Vec<Vec<String>> = results
         .iter()

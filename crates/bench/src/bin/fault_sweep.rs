@@ -33,6 +33,7 @@ fn sweep_config(steps: usize, trigger: u64, faults: FaultPlan) -> InTransitConfi
         queue_capacity: 8,
         policy: QueuePolicy::Block,
         mode: EndpointMode::Checkpointing,
+        sched: Default::default(),
         image_size: (64, 48),
         output_dir: None,
         faults,

@@ -23,23 +23,26 @@ fn main() {
     // render counters), no per-step series.
     let hub = args.telemetry().then(TelemetryHub::default);
     let rank_hub = hub.clone();
-    let results = run_ranks(ranks, MachineModel::polaris(), move |comm| {
-        if let Some(hub) = &rank_hub {
-            comm.enable_telemetry(hub, 0);
-        }
-        let params = CaseParams::pb146_default();
-        let case = pb146(&params, 146);
-        let mut solver = case.build(comm);
-        for _ in 0..steps {
-            solver.step(comm);
-        }
-        let (images, bytes) = cases::render_current_state(
-            comm,
-            &mut solver,
-            cases::pb146_showcase_pipeline(),
-            Some(out.clone()),
-        );
-        (solver.kinetic_energy(comm), images, bytes)
+    let sched = args.sched_mode();
+    let results = commsim::with_mode(sched, || {
+        run_ranks(ranks, MachineModel::polaris(), move |comm| {
+            if let Some(hub) = &rank_hub {
+                comm.enable_telemetry(hub, 0);
+            }
+            let params = CaseParams::pb146_default();
+            let case = pb146(&params, 146);
+            let mut solver = case.build(comm);
+            for _ in 0..steps {
+                solver.step(comm);
+            }
+            let (images, bytes) = cases::render_current_state(
+                comm,
+                &mut solver,
+                cases::pb146_showcase_pipeline(),
+                Some(out.clone()),
+            );
+            (solver.kinetic_energy(comm), images, bytes)
+        })
     });
 
     let (ke, images, bytes) = results[0];
@@ -53,6 +56,7 @@ fn main() {
                 workflow: "render".into(),
                 mode: "showcase".into(),
                 exec: "synchronous".into(),
+                sched: sched.label().into(),
                 ranks,
                 endpoint_ranks: 0,
                 steps: steps as u64,

@@ -23,14 +23,15 @@ fn main() {
     let sweep = cases::pb146_strong_scaling(&args);
     let (paper_ranks, ranks) = (sweep.paper_ranks.clone(), sweep.ranks.clone());
     println!(
-        "pb146: {} fluid elements (of {}), order {}, {} steps, trigger every {}, throughput derating {:.0}x, exec {}",
+        "pb146: {} fluid elements (of {}), order {}, {} steps, trigger every {}, throughput derating {:.0}x, exec {}, sched {}",
         sweep.case.n_fluid_elems(),
         sweep.params.elems.iter().product::<usize>(),
         sweep.params.order,
         sweep.steps,
         sweep.trigger,
         sweep.derate,
-        args.exec_mode().label()
+        args.exec_mode().label(),
+        args.sched_mode().label()
     );
 
     let mut rows = Vec::new();
@@ -44,6 +45,7 @@ fn main() {
         for (&paper_r, &r) in paper_ranks.iter().zip(&ranks) {
             let mut cfg = cases::insitu_config(&sweep, r, mode);
             cfg.exec = args.exec_mode();
+            cfg.sched = args.sched_mode();
             cfg.trace = args.trace_out.is_some();
             cfg.telemetry = args.telemetry();
             let cell = format!("fig2_{}_{r}ranks", mode.label().to_lowercase());
@@ -65,7 +67,10 @@ fn main() {
                 format!("{:.6}", report.metrics.mean_step_time),
                 format!("{:.4}", per_rank(t.time_gpu_compute)),
                 format!("{:.4}", per_rank(t.time_comm)),
-                format!("{:.4}", per_rank(t.time_io + t.time_xfer + t.time_host_compute)),
+                format!(
+                    "{:.4}",
+                    per_rank(t.time_io + t.time_xfer + t.time_host_compute)
+                ),
             ]);
             times.push(report.metrics.time_to_solution);
         }

@@ -23,6 +23,7 @@ fn main() {
         for (&paper_r, &r) in paper_ranks.iter().zip(&ranks) {
             let mut cfg = cases::insitu_config(&sweep, r, mode);
             cfg.exec = args.exec_mode();
+            cfg.sched = args.sched_mode();
             cfg.telemetry = args.telemetry();
             let report = run_insitu(&cfg);
             let mem = report.memory();

@@ -21,27 +21,30 @@ fn main() {
     // workflow driver's per-step series.
     let hub = args.telemetry().then(TelemetryHub::default);
     let rank_hub = hub.clone();
-    let results = run_ranks(ranks, MachineModel::juwels_booster(), move |comm| {
-        if let Some(hub) = &rank_hub {
-            comm.enable_telemetry(hub, 0);
-        }
-        let params = CaseParams::rbc_default();
-        let case = rbc(&params, 1e5, 0.7);
-        let mut solver = case.build(comm);
-        for _ in 0..steps {
-            solver.step(comm);
-        }
-        let (images, _bytes) = cases::render_current_state(
-            comm,
-            &mut solver,
-            cases::rbc_side_view_pipeline(),
-            Some(out.clone()),
-        );
-        (
-            solver.kinetic_energy(comm),
-            solver.max_velocity(comm),
-            images,
-        )
+    let sched = args.sched_mode();
+    let results = commsim::with_mode(sched, || {
+        run_ranks(ranks, MachineModel::juwels_booster(), move |comm| {
+            if let Some(hub) = &rank_hub {
+                comm.enable_telemetry(hub, 0);
+            }
+            let params = CaseParams::rbc_default();
+            let case = rbc(&params, 1e5, 0.7);
+            let mut solver = case.build(comm);
+            for _ in 0..steps {
+                solver.step(comm);
+            }
+            let (images, _bytes) = cases::render_current_state(
+                comm,
+                &mut solver,
+                cases::rbc_side_view_pipeline(),
+                Some(out.clone()),
+            );
+            (
+                solver.kinetic_energy(comm),
+                solver.max_velocity(comm),
+                images,
+            )
+        })
     });
 
     let (ke, umax, images) = results[0];
@@ -57,6 +60,7 @@ fn main() {
                 workflow: "render".into(),
                 mode: "side_view".into(),
                 exec: "synchronous".into(),
+                sched: sched.label().into(),
                 ranks,
                 endpoint_ranks: 0,
                 steps: steps as u64,

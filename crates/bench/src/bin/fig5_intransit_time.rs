@@ -40,8 +40,8 @@ fn main() {
     ] {
         let mut times = Vec::new();
         for &sim_ranks in &sim_rank_counts {
-            let mut cfg =
-                cases::intransit_config(sim_ranks, steps, trigger, machine.clone(), mode);
+            let mut cfg = cases::intransit_config(sim_ranks, steps, trigger, machine.clone(), mode);
+            cfg.sched = args.sched_mode();
             cfg.trace = args.trace_out.is_some();
             cfg.telemetry = args.telemetry();
             let report = run_intransit(&cfg);

@@ -34,8 +34,8 @@ fn main() {
     ] {
         let mut mems = Vec::new();
         for &sim_ranks in &sim_rank_counts {
-            let mut cfg =
-                cases::intransit_config(sim_ranks, steps, trigger, machine.clone(), mode);
+            let mut cfg = cases::intransit_config(sim_ranks, steps, trigger, machine.clone(), mode);
+            cfg.sched = args.sched_mode();
             cfg.telemetry = args.telemetry();
             let report = run_intransit(&cfg);
             println!(

@@ -57,7 +57,12 @@ fn base_name(name: &str) -> (&str, bool) {
 enum Agg {
     Counter(u64),
     Gauge(f64),
-    Histogram { count: u64, p50: f64, p95: f64, max: f64 },
+    Histogram {
+        count: u64,
+        p50: f64,
+        p95: f64,
+        max: f64,
+    },
 }
 
 fn aggregate(report: &RunReport) -> BTreeMap<String, Agg> {
@@ -89,7 +94,15 @@ fn aggregate(report: &RunReport) -> BTreeMap<String, Agg> {
             }
             (Some(Agg::Counter(total)), MetricValue::Counter(c)) => *total += c,
             (Some(Agg::Gauge(total)), MetricValue::Gauge(g)) => *total += g,
-            (Some(Agg::Histogram { count, p50, p95, max }), MetricValue::Histogram(h)) => {
+            (
+                Some(Agg::Histogram {
+                    count,
+                    p50,
+                    p95,
+                    max,
+                }),
+                MetricValue::Histogram(h),
+            ) => {
                 *count += h.count;
                 *p50 = p50.max(h.p50);
                 *p95 = p95.max(h.p95);
@@ -106,7 +119,12 @@ fn agg_cell(a: &Agg) -> String {
     match a {
         Agg::Counter(c) => c.to_string(),
         Agg::Gauge(g) => format!("{g:.3}"),
-        Agg::Histogram { count, p50, p95, max } => format!(
+        Agg::Histogram {
+            count,
+            p50,
+            p95,
+            max,
+        } => format!(
             "n={count} p50={} p95={} max={}",
             fmt_secs(*p50),
             fmt_secs(*p95),
@@ -119,7 +137,14 @@ fn summarize(r: &RunReport) {
     let m = &r.manifest;
     println!(
         "{} / {} / {} ({}) — {} ranks (+{} endpoint), {} steps, trigger every {}, machine {}",
-        m.case, m.workflow, m.mode, m.exec, m.ranks, m.endpoint_ranks, m.steps, m.trigger_every,
+        m.case,
+        m.workflow,
+        m.mode,
+        m.exec,
+        m.ranks,
+        m.endpoint_ranks,
+        m.steps,
+        m.trigger_every,
         m.machine
     );
     println!(
@@ -231,7 +256,12 @@ fn diff(a: &RunReport, b: &RunReport) {
     let mut rows = Vec::new();
     for (name, va) in &aa {
         let Some(vb) = ab.get(name) else {
-            rows.push(vec![name.clone(), agg_cell(va), "-".into(), "removed".into()]);
+            rows.push(vec![
+                name.clone(),
+                agg_cell(va),
+                "-".into(),
+                "removed".into(),
+            ]);
             continue;
         };
         let delta = match (va, vb) {

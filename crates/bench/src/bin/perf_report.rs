@@ -182,6 +182,7 @@ fn measure_exec_overlap(quick: bool) -> ExecOverlap {
             image_size: (128, 96),
             mode,
             exec,
+            sched: Default::default(),
             faults: commsim::FaultPlan::none(),
             output_dir: None,
             trace: false,
@@ -288,15 +289,24 @@ fn compare_baseline(path: &str, results: &[BenchResult]) {
         println!("baseline: {path} has no benches array (skipping comparison)");
         return;
     };
-    println!("baseline comparison vs {path} (±{:.0}% tolerance, warn-only):", BASELINE_TOLERANCE * 100.0);
+    println!(
+        "baseline comparison vs {path} (±{:.0}% tolerance, warn-only):",
+        BASELINE_TOLERANCE * 100.0
+    );
     let mut drifted = 0usize;
     for r in results {
         let base = benches.iter().find(|b| {
             b.get("name").and_then(|v| v.as_str()) == Some(r.name)
                 && b.get("threads").and_then(|v| v.as_u64()) == Some(r.threads as u64)
         });
-        let Some(median) = base.and_then(|b| b.get("median_s")).and_then(|v| v.as_f64()) else {
-            println!("  {:<18} threads={:<3} no baseline entry", r.name, r.threads);
+        let Some(median) = base
+            .and_then(|b| b.get("median_s"))
+            .and_then(|v| v.as_f64())
+        else {
+            println!(
+                "  {:<18} threads={:<3} no baseline entry",
+                r.name, r.threads
+            );
             continue;
         };
         if median <= 0.0 {

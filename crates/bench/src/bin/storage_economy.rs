@@ -35,6 +35,7 @@ fn main() {
             image_size: (800, 600),
             mode,
             exec: args.exec_mode(),
+            sched: args.sched_mode(),
             faults: commsim::FaultPlan::none(),
             output_dir: args.out.clone().map(|d| d.join(mode.label())),
             trace: false,

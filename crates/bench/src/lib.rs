@@ -51,6 +51,12 @@ pub struct HarnessArgs {
     pub checkpoint_dir: Option<std::path::PathBuf>,
     /// Checkpoint cadence in steps (default 2 when supervision is on).
     pub checkpoint_every: Option<u64>,
+    /// Rank scheduler override (`--sched thread|event`); `None` follows
+    /// `NEK_SCHED_MODE`.
+    pub sched: Option<commsim::SchedMode>,
+    /// Run the sweep at exactly this rank count instead of the scaled
+    /// paper series (`--ranks N`).
+    pub ranks: Option<usize>,
 }
 
 impl HarnessArgs {
@@ -75,9 +81,22 @@ impl HarnessArgs {
                 "--checkpoint-every" => {
                     args.checkpoint_every = it.next().and_then(|v| v.parse().ok())
                 }
+                "--sched" => {
+                    args.sched = it.next().and_then(|v| {
+                        if v.eq_ignore_ascii_case("event") {
+                            Some(commsim::SchedMode::Event)
+                        } else if v.eq_ignore_ascii_case("thread") {
+                            Some(commsim::SchedMode::Thread)
+                        } else {
+                            eprintln!("warning: unknown --sched '{v}' (thread|event)");
+                            None
+                        }
+                    })
+                }
+                "--ranks" => args.ranks = it.next().and_then(|v| v.parse().ok()),
                 "--help" | "-h" => {
                     eprintln!(
-                        "flags: --scale N | --steps N | --trigger N | --out DIR | --trace-out DIR | --report-out DIR | --full | --pipelined | --seeds N | --json-out FILE | --restart-from DIR | --checkpoint-dir DIR | --checkpoint-every N"
+                        "flags: --scale N | --ranks N | --steps N | --trigger N | --out DIR | --trace-out DIR | --report-out DIR | --full | --pipelined | --sched thread|event | --seeds N | --json-out FILE | --restart-from DIR | --checkpoint-dir DIR | --checkpoint-every N"
                     );
                     std::process::exit(0);
                 }
@@ -101,6 +120,12 @@ impl HarnessArgs {
     /// yes; there is nowhere to put the artifact otherwise.)
     pub fn telemetry(&self) -> bool {
         self.report_out.is_some()
+    }
+
+    /// Rank-scheduler mode: `--sched` wins, otherwise the
+    /// `NEK_SCHED_MODE` default applies.
+    pub fn sched_mode(&self) -> commsim::SchedMode {
+        self.sched.unwrap_or_default()
     }
 }
 
@@ -198,12 +223,7 @@ pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
 }
 
 /// Write a CSV alongside the table when `--out` is set.
-pub fn maybe_write_csv(
-    args: &HarnessArgs,
-    name: &str,
-    headers: &[&str],
-    rows: &[Vec<String>],
-) {
+pub fn maybe_write_csv(args: &HarnessArgs, name: &str, headers: &[&str], rows: &[Vec<String>]) {
     let Some(dir) = &args.out else {
         return;
     };
@@ -257,11 +277,7 @@ pub fn maybe_write_trace(
 /// When `--report-out DIR` is set, write one RunReport JSON per run cell
 /// (`<name>.report.json`, readable by `nekstat`) and print a one-line
 /// digest.
-pub fn maybe_write_report(
-    args: &HarnessArgs,
-    name: &str,
-    report: Option<&telemetry::RunReport>,
-) {
+pub fn maybe_write_report(args: &HarnessArgs, name: &str, report: Option<&telemetry::RunReport>) {
     let Some(dir) = &args.report_out else {
         return;
     };

@@ -14,6 +14,7 @@
 use crate::clock::Clock;
 use crate::machine::MachineModel;
 use crate::reduce::ReduceOp;
+use crate::sched::{EventSched, WaitReason};
 use crate::stats::CommStats;
 use crossbeam_channel::{unbounded, Receiver, Sender};
 use memtrack::{Accountant, Registry};
@@ -47,7 +48,10 @@ impl std::fmt::Display for CommError {
             CommError::Poisoned => write!(f, "communicator poisoned by a rank panic"),
             CommError::WouldBlock => write!(f, "no matching message available"),
             CommError::TypeMismatch { src, tag } => {
-                write!(f, "message from rank {src} tag {tag} has unexpected payload type")
+                write!(
+                    f,
+                    "message from rank {src} tag {tag} has unexpected payload type"
+                )
             }
         }
     }
@@ -90,12 +94,28 @@ pub struct World {
     coll_cv: Condvar,
     poisoned: AtomicBool,
     registry: Registry,
+    /// Discrete-event scheduler (None = free-running thread mode). When
+    /// set, every blocking point below parks through it instead of
+    /// polling, and sends post targeted wakeups.
+    sched: Option<Arc<EventSched>>,
 }
 
 impl World {
     /// Build a world of `size` ranks over `machine`, sharing `registry` for
-    /// memory accounting.
+    /// memory accounting. Runs in free-running thread mode; executors that
+    /// schedule ranks by virtual time use [`World::new_with_sched`].
     pub fn new(size: usize, machine: MachineModel, registry: Registry) -> Arc<Self> {
+        Self::new_with_sched(size, machine, registry, None)
+    }
+
+    /// Build a world driven by `sched` when given (see
+    /// [`crate::exec::EventExecutor`]), or free-running when `None`.
+    pub fn new_with_sched(
+        size: usize,
+        machine: MachineModel,
+        registry: Registry,
+        sched: Option<Arc<EventSched>>,
+    ) -> Arc<Self> {
         assert!(size > 0, "a world needs at least one rank");
         let mut senders = Vec::with_capacity(size);
         let mut receivers = Vec::with_capacity(size);
@@ -121,6 +141,7 @@ impl World {
             coll_cv: Condvar::new(),
             poisoned: AtomicBool::new(false),
             registry,
+            sched,
         })
     }
 
@@ -164,8 +185,13 @@ impl World {
     /// Mark the world poisoned (a rank panicked) and wake all waiters.
     pub fn poison(&self) {
         self.poisoned.store(true, Ordering::SeqCst);
-        let _guard = self.coll.lock();
-        self.coll_cv.notify_all();
+        {
+            let _guard = self.coll.lock();
+            self.coll_cv.notify_all();
+        }
+        if let Some(s) = &self.sched {
+            s.poison();
+        }
     }
 
     /// True if any rank has panicked.
@@ -395,6 +421,15 @@ impl Comm {
         self.world.senders[dest]
             .send(env)
             .expect("mailbox closed: world torn down while sending");
+        if let Some(s) = &self.world.sched {
+            // Event mode: wake the destination if it is parked in a recv,
+            // then cede the token if some ready rank is earlier in virtual
+            // time — the send-side yield point of the event scheduler.
+            s.notify_message(dest);
+            if !s.yield_if_earlier(self.rank, self.clock.now().to_bits()) {
+                self.sched_abort("send");
+            }
+        }
     }
 
     /// Convenience: send a `Vec<f64>` with its true wire size.
@@ -425,11 +460,7 @@ impl Comm {
     /// already available, `Err(WouldBlock)` otherwise.
     pub fn try_recv<T: Send + 'static>(&mut self, src: usize, tag: u64) -> Result<T, CommError> {
         self.drain_channel();
-        match self
-            .stash
-            .iter()
-            .position(|e| e.src == src && e.tag == tag)
-        {
+        match self.stash.iter().position(|e| e.src == src && e.tag == tag) {
             Some(i) => {
                 let env = self.stash.remove(i);
                 Ok(self.finish_recv(env))
@@ -453,6 +484,22 @@ impl Comm {
     fn wait_matching(&mut self, pred: impl Fn(&Envelope) -> bool) -> Envelope {
         if let Some(i) = self.stash.iter().position(&pred) {
             return self.stash.remove(i);
+        }
+        let sched = self.world.sched.clone();
+        if let Some(s) = &sched {
+            // Event mode: drain the mailbox, re-check, and park until a
+            // sender posts a wakeup. No polling — the scheduler resumes
+            // this rank only when a message has actually arrived (or the
+            // world poisons/deadlocks).
+            loop {
+                self.drain_channel();
+                if let Some(i) = self.stash.iter().position(&pred) {
+                    return self.stash.remove(i);
+                }
+                if !s.block(self.rank, WaitReason::Message, self.clock.now().to_bits()) {
+                    self.sched_abort("recv");
+                }
+            }
         }
         loop {
             match self.rx.recv_timeout(Duration::from_millis(50)) {
@@ -504,7 +551,20 @@ impl Comm {
         // Wait for any previous collective to fully drain.
         while !matches!(st.phase, Phase::Collecting) {
             self.check_poison();
-            self.coll_wait(&mut st);
+            match &world.sched {
+                None => self.coll_wait(&mut st),
+                Some(s) => {
+                    drop(st);
+                    if !s.block(
+                        self.rank,
+                        WaitReason::Collective,
+                        self.clock.now().to_bits(),
+                    ) {
+                        self.sched_abort("collective");
+                    }
+                    st = world.coll.lock();
+                }
+            }
         }
         st.times[self.rank] = self.clock.now();
         st.inputs[self.rank] = Some(Box::new(input));
@@ -533,10 +593,26 @@ impl Comm {
             st.result = Some(Arc::new(combine(inputs)));
             st.phase = Phase::Distributing;
             world.coll_cv.notify_all();
+            if let Some(s) = &world.sched {
+                s.notify_collective();
+            }
         } else {
             while !matches!(st.phase, Phase::Distributing) {
                 self.check_poison();
-                self.coll_wait(&mut st);
+                match &world.sched {
+                    None => self.coll_wait(&mut st),
+                    Some(s) => {
+                        drop(st);
+                        if !s.block(
+                            self.rank,
+                            WaitReason::Collective,
+                            self.clock.now().to_bits(),
+                        ) {
+                            self.sched_abort("collective");
+                        }
+                        st = world.coll.lock();
+                    }
+                }
             }
         }
         let result: Arc<R> = Arc::clone(st.result.as_ref().expect("collective result missing"))
@@ -550,6 +626,9 @@ impl Comm {
             st.result = None;
             st.phase = Phase::Collecting;
             world.coll_cv.notify_all();
+            if let Some(s) = &world.sched {
+                s.notify_collective();
+            }
         }
         drop(st);
         let wait = out_time - self.clock.now();
@@ -585,9 +664,7 @@ impl Comm {
     }
 
     fn coll_wait(&self, st: &mut parking_lot::MutexGuard<'_, CollState>) {
-        self.world
-            .coll_cv
-            .wait_for(st, Duration::from_millis(50));
+        self.world.coll_cv.wait_for(st, Duration::from_millis(50));
     }
 
     fn check_poison(&self) {
@@ -596,6 +673,40 @@ impl Comm {
             "rank {} aborting collective: another rank panicked",
             self.rank
         );
+    }
+
+    /// Abort a blocked event-mode operation: the scheduler returned
+    /// `false`, meaning the world poisoned or the program deadlocked.
+    fn sched_abort(&self, what: &str) -> ! {
+        if let Some(s) = &self.world.sched {
+            if let Some(d) = s.deadlock_diag() {
+                panic!("{d}");
+            }
+        }
+        panic!("rank {} aborting {what}: another rank panicked", self.rank);
+    }
+
+    /// Run `f` — which may block on something *outside* this world (an OS
+    /// channel to another world, a supervisor pipe, ...) — without holding
+    /// the event scheduler's run token. In thread mode this is just `f()`.
+    ///
+    /// Event mode serializes ranks on a single run token; blocking on an
+    /// external resource while holding it would wedge every other rank in
+    /// this world (and, transitively, whichever world feeds the resource).
+    pub fn external_wait<T>(&self, f: impl FnOnce() -> T) -> T {
+        match &self.world.sched {
+            None => f(),
+            Some(s) => {
+                s.external_begin(self.rank);
+                let out = f();
+                // A false return means the world poisoned while we were
+                // out; let the caller observe that through its own result
+                // handling (mirrors thread mode, where poisoning surfaces
+                // at the next comm op).
+                let _ = s.external_end(self.rank, self.clock.now().to_bits());
+                out
+            }
+        }
     }
 
     /// Synchronize all ranks (and their clocks) — MPI_Barrier.
@@ -652,7 +763,12 @@ impl Comm {
     /// Broadcast `root`'s value to all ranks. Non-root ranks pass anything
     /// (their contribution is ignored); typically `bcast(root, value)` where
     /// non-roots pass a default.
-    pub fn bcast<T: Clone + Send + Sync + 'static>(&mut self, root: usize, value: T, nbytes: u64) -> T {
+    pub fn bcast<T: Clone + Send + Sync + 'static>(
+        &mut self,
+        root: usize,
+        value: T,
+        nbytes: u64,
+    ) -> T {
         let all = self.collective(value, nbytes, |v| v);
         all[root].clone()
     }
@@ -817,7 +933,7 @@ mod tests {
             } else {
                 assert_eq!(comm.try_recv::<u8>(0, 99), Err(CommError::WouldBlock));
                 comm.barrier(); // ensure the message has been sent
-                // The message may need a moment to traverse the channel.
+                                // The message may need a moment to traverse the channel.
                 let mut got = None;
                 for _ in 0..1000 {
                     if comm.probe(0, 3) {
@@ -838,7 +954,11 @@ mod tests {
             if comm.rank() == 0 {
                 comm.send(1, 0, 1u32, 400);
                 comm.barrier();
-                (comm.stats().messages_sent, comm.stats().bytes_sent, comm.stats().collectives)
+                (
+                    comm.stats().messages_sent,
+                    comm.stats().bytes_sent,
+                    comm.stats().collectives,
+                )
             } else {
                 let _ = comm.recv::<u32>(0, 0);
                 comm.barrier();
@@ -858,7 +978,11 @@ mod tests {
         let res = run_ranks(1, tiny(), |comm| {
             comm.d2h(100_000_000); // 1 s at 100 MB/s (+latency)
             comm.fs_write(250_000_000, 1); // 1 s at the 250 MB/s stream cap
-            (comm.now(), comm.stats().bytes_d2h, comm.stats().bytes_written_fs)
+            (
+                comm.now(),
+                comm.stats().bytes_d2h,
+                comm.stats().bytes_written_fs,
+            )
         });
         let (t, d2h, fsw) = res[0];
         assert!(t > 2.0 && t < 2.01, "got {t}");
@@ -871,7 +995,8 @@ mod tests {
         let reg = Registry::new();
         let reg2 = reg.clone();
         crate::runner::run_ranks_with_registry(2, tiny(), reg2, |comm| {
-            comm.accountant("solver").charge_raw(100 * (comm.rank() as u64 + 1));
+            comm.accountant("solver")
+                .charge_raw(100 * (comm.rank() as u64 + 1));
         });
         let snap = reg.snapshot();
         assert_eq!(snap.entries.len(), 2);

@@ -167,9 +167,7 @@ impl FaultPlan {
     /// Uniform draw in `[0, 1)` keyed by `(seed, producer, step, attempt,
     /// salt)`. Pure: the same key always rolls the same value.
     fn roll(&self, producer: usize, step: u64, attempt: u32, salt: u64) -> f64 {
-        let key = self
-            .seed
-            .wrapping_mul(0xA076_1D64_78BD_642F)
+        let key = self.seed.wrapping_mul(0xA076_1D64_78BD_642F)
             ^ (producer as u64).wrapping_mul(0xE703_7ED1_A0B4_28DB)
             ^ step.wrapping_mul(0x8EBC_6AF0_9C88_C6E3)
             ^ (u64::from(attempt)).wrapping_mul(0x5895_59F2_B269_6AED)
@@ -352,10 +350,20 @@ mod tests {
     fn crash_and_stall_lookups() {
         let p = FaultPlan {
             crashes: vec![
-                EndpointCrash { endpoint: 1, at_step: 7 },
-                EndpointCrash { endpoint: 1, at_step: 4 },
+                EndpointCrash {
+                    endpoint: 1,
+                    at_step: 7,
+                },
+                EndpointCrash {
+                    endpoint: 1,
+                    at_step: 4,
+                },
             ],
-            stalls: vec![ConsumerStall { endpoint: 0, at_step: 3, seconds: 2.5 }],
+            stalls: vec![ConsumerStall {
+                endpoint: 0,
+                at_step: 3,
+                seconds: 2.5,
+            }],
             ..FaultPlan::none()
         };
         assert_eq!(p.crash_step(1), Some(4), "earliest crash wins");
@@ -369,10 +377,19 @@ mod tests {
     fn sim_crash_and_disk_corruption_lookups() {
         let p = FaultPlan {
             sim_crashes: vec![
-                SimRankCrash { rank: 2, at_step: 9 },
-                SimRankCrash { rank: 2, at_step: 5 },
+                SimRankCrash {
+                    rank: 2,
+                    at_step: 9,
+                },
+                SimRankCrash {
+                    rank: 2,
+                    at_step: 5,
+                },
             ],
-            disk_corruptions: vec![CheckpointCorruption { rank: 0, at_step: 4 }],
+            disk_corruptions: vec![CheckpointCorruption {
+                rank: 0,
+                at_step: 4,
+            }],
             ..FaultPlan::none()
         };
         assert!(!p.is_quiet());
@@ -386,14 +403,34 @@ mod tests {
     #[test]
     fn without_fired_strips_only_elapsed_one_shot_faults() {
         let p = FaultPlan {
-            link: LinkFaultSpec { drop_prob: 0.1, ..LinkFaultSpec::default() },
-            crashes: vec![EndpointCrash { endpoint: 0, at_step: 3 }],
+            link: LinkFaultSpec {
+                drop_prob: 0.1,
+                ..LinkFaultSpec::default()
+            },
+            crashes: vec![EndpointCrash {
+                endpoint: 0,
+                at_step: 3,
+            }],
             stalls: vec![
-                ConsumerStall { endpoint: 0, at_step: 2, seconds: 1.0 },
-                ConsumerStall { endpoint: 0, at_step: 8, seconds: 1.0 },
+                ConsumerStall {
+                    endpoint: 0,
+                    at_step: 2,
+                    seconds: 1.0,
+                },
+                ConsumerStall {
+                    endpoint: 0,
+                    at_step: 8,
+                    seconds: 1.0,
+                },
             ],
-            sim_crashes: vec![SimRankCrash { rank: 1, at_step: 5 }],
-            disk_corruptions: vec![CheckpointCorruption { rank: 0, at_step: 4 }],
+            sim_crashes: vec![SimRankCrash {
+                rank: 1,
+                at_step: 5,
+            }],
+            disk_corruptions: vec![CheckpointCorruption {
+                rank: 0,
+                at_step: 4,
+            }],
             ..FaultPlan::none()
         };
         let after = p.without_fired(5);

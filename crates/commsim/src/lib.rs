@@ -31,14 +31,20 @@
 
 pub mod clock;
 pub mod comm;
+pub mod exec;
 pub mod fault;
 pub mod machine;
 pub mod reduce;
 pub mod runner;
+pub mod sched;
 pub mod stats;
 
 pub use clock::Clock;
 pub use comm::{Comm, CommError, World};
+pub use exec::{
+    with_mode, EventExecutor, Executor, SchedMode, ThreadExecutor, RANK_STACK_BYTES,
+    THREAD_MODE_DEFAULT_MAX_RANKS,
+};
 pub use fault::{
     AttemptFate, CheckpointCorruption, ConsumerStall, EndpointCrash, FaultPlan, InjectedCrash,
     LinkFaultSpec, SimRankCrash, WatchdogTimeout,
@@ -113,6 +119,9 @@ mod tests {
             );
         }
         // Virtual time is deterministic, so both ranks' compute spans agree.
-        assert_eq!(results[0].0.spans[0].duration(), results[1].0.spans[0].duration());
+        assert_eq!(
+            results[0].0.spans[0].duration(),
+            results[1].0.spans[0].duration()
+        );
     }
 }

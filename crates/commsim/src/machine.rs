@@ -116,9 +116,9 @@ impl MachineModel {
             name: "polaris",
             ranks_per_node: 4,
             gpu: GpuModel {
-                flops: 9.0e12,           // sustained FP64 w/ tensor cores derated
-                mem_bandwidth: 1.3e12,   // ~1.6 TB/s HBM2e derated
-                d2h_bandwidth: 20.0e9,   // PCIe gen4 x16 practical
+                flops: 9.0e12,         // sustained FP64 w/ tensor cores derated
+                mem_bandwidth: 1.3e12, // ~1.6 TB/s HBM2e derated
+                d2h_bandwidth: 20.0e9, // PCIe gen4 x16 practical
                 h2d_bandwidth: 20.0e9,
                 xfer_latency: 12.0e-6,
             },
@@ -244,7 +244,10 @@ impl MachineModel {
     /// stay at their true values. The compute:communication ratio of the
     /// paper's regime is therefore preserved.
     pub fn derate_throughput(&self, factor: f64) -> Self {
-        assert!(factor >= 1.0 && factor.is_finite(), "derating factor must be >= 1");
+        assert!(
+            factor >= 1.0 && factor.is_finite(),
+            "derating factor must be >= 1"
+        );
         let mut m = self.clone();
         m.gpu.flops /= factor;
         m.gpu.mem_bandwidth /= factor;
@@ -371,7 +374,10 @@ mod tests {
         let d = m.derate_throughput(100.0);
         assert_eq!(d.gpu.flops, m.gpu.flops / 100.0);
         assert_eq!(d.network.bandwidth, m.network.bandwidth / 100.0);
-        assert_eq!(d.filesystem.aggregate_write_bandwidth, m.filesystem.aggregate_write_bandwidth / 100.0);
+        assert_eq!(
+            d.filesystem.aggregate_write_bandwidth,
+            m.filesystem.aggregate_write_bandwidth / 100.0
+        );
         assert_eq!(d.network.latency, m.network.latency);
         assert_eq!(d.gpu.xfer_latency, m.gpu.xfer_latency);
         assert_eq!(d.filesystem.metadata_latency, m.filesystem.metadata_latency);

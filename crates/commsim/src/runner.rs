@@ -2,15 +2,25 @@
 //!
 //! Rank counts can exceed the physical core count — ranks are threads that
 //! mostly block in rendezvous, and the figure harnesses rely on virtual
-//! time, not wall time. Stacks are kept small (2 MiB) so hundreds of ranks
-//! fit comfortably.
+//! time, not wall time. The actual spawn/park mechanics live in
+//! [`crate::exec`]: these entry points dispatch on the ambient
+//! [`SchedMode`] (the `NEK_SCHED_MODE` env var or a
+//! [`crate::exec::with_mode`] override) between the free-running
+//! [`ThreadExecutor`] and the discrete-event [`EventExecutor`].
+//!
+//! Thread mode keeps stacks small (2 MiB) so hundreds of ranks fit, but it
+//! still spends one free-running OS thread per rank — it refuses world
+//! sizes above a documented cap (default 2048, see
+//! [`crate::exec::ThreadExecutor`]) with a clear error instead of dying in
+//! `pthread_create`. Event mode parks all but one rank and scales to tens
+//! of thousands of ranks.
 
-use crate::comm::{Comm, World};
+use crate::comm::Comm;
+use crate::exec::{EventExecutor, Executor, SchedMode, ThreadExecutor};
 use crate::machine::MachineModel;
 use crate::stats::CommStats;
 use memtrack::Registry;
 use std::sync::Arc;
-use std::thread;
 
 /// Everything a rank produced: its closure's return value, final virtual
 /// time, and operation counters.
@@ -25,8 +35,6 @@ pub struct RankResult<R> {
     /// Communication/IO counters.
     pub stats: CommStats,
 }
-
-const RANK_STACK_BYTES: usize = 2 * 1024 * 1024;
 
 /// Run `f` on `size` ranks; return just the closure values, indexed by rank.
 ///
@@ -70,6 +78,10 @@ where
 
 /// Run `f` on `size` ranks with a caller-provided memory registry; return
 /// full [`RankResult`]s including virtual times and stats.
+///
+/// Dispatches on [`SchedMode::current`]: `NEK_SCHED_MODE=event` (or an
+/// enclosing [`crate::exec::with_mode`]) selects the discrete-event
+/// executor; the default is the free-running thread executor.
 pub fn run_ranks_with_registry<R, F>(
     size: usize,
     machine: MachineModel,
@@ -80,78 +92,10 @@ where
     R: Send + 'static,
     F: Fn(&mut Comm) -> R + Send + Sync + 'static,
 {
-    let world = World::new(size, machine, registry);
-    let f = Arc::new(f);
-    // Rank threads share one global compute pool (see `rayon::pool`); the
-    // spawning thread's pool-size override carries over so e.g.
-    // `pool::with_threads(1, || run_ranks(..))` forces sequential kernels
-    // inside every rank.
-    let pool_override = rayon::pool::override_threads();
-    let mut handles = Vec::with_capacity(size);
-    for rank in 0..size {
-        let world = Arc::clone(&world);
-        let f = Arc::clone(&f);
-        let handle = thread::Builder::new()
-            .name(format!("rank{rank}"))
-            .stack_size(RANK_STACK_BYTES)
-            .spawn(move || {
-                let mut comm = world.attach(rank);
-                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    rayon::pool::with_override(pool_override, || f(&mut comm))
-                }));
-                match outcome {
-                    Ok(value) => {
-                        let time = comm.now();
-                        let stats = *comm.stats();
-                        Ok(RankResult {
-                            rank,
-                            value,
-                            time,
-                            stats,
-                        })
-                    }
-                    Err(payload) => {
-                        // A rank that panics because the world was already
-                        // poisoned is collateral damage; remember that so the
-                        // runner re-raises the original panic, not this one.
-                        let secondary = world.is_poisoned();
-                        world.poison();
-                        Err((secondary, payload))
-                    }
-                }
-            })
-            .expect("failed to spawn rank thread");
-        handles.push(handle);
+    match SchedMode::current() {
+        SchedMode::Thread => ThreadExecutor::default().run_world(size, machine, registry, f),
+        SchedMode::Event => EventExecutor::default().run_world(size, machine, registry, f),
     }
-
-    let mut results: Vec<Option<RankResult<R>>> = (0..size).map(|_| None).collect();
-    let mut primary_panic: Option<Box<dyn std::any::Any + Send>> = None;
-    let mut secondary_panic: Option<Box<dyn std::any::Any + Send>> = None;
-    for handle in handles {
-        match handle.join() {
-            Ok(Ok(result)) => {
-                let rank = result.rank;
-                results[rank] = Some(result);
-            }
-            Ok(Err((secondary, payload))) => {
-                if secondary {
-                    secondary_panic.get_or_insert(payload);
-                } else {
-                    primary_panic.get_or_insert(payload);
-                }
-            }
-            Err(payload) => {
-                primary_panic.get_or_insert(payload);
-            }
-        }
-    }
-    if let Some(payload) = primary_panic.or(secondary_panic) {
-        std::panic::resume_unwind(payload);
-    }
-    results
-        .into_iter()
-        .map(|r| r.expect("rank produced no result"))
-        .collect()
 }
 
 #[cfg(test)]

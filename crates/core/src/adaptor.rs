@@ -130,10 +130,7 @@ impl NekGeometry {
             components: 1,
         });
 
-        let mut counts = [
-            l.n_nodes() as f64,
-            (mesh.elems.len() * n * n * n) as f64,
-        ];
+        let mut counts = [l.n_nodes() as f64, (mesh.elems.len() * n * n * n) as f64];
         comm.allreduce_vec(&mut counts, ReduceOp::Sum);
         let lengths = mesh.spec.lengths;
 
@@ -302,7 +299,11 @@ impl DataAdaptor for SnapshotAdaptor {
         let bytes = g.heap_bytes();
         comm.compute_host(bytes as f64 * 0.5, bytes as f64);
         self.charges.push(self.vtk_accountant.charge(bytes));
-        Ok(MultiBlock::local(self.geometry.rank, self.geometry.n_blocks, g))
+        Ok(MultiBlock::local(
+            self.geometry.rank,
+            self.geometry.n_blocks,
+            g,
+        ))
     }
 
     fn add_array(
@@ -327,7 +328,8 @@ impl DataAdaptor for SnapshotAdaptor {
         };
         // Zero-copy: the consumer's DataArray aliases the staged buffer.
         let data = DataArray::shared_f64(field.name, field.components, field.shared());
-        self.charges.push(self.vtk_accountant.charge(data.heap_bytes()));
+        self.charges
+            .push(self.vtk_accountant.charge(data.heap_bytes()));
         let Some(block) = mb.blocks[self.geometry.rank].as_mut() else {
             return Err(insitu::Error::NoSuchData("local block missing".into()));
         };
@@ -492,7 +494,9 @@ mod tests {
             let second = geo.available_arrays().as_ptr();
             drop(da);
             (
-                geo.available_arrays().iter().any(|a| a.name == "temperature"),
+                geo.available_arrays()
+                    .iter()
+                    .any(|a| a.name == "temperature"),
                 std::ptr::eq(first, second),
             )
         });

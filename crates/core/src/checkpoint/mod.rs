@@ -13,11 +13,11 @@ use sem::snapshot::FieldSnapshot;
 
 mod store;
 
+pub(crate) use store::quarantine_generation;
 pub use store::{
     scan_for_restore, CheckpointSpec, CheckpointStore, QuarantinedGeneration, RecoveryScan,
     RestoredGeneration,
 };
-pub(crate) use store::quarantine_generation;
 
 /// Magic prefix of a dump file.
 const FLD_MAGIC: &[u8; 8] = b"NEKFLD01";
@@ -252,7 +252,10 @@ impl std::fmt::Display for RestoreError {
                 field,
                 expected,
                 got,
-            } => write!(f, "field '{field}' has {got} values, solver needs {expected}"),
+            } => write!(
+                f,
+                "field '{field}' has {got} values, solver needs {expected}"
+            ),
         }
     }
 }
@@ -264,7 +267,13 @@ impl std::error::Error for RestoreError {}
 /// # Errors
 /// Returns a description of the first structural problem.
 pub fn read_fld(bytes: &[u8]) -> Result<FldDump, String> {
-    let need = |ok: bool, what: &str| if ok { Ok(()) } else { Err(format!("truncated: {what}")) };
+    let need = |ok: bool, what: &str| {
+        if ok {
+            Ok(())
+        } else {
+            Err(format!("truncated: {what}"))
+        }
+    };
     need(bytes.len() >= 8 + 8 + 8 + 8 + 4, "header")?;
     if &bytes[0..8] != FLD_MAGIC {
         return Err("bad magic".to_string());
@@ -346,7 +355,13 @@ mod tests {
             let staged = comm.stats().bytes_d2h - before_d2h;
             let nbytes = chk.write(comm, &snap);
             let n = solver.n_nodes() as u64;
-            (nbytes, staged, n, chk.files_written(), comm.stats().files_written)
+            (
+                nbytes,
+                staged,
+                n,
+                chk.files_written(),
+                comm.stats().files_written,
+            )
         });
         for (nbytes, staged, n, files, fs_files) in res {
             // 4 fields (u,v,w,p) × n × 8 B + header + tags.
@@ -394,7 +409,11 @@ mod tests {
             chk.write(comm, &snap);
             comm.barrier();
             // Read back and restore into a fresh solver.
-            let path = dir2.join(format!("fld_{:06}_r{}.bin", solver.step_index(), comm.rank()));
+            let path = dir2.join(format!(
+                "fld_{:06}_r{}.bin",
+                solver.step_index(),
+                comm.rank()
+            ));
             let dump = read_fld(&std::fs::read(&path).expect("dump exists")).expect("parse");
             assert_eq!(dump.step, 3);
             assert_eq!(dump.n_nodes as usize, solver.n_nodes());

@@ -142,7 +142,9 @@ impl CheckpointStore {
                 faults.corrupt_payload(&mut on_disk, rank, step, 0);
                 let _ = std::fs::write(&final_path, &on_disk);
             }
-            comm.telemetry().counter("checkpoint/disk_corruptions").inc();
+            comm.telemetry()
+                .counter("checkpoint/disk_corruptions")
+                .inc();
             comm.telemetry_event(
                 EventKind::FaultInjected,
                 Some(step),
@@ -378,7 +380,8 @@ pub fn scan_for_restore(dir: &Path, ranks: usize) -> RecoveryScan {
             }
             Err(GenerationProblem::Corrupt(reason)) => {
                 quarantine_generation(dir, step, ranks);
-                scan.quarantined.push(QuarantinedGeneration { step, reason });
+                scan.quarantined
+                    .push(QuarantinedGeneration { step, reason });
             }
             Err(GenerationProblem::Foreign(reason)) => {
                 scan.foreign.push(QuarantinedGeneration { step, reason });
@@ -435,21 +438,23 @@ fn validate_generation(
             return Err(format!(
                 "rank {rank} file is {} B, manifest says {len} B",
                 bytes.len()
-            ).into());
+            )
+            .into());
         }
         let actual = transport::crc32(&bytes);
         if actual != *crc {
             return Err(format!(
                 "rank {rank} CRC mismatch (manifest {crc:08x}, disk {actual:08x})"
-            ).into());
+            )
+            .into());
         }
-        let dump =
-            read_fld(&bytes).map_err(|e| format!("rank {rank} dump unparseable: {e}"))?;
+        let dump = read_fld(&bytes).map_err(|e| format!("rank {rank} dump unparseable: {e}"))?;
         if dump.step != step {
             return Err(format!(
                 "rank {rank} dump is step {}, manifest says {step}",
                 dump.step
-            ).into());
+            )
+            .into());
         }
         dumps.push(dump);
     }
@@ -502,7 +507,9 @@ fn gc_generations(dir: &Path, retain: usize, comm: &mut Comm) {
         for rank in 0..comm.size() {
             let _ = std::fs::remove_file(dir.join(rank_file_name(step, rank)));
         }
-        comm.telemetry().counter("checkpoint/generations_gced").inc();
+        comm.telemetry()
+            .counter("checkpoint/generations_gced")
+            .inc();
     }
 }
 
@@ -593,7 +600,10 @@ mod tests {
     fn scheduled_disk_corruption_fails_crc_and_quarantines() {
         let dir = tmp("bitrot");
         let faults = FaultPlan {
-            disk_corruptions: vec![CheckpointCorruption { rank: 1, at_step: 4 }],
+            disk_corruptions: vec![CheckpointCorruption {
+                rank: 1,
+                at_step: 4,
+            }],
             ..FaultPlan::none()
         };
         write_gens(&dir, &[2, 4], 2, faults);
@@ -662,7 +672,10 @@ mod tests {
             .collect();
         manifests.sort();
         assert_eq!(manifests, vec![manifest_name(6), manifest_name(8)]);
-        assert!(!dir.join(rank_file_name(2, 0)).exists(), "old gen files gone");
+        assert!(
+            !dir.join(rank_file_name(2, 0)).exists(),
+            "old gen files gone"
+        );
         assert_eq!(scan_for_restore(&dir, 2).restored.unwrap().step, 8);
         std::fs::remove_dir_all(&dir).ok();
     }

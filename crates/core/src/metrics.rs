@@ -134,10 +134,7 @@ impl RunMetrics {
         steps: usize,
         registry: &Registry,
     ) -> Self {
-        let time_to_solution = times_and_stats
-            .iter()
-            .map(|(t, _)| *t)
-            .fold(0.0, f64::max);
+        let time_to_solution = times_and_stats.iter().map(|(t, _)| *t).fold(0.0, f64::max);
         let totals = CommStats::aggregate(times_and_stats.iter().map(|(_, s)| s));
         Self {
             time_to_solution,
@@ -163,7 +160,10 @@ mod tests {
         reg.accountant("unscoped").charge_raw(7); // no rank prefix
         let b = memory_breakdown(&reg);
         assert_eq!(b.gpu_aggregate_peak, 2000);
-        assert_eq!(b.host_aggregate_peak, 450, "unscoped stays out of per-rank host");
+        assert_eq!(
+            b.host_aggregate_peak, 450,
+            "unscoped stays out of per-rank host"
+        );
         assert_eq!(b.host_max_rank_peak, 300);
         assert_eq!(b.unscoped, 7, "but is counted, not dropped");
     }

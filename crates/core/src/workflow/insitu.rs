@@ -35,8 +35,8 @@ use crate::workflow::sampler::{fault_summary, memory_summary, StepSampler};
 use crate::workflow::supervisor::{resume_solver, RecoveryOptions, SupervisedStepper};
 use commsim::WatchdogTimeout;
 use commsim::{
-    run_ranks_with_registry, Comm, CommStats, EventKind, FaultPlan, MachineModel, PhaseBreakdown,
-    RankTrace, TelemetryHub,
+    run_ranks_with_registry, with_mode, Comm, CommStats, EventKind, FaultPlan, MachineModel,
+    PhaseBreakdown, RankTrace, SchedMode, TelemetryHub,
 };
 use insitu::Bridge;
 use memtrack::Registry;
@@ -125,6 +125,12 @@ pub struct InSituConfig {
     pub mode: InSituMode,
     /// Synchronous or pipelined consumer execution.
     pub exec: ExecMode,
+    /// How rank worlds are driven: free-running threads or the
+    /// discrete-event scheduler (`NEK_SCHED_MODE`). Virtual-time output
+    /// is bitwise identical either way; event mode scales to far larger
+    /// worlds. Applies to every world this run spawns (producer and
+    /// pipelined consumer alike).
+    pub sched: SchedMode,
     /// Injected consumer faults (stalls slow the pipelined consumer;
     /// ignored by the synchronous paths).
     pub faults: FaultPlan,
@@ -259,6 +265,7 @@ fn insitu_manifest(cfg: &InSituConfig) -> telemetry::Manifest {
         workflow: "insitu".into(),
         mode: cfg.mode.label().to_ascii_lowercase(),
         exec: cfg.exec.label().into(),
+        sched: cfg.sched.label().into(),
         ranks: cfg.ranks,
         // The pipelined consumer world mirrors the sim world 1:1.
         endpoint_ranks: if pipelined { cfg.ranks } else { 0 },
@@ -292,101 +299,100 @@ fn run_synchronous(cfg: &InSituConfig) -> InSituReport {
     let rank_hub = hub.clone();
     let rank_registry = registry.clone();
 
-    let results = run_ranks_with_registry(
-        cfg.ranks,
-        cfg.machine.clone(),
-        registry.clone(),
-        move |comm| {
-            if trace {
-                comm.enable_tracing(0);
-            }
-            if let Some(hub) = &rank_hub {
-                comm.enable_telemetry(hub, 0);
-            }
-            let setup = comm.span("sim/setup");
-            let mut solver = case.build(comm);
-            drop(setup);
-            // Host-side baseline: mesh setup, solver host mirrors, MPI
-            // buffers (NekRS keeps roughly the field set on the host too).
-            let host_base = comm.accountant("host-base");
-            let _base = host_base.charge(solver.n_nodes() as u64 * 8 * 60);
-            let start = resume_solver(comm, &mut solver, &recovery);
-            let mut supervised = SupervisedStepper::new(comm, &recovery, &faults);
-            // Rank 0 feeds the flight recorder one sample per step.
-            let mut sampler = (comm.rank() == 0)
-                .then(|| rank_hub.clone())
-                .flatten()
-                .map(|hub| StepSampler::new(hub, rank_registry.clone(), comm.now()));
+    let results = with_mode(cfg.sched, || {
+        run_ranks_with_registry(
+            cfg.ranks,
+            cfg.machine.clone(),
+            registry.clone(),
+            move |comm| {
+                if trace {
+                    comm.enable_tracing(0);
+                }
+                if let Some(hub) = &rank_hub {
+                    comm.enable_telemetry(hub, 0);
+                }
+                let setup = comm.span("sim/setup");
+                let mut solver = case.build(comm);
+                drop(setup);
+                // Host-side baseline: mesh setup, solver host mirrors, MPI
+                // buffers (NekRS keeps roughly the field set on the host too).
+                let host_base = comm.accountant("host-base");
+                let _base = host_base.charge(solver.n_nodes() as u64 * 8 * 60);
+                let start = resume_solver(comm, &mut solver, &recovery);
+                let mut supervised = SupervisedStepper::new(comm, &recovery, &faults);
+                // Rank 0 feeds the flight recorder one sample per step.
+                let mut sampler = (comm.rank() == 0)
+                    .then(|| rank_hub.clone())
+                    .flatten()
+                    .map(|hub| StepSampler::new(hub, rank_registry.clone(), comm.now()));
 
-            match mode {
-                InSituMode::Original => {
-                    for s in start..=steps {
-                        solver.step(comm);
-                        supervised.after_step(comm, &mut solver, s as u64);
-                        if let Some(sampler) = &mut sampler {
-                            sampler.sample(comm, s as u64, None, 0.0);
+                match mode {
+                    InSituMode::Original => {
+                        for s in start..=steps {
+                            solver.step(comm);
+                            supervised.after_step(comm, &mut solver, s as u64);
+                            if let Some(sampler) = &mut sampler {
+                                sampler.sample(comm, s as u64, None, 0.0);
+                            }
                         }
                     }
-                }
-                InSituMode::Checkpointing => {
-                    let mut chk = FldCheckpointer::new(comm, output_dir.clone());
-                    let pool = SnapshotPool::new(comm.accountant("snapshot-pool"));
-                    let spec = SnapshotSpec {
-                        pressure: true,
-                        velocity: true,
-                        temperature: true,
-                        ..SnapshotSpec::default()
-                    };
-                    for s in start..=steps {
-                        solver.step(comm);
-                        supervised.after_step(comm, &mut solver, s as u64);
-                        if (s as u64).is_multiple_of(trigger) {
-                            let snap = solver.publish_snapshot(comm, &spec, &pool);
-                            let _sp = comm.span("insitu/checkpoint");
-                            chk.write(comm, &snap);
-                        }
-                        if let Some(sampler) = &mut sampler {
-                            sampler.sample(comm, s as u64, Some(&pool), 0.0);
-                        }
-                    }
-                }
-                InSituMode::Catalyst => {
-                    let xml = catalyst_xml(trigger, width, height, output_dir.as_deref());
-                    let mut bridge =
-                        Bridge::initialize(comm, &xml, &[CatalystAnalysis::factory()])
-                            .expect("valid generated config");
-                    let geometry = Arc::new(NekGeometry::build(comm, &solver));
-                    let pool = SnapshotPool::new(comm.accountant("snapshot-pool"));
-                    for s in start..=steps {
-                        solver.step(comm);
-                        supervised.after_step(comm, &mut solver, s as u64);
-                        let step = s as u64;
-                        if bridge.triggers_at(step) {
-                            let spec = SnapshotSpec::from_names(bridge.arrays_at(step));
-                            let snap = solver.publish_snapshot(comm, &spec, &pool);
-                            let mut da =
-                                SnapshotAdaptor::new(comm, snap, Arc::clone(&geometry));
-                            bridge
-                                .update(comm, step, &mut da)
-                                .expect("in situ update");
-                        }
-                        if let Some(sampler) = &mut sampler {
-                            sampler.sample(comm, step, Some(&pool), 0.0);
+                    InSituMode::Checkpointing => {
+                        let mut chk = FldCheckpointer::new(comm, output_dir.clone());
+                        let pool = SnapshotPool::new(comm.accountant("snapshot-pool"));
+                        let spec = SnapshotSpec {
+                            pressure: true,
+                            velocity: true,
+                            temperature: true,
+                            ..SnapshotSpec::default()
+                        };
+                        for s in start..=steps {
+                            solver.step(comm);
+                            supervised.after_step(comm, &mut solver, s as u64);
+                            if (s as u64).is_multiple_of(trigger) {
+                                let snap = solver.publish_snapshot(comm, &spec, &pool);
+                                let _sp = comm.span("insitu/checkpoint");
+                                chk.write(comm, &snap);
+                            }
+                            if let Some(sampler) = &mut sampler {
+                                sampler.sample(comm, s as u64, Some(&pool), 0.0);
+                            }
                         }
                     }
-                    bridge.finalize(comm).expect("finalize");
+                    InSituMode::Catalyst => {
+                        let xml = catalyst_xml(trigger, width, height, output_dir.as_deref());
+                        let mut bridge =
+                            Bridge::initialize(comm, &xml, &[CatalystAnalysis::factory()])
+                                .expect("valid generated config");
+                        let geometry = Arc::new(NekGeometry::build(comm, &solver));
+                        let pool = SnapshotPool::new(comm.accountant("snapshot-pool"));
+                        for s in start..=steps {
+                            solver.step(comm);
+                            supervised.after_step(comm, &mut solver, s as u64);
+                            let step = s as u64;
+                            if bridge.triggers_at(step) {
+                                let spec = SnapshotSpec::from_names(bridge.arrays_at(step));
+                                let snap = solver.publish_snapshot(comm, &spec, &pool);
+                                let mut da =
+                                    SnapshotAdaptor::new(comm, snap, Arc::clone(&geometry));
+                                bridge.update(comm, step, &mut da).expect("in situ update");
+                            }
+                            if let Some(sampler) = &mut sampler {
+                                sampler.sample(comm, step, Some(&pool), 0.0);
+                            }
+                        }
+                        bridge.finalize(comm).expect("finalize");
+                    }
                 }
-            }
-            {
-                let _sp = comm.span("sim/finalize");
-                comm.barrier();
-            }
-            comm.take_trace()
-        },
-    );
+                {
+                    let _sp = comm.span("sim/finalize");
+                    comm.barrier();
+                }
+                comm.take_trace()
+            },
+        )
+    });
 
-    let times_stats: Vec<(f64, CommStats)> =
-        results.iter().map(|r| (r.time, r.stats)).collect();
+    let times_stats: Vec<(f64, CommStats)> = results.iter().map(|r| (r.time, r.stats)).collect();
     let traces: Vec<RankTrace> = results.into_iter().filter_map(|r| r.value).collect();
     report_from(cfg, &registry, times_stats, traces, hub.as_ref())
 }
@@ -409,7 +415,9 @@ struct PublishedFrame {
 enum ToConsumer {
     Frame(PublishedFrame),
     /// No more frames; `at` is the producer's final virtual time.
-    Done { at: f64 },
+    Done {
+        at: f64,
+    },
 }
 
 /// Consumer → producer acknowledgement freeing one pipeline slot.
@@ -438,7 +446,11 @@ impl ProducerLink {
         while self.in_flight >= PIPELINE_DEPTH {
             let _sp = comm.span("snapshot/backpressure");
             let before = comm.now();
-            let credit = self.credits.recv().expect("consumer rank alive");
+            // The credit comes from the consumer world: wait outside the
+            // event scheduler's run token so consumer ranks can run.
+            let credit = comm
+                .external_wait(|| self.credits.recv())
+                .expect("consumer rank alive");
             comm.advance_to(credit.finished_at);
             let waited = (comm.now() - before).max(0.0);
             self.backpressure_wait += waited;
@@ -472,7 +484,7 @@ impl ProducerLink {
     /// own time) and signal end of stream.
     fn finish(mut self, comm: &Comm) {
         while self.in_flight > 0 {
-            if self.credits.recv().is_err() {
+            if comm.external_wait(|| self.credits.recv()).is_err() {
                 break;
             }
             self.in_flight -= 1;
@@ -536,7 +548,9 @@ fn consume_checkpoints(
     output_dir: Option<std::path::PathBuf>,
 ) {
     let mut chk = FldCheckpointer::new(comm, output_dir);
-    while let Ok(msg) = link.frames.recv() {
+    // Frames come from the producer world: wait off-token (see
+    // `Comm::external_wait`) so an event-scheduled producer can progress.
+    while let Ok(msg) = comm.external_wait(|| link.frames.recv()) {
         match msg {
             ToConsumer::Frame(frame) => {
                 consumer_arrive(comm, faults, &frame);
@@ -571,7 +585,7 @@ fn consume_catalyst(
     let xml = catalyst_xml(trigger, width, height, output_dir.as_deref());
     let mut bridge = Bridge::initialize(comm, &xml, &[CatalystAnalysis::factory()])
         .expect("valid generated config");
-    while let Ok(msg) = link.frames.recv() {
+    while let Ok(msg) = comm.external_wait(|| link.frames.recv()) {
         match msg {
             ToConsumer::Frame(frame) => {
                 consumer_arrive(comm, faults, &frame);
@@ -622,35 +636,38 @@ fn run_pipelined(cfg: &InSituConfig) -> InSituReport {
         let faults = cfg.faults.clone();
         let links = Arc::clone(&consumer_links);
         let hub = hub.clone();
+        let sched = cfg.sched;
         std::thread::spawn(move || {
-            run_ranks_with_registry(ranks, machine, registry, move |comm| {
-                if trace {
-                    comm.enable_tracing(1);
-                }
-                if let Some(hub) = &hub {
-                    comm.enable_telemetry(hub, 1);
-                }
-                let link = links.lock()[comm.rank()]
-                    .take()
-                    .expect("one consumer per rank");
-                match mode {
-                    InSituMode::Checkpointing => {
-                        consume_checkpoints(comm, link, &faults, output_dir.clone());
+            with_mode(sched, || {
+                run_ranks_with_registry(ranks, machine, registry, move |comm| {
+                    if trace {
+                        comm.enable_tracing(1);
                     }
-                    InSituMode::Catalyst => {
-                        consume_catalyst(
-                            comm,
-                            link,
-                            &faults,
-                            trigger,
-                            width,
-                            height,
-                            output_dir.clone(),
-                        );
+                    if let Some(hub) = &hub {
+                        comm.enable_telemetry(hub, 1);
                     }
-                    InSituMode::Original => unreachable!("original mode has no consumer"),
-                }
-                comm.take_trace()
+                    let link = links.lock()[comm.rank()]
+                        .take()
+                        .expect("one consumer per rank");
+                    match mode {
+                        InSituMode::Checkpointing => {
+                            consume_checkpoints(comm, link, &faults, output_dir.clone());
+                        }
+                        InSituMode::Catalyst => {
+                            consume_catalyst(
+                                comm,
+                                link,
+                                &faults,
+                                trigger,
+                                width,
+                                height,
+                                output_dir.clone(),
+                            );
+                        }
+                        InSituMode::Original => unreachable!("original mode has no consumer"),
+                    }
+                    comm.take_trace()
+                })
             })
         })
     };
@@ -666,90 +683,90 @@ fn run_pipelined(cfg: &InSituConfig) -> InSituReport {
     let links = Arc::clone(&producer_links);
     let rank_hub = hub.clone();
     let rank_registry = registry.clone();
-    let producer_results = run_ranks_with_registry(
-        cfg.ranks,
-        cfg.machine.clone(),
-        registry.clone(),
-        move |comm| {
-            if trace {
-                comm.enable_tracing(0);
-            }
-            if let Some(hub) = &rank_hub {
-                comm.enable_telemetry(hub, 0);
-            }
-            let setup = comm.span("sim/setup");
-            let mut solver = case.build(comm);
-            drop(setup);
-            let host_base = comm.accountant("host-base");
-            let _base = host_base.charge(solver.n_nodes() as u64 * 8 * 60);
-            let start = resume_solver(comm, &mut solver, &recovery);
-            let mut supervised = SupervisedStepper::new(comm, &recovery, &producer_faults);
-            let watchdog = recovery.watchdog;
-            let mut sampler = (comm.rank() == 0)
-                .then(|| rank_hub.clone())
-                .flatten()
-                .map(|hub| StepSampler::new(hub, rank_registry.clone(), comm.now()));
-
-            let mut link = links.lock()[comm.rank()]
-                .take()
-                .expect("one producer per rank");
-            let pool = SnapshotPool::new(comm.accountant("snapshot-pool"));
-            // `run_insitu` generates the consumer configuration itself, so
-            // the producer knows the requested fields up front (the
-            // Catalyst config is a pressure slice + velocity contour).
-            let (spec, geometry) = match mode {
-                InSituMode::Checkpointing => (
-                    SnapshotSpec {
-                        pressure: true,
-                        velocity: true,
-                        temperature: true,
-                        ..SnapshotSpec::default()
-                    },
-                    None,
-                ),
-                InSituMode::Catalyst => (
-                    SnapshotSpec {
-                        pressure: true,
-                        velocity: true,
-                        ..SnapshotSpec::default()
-                    },
-                    Some(Arc::new(NekGeometry::build(comm, &solver))),
-                ),
-                InSituMode::Original => unreachable!("original runs synchronously"),
-            };
-
-            for s in start..=steps {
-                solver.step(comm);
-                let step = s as u64;
-                supervised.after_step(comm, &mut solver, step);
-                if step.is_multiple_of(trigger) {
-                    link.reserve(comm, step, watchdog);
-                    let snapshot = solver.publish_snapshot(comm, &spec, &pool);
-                    link.send(PublishedFrame {
-                        snapshot,
-                        geometry: geometry.clone(),
-                        step,
-                        published_at: comm.now(),
-                    });
+    let producer_results = with_mode(cfg.sched, || {
+        run_ranks_with_registry(
+            cfg.ranks,
+            cfg.machine.clone(),
+            registry.clone(),
+            move |comm| {
+                if trace {
+                    comm.enable_tracing(0);
                 }
-                if let Some(sampler) = &mut sampler {
-                    sampler.sample(comm, step, Some(&pool), link.backpressure_wait);
+                if let Some(hub) = &rank_hub {
+                    comm.enable_telemetry(hub, 0);
                 }
-            }
-            link.finish(comm);
-            {
-                let _sp = comm.span("sim/finalize");
-                comm.barrier();
-            }
-            comm.take_trace()
-        },
-    );
+                let setup = comm.span("sim/setup");
+                let mut solver = case.build(comm);
+                drop(setup);
+                let host_base = comm.accountant("host-base");
+                let _base = host_base.charge(solver.n_nodes() as u64 * 8 * 60);
+                let start = resume_solver(comm, &mut solver, &recovery);
+                let mut supervised = SupervisedStepper::new(comm, &recovery, &producer_faults);
+                let watchdog = recovery.watchdog;
+                let mut sampler = (comm.rank() == 0)
+                    .then(|| rank_hub.clone())
+                    .flatten()
+                    .map(|hub| StepSampler::new(hub, rank_registry.clone(), comm.now()));
+
+                let mut link = links.lock()[comm.rank()]
+                    .take()
+                    .expect("one producer per rank");
+                let pool = SnapshotPool::new(comm.accountant("snapshot-pool"));
+                // `run_insitu` generates the consumer configuration itself, so
+                // the producer knows the requested fields up front (the
+                // Catalyst config is a pressure slice + velocity contour).
+                let (spec, geometry) = match mode {
+                    InSituMode::Checkpointing => (
+                        SnapshotSpec {
+                            pressure: true,
+                            velocity: true,
+                            temperature: true,
+                            ..SnapshotSpec::default()
+                        },
+                        None,
+                    ),
+                    InSituMode::Catalyst => (
+                        SnapshotSpec {
+                            pressure: true,
+                            velocity: true,
+                            ..SnapshotSpec::default()
+                        },
+                        Some(Arc::new(NekGeometry::build(comm, &solver))),
+                    ),
+                    InSituMode::Original => unreachable!("original runs synchronously"),
+                };
+
+                for s in start..=steps {
+                    solver.step(comm);
+                    let step = s as u64;
+                    supervised.after_step(comm, &mut solver, step);
+                    if step.is_multiple_of(trigger) {
+                        link.reserve(comm, step, watchdog);
+                        let snapshot = solver.publish_snapshot(comm, &spec, &pool);
+                        link.send(PublishedFrame {
+                            snapshot,
+                            geometry: geometry.clone(),
+                            step,
+                            published_at: comm.now(),
+                        });
+                    }
+                    if let Some(sampler) = &mut sampler {
+                        sampler.sample(comm, step, Some(&pool), link.backpressure_wait);
+                    }
+                }
+                link.finish(comm);
+                {
+                    let _sp = comm.span("sim/finalize");
+                    comm.barrier();
+                }
+                comm.take_trace()
+            },
+        )
+    });
     let consumer_results = consumer_world.join().expect("consumer world");
 
-    let mut times_stats: Vec<(f64, CommStats)> = producer_results
-        .iter()
-        .map(|r| (r.time, r.stats))
-        .collect();
+    let mut times_stats: Vec<(f64, CommStats)> =
+        producer_results.iter().map(|r| (r.time, r.stats)).collect();
     times_stats.extend(consumer_results.iter().map(|r| (r.time, r.stats)));
     let traces: Vec<RankTrace> = producer_results
         .into_iter()
@@ -777,6 +794,7 @@ mod tests {
             image_size: (64, 48),
             mode,
             exec: ExecMode::default(),
+            sched: SchedMode::default(),
             faults: FaultPlan::none(),
             output_dir: None,
             trace: false,
@@ -862,7 +880,8 @@ mod tests {
             assert_eq!(piped.bytes_written, sync.bytes_written);
             assert_eq!(piped.files_written, sync.files_written);
             assert_eq!(
-                piped.metrics.totals.bytes_d2h, sync.metrics.totals.bytes_d2h,
+                piped.metrics.totals.bytes_d2h,
+                sync.metrics.totals.bytes_d2h,
                 "{}: publish stages the same bytes in both modes",
                 mode.label()
             );

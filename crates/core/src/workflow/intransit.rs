@@ -14,15 +14,16 @@ use crate::adaptor::{NekGeometry, SnapshotAdaptor};
 use crate::metrics::{DegradationSummary, RunMetrics};
 use crate::workflow::sampler::{fault_summary, memory_summary, StepSampler};
 use crate::workflow::supervisor::{resume_solver, RecoveryOptions, SupervisedStepper};
-use sem::snapshot::{SnapshotPool, SnapshotSpec};
 use commsim::{
-    run_ranks_with_registry, CommStats, FaultPlan, MachineModel, PhaseBreakdown, RankTrace,
+    run_ranks_with_registry, with_mode, CommStats, FaultPlan, MachineModel, PhaseBreakdown,
+    RankTrace, SchedMode,
 };
 use insitu::Bridge;
 use memtrack::Registry;
 use parking_lot::Mutex;
 use render::CatalystAnalysis;
 use sem::cases::CaseSetup;
+use sem::snapshot::{SnapshotPool, SnapshotSpec};
 use std::sync::Arc;
 use transport::{
     QueuePolicy, ReportSink, StagingLink, StagingNetwork, TransportAnalysis, WriterConfig,
@@ -75,6 +76,10 @@ pub struct InTransitConfig {
     pub policy: QueuePolicy,
     /// Endpoint behavior under test.
     pub mode: EndpointMode,
+    /// How the two rank worlds are driven: free-running threads or the
+    /// discrete-event scheduler (`NEK_SCHED_MODE`). Bitwise-identical
+    /// virtual-time output either way.
+    pub sched: SchedMode,
     /// Rendered image size (Catalyst endpoint).
     pub image_size: (usize, usize),
     /// Write real artifacts here when set.
@@ -177,25 +182,28 @@ pub fn run_intransit(cfg: &InTransitConfig) -> InTransitReport {
         let mode = cfg.mode;
         let trace = cfg.trace;
         let endpoint_hub = hub.clone();
+        let sched = cfg.sched;
         let handle = std::thread::spawn(move || {
-            commsim::run_ranks_with_state(machine, readers, move |comm, mut reader| {
-                if trace {
-                    comm.enable_tracing(1);
-                }
-                if let Some(hub) = &endpoint_hub {
-                    comm.enable_telemetry(hub, 1);
-                }
-                reader.set_accountant(comm.accountant("staging"));
-                let factories = match mode {
-                    EndpointMode::Catalyst => vec![CatalystAnalysis::factory()],
-                    _ => vec![],
-                };
-                let mut consumer =
-                    transport::EndpointConsumer::new(reader, &xml, &factories, sim_ranks)
-                        .expect("valid endpoint config");
-                let report = consumer.run(comm).expect("endpoint run");
-                let stats = *comm.stats();
-                (report, stats, comm.take_trace())
+            with_mode(sched, || {
+                commsim::run_ranks_with_state(machine, readers, move |comm, mut reader| {
+                    if trace {
+                        comm.enable_tracing(1);
+                    }
+                    if let Some(hub) = &endpoint_hub {
+                        comm.enable_telemetry(hub, 1);
+                    }
+                    reader.set_accountant(comm.accountant("staging"));
+                    let factories = match mode {
+                        EndpointMode::Catalyst => vec![CatalystAnalysis::factory()],
+                        _ => vec![],
+                    };
+                    let mut consumer =
+                        transport::EndpointConsumer::new(reader, &xml, &factories, sim_ranks)
+                            .expect("valid endpoint config");
+                    let report = consumer.run(comm).expect("endpoint run");
+                    let stats = *comm.stats();
+                    (report, stats, comm.take_trace())
+                })
             })
         });
         (Some(writers), Some(handle))
@@ -219,93 +227,93 @@ pub fn run_intransit(cfg: &InTransitConfig) -> InTransitReport {
     let recovery = cfg.recovery.clone();
     let rank_hub = hub.clone();
     let rank_registry = registry.clone();
-    let results = run_ranks_with_registry(
-        cfg.sim_ranks,
-        cfg.machine.clone(),
-        registry.clone(),
-        move |comm| {
-            if trace {
-                comm.enable_tracing(0);
-            }
-            if let Some(hub) = &rank_hub {
-                comm.enable_telemetry(hub, 0);
-            }
-            let setup = comm.span("sim/setup");
-            let mut solver = case.build(comm);
-            let host_base = comm.accountant("host-base");
-            let _base = host_base.charge(solver.n_nodes() as u64 * 8 * 60);
-
-            let arrays = if has_temperature {
-                "pressure,velocity,temperature"
-            } else {
-                "pressure,velocity"
-            };
-            let (xml, factories): (String, Vec<insitu::AdaptorFactory>) = match mode {
-                EndpointMode::NoTransport => ("<sensei></sensei>".to_string(), vec![]),
-                _ => {
-                    let writer = slots.lock()[comm.rank()]
-                        .take()
-                        .expect("one staging writer per sim rank");
-                    (
-                        format!(
-                            r#"<sensei><analysis type="adios-sst" frequency="{trigger}" arrays="{arrays}"/></sensei>"#
-                        ),
-                        vec![TransportAnalysis::factory_with_recovery(
-                            writer,
-                            fallback_dir.clone(),
-                            Some(Arc::clone(&sink)),
-                        )],
-                    )
+    let results = with_mode(cfg.sched, || {
+        run_ranks_with_registry(
+            cfg.sim_ranks,
+            cfg.machine.clone(),
+            registry.clone(),
+            move |comm| {
+                if trace {
+                    comm.enable_tracing(0);
                 }
-            };
-            let mut bridge =
-                Bridge::initialize(comm, &xml, &factories).expect("valid generated config");
-            drop(setup);
-            let start = resume_solver(comm, &mut solver, &recovery);
-            let mut supervised = SupervisedStepper::new(comm, &recovery, &sim_faults);
-            let pool = SnapshotPool::new(comm.accountant("snapshot-pool"));
-            let mut sampler = (comm.rank() == 0)
-                .then(|| rank_hub.clone())
-                .flatten()
-                .map(|hub| StepSampler::new(hub, rank_registry.clone(), comm.now()));
-            // Built on the first trigger: NoTransport never pays for the
-            // VTK geometry, matching its bare-solver memory profile.
-            let mut geometry: Option<Arc<NekGeometry>> = None;
-            for s in start..=steps {
-                solver.step(comm);
-                let step = s as u64;
-                supervised.after_step(comm, &mut solver, step);
-                if bridge.triggers_at(step) {
-                    if geometry.is_none() {
-                        geometry = Some(Arc::new(NekGeometry::build(comm, &solver)));
+                if let Some(hub) = &rank_hub {
+                    comm.enable_telemetry(hub, 0);
+                }
+                let setup = comm.span("sim/setup");
+                let mut solver = case.build(comm);
+                let host_base = comm.accountant("host-base");
+                let _base = host_base.charge(solver.n_nodes() as u64 * 8 * 60);
+
+                let arrays = if has_temperature {
+                    "pressure,velocity,temperature"
+                } else {
+                    "pressure,velocity"
+                };
+                let (xml, factories): (String, Vec<insitu::AdaptorFactory>) = match mode {
+                    EndpointMode::NoTransport => ("<sensei></sensei>".to_string(), vec![]),
+                    _ => {
+                        let writer = slots.lock()[comm.rank()]
+                            .take()
+                            .expect("one staging writer per sim rank");
+                        (
+                            format!(
+                                r#"<sensei><analysis type="adios-sst" frequency="{trigger}" arrays="{arrays}"/></sensei>"#
+                            ),
+                            vec![TransportAnalysis::factory_with_recovery(
+                                writer,
+                                fallback_dir.clone(),
+                                Some(Arc::clone(&sink)),
+                            )],
+                        )
                     }
-                    let spec = SnapshotSpec::from_names(bridge.arrays_at(step));
-                    let snap = solver.publish_snapshot(comm, &spec, &pool);
-                    let mut da = SnapshotAdaptor::new(
-                        comm,
-                        snap,
-                        Arc::clone(geometry.as_ref().expect("built above")),
-                    );
-                    bridge.update(comm, step, &mut da).expect("update");
+                };
+                let mut bridge =
+                    Bridge::initialize(comm, &xml, &factories).expect("valid generated config");
+                drop(setup);
+                let start = resume_solver(comm, &mut solver, &recovery);
+                let mut supervised = SupervisedStepper::new(comm, &recovery, &sim_faults);
+                let pool = SnapshotPool::new(comm.accountant("snapshot-pool"));
+                let mut sampler = (comm.rank() == 0)
+                    .then(|| rank_hub.clone())
+                    .flatten()
+                    .map(|hub| StepSampler::new(hub, rank_registry.clone(), comm.now()));
+                // Built on the first trigger: NoTransport never pays for the
+                // VTK geometry, matching its bare-solver memory profile.
+                let mut geometry: Option<Arc<NekGeometry>> = None;
+                for s in start..=steps {
+                    solver.step(comm);
+                    let step = s as u64;
+                    supervised.after_step(comm, &mut solver, step);
+                    if bridge.triggers_at(step) {
+                        if geometry.is_none() {
+                            geometry = Some(Arc::new(NekGeometry::build(comm, &solver)));
+                        }
+                        let spec = SnapshotSpec::from_names(bridge.arrays_at(step));
+                        let snap = solver.publish_snapshot(comm, &spec, &pool);
+                        let mut da = SnapshotAdaptor::new(
+                            comm,
+                            snap,
+                            Arc::clone(geometry.as_ref().expect("built above")),
+                        );
+                        bridge.update(comm, step, &mut da).expect("update");
+                    }
+                    if let Some(sampler) = &mut sampler {
+                        sampler.sample(comm, step, Some(&pool), 0.0);
+                    }
                 }
-                if let Some(sampler) = &mut sampler {
-                    sampler.sample(comm, step, Some(&pool), 0.0);
+                {
+                    let _sp = comm.span("sim/finalize");
+                    bridge.finalize(comm).expect("finalize");
+                    comm.barrier();
                 }
-            }
-            {
-                let _sp = comm.span("sim/finalize");
-                bridge.finalize(comm).expect("finalize");
-                comm.barrier();
-            }
-            comm.take_trace()
-        },
-    );
+                comm.take_trace()
+            },
+        )
+    });
 
-    let times_stats: Vec<(f64, CommStats)> =
-        results.iter().map(|r| (r.time, r.stats)).collect();
+    let times_stats: Vec<(f64, CommStats)> = results.iter().map(|r| (r.time, r.stats)).collect();
     let sim = RunMetrics::from_ranks(&times_stats, cfg.steps, &registry);
-    let sim_node_mem_peak =
-        sim.memory.host_max_rank_peak * cfg.machine.ranks_per_node as u64;
+    let sim_node_mem_peak = sim.memory.host_max_rank_peak * cfg.machine.ranks_per_node as u64;
 
     let degradation = DegradationSummary::from_reports(&report_sink.lock());
 
@@ -367,6 +375,7 @@ pub fn run_intransit(cfg: &InTransitConfig) -> InTransitReport {
                 workflow: "intransit".into(),
                 mode: cfg.mode.label().to_ascii_lowercase(),
                 exec: "concurrent".into(),
+                sched: cfg.sched.label().into(),
                 ranks: cfg.sim_ranks,
                 endpoint_ranks,
                 steps: cfg.steps as u64,
@@ -444,6 +453,7 @@ mod tests {
             queue_capacity: 8,
             policy: QueuePolicy::Block,
             mode,
+            sched: SchedMode::default(),
             image_size: (64, 48),
             output_dir: None,
             faults: FaultPlan::none(),
@@ -456,10 +466,8 @@ mod tests {
     }
 
     fn scratch_dir(tag: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "nek-sensei-intransit-{tag}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("nek-sensei-intransit-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).expect("scratch dir");
         dir
@@ -499,8 +507,7 @@ mod tests {
     fn sim_overhead_of_transport_is_modest() {
         let none = run_intransit(&tiny_config(4, EndpointMode::NoTransport));
         let cat = run_intransit(&tiny_config(4, EndpointMode::Catalyst));
-        let overhead =
-            (cat.sim.mean_step_time - none.sim.mean_step_time) / none.sim.mean_step_time;
+        let overhead = (cat.sim.mean_step_time - none.sim.mean_step_time) / none.sim.mean_step_time;
         // The paper's point: in transit costs the simulation little. At
         // this tiny scale allow a generous bound, but it must not blow up.
         assert!(

@@ -171,11 +171,7 @@ pub fn run_supervised_insitu(
     cfg: &InSituConfig,
     sup: &SupervisorConfig,
 ) -> SupervisedReport<InSituReport> {
-    let hub = cfg
-        .recovery
-        .hub
-        .clone()
-        .unwrap_or_default();
+    let hub = cfg.recovery.hub.clone().unwrap_or_default();
     let ranks = cfg.ranks;
     supervise(sup, &hub, ranks, &cfg.faults, |faults, recovery| {
         let mut attempt = cfg.clone();
@@ -192,11 +188,7 @@ pub fn run_supervised_intransit(
     cfg: &InTransitConfig,
     sup: &SupervisorConfig,
 ) -> SupervisedReport<InTransitReport> {
-    let hub = cfg
-        .recovery
-        .hub
-        .clone()
-        .unwrap_or_default();
+    let hub = cfg.recovery.hub.clone().unwrap_or_default();
     let ranks = cfg.sim_ranks;
     supervise(sup, &hub, ranks, &cfg.faults, |faults, recovery| {
         let mut attempt = cfg.clone();
@@ -300,9 +292,7 @@ fn supervise<R>(
             hub,
             EventKind::RecoveryCompleted,
             Some(resumed_from),
-            format!(
-                "resuming from step {resumed_from} ({lost} steps lost, backoff {backoff:.1}s)"
-            ),
+            format!("resuming from step {resumed_from} ({lost} steps lost, backoff {backoff:.1}s)"),
         );
         stats.outcomes.push(AttemptOutcome {
             failure: kind,
@@ -390,7 +380,11 @@ pub(crate) fn resume_solver(
         panic_any(RestorePanic {
             rank: comm.rank(),
             step: gen.step,
-            reason: format!("generation has {} dumps, world has {}", gen.dumps.len(), comm.size()),
+            reason: format!(
+                "generation has {} dumps, world has {}",
+                gen.dumps.len(),
+                comm.size()
+            ),
         });
     }
     let dump = &gen.dumps[comm.rank()];
@@ -486,6 +480,7 @@ mod tests {
             image_size: (32, 24),
             mode: InSituMode::Original,
             exec: ExecMode::Synchronous,
+            sched: Default::default(),
             faults,
             output_dir: None,
             trace: false,
@@ -534,8 +529,14 @@ mod tests {
         let dir = scratch("giveup");
         let faults = FaultPlan {
             sim_crashes: vec![
-                SimRankCrash { rank: 0, at_step: 1 },
-                SimRankCrash { rank: 0, at_step: 2 },
+                SimRankCrash {
+                    rank: 0,
+                    at_step: 1,
+                },
+                SimRankCrash {
+                    rank: 0,
+                    at_step: 2,
+                },
             ],
             ..FaultPlan::none()
         };

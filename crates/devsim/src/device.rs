@@ -113,7 +113,11 @@ mod tests {
             let buf = device.malloc::<f64>(1000);
             let during = device.bytes_allocated();
             drop(buf);
-            (during, device.bytes_allocated(), device.peak_bytes_allocated())
+            (
+                during,
+                device.bytes_allocated(),
+                device.peak_bytes_allocated(),
+            )
         });
         let (during, after, peak) = res[0];
         assert_eq!(during, 8000);

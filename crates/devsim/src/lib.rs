@@ -37,13 +37,17 @@ mod tests {
             let device = Device::new(comm);
             let x = device.upload(comm, &[1.0f64, 2.0, 3.0]);
             let mut y = device.upload(comm, &[10.0f64, 20.0, 30.0]);
-            device.launch(comm, KernelSpec::streaming(2.0 * 3.0, (3 * 8 * 3) as f64), |ctx| {
-                let ys = y.view_mut(ctx);
-                let xs = x.view(ctx);
-                for (yi, xi) in ys.iter_mut().zip(xs) {
-                    *yi += 2.0 * *xi;
-                }
-            });
+            device.launch(
+                comm,
+                KernelSpec::streaming(2.0 * 3.0, (3 * 8 * 3) as f64),
+                |ctx| {
+                    let ys = y.view_mut(ctx);
+                    let xs = x.view(ctx);
+                    for (yi, xi) in ys.iter_mut().zip(xs) {
+                        *yi += 2.0 * *xi;
+                    }
+                },
+            );
             let mut out = vec![0.0; 3];
             y.copy_to_host(comm, &mut out);
             (out, comm.stats().bytes_d2h, comm.now())

@@ -153,8 +153,7 @@ mod tests {
     #[test]
     fn extrema_are_located_globally() {
         let res = run_ranks(3, MachineModel::test_tiny(), |comm| {
-            let mut da =
-                StaticDataAdaptor::new("mesh", block(comm.rank(), comm.size()), 2.5, 9);
+            let mut da = StaticDataAdaptor::new("mesh", block(comm.rank(), comm.size()), 2.5, 9);
             let mut e = ExtremaAnalysis::new("mesh", "v");
             e.execute(comm, &mut da).unwrap();
             e.history()[0]

@@ -135,7 +135,8 @@ mod tests {
             g.add_point([i as f64, 0.0, 0.0]);
         }
         g.add_cell(CellType::Line, &[0, 1]);
-        g.add_point_data(DataArray::scalars_f64("v", values)).unwrap();
+        g.add_point_data(DataArray::scalars_f64("v", values))
+            .unwrap();
         MultiBlock::local(rank, nranks, g)
     }
 

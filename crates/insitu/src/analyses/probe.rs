@@ -132,8 +132,7 @@ impl AnalysisAdaptor for ProbeAnalysis {
         if let Some(parent) = path.parent() {
             std::fs::create_dir_all(parent).ok();
         }
-        std::fs::write(path, csv)
-            .map_err(|e| Error::Analysis(format!("write {path:?}: {e}")))?;
+        std::fs::write(path, csv).map_err(|e| Error::Analysis(format!("write {path:?}: {e}")))?;
         Ok(())
     }
 }
@@ -163,8 +162,7 @@ mod tests {
     fn probe_samples_the_nearest_point_across_ranks() {
         let res = run_ranks(2, MachineModel::test_tiny(), |comm| {
             // Points: rank 0 at x=0,1,2; rank 1 at x=3,4,5.
-            let mut da =
-                StaticDataAdaptor::new("mesh", block(comm.rank(), comm.size()), 1.0, 5);
+            let mut da = StaticDataAdaptor::new("mesh", block(comm.rank(), comm.size()), 1.0, 5);
             // Probe at x=4.2 → nearest is rank 1's x=4 (value 101).
             let mut p = ProbeAnalysis::new("mesh", "v", [4.2, 0.0, 0.0]);
             p.execute(comm, &mut da).unwrap();

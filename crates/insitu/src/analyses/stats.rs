@@ -147,8 +147,7 @@ impl AnalysisAdaptor for StatsAnalysis {
         if let Some(parent) = path.parent() {
             std::fs::create_dir_all(parent).ok();
         }
-        std::fs::write(path, csv)
-            .map_err(|e| Error::Analysis(format!("write {path:?}: {e}")))?;
+        std::fs::write(path, csv).map_err(|e| Error::Analysis(format!("write {path:?}: {e}")))?;
         Ok(())
     }
 }
@@ -168,7 +167,8 @@ mod tests {
         for i in 0..values.len() - 1 {
             g.add_cell(CellType::Line, &[i as i64, i as i64 + 1]);
         }
-        g.add_point_data(DataArray::scalars_f64("v", values)).unwrap();
+        g.add_point_data(DataArray::scalars_f64("v", values))
+            .unwrap();
         MultiBlock::local(rank, nranks, g)
     }
 

@@ -78,8 +78,9 @@ impl VtuCheckpointAnalysis {
             if spec.kind != "vtu-checkpoint" {
                 return Ok(None);
             }
-            Ok(Some(Box::new(VtuCheckpointAnalysis::from_spec(spec)?)
-                as Box<dyn AnalysisAdaptor>))
+            Ok(Some(
+                Box::new(VtuCheckpointAnalysis::from_spec(spec)?) as Box<dyn AnalysisAdaptor>
+            ))
         })
     }
 
@@ -135,10 +136,8 @@ impl AnalysisAdaptor for VtuCheckpointAnalysis {
             piece_names.push(name);
         }
         // Rank 0 writes the .pvtu index over all pieces.
-        let all_pieces: Vec<Vec<String>> = comm.allgather(
-            piece_names,
-            64 * mb.local_blocks().count().max(1) as u64,
-        );
+        let all_pieces: Vec<Vec<String>> =
+            comm.allgather(piece_names, 64 * mb.local_blocks().count().max(1) as u64);
         if comm.rank() == 0 {
             let md = data.mesh_metadata(comm, &self.mesh)?;
             let pieces: Vec<String> = all_pieces.into_iter().flatten().collect();
@@ -159,8 +158,7 @@ impl AnalysisAdaptor for VtuCheckpointAnalysis {
 }
 
 fn persist(dir: &std::path::Path, name: &str, buf: &[u8]) -> Result<()> {
-    std::fs::create_dir_all(dir)
-        .map_err(|e| Error::Analysis(format!("mkdir {dir:?}: {e}")))?;
+    std::fs::create_dir_all(dir).map_err(|e| Error::Analysis(format!("mkdir {dir:?}: {e}")))?;
     std::fs::write(dir.join(name), buf)
         .map_err(|e| Error::Analysis(format!("write {name}: {e}")))?;
     Ok(())
@@ -198,8 +196,7 @@ mod tests {
                 vec!["pressure".into(), "velocity".into()],
                 None,
             );
-            let mut da =
-                StaticDataAdaptor::new("mesh", block(comm.rank(), comm.size()), 0.0, 42);
+            let mut da = StaticDataAdaptor::new("mesh", block(comm.rank(), comm.size()), 0.0, 42);
             chk.execute(comm, &mut da).unwrap();
             (
                 chk.files_written(),
@@ -219,11 +216,8 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("vtu_chk_test_{}", std::process::id()));
         let dir2 = dir.clone();
         run_ranks(1, MachineModel::test_tiny(), move |comm| {
-            let mut chk = VtuCheckpointAnalysis::new(
-                "mesh",
-                vec!["pressure".into()],
-                Some(dir2.clone()),
-            );
+            let mut chk =
+                VtuCheckpointAnalysis::new("mesh", vec!["pressure".into()], Some(dir2.clone()));
             let mut da = StaticDataAdaptor::new("mesh", block(0, 1), 0.0, 7);
             chk.execute(comm, &mut da).unwrap();
         });
@@ -266,11 +260,7 @@ mod tests {
             .iter()
             .map(|&weld| {
                 run_ranks(1, MachineModel::test_tiny(), move |comm| {
-                    let mut chk = VtuCheckpointAnalysis::new(
-                        "mesh",
-                        vec!["pressure".into()],
-                        None,
-                    );
+                    let mut chk = VtuCheckpointAnalysis::new("mesh", vec!["pressure".into()], None);
                     chk.set_weld(weld);
                     let mut da = StaticDataAdaptor::new("mesh", dup_block(), 0.0, 0);
                     chk.execute(comm, &mut da).unwrap();

@@ -103,7 +103,8 @@ mod tests {
             g.add_point([i as f64, 0.0, 0.0]);
         }
         g.add_cell(CellType::Line, &[0, 1]);
-        g.add_point_data(DataArray::scalars_f64("v", values)).unwrap();
+        g.add_point_data(DataArray::scalars_f64("v", values))
+            .unwrap();
         MultiBlock::local(rank, nranks, g)
     }
 
@@ -125,12 +126,8 @@ mod tests {
             } else {
                 vec![1.0, 2.0]
             };
-            let mut bad_da = StaticDataAdaptor::new(
-                "mesh",
-                block(bad_values, comm.rank(), comm.size()),
-                0.0,
-                2,
-            );
+            let mut bad_da =
+                StaticDataAdaptor::new("mesh", block(bad_values, comm.rank(), comm.size()), 0.0, 2);
             let bad = w.execute(comm, &mut bad_da).unwrap();
             (ok, bad, w.tripped_at())
         });
@@ -145,8 +142,7 @@ mod tests {
     fn watchdog_trips_on_nan() {
         let res = run_ranks(1, MachineModel::test_tiny(), |comm| {
             let mut w = WatchdogAnalysis::new("mesh", "v", 1e10);
-            let mut da =
-                StaticDataAdaptor::new("mesh", block(vec![0.0, f64::NAN], 0, 1), 0.0, 3);
+            let mut da = StaticDataAdaptor::new("mesh", block(vec![0.0, f64::NAN], 0, 1), 0.0, 3);
             w.execute(comm, &mut da).unwrap()
         });
         assert!(!res[0], "NaN must trip the watchdog");

@@ -26,7 +26,11 @@ impl Bridge {
     ///
     /// # Errors
     /// Configuration parse/instantiation failures.
-    pub fn initialize(_comm: &mut Comm, config_xml: &str, factories: &[AdaptorFactory]) -> Result<Self> {
+    pub fn initialize(
+        _comm: &mut Comm,
+        config_xml: &str,
+        factories: &[AdaptorFactory],
+    ) -> Result<Self> {
         let analyses = ConfigurableAnalysis::from_xml(config_xml, factories)?;
         Ok(Self {
             analyses,
@@ -113,11 +117,7 @@ mod tests {
             "stop-after"
         }
 
-        fn execute(
-            &mut self,
-            _comm: &mut Comm,
-            _data: &mut dyn DataAdaptor,
-        ) -> Result<bool> {
+        fn execute(&mut self, _comm: &mut Comm, _data: &mut dyn DataAdaptor) -> Result<bool> {
             if self.remaining == 0 {
                 return Ok(false);
             }

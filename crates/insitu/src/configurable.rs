@@ -80,8 +80,7 @@ impl ConfigurableAnalysis {
     /// # Errors
     /// Malformed XML, unknown analysis types, factory failures.
     pub fn from_xml(text: &str, factories: &[AdaptorFactory]) -> Result<Self> {
-        let root =
-            xml::parse(text).map_err(|e| Error::Config(format!("bad config XML: {e}")))?;
+        let root = xml::parse(text).map_err(|e| Error::Config(format!("bad config XML: {e}")))?;
         if root.name != "sensei" {
             return Err(Error::Config(format!(
                 "expected <sensei> root, found <{}>",

@@ -68,7 +68,12 @@ pub struct StaticDataAdaptor {
 
 impl StaticDataAdaptor {
     /// Wrap a multiblock (with arrays already attached) as an adaptor.
-    pub fn new(mesh_name: impl Into<String>, blocks: MultiBlock, time: f64, time_step: u64) -> Self {
+    pub fn new(
+        mesh_name: impl Into<String>,
+        blocks: MultiBlock,
+        time: f64,
+        time_step: u64,
+    ) -> Self {
         Self {
             mesh_name: mesh_name.into(),
             blocks,

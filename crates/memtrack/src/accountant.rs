@@ -107,9 +107,10 @@ impl Accountant {
 
     /// Reset the peak to the current value (phase-scoped measurement).
     pub fn reset_peak(&self) {
-        self.inner
-            .peak
-            .store(self.inner.current.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.inner.peak.store(
+            self.inner.current.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
     }
 }
 

@@ -147,7 +147,11 @@ mod tests {
         assert!(global_peak() >= before_peak + 4096);
         let peak_after_alloc = global_peak();
         record_dealloc(4096);
-        assert_eq!(global_peak(), peak_after_alloc, "dealloc must not lower peak");
+        assert_eq!(
+            global_peak(),
+            peak_after_alloc,
+            "dealloc must not lower peak"
+        );
     }
 
     #[test]

@@ -152,11 +152,7 @@ impl DataArray {
     /// # Panics
     /// Panics if `components` is zero or `values.len()` is not a multiple
     /// of `components`.
-    pub fn shared_f64(
-        name: impl Into<String>,
-        components: usize,
-        values: Arc<Vec<f64>>,
-    ) -> Self {
+    pub fn shared_f64(name: impl Into<String>, components: usize, values: Arc<Vec<f64>>) -> Self {
         assert!(components >= 1, "components must be at least 1");
         assert_eq!(
             values.len() % components,

@@ -112,8 +112,10 @@ mod tests {
             g.add_point([i as f64, 0.0, 0.0]);
         }
         g.add_cell(CellType::Hexahedron, &[0, 1, 2, 3, 4, 5, 6, 7]);
-        g.add_point_data(DataArray::scalars_f64("pressure", vec![0.0; 8])).unwrap();
-        g.add_point_data(DataArray::vectors_f64("velocity", vec![0.0; 24])).unwrap();
+        g.add_point_data(DataArray::scalars_f64("pressure", vec![0.0; 8]))
+            .unwrap();
+        g.add_point_data(DataArray::vectors_f64("velocity", vec![0.0; 24]))
+            .unwrap();
         MultiBlock::local(0, 2, g)
     }
 

@@ -37,7 +37,10 @@ pub fn read_vtu(input: &[u8]) -> Result<UnstructuredGrid> {
 
     let root = xml::parse(&header_xml)?;
     if root.name != "VTKFile" {
-        return Err(Error::Parse(format!("expected VTKFile root, got {}", root.name)));
+        return Err(Error::Parse(format!(
+            "expected VTKFile root, got {}",
+            root.name
+        )));
     }
     let piece = root
         .find("Piece")
@@ -147,8 +150,7 @@ fn read_array_values(da: &XmlNode, blob: Option<&[u8]>) -> Result<ArrayData> {
             if offset + 4 > blob.len() {
                 return Err(Error::Parse("appended offset beyond blob".into()));
             }
-            let nbytes =
-                u32::from_le_bytes(blob[offset..offset + 4].try_into().unwrap()) as usize;
+            let nbytes = u32::from_le_bytes(blob[offset..offset + 4].try_into().unwrap()) as usize;
             let start = offset + 4;
             if start + nbytes > blob.len() {
                 return Err(Error::Parse("appended payload beyond blob".into()));
@@ -183,7 +185,9 @@ fn parse_ascii(ty: &str, text: &str) -> Result<ArrayData> {
 fn parse_raw(ty: &str, bytes: &[u8]) -> Result<ArrayData> {
     fn chunked<const N: usize, T>(bytes: &[u8], f: impl Fn([u8; N]) -> T) -> Result<Vec<T>> {
         if !bytes.len().is_multiple_of(N) {
-            return Err(Error::Parse("raw payload not a multiple of scalar size".into()));
+            return Err(Error::Parse(
+                "raw payload not a multiple of scalar size".into(),
+            ));
         }
         Ok(bytes
             .chunks_exact(N)
@@ -238,7 +242,8 @@ mod tests {
             (0..24).map(|i| i as f64 * 0.1 - 1.0).collect(),
         ))
         .unwrap();
-        g.add_cell_data(DataArray::scalars_f32("rank", vec![7.0])).unwrap();
+        g.add_cell_data(DataArray::scalars_f32("rank", vec![7.0]))
+            .unwrap();
         g
     }
 

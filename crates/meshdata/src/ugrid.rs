@@ -114,7 +114,11 @@ impl UnstructuredGrid {
     /// Point ids of cell `c`.
     pub fn cell_points(&self, c: usize) -> &[i64] {
         let end = self.offsets[c] as usize;
-        let start = if c == 0 { 0 } else { self.offsets[c - 1] as usize };
+        let start = if c == 0 {
+            0
+        } else {
+            self.offsets[c - 1] as usize
+        };
         &self.connectivity[start..end]
     }
 
@@ -359,8 +363,11 @@ mod tests {
     #[test]
     fn cell_data_length_is_enforced() {
         let mut g = unit_hex();
-        g.add_cell_data(DataArray::scalars_f64("c", vec![7.0])).unwrap();
-        assert!(g.add_cell_data(DataArray::scalars_f64("bad", vec![1.0, 2.0])).is_err());
+        g.add_cell_data(DataArray::scalars_f64("c", vec![7.0]))
+            .unwrap();
+        assert!(g
+            .add_cell_data(DataArray::scalars_f64("bad", vec![1.0, 2.0]))
+            .is_err());
     }
 
     #[test]
@@ -380,7 +387,8 @@ mod tests {
     #[test]
     fn find_array_respects_centering() {
         let mut g = unit_hex();
-        g.add_cell_data(DataArray::scalars_f64("height", vec![0.5])).unwrap();
+        g.add_cell_data(DataArray::scalars_f64("height", vec![0.5]))
+            .unwrap();
         let p = g.find_array("height", Centering::Point).unwrap();
         assert_eq!(p.len(), 8);
         let c = g.find_array("height", Centering::Cell).unwrap();

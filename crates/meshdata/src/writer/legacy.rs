@@ -12,11 +12,7 @@ use std::io::Write;
 ///
 /// # Errors
 /// Grid validation failures and I/O errors.
-pub fn write_legacy_vtk(
-    grid: &UnstructuredGrid,
-    title: &str,
-    w: &mut impl Write,
-) -> Result<u64> {
+pub fn write_legacy_vtk(grid: &UnstructuredGrid, title: &str, w: &mut impl Write) -> Result<u64> {
     grid.validate()?;
     let mut out = Vec::new();
     writeln!(out, "# vtk DataFile Version 3.0")?;
@@ -27,11 +23,7 @@ pub fn write_legacy_vtk(
     for p in &grid.points {
         writeln!(out, "{} {} {}", p[0], p[1], p[2])?;
     }
-    let list_len: usize = grid
-        .types
-        .iter()
-        .map(|t| t.n_points() + 1)
-        .sum();
+    let list_len: usize = grid.types.iter().map(|t| t.n_points() + 1).sum();
     writeln!(out, "CELLS {} {}", grid.n_cells(), list_len)?;
     for c in 0..grid.n_cells() {
         let pts = grid.cell_points(c);
@@ -97,8 +89,10 @@ mod tests {
             g.add_point([i as f64, 0.0, 0.0]);
         }
         g.add_cell(CellType::Tetra, &[0, 1, 2, 3]);
-        g.add_point_data(DataArray::scalars_f64("t", vec![0.0, 1.0, 2.0, 3.0])).unwrap();
-        g.add_point_data(DataArray::vectors_f64("v", vec![0.0; 12])).unwrap();
+        g.add_point_data(DataArray::scalars_f64("t", vec![0.0, 1.0, 2.0, 3.0]))
+            .unwrap();
+        g.add_point_data(DataArray::vectors_f64("v", vec![0.0; 12]))
+            .unwrap();
         let mut buf = Vec::new();
         let n = write_legacy_vtk(&g, "test mesh", &mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();

@@ -14,11 +14,7 @@ use std::io::Write;
 ///
 /// # Errors
 /// I/O errors only.
-pub fn write_pvtu(
-    md: &MeshMetadata,
-    piece_files: &[String],
-    w: &mut impl Write,
-) -> Result<u64> {
+pub fn write_pvtu(md: &MeshMetadata, piece_files: &[String], w: &mut impl Write) -> Result<u64> {
     let mut out = Vec::new();
     writeln!(out, r#"<?xml version="1.0"?>"#)?;
     writeln!(
@@ -110,6 +106,13 @@ mod tests {
         // Valid XML per our own parser.
         let parsed = crate::xml::parse(&text).unwrap();
         assert_eq!(parsed.name, "VTKFile");
-        assert_eq!(parsed.find("PUnstructuredGrid").unwrap().children_named("Piece").count(), 2);
+        assert_eq!(
+            parsed
+                .find("PUnstructuredGrid")
+                .unwrap()
+                .children_named("Piece")
+                .count(),
+            2
+        );
     }
 }

@@ -230,7 +230,8 @@ mod tests {
             (0..8).map(|i| i as f64 * 0.25).collect(),
         ))
         .unwrap();
-        g.add_cell_data(DataArray::scalars_f32("rank", vec![3.0])).unwrap();
+        g.add_cell_data(DataArray::scalars_f32("rank", vec![3.0]))
+            .unwrap();
         g
     }
 

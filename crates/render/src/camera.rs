@@ -120,7 +120,10 @@ mod tests {
         let (x, y, depth) = cam.project([0.0, 0.0, 0.0], 200, 100).unwrap();
         assert!((x - 100.0).abs() < 1e-9);
         assert!((y - 50.0).abs() < 1e-9);
-        assert!((depth - 5.0).abs() < 1e-9, "depth is eye distance along view");
+        assert!(
+            (depth - 5.0).abs() < 1e-9,
+            "depth is eye distance along view"
+        );
     }
 
     #[test]

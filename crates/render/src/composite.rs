@@ -128,7 +128,10 @@ mod tests {
         assert!(res[1].is_none() && res[2].is_none() && res[3].is_none());
         let center = res[0].unwrap();
         assert_ne!(center, crate::raster::BACKGROUND);
-        assert!(center[0] < 60, "rank 0 (scalar 0) must be in front: {center:?}");
+        assert!(
+            center[0] < 60,
+            "rank 0 (scalar 0) must be in front: {center:?}"
+        );
     }
 
     #[test]

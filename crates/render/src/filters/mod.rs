@@ -169,12 +169,8 @@ fn march_one_tet(
     };
     // Collect the vertices on the minority side.
     let minority_above = n_above == 1;
-    let minority: Vec<usize> = (0..4)
-        .filter(|&i| above[i] == minority_above)
-        .collect();
-    let majority: Vec<usize> = (0..4)
-        .filter(|&i| above[i] != minority_above)
-        .collect();
+    let minority: Vec<usize> = (0..4).filter(|&i| above[i] == minority_above).collect();
+    let majority: Vec<usize> = (0..4).filter(|&i| above[i] != minority_above).collect();
     if minority.len() == 1 {
         // One triangle: crossings from the lone vertex to the other three.
         let a = minority[0];

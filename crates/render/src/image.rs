@@ -141,7 +141,10 @@ mod tests {
         let mut fb = Framebuffer::new(8, 8);
         fb.color[0] = [255, 0, 0];
         let png = encode_png(&fb);
-        assert_eq!(&png[0..8], &[0x89, b'P', b'N', b'G', 0x0D, 0x0A, 0x1A, 0x0A]);
+        assert_eq!(
+            &png[0..8],
+            &[0x89, b'P', b'N', b'G', 0x0D, 0x0A, 0x1A, 0x0A]
+        );
         // IHDR immediately after the signature.
         assert_eq!(&png[12..16], b"IHDR");
         assert_eq!(u32::from_be_bytes(png[16..20].try_into().unwrap()), 8);

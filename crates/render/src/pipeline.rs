@@ -355,8 +355,9 @@ impl CatalystAnalysis {
             if spec.kind != "catalyst" {
                 return Ok(None);
             }
-            Ok(Some(Box::new(CatalystAnalysis::from_spec(spec)?)
-                as Box<dyn AnalysisAdaptor>))
+            Ok(Some(
+                Box::new(CatalystAnalysis::from_spec(spec)?) as Box<dyn AnalysisAdaptor>
+            ))
         })
     }
 
@@ -406,9 +407,8 @@ impl AnalysisAdaptor for CatalystAnalysis {
                 let wire = (png.len() as f64 / comm.machine().derate_factor).max(1.0) as u64;
                 comm.fs_write(wire, 1);
                 if let Some(dir) = &self.output_dir {
-                    std::fs::create_dir_all(dir).map_err(|e| {
-                        insitu::Error::Analysis(format!("mkdir {dir:?}: {e}"))
-                    })?;
+                    std::fs::create_dir_all(dir)
+                        .map_err(|e| insitu::Error::Analysis(format!("mkdir {dir:?}: {e}")))?;
                     let path = dir.join(format!("{}.png", img.name));
                     let mut f = std::fs::File::create(&path)
                         .map_err(|e| insitu::Error::Analysis(format!("create {path:?}: {e}")))?;
@@ -502,8 +502,7 @@ mod tests {
                 ..RenderPipeline::two_image_default("pressure", "velocity")
             };
             let mut analysis = CatalystAnalysis::new("mesh", pipeline, None);
-            let mut da =
-                StaticDataAdaptor::new("mesh", block(comm.rank(), comm.size()), 0.0, 7);
+            let mut da = StaticDataAdaptor::new("mesh", block(comm.rank(), comm.size()), 0.0, 7);
             analysis.execute(comm, &mut da).unwrap();
             analysis.execute(comm, &mut da).unwrap();
             (
@@ -528,11 +527,9 @@ mod tests {
                 <analysis type="catalyst" frequency="10" width="32" height="32"
                           slice_array="pressure" contour_array="velocity"/>
             </sensei>"#;
-            let mut ca = insitu::ConfigurableAnalysis::from_xml(
-                xml,
-                &[CatalystAnalysis::factory()],
-            )
-            .unwrap();
+            let mut ca =
+                insitu::ConfigurableAnalysis::from_xml(xml, &[CatalystAnalysis::factory()])
+                    .unwrap();
             assert_eq!(ca.summaries(), vec![("catalyst".to_string(), 10)]);
             let mut da = StaticDataAdaptor::new("mesh", block(0, 1), 0.0, 0);
             for step in 1..=20 {

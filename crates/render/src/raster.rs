@@ -286,7 +286,10 @@ mod tests {
             positions: vec![[0.0; 3], [0.0; 3], [0.0; 3]],
             scalars: vec![0.0; 3],
         };
-        assert_eq!(fb.draw(&camera(), &soup, &Colormap::viridis(), (0.0, 1.0)), 0);
+        assert_eq!(
+            fb.draw(&camera(), &soup, &Colormap::viridis(), (0.0, 1.0)),
+            0
+        );
         assert_eq!(fb.coverage(), 0.0);
     }
 
@@ -294,7 +297,11 @@ mod tests {
     fn offscreen_triangles_do_not_panic() {
         let mut fb = Framebuffer::new(16, 16);
         let soup = TriangleSoup {
-            positions: vec![[100.0, 100.0, 0.0], [101.0, 100.0, 0.0], [100.0, 101.0, 0.0]],
+            positions: vec![
+                [100.0, 100.0, 0.0],
+                [101.0, 100.0, 0.0],
+                [100.0, 101.0, 0.0],
+            ],
             scalars: vec![0.0; 3],
         };
         fb.draw(&camera(), &soup, &Colormap::viridis(), (0.0, 1.0));

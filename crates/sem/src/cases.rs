@@ -180,8 +180,8 @@ pub fn pb146(params: &CaseParams, n_pebbles: usize) -> CaseSetup {
     // a layer that ended up fully solid (cannot happen with the default
     // radius, but cheap insurance for exotic parameters).
     for ez in 0..spec.elems[2] {
-        let all_solid = (0..spec.elems[1])
-            .all(|ey| (0..spec.elems[0]).all(|ex| spec.is_solid([ex, ey, ez])));
+        let all_solid =
+            (0..spec.elems[1]).all(|ey| (0..spec.elems[0]).all(|ex| spec.is_solid([ex, ey, ez])));
         if all_solid {
             let idx = spec.elem_index([0, 0, ez]);
             spec.solid[idx] = false;
@@ -342,9 +342,8 @@ mod tests {
         assert!(fluid > total / 2, "bed must stay mostly open");
         // Every z-layer keeps at least one fluid element.
         for ez in 0..setup.spec.elems[2] {
-            let any_fluid = (0..setup.spec.elems[1]).any(|ey| {
-                (0..setup.spec.elems[0]).any(|ex| !setup.spec.is_solid([ex, ey, ez]))
-            });
+            let any_fluid = (0..setup.spec.elems[1])
+                .any(|ey| (0..setup.spec.elems[0]).any(|ex| !setup.spec.is_solid([ex, ey, ez])));
             assert!(any_fluid, "layer {ez} fully solid");
         }
     }

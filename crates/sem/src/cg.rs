@@ -228,9 +228,8 @@ mod tests {
             let n = mesh.layout().n_nodes();
 
             // u = sin(πx) sin(πy) sin(πz), f = 3π² u.
-            let exact = mesh.eval_nodal(|x| {
-                (PI * x[0]).sin() * (PI * x[1]).sin() * (PI * x[2]).sin()
-            });
+            let exact =
+                mesh.eval_nodal(|x| (PI * x[0]).sin() * (PI * x[1]).sin() * (PI * x[2]).sin());
             let f = exact.iter().map(|&u| 3.0 * PI * PI * u).collect::<Vec<_>>();
 
             let (mask, _) = mesh.dirichlet_mask(&BcSet {

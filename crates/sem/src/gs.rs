@@ -310,7 +310,11 @@ mod tests {
             let l = mesh.layout();
             // With periodic z both k-faces are interfaces now.
             let _ = comm.rank();
-            (ones[l.idx(0, 1, 1, 0)], ones[l.idx(0, 1, 1, 2)], ones[l.idx(0, 1, 1, 1)])
+            (
+                ones[l.idx(0, 1, 1, 0)],
+                ones[l.idx(0, 1, 1, 2)],
+                ones[l.idx(0, 1, 1, 1)],
+            )
         });
         for r in res {
             assert_eq!(r, (2.0, 2.0, 1.0));
@@ -326,7 +330,10 @@ mod tests {
                 let f = mesh.eval_nodal(|x| x[0] + 2.0 * x[1] * x[2]);
                 let mut g = f.clone();
                 gs.average(comm, &mut g);
-                f.iter().zip(&g).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
+                f.iter()
+                    .zip(&g)
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0, f64::max)
             });
             for err in res {
                 assert!(err < 1e-12, "ranks={ranks}: {err}");

@@ -70,7 +70,12 @@ pub struct MeshSpec {
 
 impl MeshSpec {
     /// A plain box with no solids.
-    pub fn box_mesh(order: usize, elems: [usize; 3], lengths: [f64; 3], periodic: [bool; 3]) -> Self {
+    pub fn box_mesh(
+        order: usize,
+        elems: [usize; 3],
+        lengths: [f64; 3],
+        periodic: [bool; 3],
+    ) -> Self {
         assert!(order >= 1, "polynomial order must be >= 1");
         assert!(elems.iter().all(|&e| e >= 1), "need >= 1 element per axis");
         let n = elems[0] * elems[1] * elems[2];

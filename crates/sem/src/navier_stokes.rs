@@ -331,11 +331,7 @@ impl FlowSolver {
     /// D2H latency for the whole batch (vs one per field with repeated
     /// [`FlowSolver::stage_to_host`]) — the copy-granularity ablation in
     /// DESIGN.md. Unknown/absent fields are skipped.
-    pub fn stage_many_to_host(
-        &self,
-        comm: &mut Comm,
-        ids: &[FieldId],
-    ) -> Vec<(FieldId, Vec<f64>)> {
+    pub fn stage_many_to_host(&self, comm: &mut Comm, ids: &[FieldId]) -> Vec<(FieldId, Vec<f64>)> {
         let mut out = Vec::with_capacity(ids.len());
         let mut total_bytes = 0u64;
         for &id in ids {
@@ -380,8 +376,14 @@ impl FlowSolver {
     pub fn q_criterion_host(&mut self, comm: &mut Comm) -> Vec<f64> {
         let n = self.n_nodes();
         let mut q = vec![0.0; n];
-        self.ops
-            .q_criterion(comm, &self.u[0], &self.u[1], &self.u[2], &mut q, &mut self.ws);
+        self.ops.q_criterion(
+            comm,
+            &self.u[0],
+            &self.u[1],
+            &self.u[2],
+            &mut q,
+            &mut self.ws,
+        );
         self.gs.average(comm, &mut q);
         comm.d2h((n * 8) as u64);
         q
@@ -465,8 +467,14 @@ impl FlowSolver {
         }
         if spec.q_criterion {
             let mut q = pool.take(n);
-            self.ops
-                .q_criterion(comm, &self.u[0], &self.u[1], &self.u[2], &mut q, &mut self.ws);
+            self.ops.q_criterion(
+                comm,
+                &self.u[0],
+                &self.u[1],
+                &self.u[2],
+                &mut q,
+                &mut self.ws,
+            );
             self.gs.average(comm, &mut q);
             comm.d2h((n * 8) as u64);
             fields.push(snapshot::field_from_pooled("q_criterion", 1, q));
@@ -537,9 +545,7 @@ impl FlowSolver {
     /// Global maximum |u| over all nodes (CFL diagnostics).
     pub fn max_velocity(&self, comm: &mut Comm) -> f64 {
         let local = (0..self.n_nodes())
-            .map(|i| {
-                (self.u[0][i].powi(2) + self.u[1][i].powi(2) + self.u[2][i].powi(2)).sqrt()
-            })
+            .map(|i| (self.u[0][i].powi(2) + self.u[1][i].powi(2) + self.u[2][i].powi(2)).sqrt())
             .fold(0.0, f64::max);
         comm.allreduce(local, ReduceOp::Max)
     }
@@ -552,11 +558,7 @@ impl FlowSolver {
         // from `step_index`: after `restore` the step counter is mid-run but
         // the rings are empty, and the scheme must ramp back up from
         // BDF1/EXT1 exactly as on a cold start.
-        let k = self
-            .cfg
-            .bdf_order
-            .min(self.u_hist.len() + 1)
-            .clamp(1, 3);
+        let k = self.cfg.bdf_order.min(self.u_hist.len() + 1).clamp(1, 3);
         let (b0, bprev) = bdf_coeffs(k);
         let a = ext_coeffs(k);
         let dt = self.cfg.dt;
@@ -728,14 +730,7 @@ impl FlowSolver {
             converged: true,
         }; 3];
         for c in 0..3 {
-            let report = self.helmholtz_solve(
-                comm,
-                h0,
-                nu,
-                &u_hat[c],
-                c,
-                &h_diag_inv,
-            );
+            let report = self.helmholtz_solve(comm, h0, nu, &u_hat[c], c, &h_diag_inv);
             velocity[c] = report;
         }
         self.ws.put(h_diag_inv);
@@ -943,7 +938,12 @@ impl FlowSolver {
         let mass_diag = &self.mass_diag;
         let scratch = &mut self.scratch;
         let t_mask = &self.t_mask;
-        let t_cg = self.cfg.temperature.as_ref().expect("temperature config").cg;
+        let t_cg = self
+            .cfg
+            .temperature
+            .as_ref()
+            .expect("temperature config")
+            .cg;
         let result = cg::solve(
             comm,
             &self.gs,
@@ -1106,7 +1106,12 @@ mod tests {
         // Zero flow, T(bottom)=1, T(top)=0: the steady state is linear in
         // z, so T at mid-height tends to 0.5.
         let res = run_ranks(2, MachineModel::test_tiny(), |comm| {
-            let spec = Arc::new(MeshSpec::box_mesh(3, [1, 1, 2], [1.0; 3], [true, true, false]));
+            let spec = Arc::new(MeshSpec::box_mesh(
+                3,
+                [1, 1, 2],
+                [1.0; 3],
+                [true, true, false],
+            ));
             let mesh = LocalMesh::new(spec, comm.rank(), comm.size());
             let u0 = [
                 mesh.eval_nodal(|_| 0.0),
@@ -1175,7 +1180,12 @@ mod tests {
         // Unstable stratification + buoyancy: kinetic energy must grow from
         // a tiny perturbation (convection onset).
         let res = run_ranks(1, MachineModel::test_tiny(), |comm| {
-            let spec = Arc::new(MeshSpec::box_mesh(4, [2, 1, 2], [2.0, 1.0, 1.0], [true, true, false]));
+            let spec = Arc::new(MeshSpec::box_mesh(
+                4,
+                [2, 1, 2],
+                [2.0, 1.0, 1.0],
+                [true, true, false],
+            ));
             let mesh = LocalMesh::new(spec, comm.rank(), comm.size());
             let u0 = [
                 mesh.eval_nodal(|_| 0.0),
@@ -1183,9 +1193,7 @@ mod tests {
                 mesh.eval_nodal(|_| 0.0),
             ];
             // Hot below, cold above, with a sinusoidal tilt to break symmetry.
-            let t0 = mesh.eval_nodal(|x| {
-                (1.0 - x[2]) + 0.01 * (std::f64::consts::PI * x[0]).sin()
-            });
+            let t0 = mesh.eval_nodal(|x| (1.0 - x[2]) + 0.01 * (std::f64::consts::PI * x[0]).sin());
             let t_bc = BcSet {
                 faces: [
                     Bc::Neumann,
@@ -1237,8 +1245,7 @@ mod tests {
             run_ranks(1, MachineModel::test_tiny(), move |comm| {
                 use std::f64::consts::PI;
                 let l = 2.0 * PI;
-                let spec =
-                    Arc::new(MeshSpec::box_mesh(5, [3, 3, 2], [l, l, l], [true; 3]));
+                let spec = Arc::new(MeshSpec::box_mesh(5, [3, 3, 2], [l, l, l], [true; 3]));
                 let mesh = LocalMesh::new(spec, 0, 1);
                 let u0 = [
                     mesh.eval_nodal(|x| x[0].sin() * x[1].cos()),
@@ -1443,7 +1450,12 @@ mod tests {
                 [zero.clone(), zero.clone(), zero],
                 None,
             );
-            let ids = [FieldId::VelX, FieldId::VelY, FieldId::VelZ, FieldId::Pressure];
+            let ids = [
+                FieldId::VelX,
+                FieldId::VelY,
+                FieldId::VelZ,
+                FieldId::Pressure,
+            ];
             let t0 = comm.now();
             let fields = solver.stage_many_to_host(comm, &ids);
             let pooled = comm.now() - t0;
@@ -1467,8 +1479,7 @@ mod tests {
             use std::f64::consts::PI;
             let l = 2.0 * PI;
             let build = |comm: &mut Comm| {
-                let spec =
-                    Arc::new(MeshSpec::box_mesh(4, [2, 2, 2], [l, l, l], [true; 3]));
+                let spec = Arc::new(MeshSpec::box_mesh(4, [2, 2, 2], [l, l, l], [true; 3]));
                 let mesh = LocalMesh::new(spec, comm.rank(), comm.size());
                 let u0 = [
                     mesh.eval_nodal(|x| x[0].sin() * x[1].cos()),

@@ -128,14 +128,7 @@ impl Ops {
     }
 
     /// Gradient: three derivative sweeps.
-    pub fn grad(
-        &self,
-        comm: &mut Comm,
-        u: &[f64],
-        gx: &mut [f64],
-        gy: &mut [f64],
-        gz: &mut [f64],
-    ) {
+    pub fn grad(&self, comm: &mut Comm, u: &[f64], gx: &mut [f64], gy: &mut [f64], gz: &mut [f64]) {
         self.charge_derivs(comm, 3.0);
         self.deriv_nocost(u, 0, gx);
         self.deriv_nocost(u, 1, gy);
@@ -500,13 +493,7 @@ fn deriv_elem_fixed<const NP: usize>(u: &[f64], d: &[f64], axis: usize, s: f64, 
     deriv_elem_body(u, d, NP, axis, s, out);
 }
 
-fn deriv_t_elem_fixed<const NP: usize>(
-    u: &[f64],
-    d: &[f64],
-    axis: usize,
-    s: f64,
-    out: &mut [f64],
-) {
+fn deriv_t_elem_fixed<const NP: usize>(u: &[f64], d: &[f64], axis: usize, s: f64, out: &mut [f64]) {
     deriv_t_elem_body(u, d, NP, axis, s, out);
 }
 
@@ -554,9 +541,7 @@ mod tests {
         LocalMesh::new(spec, 0, 1)
     }
 
-    fn on_one_rank<R: Send + 'static>(
-        f: impl Fn(&mut Comm) -> R + Send + Sync + 'static,
-    ) -> R {
+    fn on_one_rank<R: Send + 'static>(f: impl Fn(&mut Comm) -> R + Send + Sync + 'static) -> R {
         run_ranks(1, MachineModel::test_tiny(), f).remove(0)
     }
 

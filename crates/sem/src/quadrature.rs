@@ -21,7 +21,11 @@ pub fn legendre(n: usize, x: f64) -> (f64, f64) {
     // P_n' from P_n and P_{n-1}: (x²−1) Pₙ′ = n (x Pₙ − Pₙ₋₁).
     let dp = if (x * x - 1.0).abs() < 1e-14 {
         // Endpoint limit: Pₙ′(±1) = ±ⁿ⁺¹ n(n+1)/2.
-        let sign = if x > 0.0 { 1.0 } else { (-1.0f64).powi(n as i32 + 1) };
+        let sign = if x > 0.0 {
+            1.0
+        } else {
+            (-1.0f64).powi(n as i32 + 1)
+        };
         sign * n as f64 * (n as f64 + 1.0) / 2.0
     } else {
         n as f64 * (x * p - p_prev) / (x * x - 1.0)
@@ -121,8 +125,16 @@ mod tests {
         for n in 2..9 {
             let (x, w) = gll(n);
             for k in 0..=(2 * n - 1) {
-                let quad: f64 = x.iter().zip(&w).map(|(xi, wi)| wi * xi.powi(k as i32)).sum();
-                let exact = if k % 2 == 1 { 0.0 } else { 2.0 / (k as f64 + 1.0) };
+                let quad: f64 = x
+                    .iter()
+                    .zip(&w)
+                    .map(|(xi, wi)| wi * xi.powi(k as i32))
+                    .sum();
+                let exact = if k % 2 == 1 {
+                    0.0
+                } else {
+                    2.0 / (k as f64 + 1.0)
+                };
                 assert!(
                     (quad - exact).abs() < 1e-11,
                     "n={n} k={k}: {quad} vs {exact}"

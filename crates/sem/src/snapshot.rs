@@ -296,10 +296,7 @@ impl FieldSnapshot {
 
     /// Total staged bytes (sum of field lengths × 8).
     pub fn staged_bytes(&self) -> u64 {
-        self.fields
-            .iter()
-            .map(|f| (f.data.len() * 8) as u64)
-            .sum()
+        self.fields.iter().map(|f| (f.data.len() * 8) as u64).sum()
     }
 }
 
@@ -322,7 +319,11 @@ impl Drop for FieldSnapshot {
 
 /// Helper used by `publish_snapshot`: build a [`SnapshotField`] from a
 /// pooled buffer.
-pub(crate) fn field_from_pooled(name: &'static str, components: usize, buf: Vec<f64>) -> SnapshotField {
+pub(crate) fn field_from_pooled(
+    name: &'static str,
+    components: usize,
+    buf: Vec<f64>,
+) -> SnapshotField {
     SnapshotField::new(name, components, buf)
 }
 
@@ -381,13 +382,7 @@ mod tests {
     fn snapshot_drop_returns_buffers() {
         let p = pool();
         let buf = p.take(32);
-        let snap = FieldSnapshot::new(
-            3,
-            0.1,
-            32,
-            vec![field_from_pooled("pressure", 1, buf)],
-            &p,
-        );
+        let snap = FieldSnapshot::new(3, 0.1, 32, vec![field_from_pooled("pressure", 1, buf)], &p);
         assert_eq!(snap.field("pressure").unwrap().values().len(), 32);
         assert_eq!(snap.staged_bytes(), 32 * 8);
         assert_eq!(p.stats().free_buffers, 0);
@@ -406,7 +401,10 @@ mod tests {
         let before = p.accountant().current();
         drop(snap);
         assert_eq!(p.stats().free_buffers, 0, "aliased buffer must not recycle");
-        assert!(p.accountant().current() < before, "forfeit credits the bytes");
+        assert!(
+            p.accountant().current() < before,
+            "forfeit credits the bytes"
+        );
         drop(alias);
     }
 

@@ -68,7 +68,11 @@ mod tests {
         // Σ j·(-b_j) = 1 gives first-order consistency (du/dt of u = t).
         for k in 1..=3 {
             let (_, b) = bdf(k);
-            let m: f64 = b.iter().enumerate().map(|(i, &bj)| -((i + 1) as f64) * bj).sum();
+            let m: f64 = b
+                .iter()
+                .enumerate()
+                .map(|(i, &bj)| -((i + 1) as f64) * bj)
+                .sum();
             assert!((m - 1.0).abs() < 1e-13, "k={k}: {m}");
         }
     }

@@ -375,9 +375,7 @@ impl TelemetryHub {
             .map(|(name, slot)| {
                 let v = match slot {
                     Slot::Counter(c) => MetricValue::Counter(c.load(Ordering::Relaxed)),
-                    Slot::Gauge(g) => {
-                        MetricValue::Gauge(f64::from_bits(g.load(Ordering::Relaxed)))
-                    }
+                    Slot::Gauge(g) => MetricValue::Gauge(f64::from_bits(g.load(Ordering::Relaxed))),
                     Slot::Histogram(h) => {
                         MetricValue::Histogram(Histogram::live(h.clone()).snapshot())
                     }
@@ -421,7 +419,9 @@ mod tests {
         let mut x = 0x9e3779b97f4a7c15u64;
         let mut values = Vec::new();
         for _ in 0..5000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let u = (x >> 11) as f64 / (1u64 << 53) as f64; // [0,1)
             let v = 1e-6 * (10.0f64).powf(7.0 * u);
             values.push(v);
@@ -429,8 +429,8 @@ mod tests {
         }
         values.sort_by(f64::total_cmp);
         for q in [0.10, 0.50, 0.90, 0.95, 0.99] {
-            let exact = values[((q * values.len() as f64).ceil() as usize - 1)
-                .min(values.len() - 1)];
+            let exact =
+                values[((q * values.len() as f64).ceil() as usize - 1).min(values.len() - 1)];
             let est = h.quantile(q);
             let rel = (est - exact).abs() / exact;
             assert!(
@@ -446,7 +446,10 @@ mod tests {
             "max is exact"
         );
         let exact_sum: f64 = values.iter().sum();
-        assert!((snap.sum - exact_sum).abs() / exact_sum < 1e-9, "sum is exact");
+        assert!(
+            (snap.sum - exact_sum).abs() / exact_sum < 1e-9,
+            "sum is exact"
+        );
     }
 
     #[test]

@@ -108,10 +108,7 @@ impl Parser<'_> {
             self.pos += 1;
             Ok(())
         } else {
-            Err(format!(
-                "expected '{}' at byte {}",
-                b as char, self.pos
-            ))
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
         }
     }
 
@@ -179,9 +176,7 @@ impl Parser<'_> {
                                 .get(self.pos + 1..self.pos + 5)
                                 .and_then(|h| std::str::from_utf8(h).ok())
                                 .and_then(|h| u32::from_str_radix(h, 16).ok())
-                                .ok_or_else(|| {
-                                    format!("bad \\u escape at byte {}", self.pos)
-                                })?;
+                                .ok_or_else(|| format!("bad \\u escape at byte {}", self.pos))?;
                             // Surrogate pairs are not produced by our
                             // writer; map lone surrogates to U+FFFD.
                             out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
@@ -201,9 +196,10 @@ impl Parser<'_> {
                         b if b >> 4 == 0b1110 => 3,
                         _ => 4,
                     };
-                    out.push_str(std::str::from_utf8(&s[..step]).map_err(|_| {
-                        format!("invalid utf-8 at byte {}", self.pos)
-                    })?);
+                    out.push_str(
+                        std::str::from_utf8(&s[..step])
+                            .map_err(|_| format!("invalid utf-8 at byte {}", self.pos))?,
+                    );
                     self.pos += step;
                 }
                 None => return Err("unterminated string".into()),
@@ -298,8 +294,7 @@ mod tests {
 
     #[test]
     fn parses_nested_document() {
-        let v = parse(r#"{"a": [1, 2.5, "x\n\"y\""], "b": {"c": true, "d": null}}"#)
-            .unwrap();
+        let v = parse(r#"{"a": [1, 2.5, "x\n\"y\""], "b": {"c": true, "d": null}}"#).unwrap();
         assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 3);
         assert_eq!(
             v.get("a").unwrap().as_arr().unwrap()[2].as_str(),

@@ -32,9 +32,7 @@ mod report;
 
 pub mod json;
 
-pub use instruments::{
-    Counter, Gauge, Histogram, HistogramSnapshot, MetricValue, TelemetryHub,
-};
+pub use instruments::{Counter, Gauge, Histogram, HistogramSnapshot, MetricValue, TelemetryHub};
 pub use recorder::{Event, EventKind, FlightRecorder, StepSample};
 pub use report::{Manifest, MemorySummary, RunReport, REPORT_SCHEMA};
 

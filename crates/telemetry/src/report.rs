@@ -22,6 +22,10 @@ pub struct Manifest {
     pub mode: String,
     /// Execution mode (`synchronous` / `pipelined`).
     pub exec: String,
+    /// Rank scheduler (`thread` / `event`): how the rank worlds were
+    /// driven. Virtual-time results are bitwise identical either way;
+    /// the label records which executor actually ran.
+    pub sched: String,
     /// Simulation ranks.
     pub ranks: usize,
     /// Endpoint (consumer world) ranks; 0 for pure in situ.
@@ -97,10 +101,7 @@ impl RunReport {
 
     /// The final value of instrument `name`, if present.
     pub fn metric(&self, name: &str) -> Option<&MetricValue> {
-        self.metrics
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, v)| v)
+        self.metrics.iter().find(|(n, _)| n == name).map(|(_, v)| v)
     }
 
     /// Events of one kind, in report (virtual-time) order.
@@ -111,11 +112,7 @@ impl RunReport {
     /// Exact p95 of per-step wall (virtual) time from the series
     /// (zero when the series is empty).
     pub fn step_time_p95(&self) -> f64 {
-        let mut times: Vec<f64> = self
-            .series
-            .iter()
-            .map(|s| s.t_end - s.t_start)
-            .collect();
+        let mut times: Vec<f64> = self.series.iter().map(|s| s.t_end - s.t_start).collect();
         if times.is_empty() {
             return 0.0;
         }
@@ -141,6 +138,7 @@ impl RunReport {
             ("workflow", &m.workflow),
             ("mode", &m.mode),
             ("exec", &m.exec),
+            ("sched", &m.sched),
             ("machine", &m.machine),
             ("fault_plan", &m.fault_plan),
         ];
@@ -291,6 +289,7 @@ impl RunReport {
             workflow: gs("workflow"),
             mode: gs("mode"),
             exec: gs("exec"),
+            sched: gs("sched"),
             ranks: gn("ranks") as usize,
             endpoint_ranks: gn("endpoint_ranks") as usize,
             steps: gn("steps"),
@@ -313,12 +312,12 @@ impl RunReport {
                 .to_string();
             let kind = mv.get("type").and_then(Value::as_str).unwrap_or("");
             let value = match kind {
-                "counter" => MetricValue::Counter(
-                    mv.get("value").and_then(Value::as_u64).unwrap_or(0),
-                ),
-                "gauge" => MetricValue::Gauge(
-                    mv.get("value").and_then(Value::as_f64).unwrap_or(0.0),
-                ),
+                "counter" => {
+                    MetricValue::Counter(mv.get("value").and_then(Value::as_u64).unwrap_or(0))
+                }
+                "gauge" => {
+                    MetricValue::Gauge(mv.get("value").and_then(Value::as_f64).unwrap_or(0.0))
+                }
                 "histogram" => {
                     let f = |k: &str| mv.get(k).and_then(Value::as_f64).unwrap_or(0.0);
                     MetricValue::Histogram(HistogramSnapshot {
@@ -465,6 +464,7 @@ mod tests {
                 workflow: "insitu".into(),
                 mode: "checkpointing".into(),
                 exec: "pipelined".into(),
+                sched: "thread".into(),
                 ranks: 4,
                 endpoint_ranks: 0,
                 steps: 2,

@@ -152,9 +152,7 @@ impl PhaseBreakdown {
             })
             .collect();
         rows.sort_by(|a, b| b.3.partial_cmp(&a.3).unwrap_or(std::cmp::Ordering::Equal));
-        let mut out = String::from(
-            "  phase                     count    incl (s)    self (s)\n",
-        );
+        let mut out = String::from("  phase                     count    incl (s)    self (s)\n");
         for (name, count, total, self_total) in rows {
             out.push_str(&format!(
                 "  {name:<24} {count:>7} {total:>11.4} {self_total:>11.4}\n"
@@ -232,16 +230,11 @@ mod tests {
     #[test]
     fn names_and_table() {
         let b = PhaseBreakdown::from_traces(&two_rank_traces());
-        assert_eq!(
-            b.names(),
-            vec!["sem/cg", "sem/pressure", "transport/send"]
-        );
+        assert_eq!(b.names(), vec!["sem/cg", "sem/pressure", "transport/send"]);
         let table = b.to_table();
         assert!(table.contains("transport/send"));
         // Largest self time first.
-        assert!(
-            table.find("transport/send").unwrap() < table.find("sem/pressure").unwrap()
-        );
+        assert!(table.find("transport/send").unwrap() < table.find("sem/pressure").unwrap());
     }
 
     #[test]

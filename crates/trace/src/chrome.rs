@@ -120,10 +120,7 @@ mod tests {
         assert!(json.contains(r#""ts":500000"#));
         assert!(json.contains(r#""dur":1000000"#));
         // Balanced braces — cheap structural sanity for the hand-rolled JSON.
-        assert_eq!(
-            json.matches('{').count(),
-            json.matches('}').count()
-        );
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

@@ -133,20 +133,18 @@ impl TransportAnalysis {
             if spec.kind != "adios-sst" {
                 return Ok(None);
             }
-            let (writer, fallback_dir, sink) = slot.lock().take().ok_or_else(|| {
-                insitu::Error::Config("adios-sst writer already consumed".into())
-            })?;
+            let (writer, fallback_dir, sink) = slot
+                .lock()
+                .take()
+                .ok_or_else(|| insitu::Error::Config("adios-sst writer already consumed".into()))?;
             let arrays: Vec<String> = spec
                 .attr_or("arrays", "pressure,velocity")
                 .split(',')
                 .map(|s| s.trim().to_string())
                 .filter(|s| !s.is_empty())
                 .collect();
-            let mut analysis = TransportAnalysis::new(
-                spec.attr_or("mesh", "mesh").to_string(),
-                arrays,
-                writer,
-            );
+            let mut analysis =
+                TransportAnalysis::new(spec.attr_or("mesh", "mesh").to_string(), arrays, writer);
             analysis.fallback_dir = fallback_dir;
             analysis.sink = sink;
             Ok(Some(Box::new(analysis) as Box<dyn AnalysisAdaptor>))
@@ -155,12 +153,7 @@ impl TransportAnalysis {
 
     /// Handle one failed write: lose the step, or (on a fatal error with a
     /// fallback configured) switch to the file engine and park the payload.
-    fn degrade(
-        &mut self,
-        comm: &mut Comm,
-        step: u64,
-        failure: WriteError,
-    ) -> insitu::Result<()> {
+    fn degrade(&mut self, comm: &mut Comm, step: u64, failure: WriteError) -> insitu::Result<()> {
         let WriteError { error, payload } = failure;
         if !error.is_fatal() {
             self.lost_steps += 1;
@@ -187,7 +180,10 @@ impl TransportAnalysis {
         comm.telemetry_event(
             commsim::EventKind::EngineSwitch,
             Some(step),
-            format!("producer {} parked to bp file engine: {error}", self.writer.producer),
+            format!(
+                "producer {} parked to bp file engine: {error}",
+                self.writer.producer
+            ),
         );
         Ok(())
     }
@@ -210,12 +206,7 @@ impl AnalysisAdaptor for TransportAnalysis {
         }
         drop(copy);
         let marshal = comm.span("transport/marshal");
-        let payload = bp::marshal_blocks(
-            comm.rank() as u32,
-            data.time_step(),
-            data.time(),
-            &mb,
-        );
+        let payload = bp::marshal_blocks(comm.rank() as u32, data.time_step(), data.time(), &mb);
         // BP marshaling is a host-side memory sweep.
         comm.compute_host(
             payload.len() as f64 * self.marshal_flops_per_byte,
@@ -339,10 +330,8 @@ mod tests {
         assert_eq!(r.parked_steps, 5, "every trigger parked, none lost");
         assert_eq!(r.lost_steps, 0);
         // The parked steps read back through the file engine.
-        let mut reader = crate::file_engine::BpFileReader::open(
-            &dir.join("producer_00000.bp4l"),
-        )
-        .unwrap();
+        let mut reader =
+            crate::file_engine::BpFileReader::open(&dir.join("producer_00000.bp4l")).unwrap();
         let mut steps = Vec::new();
         while let Some(s) = reader.next_step().unwrap() {
             steps.push(s.step);

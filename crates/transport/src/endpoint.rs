@@ -102,7 +102,10 @@ impl EndpointConsumer {
                     insitu::Error::Analysis(format!("unmarshal from {}: {e}", packet.producer))
                 })?;
                 // Unmarshal cost: one sweep over the payload.
-                comm.compute_host(packet.payload.len() as f64, packet.payload.len() as f64 * 2.0);
+                comm.compute_host(
+                    packet.payload.len() as f64,
+                    packet.payload.len() as f64 * 2.0,
+                );
                 for (idx, grid) in data.blocks {
                     mb.blocks[idx as usize] = Some(grid);
                 }
@@ -166,8 +169,7 @@ mod tests {
         // Simulation world: 4 ranks, each staging 3 steps.
         let sim = std::thread::spawn(move || {
             run_ranks_with_state(MachineModel::test_tiny(), writers, |comm, writer| {
-                let mut analysis =
-                    TransportAnalysis::new("mesh", vec!["pressure".into()], writer);
+                let mut analysis = TransportAnalysis::new("mesh", vec!["pressure".into()], writer);
                 for step in 1..=3u64 {
                     let mut da = insitu::data_adaptor::StaticDataAdaptor::new(
                         "mesh",
@@ -215,8 +217,7 @@ mod tests {
             w.write(comm, 1, 0.0, vec![0xDE, 0xAD, 0xBE, 0xEF]).unwrap();
         });
         let res = run_ranks_with_state(MachineModel::test_tiny(), readers, |comm, reader| {
-            let mut consumer =
-                EndpointConsumer::new(reader, "<sensei></sensei>", &[], 1).unwrap();
+            let mut consumer = EndpointConsumer::new(reader, "<sensei></sensei>", &[], 1).unwrap();
             consumer.run(comm).unwrap()
         });
         let report = &res[0];

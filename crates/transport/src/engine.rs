@@ -30,9 +30,9 @@
 //! [`SstWriter::write`] fails fast with [`TransportError::CircuitOpen`] so
 //! the workflow can degrade to the BP file engine.
 
+use crate::bp;
 use crate::error::{TransportError, WriteError};
 use crate::link::StagingLink;
-use crate::bp;
 use commsim::FaultPlan;
 use crossbeam_channel::{bounded, Receiver, Sender};
 use memtrack::Accountant;
@@ -214,7 +214,9 @@ impl SstWriter {
                             self.control(comm, PacketKind::Skip, step, false);
                             Ok(WriteOutcome::Discarded)
                         }
-                        Err((error, payload)) => self.fail_step(comm, step, attempt + 1, error, payload),
+                        Err((error, payload)) => {
+                            self.fail_step(comm, step, attempt + 1, error, payload)
+                        }
                     };
                 }
                 commsim::AttemptFate::Drop => {
@@ -230,7 +232,10 @@ impl SstWriter {
                             comm,
                             step,
                             attempt,
-                            TransportError::StepLost { step, attempts: attempt },
+                            TransportError::StepLost {
+                                step,
+                                attempts: attempt,
+                            },
                             payload,
                         );
                     }
@@ -265,7 +270,10 @@ impl SstWriter {
                             comm,
                             step,
                             attempt,
-                            TransportError::StepLost { step, attempts: attempt },
+                            TransportError::StepLost {
+                                step,
+                                attempts: attempt,
+                            },
                             payload,
                         );
                     }
@@ -289,7 +297,11 @@ impl SstWriter {
             Err(TrySendError::Full(p)) => match self.policy {
                 QueuePolicy::Block => {
                     let _sp = comm.span("transport/backpressure");
-                    match self.tx.send_timeout(p, self.config.enqueue_timeout()) {
+                    // The reader lives in another world; block outside the
+                    // event scheduler's run token so its ranks can drain us.
+                    let timeout = self.config.enqueue_timeout();
+                    let sent = comm.external_wait(|| self.tx.send_timeout(p, timeout));
+                    match sent {
                         Ok(()) => {
                             // Real back-pressure: the reader freed a slot.
                             // Read the drain time *after* the blocking send —
@@ -330,7 +342,8 @@ impl SstWriter {
         match self.tx.try_send(packet) {
             Ok(()) => {}
             Err(crossbeam_channel::TrySendError::Full(p)) if reliable => {
-                let _ = self.tx.send_timeout(p, self.config.enqueue_timeout());
+                let timeout = self.config.enqueue_timeout();
+                let _ = comm.external_wait(|| self.tx.send_timeout(p, timeout));
             }
             Err(_) => {}
         }
@@ -495,7 +508,10 @@ impl SstReader {
             let Some(rx) = &self.rx else {
                 return None;
             };
-            match rx.recv_timeout(Duration::from_millis(50)) {
+            // Producers are in a different world; wait off-token so an
+            // event-scheduled sim world can make progress toward us.
+            let got = comm.external_wait(|| rx.recv_timeout(Duration::from_millis(50)));
+            match got {
                 Ok(packet) => self.ingest(comm, packet),
                 Err(crossbeam_channel::RecvTimeoutError::Timeout) => continue,
                 Err(crossbeam_channel::RecvTimeoutError::Disconnected) => {
@@ -596,9 +612,9 @@ impl SstReader {
             .copied()
             .filter(|p| !packets.iter().any(|pkt| pkt.producer == *p))
             .collect();
-        let resolved = missing.iter().all(|p| {
-            skips.is_some_and(|s| s.contains(p)) || self.detached.contains(p)
-        });
+        let resolved = missing
+            .iter()
+            .all(|p| skips.is_some_and(|s| s.contains(p)) || self.detached.contains(p));
         if !resolved {
             return None;
         }
@@ -822,19 +838,21 @@ mod tests {
             run_ranks_with_state(MachineModel::test_tiny(), writers, |comm, mut w| {
                 let i = comm.rank();
                 for step in 0..3u64 {
-                    w.write(comm, step, step as f64 * 0.1, payload_for(i)).unwrap();
+                    w.write(comm, step, step as f64 * 0.1, payload_for(i))
+                        .unwrap();
                 }
             })
         });
-        let result = run_ranks_with_state(MachineModel::test_tiny(), readers, |comm, mut reader| {
-            let mut steps = Vec::new();
-            while let Some(d) = reader.recv_step(comm) {
-                assert!(d.is_complete());
-                assert_eq!(d.packets.len(), 2);
-                steps.push((d.step, d.time));
-            }
-            (steps, comm.now(), reader.bytes_received())
-        });
+        let result =
+            run_ranks_with_state(MachineModel::test_tiny(), readers, |comm, mut reader| {
+                let mut steps = Vec::new();
+                while let Some(d) = reader.recv_step(comm) {
+                    assert!(d.is_complete());
+                    assert_eq!(d.packets.len(), 2);
+                    steps.push((d.step, d.time));
+                }
+                (steps, comm.now(), reader.bytes_received())
+            });
         handle.join().unwrap();
         let (steps, t, bytes) = result[0].clone();
         assert_eq!(steps.len(), 3);
@@ -847,8 +865,13 @@ mod tests {
 
     #[test]
     fn discard_policy_drops_when_full() {
-        let (writers, readers) =
-            StagingNetwork::build(1, 1, 2, StagingLink::test_tiny(), QueuePolicy::DiscardNewest);
+        let (writers, readers) = StagingNetwork::build(
+            1,
+            1,
+            2,
+            StagingLink::test_tiny(),
+            QueuePolicy::DiscardNewest,
+        );
         let res = run_ranks_with_state(MachineModel::test_tiny(), writers, |comm, mut w| {
             for step in 0..5u64 {
                 w.write(comm, step, 0.0, vec![0; 10]).unwrap();
@@ -915,10 +938,15 @@ mod tests {
         // the same seed always yields the same schedule).
         let plan = FaultPlan::with_link(
             11,
-            LinkFaultSpec { drop_prob: 0.35, ..Default::default() },
+            LinkFaultSpec {
+                drop_prob: 0.35,
+                ..Default::default()
+            },
         );
         let (writers, readers) = StagingNetwork::build_faulty(
-            1, 1, 32,
+            1,
+            1,
+            32,
             StagingLink::test_tiny(),
             QueuePolicy::Block,
             plan,
@@ -967,10 +995,15 @@ mod tests {
     fn corrupt_frames_are_crc_rejected_and_retransmitted() {
         let plan = FaultPlan::with_link(
             7,
-            LinkFaultSpec { corrupt_prob: 0.3, ..Default::default() },
+            LinkFaultSpec {
+                corrupt_prob: 0.3,
+                ..Default::default()
+            },
         );
         let (writers, readers) = StagingNetwork::build_faulty(
-            1, 1, 64,
+            1,
+            1,
+            64,
             StagingLink::test_tiny(),
             QueuePolicy::Block,
             plan,
@@ -1015,11 +1048,19 @@ mod tests {
         let res = run_ranks_with_state(MachineModel::test_tiny(), writers, |comm, mut w| {
             let first = w.write(comm, 1, 0.0, payload_for(0));
             let second = w.write(comm, 2, 0.0, payload_for(0));
-            (first.unwrap_err().error, second.unwrap_err().error, w.breaker_open())
+            (
+                first.unwrap_err().error,
+                second.unwrap_err().error,
+                w.breaker_open(),
+            )
         });
         let (first, second, open) = res[0].clone();
         assert_eq!(first, TransportError::Disconnected);
-        assert_eq!(second, TransportError::CircuitOpen, "breaker open after disconnect");
+        assert_eq!(
+            second,
+            TransportError::CircuitOpen,
+            "breaker open after disconnect"
+        );
         assert!(open);
     }
 
@@ -1029,11 +1070,16 @@ mod tests {
         // trips the breaker and later writes fail fast.
         let plan = FaultPlan::with_link(
             1,
-            LinkFaultSpec { drop_prob: 1.0, ..Default::default() },
+            LinkFaultSpec {
+                drop_prob: 1.0,
+                ..Default::default()
+            },
         );
         let cfg = WriterConfig::default();
         let (writers, readers) = StagingNetwork::build_faulty(
-            1, 1, 8,
+            1,
+            1,
+            8,
             StagingLink::test_tiny(),
             QueuePolicy::Block,
             plan,
@@ -1058,8 +1104,16 @@ mod tests {
         let (errors, failed, retries) = res[0].clone();
         assert!(matches!(errors[0], TransportError::StepLost { .. }));
         assert!(matches!(errors[1], TransportError::StepLost { .. }));
-        assert_eq!(errors[2], TransportError::CircuitOpen, "third failure trips");
-        assert_eq!(errors[3], TransportError::CircuitOpen, "fail-fast after trip");
+        assert_eq!(
+            errors[2],
+            TransportError::CircuitOpen,
+            "third failure trips"
+        );
+        assert_eq!(
+            errors[3],
+            TransportError::CircuitOpen,
+            "fail-fast after trip"
+        );
         assert_eq!(errors[4], TransportError::CircuitOpen);
         assert_eq!(failed, 3, "post-trip writes are not new step failures");
         assert_eq!(retries, 3 * 4, "3 steps × 4 dropped attempts each");
@@ -1071,11 +1125,16 @@ mod tests {
     #[test]
     fn endpoint_crash_fault_stops_reader_and_writers_survive() {
         let plan = FaultPlan {
-            crashes: vec![EndpointCrash { endpoint: 0, at_step: 3 }],
+            crashes: vec![EndpointCrash {
+                endpoint: 0,
+                at_step: 3,
+            }],
             ..FaultPlan::none()
         };
         let (writers, readers) = StagingNetwork::build_faulty(
-            1, 1, 2,
+            1,
+            1,
+            2,
             StagingLink::test_tiny(),
             QueuePolicy::Block,
             plan,
@@ -1116,11 +1175,17 @@ mod tests {
     fn consumer_stall_fault_backpressures_writers() {
         use commsim::ConsumerStall;
         let plan = FaultPlan {
-            stalls: vec![ConsumerStall { endpoint: 0, at_step: 1, seconds: 25.0 }],
+            stalls: vec![ConsumerStall {
+                endpoint: 0,
+                at_step: 1,
+                seconds: 25.0,
+            }],
             ..FaultPlan::none()
         };
         let (writers, readers) = StagingNetwork::build_faulty(
-            1, 1, 1,
+            1,
+            1,
+            1,
             StagingLink::test_tiny(),
             QueuePolicy::Block,
             plan,
@@ -1139,7 +1204,10 @@ mod tests {
             comm.now()
         });
         let reader_t = reader_thread.join().unwrap()[0];
-        assert!(reader_t >= 25.0, "stall advances the reader clock: {reader_t}");
+        assert!(
+            reader_t >= 25.0,
+            "stall advances the reader clock: {reader_t}"
+        );
         assert!(
             res[0] >= 25.0,
             "stall must back-pressure the writer through the full queue: {}",

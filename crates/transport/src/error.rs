@@ -38,7 +38,10 @@ impl TransportError {
     /// True when the endpoint must be presumed permanently gone and the
     /// caller should degrade (e.g. park steps to the file engine).
     pub fn is_fatal(&self) -> bool {
-        matches!(self, TransportError::Disconnected | TransportError::CircuitOpen)
+        matches!(
+            self,
+            TransportError::Disconnected | TransportError::CircuitOpen
+        )
     }
 }
 
@@ -46,12 +49,17 @@ impl std::fmt::Display for TransportError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TransportError::Disconnected => write!(f, "endpoint reader disconnected"),
-            TransportError::CircuitOpen => write!(f, "circuit breaker open: endpoint presumed dead"),
+            TransportError::CircuitOpen => {
+                write!(f, "circuit breaker open: endpoint presumed dead")
+            }
             TransportError::StepLost { step, attempts } => {
                 write!(f, "step {step} lost after {attempts} attempts")
             }
             TransportError::Backpressure { step } => {
-                write!(f, "step {step}: blocking enqueue exceeded the real-time bound")
+                write!(
+                    f,
+                    "step {step}: blocking enqueue exceeded the real-time bound"
+                )
             }
             TransportError::Corrupt(e) => write!(f, "corrupt frame: {e}"),
         }
@@ -86,14 +94,22 @@ mod tests {
     fn fatality_classification() {
         assert!(TransportError::Disconnected.is_fatal());
         assert!(TransportError::CircuitOpen.is_fatal());
-        assert!(!TransportError::StepLost { step: 3, attempts: 4 }.is_fatal());
+        assert!(!TransportError::StepLost {
+            step: 3,
+            attempts: 4
+        }
+        .is_fatal());
         assert!(!TransportError::Backpressure { step: 1 }.is_fatal());
         assert!(!TransportError::Corrupt(BpError::ChecksumMismatch).is_fatal());
     }
 
     #[test]
     fn displays_are_informative() {
-        let s = TransportError::StepLost { step: 9, attempts: 4 }.to_string();
+        let s = TransportError::StepLost {
+            step: 9,
+            attempts: 4,
+        }
+        .to_string();
         assert!(s.contains('9') && s.contains('4'));
         assert!(TransportError::CircuitOpen.to_string().contains("breaker"));
     }

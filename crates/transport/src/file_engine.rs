@@ -115,9 +115,8 @@ impl BpFileReader {
         let len = u64::from_le_bytes(len_bytes) as usize;
         let mut payload = vec![0u8; len];
         self.file.read_exact(&mut payload)?;
-        let step = bp::unmarshal_blocks(&payload).map_err(|e| {
-            std::io::Error::new(std::io::ErrorKind::InvalidData, format!("{e}"))
-        })?;
+        let step = bp::unmarshal_blocks(&payload)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, format!("{e}")))?;
         self.steps_read += 1;
         Ok(Some(step))
     }
@@ -164,7 +163,11 @@ mod tests {
                 let payload = marshal_blocks(0, step, step as f64 * 0.1, &block(step));
                 w.append(comm, &payload).unwrap();
             }
-            (w.steps_written(), w.bytes_written(), comm.stats().bytes_written_fs)
+            (
+                w.steps_written(),
+                w.bytes_written(),
+                comm.stats().bytes_written_fs,
+            )
         });
         let (steps, bytes, fs_bytes) = written[0];
         assert_eq!(steps, 5);
@@ -180,10 +183,7 @@ mod tests {
             seen.push((step.step, p.get(0, 0)));
         }
         assert_eq!(r.steps_read(), 5);
-        assert_eq!(
-            seen,
-            (1..=5u64).map(|s| (s, s as f64)).collect::<Vec<_>>()
-        );
+        assert_eq!(seen, (1..=5u64).map(|s| (s, s as f64)).collect::<Vec<_>>());
         std::fs::remove_dir_all(&dir).ok();
     }
 

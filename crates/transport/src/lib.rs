@@ -43,10 +43,10 @@ pub mod link;
 pub use adaptor::{ProducerReport, ReportSink, TransportAnalysis};
 pub use bp::{crc32, frame_crc_ok, marshal_blocks, unmarshal_blocks, StepData};
 pub use endpoint::{EndpointConsumer, EndpointReport};
-pub use error::{TransportError, WriteError};
-pub use file_engine::{BpFileReader, BpFileWriter};
 pub use engine::{
     PacketKind, QueuePolicy, SstReader, SstWriter, StagingNetwork, StepDelivery, WriteOutcome,
     WriterConfig,
 };
+pub use error::{TransportError, WriteError};
+pub use file_engine::{BpFileReader, BpFileWriter};
 pub use link::StagingLink;

@@ -39,6 +39,7 @@ fn main() {
         image_size: (800, 600),
         mode: InSituMode::Original,
         exec: nek_sensei::ExecMode::default(),
+        sched: Default::default(),
         faults: commsim::FaultPlan::none(),
         trace: false,
         telemetry: false,
@@ -57,7 +58,10 @@ fn main() {
         ..base.clone()
     });
 
-    println!("\n{:<15} {:>14} {:>14} {:>12}", "config", "time-to-soln", "host mem", "storage");
+    println!(
+        "\n{:<15} {:>14} {:>14} {:>12}",
+        "config", "time-to-soln", "host mem", "storage"
+    );
     for r in [&original, &checkpointing, &catalyst] {
         println!(
             "{:<15} {:>12.4}s {:>14} {:>12}",
@@ -67,9 +71,8 @@ fn main() {
             human_bytes(r.bytes_written),
         );
     }
-    let t_over = (catalyst.metrics.time_to_solution / checkpointing.metrics.time_to_solution
-        - 1.0)
-        * 100.0;
+    let t_over =
+        (catalyst.metrics.time_to_solution / checkpointing.metrics.time_to_solution - 1.0) * 100.0;
     let m_over = (catalyst.memory().host_aggregate_peak as f64
         / checkpointing.memory().host_aggregate_peak as f64
         - 1.0)

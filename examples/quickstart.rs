@@ -30,8 +30,7 @@ fn main() {
 
         // 2. Initialize the bridge (paper Listing 3) and the snapshot
         //    data plane (geometry cached once, staging buffers pooled).
-        let mut bridge =
-            Bridge::initialize(comm, CONFIG, &[]).expect("valid config");
+        let mut bridge = Bridge::initialize(comm, CONFIG, &[]).expect("valid config");
         let plane = SnapshotPlane::new(comm, &solver);
 
         // 3. Main loop: step; when an analysis triggers, publish exactly
@@ -40,7 +39,9 @@ fn main() {
             solver.step(comm);
             if bridge.triggers_at(step) {
                 let mut adaptor = plane.publish(comm, &mut solver, bridge.arrays_at(step));
-                bridge.update(comm, step, &mut adaptor).expect("in situ update");
+                bridge
+                    .update(comm, step, &mut adaptor)
+                    .expect("in situ update");
             }
         }
         bridge.finalize(comm).expect("finalize");

@@ -28,6 +28,7 @@ fn main() {
         queue_capacity: 8,
         policy: QueuePolicy::Block,
         mode: EndpointMode::NoTransport,
+        sched: Default::default(),
         image_size: (800, 600),
         output_dir: None,
         faults: commsim::FaultPlan::none(),

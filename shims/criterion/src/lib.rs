@@ -249,7 +249,9 @@ mod tests {
 
     #[test]
     fn measure_reports_robust_stats() {
-        let stats = measure(2, 5, || std::thread::sleep(std::time::Duration::from_micros(200)));
+        let stats = measure(2, 5, || {
+            std::thread::sleep(std::time::Duration::from_micros(200))
+        });
         assert_eq!(stats.n, 5);
         assert!(stats.median_s >= 200e-6, "median {}", stats.median_s);
         assert!(stats.mad_s >= 0.0);

@@ -158,8 +158,7 @@ pub mod pool {
         // protocol below guarantees every worker has made its last access
         // (pending == 0) before `run` returns, so the borrow never
         // outlives the closure.
-        let job_static: &'static (dyn Fn(usize) + Sync) =
-            unsafe { std::mem::transmute(job_ref) };
+        let job_static: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(job_ref) };
         let batch = Batch {
             job: job_static,
             next: AtomicUsize::new(0),
@@ -213,7 +212,9 @@ pub mod pool {
                     }
                 }
             }
-            thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         })
     }
 
@@ -425,7 +426,9 @@ mod tests {
         for threads in [2, 3, 8] {
             let par = run(threads);
             assert!(
-                seq.iter().zip(&par).all(|(a, b)| a.to_bits() == b.to_bits()),
+                seq.iter()
+                    .zip(&par)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
                 "pool size {threads} changed results"
             );
         }
@@ -468,7 +471,8 @@ mod tests {
         // The pool must stay usable after a poisoned batch.
         pool::with_threads(4, || {
             let mut v = [0u8; 64];
-            v.par_chunks_mut(8).for_each(|c| c.iter_mut().for_each(|x| *x = 1));
+            v.par_chunks_mut(8)
+                .for_each(|c| c.iter_mut().for_each(|x| *x = 1));
             assert!(v.iter().all(|&x| x == 1));
         });
     }

@@ -39,11 +39,19 @@ fn vtu_checkpoint_roundtrips_bit_exact_across_ranks() {
         comm.barrier();
 
         // Restart: read this rank's piece and compare every field value.
-        let piece = dir2.join(format!("chk_{:06}_b{}.vtu", solver.step_index(), comm.rank()));
+        let piece = dir2.join(format!(
+            "chk_{:06}_b{}.vtu",
+            solver.step_index(),
+            comm.rank()
+        ));
         let grid = read_vtu(&std::fs::read(&piece).expect("piece exists")).expect("valid");
         grid.validate().expect("valid grid");
-        let p = grid.find_array("pressure", Centering::Point).expect("pressure");
-        let v = grid.find_array("velocity", Centering::Point).expect("velocity");
+        let p = grid
+            .find_array("pressure", Centering::Point)
+            .expect("pressure");
+        let v = grid
+            .find_array("velocity", Centering::Point)
+            .expect("velocity");
         let p_live = solver.field_device(FieldId::Pressure).expect("live");
         let w_live = solver.field_device(FieldId::VelZ).expect("live");
         let mut max_err: f64 = 0.0;

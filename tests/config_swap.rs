@@ -15,9 +15,8 @@ fn simulate_with_config(config_xml: &'static str) -> Vec<(u64, u64)> {
         params.elems = [2, 2, 4];
         params.order = 2;
         let mut solver = pb146(&params, 4).build(comm);
-        let mut bridge =
-            Bridge::initialize(comm, config_xml, &[CatalystAnalysis::factory()])
-                .expect("valid config");
+        let mut bridge = Bridge::initialize(comm, config_xml, &[CatalystAnalysis::factory()])
+            .expect("valid config");
         let plane = SnapshotPlane::new(comm, &solver);
         for step in 1..=6u64 {
             solver.step(comm);
@@ -81,9 +80,7 @@ fn multiple_analyses_compose() {
 
 #[test]
 fn disabled_analysis_behaves_like_absent() {
-    let on = simulate_with_config(
-        r#"<sensei><analysis type="stats" array="pressure"/></sensei>"#,
-    );
+    let on = simulate_with_config(r#"<sensei><analysis type="stats" array="pressure"/></sensei>"#);
     let off = simulate_with_config(
         r#"<sensei><analysis type="stats" array="pressure" enabled="false"/></sensei>"#,
     );

@@ -31,6 +31,7 @@ fn insitu_cfg(steps: usize, faults: FaultPlan) -> InSituConfig {
         image_size: (32, 24),
         mode: InSituMode::Original,
         exec: ExecMode::Synchronous,
+        sched: Default::default(),
         faults,
         output_dir: None,
         trace: false,
@@ -92,7 +93,10 @@ fn corrupted_newest_generation_falls_back_to_older_one() {
     assert_eq!(out.recovery.restarts, 1);
     let o = &out.recovery.outcomes[0];
     assert_eq!(o.resumed_from, 2, "generation 4 is rotten, 2 restores");
-    assert!(o.quarantined.contains(&4), "the rotten generation quarantines");
+    assert!(
+        o.quarantined.contains(&4),
+        "the rotten generation quarantines"
+    );
     assert!(!o.quarantined.contains(&o.resumed_from));
     assert!(out.recovery.quarantined >= 1);
 
@@ -123,6 +127,7 @@ fn intransit_crash_restores_and_completes_with_one_recovery() {
         queue_capacity: 8,
         policy: QueuePolicy::Block,
         mode: EndpointMode::Checkpointing,
+        sched: Default::default(),
         image_size: (32, 24),
         output_dir: None,
         faults: FaultPlan {

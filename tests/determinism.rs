@@ -21,6 +21,7 @@ fn one_run(mode: InSituMode) -> (f64, u64, u64, u64) {
         image_size: (64, 48),
         mode,
         exec: Default::default(),
+        sched: Default::default(),
         faults: commsim::FaultPlan::none(),
         output_dir: None,
         trace: false,
@@ -74,13 +75,17 @@ fn derating_scales_compute_time_exactly() {
             image_size: (64, 48),
             mode: InSituMode::Checkpointing,
             exec: Default::default(),
+            sched: Default::default(),
             faults: commsim::FaultPlan::none(),
             output_dir: None,
             trace: false,
             telemetry: false,
             recovery: Default::default(),
         });
-        (r.metrics.time_to_solution, r.metrics.totals.time_gpu_compute)
+        (
+            r.metrics.time_to_solution,
+            r.metrics.totals.time_gpu_compute,
+        )
     };
     let (plain_total, plain_gpu) = mk(MachineModel::polaris());
     let (derated_total, derated_gpu) = mk(MachineModel::polaris().derate_throughput(50.0));

@@ -2,14 +2,10 @@
 //! endpoint crash → BP file fallback, CRC rejection → retransmit,
 //! partial-step analysis, and determinism of the fault schedule.
 
-use commsim::{
-    run_ranks_with_state, EndpointCrash, FaultPlan, LinkFaultSpec, MachineModel,
-};
+use commsim::{run_ranks_with_state, EndpointCrash, FaultPlan, LinkFaultSpec, MachineModel};
 use nek_sensei::{run_intransit, EndpointMode, InTransitConfig};
 use sem::cases::{rbc, CaseParams};
-use transport::{
-    crc32, BpFileReader, QueuePolicy, StagingLink, StagingNetwork, WriterConfig,
-};
+use transport::{crc32, BpFileReader, QueuePolicy, StagingLink, StagingNetwork, WriterConfig};
 
 fn faulty_config(steps: usize, faults: FaultPlan) -> InTransitConfig {
     let mut params = CaseParams::rbc_default();
@@ -26,6 +22,7 @@ fn faulty_config(steps: usize, faults: FaultPlan) -> InTransitConfig {
         queue_capacity: 8,
         policy: QueuePolicy::Block,
         mode: EndpointMode::Checkpointing,
+        sched: Default::default(),
         image_size: (64, 48),
         output_dir: None,
         faults,
@@ -173,7 +170,9 @@ fn delivered_log(plan: FaultPlan, steps: u64) -> Vec<(u64, Vec<usize>)> {
     });
     run_ranks_with_state(MachineModel::test_tiny(), writers, move |comm, mut w| {
         for step in 1..=steps {
-            if w.write(comm, step, 0.0, framed_payload(step as u8)).is_err() {
+            if w.write(comm, step, 0.0, framed_payload(step as u8))
+                .is_err()
+            {
                 // Fatal errors (breaker open) end this producer's stream;
                 // transient step losses keep it going.
                 if w.breaker_open() {

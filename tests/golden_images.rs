@@ -31,10 +31,7 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
 }
 
 fn scratch_dir(tag: &str) -> std::path::PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "nek-sensei-golden-{tag}-{}",
-        std::process::id()
-    ));
+    let dir = std::env::temp_dir().join(format!("nek-sensei-golden-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).expect("scratch dir");
     dir
@@ -46,7 +43,8 @@ fn assert_golden(dir: &std::path::Path, file: &str, expected: u64) {
         .unwrap_or_else(|e| panic!("golden image {path:?} was not rendered: {e}"));
     let got = fnv1a64(&bytes);
     assert_eq!(
-        got, expected,
+        got,
+        expected,
         "golden image {file} changed: computed {got:#018x}, pinned {expected:#018x} \
          ({} bytes). If the rendering change is intentional, re-bless: run \
          `cargo test --test golden_images -- --nocapture` and update the \
@@ -75,6 +73,7 @@ fn pb146_insitu_frames_match_goldens() {
         image_size: (64, 48),
         mode: InSituMode::Catalyst,
         exec: Default::default(),
+        sched: Default::default(),
         faults: commsim::FaultPlan::none(),
         output_dir: Some(dir.clone()),
         trace: false,
@@ -83,7 +82,11 @@ fn pb146_insitu_frames_match_goldens() {
     });
     assert!(report.files_written > 0, "Catalyst must write images");
     // Trigger fires once, at step 3: the paper's two-image setup.
-    assert_golden(&dir, "pressure_slice_000003.png", GOLDEN_PB146_PRESSURE_SLICE);
+    assert_golden(
+        &dir,
+        "pressure_slice_000003.png",
+        GOLDEN_PB146_PRESSURE_SLICE,
+    );
     assert_golden(
         &dir,
         "velocity_contour_000003.png",
@@ -114,6 +117,7 @@ fn rbc_intransit_frames_match_goldens() {
         queue_capacity: 8,
         policy: QueuePolicy::Block,
         mode: EndpointMode::Catalyst,
+        sched: Default::default(),
         image_size: (64, 48),
         output_dir: Some(dir.clone()),
         faults: commsim::FaultPlan::none(),
@@ -130,6 +134,10 @@ fn rbc_intransit_frames_match_goldens() {
         "temperature_slice_000004.png",
         GOLDEN_RBC_TEMPERATURE_SLICE,
     );
-    assert_golden(&dir, "velocity_contour_000004.png", GOLDEN_RBC_VELOCITY_CONTOUR);
+    assert_golden(
+        &dir,
+        "velocity_contour_000004.png",
+        GOLDEN_RBC_VELOCITY_CONTOUR,
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -19,6 +19,7 @@ fn config(mode: InSituMode) -> InSituConfig {
         image_size: (80, 60),
         mode,
         exec: Default::default(),
+        sched: Default::default(),
         faults: commsim::FaultPlan::none(),
         output_dir: None,
         trace: false,

@@ -21,6 +21,7 @@ fn config(sim_ranks: usize, mode: EndpointMode) -> InTransitConfig {
         queue_capacity: 8,
         policy: QueuePolicy::Block,
         mode,
+        sched: Default::default(),
         image_size: (80, 60),
         output_dir: None,
         faults: commsim::FaultPlan::none(),
@@ -52,7 +53,8 @@ fn simulation_never_touches_the_filesystem_in_transit() {
     ] {
         let r = run_intransit(&config(4, mode));
         assert_eq!(
-            r.sim.totals.bytes_written_fs, 0,
+            r.sim.totals.bytes_written_fs,
+            0,
             "{}: all storage I/O must happen on the endpoint",
             r.mode.label()
         );

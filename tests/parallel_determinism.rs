@@ -69,10 +69,7 @@ fn solver_fields_bitwise_identical_across_pool_widths() {
 
 /// Render the pb146 Catalyst frames and hash every PNG written.
 fn golden_hashes(pool_threads: usize, tag: &str) -> Vec<(String, u64)> {
-    let dir = std::env::temp_dir().join(format!(
-        "nek-sensei-par-det-{tag}-{}",
-        std::process::id()
-    ));
+    let dir = std::env::temp_dir().join(format!("nek-sensei-par-det-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).expect("scratch dir");
     pool::with_override(pool_threads, || {
@@ -88,6 +85,7 @@ fn golden_hashes(pool_threads: usize, tag: &str) -> Vec<(String, u64)> {
             image_size: (64, 48),
             mode: InSituMode::Catalyst,
             exec: Default::default(),
+            sched: Default::default(),
             faults: commsim::FaultPlan::none(),
             output_dir: Some(dir.clone()),
             trace: false,

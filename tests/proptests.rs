@@ -25,9 +25,7 @@ fn arb_grid() -> impl Strategy<Value = UnstructuredGrid> {
                     }
                 }
             }
-            let id = |i: usize, j: usize, k: usize| {
-                (i + (nx + 1) * (j + (ny + 1) * k)) as i64
-            };
+            let id = |i: usize, j: usize, k: usize| (i + (nx + 1) * (j + (ny + 1) * k)) as i64;
             for k in 0..nz {
                 for j in 0..ny {
                     for i in 0..nx {
@@ -47,7 +45,8 @@ fn arb_grid() -> impl Strategy<Value = UnstructuredGrid> {
                     }
                 }
             }
-            g.add_point_data(DataArray::scalars_f64("s", values)).unwrap();
+            g.add_point_data(DataArray::scalars_f64("s", values))
+                .unwrap();
             g
         })
 }
@@ -155,8 +154,8 @@ fn gs_multiplicity_partitions_unity() {
             // of distinct global nodes.
             let local: f64 = gs.mult_inv().iter().sum();
             let total = comm.allreduce(local, ReduceOp::Sum);
-            let expected = (spec.n_nodes_axis(0) * spec.n_nodes_axis(1) * spec.n_nodes_axis(2))
-                as f64;
+            let expected =
+                (spec.n_nodes_axis(0) * spec.n_nodes_axis(1) * spec.n_nodes_axis(2)) as f64;
             (total, expected)
         });
         for (total, expected) in res {
@@ -166,6 +165,146 @@ fn gs_multiplicity_partitions_unity() {
             );
         }
     }
+}
+
+// ---- scheduler differential: random programs, both executors ----------
+
+/// One round of a randomly generated communication program. Every rank
+/// executes the same round shape (rank-dependent payloads/advances), so
+/// any program is deadlock-free by construction: sends are eager and each
+/// recv has a matching send in the same round.
+#[derive(Debug, Clone)]
+enum CommOp {
+    /// Shifted ring exchange: send to `(r+s) % n`, recv from `(r+n-s) % n`.
+    RingExchange {
+        shift: usize,
+        bytes: u64,
+    },
+    Barrier,
+    AllreduceSum,
+    AllreduceMax,
+    Allgather,
+    /// Rank-dependent clock advance (µs per rank index).
+    Advance {
+        per_rank_us: u64,
+    },
+}
+
+fn arb_comm_op() -> impl Strategy<Value = CommOp> {
+    (0usize..6, 1usize..8, 1u64..4096, 1u64..500).prop_map(|(kind, shift, bytes, per_rank_us)| {
+        match kind {
+            0 | 1 => CommOp::RingExchange { shift, bytes },
+            2 => CommOp::Barrier,
+            3 => CommOp::AllreduceSum,
+            4 => CommOp::AllreduceMax,
+            5 if per_rank_us % 2 == 0 => CommOp::Allgather,
+            _ => CommOp::Advance { per_rank_us },
+        }
+    })
+}
+
+/// Run `prog` on `n` ranks under `mode`; per rank, return the exact
+/// sequence of received/reduced values (as bit patterns, in arrival
+/// order) for message-order comparison across executors.
+fn run_comm_program(
+    mode: commsim::SchedMode,
+    n: usize,
+    prog: std::sync::Arc<Vec<CommOp>>,
+) -> Vec<commsim::RankResult<Vec<u64>>> {
+    use commsim::ReduceOp;
+    commsim::with_mode(mode, move || {
+        commsim::run_ranks_with_registry(
+            n,
+            commsim::MachineModel::test_tiny(),
+            memtrack::Registry::new(),
+            move |comm| {
+                let n = comm.size();
+                let r = comm.rank();
+                let mut received = Vec::new();
+                for (i, op) in prog.iter().enumerate() {
+                    let tag = 100 + i as u64;
+                    match op {
+                        CommOp::RingExchange { shift, bytes } => {
+                            let s = 1 + shift % (n - 1);
+                            let payload = ((r as u64) << 16) | i as u64;
+                            comm.send((r + s) % n, tag, payload, *bytes);
+                            received.push(comm.recv::<u64>((r + n - s) % n, tag));
+                        }
+                        CommOp::Barrier => comm.barrier(),
+                        CommOp::AllreduceSum => {
+                            let v = comm.allreduce((r + i) as f64 * 0.5, ReduceOp::Sum);
+                            received.push(v.to_bits());
+                        }
+                        CommOp::AllreduceMax => {
+                            let v = comm.allreduce(r as f64 - i as f64, ReduceOp::Max);
+                            received.push(v.to_bits());
+                        }
+                        CommOp::Allgather => {
+                            received.extend(comm.allgather((r * 31 + i) as u64, 8));
+                        }
+                        CommOp::Advance { per_rank_us } => {
+                            comm.advance(r as f64 * *per_rank_us as f64 * 1e-6);
+                        }
+                    }
+                }
+                received
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any valid program over any world size runs identically on the
+    /// thread executor and the discrete-event scheduler: same per-rank
+    /// message/reduction sequences, same final virtual clock bits, same
+    /// CommStats. Completion itself is the no-deadlock property — the
+    /// event scheduler's bounded-step watchdog turns a scheduling bug
+    /// into an immediate panic, not a hang.
+    #[test]
+    fn random_programs_run_identically_on_both_executors(
+        n in 2usize..64,
+        prog in proptest::collection::vec(arb_comm_op(), 1..8)
+    ) {
+        let prog = std::sync::Arc::new(prog);
+        let a = run_comm_program(commsim::SchedMode::Thread, n, prog.clone());
+        let b = run_comm_program(commsim::SchedMode::Event, n, prog);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.rank, y.rank);
+            prop_assert_eq!(&x.value, &y.value);
+            prop_assert_eq!(x.time.to_bits(), y.time.to_bits());
+            prop_assert_eq!(x.stats, y.stats);
+        }
+    }
+}
+
+/// An *invalid* program (a recv whose send never happens) must not hang
+/// the event scheduler: when every live rank is blocked it diagnoses the
+/// deadlock and panics with the per-rank wait states.
+#[test]
+fn event_scheduler_diagnoses_deadlock_instead_of_hanging() {
+    let err = std::panic::catch_unwind(|| {
+        commsim::with_mode(commsim::SchedMode::Event, || {
+            commsim::run_ranks(3, commsim::MachineModel::test_tiny(), |comm| {
+                if comm.rank() == 0 {
+                    // Nobody ever sends on tag 99.
+                    comm.recv::<u64>(1, 99);
+                }
+                comm.barrier();
+            })
+        })
+    })
+    .expect_err("the deadlocked world must panic, not hang");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(
+        msg.contains("deadlock"),
+        "panic must carry the deadlock diagnostic: {msg}"
+    );
 }
 
 /// A small valid NEKFLD01 dump to mutate in the fuzz cases below.

@@ -23,6 +23,7 @@ fn catalyst_config(exec: ExecMode) -> InSituConfig {
         image_size: (64, 48),
         mode: InSituMode::Catalyst,
         exec,
+        sched: Default::default(),
         faults: FaultPlan::none(),
         output_dir: None,
         trace: false,
@@ -32,10 +33,8 @@ fn catalyst_config(exec: ExecMode) -> InSituConfig {
 }
 
 fn scratch_dir(tag: &str) -> std::path::PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "nek-sensei-pipeline-{tag}-{}",
-        std::process::id()
-    ));
+    let dir =
+        std::env::temp_dir().join(format!("nek-sensei-pipeline-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).expect("scratch dir");
     dir

@@ -44,8 +44,13 @@ fn watchdog_stops_a_simulation_mid_run() {
 fn discard_policy_loses_steps_but_keeps_the_stream_consistent() {
     // One sim rank floods a 1-slot queue faster than the endpoint drains;
     // DiscardNewest must drop steps without corrupting the survivors.
-    let (writers, readers) =
-        StagingNetwork::build(1, 1, 1, StagingLink::test_tiny(), QueuePolicy::DiscardNewest);
+    let (writers, readers) = StagingNetwork::build(
+        1,
+        1,
+        1,
+        StagingLink::test_tiny(),
+        QueuePolicy::DiscardNewest,
+    );
 
     let endpoint = std::thread::spawn(move || {
         run_ranks_with_state(MachineModel::test_tiny(), readers, |comm, mut reader| {

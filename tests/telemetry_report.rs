@@ -28,6 +28,7 @@ fn stalled_insitu_config(telemetry: bool, output_dir: Option<std::path::PathBuf>
         image_size: (64, 48),
         mode: InSituMode::Checkpointing,
         exec: ExecMode::Pipelined,
+        sched: Default::default(),
         faults: FaultPlan {
             stalls: vec![ConsumerStall {
                 endpoint: 0,
@@ -44,10 +45,8 @@ fn stalled_insitu_config(telemetry: bool, output_dir: Option<std::path::PathBuf>
 }
 
 fn scratch_dir(tag: &str) -> std::path::PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "nek-sensei-telemetry-{tag}-{}",
-        std::process::id()
-    ));
+    let dir =
+        std::env::temp_dir().join(format!("nek-sensei-telemetry-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).expect("scratch dir");
     dir
@@ -106,7 +105,11 @@ fn pipelined_fault_run_emits_complete_run_report() {
     assert_eq!(stalls[0].step, Some(2));
     assert!(stalls[0].at > 0.0, "virtual timestamp recorded");
     assert_eq!(stalls[0].pid, 1, "stall happens on the consumer world");
-    assert_eq!(report.events_of(EventKind::CheckpointWrite).count(), 8, "4 triggers x 2 ranks");
+    assert_eq!(
+        report.events_of(EventKind::CheckpointWrite).count(),
+        8,
+        "4 triggers x 2 ranks"
+    );
 
     // Events come out sorted by virtual time.
     for w in report.events.windows(2) {
@@ -124,7 +127,9 @@ fn pipelined_fault_run_emits_complete_run_report() {
     // Instrument registry captured the solver histogram (sim world) and
     // the checkpoint counter (consumer world, `endpoint<r>/` scope).
     assert!(report.metric("rank0/sem/step_time").is_some());
-    assert!(report.metric("endpoint0/checkpoint/bytes_written").is_some());
+    assert!(report
+        .metric("endpoint0/checkpoint/bytes_written")
+        .is_some());
 }
 
 #[test]
@@ -180,6 +185,7 @@ fn intransit_degradation_is_visible_in_the_event_log() {
         queue_capacity: 8,
         policy: QueuePolicy::Block,
         mode: EndpointMode::Checkpointing,
+        sched: Default::default(),
         image_size: (64, 48),
         output_dir: None,
         faults: FaultPlan::with_link(
@@ -212,7 +218,10 @@ fn intransit_degradation_is_visible_in_the_event_log() {
     }
     for producer in 0..4usize {
         let open = opens.iter().find(|e| e.rank == producer).expect("open");
-        let sw = switches.iter().find(|e| e.rank == producer).expect("switch");
+        let sw = switches
+            .iter()
+            .find(|e| e.rank == producer)
+            .expect("switch");
         assert!(open.at <= sw.at, "breaker opens before the engine switch");
         assert_eq!(sw.step, Some(6), "switch at the breaker-tripping trigger");
     }

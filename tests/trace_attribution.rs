@@ -26,6 +26,7 @@ fn traced_intransit(sim_ranks: usize, mode: EndpointMode) -> InTransitConfig {
         queue_capacity: 8,
         policy: QueuePolicy::Block,
         mode,
+        sched: Default::default(),
         image_size: (80, 60),
         output_dir: None,
         faults: FaultPlan::none(),
@@ -59,6 +60,7 @@ fn traced_insitu(ranks: usize) -> InSituConfig {
         image_size: (80, 60),
         mode: InSituMode::Catalyst,
         exec: Default::default(),
+        sched: Default::default(),
         faults: commsim::FaultPlan::none(),
         output_dir: None,
         trace: true,
@@ -98,7 +100,10 @@ fn intransit_catalyst_attributes_virtual_time_to_phases() {
     );
     // In-transit runs push data over the staging link: the send phase
     // must show up with real counts and real time.
-    assert!(phases.count("transport/send") > 0, "no transport/send spans");
+    assert!(
+        phases.count("transport/send") > 0,
+        "no transport/send spans"
+    );
     assert!(phases.total("transport/send") > 0.0);
     // Solver and render phases both appear (sim pid and endpoint pid).
     assert!(phases.count("sem/pressure") > 0);
@@ -112,7 +117,11 @@ fn insitu_catalyst_attribution_holds_without_transport() {
     let phases = r.phases.expect("trace: true produces a breakdown");
     assert_eq!(phases.ranks.len(), 4 * insitu_worlds());
     assert_phases_bounded_by_wall(&phases);
-    assert!(phases.attributed_fraction() >= 0.95, "{}", phases.to_table());
+    assert!(
+        phases.attributed_fraction() >= 0.95,
+        "{}",
+        phases.to_table()
+    );
     // In situ everything happens on the simulation ranks: in-situ copy
     // and render spans exist, transport spans do not.
     assert!(phases.count("insitu/execute") > 0);
@@ -132,7 +141,11 @@ fn idle_endpoint_is_vacuously_attributed() {
     assert_eq!(r.endpoint_steps, 0);
     let phases = r.phases.expect("traced");
     assert_phases_bounded_by_wall(&phases);
-    assert!(phases.attributed_fraction() >= 0.95, "{}", phases.to_table());
+    assert!(
+        phases.attributed_fraction() >= 0.95,
+        "{}",
+        phases.to_table()
+    );
 }
 
 #[test]
@@ -151,10 +164,8 @@ fn untraced_runs_carry_no_breakdown() {
 /// as `transport/park` time.
 #[test]
 fn degraded_run_traces_park_spans_without_panicking() {
-    let dir = std::env::temp_dir().join(format!(
-        "nek-sensei-trace-degraded-{}",
-        std::process::id()
-    ));
+    let dir =
+        std::env::temp_dir().join(format!("nek-sensei-trace-degraded-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).expect("scratch dir");
 
