@@ -52,17 +52,37 @@ fn base_name(name: &str) -> (&str, bool) {
     (name, false)
 }
 
-/// One aggregated row per logical metric: counters and gauges sum over
-/// ranks; histograms combine counts exactly and keep the worst p95.
+/// One aggregated row per logical metric: counters sum over ranks;
+/// gauges sum too, except ratio-valued gauges (name ending in `ratio`,
+/// e.g. `sem/overlap_ratio`), which average — a sum of per-rank ratios
+/// is meaningless; histograms combine counts exactly and keep the worst
+/// p95.
 enum Agg {
     Counter(u64),
-    Gauge(f64),
+    Gauge { sum: f64, ranks: u64, avg: bool },
     Histogram {
         count: u64,
         p50: f64,
         p95: f64,
         max: f64,
     },
+}
+
+impl Agg {
+    /// The displayed gauge value: per-rank average for ratios, sum
+    /// otherwise.
+    fn gauge_value(sum: f64, ranks: u64, avg: bool) -> f64 {
+        if avg && ranks > 0 {
+            sum / ranks as f64
+        } else {
+            sum
+        }
+    }
+}
+
+/// Ratio-valued gauges are averaged over ranks instead of summed.
+fn gauge_is_ratio(key: &str) -> bool {
+    key.ends_with("ratio")
 }
 
 fn aggregate(report: &RunReport) -> BTreeMap<String, Agg> {
@@ -79,7 +99,15 @@ fn aggregate(report: &RunReport) -> BTreeMap<String, Agg> {
                 out.insert(key, Agg::Counter(*c));
             }
             (None, MetricValue::Gauge(g)) => {
-                out.insert(key, Agg::Gauge(*g));
+                let avg = gauge_is_ratio(&key);
+                out.insert(
+                    key,
+                    Agg::Gauge {
+                        sum: *g,
+                        ranks: 1,
+                        avg,
+                    },
+                );
             }
             (None, MetricValue::Histogram(h)) => {
                 out.insert(
@@ -93,7 +121,10 @@ fn aggregate(report: &RunReport) -> BTreeMap<String, Agg> {
                 );
             }
             (Some(Agg::Counter(total)), MetricValue::Counter(c)) => *total += c,
-            (Some(Agg::Gauge(total)), MetricValue::Gauge(g)) => *total += g,
+            (Some(Agg::Gauge { sum, ranks, .. }), MetricValue::Gauge(g)) => {
+                *sum += g;
+                *ranks += 1;
+            }
             (
                 Some(Agg::Histogram {
                     count,
@@ -118,7 +149,9 @@ fn aggregate(report: &RunReport) -> BTreeMap<String, Agg> {
 fn agg_cell(a: &Agg) -> String {
     match a {
         Agg::Counter(c) => c.to_string(),
-        Agg::Gauge(g) => format!("{g:.3}"),
+        Agg::Gauge { sum, ranks, avg } => {
+            format!("{:.3}", Agg::gauge_value(*sum, *ranks, *avg))
+        }
         Agg::Histogram {
             count,
             p50,
@@ -266,7 +299,21 @@ fn diff(a: &RunReport, b: &RunReport) {
         };
         let delta = match (va, vb) {
             (Agg::Counter(x), Agg::Counter(y)) => pct(*x as f64, *y as f64),
-            (Agg::Gauge(x), Agg::Gauge(y)) => pct(*x, *y),
+            (
+                Agg::Gauge {
+                    sum: xs,
+                    ranks: xr,
+                    avg: xa,
+                },
+                Agg::Gauge {
+                    sum: ys,
+                    ranks: yr,
+                    avg: ya,
+                },
+            ) => pct(
+                Agg::gauge_value(*xs, *xr, *xa),
+                Agg::gauge_value(*ys, *yr, *ya),
+            ),
             (Agg::Histogram { p95: x, .. }, Agg::Histogram { p95: y, .. }) => pct(*x, *y),
             _ => "type-changed".into(),
         };

@@ -1,21 +1,25 @@
 //! `perf_report` — real-wall-clock benchmark of the pool-parallel hot
-//! paths, 1 thread vs N, emitting `BENCH_sem.json`.
+//! paths across a thread-scaling curve (1, 2, 4 threads), emitting
+//! `BENCH_sem.json`.
 //!
 //! Unlike the figure harnesses (virtual-clock, machine-model time), this
 //! binary measures *actual* elapsed time on the monotonic clock via the
 //! shared warmup + samples + median/MAD harness in the `criterion` shim.
-//! Each workload runs twice: once with the shared thread pool pinned to a
-//! single thread and once at the host's full width, so the report shows
-//! the realized speedup of the data-parallel SEM kernels. On a single-core
-//! host the two configurations are expected to tie (the report records
-//! `host_threads` so CI readers can tell).
+//! Each workload runs at pool widths 1, 2 and 4, so the report shows the
+//! realized scaling of the element-block-parallel SEM kernels; the
+//! reported `speedups` entry is t(1)/t(4). On a single-core host the
+//! configurations are expected to tie (the report records `host_threads`
+//! so CI readers can tell).
 //!
 //! Usage: `perf_report [--quick] [--out BENCH_sem.json] [--baseline PATH]`
 //!
 //! `--baseline PATH` compares each bench median against a committed
 //! earlier `BENCH_sem.json` and prints warnings for drifts beyond ±15%.
-//! The comparison is informational only (wall-clock medians on shared CI
-//! runners are noisy): it never changes the exit code.
+//! For the solver benches (`ns_step`, `sem_operators`) a *slowdown*
+//! beyond tolerance is a hard failure (exit 1) — but only when the
+//! current host's thread count matches the baseline's, since medians
+//! from differently-sized hosts are not comparable. Render/transport
+//! benches stay warn-only (too image/IO-noise-dominated to gate on).
 
 use commsim::{run_ranks, Comm, MachineModel};
 use criterion::{measure, Stats};
@@ -245,9 +249,11 @@ fn write_report(
             .iter()
             .find(|r| r.name == *name && r.threads == 1)
             .map(|r| r.stats.median_s);
+        // Speedup over the curve: t(1) / t(widest measured width).
         let tn = results
             .iter()
-            .find(|r| r.name == *name && r.threads != 1)
+            .filter(|r| r.name == *name && r.threads != 1)
+            .max_by_key(|r| r.threads)
             .map(|r| r.stats.median_s);
         let speedup = match (t1, tn) {
             (Some(a), Some(b)) if b > 0.0 => a / b,
@@ -268,32 +274,52 @@ fn write_report(
 /// Tolerated relative drift of a bench median against the baseline.
 const BASELINE_TOLERANCE: f64 = 0.15;
 
-/// Compare `results` against a committed `BENCH_sem.json`. Warn-only:
-/// wall-clock medians on shared runners are too noisy to gate merges.
-fn compare_baseline(path: &str, results: &[BenchResult]) {
+/// Benches where a slowdown beyond tolerance fails the run (the solver
+/// hot path this repo optimizes). Render/transport benches stay
+/// warn-only.
+const GATED_BENCHES: [&str; 2] = ["ns_step", "sem_operators"];
+
+/// Compare `results` against a committed `BENCH_sem.json`. Returns the
+/// number of *blocking* regressions: gated benches that got slower than
+/// tolerance while the host's thread count matches the baseline's (a
+/// baseline recorded on a differently-sized host is informational only —
+/// wall-clock medians across host shapes are not comparable).
+fn compare_baseline(path: &str, host_threads: usize, results: &[BenchResult]) -> usize {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
             println!("baseline: cannot read {path}: {e} (skipping comparison)");
-            return;
+            return 0;
         }
     };
     let doc = match telemetry::json::parse(&text) {
         Ok(v) => v,
         Err(e) => {
             println!("baseline: {path} is not valid JSON: {e} (skipping comparison)");
-            return;
+            return 0;
         }
     };
     let Some(benches) = doc.get("benches").and_then(|b| b.as_arr()) else {
         println!("baseline: {path} has no benches array (skipping comparison)");
-        return;
+        return 0;
     };
+    let base_threads = doc.get("host_threads").and_then(|v| v.as_u64());
+    let comparable = base_threads == Some(host_threads as u64);
+    if !comparable {
+        println!(
+            "baseline: recorded on host_threads={} but this host has {host_threads} — \
+             comparison is informational only",
+            base_threads.map_or("?".to_string(), |t| t.to_string())
+        );
+    }
     println!(
-        "baseline comparison vs {path} (±{:.0}% tolerance, warn-only):",
-        BASELINE_TOLERANCE * 100.0
+        "baseline comparison vs {path} (±{:.0}% tolerance; blocking for {:?} slowdowns{}):",
+        BASELINE_TOLERANCE * 100.0,
+        GATED_BENCHES,
+        if comparable { "" } else { " — suspended" }
     );
     let mut drifted = 0usize;
+    let mut blocking = 0usize;
     for r in results {
         let base = benches.iter().find(|b| {
             b.get("name").and_then(|v| v.as_str()) == Some(r.name)
@@ -315,8 +341,13 @@ fn compare_baseline(path: &str, results: &[BenchResult]) {
         let drift = r.stats.median_s / median - 1.0;
         if drift.abs() > BASELINE_TOLERANCE {
             drifted += 1;
+            let gated = comparable && GATED_BENCHES.contains(&r.name) && drift > 0.0;
+            if gated {
+                blocking += 1;
+            }
             println!(
-                "  WARNING {:<10} threads={:<3} {:+.1}% vs baseline ({:.3} ms -> {:.3} ms)",
+                "  {} {:<10} threads={:<3} {:+.1}% vs baseline ({:.3} ms -> {:.3} ms)",
+                if gated { "FAIL   " } else { "WARNING" },
                 r.name,
                 r.threads,
                 drift * 100.0,
@@ -333,8 +364,11 @@ fn compare_baseline(path: &str, results: &[BenchResult]) {
         }
     }
     if drifted > 0 {
-        println!("baseline: {drifted} bench(es) drifted beyond tolerance (informational)");
+        println!(
+            "baseline: {drifted} bench(es) drifted beyond tolerance ({blocking} blocking)"
+        );
     }
+    blocking
 }
 
 fn main() {
@@ -354,9 +388,8 @@ fn main() {
     let sz = if quick { QUICK } else { FULL };
 
     let host_threads = pool::default_threads();
-    let wide = host_threads.max(2);
     println!(
-        "perf_report: host_threads={host_threads} (multi-thread pass uses {wide}){}",
+        "perf_report: host_threads={host_threads}, thread curve [1, 2, 4]{}",
         if quick { " [quick]" } else { "" }
     );
 
@@ -370,7 +403,7 @@ fn main() {
 
     let mut results = Vec::new();
     for (name, f) in benches {
-        for threads in [1usize, wide] {
+        for threads in [1usize, 2, 4] {
             let stats = f(threads, sz);
             println!(
                 "  {name:<18} threads={threads:<3} {:>10.3} ms/iter (median, ±{:.3} MAD, n={})",
@@ -395,6 +428,10 @@ fn main() {
     );
     write_report(&out_path, host_threads, quick, &results, &overlap);
     if let Some(baseline) = baseline {
-        compare_baseline(&baseline, &results);
+        let blocking = compare_baseline(&baseline, host_threads, &results);
+        if blocking > 0 {
+            println!("perf_report: FAILED — {blocking} gated bench regression(s)");
+            std::process::exit(1);
+        }
     }
 }

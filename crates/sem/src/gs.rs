@@ -13,6 +13,7 @@
 
 use crate::mesh::LocalMesh;
 use commsim::Comm;
+use std::cell::Cell;
 
 const TAG_UP: u64 = 0x6773_0001; // from below-rank to above-rank
 const TAG_DOWN: u64 = 0x6773_0002; // from above-rank to below-rank
@@ -27,6 +28,32 @@ struct Exchange {
     starts: Vec<u32>,
 }
 
+/// Accumulated comm/compute overlap accounting for the split-phase
+/// exchange: virtual seconds of network latency hidden behind interior
+/// gather work vs. still exposed as recv wait, over `sums` calls.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct GsOverlap {
+    /// Network latency covered by interior compute while in flight.
+    pub hidden_s: f64,
+    /// Recv wait the interior phase could not cover.
+    pub exposed_s: f64,
+    /// Number of `sum` calls accumulated.
+    pub sums: u64,
+}
+
+impl GsOverlap {
+    /// Fraction of exchange latency hidden behind interior compute
+    /// (0 when nothing was exchanged).
+    pub fn ratio(&self) -> f64 {
+        let total = self.hidden_s + self.exposed_s;
+        if total > 0.0 {
+            self.hidden_s / total
+        } else {
+            0.0
+        }
+    }
+}
+
 /// The assembled-topology handle for one rank's mesh.
 pub struct GatherScatter {
     n_nodes: usize,
@@ -37,6 +64,19 @@ pub struct GatherScatter {
     exchanges: Vec<Exchange>,
     /// 1 / global multiplicity per local node.
     mult_inv: Vec<f64>,
+    /// Shared segments (`len ≥ 2`) touching at least one exchanged node —
+    /// these must be gathered before the exchange payload is read.
+    boundary_segs: Vec<u32>,
+    /// Shared segments with no exchanged node — free to gather while the
+    /// exchange is in flight.
+    interior_segs: Vec<u32>,
+    /// Elements owning at least one exchanged node, ascending.
+    boundary_elems: Vec<u32>,
+    /// Elements owning no exchanged node, ascending.
+    interior_elems: Vec<u32>,
+    /// Count of distinct local nodes that appear in an exchange.
+    n_boundary_nodes: usize,
+    overlap: Cell<GsOverlap>,
 }
 
 impl GatherScatter {
@@ -89,12 +129,61 @@ impl GatherScatter {
             }
         }
 
+        // Boundary/interior classification: a node is "boundary" when it
+        // is exchanged with a neighbor rank; a gid segment or an element
+        // is boundary when it contains one. Interior segments can be
+        // gathered while the exchange is in flight (comm/compute overlap),
+        // and interior elements are the operator work a solver may
+        // schedule under the same window.
+        let mut is_boundary = vec![false; n_nodes];
+        for ex in &exchanges {
+            for &i in &ex.nodes {
+                is_boundary[i as usize] = true;
+            }
+        }
+        let n_boundary_nodes = is_boundary.iter().filter(|&&b| b).count();
+        let mut boundary_segs = Vec::new();
+        let mut interior_segs = Vec::new();
+        for s in 0..seg_starts.len() - 1 {
+            let seg = &order[seg_starts[s] as usize..seg_starts[s + 1] as usize];
+            if seg.len() < 2 {
+                continue;
+            }
+            if seg.iter().any(|&i| is_boundary[i as usize]) {
+                boundary_segs.push(s as u32);
+            } else {
+                interior_segs.push(s as u32);
+            }
+        }
+        let npe = l.nodes_per_elem();
+        let mut elem_boundary = vec![false; l.n_elems];
+        for (i, &b) in is_boundary.iter().enumerate() {
+            if b {
+                elem_boundary[i / npe] = true;
+            }
+        }
+        let mut boundary_elems = Vec::new();
+        let mut interior_elems = Vec::new();
+        for (e, &b) in elem_boundary.iter().enumerate() {
+            if b {
+                boundary_elems.push(e as u32);
+            } else {
+                interior_elems.push(e as u32);
+            }
+        }
+
         let mut gs = Self {
             n_nodes,
             order,
             seg_starts,
             exchanges,
             mult_inv: Vec::new(),
+            boundary_segs,
+            interior_segs,
+            boundary_elems,
+            interior_elems,
+            n_boundary_nodes,
+            overlap: Cell::new(GsOverlap::default()),
         };
         // Multiplicity via a sum of ones. Every rank with any exchange must
         // participate even if its own field were empty.
@@ -115,29 +204,79 @@ impl GatherScatter {
         &self.mult_inv
     }
 
+    /// Elements owning at least one rank-boundary (exchanged) node.
+    pub fn boundary_elems(&self) -> &[u32] {
+        &self.boundary_elems
+    }
+
+    /// Elements whose nodes are all rank-local — operator work that can
+    /// proceed while an exchange is in flight.
+    pub fn interior_elems(&self) -> &[u32] {
+        &self.interior_elems
+    }
+
+    /// Number of distinct local nodes shared with a neighbor rank.
+    pub fn n_boundary_nodes(&self) -> usize {
+        self.n_boundary_nodes
+    }
+
+    /// Overlap accounting accumulated since construction (or the last
+    /// [`Self::take_overlap`]).
+    pub fn overlap(&self) -> GsOverlap {
+        self.overlap.get()
+    }
+
+    /// Drain the overlap accounting, resetting it to zero.
+    pub fn take_overlap(&self) -> GsOverlap {
+        self.overlap.replace(GsOverlap::default())
+    }
+
     /// Direct stiffness summation: after this call, every copy of a shared
     /// node holds the sum over all copies on all ranks.
+    ///
+    /// Split-phase: boundary segments (those feeding the neighbor
+    /// exchange) are gathered first and the sends posted immediately, so
+    /// the wire latency runs concurrently with the interior gather —
+    /// interior segments by definition contain no exchanged node, so
+    /// their order relative to the sends cannot change any value and the
+    /// result stays bitwise identical to the unsplit sweep. The roofline
+    /// charge is split proportionally between the phases (it is linear,
+    /// so total virtual compute time is unchanged); how much of the
+    /// exchange latency the interior phase hid is accumulated in
+    /// [`Self::overlap`].
     pub fn sum(&self, comm: &mut Comm, field: &mut [f64]) {
         assert_eq!(field.len(), self.n_nodes, "field/topology size mismatch");
-        // Intra-rank: gather+scatter within gid segments. Bandwidth-bound.
-        comm.compute_gpu(self.n_nodes as f64, (self.n_nodes * 8 * 2) as f64);
-        for s in 0..self.seg_starts.len() - 1 {
-            let seg = &self.order[self.seg_starts[s] as usize..self.seg_starts[s + 1] as usize];
-            if seg.len() < 2 {
-                continue;
-            }
-            let total: f64 = seg.iter().map(|&i| field[i as usize]).sum();
-            for &i in seg {
-                field[i as usize] = total;
-            }
-        }
-        // Inter-rank: one value per interface gid each way.
+        // Intra-rank gather+scatter is bandwidth-bound: 1 flop + 16 bytes
+        // per node, split by boundary fraction across the two phases.
+        let (flops, bytes) = (self.n_nodes as f64, (self.n_nodes * 8 * 2) as f64);
+        let fb = if self.n_nodes > 0 {
+            self.n_boundary_nodes as f64 / self.n_nodes as f64
+        } else {
+            0.0
+        };
+        comm.compute_gpu(flops * fb, bytes * fb);
+        self.gather_segs(&self.boundary_segs, field);
+        // Post the exchange; latency now runs on the virtual wire.
+        let wire_s: f64 = self
+            .exchanges
+            .iter()
+            .map(|ex| {
+                comm.machine()
+                    .network
+                    .p2p_time(((ex.starts.len() - 1) * 8) as u64)
+            })
+            .sum();
         for ex in &self.exchanges {
             let payload: Vec<f64> = (0..ex.starts.len() - 1)
                 .map(|g| field[ex.nodes[ex.starts[g] as usize] as usize])
                 .collect();
             comm.send_f64s(ex.peer, ex.send_tag, payload);
         }
+        // Interior gather overlaps the in-flight exchange.
+        comm.compute_gpu(flops * (1.0 - fb), bytes * (1.0 - fb));
+        self.gather_segs(&self.interior_segs, field);
+        let t_ready = comm.now();
+        // Complete the boundary: wait for neighbors and accumulate.
         for ex in &self.exchanges {
             let incoming: Vec<f64> = comm.recv(ex.peer, ex.recv_tag);
             assert_eq!(
@@ -150,6 +289,27 @@ impl GatherScatter {
                 for &i in &ex.nodes[ex.starts[g] as usize..ex.starts[g + 1] as usize] {
                     field[i as usize] += incoming[g];
                 }
+            }
+        }
+        let exposed = (comm.now() - t_ready).max(0.0);
+        // Latency the interior phase managed to cover: whatever of the
+        // wire time did not resurface as recv wait (peers may add their
+        // own send-side delay, so `exposed` can exceed `wire_s`).
+        let hidden = (wire_s - exposed).clamp(0.0, wire_s);
+        let mut o = self.overlap.get();
+        o.hidden_s += hidden;
+        o.exposed_s += exposed;
+        o.sums += 1;
+        self.overlap.set(o);
+    }
+
+    fn gather_segs(&self, segs: &[u32], field: &mut [f64]) {
+        for &s in segs {
+            let s = s as usize;
+            let seg = &self.order[self.seg_starts[s] as usize..self.seg_starts[s + 1] as usize];
+            let total: f64 = seg.iter().map(|&i| field[i as usize]).sum();
+            for &i in seg {
+                field[i as usize] = total;
             }
         }
     }
@@ -381,6 +541,114 @@ mod tests {
         // Ranks 0 and 2: all nodes have multiplicity 1 (no neighbors).
         assert_eq!(res[0], 1.0);
         assert_eq!(res[2], 1.0);
+    }
+
+    #[test]
+    fn classification_single_rank_has_no_boundary() {
+        let res = with_mesh(1, 2, [2, 2, 2], [false; 3], |mesh, gs, _comm| {
+            (
+                gs.n_boundary_nodes(),
+                gs.boundary_elems().len(),
+                gs.interior_elems().len(),
+                mesh.elems.len(),
+            )
+        });
+        let (nb, be, ie, ne) = res[0];
+        assert_eq!(nb, 0, "single rank exchanges nothing");
+        assert_eq!(be, 0);
+        assert_eq!(ie, ne, "every element is interior");
+    }
+
+    #[test]
+    fn classification_multi_rank_splits_slab_elements() {
+        // 1×1×4 column over 2 ranks: each rank holds 2 elements, exactly
+        // one of which touches the inter-rank plane.
+        let res = with_mesh(2, 2, [1, 1, 4], [false; 3], |mesh, gs, comm| {
+            let np = mesh.layout().np;
+            (
+                comm.rank(),
+                gs.boundary_elems().to_vec(),
+                gs.interior_elems().to_vec(),
+                gs.n_boundary_nodes(),
+                np,
+            )
+        });
+        for (rank, be, ie, nb, np) in res {
+            // Rank 0 owns ez 0..2 (boundary element is its top, local
+            // element 1); rank 1 owns ez 2..4 (boundary is its bottom,
+            // local element 0).
+            let expect_boundary = if rank == 0 { vec![1u32] } else { vec![0u32] };
+            let expect_interior = if rank == 0 { vec![0u32] } else { vec![1u32] };
+            assert_eq!(be, expect_boundary, "rank {rank}");
+            assert_eq!(ie, expect_interior, "rank {rank}");
+            // One interface plane of (N+1)² nodes.
+            assert_eq!(nb, np * np, "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn classification_periodic_wrap_makes_all_elements_boundary() {
+        // Periodic z with one element per rank: both k-faces of every
+        // element are inter-rank interfaces.
+        let res = with_mesh(2, 2, [1, 1, 2], [false, false, true], |mesh, gs, _comm| {
+            let np = mesh.layout().np;
+            (
+                gs.boundary_elems().len(),
+                gs.interior_elems().len(),
+                gs.n_boundary_nodes(),
+                np,
+            )
+        });
+        for (be, ie, nb, np) in res {
+            assert_eq!(be, 1, "the single element touches both interfaces");
+            assert_eq!(ie, 0);
+            assert_eq!(nb, 2 * np * np, "both faces exchanged");
+        }
+    }
+
+    #[test]
+    fn classification_solid_elements_are_interior() {
+        // Solid mid-element severs the column: no rank exchanges, so all
+        // fluid elements classify interior even though the rank count > 1.
+        let res = run_ranks(3, MachineModel::test_tiny(), |comm| {
+            let mut raw = MeshSpec::box_mesh(2, [1, 1, 3], [1.0; 3], [false; 3]);
+            let mid = raw.elem_index([0, 0, 1]);
+            raw.solid[mid] = true;
+            let mesh = LocalMesh::new(Arc::new(raw), comm.rank(), comm.size());
+            let gs = GatherScatter::new(&mesh, comm);
+            (
+                mesh.elems.len(),
+                gs.boundary_elems().len(),
+                gs.interior_elems().len(),
+                gs.n_boundary_nodes(),
+            )
+        });
+        assert_eq!(res[1], (0, 0, 0, 0), "solid rank holds no fluid elements");
+        for &(ne, be, ie, nb) in [&res[0], &res[2]] {
+            assert_eq!(ne, 1);
+            assert_eq!(be, 0, "severed column exchanges nothing");
+            assert_eq!(ie, 1);
+            assert_eq!(nb, 0);
+        }
+    }
+
+    #[test]
+    fn overlap_accounting_accumulates_and_drains() {
+        let res = with_mesh(2, 2, [1, 1, 2], [false; 3], |mesh, gs, comm| {
+            gs.take_overlap(); // discard the construction-time sum
+            let mut f = vec![1.0; mesh.layout().n_nodes()];
+            gs.sum(comm, &mut f);
+            gs.sum(comm, &mut f);
+            let o = gs.take_overlap();
+            let drained = gs.overlap();
+            (o, drained)
+        });
+        for (o, drained) in res {
+            assert_eq!(o.sums, 2);
+            assert!(o.hidden_s >= 0.0 && o.exposed_s >= 0.0, "{o:?}");
+            assert!((0.0..=1.0).contains(&o.ratio()), "{o:?}");
+            assert_eq!(drained, GsOverlap::default(), "take must reset");
+        }
     }
 
     #[test]

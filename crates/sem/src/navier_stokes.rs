@@ -22,13 +22,54 @@
 use crate::cg::{self, CgConfig, CgResult};
 use crate::gs::GatherScatter;
 use crate::mesh::{BcSet, LocalMesh};
-use crate::operators::Ops;
+use crate::operators::{transpose_op, Ops};
 use crate::snapshot::{self, FieldSnapshot, SnapshotPool, SnapshotSpec};
 use crate::timestep::{bdf_coeffs, ext_coeffs};
-use crate::workspace::Workspace;
+use crate::workspace::{BlockArena, Workspace};
 use commsim::{Comm, ReduceOp};
 use memtrack::Charge;
 use std::sync::Arc;
+
+/// Solver phases instrumented with per-phase block-imbalance counters
+/// (`sem/block_dispatch/<phase>`, `sem/block_slack/<phase>`).
+const BLOCK_PHASES: [&str; 7] = [
+    "advection",
+    "pressure",
+    "project",
+    "viscous",
+    "temperature",
+    "filter",
+    "diagnostics",
+];
+
+#[derive(Clone, Copy)]
+enum BlockPhase {
+    Advection = 0,
+    Pressure = 1,
+    Project = 2,
+    Viscous = 3,
+    Temperature = 4,
+    Filter = 5,
+    Diagnostics = 6,
+}
+
+/// Lazily-bound telemetry handles for the element-block scheduler: one
+/// overlap-ratio gauge plus per-phase dispatch/slack counters.
+struct BlockInstruments {
+    overlap_ratio: commsim::Gauge,
+    dispatches: [commsim::Counter; BLOCK_PHASES.len()],
+    slack: [commsim::Counter; BLOCK_PHASES.len()],
+}
+
+impl BlockInstruments {
+    fn new(t: &commsim::RankTelemetry) -> Self {
+        Self {
+            overlap_ratio: t.gauge("sem/overlap_ratio"),
+            dispatches: BLOCK_PHASES.map(|p| t.counter(&format!("sem/block_dispatch/{p}"))),
+            slack: BLOCK_PHASES.map(|p| t.counter(&format!("sem/block_slack/{p}"))),
+        }
+    }
+}
 
 /// Temperature-equation configuration (enables Boussinesq coupling).
 #[derive(Debug, Clone)]
@@ -167,15 +208,24 @@ pub struct FlowSolver {
     stiff_diag_assembled: Vec<f64>,
     p_diag_inv: Vec<f64>,
     filter_matrix: Option<Vec<f64>>,
+    /// Transpose of `filter_matrix`, feeding the axis-0 SIMD kernel of
+    /// `apply_tensor_op`.
+    filter_matrix_t: Option<Vec<f64>>,
     scratch: Vec<f64>,
     /// Scratch-buffer arena for all per-step temporaries; after the warm-up
     /// steps the hot loop recycles these instead of allocating.
     ws: Workspace,
+    /// Per-worker pencil arena for the fused blocked Helmholtz/stiffness
+    /// applies (growth-only, sized on first use).
+    block_arena: BlockArena,
     step_index: usize,
     time: f64,
     /// Lazily-bound telemetry instrument for per-step virtual time
     /// (`rank<r>/sem/step_time`); a no-op handle when telemetry is off.
     step_hist: Option<commsim::Histogram>,
+    /// Lazily-bound block-scheduler instruments (overlap ratio gauge +
+    /// per-phase imbalance counters).
+    block_instr: Option<BlockInstruments>,
     _gpu_charge: Charge,
 }
 
@@ -229,6 +279,9 @@ impl FlowSolver {
         let filter_matrix = cfg
             .filter
             .map(|f| ops.basis.filter_matrix(f.strength, f.modes));
+        let filter_matrix_t = filter_matrix
+            .as_ref()
+            .map(|m| transpose_op(m, ops.basis.np()));
 
         // Make initial state continuous and boundary-consistent.
         let mut u = u0;
@@ -251,6 +304,11 @@ impl FlowSolver {
         let histories = 3 * 2 + 3 * 3 + 2 + 3; // u_hist + adv_hist + t hists
         let bytes = ((n_fields + histories + 8) * n * 8) as u64;
         let gpu_charge = comm.accountant("gpu").charge(bytes);
+
+        // Setup-time operator and gather-scatter traffic should not leak
+        // into the first step's scheduling/overlap telemetry.
+        ops.take_dispatch_stats();
+        gs.take_overlap();
 
         Self {
             mesh,
@@ -277,13 +335,28 @@ impl FlowSolver {
             stiff_diag_assembled,
             p_diag_inv,
             filter_matrix,
+            filter_matrix_t,
             scratch: vec![0.0; n],
             ws: Workspace::new(n),
+            block_arena: BlockArena::new(),
             step_index: 0,
             time: 0.0,
             step_hist: None,
+            block_instr: None,
             _gpu_charge: gpu_charge,
         }
+    }
+
+    /// Drain the operator context's dispatch counters into `phase`'s
+    /// block-imbalance telemetry (binding the instruments on first use,
+    /// inside the warm-up steps, so steady state stays allocation-free).
+    fn note_block_phase(&mut self, comm: &mut Comm, phase: BlockPhase) {
+        let (dispatches, slack) = self.ops.take_dispatch_stats();
+        let instr = self
+            .block_instr
+            .get_or_insert_with(|| BlockInstruments::new(comm.telemetry()));
+        instr.dispatches[phase as usize].add(dispatches);
+        instr.slack[phase as usize].add(slack);
     }
 
     /// Number of local nodes.
@@ -623,6 +696,7 @@ impl FlowSolver {
             self.t_adv_hist.insert(0, ta);
         }
         drop(sp);
+        self.note_block_phase(comm, BlockPhase::Advection);
 
         // 2. Tentative velocity û. (Pure local arithmetic: charges no
         // virtual time, so it carries no span.)
@@ -673,11 +747,11 @@ impl FlowSolver {
             ..self.cfg.pressure_cg
         };
         let ops = &self.ops;
-        let scratch = &mut self.scratch;
+        let arena = &mut self.block_arena;
         let pressure = cg::solve(
             comm,
             &self.gs,
-            |comm, x, out| ops.stiffness_apply(comm, x, out, scratch),
+            |comm, x, out| ops.stiffness_apply_blocked(comm, x, out, arena),
             &b_p,
             &mut self.p,
             &self.p_diag_inv,
@@ -687,6 +761,7 @@ impl FlowSolver {
         );
         self.ws.put(b_p);
         drop(sp);
+        self.note_block_phase(comm, BlockPhase::Pressure);
 
         // 4. Projection u** = û − (Δt/b₀)∇p.
         let sp = comm.span("sem/project");
@@ -705,6 +780,7 @@ impl FlowSolver {
         }
         self.ws.put3([gx, gy, gz]);
         drop(sp);
+        self.note_block_phase(comm, BlockPhase::Project);
 
         // Save current velocity into history before overwriting.
         let mut u_old: [Vec<f64>; 3] = [
@@ -741,11 +817,16 @@ impl FlowSolver {
         }
         self.u_hist.insert(0, u_old);
         drop(sp);
+        self.note_block_phase(comm, BlockPhase::Viscous);
 
         // 6. Temperature advection–diffusion.
         let temperature = if self.cfg.temperature.is_some() {
-            let _sp = comm.span("sem/temperature");
-            Some(self.temperature_step(comm, k, b0, dt))
+            let report = {
+                let _sp = comm.span("sem/temperature");
+                self.temperature_step(comm, k, b0, dt)
+            };
+            self.note_block_phase(comm, BlockPhase::Temperature);
+            Some(report)
         } else {
             None
         };
@@ -754,16 +835,20 @@ impl FlowSolver {
         // boundary values and continuity.
         let sp = comm.span("sem/filter");
         if let Some(fm) = self.filter_matrix.as_ref() {
+            let fmt = self
+                .filter_matrix_t
+                .as_ref()
+                .expect("transpose built alongside filter matrix");
             for c in 0..3 {
                 self.ops
-                    .apply_tensor_op(comm, fm, &mut self.u[c], &mut self.scratch);
+                    .apply_tensor_op(comm, fm, fmt, &mut self.u[c], &mut self.scratch);
                 self.gs.average(comm, &mut self.u[c]);
                 for i in 0..n {
                     self.u[c][i] = self.u[c][i] * self.vel_mask[c][i] + self.vel_vals[c][i];
                 }
             }
             if let Some(t) = self.t.as_mut() {
-                self.ops.apply_tensor_op(comm, fm, t, &mut self.scratch);
+                self.ops.apply_tensor_op(comm, fm, fmt, t, &mut self.scratch);
                 self.gs.average(comm, t);
                 for i in 0..n {
                     t[i] = t[i] * self.t_mask[i] + self.t_vals[i];
@@ -771,6 +856,7 @@ impl FlowSolver {
             }
         }
         drop(sp);
+        self.note_block_phase(comm, BlockPhase::Filter);
 
         // Diagnostics: divergence of the end-of-step velocity.
         let sp = comm.span("sem/diagnostics");
@@ -793,6 +879,14 @@ impl FlowSolver {
         let divergence = comm.allreduce(local, ReduceOp::Sum).sqrt();
         self.ws.put(div_new);
         drop(sp);
+        self.note_block_phase(comm, BlockPhase::Diagnostics);
+
+        // Overlap accounting for every gather-scatter in this step: the
+        // fraction of exchange latency hidden behind interior compute.
+        let overlap = self.gs.take_overlap();
+        if let Some(instr) = &self.block_instr {
+            instr.overlap_ratio.set(overlap.ratio());
+        }
 
         self.step_index += 1;
         self.time += dt;
@@ -828,12 +922,19 @@ impl FlowSolver {
         for i in 0..n {
             b[i] = h0 * self.mass_diag[i] * rhs_field[i];
         }
-        // H·x_bc = h0·M·x_bc + ν·A·x_bc.
+        // H·x_bc = h0·M·x_bc + ν·A·x_bc — one fused blocked apply.
         let mut ax = self.ws.take_uninit();
-        self.ops
-            .stiffness_apply(comm, &self.vel_vals[c], &mut ax, &mut self.scratch);
+        self.ops.helmholtz_apply_blocked(
+            comm,
+            nu,
+            h0,
+            &self.mass_diag,
+            &self.vel_vals[c],
+            &mut ax,
+            &mut self.block_arena,
+        );
         for i in 0..n {
-            b[i] -= h0 * self.mass_diag[i] * self.vel_vals[c][i] + nu * ax[i];
+            b[i] -= ax[i];
         }
         self.gs.sum(comm, &mut b);
         for i in 0..n {
@@ -847,16 +948,11 @@ impl FlowSolver {
         }
         let ops = &self.ops;
         let mass_diag = &self.mass_diag;
-        let scratch = &mut self.scratch;
+        let arena = &mut self.block_arena;
         let result = cg::solve(
             comm,
             &self.gs,
-            |comm, v, out| {
-                ops.stiffness_apply(comm, v, out, scratch);
-                for i in 0..out.len() {
-                    out[i] = nu * out[i] + h0 * mass_diag[i] * v[i];
-                }
-            },
+            |comm, v, out| ops.helmholtz_apply_blocked(comm, nu, h0, mass_diag, v, out, arena),
             &b,
             &mut x,
             h_diag_inv,
@@ -917,10 +1013,17 @@ impl FlowSolver {
             b[i] = h0 * self.mass_diag[i] * t_hat[i];
         }
         let mut ax = self.ws.take_uninit();
-        self.ops
-            .stiffness_apply(comm, &self.t_vals, &mut ax, &mut self.scratch);
+        self.ops.helmholtz_apply_blocked(
+            comm,
+            kappa,
+            h0,
+            &self.mass_diag,
+            &self.t_vals,
+            &mut ax,
+            &mut self.block_arena,
+        );
         for i in 0..n {
-            b[i] -= h0 * self.mass_diag[i] * self.t_vals[i] + kappa * ax[i];
+            b[i] -= ax[i];
         }
         self.gs.sum(comm, &mut b);
         for i in 0..n {
@@ -936,7 +1039,7 @@ impl FlowSolver {
         }
         let ops = &self.ops;
         let mass_diag = &self.mass_diag;
-        let scratch = &mut self.scratch;
+        let arena = &mut self.block_arena;
         let t_mask = &self.t_mask;
         let t_cg = self
             .cfg
@@ -947,12 +1050,7 @@ impl FlowSolver {
         let result = cg::solve(
             comm,
             &self.gs,
-            |comm, v, out| {
-                ops.stiffness_apply(comm, v, out, scratch);
-                for i in 0..out.len() {
-                    out[i] = kappa * out[i] + h0 * mass_diag[i] * v[i];
-                }
-            },
+            |comm, v, out| ops.helmholtz_apply_blocked(comm, kappa, h0, mass_diag, v, out, arena),
             &b,
             &mut x,
             &h_diag_inv,

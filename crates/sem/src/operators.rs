@@ -12,9 +12,41 @@
 use crate::basis::Basis1d;
 use crate::field::FieldLayout;
 use crate::mesh::LocalMesh;
-use crate::workspace::Workspace;
+use crate::workspace::{BlockArena, Workspace};
 use commsim::Comm;
-use rayon::prelude::*;
+use rayon::pool;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Raw-pointer wrapper so per-block disjoint output ranges can be handed
+/// to pool workers (mirrors the shim prelude's internal pattern).
+struct SendPtr(*mut f64);
+// SAFETY: each block derives a disjoint subslice; no two jobs alias.
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+impl SendPtr {
+    fn get(&self) -> *mut f64 {
+        self.0
+    }
+}
+
+/// Block-dispatch accounting: how many pool dispatches an operator
+/// context has issued and how many element-slots of slack (idle capacity
+/// in the largest block beyond a perfectly even split) they carried.
+/// Fed to the telemetry bus per solver phase by `FlowSolver::step`.
+#[derive(Debug, Default)]
+pub struct DispatchStats {
+    dispatches: AtomicU64,
+    slack_elems: AtomicU64,
+}
+
+impl Clone for DispatchStats {
+    fn clone(&self) -> Self {
+        Self {
+            dispatches: AtomicU64::new(self.dispatches.load(Ordering::Relaxed)),
+            slack_elems: AtomicU64::new(self.slack_elems.load(Ordering::Relaxed)),
+        }
+    }
+}
 
 /// Precomputed operator context for one rank's mesh.
 #[derive(Debug, Clone)]
@@ -34,6 +66,10 @@ pub struct Ops {
     /// 1-D stiffness diagonal `K1[i] = Σ_m w_m D[m][i]²`, cached so
     /// `stiffness_diag` never recomputes it.
     k1: Vec<f64>,
+    /// Transposed derivative matrix `Dᵀ[m][i] = D[i][m]` — the layout the
+    /// axis-0 SIMD kernels consume so their reads stay unit-stride.
+    dt: Vec<f64>,
+    stats: DispatchStats,
 }
 
 impl Ops {
@@ -59,6 +95,7 @@ impl Ops {
                 k1[i] += basis.weights[m] * d * d;
             }
         }
+        let dt = transpose_op(&basis.deriv, np);
         Self {
             basis,
             layout,
@@ -67,11 +104,56 @@ impl Ops {
             h,
             w3,
             k1,
+            dt,
+            stats: DispatchStats::default(),
         }
     }
 
     fn np(&self) -> usize {
         self.basis.np()
+    }
+
+    /// Record one block dispatch over `ne` elements: slack is how many
+    /// element-slots the largest block holds beyond `ne / n_blocks`
+    /// rounded down, summed over blocks — 0 when the split is perfectly
+    /// even, up to `n_blocks - 1` otherwise.
+    fn note_dispatch(&self, ne: usize) {
+        let nb = pool::n_blocks(ne);
+        let rem = ne % nb.max(1);
+        let slack = if rem > 0 { (nb - rem) as u64 } else { 0 };
+        self.stats.dispatches.fetch_add(1, Ordering::Relaxed);
+        self.stats.slack_elems.fetch_add(slack, Ordering::Relaxed);
+    }
+
+    /// Drain the dispatch counters: `(dispatches, slack_elems)` since the
+    /// last call. The solver reads this after each phase to feed the
+    /// per-phase block-imbalance telemetry.
+    pub fn take_dispatch_stats(&self) -> (u64, u64) {
+        (
+            self.stats.dispatches.swap(0, Ordering::Relaxed),
+            self.stats.slack_elems.swap(0, Ordering::Relaxed),
+        )
+    }
+
+    /// Run `f(out_block, u_block)` over per-thread contiguous element
+    /// blocks — the one dispatch every element-local operator goes
+    /// through. Elements are partitioned once per call (contiguous
+    /// ranges, sizes differing by at most one), so each worker sweeps a
+    /// cache-friendly run of whole elements instead of interleaving
+    /// per-element chunks with other threads.
+    fn zip_blocks(&self, out: &mut [f64], u: &[f64], f: impl Fn(&mut [f64], &[f64]) + Sync) {
+        let npe = self.layout.nodes_per_elem();
+        let ne = self.layout.n_elems;
+        debug_assert_eq!(out.len(), ne * npe);
+        debug_assert_eq!(u.len(), ne * npe);
+        let base = SendPtr(out.as_mut_ptr());
+        pool::run_partitioned(ne, |_b, e0, e1| {
+            // SAFETY: blocks are disjoint element ranges of `out`.
+            let ob =
+                unsafe { std::slice::from_raw_parts_mut(base.get().add(e0 * npe), (e1 - e0) * npe) };
+            f(ob, &u[e0 * npe..e1 * npe]);
+        });
+        self.note_dispatch(ne);
     }
 
     /// Flop/byte cost of one derivative sweep over all local elements.
@@ -104,27 +186,13 @@ impl Ops {
     fn deriv_nocost(&self, u: &[f64], axis: usize, out: &mut [f64]) {
         let np = self.np();
         let npe = self.layout.nodes_per_elem();
-        let d = &self.basis.deriv;
+        let (d, dt) = (&self.basis.deriv, &self.dt);
         let s = self.scale[axis];
-        out.par_chunks_mut(npe)
-            .zip(u.par_chunks(npe))
-            .for_each(|(oe, ue)| {
-                deriv_elem(ue, d, np, axis, s, oe);
-            });
-    }
-
-    /// Transpose-derivative along `axis`: `out += (2/h) Dᵀ u` — the building
-    /// block of the weak Laplacian. Accumulates into `out`.
-    fn deriv_t_accum(&self, u: &[f64], axis: usize, out: &mut [f64]) {
-        let np = self.np();
-        let npe = self.layout.nodes_per_elem();
-        let d = &self.basis.deriv;
-        let s = self.scale[axis];
-        out.par_chunks_mut(npe)
-            .zip(u.par_chunks(npe))
-            .for_each(|(oe, ue)| {
-                deriv_t_elem_accum(ue, d, np, axis, s, oe);
-            });
+        self.zip_blocks(out, u, |ob, ub| {
+            for (oe, ue) in ob.chunks_exact_mut(npe).zip(ub.chunks_exact(npe)) {
+                deriv_elem(ue, d, dt, np, axis, s, oe);
+            }
+        });
     }
 
     /// Gradient: three derivative sweeps.
@@ -163,13 +231,13 @@ impl Ops {
         let npe = self.layout.nodes_per_elem();
         let jac = self.jac;
         let w3 = &self.w3;
-        out.par_chunks_mut(npe)
-            .zip(u.par_chunks(npe))
-            .for_each(|(oe, ue)| {
+        self.zip_blocks(out, u, |ob, ub| {
+            for (oe, ue) in ob.chunks_exact_mut(npe).zip(ub.chunks_exact(npe)) {
                 for ((o, &v), &w) in oe.iter_mut().zip(ue).zip(w3) {
                     *o = jac * w * v;
                 }
-            });
+            }
+        });
     }
 
     /// The (unassembled) diagonal mass vector J·w per node.
@@ -183,6 +251,13 @@ impl Ops {
     /// Weak Laplacian (stiffness) application:
     /// `out = Σ_d s_d² J D_dᵀ (w ∘ D_d u)` — symmetric positive
     /// semi-definite before boundary conditions.
+    ///
+    /// The operator chain (deriv → weighting → transpose-deriv, all three
+    /// axes) is fused per element: each element is loaded once, swept
+    /// through the whole chain cache-resident, and written once — instead
+    /// of six full-field passes. `scratch` is only used element-wise
+    /// (each block touches its own elements' region), so the signature
+    /// and results are unchanged from the unfused version.
     pub fn stiffness_apply(
         &self,
         comm: &mut Comm,
@@ -193,20 +268,101 @@ impl Ops {
         // 6 derivative sweeps + pointwise weights.
         self.charge_derivs(comm, 6.0);
         self.charge_pointwise(comm, 3.0, 3.0);
-        out.iter_mut().for_each(|v| *v = 0.0);
-        for axis in 0..3 {
-            self.deriv_nocost(u, axis, scratch);
-            // scratch ← s_d J w ∘ scratch (one factor of s comes from each D).
-            let npe = self.layout.nodes_per_elem();
-            let c = self.jac;
-            let w3 = &self.w3;
-            scratch.par_chunks_mut(npe).for_each(|se| {
-                for (v, &w) in se.iter_mut().zip(w3) {
-                    *v *= c * w;
-                }
-            });
-            self.deriv_t_accum(scratch, axis, out);
+        let npe = self.layout.nodes_per_elem();
+        let ne = self.layout.n_elems;
+        if ne == 0 {
+            return;
         }
+        let (d, dt) = (&self.basis.deriv, &self.dt);
+        let (np, scale, jac, w3) = (self.np(), self.scale, self.jac, &self.w3);
+        let out_p = SendPtr(out.as_mut_ptr());
+        let scr_p = SendPtr(scratch.as_mut_ptr());
+        pool::run_partitioned(ne, |_b, e0, e1| {
+            for e in e0..e1 {
+                // SAFETY: per-block element ranges are disjoint in both
+                // `out` and `scratch`.
+                let oe = unsafe { std::slice::from_raw_parts_mut(out_p.get().add(e * npe), npe) };
+                let se = unsafe { std::slice::from_raw_parts_mut(scr_p.get().add(e * npe), npe) };
+                let ue = &u[e * npe..(e + 1) * npe];
+                stiffness_elem(ue, d, dt, np, scale, jac, w3, se, oe);
+            }
+        });
+        self.note_dispatch(ne);
+    }
+
+    /// [`Self::stiffness_apply`] with per-worker scratch pencils from a
+    /// [`BlockArena`] instead of a field-sized scratch buffer: each block
+    /// reuses one element-sized pencil for all its elements, so the
+    /// working set per element stays at three pencils regardless of mesh
+    /// size. Bitwise identical to `stiffness_apply`.
+    pub fn stiffness_apply_blocked(
+        &self,
+        comm: &mut Comm,
+        u: &[f64],
+        out: &mut [f64],
+        arena: &mut BlockArena,
+    ) {
+        self.charge_derivs(comm, 6.0);
+        self.charge_pointwise(comm, 3.0, 3.0);
+        self.stiffness_arena_blocks(u, out, arena, None);
+    }
+
+    /// Fused Helmholtz application `out = coeff·A u + h0·(M ∘ u)` — the
+    /// viscous/temperature CG operator — with the diagonal-mass term
+    /// folded into the same per-element sweep so `u` is read once.
+    /// Charges match the unfused `stiffness_apply` (the pointwise post
+    /// pass was never charged separately).
+    #[allow(clippy::too_many_arguments)]
+    pub fn helmholtz_apply_blocked(
+        &self,
+        comm: &mut Comm,
+        coeff: f64,
+        h0: f64,
+        mass_diag: &[f64],
+        u: &[f64],
+        out: &mut [f64],
+        arena: &mut BlockArena,
+    ) {
+        self.charge_derivs(comm, 6.0);
+        self.charge_pointwise(comm, 3.0, 3.0);
+        self.stiffness_arena_blocks(u, out, arena, Some((coeff, h0, mass_diag)));
+    }
+
+    fn stiffness_arena_blocks(
+        &self,
+        u: &[f64],
+        out: &mut [f64],
+        arena: &mut BlockArena,
+        post: Option<(f64, f64, &[f64])>,
+    ) {
+        let npe = self.layout.nodes_per_elem();
+        let ne = self.layout.n_elems;
+        if ne == 0 {
+            return;
+        }
+        arena.ensure(pool::n_blocks(ne), npe);
+        let slots = arena.slots();
+        let (d, dt) = (&self.basis.deriv, &self.dt);
+        let (np, scale, jac, w3) = (self.np(), self.scale, self.jac, &self.w3);
+        let out_p = SendPtr(out.as_mut_ptr());
+        pool::run_partitioned(ne, |b, e0, e1| {
+            // SAFETY: one slot per block index; run_partitioned gives each
+            // job a unique `b`.
+            let se = unsafe { slots.slot(b) };
+            for e in e0..e1 {
+                // SAFETY: per-block element ranges of `out` are disjoint.
+                let oe = unsafe { std::slice::from_raw_parts_mut(out_p.get().add(e * npe), npe) };
+                let ue = &u[e * npe..(e + 1) * npe];
+                stiffness_elem(ue, d, dt, np, scale, jac, w3, se, oe);
+                if let Some((coeff, h0, mass)) = post {
+                    let me = &mass[e * npe..(e + 1) * npe];
+                    for i in 0..npe {
+                        oe[i] = coeff * oe[i] + h0 * me[i] * ue[i];
+                    }
+                }
+            }
+        });
+        self.note_dispatch(ne);
     }
 
     /// Diagonal of the unassembled stiffness operator (Jacobi
@@ -238,22 +394,32 @@ impl Ops {
         }
     }
 
-    /// Apply a 1-D operator matrix `m` (row-major (N+1)²) along all three
-    /// tensor directions of `u` in place — the application pattern of the
-    /// modal filter, `u ← (F⊗F⊗F)u`.
-    pub fn apply_tensor_op(&self, comm: &mut Comm, m: &[f64], u: &mut [f64], scratch: &mut [f64]) {
+    /// Apply a 1-D operator matrix `m` (row-major (N+1)², with `mt` its
+    /// transpose) along all three tensor directions of `u` in place — the
+    /// application pattern of the modal filter, `u ← (F⊗F⊗F)u`. The
+    /// transpose feeds the axis-0 SIMD kernel's unit-stride reads; build
+    /// it once with [`transpose_op`].
+    pub fn apply_tensor_op(
+        &self,
+        comm: &mut Comm,
+        m: &[f64],
+        mt: &[f64],
+        u: &mut [f64],
+        scratch: &mut [f64],
+    ) {
         self.charge_derivs(comm, 3.0);
         let np = self.np();
         assert_eq!(m.len(), np * np, "operator must be (N+1)²");
+        assert_eq!(mt.len(), np * np, "transpose must be (N+1)²");
         // Reuse the derivative sweeps with scale 1 by swapping buffers.
         let npe = self.layout.nodes_per_elem();
         for axis in 0..3 {
             scratch.copy_from_slice(u);
-            u.par_chunks_mut(npe)
-                .zip(scratch.par_chunks(npe))
-                .for_each(|(oe, ue)| {
-                    deriv_elem(ue, m, np, axis, 1.0, oe);
-                });
+            self.zip_blocks(u, &*scratch, |ob, ub| {
+                for (oe, ue) in ob.chunks_exact_mut(npe).zip(ub.chunks_exact(npe)) {
+                    deriv_elem(ue, m, mt, np, axis, 1.0, oe);
+                }
+            });
         }
     }
 
@@ -382,17 +548,63 @@ pub fn axpy(out: &mut [f64], a: &[f64], s: f64, b: &[f64]) {
     }
 }
 
+/// Transpose of a row-major (N+1)² operator matrix — the layout the
+/// axis-0 SIMD kernels consume (see [`Ops::apply_tensor_op`]).
+pub fn transpose_op(m: &[f64], np: usize) -> Vec<f64> {
+    assert_eq!(m.len(), np * np, "operator must be (N+1)²");
+    let mut mt = vec![0.0; np * np];
+    for i in 0..np {
+        for j in 0..np {
+            mt[j * np + i] = m[i * np + j];
+        }
+    }
+    mt
+}
+
+/// Fused per-element weak Laplacian: `oe = Σ_axis s² J Dᵀ(w ∘ D ue)`.
+/// The element's derivative lives in `se` (one pencil, cache-resident)
+/// across all three axes — identical accumulation order to three
+/// full-field sweeps, so results are bitwise unchanged.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn stiffness_elem(
+    ue: &[f64],
+    d: &[f64],
+    dt: &[f64],
+    np: usize,
+    scale: [f64; 3],
+    jac: f64,
+    w3: &[f64],
+    se: &mut [f64],
+    oe: &mut [f64],
+) {
+    for v in oe.iter_mut() {
+        *v = 0.0;
+    }
+    for (axis, &s) in scale.iter().enumerate() {
+        deriv_elem(ue, d, dt, np, axis, s, se);
+        // se ← s J w ∘ se (one factor of s comes from each D).
+        for (v, &w) in se.iter_mut().zip(w3) {
+            *v *= jac * w;
+        }
+        deriv_t_elem_accum(se, d, np, axis, s, oe);
+    }
+}
+
 // ----------------------------------------------------------------------
 // Element-local derivative kernels.
 //
-// The bodies below are the kernels' single source of truth; they are
-// `inline(always)` so the const-generic wrappers monomorphize with `np`
-// a compile-time constant, letting LLVM fully unroll the (N+1)-long MAC
-// loop and keep the 1-D operator row in registers. Loop nests iterate
-// `i` innermost on every axis so reads and writes are unit-stride
-// (pencils along y/z are gathered with stride np/np²). The accumulation
-// order of each output's m-sum is identical in every variant, so results
-// are bitwise identical regardless of dispatch path.
+// Two tiers share one dispatch: generic bodies (runtime `np`, m-innermost
+// — the original reference kernels) and const-generic SIMD bodies for
+// the production orders (N = 2..7 ⇒ np = 3..8). The SIMD forms put the
+// unit-stride `i` index innermost with the operator coefficient
+// broadcast as a scalar and accumulate into a stack pencil `[f64; NP]`,
+// so LLVM autovectorizes the inner loop with no gathers and no aliasing;
+// axis 0 consumes the *transposed* matrix `dt` to keep its reads
+// unit-stride too. Every variant accumulates each output's m-sum in the
+// same ascending-m order into an explicitly zeroed accumulator, so
+// results are bitwise identical regardless of dispatch path (verified by
+// `simd_kernels_match_generic_bitwise_at_all_fixed_orders`).
 // ----------------------------------------------------------------------
 
 #[inline(always)]
@@ -489,36 +701,158 @@ fn deriv_t_elem_body(u: &[f64], d: &[f64], np: usize, axis: usize, s: f64, out: 
     }
 }
 
-fn deriv_elem_fixed<const NP: usize>(u: &[f64], d: &[f64], axis: usize, s: f64, out: &mut [f64]) {
-    deriv_elem_body(u, d, NP, axis, s, out);
+fn deriv_elem_simd<const NP: usize>(
+    u: &[f64],
+    d: &[f64],
+    dt: &[f64],
+    axis: usize,
+    s: f64,
+    out: &mut [f64],
+) {
+    match axis {
+        0 => {
+            for p in 0..NP * NP {
+                let row = p * NP;
+                let mut acc = [0.0; NP];
+                for m in 0..NP {
+                    let um = u[row + m];
+                    let dr = &dt[m * NP..m * NP + NP];
+                    for i in 0..NP {
+                        acc[i] += dr[i] * um;
+                    }
+                }
+                for i in 0..NP {
+                    out[row + i] = s * acc[i];
+                }
+            }
+        }
+        1 => {
+            for k in 0..NP {
+                for j in 0..NP {
+                    let mut acc = [0.0; NP];
+                    for m in 0..NP {
+                        let c = d[j * NP + m];
+                        let base = (k * NP + m) * NP;
+                        let ur = &u[base..base + NP];
+                        for i in 0..NP {
+                            acc[i] += c * ur[i];
+                        }
+                    }
+                    let row = (k * NP + j) * NP;
+                    for i in 0..NP {
+                        out[row + i] = s * acc[i];
+                    }
+                }
+            }
+        }
+        2 => {
+            for k in 0..NP {
+                for j in 0..NP {
+                    let mut acc = [0.0; NP];
+                    for m in 0..NP {
+                        let c = d[k * NP + m];
+                        let base = (m * NP + j) * NP;
+                        let ur = &u[base..base + NP];
+                        for i in 0..NP {
+                            acc[i] += c * ur[i];
+                        }
+                    }
+                    let row = (k * NP + j) * NP;
+                    for i in 0..NP {
+                        out[row + i] = s * acc[i];
+                    }
+                }
+            }
+        }
+        _ => unreachable!("axis must be 0..3"),
+    }
 }
 
-fn deriv_t_elem_fixed<const NP: usize>(u: &[f64], d: &[f64], axis: usize, s: f64, out: &mut [f64]) {
-    deriv_t_elem_body(u, d, NP, axis, s, out);
+fn deriv_t_elem_simd<const NP: usize>(u: &[f64], d: &[f64], axis: usize, s: f64, out: &mut [f64]) {
+    match axis {
+        0 => {
+            // Dᵀ along x already reads `d` column-major in the generic
+            // body — which is row-major in `d` itself here, so no
+            // transposed copy is needed.
+            for p in 0..NP * NP {
+                let row = p * NP;
+                let mut acc = [0.0; NP];
+                for m in 0..NP {
+                    let um = u[row + m];
+                    let dr = &d[m * NP..m * NP + NP];
+                    for i in 0..NP {
+                        acc[i] += dr[i] * um;
+                    }
+                }
+                for i in 0..NP {
+                    out[row + i] += s * acc[i];
+                }
+            }
+        }
+        1 => {
+            for k in 0..NP {
+                for j in 0..NP {
+                    let mut acc = [0.0; NP];
+                    for m in 0..NP {
+                        let c = d[m * NP + j];
+                        let base = (k * NP + m) * NP;
+                        let ur = &u[base..base + NP];
+                        for i in 0..NP {
+                            acc[i] += c * ur[i];
+                        }
+                    }
+                    let row = (k * NP + j) * NP;
+                    for i in 0..NP {
+                        out[row + i] += s * acc[i];
+                    }
+                }
+            }
+        }
+        2 => {
+            for k in 0..NP {
+                for j in 0..NP {
+                    let mut acc = [0.0; NP];
+                    for m in 0..NP {
+                        let c = d[m * NP + k];
+                        let base = (m * NP + j) * NP;
+                        let ur = &u[base..base + NP];
+                        for i in 0..NP {
+                            acc[i] += c * ur[i];
+                        }
+                    }
+                    let row = (k * NP + j) * NP;
+                    for i in 0..NP {
+                        out[row + i] += s * acc[i];
+                    }
+                }
+            }
+        }
+        _ => unreachable!("axis must be 0..3"),
+    }
 }
 
-fn deriv_elem(u: &[f64], d: &[f64], np: usize, axis: usize, s: f64, out: &mut [f64]) {
-    // Monomorphized fast paths for the production polynomial orders
+fn deriv_elem(u: &[f64], d: &[f64], dt: &[f64], np: usize, axis: usize, s: f64, out: &mut [f64]) {
+    // Monomorphized SIMD paths for the production polynomial orders
     // (N = 2..7 ⇒ np = 3..8); anything else takes the generic body.
     match np {
-        3 => deriv_elem_fixed::<3>(u, d, axis, s, out),
-        4 => deriv_elem_fixed::<4>(u, d, axis, s, out),
-        5 => deriv_elem_fixed::<5>(u, d, axis, s, out),
-        6 => deriv_elem_fixed::<6>(u, d, axis, s, out),
-        7 => deriv_elem_fixed::<7>(u, d, axis, s, out),
-        8 => deriv_elem_fixed::<8>(u, d, axis, s, out),
+        3 => deriv_elem_simd::<3>(u, d, dt, axis, s, out),
+        4 => deriv_elem_simd::<4>(u, d, dt, axis, s, out),
+        5 => deriv_elem_simd::<5>(u, d, dt, axis, s, out),
+        6 => deriv_elem_simd::<6>(u, d, dt, axis, s, out),
+        7 => deriv_elem_simd::<7>(u, d, dt, axis, s, out),
+        8 => deriv_elem_simd::<8>(u, d, dt, axis, s, out),
         _ => deriv_elem_body(u, d, np, axis, s, out),
     }
 }
 
 fn deriv_t_elem_accum(u: &[f64], d: &[f64], np: usize, axis: usize, s: f64, out: &mut [f64]) {
     match np {
-        3 => deriv_t_elem_fixed::<3>(u, d, axis, s, out),
-        4 => deriv_t_elem_fixed::<4>(u, d, axis, s, out),
-        5 => deriv_t_elem_fixed::<5>(u, d, axis, s, out),
-        6 => deriv_t_elem_fixed::<6>(u, d, axis, s, out),
-        7 => deriv_t_elem_fixed::<7>(u, d, axis, s, out),
-        8 => deriv_t_elem_fixed::<8>(u, d, axis, s, out),
+        3 => deriv_t_elem_simd::<3>(u, d, axis, s, out),
+        4 => deriv_t_elem_simd::<4>(u, d, axis, s, out),
+        5 => deriv_t_elem_simd::<5>(u, d, axis, s, out),
+        6 => deriv_t_elem_simd::<6>(u, d, axis, s, out),
+        7 => deriv_t_elem_simd::<7>(u, d, axis, s, out),
+        8 => deriv_t_elem_simd::<8>(u, d, axis, s, out),
         _ => deriv_t_elem_body(u, d, np, axis, s, out),
     }
 }
@@ -790,5 +1124,127 @@ mod tests {
         assert_eq!(out, vec![21.0, 42.0, 63.0]);
         add_assign(&mut out, &[1.0, 1.0, 1.0]);
         assert_eq!(out, vec![22.0, 43.0, 64.0]);
+    }
+
+    fn test_elem(np: usize) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        let npe = np * np * np;
+        let u: Vec<f64> = (0..npe).map(|i| ((i * 37 + np) as f64 * 0.7).sin()).collect();
+        let d: Vec<f64> = (0..np * np).map(|i| ((i * 13 + 1) as f64 * 0.3).cos()).collect();
+        let dt = transpose_op(&d, np);
+        (u, d, dt)
+    }
+
+    #[test]
+    fn simd_kernels_match_generic_bitwise_at_all_fixed_orders() {
+        for np in 3..=8usize {
+            let (u, d, dt) = test_elem(np);
+            let npe = np * np * np;
+            for axis in 0..3 {
+                let mut fast = vec![0.0; npe];
+                let mut generic = vec![0.0; npe];
+                deriv_elem(&u, &d, &dt, np, axis, 1.7, &mut fast);
+                deriv_elem_body(&u, &d, np, axis, 1.7, &mut generic);
+                for i in 0..npe {
+                    assert_eq!(
+                        fast[i].to_bits(),
+                        generic[i].to_bits(),
+                        "deriv np={np} axis={axis} node {i}: {} vs {}",
+                        fast[i],
+                        generic[i],
+                    );
+                }
+                let mut fast_t = vec![0.5; npe];
+                let mut generic_t = vec![0.5; npe];
+                deriv_t_elem_accum(&u, &d, np, axis, 0.9, &mut fast_t);
+                deriv_t_elem_body(&u, &d, np, axis, 0.9, &mut generic_t);
+                for i in 0..npe {
+                    assert_eq!(
+                        fast_t[i].to_bits(),
+                        generic_t[i].to_bits(),
+                        "deriv_t np={np} axis={axis} node {i}",
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn simd_kernels_measure_under_criterion_at_np_3_to_8() {
+        // The autovectorization claim is a codegen property we can't
+        // assert from a test, but we can pin the harness the perf report
+        // uses to time these kernels at every production order.
+        for np in 3..=8usize {
+            let (u, d, dt) = test_elem(np);
+            let mut out = vec![0.0; np * np * np];
+            let stats = criterion::measure(1, 3, || {
+                for axis in 0..3 {
+                    deriv_elem(&u, &d, &dt, np, axis, 1.1, &mut out);
+                    deriv_t_elem_accum(&u, &d, np, axis, 0.7, &mut out);
+                }
+                criterion::black_box(out[0])
+            });
+            assert_eq!(stats.n, 3);
+            assert!(stats.median_s >= 0.0 && stats.median_s.is_finite(), "{stats:?}");
+        }
+    }
+
+    #[test]
+    fn blocked_stiffness_and_helmholtz_match_reference_bitwise() {
+        let widths = [1usize, 3, 4];
+        for threads in widths {
+            let ok = on_one_rank(move |comm| {
+                rayon::pool::with_threads(threads, || {
+                    let mesh = single_rank_mesh(3, [2, 2, 2]);
+                    let ops = Ops::new(&mesh);
+                    let n = mesh.layout().n_nodes();
+                    let u = mesh.eval_nodal(|x| (3.0 * x[0] + x[1] * x[2]).sin());
+                    let mut scratch = vec![0.0; n];
+                    let mut a = vec![0.0; n];
+                    ops.stiffness_apply(comm, &u, &mut a, &mut scratch);
+                    let mut arena = BlockArena::new();
+                    let mut b = vec![1.0; n];
+                    ops.stiffness_apply_blocked(comm, &u, &mut b, &mut arena);
+                    for i in 0..n {
+                        assert_eq!(a[i].to_bits(), b[i].to_bits(), "stiffness node {i}");
+                    }
+                    // Helmholtz = coeff·A + h0·M∘ fused must equal the
+                    // two-pass composition exactly.
+                    let (nu, h0) = (0.04, 150.0);
+                    let mass = ops.mass_diag();
+                    let mut r = a.clone();
+                    for i in 0..n {
+                        r[i] = nu * r[i] + h0 * mass[i] * u[i];
+                    }
+                    let mut hout = vec![0.0; n];
+                    ops.helmholtz_apply_blocked(comm, nu, h0, &mass, &u, &mut hout, &mut arena);
+                    for i in 0..n {
+                        assert_eq!(r[i].to_bits(), hout[i].to_bits(), "helmholtz node {i}");
+                    }
+                    true
+                })
+            });
+            assert!(ok, "width {threads}");
+        }
+    }
+
+    #[test]
+    fn dispatch_stats_drain_and_reset() {
+        on_one_rank(|comm| {
+            let mesh = single_rank_mesh(3, [3, 1, 1]);
+            let ops = Ops::new(&mesh);
+            let n = mesh.layout().n_nodes();
+            ops.take_dispatch_stats();
+            let u = vec![1.0; n];
+            let mut out = vec![0.0; n];
+            let mut arena = BlockArena::new();
+            rayon::pool::with_threads(2, || {
+                ops.stiffness_apply_blocked(comm, &u, &mut out, &mut arena);
+            });
+            let (dispatches, slack) = ops.take_dispatch_stats();
+            assert_eq!(dispatches, 1, "one fused dispatch per apply");
+            // 3 elements over 2 blocks: split 2+1 ⇒ one idle slot.
+            assert_eq!(slack, 1);
+            assert_eq!(ops.take_dispatch_stats(), (0, 0), "drain must reset");
+        });
     }
 }

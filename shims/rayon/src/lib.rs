@@ -192,6 +192,49 @@ pub mod pool {
         }
     }
 
+    /// Number of blocks [`run_partitioned`] will split `n_items` into on
+    /// this thread: one per pool thread, never more than the item count.
+    pub fn n_blocks(n_items: usize) -> usize {
+        current_threads().max(1).min(n_items)
+    }
+
+    /// Bounds of block `b` when `0..n_items` is split into `nblocks`
+    /// contiguous blocks whose sizes differ by at most one. Purely
+    /// arithmetic, so the partition is identical on every thread and
+    /// every run — the scheduling analogue of the deterministic
+    /// chunk→output mapping `par_chunks` relies on.
+    pub fn partition(n_items: usize, nblocks: usize, b: usize) -> (usize, usize) {
+        debug_assert!(b < nblocks);
+        let base = n_items / nblocks;
+        let rem = n_items % nblocks;
+        let start = b * base + b.min(rem);
+        let len = base + usize::from(b < rem);
+        (start, start + len)
+    }
+
+    /// Execute `job(block, start, end)` over a deterministic contiguous
+    /// partition of `0..n_items` into [`n_blocks`] blocks — one pool job
+    /// per *block* instead of one per item. This is the coarse-grained
+    /// scheduling entry the SEM hot path uses: a whole operator
+    /// application costs a single dispatch with `threads` jobs, instead
+    /// of hundreds of element-sized chunks fighting over the batch
+    /// counter. Block indices map 1:1 to jobs, so a caller may hand each
+    /// block a private scratch slot with no cross-thread handoff.
+    pub fn run_partitioned<F: Fn(usize, usize, usize) + Sync>(n_items: usize, job: F) {
+        if n_items == 0 {
+            return;
+        }
+        let nblocks = n_blocks(n_items);
+        if nblocks == 1 {
+            job(0, 0, n_items);
+            return;
+        }
+        run(nblocks, |b| {
+            let (start, end) = partition(n_items, nblocks, b);
+            job(b, start, end);
+        });
+    }
+
     thread_local! {
         /// Per-thread pool-size override; 0 means "use the default".
         static OVERRIDE: Cell<usize> = const { Cell::new(0) };
@@ -474,6 +517,69 @@ mod tests {
             v.par_chunks_mut(8)
                 .for_each(|c| c.iter_mut().for_each(|x| *x = 1));
             assert!(v.iter().all(|&x| x == 1));
+        });
+    }
+
+    #[test]
+    fn partition_is_exhaustive_and_balanced() {
+        for n in [0usize, 1, 5, 7, 64, 1000] {
+            for nb in 1..=8usize.min(n.max(1)) {
+                let mut covered = 0usize;
+                let mut sizes = Vec::new();
+                for b in 0..nb {
+                    let (s, e) = pool::partition(n, nb, b);
+                    assert_eq!(s, covered, "blocks must be contiguous");
+                    covered = e;
+                    sizes.push(e - s);
+                }
+                assert_eq!(covered, n, "blocks must cover 0..{n}");
+                let (lo, hi) = (
+                    sizes.iter().min().copied().unwrap_or(0),
+                    sizes.iter().max().copied().unwrap_or(0),
+                );
+                assert!(hi - lo <= 1, "n={n} nb={nb}: sizes {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_partitioned_visits_every_item_once() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        for threads in [1usize, 3, 4] {
+            pool::with_threads(threads, || {
+                let n = 101;
+                let hits: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+                // Capture on the submitting thread: the width override is
+                // thread-local and pool workers don't see it.
+                let nb = pool::n_blocks(n);
+                pool::run_partitioned(n, |b, start, end| {
+                    assert!(b < nb);
+                    for h in &hits[start..end] {
+                        h.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+                assert!(
+                    hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                    "threads={threads}: every item must be visited exactly once"
+                );
+            });
+        }
+    }
+
+    #[test]
+    fn run_partitioned_block_index_is_private_per_job() {
+        // Each block writes only its own slot; no slot is written twice.
+        pool::with_threads(4, || {
+            let n = 37;
+            let nb = pool::n_blocks(n);
+            let mut slots = vec![0usize; nb];
+            let base = slots.as_mut_ptr() as usize;
+            pool::run_partitioned(n, move |b, start, end| {
+                // SAFETY: block b is handed to exactly one job.
+                unsafe { *(base as *mut usize).add(b) = end - start };
+            });
+            assert_eq!(slots.iter().sum::<usize>(), n);
+            assert!(slots.iter().all(|&s| s > 0));
         });
     }
 

@@ -7,7 +7,7 @@
 //! that contract, plus the pool's panic/poisoning behavior and the
 //! propagation of pool-width overrides into commsim's rank threads.
 
-use commsim::{run_ranks, MachineModel};
+use commsim::{run_ranks, with_mode, MachineModel, SchedMode};
 use nek_sensei::{run_insitu, InSituConfig, InSituMode};
 use rayon::pool;
 use sem::cases::{pb146, CaseParams};
@@ -63,6 +63,25 @@ fn solver_fields_bitwise_identical_across_pool_widths() {
         assert_eq!(
             sequential, parallel,
             "solver fields diverged between 1 and {threads} pool threads"
+        );
+    }
+}
+
+/// The overlapped gather/scatter path (interior segments reduced while
+/// the halo exchange is in flight) moves virtual-clock charges around
+/// but must never change arithmetic order. Pin the fields at 4 pool
+/// threads against the 1-thread reference under *both* rank schedulers:
+/// the multi-rank pb146 solve exercises the boundary/interior split on
+/// every step, and the event executor interleaves ranks differently
+/// from free-running threads.
+#[test]
+fn overlapped_gather_scatter_bitwise_identical_in_both_sched_modes() {
+    let reference = solve_field_bits(1);
+    for mode in [SchedMode::Thread, SchedMode::Event] {
+        let parallel = with_mode(mode, || solve_field_bits(4));
+        assert_eq!(
+            reference, parallel,
+            "overlapped gather/scatter diverged at 4 threads under {mode:?}"
         );
     }
 }
