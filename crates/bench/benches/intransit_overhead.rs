@@ -33,6 +33,9 @@ fn bench_intransit(c: &mut Criterion) {
                     policy: QueuePolicy::Block,
                     mode,
                     sched: Default::default(),
+                    wire: Default::default(),
+                    staging_consumers: 0,
+                    staging_dir: None,
                     image_size: (64, 48),
                     output_dir: None,
                     faults: commsim::FaultPlan::none(),

@@ -10,7 +10,7 @@ fn run_policy(policy: QueuePolicy, steps: u64) -> (u64, u64) {
     let reader_thread = std::thread::spawn(move || {
         run_ranks_with_state(MachineModel::test_tiny(), readers, |comm, mut reader| {
             let mut n = 0u64;
-            while let Some(delivery) = reader.recv_step(comm) {
+            while let Some(delivery) = reader.recv_step(comm).unwrap() {
                 // Skip-marker partials announce discarded steps; count only
                 // steps that actually carried data.
                 if delivery.is_complete() {

@@ -192,6 +192,9 @@ fn intransit_cfg(faults: FaultPlan, hub: TelemetryHub) -> InTransitConfig {
         policy: QueuePolicy::Block,
         mode: EndpointMode::Checkpointing,
         sched: Default::default(),
+        wire: Default::default(),
+        staging_consumers: 0,
+        staging_dir: None,
         image_size: (32, 24),
         output_dir: None,
         faults,

@@ -34,6 +34,9 @@ fn sweep_config(steps: usize, trigger: u64, faults: FaultPlan) -> InTransitConfi
         policy: QueuePolicy::Block,
         mode: EndpointMode::Checkpointing,
         sched: Default::default(),
+        wire: Default::default(),
+        staging_consumers: 0,
+        staging_dir: None,
         image_size: (64, 48),
         output_dir: None,
         faults,

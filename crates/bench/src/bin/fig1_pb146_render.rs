@@ -57,6 +57,7 @@ fn main() {
                 mode: "showcase".into(),
                 exec: "synchronous".into(),
                 sched: sched.label().into(),
+                wire: "none".into(),
                 ranks,
                 endpoint_ranks: 0,
                 steps: steps as u64,

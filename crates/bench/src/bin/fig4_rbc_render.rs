@@ -61,6 +61,7 @@ fn main() {
                 mode: "side_view".into(),
                 exec: "synchronous".into(),
                 sched: sched.label().into(),
+                wire: "none".into(),
                 ranks,
                 endpoint_ranks: 0,
                 steps: steps as u64,

@@ -36,6 +36,7 @@ fn main() {
         for &sim_ranks in &sim_rank_counts {
             let mut cfg = cases::intransit_config(sim_ranks, steps, trigger, machine.clone(), mode);
             cfg.sched = args.sched_mode();
+            cfg.wire = args.wire_kind();
             cfg.telemetry = args.telemetry();
             let report = run_intransit(&cfg);
             println!(

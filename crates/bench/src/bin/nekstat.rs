@@ -36,6 +36,17 @@ fn load(path: &str) -> RunReport {
 
 /// Strip a `rank<k>/` or `endpoint<k>/` prefix so per-rank instruments
 /// aggregate into one row per logical metric.
+///
+/// Prefix rules:
+/// * `rank<k>/<metric>` — simulation-world rank scope; stripped, and the
+///   remainder aggregates (counters sum, ratio gauges average,
+///   histograms combine) across ranks.
+/// * `endpoint<k>/<metric>` — endpoint-world rank scope; stripped the
+///   same way but kept separate from the simulation rows by an
+///   `endpoint:` marker, so sim and endpoint totals never mix.
+/// * Anything else (including `staging/session<k>/…`, which scopes a
+///   *consumer session*, not a rank) passes through untouched —
+///   session rows are per-session facts and must not sum.
 fn base_name(name: &str) -> (&str, bool) {
     if let Some((scope, rest)) = name.split_once('/') {
         let endpoint = scope.starts_with("endpoint");
@@ -146,6 +157,38 @@ fn aggregate(report: &RunReport) -> BTreeMap<String, Agg> {
     out
 }
 
+/// Split a `staging/session<k>/<field>` metric into `(k, field)`; the
+/// session scope is a consumer id, not a rank prefix (see [`base_name`]).
+fn session_scope(name: &str) -> Option<(usize, &str)> {
+    let rest = name.strip_prefix("staging/session")?;
+    let (id, field) = rest.split_once('/')?;
+    Some((id.parse().ok()?, field))
+}
+
+/// Build the per-session fan-out rows from `staging/session<k>/*`
+/// counters: one row per session, columns in a fixed order.
+fn session_table(aggs: &BTreeMap<String, Agg>) -> Vec<Vec<String>> {
+    let mut sessions: BTreeMap<usize, BTreeMap<&str, u64>> = BTreeMap::new();
+    for (name, agg) in aggs {
+        if let (Some((id, field)), Agg::Counter(c)) = (session_scope(name), agg) {
+            sessions.entry(id).or_default().insert(field, *c);
+        }
+    }
+    sessions
+        .iter()
+        .map(|(id, fields)| {
+            let get = |f: &str| fields.get(f).copied().unwrap_or(0).to_string();
+            vec![
+                id.to_string(),
+                get("frames_sent"),
+                get("bytes_sent"),
+                get("cache_hits"),
+                get("catchup_steps"),
+            ]
+        })
+        .collect()
+}
+
 fn agg_cell(a: &Agg) -> String {
     match a {
         Agg::Counter(c) => c.to_string(),
@@ -181,8 +224,8 @@ fn summarize(r: &RunReport) {
         m.machine
     );
     println!(
-        "faults: {} | pool threads: {} | pipeline depth: {}",
-        m.fault_plan, m.pool_threads, m.pipeline_depth
+        "faults: {} | sched: {} | wire: {} | pool threads: {} | pipeline depth: {}",
+        m.fault_plan, m.sched, m.wire, m.pool_threads, m.pipeline_depth
     );
 
     if !r.series.is_empty() {
@@ -214,10 +257,23 @@ fn summarize(r: &RunReport) {
     if !aggs.is_empty() {
         let rows: Vec<Vec<String>> = aggs
             .iter()
+            .filter(|(name, _)| session_scope(name).is_none())
             .map(|(name, a)| vec![name.clone(), agg_cell(a)])
             .collect();
         println!("\nmetrics (summed over ranks; endpoint world prefixed)");
         print!("{}", format_table(&["metric", "value"], &rows));
+    }
+
+    let sessions = session_table(&aggs);
+    if !sessions.is_empty() {
+        println!("\nstaging fan-out (per consumer session)");
+        print!(
+            "{}",
+            format_table(
+                &["session", "frames", "bytes", "cache hits", "catch-up steps"],
+                &sessions
+            )
+        );
     }
 
     if !r.events.is_empty() {
@@ -260,12 +316,12 @@ fn pct(old: f64, new: f64) -> String {
 fn diff(a: &RunReport, b: &RunReport) {
     let (ma, mb) = (&a.manifest, &b.manifest);
     println!(
-        "A: {} {} {} ({}) ranks={} steps={}",
-        ma.case, ma.workflow, ma.mode, ma.exec, ma.ranks, ma.steps
+        "A: {} {} {} ({}) ranks={} steps={} wire={}",
+        ma.case, ma.workflow, ma.mode, ma.exec, ma.ranks, ma.steps, ma.wire
     );
     println!(
-        "B: {} {} {} ({}) ranks={} steps={}",
-        mb.case, mb.workflow, mb.mode, mb.exec, mb.ranks, mb.steps
+        "B: {} {} {} ({}) ranks={} steps={} wire={}",
+        mb.case, mb.workflow, mb.mode, mb.exec, mb.ranks, mb.steps, mb.wire
     );
     if ma != mb {
         println!("note: manifests differ — deltas compare different configurations");

@@ -168,6 +168,9 @@ pub fn intransit_config(
         policy: QueuePolicy::Block,
         mode,
         sched: commsim::SchedMode::default(),
+        wire: Default::default(),
+        staging_consumers: 0,
+        staging_dir: None,
         image_size: (800, 600),
         output_dir: None,
         faults: FaultPlan::none(),

@@ -57,6 +57,9 @@ pub struct HarnessArgs {
     /// Run the sweep at exactly this rank count instead of the scaled
     /// paper series (`--ranks N`).
     pub ranks: Option<usize>,
+    /// Wire engine override (`--wire channel|tcp`); `None` follows
+    /// `NEK_WIRE`.
+    pub wire: Option<transport::WireKind>,
 }
 
 impl HarnessArgs {
@@ -94,9 +97,18 @@ impl HarnessArgs {
                     })
                 }
                 "--ranks" => args.ranks = it.next().and_then(|v| v.parse().ok()),
+                "--wire" => {
+                    args.wire = it.next().and_then(|v| {
+                        let parsed = transport::WireKind::parse(&v);
+                        if parsed.is_none() {
+                            eprintln!("warning: unknown --wire '{v}' (channel|tcp)");
+                        }
+                        parsed
+                    })
+                }
                 "--help" | "-h" => {
                     eprintln!(
-                        "flags: --scale N | --ranks N | --steps N | --trigger N | --out DIR | --trace-out DIR | --report-out DIR | --full | --pipelined | --sched thread|event | --seeds N | --json-out FILE | --restart-from DIR | --checkpoint-dir DIR | --checkpoint-every N"
+                        "flags: --scale N | --ranks N | --steps N | --trigger N | --out DIR | --trace-out DIR | --report-out DIR | --full | --pipelined | --sched thread|event | --wire channel|tcp | --seeds N | --json-out FILE | --restart-from DIR | --checkpoint-dir DIR | --checkpoint-every N"
                     );
                     std::process::exit(0);
                 }
@@ -126,6 +138,12 @@ impl HarnessArgs {
     /// `NEK_SCHED_MODE` default applies.
     pub fn sched_mode(&self) -> commsim::SchedMode {
         self.sched.unwrap_or_default()
+    }
+
+    /// Wire engine: `--wire` wins, otherwise the `NEK_WIRE` default
+    /// applies.
+    pub fn wire_kind(&self) -> transport::WireKind {
+        self.wire.unwrap_or_else(transport::WireKind::from_env)
     }
 }
 

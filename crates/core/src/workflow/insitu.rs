@@ -266,6 +266,7 @@ fn insitu_manifest(cfg: &InSituConfig) -> telemetry::Manifest {
         mode: cfg.mode.label().to_ascii_lowercase(),
         exec: cfg.exec.label().into(),
         sched: cfg.sched.label().into(),
+        wire: "none".into(),
         ranks: cfg.ranks,
         // The pipelined consumer world mirrors the sim world 1:1.
         endpoint_ranks: if pipelined { cfg.ranks } else { 0 },

@@ -26,7 +26,8 @@ use sem::cases::CaseSetup;
 use sem::snapshot::{SnapshotPool, SnapshotSpec};
 use std::sync::Arc;
 use transport::{
-    QueuePolicy, ReportSink, StagingLink, StagingNetwork, TransportAnalysis, WriterConfig,
+    QueuePolicy, ReportSink, SessionSpec, StagingLink, StagingNetwork, StagingReport,
+    StagingService, TransportAnalysis, WireKind, WriterConfig,
 };
 
 /// What the SENSEI endpoint does with the received data.
@@ -80,6 +81,18 @@ pub struct InTransitConfig {
     /// discrete-event scheduler (`NEK_SCHED_MODE`). Bitwise-identical
     /// virtual-time output either way.
     pub sched: SchedMode,
+    /// Which wire carries the staged frames between the worlds: the
+    /// in-process channel engine (bitwise-identical to the original
+    /// transport) or real loopback TCP sockets (`NEK_WIRE` / `--wire`).
+    pub wire: WireKind,
+    /// When > 0, replace the endpoint's fixed analysis with a
+    /// [`StagingService`] fanning each step out to this many concurrent
+    /// consumer sessions (requires a single endpoint rank). 0 keeps the
+    /// classic one-consumer endpoint.
+    pub staging_consumers: usize,
+    /// Where the staging service parks delivered steps (late-joiner
+    /// catch-up source). Defaults to a temp dir when unset.
+    pub staging_dir: Option<std::path::PathBuf>,
     /// Rendered image size (Catalyst endpoint).
     pub image_size: (usize, usize),
     /// Write real artifacts here when set.
@@ -146,6 +159,15 @@ pub struct InTransitReport {
     pub phases: Option<PhaseBreakdown>,
     /// The unified telemetry artifact (None unless `telemetry` was set).
     pub run_report: Option<telemetry::RunReport>,
+    /// Staging fan-out outcome (None unless `staging_consumers` > 0).
+    pub staging: Option<StagingReport>,
+}
+
+/// What the endpoint world produced: the classic single consumer or the
+/// staging fan-out service.
+enum EndpointOutcome {
+    Consumer(transport::EndpointReport),
+    Staging(Box<StagingReport>),
 }
 
 /// Execute one in-transit configuration.
@@ -155,6 +177,12 @@ pub fn run_intransit(cfg: &InTransitConfig) -> InTransitReport {
         EndpointMode::NoTransport => 0,
         _ => (cfg.sim_ranks / cfg.ratio).max(1),
     };
+    if cfg.staging_consumers > 0 {
+        assert_eq!(
+            endpoint_ranks, 1,
+            "the staging service is a single-rank server; pick ratio >= sim_ranks"
+        );
+    }
 
     let registry = Registry::new();
     let hub = cfg
@@ -167,7 +195,7 @@ pub fn run_intransit(cfg: &InTransitConfig) -> InTransitReport {
 
     // Endpoint world (when transporting).
     let (writers, endpoint_handle) = if endpoint_ranks > 0 {
-        let (writers, readers) = StagingNetwork::build_faulty(
+        let (writers, readers) = StagingNetwork::build_wired(
             cfg.sim_ranks,
             endpoint_ranks,
             cfg.queue_capacity,
@@ -175,7 +203,9 @@ pub fn run_intransit(cfg: &InTransitConfig) -> InTransitReport {
             cfg.policy,
             cfg.faults.clone(),
             cfg.writer_config,
-        );
+            cfg.wire,
+        )
+        .expect("wire setup");
         let xml = endpoint_xml(cfg);
         let machine = cfg.machine.clone();
         let sim_ranks = cfg.sim_ranks;
@@ -183,6 +213,11 @@ pub fn run_intransit(cfg: &InTransitConfig) -> InTransitReport {
         let trace = cfg.trace;
         let endpoint_hub = hub.clone();
         let sched = cfg.sched;
+        let staging_consumers = cfg.staging_consumers;
+        let staging_dir = cfg.staging_dir.clone().unwrap_or_else(|| {
+            std::env::temp_dir().join(format!("nek-staging-{}", std::process::id()))
+        });
+        let image_size = cfg.image_size;
         let handle = std::thread::spawn(move || {
             with_mode(sched, || {
                 commsim::run_ranks_with_state(machine, readers, move |comm, mut reader| {
@@ -193,6 +228,40 @@ pub fn run_intransit(cfg: &InTransitConfig) -> InTransitReport {
                         comm.enable_telemetry(hub, 1);
                     }
                     reader.set_accountant(comm.accountant("staging"));
+                    if staging_consumers > 0 {
+                        // Fan-out mode: the staging service replaces the
+                        // fixed analysis; N local consumer sessions with
+                        // identical specs drain concurrently (one render
+                        // per step, N−1 cache hits).
+                        let mut service =
+                            StagingService::new(reader, sim_ranks, &staging_dir, 32);
+                        let handle = service.handle();
+                        let spec = SessionSpec {
+                            width: image_size.0,
+                            height: image_size.1,
+                            ..SessionSpec::default()
+                        };
+                        let drains: Vec<_> = (0..staging_consumers)
+                            .map(|_| {
+                                let mut client = handle.attach_local(spec.clone(), 4);
+                                std::thread::spawn(move || {
+                                    client
+                                        .drain(std::time::Duration::from_secs(120))
+                                        .expect("consumer drain")
+                                })
+                            })
+                            .collect();
+                        let report = service.run(comm).expect("staging run");
+                        for d in drains {
+                            d.join().expect("consumer thread");
+                        }
+                        let stats = *comm.stats();
+                        return (
+                            EndpointOutcome::Staging(Box::new(report)),
+                            stats,
+                            comm.take_trace(),
+                        );
+                    }
                     let factories = match mode {
                         EndpointMode::Catalyst => vec![CatalystAnalysis::factory()],
                         _ => vec![],
@@ -202,7 +271,7 @@ pub fn run_intransit(cfg: &InTransitConfig) -> InTransitReport {
                             .expect("valid endpoint config");
                     let report = consumer.run(comm).expect("endpoint run");
                     let stats = *comm.stats();
-                    (report, stats, comm.take_trace())
+                    (EndpointOutcome::Consumer(report), stats, comm.take_trace())
                 })
             })
         });
@@ -319,6 +388,7 @@ pub fn run_intransit(cfg: &InTransitConfig) -> InTransitReport {
 
     let mut traces: Vec<RankTrace> = results.into_iter().filter_map(|r| r.value).collect();
 
+    let mut staging: Option<StagingReport> = None;
     let (
         endpoint_steps,
         endpoint_bytes_received,
@@ -330,38 +400,32 @@ pub fn run_intransit(cfg: &InTransitConfig) -> InTransitReport {
     ) = match endpoint_handle {
         Some(handle) => {
             let endpoint_results = handle.join().expect("endpoint world");
-            let steps = endpoint_results
-                .iter()
-                .map(|(r, _, _)| r.steps_processed)
-                .max()
-                .unwrap_or(0);
-            let bytes: u64 = endpoint_results
-                .iter()
-                .map(|(r, _, _)| r.bytes_received)
-                .sum();
-            let written: u64 = endpoint_results
-                .iter()
-                .map(|(_, s, _)| s.bytes_written_fs)
-                .sum();
-            let partial: u64 = endpoint_results
-                .iter()
-                .map(|(r, _, _)| r.partial_steps)
-                .sum();
-            let corrupt: u64 = endpoint_results
-                .iter()
-                .map(|(r, _, _)| r.corrupt_rejected)
-                .sum();
-            let crashes = endpoint_results
-                .iter()
-                .filter(|(r, _, _)| r.crashed)
-                .count();
-            let delivered = endpoint_results
-                .into_iter()
-                .map(|(r, _, t)| {
-                    traces.extend(t);
-                    r.delivered_steps
-                })
-                .collect();
+            let mut steps = 0u64;
+            let mut bytes = 0u64;
+            let mut written = 0u64;
+            let mut partial = 0u64;
+            let mut corrupt = 0u64;
+            let mut crashes = 0usize;
+            let mut delivered = Vec::new();
+            for (outcome, stats, trace) in endpoint_results {
+                written += stats.bytes_written_fs;
+                traces.extend(trace);
+                match outcome {
+                    EndpointOutcome::Consumer(r) => {
+                        steps = steps.max(r.steps_processed);
+                        bytes += r.bytes_received;
+                        partial += r.partial_steps;
+                        corrupt += r.corrupt_rejected;
+                        crashes += usize::from(r.crashed);
+                        delivered.push(r.delivered_steps);
+                    }
+                    EndpointOutcome::Staging(r) => {
+                        steps = steps.max(r.steps);
+                        bytes += r.bytes_received;
+                        staging = Some(*r);
+                    }
+                }
+            }
             (steps, bytes, written, partial, corrupt, crashes, delivered)
         }
         None => (0, 0, 0, 0, 0, 0, Vec::new()),
@@ -376,6 +440,7 @@ pub fn run_intransit(cfg: &InTransitConfig) -> InTransitReport {
                 mode: cfg.mode.label().to_ascii_lowercase(),
                 exec: "concurrent".into(),
                 sched: cfg.sched.label().into(),
+                wire: cfg.wire.label().into(),
                 ranks: cfg.sim_ranks,
                 endpoint_ranks,
                 steps: cfg.steps as u64,
@@ -409,6 +474,7 @@ pub fn run_intransit(cfg: &InTransitConfig) -> InTransitReport {
         traces,
         phases,
         run_report,
+        staging,
     }
 }
 
@@ -454,6 +520,9 @@ mod tests {
             policy: QueuePolicy::Block,
             mode,
             sched: SchedMode::default(),
+            wire: WireKind::default(),
+            staging_consumers: 0,
+            staging_dir: None,
             image_size: (64, 48),
             output_dir: None,
             faults: FaultPlan::none(),

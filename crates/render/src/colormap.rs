@@ -48,6 +48,11 @@ impl Colormap {
         }
     }
 
+    /// The control points, for fingerprinting a colormap into a cache key.
+    pub fn stops(&self) -> &[(f64, [f64; 3])] {
+        &self.stops
+    }
+
     /// Map `value` within `[lo, hi]` to 8-bit RGB (clamped; NaN → black).
     pub fn map(&self, value: f64, lo: f64, hi: f64) -> [u8; 3] {
         if value.is_nan() {

@@ -40,5 +40,7 @@ pub use camera::Camera;
 pub use colormap::Colormap;
 pub use composite::composite_to_root;
 pub use filters::{contour, slice_plane, surface, threshold, TriangleSoup};
-pub use pipeline::{CatalystAnalysis, RenderPass, RenderPipeline, RenderScratch};
+pub use pipeline::{
+    CatalystAnalysis, FrameCache, FrameKey, RenderPass, RenderPipeline, RenderScratch,
+};
 pub use raster::Framebuffer;

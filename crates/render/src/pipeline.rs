@@ -104,6 +104,102 @@ pub struct RenderScratch {
     soup: TriangleSoup,
 }
 
+/// Identity of one rendered frame set: the step plus a fingerprint over
+/// every visual input of the pipeline (camera directions, colormap stops,
+/// filters, arrays, image size, legend). Two requests with equal keys
+/// would rasterize identical pixels, so the second can be served from a
+/// [`FrameCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FrameKey {
+    /// Simulation step the frame shows.
+    pub step: u64,
+    /// FNV-64 fingerprint of the pipeline's visual configuration.
+    pub fingerprint: u64,
+}
+
+/// Bounded LRU cache of rendered frames keyed by [`FrameKey`]. The
+/// staging tier uses it to serve N consumers requesting the same
+/// (step, camera, colormap) without re-rasterizing N times.
+///
+/// The hit/miss decision depends only on the key — never on field data —
+/// so when a multi-rank pipeline consults the cache, every rank takes the
+/// same branch and the collective schedule stays uniform.
+#[derive(Debug)]
+pub struct FrameCache {
+    capacity: usize,
+    /// Most recently used at the back.
+    entries: Vec<(FrameKey, Vec<RenderedImage>)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl FrameCache {
+    /// A cache retaining at most `capacity` frame sets (min 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            entries: Vec::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Look up `key`, refreshing its recency. Clones the frame set out so
+    /// the cache keeps serving later requests.
+    pub fn get(&mut self, key: &FrameKey) -> Option<Vec<RenderedImage>> {
+        let pos = self.entries.iter().position(|(k, _)| k == key)?;
+        let entry = self.entries.remove(pos);
+        let images = entry.1.clone();
+        self.entries.push(entry);
+        self.hits += 1;
+        Some(images)
+    }
+
+    /// Insert a freshly rendered frame set, evicting the least recently
+    /// used entry if full.
+    pub fn insert(&mut self, key: FrameKey, images: Vec<RenderedImage>) {
+        self.misses += 1;
+        if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
+            self.entries.remove(pos);
+        }
+        if self.entries.len() >= self.capacity {
+            self.entries.remove(0);
+        }
+        self.entries.push((key, images));
+    }
+
+    /// Lookups served from cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that required a render ([`Self::insert`] calls).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Frame sets currently resident.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= u64::from(b);
+        *hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
+
+fn fnv1a_f64(hash: &mut u64, v: f64) {
+    fnv1a(hash, &v.to_bits().to_le_bytes());
+}
+
 impl RenderPipeline {
     /// The paper's two-image Catalyst setup: a pressure slice and a
     /// velocity-magnitude contour.
@@ -134,6 +230,71 @@ impl RenderPipeline {
             ],
             compositing: Compositing::Gather,
             legend: true,
+        }
+    }
+
+    /// FNV-64 fingerprint of everything that determines the pixels for a
+    /// given mesh: image size, legend, compositing, and per pass the
+    /// filter, array, colormap stops, fixed range, and camera direction.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        fnv1a(&mut h, &(self.width as u64).to_le_bytes());
+        fnv1a(&mut h, &(self.height as u64).to_le_bytes());
+        fnv1a(&mut h, &[u8::from(self.legend)]);
+        fnv1a(
+            &mut h,
+            &[match self.compositing {
+                Compositing::Gather => 0u8,
+                Compositing::Tree => 1,
+            }],
+        );
+        for pass in &self.passes {
+            fnv1a(&mut h, pass.name.as_bytes());
+            fnv1a(&mut h, pass.array.as_bytes());
+            for d in pass.camera_dir {
+                fnv1a_f64(&mut h, d);
+            }
+            for &(pos, rgb) in pass.colormap.stops() {
+                fnv1a_f64(&mut h, pos);
+                for c in rgb {
+                    fnv1a_f64(&mut h, c);
+                }
+            }
+            match pass.range {
+                Some((lo, hi)) => {
+                    fnv1a(&mut h, &[1]);
+                    fnv1a_f64(&mut h, lo);
+                    fnv1a_f64(&mut h, hi);
+                }
+                None => fnv1a(&mut h, &[0]),
+            }
+            match &pass.filter {
+                FilterKind::Slice { origin, normal } => {
+                    fnv1a(&mut h, &[1]);
+                    for v in origin.iter().chain(normal.iter()) {
+                        fnv1a_f64(&mut h, *v);
+                    }
+                }
+                FilterKind::ContourAtFraction(f) => {
+                    fnv1a(&mut h, &[2]);
+                    fnv1a_f64(&mut h, *f);
+                }
+                FilterKind::Surface => fnv1a(&mut h, &[3]),
+                FilterKind::ThresholdBand { lo, hi } => {
+                    fnv1a(&mut h, &[4]);
+                    fnv1a_f64(&mut h, *lo);
+                    fnv1a_f64(&mut h, *hi);
+                }
+            }
+        }
+        h
+    }
+
+    /// The [`FrameCache`] key for this pipeline at `step`.
+    pub fn frame_key(&self, step: u64) -> FrameKey {
+        FrameKey {
+            step,
+            fingerprint: self.fingerprint(),
         }
     }
 
@@ -271,6 +432,39 @@ impl RenderPipeline {
                 .observe(comm.now() - t_render_start);
         }
         images
+    }
+
+    /// Cache-aware [`execute_with`](Self::execute_with): serve the frame
+    /// set from `cache` when an identical (step, camera, colormap, …)
+    /// request was rendered before, otherwise render and populate the
+    /// cache. Returns the images plus whether they came from cache.
+    ///
+    /// On a hit every collective (bounds and range allreduces) is skipped;
+    /// the hit decision is a pure function of the key, so all ranks of a
+    /// multi-rank pipeline agree on the branch.
+    pub fn execute_cached(
+        &self,
+        comm: &mut Comm,
+        mb: &MultiBlock,
+        step: u64,
+        scratch: &mut RenderScratch,
+        cache: &mut FrameCache,
+    ) -> (Vec<RenderedImage>, bool) {
+        let key = self.frame_key(step);
+        if let Some(images) = cache.get(&key) {
+            let telemetry = comm.telemetry();
+            if telemetry.enabled() {
+                telemetry.counter("render/cache_hits").inc();
+            }
+            return (images, true);
+        }
+        let images = self.execute_with(comm, mb, step, scratch);
+        let telemetry = comm.telemetry();
+        if telemetry.enabled() {
+            telemetry.counter("render/cache_misses").inc();
+        }
+        cache.insert(key, images.clone());
+        (images, false)
     }
 }
 

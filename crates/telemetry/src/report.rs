@@ -26,6 +26,9 @@ pub struct Manifest {
     /// driven. Virtual-time results are bitwise identical either way;
     /// the label records which executor actually ran.
     pub sched: String,
+    /// Wire engine carrying staged frames (`channel` / `tcp`; `none` for
+    /// workflows with no staging transport).
+    pub wire: String,
     /// Simulation ranks.
     pub ranks: usize,
     /// Endpoint (consumer world) ranks; 0 for pure in situ.
@@ -139,6 +142,7 @@ impl RunReport {
             ("mode", &m.mode),
             ("exec", &m.exec),
             ("sched", &m.sched),
+            ("wire", &m.wire),
             ("machine", &m.machine),
             ("fault_plan", &m.fault_plan),
         ];
@@ -290,6 +294,7 @@ impl RunReport {
             mode: gs("mode"),
             exec: gs("exec"),
             sched: gs("sched"),
+            wire: gs("wire"),
             ranks: gn("ranks") as usize,
             endpoint_ranks: gn("endpoint_ranks") as usize,
             steps: gn("steps"),
@@ -465,6 +470,7 @@ mod tests {
                 mode: "checkpointing".into(),
                 exec: "pipelined".into(),
                 sched: "thread".into(),
+                wire: "channel".into(),
                 ranks: 4,
                 endpoint_ranks: 0,
                 steps: 2,

@@ -287,7 +287,7 @@ mod tests {
         assert!(bytes > 0);
         // The endpoint can unmarshal what was staged.
         run_ranks_with_state(MachineModel::test_tiny(), readers, |comm, mut reader| {
-            let d = reader.recv_step(comm).unwrap();
+            let d = reader.recv_step(comm).unwrap().unwrap();
             assert_eq!(d.step, 9);
             assert_eq!(d.time, 0.5);
             let data = crate::bp::unmarshal_blocks(&d.packets[0].payload).unwrap();

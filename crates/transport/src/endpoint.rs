@@ -33,6 +33,8 @@ pub struct EndpointReport {
     pub partial_steps: u64,
     /// Frames rejected by the CRC check.
     pub corrupt_rejected: u64,
+    /// Wire frames lost to mid-frame connection deaths (tcp wire).
+    pub short_reads: u64,
     /// True when this endpoint's scheduled crash fault fired.
     pub crashed: bool,
     /// Payload bytes received (including rejected frames).
@@ -84,8 +86,17 @@ impl EndpointConsumer {
         let mut delivered_steps = Vec::new();
         loop {
             let recv = comm.span("transport/recv");
-            let Some(delivery) = self.reader.recv_step(comm) else {
-                break;
+            let delivery = match self.reader.recv_step(comm) {
+                Ok(Some(delivery)) => delivery,
+                Ok(None) => break,
+                // A transient wire fault (e.g. a mid-frame short read): the
+                // truncated frame is gone but surviving connections keep
+                // feeding the reader, so keep draining.
+                Err(e) if !e.is_fatal() => {
+                    drop(recv);
+                    continue;
+                }
+                Err(e) => return Err(insitu::Error::Analysis(format!("transport: {e}"))),
             };
             drop(recv);
             delivered_steps.push(delivery.step);
@@ -121,6 +132,7 @@ impl EndpointConsumer {
             complete_steps: self.reader.complete_steps(),
             partial_steps: self.reader.partial_steps(),
             corrupt_rejected: self.reader.corrupt_rejected(),
+            short_reads: self.reader.short_reads(),
             crashed: self.reader.crashed(),
             bytes_received: self.reader.bytes_received(),
             finish_time: comm.now(),

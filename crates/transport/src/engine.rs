@@ -33,8 +33,12 @@
 use crate::bp;
 use crate::error::{TransportError, WriteError};
 use crate::link::StagingLink;
+use crate::wire::{
+    loopback_listener, ChannelWireRx, ChannelWireTx, TcpWireRx, TcpWireTx, WireKind, WireRecvError,
+    WireSendError, WireRx, WireTx,
+};
 use commsim::FaultPlan;
-use crossbeam_channel::{bounded, Receiver, Sender};
+use crossbeam_channel::bounded;
 use memtrack::Accountant;
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet};
@@ -144,7 +148,7 @@ pub struct SstWriter {
     pub producer: usize,
     /// The endpoint (reader) index this writer feeds.
     pub reader_index: usize,
-    tx: Sender<Packet>,
+    tx: Box<dyn WireTx>,
     link: StagingLink,
     policy: QueuePolicy,
     config: WriterConfig,
@@ -247,14 +251,17 @@ impl SstWriter {
                     let mut damaged = payload.clone();
                     self.faults
                         .corrupt_payload(&mut damaged, self.producer, step, attempt);
-                    let _ = self.tx.try_send(Packet {
-                        kind: PacketKind::Data,
-                        producer: self.producer,
-                        step,
-                        time,
-                        t_avail: comm.now() + self.link.transfer_time(nbytes),
-                        payload: damaged,
-                    });
+                    self.best_effort_send(
+                        comm,
+                        Packet {
+                            kind: PacketKind::Data,
+                            producer: self.producer,
+                            step,
+                            time,
+                            t_avail: comm.now() + self.link.transfer_time(nbytes),
+                            payload: damaged,
+                        },
+                    );
                     self.corrupt_frames += 1;
                     let _sp = comm.span("transport/retry");
                     comm.advance(
@@ -290,17 +297,34 @@ impl SstWriter {
         comm: &mut commsim::Comm,
         packet: Packet,
     ) -> Result<Option<()>, (TransportError, Vec<u8>)> {
-        use crossbeam_channel::{SendTimeoutError, TrySendError};
         let step = packet.step;
+        if self.tx.blocking() {
+            // Real-socket wire: the OS send buffer is the queue and TCP
+            // flow control is the back-pressure, so there is no cheap
+            // "full" probe (DiscardNewest degrades to blocking here). Hold
+            // the socket write outside the scheduler's run token.
+            let timeout = self.config.enqueue_timeout();
+            let tx = &mut self.tx;
+            return match comm.external_wait(|| tx.send_timeout(packet, timeout)) {
+                Ok(()) => Ok(Some(())),
+                Err(WireSendError::Timeout(p)) => {
+                    Err((TransportError::Backpressure { step }, p.payload))
+                }
+                Err(WireSendError::Full(p)) | Err(WireSendError::Closed(p)) => {
+                    Err((TransportError::Disconnected, p.payload))
+                }
+            };
+        }
         match self.tx.try_send(packet) {
             Ok(()) => Ok(Some(())),
-            Err(TrySendError::Full(p)) => match self.policy {
+            Err(WireSendError::Full(p)) => match self.policy {
                 QueuePolicy::Block => {
                     let _sp = comm.span("transport/backpressure");
                     // The reader lives in another world; block outside the
                     // event scheduler's run token so its ranks can drain us.
                     let timeout = self.config.enqueue_timeout();
-                    let sent = comm.external_wait(|| self.tx.send_timeout(p, timeout));
+                    let tx = &mut self.tx;
+                    let sent = comm.external_wait(|| tx.send_timeout(p, timeout));
                     match sent {
                         Ok(()) => {
                             // Real back-pressure: the reader freed a slot.
@@ -313,17 +337,31 @@ impl SstWriter {
                             }
                             Ok(Some(()))
                         }
-                        Err(SendTimeoutError::Timeout(p)) => {
+                        Err(WireSendError::Timeout(p)) => {
                             Err((TransportError::Backpressure { step }, p.payload))
                         }
-                        Err(SendTimeoutError::Disconnected(p)) => {
+                        Err(WireSendError::Full(p)) | Err(WireSendError::Closed(p)) => {
                             Err((TransportError::Disconnected, p.payload))
                         }
                     }
                 }
                 QueuePolicy::DiscardNewest => Ok(None),
             },
-            Err(TrySendError::Disconnected(p)) => Err((TransportError::Disconnected, p.payload)),
+            Err(WireSendError::Timeout(p)) | Err(WireSendError::Closed(p)) => {
+                Err((TransportError::Disconnected, p.payload))
+            }
+        }
+    }
+
+    /// Fire-and-forget send (damaged frames, best-effort skips); routed
+    /// off-token when the wire blocks for real.
+    fn best_effort_send(&mut self, comm: &commsim::Comm, packet: Packet) {
+        if self.tx.blocking() {
+            let timeout = self.config.enqueue_timeout();
+            let tx = &mut self.tx;
+            let _ = comm.external_wait(|| tx.send_timeout(packet, timeout));
+        } else {
+            let _ = self.tx.try_send(packet);
         }
     }
 
@@ -339,11 +377,18 @@ impl SstWriter {
             t_avail: comm.now() + self.link.control_latency,
             payload: Vec::new(),
         };
+        if self.tx.blocking() {
+            // Socket control plane: the write is bounded-blocking either
+            // way; reliability falls out of TCP itself.
+            self.best_effort_send(comm, packet);
+            return;
+        }
         match self.tx.try_send(packet) {
             Ok(()) => {}
-            Err(crossbeam_channel::TrySendError::Full(p)) if reliable => {
+            Err(WireSendError::Full(p)) if reliable => {
                 let timeout = self.config.enqueue_timeout();
-                let _ = comm.external_wait(|| self.tx.send_timeout(p, timeout));
+                let tx = &mut self.tx;
+                let _ = comm.external_wait(|| tx.send_timeout(p, timeout));
             }
             Err(_) => {}
         }
@@ -454,7 +499,7 @@ impl StepDelivery {
 pub struct SstReader {
     /// This reader's index.
     pub index: usize,
-    rx: Option<Receiver<Packet>>,
+    rx: Option<Box<dyn WireRx>>,
     state: Arc<ReaderState>,
     /// Number of producers feeding this reader.
     pub n_producers: usize,
@@ -470,6 +515,7 @@ pub struct SstReader {
     corrupt_rejected: u64,
     complete_steps: u64,
     partial_steps: u64,
+    short_reads: u64,
 }
 
 impl SstReader {
@@ -482,13 +528,23 @@ impl SstReader {
     /// *resolved*: every producer has contributed a packet, skipped the
     /// step, or detached — so a step with failed producers is returned as a
     /// partial [`StepDelivery`] (with [`StepDelivery::missing`] naming
-    /// them) instead of hanging forever. Returns `None` when every writer
-    /// has disconnected and the backlog is drained, or when this endpoint's
-    /// scheduled crash fires.
-    pub fn recv_step(&mut self, comm: &mut commsim::Comm) -> Option<StepDelivery> {
+    /// them) instead of hanging forever. Returns `Ok(None)` when every
+    /// writer has disconnected and the backlog is drained, or when this
+    /// endpoint's scheduled crash fires.
+    ///
+    /// # Errors
+    /// [`TransportError::ShortRead`] when a wire connection dies mid-frame
+    /// (real sockets only — the channel engine cannot truncate). The
+    /// truncated frame is gone, but the reader stays usable: call again to
+    /// keep draining the surviving connections. Each occurrence is counted
+    /// under `transport/short_reads`.
+    pub fn recv_step(
+        &mut self,
+        comm: &mut commsim::Comm,
+    ) -> Result<Option<StepDelivery>, TransportError> {
         loop {
             if self.crashed {
-                return None;
+                return Ok(None);
             }
             if let Some(delivery) = self.pop_deliverable(comm) {
                 if let Some(at) = self.faults.crash_step(self.index) {
@@ -499,28 +555,36 @@ impl SstReader {
                             format!("endpoint {} crashed", self.index),
                         );
                         self.crash();
-                        return None;
+                        return Ok(None);
                     }
                 }
                 self.last_delivered = Some(delivery.step);
-                return Some(delivery);
+                return Ok(Some(delivery));
             }
-            let Some(rx) = &self.rx else {
-                return None;
+            let Some(rx) = &mut self.rx else {
+                return Ok(None);
             };
             // Producers are in a different world; wait off-token so an
             // event-scheduled sim world can make progress toward us.
             let got = comm.external_wait(|| rx.recv_timeout(Duration::from_millis(50)));
             match got {
                 Ok(packet) => self.ingest(comm, packet),
-                Err(crossbeam_channel::RecvTimeoutError::Timeout) => continue,
-                Err(crossbeam_channel::RecvTimeoutError::Disconnected) => {
+                Err(WireRecvError::Timeout) => continue,
+                Err(WireRecvError::Closed) => {
                     // Every producer is gone: resolve the whole backlog —
                     // complete steps first-class, stragglers as partials —
                     // instead of dropping completable steps queued behind
                     // an incomplete one.
                     self.rx = None;
                     self.detached.extend(self.producers.iter().copied());
+                }
+                Err(WireRecvError::ShortRead { wanted, got }) => {
+                    // A connection died inside a frame: the frame is lost
+                    // for good. Surface it typed — a silent `None` here
+                    // would read as a clean end-of-stream.
+                    self.short_reads += 1;
+                    comm.telemetry().counter("transport/short_reads").inc();
+                    return Err(TransportError::ShortRead { wanted, got });
                 }
             }
         }
@@ -688,6 +752,11 @@ impl SstReader {
         self.partial_steps
     }
 
+    /// Wire frames lost to mid-frame connection deaths.
+    pub fn short_reads(&self) -> u64 {
+        self.short_reads
+    }
+
     /// True once this endpoint's scheduled crash has fired.
     pub fn crashed(&self) -> bool {
         self.crashed
@@ -738,6 +807,39 @@ impl StagingNetwork {
         faults: FaultPlan,
         config: WriterConfig,
     ) -> (Vec<SstWriter>, Vec<SstReader>) {
+        Self::build_wired(
+            n_writers,
+            n_readers,
+            capacity,
+            link,
+            policy,
+            faults,
+            config,
+            WireKind::Channel,
+        )
+        .expect("channel wire cannot fail to build")
+    }
+
+    /// Build the network over the selected [`WireKind`]: the in-process
+    /// channel engine (exactly [`Self::build_faulty`]) or real loopback
+    /// TCP sockets, one listener per reader, one connection per writer.
+    ///
+    /// # Errors
+    /// Socket bind/connect failures (tcp only).
+    ///
+    /// # Panics
+    /// If `n_writers % n_readers != 0` or either is zero.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_wired(
+        n_writers: usize,
+        n_readers: usize,
+        capacity: usize,
+        link: StagingLink,
+        policy: QueuePolicy,
+        faults: FaultPlan,
+        config: WriterConfig,
+        wire: WireKind,
+    ) -> std::io::Result<(Vec<SstWriter>, Vec<SstReader>)> {
         assert!(n_writers > 0 && n_readers > 0, "need writers and readers");
         assert_eq!(
             n_writers % n_readers,
@@ -749,51 +851,161 @@ impl StagingNetwork {
         let mut writers = Vec::with_capacity(n_writers);
         let mut readers = Vec::with_capacity(n_readers);
         for r in 0..n_readers {
-            let (tx, rx) = bounded(capacity);
             let state = Arc::new(ReaderState {
                 drain_time: Mutex::new(0.0),
             });
-            for w in 0..per_reader {
-                writers.push(SstWriter {
-                    producer: r * per_reader + w,
-                    reader_index: r,
-                    tx: tx.clone(),
+            let (mut txs, rx): (Vec<Box<dyn WireTx>>, Box<dyn WireRx>) = match wire {
+                WireKind::Channel => {
+                    let (tx, rx) = bounded(capacity);
+                    (
+                        (0..per_reader)
+                            .map(|_| Box::new(ChannelWireTx(tx.clone())) as Box<dyn WireTx>)
+                            .collect(),
+                        Box::new(ChannelWireRx(rx)),
+                    )
+                }
+                WireKind::Tcp => {
+                    let (listener, port) = loopback_listener()?;
+                    let rx = TcpWireRx::spawn(listener, per_reader, capacity);
+                    let mut txs: Vec<Box<dyn WireTx>> = Vec::with_capacity(per_reader);
+                    for _ in 0..per_reader {
+                        txs.push(Box::new(TcpWireTx::connect(&format!("127.0.0.1:{port}"))?));
+                    }
+                    (txs, Box::new(rx))
+                }
+            };
+            for w in (0..per_reader).rev() {
+                writers.push(Self::make_writer(
+                    r * per_reader + w,
+                    r,
+                    txs.pop().expect("one tx per writer"),
                     link,
                     policy,
                     config,
-                    faults: Arc::clone(&faults),
-                    state: Arc::clone(&state),
-                    consecutive_failures: 0,
-                    breaker_open: false,
-                    steps_written: 0,
-                    steps_dropped: 0,
-                    steps_failed: 0,
-                    retries: 0,
-                    corrupt_frames: 0,
-                    bytes_sent: 0,
-                });
+                    Arc::clone(&faults),
+                    Arc::clone(&state),
+                ));
             }
-            readers.push(SstReader {
-                index: r,
-                rx: Some(rx),
+            // The rev/pop dance kept tx ownership simple; restore producer
+            // order within this reader's block.
+            let base = writers.len() - per_reader;
+            writers[base..].reverse();
+            readers.push(Self::make_reader(
+                r,
+                rx,
                 state,
-                n_producers: per_reader,
-                producers: (r * per_reader..(r + 1) * per_reader).collect(),
-                pending: BTreeMap::new(),
-                skipped: BTreeMap::new(),
-                detached: BTreeSet::new(),
-                faults: Arc::clone(&faults),
-                crashed: false,
-                last_delivered: None,
-                queue_accountant: None,
-                bytes_received: 0,
-                corrupt_rejected: 0,
-                complete_steps: 0,
-                partial_steps: 0,
-            });
+                (r * per_reader..(r + 1) * per_reader).collect(),
+                Arc::clone(&faults),
+            ));
         }
         // `writers` was pushed reader-major which is already producer order.
-        (writers, readers)
+        Ok((writers, readers))
+    }
+
+    /// Standalone TCP writer for a multi-process deployment: connects to a
+    /// reader's wire listener at `addr`.
+    ///
+    /// # Errors
+    /// Socket connect failures.
+    pub fn tcp_writer(
+        addr: &str,
+        producer: usize,
+        link: StagingLink,
+        policy: QueuePolicy,
+        faults: FaultPlan,
+        config: WriterConfig,
+    ) -> std::io::Result<SstWriter> {
+        Ok(Self::make_writer(
+            producer,
+            0,
+            Box::new(TcpWireTx::connect(addr)?),
+            link,
+            policy,
+            config,
+            Arc::new(faults),
+            Arc::new(ReaderState {
+                drain_time: Mutex::new(0.0),
+            }),
+        ))
+    }
+
+    /// Standalone TCP reader for a multi-process deployment: accepts
+    /// `producers.len()` writer connections off `listener`.
+    pub fn tcp_reader(
+        listener: std::net::TcpListener,
+        producers: Vec<usize>,
+        capacity: usize,
+        faults: FaultPlan,
+    ) -> SstReader {
+        let n = producers.len();
+        Self::make_reader(
+            0,
+            Box::new(TcpWireRx::spawn(listener, n, capacity)),
+            Arc::new(ReaderState {
+                drain_time: Mutex::new(0.0),
+            }),
+            producers,
+            Arc::new(faults),
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn make_writer(
+        producer: usize,
+        reader_index: usize,
+        tx: Box<dyn WireTx>,
+        link: StagingLink,
+        policy: QueuePolicy,
+        config: WriterConfig,
+        faults: Arc<FaultPlan>,
+        state: Arc<ReaderState>,
+    ) -> SstWriter {
+        SstWriter {
+            producer,
+            reader_index,
+            tx,
+            link,
+            policy,
+            config,
+            faults,
+            state,
+            consecutive_failures: 0,
+            breaker_open: false,
+            steps_written: 0,
+            steps_dropped: 0,
+            steps_failed: 0,
+            retries: 0,
+            corrupt_frames: 0,
+            bytes_sent: 0,
+        }
+    }
+
+    fn make_reader(
+        index: usize,
+        rx: Box<dyn WireRx>,
+        state: Arc<ReaderState>,
+        producers: Vec<usize>,
+        faults: Arc<FaultPlan>,
+    ) -> SstReader {
+        SstReader {
+            index,
+            rx: Some(rx),
+            state,
+            n_producers: producers.len(),
+            producers,
+            pending: BTreeMap::new(),
+            skipped: BTreeMap::new(),
+            detached: BTreeSet::new(),
+            faults,
+            crashed: false,
+            last_delivered: None,
+            queue_accountant: None,
+            bytes_received: 0,
+            corrupt_rejected: 0,
+            complete_steps: 0,
+            partial_steps: 0,
+            short_reads: 0,
+        }
     }
 }
 
@@ -846,7 +1058,7 @@ mod tests {
         let result =
             run_ranks_with_state(MachineModel::test_tiny(), readers, |comm, mut reader| {
                 let mut steps = Vec::new();
-                while let Some(d) = reader.recv_step(comm) {
+                while let Some(d) = reader.recv_step(comm).unwrap() {
                     assert!(d.is_complete());
                     assert_eq!(d.packets.len(), 2);
                     steps.push((d.step, d.time));
@@ -890,7 +1102,7 @@ mod tests {
         let reader_thread = std::thread::spawn(move || {
             run_ranks_with_state(MachineModel::test_tiny(), readers, |comm, mut reader| {
                 let mut n = 0;
-                while reader.recv_step(comm).is_some() {
+                while reader.recv_step(comm).unwrap().is_some() {
                     comm.advance(10.0); // slow consumer: 10 virtual s/step
                     n += 1;
                 }
@@ -923,7 +1135,7 @@ mod tests {
             w.write(comm, 0, 0.0, framed.clone()).unwrap();
         });
         run_ranks_with_state(MachineModel::test_tiny(), readers, |comm, mut reader| {
-            let d = reader.recv_step(comm).unwrap();
+            let d = reader.recv_step(comm).unwrap().unwrap();
             assert_eq!(d.step, 0);
         });
         // Charged on receive, credited on drain.
@@ -955,7 +1167,7 @@ mod tests {
         let reader_thread = std::thread::spawn(move || {
             run_ranks_with_state(MachineModel::test_tiny(), readers, |comm, mut reader| {
                 let mut delivered = Vec::new();
-                while let Some(d) = reader.recv_step(comm) {
+                while let Some(d) = reader.recv_step(comm).unwrap() {
                     delivered.push((d.step, d.missing.clone()));
                 }
                 delivered
@@ -1012,7 +1224,7 @@ mod tests {
         let reader_thread = std::thread::spawn(move || {
             run_ranks_with_state(MachineModel::test_tiny(), readers, |comm, mut reader| {
                 let mut complete = 0u64;
-                while let Some(d) = reader.recv_step(comm) {
+                while let Some(d) = reader.recv_step(comm).unwrap() {
                     if d.is_complete() {
                         complete += 1;
                     }
@@ -1088,7 +1300,7 @@ mod tests {
         let reader_thread = std::thread::spawn(move || {
             run_ranks_with_state(MachineModel::test_tiny(), readers, |comm, mut reader| {
                 let mut log = Vec::new();
-                while let Some(d) = reader.recv_step(comm) {
+                while let Some(d) = reader.recv_step(comm).unwrap() {
                     log.push((d.step, d.missing.clone()));
                 }
                 log
@@ -1143,7 +1355,7 @@ mod tests {
         let reader_thread = std::thread::spawn(move || {
             run_ranks_with_state(MachineModel::test_tiny(), readers, |comm, mut reader| {
                 let mut steps = Vec::new();
-                while let Some(d) = reader.recv_step(comm) {
+                while let Some(d) = reader.recv_step(comm).unwrap() {
                     steps.push(d.step);
                 }
                 (steps, reader.crashed())
@@ -1193,7 +1405,7 @@ mod tests {
         );
         let reader_thread = std::thread::spawn(move || {
             run_ranks_with_state(MachineModel::test_tiny(), readers, |comm, mut reader| {
-                while reader.recv_step(comm).is_some() {}
+                while reader.recv_step(comm).unwrap().is_some() {}
                 comm.now()
             })
         });

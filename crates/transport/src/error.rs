@@ -32,6 +32,16 @@ pub enum TransportError {
     },
     /// A received frame failed validation.
     Corrupt(BpError),
+    /// A wire connection ended mid-frame: `got` of `wanted` bytes arrived.
+    /// Transient for the stream as a whole — the reader keeps draining its
+    /// surviving connections — but the truncated frame is gone; counted
+    /// under `transport/short_reads`.
+    ShortRead {
+        /// Bytes the frame section needed.
+        wanted: usize,
+        /// Bytes actually read before the stream ended.
+        got: usize,
+    },
 }
 
 impl TransportError {
@@ -62,6 +72,9 @@ impl std::fmt::Display for TransportError {
                 )
             }
             TransportError::Corrupt(e) => write!(f, "corrupt frame: {e}"),
+            TransportError::ShortRead { wanted, got } => {
+                write!(f, "short read: connection ended after {got} of {wanted} bytes")
+            }
         }
     }
 }
@@ -101,6 +114,11 @@ mod tests {
         .is_fatal());
         assert!(!TransportError::Backpressure { step: 1 }.is_fatal());
         assert!(!TransportError::Corrupt(BpError::ChecksumMismatch).is_fatal());
+        assert!(!TransportError::ShortRead {
+            wanted: 128,
+            got: 17
+        }
+        .is_fatal());
     }
 
     #[test]

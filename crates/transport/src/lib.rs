@@ -31,6 +31,14 @@
 //!   disconnects, open circuit breakers, lost steps, and back-pressure
 //!   timeouts, classified fatal vs. transient so the workflow can degrade
 //!   to the file engine instead of dying.
+//! * [`wire`] — the pluggable wire layer beneath the engine: the in-process
+//!   channel engine (bitwise-identical to the original transport) and a
+//!   real loopback-TCP engine carrying the same CRC32/BP frames as
+//!   length-prefixed packets, selected by `NEK_WIRE=channel|tcp`.
+//! * [`staging`] — the multi-client staging service: one writer fanned out
+//!   to N consumer sessions with per-session credit backpressure, rendered
+//!   frames served through an LRU cache, late joiners caught up from the
+//!   parked BP file engine.
 
 pub mod adaptor;
 pub mod bp;
@@ -39,6 +47,8 @@ pub mod engine;
 pub mod error;
 pub mod file_engine;
 pub mod link;
+pub mod staging;
+pub mod wire;
 
 pub use adaptor::{ProducerReport, ReportSink, TransportAnalysis};
 pub use bp::{crc32, frame_crc_ok, marshal_blocks, unmarshal_blocks, StepData};
@@ -50,3 +60,8 @@ pub use engine::{
 pub use error::{TransportError, WriteError};
 pub use file_engine::{BpFileReader, BpFileWriter};
 pub use link::StagingLink;
+pub use staging::{
+    ConsumerClient, FrameMsg, SessionSpec, SessionStats, StagingHandle, StagingReport,
+    StagingService,
+};
+pub use wire::{WireKind, WireRecvError, WireRx, WireSendError, WireTx};

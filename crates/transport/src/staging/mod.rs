@@ -1,0 +1,802 @@
+//! The staging tier: one writer stream fanned out to N consumer sessions.
+//!
+//! The SST engine pairs each writer group with exactly one reader, so only
+//! one analysis could ever watch a run. [`StagingService`] generalizes the
+//! reader side into a small server: it drains an [`SstReader`] like the
+//! endpoint does, but instead of driving one fixed analysis it
+//!
+//! * **parks** every delivered step to the BP file engine (the same
+//!   `producer_*.bp4l` files the degradation ladder writes), making the
+//!   stream replayable;
+//! * **renders** each step once per *distinct* session spec through a
+//!   [`FrameCache`] — N consumers asking for the same (step, camera,
+//!   colormap) cost one rasterization and N−1 cache hits;
+//! * **fans out** the encoded frames to every open consumer session under
+//!   per-session credit back-pressure (a slow consumer stalls only
+//!   itself; a dead one is detached after a bounded wait);
+//! * **catches up late joiners** by replaying the parked BP files through
+//!   the same cache before live frames resume.
+//!
+//! Sessions attach in-process (the [`StagingHandle`]) or over TCP
+//! ([`StagingService::listen_consumers`] + [`ConsumerClient::connect`]),
+//! using the protocol in [`protocol`]. All potentially blocking waits on
+//! real sockets/channels run under `Comm::external_wait`, so the service
+//! works in both `NEK_SCHED_MODE`s.
+
+pub mod protocol;
+
+pub use protocol::{DownMsg, FrameMsg, SessionSpec};
+
+use crate::bp;
+use crate::engine::SstReader;
+use crate::file_engine::{BpFileReader, BpFileWriter};
+use commsim::Comm;
+use crossbeam_channel::{bounded, unbounded, Receiver, Sender};
+use meshdata::MultiBlock;
+use render::pipeline::{FilterKind, RenderPass};
+use render::{Colormap, FrameCache, RenderPipeline, RenderScratch};
+use std::collections::BTreeMap;
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long the service will wait (real time) for a stalled session to
+/// replenish credits before detaching it.
+const CREDIT_WAIT: Duration = Duration::from_secs(10);
+/// Credit poll interval while stalled.
+const CREDIT_POLL: Duration = Duration::from_millis(20);
+
+/// Per-session fan-out accounting, reported and fed into `staging/*`
+/// telemetry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Session id (attach order).
+    pub id: usize,
+    /// Frames delivered to this consumer.
+    pub frames_sent: u64,
+    /// Encoded PNG bytes delivered.
+    pub bytes_sent: u64,
+    /// Frames served from the staging cache.
+    pub cache_hits: u64,
+    /// Times the service blocked waiting for this session's credits.
+    pub credit_stalls: u64,
+    /// Frames replayed from the parked BP files at join time.
+    pub catchup_steps: u64,
+    /// True when the session was detached (stalled past the credit bound
+    /// or its link died) rather than running to `End`.
+    pub detached: bool,
+}
+
+/// Outcome of a [`StagingService::run`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StagingReport {
+    /// Steps drained from the writer stream.
+    pub steps: u64,
+    /// Steps parked to the BP file engine (per producer appends summed).
+    pub parked_appends: u64,
+    /// Frame-cache hits across all sessions (live + catch-up).
+    pub cache_hits: u64,
+    /// Frame-cache misses (actual rasterizations).
+    pub cache_misses: u64,
+    /// Wire frames lost to mid-frame connection deaths.
+    pub short_reads: u64,
+    /// Payload bytes drained off the writer wire.
+    pub bytes_received: u64,
+    /// Per-session accounting, attach order.
+    pub sessions: Vec<SessionStats>,
+    /// Virtual time when the stream finished.
+    pub finish_time: f64,
+}
+
+impl StagingReport {
+    /// Total frames fanned out across sessions.
+    pub fn frames_sent(&self) -> u64 {
+        self.sessions.iter().map(|s| s.frames_sent).sum()
+    }
+
+    /// Cache hit rate over all lookups, 0.0 when nothing rendered.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+enum DownLink {
+    Local(Sender<DownMsg>),
+    Tcp(TcpStream),
+}
+
+struct Session {
+    pipeline: RenderPipeline,
+    down: DownLink,
+    credit_rx: Receiver<u32>,
+    credits: i64,
+    stats: SessionStats,
+    open: bool,
+}
+
+struct PendingSession {
+    spec: SessionSpec,
+    credits: u32,
+    down: DownLink,
+    credit_rx: Receiver<u32>,
+}
+
+/// Cloneable attach point for new consumer sessions; safe to hand to
+/// other threads (the TCP accept loop uses one internally).
+#[derive(Clone)]
+pub struct StagingHandle {
+    joiners: Sender<PendingSession>,
+    attached: Arc<AtomicUsize>,
+}
+
+impl StagingHandle {
+    /// Open an in-process consumer session with `credits` initial frame
+    /// credits. The session is admitted at the service's next step
+    /// boundary (with catch-up from the parked files if the stream is
+    /// already running).
+    pub fn attach_local(&self, spec: SessionSpec, credits: u32) -> ConsumerClient {
+        let (down_tx, down_rx) = unbounded();
+        let (credit_tx, credit_rx) = bounded(1024);
+        let _ = self.joiners.send(PendingSession {
+            spec,
+            credits,
+            down: DownLink::Local(down_tx),
+            credit_rx,
+        });
+        self.attached.fetch_add(1, Ordering::SeqCst);
+        ConsumerClient {
+            inner: ClientInner::Local {
+                frames: down_rx,
+                credits: credit_tx,
+            },
+        }
+    }
+
+    /// Sessions attached through this handle (admitted or pending).
+    pub fn attached(&self) -> usize {
+        self.attached.load(Ordering::SeqCst)
+    }
+}
+
+enum ClientInner {
+    Local {
+        frames: Receiver<DownMsg>,
+        credits: Sender<u32>,
+    },
+    Tcp(TcpStream),
+}
+
+/// Consumer-side handle on one staging session: receive frames, grant
+/// credits. Works identically for in-process and TCP sessions.
+pub struct ConsumerClient {
+    inner: ClientInner,
+}
+
+impl ConsumerClient {
+    /// Open a TCP consumer session against a staging service's consumer
+    /// listener.
+    ///
+    /// # Errors
+    /// Socket connect/write failures.
+    pub fn connect(addr: &str, spec: &SessionSpec, credits: u32) -> std::io::Result<Self> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        protocol::write_hello(&mut stream, spec, credits)?;
+        Ok(Self {
+            inner: ClientInner::Tcp(stream),
+        })
+    }
+
+    /// Grant `n` more frame credits to the service.
+    ///
+    /// # Errors
+    /// Write failures (tcp) or a gone service (local).
+    pub fn grant(&mut self, n: u32) -> std::io::Result<()> {
+        match &mut self.inner {
+            ClientInner::Local { credits, .. } => credits.send(n).map_err(|_| {
+                std::io::Error::new(std::io::ErrorKind::BrokenPipe, "staging service gone")
+            }),
+            ClientInner::Tcp(stream) => protocol::write_credit(stream, n),
+        }
+    }
+
+    /// Wait up to `timeout` for the next frame. `Ok(None)` is the end of
+    /// the stream (explicit `End` or a closed link).
+    ///
+    /// # Errors
+    /// Wire/protocol failures; a plain timeout is
+    /// `ErrorKind::TimedOut`.
+    pub fn next_frame(&mut self, timeout: Duration) -> std::io::Result<Option<FrameMsg>> {
+        match &mut self.inner {
+            ClientInner::Local { frames, .. } => match frames.recv_timeout(timeout) {
+                Ok(DownMsg::Frame(f)) => Ok(Some(f)),
+                Ok(DownMsg::End) => Ok(None),
+                Err(crossbeam_channel::RecvTimeoutError::Timeout) => Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "no frame within timeout",
+                )),
+                Err(crossbeam_channel::RecvTimeoutError::Disconnected) => Ok(None),
+            },
+            ClientInner::Tcp(stream) => {
+                stream.set_read_timeout(Some(timeout)).ok();
+                match protocol::read_down(stream) {
+                    Ok(Some(DownMsg::Frame(f))) => Ok(Some(f)),
+                    Ok(Some(DownMsg::End)) | Ok(None) => Ok(None),
+                    Err(e) => Err(e),
+                }
+            }
+        }
+    }
+
+    /// Drain the whole stream, granting one credit back per frame.
+    ///
+    /// # Errors
+    /// Wire/protocol failures or `timeout` expiring between frames.
+    pub fn drain(&mut self, timeout: Duration) -> std::io::Result<Vec<FrameMsg>> {
+        let mut frames = Vec::new();
+        while let Some(f) = self.next_frame(timeout)? {
+            frames.push(f);
+            // Best effort: the service may already have sent End and gone
+            // away, which is not a drain failure.
+            let _ = self.grant(1);
+        }
+        Ok(frames)
+    }
+}
+
+/// The multi-client staging service (see module docs).
+pub struct StagingService {
+    reader: SstReader,
+    n_sim_ranks: usize,
+    park_dir: PathBuf,
+    cache: FrameCache,
+    scratch: RenderScratch,
+    sessions: Vec<Session>,
+    joiners: Receiver<PendingSession>,
+    handle: StagingHandle,
+    parkers: BTreeMap<usize, BpFileWriter>,
+    parked_steps: Vec<u64>,
+    next_session: usize,
+}
+
+impl StagingService {
+    /// Wrap `reader` into a staging service parking steps under
+    /// `park_dir` and caching up to `cache_frames` rendered frame sets.
+    pub fn new(
+        reader: SstReader,
+        n_sim_ranks: usize,
+        park_dir: impl Into<PathBuf>,
+        cache_frames: usize,
+    ) -> Self {
+        let (joiners_tx, joiners_rx) = unbounded();
+        Self {
+            reader,
+            n_sim_ranks,
+            park_dir: park_dir.into(),
+            cache: FrameCache::new(cache_frames),
+            scratch: RenderScratch::default(),
+            sessions: Vec::new(),
+            joiners: joiners_rx,
+            handle: StagingHandle {
+                joiners: joiners_tx,
+                attached: Arc::new(AtomicUsize::new(0)),
+            },
+            parkers: BTreeMap::new(),
+            parked_steps: Vec::new(),
+            next_session: 0,
+        }
+    }
+
+    /// The attach point for consumer sessions (cloneable, thread-safe).
+    pub fn handle(&self) -> StagingHandle {
+        self.handle.clone()
+    }
+
+    /// Accept TCP consumer sessions off `listener` until the service
+    /// drops its handle side. Each connection sends a `Hello`; a reader
+    /// thread per connection forwards its credit grants.
+    pub fn listen_consumers(&self, listener: TcpListener) {
+        let handle = self.handle();
+        std::thread::spawn(move || {
+            loop {
+                let Ok((mut stream, _)) = listener.accept() else {
+                    return;
+                };
+                stream.set_nodelay(true).ok();
+                let Ok((spec, credits)) = protocol::read_hello(&mut stream) else {
+                    continue;
+                };
+                let (credit_tx, credit_rx) = bounded(1024);
+                let Ok(read_half) = stream.try_clone() else {
+                    continue;
+                };
+                std::thread::spawn(move || forward_credits(read_half, credit_tx));
+                if handle
+                    .joiners
+                    .send(PendingSession {
+                        spec,
+                        credits,
+                        down: DownLink::Tcp(stream),
+                        credit_rx,
+                    })
+                    .is_err()
+                {
+                    return;
+                }
+                handle.attached.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+    }
+
+    fn build_pipeline(spec: &SessionSpec) -> RenderPipeline {
+        RenderPipeline {
+            width: spec.width,
+            height: spec.height,
+            passes: vec![RenderPass {
+                name: format!("{}_staged", spec.array),
+                filter: FilterKind::Slice {
+                    origin: [0.5, 0.5, 0.5],
+                    normal: [0.0, 1.0, 0.0],
+                },
+                array: spec.array.clone(),
+                colormap: Colormap::by_name(&spec.colormap),
+                range: None,
+                camera_dir: spec.camera_dir,
+            }],
+            compositing: render::pipeline::Compositing::Gather,
+            legend: false,
+        }
+    }
+
+    /// Admit every pending joiner: build its pipeline, replay the parked
+    /// steps through the cache, then it rides the live stream.
+    fn admit_joiners(&mut self, comm: &mut Comm) -> insitu::Result<()> {
+        while let Ok(pending) = self.joiners.try_recv() {
+            let id = self.next_session;
+            self.next_session += 1;
+            let mut session = Session {
+                pipeline: Self::build_pipeline(&pending.spec),
+                down: pending.down,
+                credit_rx: pending.credit_rx,
+                credits: i64::from(pending.credits),
+                stats: SessionStats {
+                    id,
+                    frames_sent: 0,
+                    bytes_sent: 0,
+                    cache_hits: 0,
+                    credit_stalls: 0,
+                    catchup_steps: 0,
+                    detached: false,
+                },
+                open: true,
+            };
+            comm.telemetry().counter("staging/sessions").inc();
+            self.catch_up(comm, &mut session)?;
+            self.sessions.push(session);
+        }
+        Ok(())
+    }
+
+    /// Replay every parked step to one late-joining session, through the
+    /// frame cache (a spec another session already watches replays as
+    /// pure cache hits).
+    fn catch_up(&mut self, comm: &mut Comm, session: &mut Session) -> insitu::Result<()> {
+        if self.parked_steps.is_empty() {
+            return Ok(());
+        }
+        let _span = comm.span("staging/catchup");
+        // Merge the parked per-producer files back into per-step blocks.
+        let mut steps: BTreeMap<u64, (f64, Vec<(u32, meshdata::UnstructuredGrid)>)> =
+            BTreeMap::new();
+        for producer in self.parkers.keys() {
+            let path = self.park_dir.join(format!("producer_{producer:05}.bp4l"));
+            let mut file = BpFileReader::open(&path)
+                .map_err(|e| insitu::Error::Analysis(format!("catch-up open {path:?}: {e}")))?;
+            while let Some(data) = file
+                .next_step()
+                .map_err(|e| insitu::Error::Analysis(format!("catch-up read {path:?}: {e}")))?
+            {
+                let entry = steps.entry(data.step).or_insert((data.time, Vec::new()));
+                entry.1.extend(data.blocks);
+            }
+        }
+        for (step, (_time, blocks)) in steps {
+            let mut mb = MultiBlock::new(self.n_sim_ranks);
+            for (idx, grid) in blocks {
+                mb.blocks[idx as usize] = Some(grid);
+            }
+            let (images, hit) =
+                session
+                    .pipeline
+                    .execute_cached(comm, &mb, step, &mut self.scratch, &mut self.cache);
+            session.stats.catchup_steps += 1;
+            comm.telemetry().counter("staging/catchup_steps").inc();
+            Self::deliver(comm, session, step, hit, images);
+        }
+        Ok(())
+    }
+
+    /// Send one step's images to a session, blocking (bounded) on its
+    /// credits. A session that stalls past [`CREDIT_WAIT`] or whose link
+    /// died is detached.
+    fn deliver(
+        comm: &mut Comm,
+        session: &mut Session,
+        step: u64,
+        cache_hit: bool,
+        images: Vec<render::pipeline::RenderedImage>,
+    ) {
+        if !session.open {
+            return;
+        }
+        for img in images {
+            let Some(png) = img.png else { continue };
+            // Top up from the session's credit feed without blocking.
+            while let Ok(n) = session.credit_rx.try_recv() {
+                session.credits += i64::from(n);
+            }
+            if session.credits <= 0 {
+                session.stats.credit_stalls += 1;
+                comm.telemetry().counter("staging/credit_stalls").inc();
+                let mut waited = Duration::ZERO;
+                while session.credits <= 0 {
+                    let credit_rx = &session.credit_rx;
+                    match comm.external_wait(|| credit_rx.recv_timeout(CREDIT_POLL)) {
+                        Ok(n) => session.credits += i64::from(n),
+                        Err(crossbeam_channel::RecvTimeoutError::Timeout) => {
+                            waited += CREDIT_POLL;
+                            if waited >= CREDIT_WAIT {
+                                session.open = false;
+                                session.stats.detached = true;
+                                return;
+                            }
+                        }
+                        Err(crossbeam_channel::RecvTimeoutError::Disconnected) => {
+                            session.open = false;
+                            session.stats.detached = true;
+                            return;
+                        }
+                    }
+                }
+            }
+            session.credits -= 1;
+            let nbytes = png.len() as u64;
+            let msg = DownMsg::Frame(FrameMsg {
+                step,
+                cache_hit,
+                name: img.name,
+                png,
+            });
+            let sent = match &mut session.down {
+                DownLink::Local(tx) => tx.send(msg).is_ok(),
+                DownLink::Tcp(stream) => {
+                    stream.set_write_timeout(Some(CREDIT_WAIT)).ok();
+                    comm.external_wait(|| protocol::write_down(stream, &msg)).is_ok()
+                }
+            };
+            if !sent {
+                session.open = false;
+                session.stats.detached = true;
+                return;
+            }
+            session.stats.frames_sent += 1;
+            session.stats.bytes_sent += nbytes;
+            if cache_hit {
+                session.stats.cache_hits += 1;
+            }
+            let telemetry = comm.telemetry();
+            telemetry.counter("staging/frames_sent").inc();
+            telemetry.counter("staging/bytes_sent").add(nbytes);
+        }
+    }
+
+    /// Park one delivered packet's payload to its producer's BP file.
+    fn park(&mut self, comm: &mut Comm, producer: usize, payload: &[u8]) -> insitu::Result<u64> {
+        if !self.parkers.contains_key(&producer) {
+            std::fs::create_dir_all(&self.park_dir)
+                .map_err(|e| insitu::Error::Analysis(format!("park mkdir: {e}")))?;
+            let writer = BpFileWriter::create(&self.park_dir, producer)
+                .map_err(|e| insitu::Error::Analysis(format!("park create: {e}")))?;
+            self.parkers.insert(producer, writer);
+        }
+        let writer = self.parkers.get_mut(&producer).expect("just inserted");
+        writer
+            .append(comm, payload)
+            .map_err(|e| insitu::Error::Analysis(format!("park append: {e}")))?;
+        Ok(1)
+    }
+
+    /// Drain the writer stream to completion, fanning every step out to
+    /// the attached consumer sessions. Single-rank by construction: the
+    /// service is one OS-level server, not a collective.
+    ///
+    /// # Errors
+    /// Park/unmarshal failures; fatal transport errors.
+    ///
+    /// # Panics
+    /// If `comm` has more than one rank.
+    pub fn run(&mut self, comm: &mut Comm) -> insitu::Result<StagingReport> {
+        assert_eq!(
+            comm.size(),
+            1,
+            "StagingService::run is a single-rank server loop"
+        );
+        let mut steps = 0u64;
+        let mut parked_appends = 0u64;
+        loop {
+            self.admit_joiners(comm)?;
+            let recv = comm.span("transport/recv");
+            let delivery = match self.reader.recv_step(comm) {
+                Ok(Some(delivery)) => delivery,
+                Ok(None) => break,
+                Err(e) if !e.is_fatal() => {
+                    drop(recv);
+                    continue;
+                }
+                Err(e) => {
+                    return Err(insitu::Error::Analysis(format!("staging transport: {e}")))
+                }
+            };
+            drop(recv);
+            steps += 1;
+            if delivery.packets.is_empty() {
+                continue;
+            }
+            // Park first — the catch-up source must contain every step the
+            // live sessions saw — then rebuild and render.
+            for packet in &delivery.packets {
+                parked_appends += self.park(comm, packet.producer, &packet.payload)?;
+            }
+            self.parked_steps.push(delivery.step);
+            let unmarshal = comm.span("transport/unmarshal");
+            let mut mb = MultiBlock::new(self.n_sim_ranks);
+            for packet in &delivery.packets {
+                let data = bp::unmarshal_blocks(&packet.payload).map_err(|e| {
+                    insitu::Error::Analysis(format!("unmarshal from {}: {e}", packet.producer))
+                })?;
+                comm.compute_host(
+                    packet.payload.len() as f64,
+                    packet.payload.len() as f64 * 2.0,
+                );
+                for (idx, grid) in data.blocks {
+                    mb.blocks[idx as usize] = Some(grid);
+                }
+            }
+            drop(unmarshal);
+            let _render = comm.span("staging/fanout");
+            for i in 0..self.sessions.len() {
+                if !self.sessions[i].open {
+                    continue;
+                }
+                let session = &mut self.sessions[i];
+                let (images, hit) = session.pipeline.execute_cached(
+                    comm,
+                    &mb,
+                    delivery.step,
+                    &mut self.scratch,
+                    &mut self.cache,
+                );
+                Self::deliver(comm, session, delivery.step, hit, images);
+            }
+        }
+        // Stream over: admit any last-second joiners (they get a pure
+        // catch-up replay), then close every session.
+        self.admit_joiners(comm)?;
+        for session in &mut self.sessions {
+            if !session.open {
+                continue;
+            }
+            let sent = match &mut session.down {
+                DownLink::Local(tx) => tx.send(DownMsg::End).is_ok(),
+                DownLink::Tcp(stream) => {
+                    stream.set_write_timeout(Some(CREDIT_WAIT)).ok();
+                    comm.external_wait(|| protocol::write_down(stream, &DownMsg::End))
+                        .is_ok()
+                }
+            };
+            if !sent {
+                session.stats.detached = true;
+            }
+            session.open = false;
+        }
+        let telemetry = comm.telemetry();
+        if telemetry.enabled() {
+            telemetry.counter("staging/steps").add(steps);
+            for session in &self.sessions {
+                let scope = format!("staging/session{}", session.stats.id);
+                telemetry
+                    .counter(&format!("{scope}/frames_sent"))
+                    .add(session.stats.frames_sent);
+                telemetry
+                    .counter(&format!("{scope}/bytes_sent"))
+                    .add(session.stats.bytes_sent);
+                telemetry
+                    .counter(&format!("{scope}/cache_hits"))
+                    .add(session.stats.cache_hits);
+                telemetry
+                    .counter(&format!("{scope}/catchup_steps"))
+                    .add(session.stats.catchup_steps);
+            }
+            telemetry
+                .counter("staging/cache_misses")
+                .add(self.cache.misses());
+        }
+        Ok(StagingReport {
+            steps,
+            parked_appends,
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+            short_reads: self.reader.short_reads(),
+            bytes_received: self.reader.bytes_received(),
+            sessions: self.sessions.iter().map(|s| s.stats.clone()).collect(),
+            finish_time: comm.now(),
+        })
+    }
+}
+
+fn forward_credits(mut stream: TcpStream, tx: Sender<u32>) {
+    loop {
+        match protocol::read_credit(&mut stream) {
+            Ok(Some(n)) => {
+                if tx.send(n).is_err() {
+                    return;
+                }
+            }
+            Ok(None) | Err(_) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{QueuePolicy, StagingNetwork};
+    use crate::link::StagingLink;
+    use commsim::{run_ranks_with_state, MachineModel};
+    use insitu::AnalysisAdaptor as _;
+    use meshdata::{CellType, DataArray, UnstructuredGrid};
+
+    fn block(rank: usize, nranks: usize) -> MultiBlock {
+        let z0 = rank as f64;
+        let mut g = UnstructuredGrid::new();
+        for z in [z0, z0 + 1.0] {
+            for y in [0.0, 1.0] {
+                for x in [0.0, 1.0] {
+                    g.add_point([x, y, z]);
+                }
+            }
+        }
+        g.add_cell(CellType::Hexahedron, &[0, 1, 3, 2, 4, 5, 7, 6]);
+        g.add_point_data(DataArray::scalars_f64(
+            "pressure",
+            (0..8).map(|i| i as f64 + 100.0 * rank as f64).collect(),
+        ))
+        .unwrap();
+        MultiBlock::local(rank, nranks, g)
+    }
+
+    fn drive_writers(writers: Vec<crate::SstWriter>, steps: u64) -> std::thread::JoinHandle<()> {
+        std::thread::spawn(move || {
+            run_ranks_with_state(MachineModel::test_tiny(), writers, move |comm, writer| {
+                let mut analysis =
+                    crate::TransportAnalysis::new("mesh", vec!["pressure".into()], writer);
+                for step in 1..=steps {
+                    let mut da = insitu::data_adaptor::StaticDataAdaptor::new(
+                        "mesh",
+                        block(comm.rank(), comm.size()),
+                        step as f64 * 0.1,
+                        step,
+                    );
+                    analysis.execute(comm, &mut da).unwrap();
+                }
+            });
+        })
+    }
+
+    #[test]
+    fn three_identical_sessions_share_one_render() {
+        let dir = tempdir("staging_share");
+        let (writers, mut readers) =
+            StagingNetwork::build(2, 1, 16, StagingLink::test_tiny(), QueuePolicy::Block);
+        let service = StagingService::new(readers.remove(0), 2, &dir, 16);
+        let handle = service.handle();
+        // Enough initial credits that sequential draining below never
+        // stalls the service (credit-stall behavior is tested separately).
+        let mut clients: Vec<ConsumerClient> = (0..3)
+            .map(|_| handle.attach_local(SessionSpec::default(), 8))
+            .collect();
+        let sim = drive_writers(writers, 3);
+        let svc = std::thread::spawn(move || {
+            run_ranks_with_state(MachineModel::test_tiny(), vec![service], |comm, mut s| {
+                s.run(comm).unwrap()
+            })
+            .remove(0)
+        });
+        let mut collected = Vec::new();
+        for client in &mut clients {
+            collected.push(client.drain(Duration::from_secs(20)).unwrap());
+        }
+        sim.join().unwrap();
+        let report = svc.join().unwrap();
+        assert_eq!(report.steps, 3);
+        for frames in &collected {
+            assert_eq!(frames.len(), 3, "each session sees every step");
+            assert!(frames.iter().all(|f| !f.png.is_empty()));
+        }
+        // 3 steps rendered once each; the other two sessions hit.
+        assert_eq!(report.cache_misses, 3);
+        assert_eq!(report.cache_hits, 6);
+        assert!(report.cache_hit_rate() > 0.6);
+        // Identical specs ⇒ byte-identical frames (only the hit flag may
+        // differ — the first session renders, the others hit the cache).
+        let pixels = |frames: &[FrameMsg]| {
+            frames
+                .iter()
+                .map(|f| (f.step, f.name.clone(), f.png.clone()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(pixels(&collected[0]), pixels(&collected[1]));
+        assert_eq!(pixels(&collected[1]), pixels(&collected[2]));
+        assert!(collected[1].iter().all(|f| f.cache_hit));
+        assert!(collected[2].iter().all(|f| f.cache_hit));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn late_joiner_catches_up_from_parked_files() {
+        let dir = tempdir("staging_late");
+        let (writers, mut readers) =
+            StagingNetwork::build(1, 1, 16, StagingLink::test_tiny(), QueuePolicy::Block);
+        let service = StagingService::new(readers.remove(0), 1, &dir, 16);
+        let handle = service.handle();
+        let mut early = handle.attach_local(SessionSpec::default(), 8);
+        let sim = drive_writers(writers, 4);
+        let svc = std::thread::spawn(move || {
+            run_ranks_with_state(MachineModel::test_tiny(), vec![service], |comm, mut s| {
+                s.run(comm).unwrap()
+            })
+            .remove(0)
+        });
+        // Wait until at least one live frame went out, then join late.
+        let first = early.next_frame(Duration::from_secs(20)).unwrap().unwrap();
+        assert_eq!(first.step, 1);
+        let mut late = handle.attach_local(SessionSpec::default(), 8);
+        let mut late_frames = vec![];
+        while let Some(f) = late.next_frame(Duration::from_secs(20)).unwrap() {
+            late_frames.push(f);
+            late.grant(1).unwrap();
+        }
+        let mut early_frames = vec![first];
+        early_frames.extend(early.drain(Duration::from_secs(20)).unwrap());
+        sim.join().unwrap();
+        let report = svc.join().unwrap();
+        // Both sessions saw the full step sequence, the late one partly
+        // via catch-up replay.
+        let steps: Vec<u64> = late_frames.iter().map(|f| f.step).collect();
+        assert_eq!(steps, vec![1, 2, 3, 4]);
+        assert_eq!(early_frames.len(), 4);
+        let late_stats = &report.sessions[1];
+        assert!(late_stats.catchup_steps >= 1, "no catch-up happened");
+        // Catch-up steps the early session already rendered are hits.
+        assert!(report.cache_hits >= late_stats.catchup_steps);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "nek_{}_{}_{}",
+            tag,
+            std::process::id(),
+            std::thread::current().name().unwrap_or("t").replace("::", "_")
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+}

@@ -1,0 +1,338 @@
+//! Consumer-session protocol for the staging service.
+//!
+//! A consumer opens a session by sending `Hello` (its render spec plus an
+//! initial credit grant), then replenishes credits as it consumes frames;
+//! the service answers with `Frame` messages (one per delivered step) and
+//! a final `End`. Local sessions move these messages over in-process
+//! channels; TCP sessions use length-prefixed frames:
+//!
+//! ```text
+//! [u32 len][u8 tag][body…]        len counts everything after itself
+//! ```
+//!
+//! Up (consumer → service): tag 0 `Hello`, tag 1 `Credit`.
+//! Down (service → consumer): tag 10 `Frame`, tag 11 `End`.
+//! All integers little-endian, like the BP marshaling.
+
+use std::io::{Read, Write};
+
+/// What one consumer session wants rendered from every staged step.
+///
+/// Two sessions with equal specs produce identical pixels, so the second
+/// is served from the staging service's frame cache.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSpec {
+    /// Image width in pixels.
+    pub width: usize,
+    /// Image height in pixels.
+    pub height: usize,
+    /// View direction for the framing camera.
+    pub camera_dir: [f64; 3],
+    /// Colormap name (see `render::Colormap::by_name`).
+    pub colormap: String,
+    /// Point array to color by.
+    pub array: String,
+}
+
+impl Default for SessionSpec {
+    fn default() -> Self {
+        Self {
+            width: 200,
+            height: 150,
+            camera_dir: [0.0, -1.0, 0.25],
+            colormap: "cool-warm".into(),
+            array: "pressure".into(),
+        }
+    }
+}
+
+/// One rendered frame delivered to a consumer session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameMsg {
+    /// Simulation step the frame shows.
+    pub step: u64,
+    /// True when the frame came out of the staging cache (no re-raster).
+    pub cache_hit: bool,
+    /// `<pass>_<step>` image name.
+    pub name: String,
+    /// Encoded PNG bytes.
+    pub png: Vec<u8>,
+}
+
+/// Service → consumer messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DownMsg {
+    /// One rendered step.
+    Frame(FrameMsg),
+    /// The stream is over; no more frames will arrive.
+    End,
+}
+
+const TAG_HELLO: u8 = 0;
+const TAG_CREDIT: u8 = 1;
+const TAG_FRAME: u8 = 10;
+const TAG_END: u8 = 11;
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+    out.extend_from_slice(b);
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> std::io::Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "staging protocol frame truncated",
+            ));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> std::io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> std::io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn f64(&mut self) -> std::io::Result<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn str(&mut self) -> std::io::Result<String> {
+        let n = self.u32()? as usize;
+        String::from_utf8(self.take(n)?.to_vec()).map_err(|_| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "non-utf8 protocol string")
+        })
+    }
+
+    fn bytes(&mut self) -> std::io::Result<Vec<u8>> {
+        let n = self.u32()? as usize;
+        Ok(self.take(n)?.to_vec())
+    }
+}
+
+fn write_tagged(w: &mut impl Write, tag: u8, body: &[u8]) -> std::io::Result<()> {
+    let mut frame = Vec::with_capacity(5 + body.len());
+    frame.extend_from_slice(&(1 + body.len() as u32).to_le_bytes());
+    frame.push(tag);
+    frame.extend_from_slice(body);
+    w.write_all(&frame)
+}
+
+fn read_tagged(r: &mut impl Read) -> std::io::Result<Option<(u8, Vec<u8>)>> {
+    let mut len_bytes = [0u8; 4];
+    match r.read_exact(&mut len_bytes) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "zero-length protocol frame",
+        ));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    let tag = body.remove(0);
+    Ok(Some((tag, body)))
+}
+
+/// Write the session-opening `Hello` (spec + initial credits).
+///
+/// # Errors
+/// I/O failures.
+pub fn write_hello(
+    w: &mut impl Write,
+    spec: &SessionSpec,
+    credits: u32,
+) -> std::io::Result<()> {
+    let mut body = Vec::new();
+    body.extend_from_slice(&(spec.width as u32).to_le_bytes());
+    body.extend_from_slice(&(spec.height as u32).to_le_bytes());
+    for d in spec.camera_dir {
+        body.extend_from_slice(&d.to_le_bytes());
+    }
+    put_str(&mut body, &spec.colormap);
+    put_str(&mut body, &spec.array);
+    body.extend_from_slice(&credits.to_le_bytes());
+    write_tagged(w, TAG_HELLO, &body)
+}
+
+/// Read a `Hello` off a fresh consumer connection.
+///
+/// # Errors
+/// I/O failures, a non-Hello first frame, or a malformed body.
+pub fn read_hello(r: &mut impl Read) -> std::io::Result<(SessionSpec, u32)> {
+    let Some((tag, body)) = read_tagged(r)? else {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "connection closed before Hello",
+        ));
+    };
+    if tag != TAG_HELLO {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("expected Hello, got tag {tag}"),
+        ));
+    }
+    let mut c = Cursor { buf: &body, pos: 0 };
+    let width = c.u32()? as usize;
+    let height = c.u32()? as usize;
+    let camera_dir = [c.f64()?, c.f64()?, c.f64()?];
+    let colormap = c.str()?;
+    let array = c.str()?;
+    let credits = c.u32()?;
+    Ok((
+        SessionSpec {
+            width,
+            height,
+            camera_dir,
+            colormap,
+            array,
+        },
+        credits,
+    ))
+}
+
+/// Write a credit replenishment.
+///
+/// # Errors
+/// I/O failures.
+pub fn write_credit(w: &mut impl Write, n: u32) -> std::io::Result<()> {
+    write_tagged(w, TAG_CREDIT, &n.to_le_bytes())
+}
+
+/// Read the next credit grant; `Ok(None)` when the consumer closed.
+///
+/// # Errors
+/// I/O failures or a malformed/unexpected frame.
+pub fn read_credit(r: &mut impl Read) -> std::io::Result<Option<u32>> {
+    match read_tagged(r)? {
+        None => Ok(None),
+        Some((TAG_CREDIT, body)) => {
+            let mut c = Cursor { buf: &body, pos: 0 };
+            Ok(Some(c.u32()?))
+        }
+        Some((tag, _)) => Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("expected Credit, got tag {tag}"),
+        )),
+    }
+}
+
+/// Write a down message (frame or end-of-stream).
+///
+/// # Errors
+/// I/O failures.
+pub fn write_down(w: &mut impl Write, msg: &DownMsg) -> std::io::Result<()> {
+    match msg {
+        DownMsg::Frame(f) => {
+            let mut body = Vec::with_capacity(32 + f.name.len() + f.png.len());
+            body.extend_from_slice(&f.step.to_le_bytes());
+            body.push(u8::from(f.cache_hit));
+            put_str(&mut body, &f.name);
+            put_bytes(&mut body, &f.png);
+            write_tagged(w, TAG_FRAME, &body)
+        }
+        DownMsg::End => write_tagged(w, TAG_END, &[]),
+    }
+}
+
+/// Read the next down message; `Ok(None)` when the service closed the
+/// socket without an explicit `End`.
+///
+/// # Errors
+/// I/O failures or a malformed frame.
+pub fn read_down(r: &mut impl Read) -> std::io::Result<Option<DownMsg>> {
+    match read_tagged(r)? {
+        None => Ok(None),
+        Some((TAG_FRAME, body)) => {
+            let mut c = Cursor { buf: &body, pos: 0 };
+            let step = c.u64()?;
+            let cache_hit = c.take(1)?[0] != 0;
+            let name = c.str()?;
+            let png = c.bytes()?;
+            Ok(Some(DownMsg::Frame(FrameMsg {
+                step,
+                cache_hit,
+                name,
+                png,
+            })))
+        }
+        Some((TAG_END, _)) => Ok(Some(DownMsg::End)),
+        Some((tag, _)) => Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("unexpected down tag {tag}"),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hello_roundtrip() {
+        let spec = SessionSpec {
+            width: 320,
+            height: 240,
+            camera_dir: [1.0, 0.5, -0.25],
+            colormap: "viridis".into(),
+            array: "velocity".into(),
+        };
+        let mut wire = Vec::new();
+        write_hello(&mut wire, &spec, 7).unwrap();
+        let (got, credits) = read_hello(&mut std::io::Cursor::new(wire)).unwrap();
+        assert_eq!(got, spec);
+        assert_eq!(credits, 7);
+    }
+
+    #[test]
+    fn credit_and_down_roundtrip() {
+        let mut wire = Vec::new();
+        write_credit(&mut wire, 3).unwrap();
+        assert_eq!(
+            read_credit(&mut std::io::Cursor::new(&wire[..])).unwrap(),
+            Some(3)
+        );
+
+        let frame = DownMsg::Frame(FrameMsg {
+            step: 12,
+            cache_hit: true,
+            name: "pressure_000012".into(),
+            png: vec![9; 100],
+        });
+        let mut wire = Vec::new();
+        write_down(&mut wire, &frame).unwrap();
+        write_down(&mut wire, &DownMsg::End).unwrap();
+        let mut cursor = std::io::Cursor::new(wire);
+        assert_eq!(read_down(&mut cursor).unwrap(), Some(frame));
+        assert_eq!(read_down(&mut cursor).unwrap(), Some(DownMsg::End));
+        assert_eq!(read_down(&mut cursor).unwrap(), None);
+    }
+
+    #[test]
+    fn truncated_hello_is_invalid_data() {
+        let mut wire = Vec::new();
+        write_hello(&mut wire, &SessionSpec::default(), 2).unwrap();
+        wire.truncate(wire.len() - 3);
+        assert!(read_hello(&mut std::io::Cursor::new(wire)).is_err());
+    }
+}

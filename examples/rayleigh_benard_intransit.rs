@@ -29,6 +29,9 @@ fn main() {
         policy: QueuePolicy::Block,
         mode: EndpointMode::NoTransport,
         sched: Default::default(),
+        wire: Default::default(),
+        staging_consumers: 0,
+        staging_dir: None,
         image_size: (800, 600),
         output_dir: None,
         faults: commsim::FaultPlan::none(),

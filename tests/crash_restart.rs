@@ -128,6 +128,9 @@ fn intransit_crash_restores_and_completes_with_one_recovery() {
         policy: QueuePolicy::Block,
         mode: EndpointMode::Checkpointing,
         sched: Default::default(),
+        wire: Default::default(),
+        staging_consumers: 0,
+        staging_dir: None,
         image_size: (32, 24),
         output_dir: None,
         faults: FaultPlan {

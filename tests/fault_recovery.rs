@@ -23,6 +23,9 @@ fn faulty_config(steps: usize, faults: FaultPlan) -> InTransitConfig {
         policy: QueuePolicy::Block,
         mode: EndpointMode::Checkpointing,
         sched: Default::default(),
+        wire: Default::default(),
+        staging_consumers: 0,
+        staging_dir: None,
         image_size: (64, 48),
         output_dir: None,
         faults,
@@ -162,7 +165,7 @@ fn delivered_log(plan: FaultPlan, steps: u64) -> Vec<(u64, Vec<usize>)> {
     let reader_thread = std::thread::spawn(move || {
         run_ranks_with_state(MachineModel::test_tiny(), readers, |comm, mut reader| {
             let mut log = Vec::new();
-            while let Some(d) = reader.recv_step(comm) {
+            while let Some(d) = reader.recv_step(comm).unwrap() {
                 log.push((d.step, d.missing.clone()));
             }
             log
@@ -290,6 +293,127 @@ mod determinism {
             let first = delivered_log(plan.clone(), 10);
             let second = delivered_log(plan, 10);
             prop_assert_eq!(first, second);
+        }
+    }
+}
+
+mod wire_framing {
+    use meshdata::{CellType, DataArray, MultiBlock, UnstructuredGrid};
+    use proptest::collection::vec;
+    use proptest::prelude::*;
+    use std::io::Write as _;
+    use transport::engine::{Packet, PacketKind};
+    use transport::wire::{encode_packet, loopback_listener, read_frame, WireRecvError};
+    use transport::{frame_crc_ok, marshal_blocks, unmarshal_blocks};
+
+    /// A real marshaled BP payload for one producer's tiny line mesh.
+    fn bp_payload(producer: u32, step: u64, n: usize) -> Vec<u8> {
+        let mut g = UnstructuredGrid::new();
+        for i in 0..n {
+            g.add_point([i as f64, 0.5, -0.5]);
+        }
+        for i in 1..n {
+            g.add_cell(CellType::Line, &[i as i64 - 1, i as i64]);
+        }
+        g.add_point_data(DataArray::scalars_f64(
+            "pressure",
+            (0..n).map(|i| i as f64 + producer as f64).collect(),
+        ))
+        .expect("matching length");
+        let mb = MultiBlock::local(producer as usize, 64, g);
+        marshal_blocks(producer, step, step as f64 * 0.1, &mb)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        /// BP frames survive any TCP framing the kernel (or an adversary)
+        /// chooses: the encoded packet stream is written over a real
+        /// loopback socket in arbitrary chunk sizes — splitting frames
+        /// mid-header and coalescing several frames into one write — and
+        /// every frame decodes bit-exactly. With a truncated tail, every
+        /// complete frame still decodes and the cut surfaces as a
+        /// `ShortRead`, never as a clean end-of-stream.
+        #[test]
+        fn bp_frames_survive_adversarial_tcp_framing(
+            frames in vec((0u32..8, 1u64..1000, 2usize..6), 1..4),
+            chunk_sizes in vec(1usize..97, 1..8),
+            truncate in 0u8..2,
+        ) {
+            let packets: Vec<Packet> = frames
+                .iter()
+                .map(|&(producer, step, n)| Packet {
+                    kind: PacketKind::Data,
+                    producer: producer as usize,
+                    step,
+                    time: step as f64 * 0.1,
+                    t_avail: step as f64 * 0.2,
+                    payload: bp_payload(producer, step, n),
+                })
+                .collect();
+            let mut stream_bytes = Vec::new();
+            for p in &packets {
+                stream_bytes.extend_from_slice(&encode_packet(p));
+            }
+            let truncate = truncate == 1;
+            let mut expect_complete = packets.len();
+            if truncate {
+                // Cut inside the last frame's body (past its length
+                // prefix, before its end).
+                let last_len = encode_packet(packets.last().unwrap()).len();
+                let cut = stream_bytes.len() - last_len + 5;
+                stream_bytes.truncate(cut);
+                expect_complete -= 1;
+            }
+
+            let (listener, port) = loopback_listener().expect("loopback");
+            let writer = std::thread::spawn(move || {
+                let mut s =
+                    std::net::TcpStream::connect(format!("127.0.0.1:{port}")).unwrap();
+                s.set_nodelay(true).ok();
+                // Adversarial framing: replay the byte stream in the
+                // generated chunk sizes, cycling through them.
+                let mut off = 0;
+                let mut i = 0;
+                while off < stream_bytes.len() {
+                    let take = chunk_sizes[i % chunk_sizes.len()].min(stream_bytes.len() - off);
+                    s.write_all(&stream_bytes[off..off + take]).unwrap();
+                    s.flush().ok();
+                    off += take;
+                    i += 1;
+                }
+            });
+            let (mut conn, _) = listener.accept().expect("accept");
+            let mut got = Vec::new();
+            let tail = loop {
+                match read_frame(&mut conn) {
+                    Ok(Some(p)) => got.push(p),
+                    Ok(None) => break Ok(()),
+                    Err(e) => break Err(e),
+                }
+            };
+            writer.join().unwrap();
+
+            prop_assert_eq!(got.len(), expect_complete);
+            for (sent, rx) in packets.iter().zip(&got) {
+                prop_assert_eq!(rx.producer, sent.producer);
+                prop_assert_eq!(rx.step, sent.step);
+                prop_assert_eq!(rx.time.to_bits(), sent.time.to_bits());
+                prop_assert_eq!(rx.t_avail.to_bits(), sent.t_avail.to_bits());
+                prop_assert_eq!(&rx.payload, &sent.payload);
+                // The payload is still a CRC-clean BP frame end to end.
+                prop_assert!(frame_crc_ok(&rx.payload));
+                let sd = unmarshal_blocks(&rx.payload).expect("roundtrip");
+                prop_assert_eq!(sd.step, sent.step);
+            }
+            if truncate {
+                prop_assert!(
+                    matches!(tail, Err(WireRecvError::ShortRead { .. })),
+                    "truncated tail must surface as a short read, got {:?}",
+                    tail
+                );
+            } else {
+                prop_assert!(tail.is_ok(), "clean stream ended with {:?}", tail);
+            }
         }
     }
 }

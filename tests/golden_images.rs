@@ -118,6 +118,9 @@ fn rbc_intransit_frames_match_goldens() {
         policy: QueuePolicy::Block,
         mode: EndpointMode::Catalyst,
         sched: Default::default(),
+        wire: Default::default(),
+        staging_consumers: 0,
+        staging_dir: None,
         image_size: (64, 48),
         output_dir: Some(dir.clone()),
         faults: commsim::FaultPlan::none(),

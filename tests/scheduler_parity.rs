@@ -200,6 +200,9 @@ fn intransit_cfg(steps: usize, sched: SchedMode, faults: FaultPlan) -> InTransit
         policy: QueuePolicy::Block,
         mode: EndpointMode::Catalyst,
         sched,
+        wire: Default::default(),
+        staging_consumers: 0,
+        staging_dir: None,
         image_size: (64, 48),
         output_dir: None,
         faults,

@@ -55,7 +55,7 @@ fn discard_policy_loses_steps_but_keeps_the_stream_consistent() {
     let endpoint = std::thread::spawn(move || {
         run_ranks_with_state(MachineModel::test_tiny(), readers, |comm, mut reader| {
             let mut steps = Vec::new();
-            while let Some(delivery) = reader.recv_step(comm) {
+            while let Some(delivery) = reader.recv_step(comm).unwrap() {
                 // Discarded steps surface as skip-marker partials; only
                 // complete deliveries carry payloads.
                 if !delivery.is_complete() {

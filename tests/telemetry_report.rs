@@ -186,6 +186,9 @@ fn intransit_degradation_is_visible_in_the_event_log() {
         policy: QueuePolicy::Block,
         mode: EndpointMode::Checkpointing,
         sched: Default::default(),
+        wire: Default::default(),
+        staging_consumers: 0,
+        staging_dir: None,
         image_size: (64, 48),
         output_dir: None,
         faults: FaultPlan::with_link(

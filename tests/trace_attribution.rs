@@ -27,6 +27,9 @@ fn traced_intransit(sim_ranks: usize, mode: EndpointMode) -> InTransitConfig {
         policy: QueuePolicy::Block,
         mode,
         sched: Default::default(),
+        wire: Default::default(),
+        staging_consumers: 0,
+        staging_dir: None,
         image_size: (80, 60),
         output_dir: None,
         faults: FaultPlan::none(),
