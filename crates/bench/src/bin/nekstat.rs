@@ -4,23 +4,49 @@
 //!
 //! ```text
 //! nekstat reports/fig2_catalyst_7ranks.report.json            # summary
+//! nekstat summary report.json --json                          # machine summary
 //! nekstat before.report.json after.report.json                # diff
+//! nekstat critical-path report.json [--json]                  # dominant chain
+//! nekstat --follow 127.0.0.1:4455 [--json] [--max-snapshots N]
 //! ```
+//!
+//! `critical-path` reads the `critical` block a traced run embeds in
+//! its report and names the dominant (rank, phase) chain, per-step
+//! breakdown, and per-rank slack. `--follow` attaches a live telemetry
+//! session to a running `staging_bench`/figure process (its staging
+//! consumer port) and prints one line per streamed delta snapshot;
+//! detaching (ctrl-C or `--max-snapshots`) never perturbs the run.
 
 use bench_harness::{fmt_secs, format_table};
 use std::collections::BTreeMap;
-use telemetry::{EventKind, MetricValue, RunReport};
+use telemetry::{json, EventKind, MetricValue, RunReport};
+
+/// Schema tag of `nekstat summary --json` output.
+const SUMMARY_SCHEMA: &str = "nekstat/summary/v1";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.as_slice() {
-        [path] => summarize(&load(path)),
-        [a, b] => diff(&load(a), &load(b)),
-        _ => {
-            eprintln!("usage: nekstat <report.json> [other-report.json]");
-            std::process::exit(2);
-        }
+    match args.first().map(String::as_str) {
+        Some("critical-path") => critical_path_cmd(&args[1..]),
+        Some("summary") => summary_cmd(&args[1..]),
+        Some("--follow") => follow_cmd(&args[1..]),
+        Some("diff") if args.len() == 3 => diff(&load(&args[1]), &load(&args[2])),
+        _ => match args.as_slice() {
+            [path] => summarize(&load(path)),
+            [a, b] => diff(&load(a), &load(b)),
+            _ => usage(),
+        },
     }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: nekstat <report.json> [other-report.json]\n\
+         \x20      nekstat summary <report.json> [--json]\n\
+         \x20      nekstat critical-path <report.json> [--json]\n\
+         \x20      nekstat --follow <host:port> [--json] [--max-snapshots N]"
+    );
+    std::process::exit(2);
 }
 
 fn load(path: &str) -> RunReport {
@@ -74,7 +100,9 @@ enum Agg {
     Histogram {
         count: u64,
         p50: f64,
+        p90: f64,
         p95: f64,
+        p99: f64,
         max: f64,
     },
 }
@@ -126,7 +154,9 @@ fn aggregate(report: &RunReport) -> BTreeMap<String, Agg> {
                     Agg::Histogram {
                         count: h.count,
                         p50: h.p50,
+                        p90: h.p90,
                         p95: h.p95,
+                        p99: h.p99,
                         max: h.max,
                     },
                 );
@@ -140,14 +170,18 @@ fn aggregate(report: &RunReport) -> BTreeMap<String, Agg> {
                 Some(Agg::Histogram {
                     count,
                     p50,
+                    p90,
                     p95,
+                    p99,
                     max,
                 }),
                 MetricValue::Histogram(h),
             ) => {
                 *count += h.count;
                 *p50 = p50.max(h.p50);
+                *p90 = p90.max(h.p90);
                 *p95 = p95.max(h.p95);
+                *p99 = p99.max(h.p99);
                 *max = max.max(h.max);
             }
             // Mixed types under one base name: keep the first.
@@ -198,12 +232,16 @@ fn agg_cell(a: &Agg) -> String {
         Agg::Histogram {
             count,
             p50,
+            p90,
             p95,
+            p99,
             max,
         } => format!(
-            "n={count} p50={} p95={} max={}",
+            "n={count} p50={} p90={} p95={} p99={} max={}",
             fmt_secs(*p50),
+            fmt_secs(*p90),
             fmt_secs(*p95),
+            fmt_secs(*p99),
             fmt_secs(*max)
         ),
     }
@@ -397,6 +435,308 @@ fn diff(a: &RunReport, b: &RunReport) {
         let cb = b.events_of(kind).count();
         if ca + cb > 0 {
             println!("{}: {ca} -> {cb}", kind.as_str());
+        }
+    }
+}
+
+/// `nekstat summary <report> [--json]` — the human summary, or a
+/// machine-readable `nekstat/summary/v1` document.
+fn summary_cmd(args: &[String]) {
+    let json_out = args.iter().any(|a| a == "--json");
+    let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
+        usage();
+    };
+    let r = load(path);
+    if !json_out {
+        summarize(&r);
+        return;
+    }
+    let aggs = aggregate(&r);
+    let m = &r.manifest;
+    let mut o = String::from("{\n  \"schema\": ");
+    json::push_str(&mut o, SUMMARY_SCHEMA);
+    o.push_str(",\n  \"manifest\": {");
+    for (i, (key, val)) in [
+        ("case", &m.case),
+        ("workflow", &m.workflow),
+        ("mode", &m.mode),
+        ("exec", &m.exec),
+        ("sched", &m.sched),
+        ("wire", &m.wire),
+        ("machine", &m.machine),
+        ("fault_plan", &m.fault_plan),
+    ]
+    .iter()
+    .enumerate()
+    {
+        if i > 0 {
+            o.push_str(", ");
+        }
+        o.push_str(&format!("\"{key}\": "));
+        json::push_str(&mut o, val);
+    }
+    o.push_str(&format!(
+        ", \"ranks\": {}, \"endpoint_ranks\": {}, \"steps\": {}, \"trigger_every\": {}, \"pool_threads\": {}, \"pipeline_depth\": {}}}",
+        m.ranks, m.endpoint_ranks, m.steps, m.trigger_every, m.pool_threads, m.pipeline_depth
+    ));
+    let n = r.series.len();
+    let total: f64 = r.series.iter().map(|s| s.t_end - s.t_start).sum();
+    let max = r
+        .series
+        .iter()
+        .map(|s| s.t_end - s.t_start)
+        .fold(0.0, f64::max);
+    o.push_str(&format!(
+        ",\n  \"series\": {{\"samples\": {n}, \"evicted\": {}, \"mean_s\": ",
+        r.evicted_samples
+    ));
+    json::push_f64(&mut o, if n > 0 { total / n as f64 } else { 0.0 });
+    o.push_str(", \"p95_s\": ");
+    json::push_f64(&mut o, r.step_time_p95());
+    o.push_str(", \"max_s\": ");
+    json::push_f64(&mut o, max);
+    o.push_str(", \"backpressure_wait_s\": ");
+    json::push_f64(&mut o, r.total_backpressure_wait());
+    o.push_str("},\n  \"metrics\": {");
+    for (i, (name, agg)) in aggs.iter().enumerate() {
+        if i > 0 {
+            o.push_str(", ");
+        }
+        o.push('\n');
+        o.push_str("    ");
+        json::push_str(&mut o, name);
+        o.push_str(": ");
+        match agg {
+            Agg::Counter(c) => o.push_str(&format!("{{\"kind\": \"counter\", \"value\": {c}}}")),
+            Agg::Gauge { sum, ranks, avg } => {
+                o.push_str("{\"kind\": \"gauge\", \"value\": ");
+                json::push_f64(&mut o, Agg::gauge_value(*sum, *ranks, *avg));
+                o.push('}');
+            }
+            Agg::Histogram {
+                count,
+                p50,
+                p90,
+                p95,
+                p99,
+                max,
+            } => {
+                o.push_str(&format!("{{\"kind\": \"histogram\", \"count\": {count}"));
+                for (key, v) in [
+                    ("p50", *p50),
+                    ("p90", *p90),
+                    ("p95", *p95),
+                    ("p99", *p99),
+                    ("max", *max),
+                ] {
+                    o.push_str(&format!(", \"{key}\": "));
+                    json::push_f64(&mut o, v);
+                }
+                o.push('}');
+            }
+        }
+    }
+    o.push_str("\n  },\n  \"sessions\": [");
+    for (i, row) in session_table(&aggs).iter().enumerate() {
+        if i > 0 {
+            o.push_str(", ");
+        }
+        o.push_str(&format!(
+            "{{\"id\": {}, \"frames_sent\": {}, \"bytes_sent\": {}, \"cache_hits\": {}, \"catchup_steps\": {}}}",
+            row[0], row[1], row[2], row[3], row[4]
+        ));
+    }
+    o.push_str(&format!("],\n  \"events\": {}\n}}\n", r.events.len()));
+    print!("{o}");
+}
+
+/// `nekstat critical-path <report> [--json]` — name the dominant
+/// (rank, phase) chain from the report's embedded critical block.
+fn critical_path_cmd(args: &[String]) {
+    let json_out = args.iter().any(|a| a == "--json");
+    let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
+        usage();
+    };
+    let r = load(path);
+    let Some(c) = &r.critical else {
+        eprintln!(
+            "nekstat: {path} has no critical block (run with tracing enabled: \
+             the workflow drivers embed it when --trace is on)"
+        );
+        std::process::exit(1);
+    };
+    if json_out {
+        let mut o = String::new();
+        telemetry::push_critical(&mut o, c);
+        o.push('\n');
+        print!("{o}");
+        return;
+    }
+    println!(
+        "critical path: {} across {} segments ({} steps analyzed)",
+        fmt_secs(c.total),
+        c.segments,
+        c.steps.len()
+    );
+    if let Some(d) = c.dominant() {
+        println!(
+            "dominant: pid{} rank{} {} — {} ({:.1}% of the chain)",
+            d.pid,
+            d.rank,
+            d.phase,
+            fmt_secs(d.secs),
+            if c.total > 0.0 { d.secs / c.total * 100.0 } else { 0.0 }
+        );
+    }
+    if !c.contrib.is_empty() {
+        let rows: Vec<Vec<String>> = c
+            .contrib
+            .iter()
+            .map(|x| {
+                vec![
+                    x.pid.to_string(),
+                    x.rank.to_string(),
+                    x.phase.clone(),
+                    fmt_secs(x.secs),
+                    if c.total > 0.0 {
+                        format!("{:.1}%", x.secs / c.total * 100.0)
+                    } else {
+                        "0.0%".into()
+                    },
+                ]
+            })
+            .collect();
+        println!("\ncritical-path contributors");
+        print!(
+            "{}",
+            format_table(&["pid", "rank", "phase", "time", "share"], &rows)
+        );
+    }
+    if !c.steps.is_empty() {
+        let rows: Vec<Vec<String>> = c
+            .steps
+            .iter()
+            .map(|s| {
+                let top = s
+                    .contrib
+                    .first()
+                    .map(|x| format!("{} @ pid{} rank{}", x.phase, x.pid, x.rank))
+                    .unwrap_or_else(|| "-".into());
+                vec![
+                    s.step.to_string(),
+                    format!("{}..{}", fmt_secs(s.t_from), fmt_secs(s.t_to)),
+                    fmt_secs(s.total),
+                    top,
+                ]
+            })
+            .collect();
+        println!("\nper-step critical path");
+        print!(
+            "{}",
+            format_table(&["step", "window", "total", "top contributor"], &rows)
+        );
+    }
+    if !c.slack.is_empty() {
+        let mut slack = c.slack.clone();
+        slack.sort_by(|a, b| b.wait_s.total_cmp(&a.wait_s));
+        let rows: Vec<Vec<String>> = slack
+            .iter()
+            .take(8)
+            .map(|s| {
+                vec![
+                    s.pid.to_string(),
+                    s.rank.to_string(),
+                    fmt_secs(s.wait_s),
+                ]
+            })
+            .collect();
+        println!("\nper-rank slack (blocking wait off the critical path, top {})", rows.len());
+        print!("{}", format_table(&["pid", "rank", "wait"], &rows));
+    }
+}
+
+/// Sum every counter whose rank-stripped base name equals `base` over a
+/// merged live-metric state.
+fn live_counter_sum(state: &BTreeMap<String, json::Value>, base: &str) -> u64 {
+    state
+        .iter()
+        .filter(|(name, _)| base_name(name).0 == base)
+        .filter_map(|(_, v)| {
+            (v.get("kind")?.as_str()? == "counter").then(|| v.get("value")?.as_u64())?
+        })
+        .sum()
+}
+
+/// `nekstat --follow <host:port> [--json] [--max-snapshots N]` — attach
+/// a live telemetry session and print one line per delta snapshot.
+fn follow_cmd(args: &[String]) {
+    let json_out = args.iter().any(|a| a == "--json");
+    let max_snapshots: Option<u64> = args
+        .iter()
+        .position(|a| a == "--max-snapshots")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok());
+    let Some(addr) = args
+        .iter()
+        .enumerate()
+        .find(|(i, a)| {
+            !a.starts_with("--")
+                && args.get(i.wrapping_sub(1)).map(String::as_str) != Some("--max-snapshots")
+        })
+        .map(|(_, a)| a)
+    else {
+        usage();
+    };
+    let mut client = transport::FollowClient::connect(addr).unwrap_or_else(|e| {
+        eprintln!("nekstat: cannot attach to {addr}: {e}");
+        std::process::exit(1);
+    });
+    let mut state: BTreeMap<String, json::Value> = BTreeMap::new();
+    let mut received = 0u64;
+    loop {
+        let snap = match client.next_snapshot(std::time::Duration::from_secs(30)) {
+            Ok(Some(s)) => s,
+            Ok(None) => {
+                if !json_out {
+                    println!("stream ended after {received} snapshots");
+                }
+                return;
+            }
+            Err(e) => {
+                eprintln!("nekstat: follow stream error: {e}");
+                std::process::exit(1);
+            }
+        };
+        received += 1;
+        if json_out {
+            println!("{}", snap.json);
+        } else {
+            let doc = json::parse(&snap.json).unwrap_or_else(|e| {
+                eprintln!("nekstat: malformed snapshot: {e}");
+                std::process::exit(1);
+            });
+            let mut changed = 0usize;
+            if let Some(json::Value::Obj(metrics)) = doc.get("metrics").cloned() {
+                changed = metrics.len();
+                state.extend(metrics);
+            }
+            println!(
+                "snap {:>4} ({}, {} changed) | steps={} frames={} KiB={:.1} credit_stalls={} retries={}",
+                snap.seq,
+                if snap.seq == 0 { "full" } else { "delta" },
+                changed,
+                live_counter_sum(&state, "staging/steps"),
+                live_counter_sum(&state, "staging/frames_sent"),
+                live_counter_sum(&state, "staging/bytes_sent") as f64 / 1024.0,
+                live_counter_sum(&state, "staging/credit_stalls"),
+                live_counter_sum(&state, "transport/retries"),
+            );
+        }
+        if max_snapshots.is_some_and(|m| received >= m) {
+            if !json_out {
+                println!("detaching after {received} snapshots (run continues unharmed)");
+            }
+            return;
         }
     }
 }

@@ -14,12 +14,16 @@
 //! Usage: `perf_report [--quick] [--out BENCH_sem.json] [--baseline PATH]`
 //!
 //! `--baseline PATH` compares each bench median against a committed
-//! earlier `BENCH_sem.json` and prints warnings for drifts beyond ±15%.
-//! For the solver benches (`ns_step`, `sem_operators`) a *slowdown*
-//! beyond tolerance is a hard failure (exit 1) — but only when the
-//! current host's thread count matches the baseline's, since medians
-//! from differently-sized hosts are not comparable. Render/transport
-//! benches stay warn-only (too image/IO-noise-dominated to gate on).
+//! earlier `BENCH_sem.json` with a noise-aware gate: drift is measured
+//! in units of the *effective MAD* — the larger of the baseline MAD,
+//! the current MAD, and 1% of the baseline median — so quiet benches
+//! get tight tolerances and noisy ones get slack automatically. Drifts
+//! beyond 2·MAD warn; for the solver benches (`ns_step`,
+//! `sem_operators`) a *slowdown* beyond 4·MAD is a hard failure
+//! (exit 1) — but only when the current host's thread count matches
+//! the baseline's, since medians from differently-sized hosts are not
+//! comparable. Render/transport benches stay warn-only (too
+//! image/IO-noise-dominated to gate on).
 
 use commsim::{run_ranks, Comm, MachineModel};
 use criterion::{measure, Stats};
@@ -271,18 +275,31 @@ fn write_report(
     println!("wrote {path}");
 }
 
-/// Tolerated relative drift of a bench median against the baseline.
-const BASELINE_TOLERANCE: f64 = 0.15;
+/// Drift beyond this many effective MADs prints a warning.
+const WARN_MADS: f64 = 2.0;
 
-/// Benches where a slowdown beyond tolerance fails the run (the solver
-/// hot path this repo optimizes). Render/transport benches stay
-/// warn-only.
+/// A gated-bench *slowdown* beyond this many effective MADs fails.
+const FAIL_MADS: f64 = 4.0;
+
+/// Floor on the effective MAD as a fraction of the baseline median, so
+/// a freakishly quiet sample set (MAD ≈ 0) cannot turn measurement
+/// jitter into a hard failure.
+const MAD_FLOOR_FRAC: f64 = 0.01;
+
+/// Benches where a slowdown beyond the failure threshold fails the run
+/// (the solver hot path this repo optimizes). Render/transport benches
+/// stay warn-only.
 const GATED_BENCHES: [&str; 2] = ["ns_step", "sem_operators"];
 
-/// Compare `results` against a committed `BENCH_sem.json`. Returns the
-/// number of *blocking* regressions: gated benches that got slower than
-/// tolerance while the host's thread count matches the baseline's (a
-/// baseline recorded on a differently-sized host is informational only —
+/// Compare `results` against a committed `BENCH_sem.json` with a
+/// noise-aware gate: the unit of drift is the **effective MAD** —
+/// `max(baseline mad_s, current mad_s, 1% of the baseline median)` —
+/// so the tolerance scales with how noisy the bench actually is
+/// instead of a fixed percentage. Drifts beyond [`WARN_MADS`] warn;
+/// gated-bench slowdowns beyond [`FAIL_MADS`] block. Returns the
+/// number of *blocking* regressions: gated benches that regressed
+/// while the host's thread count matches the baseline's (a baseline
+/// recorded on a differently-sized host is informational only —
 /// wall-clock medians across host shapes are not comparable).
 fn compare_baseline(path: &str, host_threads: usize, results: &[BenchResult]) -> usize {
     let text = match std::fs::read_to_string(path) {
@@ -313,9 +330,8 @@ fn compare_baseline(path: &str, host_threads: usize, results: &[BenchResult]) ->
         );
     }
     println!(
-        "baseline comparison vs {path} (±{:.0}% tolerance; blocking for {:?} slowdowns{}):",
-        BASELINE_TOLERANCE * 100.0,
-        GATED_BENCHES,
+        "baseline comparison vs {path} (warn > {WARN_MADS:.0}·MAD, fail > {FAIL_MADS:.0}·MAD \
+         slowdowns for {GATED_BENCHES:?}{}):",
         if comparable { "" } else { " — suspended" }
     );
     let mut drifted = 0usize;
@@ -325,48 +341,53 @@ fn compare_baseline(path: &str, host_threads: usize, results: &[BenchResult]) ->
             b.get("name").and_then(|v| v.as_str()) == Some(r.name)
                 && b.get("threads").and_then(|v| v.as_u64()) == Some(r.threads as u64)
         });
-        let Some(median) = base
-            .and_then(|b| b.get("median_s"))
-            .and_then(|v| v.as_f64())
-        else {
+        let Some(base) = base else {
             println!(
                 "  {:<18} threads={:<3} no baseline entry",
                 r.name, r.threads
             );
             continue;
         };
+        let Some(median) = base.get("median_s").and_then(|v| v.as_f64()) else {
+            continue;
+        };
         if median <= 0.0 {
             continue;
         }
-        let drift = r.stats.median_s / median - 1.0;
-        if drift.abs() > BASELINE_TOLERANCE {
+        // Older baselines may lack mad_s; the median floor covers them.
+        let base_mad = base.get("mad_s").and_then(|v| v.as_f64()).unwrap_or(0.0);
+        let mad_eff = base_mad
+            .max(r.stats.mad_s)
+            .max(median * MAD_FLOOR_FRAC);
+        let drift = r.stats.median_s - median;
+        let mads = drift / mad_eff;
+        let pct = drift / median * 100.0;
+        if mads.abs() > WARN_MADS {
             drifted += 1;
-            let gated = comparable && GATED_BENCHES.contains(&r.name) && drift > 0.0;
+            let gated = comparable && GATED_BENCHES.contains(&r.name) && mads > FAIL_MADS;
             if gated {
                 blocking += 1;
             }
             println!(
-                "  {} {:<10} threads={:<3} {:+.1}% vs baseline ({:.3} ms -> {:.3} ms)",
+                "  {} {:<10} threads={:<3} {:+.1}·MAD ({:+.1}%) vs baseline ({:.3} ms -> {:.3} ms, MAD {:.3} ms)",
                 if gated { "FAIL   " } else { "WARNING" },
                 r.name,
                 r.threads,
-                drift * 100.0,
+                mads,
+                pct,
                 median * 1e3,
-                r.stats.median_s * 1e3
+                r.stats.median_s * 1e3,
+                mad_eff * 1e3
             );
         } else {
             println!(
-                "  ok      {:<10} threads={:<3} {:+.1}%",
-                r.name,
-                r.threads,
-                drift * 100.0
+                "  ok      {:<10} threads={:<3} {:+.1}·MAD ({:+.1}%)",
+                r.name, r.threads, mads, pct
             );
         }
     }
     if drifted > 0 {
-        println!(
-            "baseline: {drifted} bench(es) drifted beyond tolerance ({blocking} blocking)"
-        );
+        println!("baseline: {drifted} bench(es) drifted beyond {WARN_MADS:.0}·MAD ({blocking} blocking)");
     }
     blocking
 }

@@ -35,6 +35,7 @@ struct Args {
     wire: WireKind,
     consumers: usize,
     steps: u64,
+    step_delay: Duration,
     role: String,
     connect: Option<String>,
     port_file: Option<PathBuf>,
@@ -46,6 +47,7 @@ fn parse_args() -> Args {
         wire: WireKind::from_env(),
         consumers: 3,
         steps: 6,
+        step_delay: Duration::ZERO,
         role: "all".into(),
         connect: None,
         port_file: None,
@@ -66,13 +68,17 @@ fn parse_args() -> Args {
                 args.consumers = it.next().and_then(|v| v.parse().ok()).unwrap_or(3)
             }
             "--steps" => args.steps = it.next().and_then(|v| v.parse().ok()).unwrap_or(6),
+            "--step-delay-ms" => {
+                args.step_delay =
+                    Duration::from_millis(it.next().and_then(|v| v.parse().ok()).unwrap_or(0))
+            }
             "--role" => args.role = it.next().unwrap_or_else(|| "all".into()),
             "--connect" => args.connect = it.next(),
             "--port-file" => args.port_file = it.next().map(Into::into),
             "--report-out" => args.report_out = it.next().map(Into::into),
             "--help" | "-h" => {
                 eprintln!(
-                    "flags: --wire channel|tcp | --consumers N | --steps N | --report-out DIR | --role all|writer|staging|consumer | --connect HOST:PORT | --port-file FILE"
+                    "flags: --wire channel|tcp | --consumers N | --steps N | --step-delay-ms N | --report-out DIR | --role all|writer|staging|consumer | --connect HOST:PORT | --port-file FILE"
                 );
                 std::process::exit(0);
             }
@@ -102,12 +108,22 @@ fn block(rank: usize, nranks: usize) -> MultiBlock {
     MultiBlock::local(rank, nranks, g)
 }
 
-/// Drive `writers` through `steps` triggered steps on their own sim world.
-fn drive_writers(writers: Vec<SstWriter>, steps: u64) -> std::thread::JoinHandle<()> {
+/// Drive `writers` through `steps` triggered steps on their own sim
+/// world. A nonzero `step_delay` sleeps real time between steps so a
+/// live follower has a running process to watch (the virtual clock is
+/// untouched — pacing changes wall time only).
+fn drive_writers(
+    writers: Vec<SstWriter>,
+    steps: u64,
+    step_delay: Duration,
+) -> std::thread::JoinHandle<()> {
     std::thread::spawn(move || {
         run_ranks_with_state(MachineModel::test_tiny(), writers, move |comm, writer| {
             let mut analysis = TransportAnalysis::new("mesh", vec!["pressure".into()], writer);
             for step in 1..=steps {
+                if !step_delay.is_zero() {
+                    comm.external_wait(|| std::thread::sleep(step_delay));
+                }
                 let mut da = insitu::data_adaptor::StaticDataAdaptor::new(
                     "mesh",
                     block(comm.rank(), comm.size()),
@@ -227,7 +243,7 @@ fn run_all(args: &Args) {
         .collect();
     let hub = TelemetryHub::default();
     let start = Instant::now();
-    let sim = drive_writers(writers, args.steps);
+    let sim = drive_writers(writers, args.steps, args.step_delay);
     let report = run_service(service, hub.clone());
     sim.join().unwrap();
     let elapsed = start.elapsed();
@@ -261,7 +277,9 @@ fn run_writer(args: &Args) {
         WriterConfig::default(),
     )
     .expect("connect to staging data port");
-    drive_writers(vec![writer], args.steps).join().unwrap();
+    drive_writers(vec![writer], args.steps, args.step_delay)
+        .join()
+        .unwrap();
     println!("writer: {} steps sent to {addr}", args.steps);
 }
 
@@ -286,9 +304,11 @@ fn run_staging(args: &Args) {
     }
     println!("staging: data port {data_port}, consumer port {consumer_port}");
     let reader = StagingNetwork::tcp_reader(data_listener, vec![0], 16, FaultPlan::none());
-    let service = StagingService::new(reader, 1, &dir, 32);
-    service.listen_consumers(consumer_listener);
+    let mut service = StagingService::new(reader, 1, &dir, 32);
     let hub = TelemetryHub::default();
+    // Follow sessions (`nekstat --follow`) share the consumer port.
+    service.set_live_hub(hub.clone());
+    service.listen_consumers(consumer_listener);
     let start = Instant::now();
     let report = run_service(service, hub.clone());
     print_summary(&report, start.elapsed());

@@ -65,6 +65,12 @@ struct Envelope {
     /// Virtual time at which the message is available at the receiver.
     t_avail: f64,
     nbytes: u64,
+    /// Sender's trace-context word ([`trace::pack_ctx`]); 0 when the
+    /// sender is untraced. Piggybacked so the receiver can record a
+    /// happens-before edge without any extra synchronization.
+    ctx: u64,
+    /// Sender's virtual clock at the moment of the send.
+    t_sent: f64,
     payload: Box<dyn Any + Send>,
 }
 
@@ -78,6 +84,10 @@ struct CollState {
     arrived: usize,
     departed: usize,
     times: Vec<f64>,
+    /// Per-rank trace-context words captured at rendezvous arrival (0 =
+    /// untraced). Lets each departing rank record a causal edge from the
+    /// critical contributor.
+    ctxs: Vec<u64>,
     inputs: Vec<Option<Box<dyn Any + Send>>>,
     result: Option<Arc<dyn Any + Send + Sync>>,
     out_time: f64,
@@ -134,6 +144,7 @@ impl World {
                 arrived: 0,
                 departed: 0,
                 times: vec![0.0; size],
+                ctxs: vec![0; size],
                 inputs: (0..size).map(|_| None).collect(),
                 result: None,
                 out_time: 0.0,
@@ -296,6 +307,25 @@ impl Comm {
         self.tracer.take()
     }
 
+    /// This rank's current trace-context word (0 when tracing is
+    /// disabled) — piggybacked on outgoing transport wire frames so
+    /// cross-world receivers can record causal edges.
+    pub fn trace_ctx(&self) -> u64 {
+        self.tracer.ctx_word()
+    }
+
+    /// Record a happens-before edge observed by this rank as a receiver
+    /// of an external (cross-world) payload. `src` is the sender's
+    /// context word as carried on the wire; no-op when it is 0 or when
+    /// tracing is disabled. Never touches the clock — call before any
+    /// `advance_to(t_ready)`.
+    pub fn trace_edge(&self, src: u64, t_send: f64, t_ready: f64, kind: trace::EdgeKind) {
+        if src != 0 {
+            self.tracer
+                .record_edge(src, t_send, t_ready, self.clock.now(), kind);
+        }
+    }
+
     // ------------------------------------------------------------------
     // Telemetry
     // ------------------------------------------------------------------
@@ -405,7 +435,8 @@ impl Comm {
     /// non-blocking, like a small MPI_Send.
     pub fn send<T: Send + 'static>(&mut self, dest: usize, tag: u64, value: T, nbytes: u64) {
         assert!(dest < self.world.size, "send to out-of-range rank {dest}");
-        let t_avail = self.clock.now() + self.world.machine.network.p2p_time(nbytes);
+        let t_sent = self.clock.now();
+        let t_avail = t_sent + self.world.machine.network.p2p_time(nbytes);
         self.stats.messages_sent += 1;
         self.stats.bytes_sent += nbytes;
         let env = Envelope {
@@ -413,6 +444,8 @@ impl Comm {
             tag,
             t_avail,
             nbytes,
+            ctx: self.tracer.ctx_word(),
+            t_sent,
             payload: Box::new(value),
         };
         // Receiver ends only drop after all senders are done (runner joins
@@ -521,6 +554,18 @@ impl Comm {
     }
 
     fn finish_recv<T: Send + 'static>(&mut self, env: Envelope) -> T {
+        if env.ctx != 0 {
+            // Record the happens-before edge before advancing: t_recv is
+            // the clock at match time, so `binding` captures whether this
+            // rank genuinely waited on the sender.
+            self.tracer.record_edge(
+                env.ctx,
+                env.t_sent,
+                env.t_avail,
+                self.clock.now(),
+                trace::EdgeKind::Message,
+            );
+        }
         let wait = env.t_avail - self.clock.now();
         if wait > 0.0 {
             self.stats.time_comm += wait;
@@ -567,6 +612,7 @@ impl Comm {
             }
         }
         st.times[self.rank] = self.clock.now();
+        st.ctxs[self.rank] = self.tracer.ctx_word();
         st.inputs[self.rank] = Some(Box::new(input));
         st.arrived += 1;
         if st.arrived == world.size {
@@ -619,6 +665,28 @@ impl Comm {
             .downcast::<R>()
             .expect("collective result type mismatch");
         let out_time = st.out_time;
+        // Causal edge from the critical contributor: the last rank to
+        // arrive (lowest rank among virtual-time ties). Deterministic in
+        // both sched modes because `times` is — it holds virtual clocks,
+        // not wall clocks.
+        let crit = st
+            .times
+            .iter()
+            .enumerate()
+            .max_by(|(ia, a), (ib, b)| a.total_cmp(b).then(ib.cmp(ia)))
+            .map(|(i, t)| (i, *t));
+        if let Some((crit_rank, t_max)) = crit {
+            let src = st.ctxs[crit_rank];
+            if src != 0 {
+                self.tracer.record_edge(
+                    src,
+                    t_max,
+                    out_time,
+                    self.clock.now(),
+                    trace::EdgeKind::Collective,
+                );
+            }
+        }
         st.departed += 1;
         if st.departed == world.size {
             st.arrived = 0;

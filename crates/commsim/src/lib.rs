@@ -57,7 +57,10 @@ pub use stats::CommStats;
 // direct `trace` dependency: they open spans through `Comm::span` and
 // only name these types in signatures.
 pub use trace::chrome::chrome_trace_json;
-pub use trace::{PhaseBreakdown, PhaseStat, RankPhases, RankTrace, Span, SpanGuard, Tracer};
+pub use trace::{
+    unpack_ctx, CausalEdge, EdgeKind, PhaseBreakdown, PhaseStat, RankPhases, RankTrace, Span,
+    SpanGuard, Tracer,
+};
 // Same deal for the telemetry vocabulary: instrumented crates reach the
 // bus through `Comm::telemetry` / `Comm::telemetry_event` and only name
 // these types in signatures.

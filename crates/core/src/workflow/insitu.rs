@@ -235,7 +235,11 @@ fn report_from(
         .map(|(_, _, peak)| *peak)
         .max()
         .unwrap_or(0);
-    let run_report = hub.map(|hub| {
+    // Critical path before collect: the step windows are a non-draining
+    // recorder peek, and the sem/critical_* gauges must be registered
+    // before the metrics snapshot.
+    let critical = crate::workflow::sampler::analyze_critical(&traces, hub);
+    let mut run_report = hub.map(|hub| {
         telemetry::RunReport::collect(
             insitu_manifest(cfg),
             hub,
@@ -243,6 +247,9 @@ fn report_from(
             memory_summary(&metrics.memory),
         )
     });
+    if let Some(r) = &mut run_report {
+        r.critical = critical;
+    }
     InSituReport {
         mode: cfg.mode,
         exec: cfg.exec,

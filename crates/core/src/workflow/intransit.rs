@@ -432,7 +432,11 @@ pub fn run_intransit(cfg: &InTransitConfig) -> InTransitReport {
     };
 
     let phases = (!traces.is_empty()).then(|| PhaseBreakdown::from_traces(&traces));
-    let run_report = hub.as_ref().map(|hub| {
+    // Critical path before collect: the step windows are a non-draining
+    // recorder peek, and the sem/critical_* gauges must be registered
+    // before the metrics snapshot.
+    let critical = crate::workflow::sampler::analyze_critical(&traces, hub.as_ref());
+    let mut run_report = hub.as_ref().map(|hub| {
         telemetry::RunReport::collect(
             telemetry::Manifest {
                 case: cfg.case.name.clone(),
@@ -456,6 +460,9 @@ pub fn run_intransit(cfg: &InTransitConfig) -> InTransitReport {
             memory_summary(&sim.memory),
         )
     });
+    if let Some(r) = &mut run_report {
+        r.critical = critical;
+    }
     InTransitReport {
         mode: cfg.mode,
         sim_ranks: cfg.sim_ranks,

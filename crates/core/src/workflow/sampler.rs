@@ -61,6 +61,33 @@ pub(crate) fn memory_summary(b: &MemoryBreakdown) -> MemorySummary {
     }
 }
 
+/// Critical-path analysis + `sem/critical_*` gauge publication for a
+/// traced run. Must run *before* `RunReport::collect`: the step windows
+/// come from a non-draining peek at the flight recorder, which collect
+/// drains. Returns the report so the driver can attach it to
+/// `RunReport::critical`. `None` when there are no traces (tracing off).
+pub(crate) fn analyze_critical(
+    traces: &[commsim::RankTrace],
+    hub: Option<&TelemetryHub>,
+) -> Option<trace::CriticalReport> {
+    if traces.is_empty() {
+        return None;
+    }
+    let bounds = hub.map(TelemetryHub::step_bounds).unwrap_or_default();
+    let critical = trace::critical::analyze(traces, &bounds);
+    if let Some(hub) = hub {
+        hub.gauge("sem/critical_total").set(critical.total);
+        if let Some(d) = critical.dominant() {
+            hub.gauge("sem/critical_dominant_secs").set(d.secs);
+            hub.gauge("sem/critical_dominant_pid").set(d.pid as f64);
+            hub.gauge("sem/critical_dominant_rank").set(d.rank as f64);
+        }
+        let max_slack = critical.slack.iter().map(|s| s.wait_s).fold(0.0, f64::max);
+        hub.gauge("sem/critical_max_slack").set(max_slack);
+    }
+    Some(critical)
+}
+
 /// Rank-0 per-step series sampler (see module docs).
 pub(crate) struct StepSampler {
     hub: TelemetryHub,

@@ -139,13 +139,22 @@ fn bucket_index(v: f64) -> usize {
     1 + ((e - E_MIN) as usize) * SUBS + sub
 }
 
-/// Geometric representative of bucket `i` (1-based within the linear
-/// range): midpoint of `[2^e (1 + s/16), 2^e (1 + (s+1)/16))`.
-fn bucket_mid(i: usize) -> f64 {
+/// Lower bound of linear bucket `i` (1-based within the linear range):
+/// `2^e (1 + s/16)`.
+fn bucket_lo(i: usize) -> f64 {
     let lin = i - 1;
     let e = E_MIN + (lin / SUBS) as i32;
     let s = (lin % SUBS) as f64;
-    (2.0f64).powi(e) * (1.0 + (s + 0.5) / SUBS as f64)
+    (2.0f64).powi(e) * (1.0 + s / SUBS as f64)
+}
+
+/// Upper bound of linear bucket `i`: the next bucket's lower bound
+/// (`2^e (1 + (s+1)/16)`, which for `s = 15` is exactly `2^(e+1)`).
+fn bucket_hi(i: usize) -> f64 {
+    let lin = i - 1;
+    let e = E_MIN + (lin / SUBS) as i32;
+    let s = (lin % SUBS) as f64 + 1.0;
+    (2.0f64).powi(e) * (1.0 + s / SUBS as f64)
 }
 
 /// Log-linear histogram with quantile readout. Cloning shares state;
@@ -162,10 +171,14 @@ pub struct HistogramSnapshot {
     pub count: u64,
     /// Sum of observed values.
     pub sum: f64,
-    /// Median (bucket-midpoint estimate, relative error ≤ 1/16).
+    /// Median (geometric in-bucket interpolation, relative error ≤ 1/16).
     pub p50: f64,
+    /// 90th percentile (same error bound).
+    pub p90: f64,
     /// 95th percentile (same error bound).
     pub p95: f64,
+    /// 99th percentile (same error bound).
+    pub p99: f64,
     /// Exact minimum observed.
     pub min: f64,
     /// Exact maximum observed.
@@ -203,8 +216,11 @@ impl Histogram {
         s.max_bits.fetch_max(v.to_bits(), Ordering::Relaxed);
     }
 
-    /// Estimate the `q`-quantile (`0 ≤ q ≤ 1`) from bucket counts.
-    /// Returns bucket midpoints clamped to the exact observed
+    /// Estimate the `q`-quantile (`0 ≤ q ≤ 1`) from bucket counts,
+    /// interpolating geometrically *within* the landing bucket by rank
+    /// fraction (a flat bucket-midpoint answer is discontinuous at
+    /// bucket boundaries: p50 and p90 of a bucket holding both would
+    /// read identical). Results are clamped to the exact observed
     /// `[min, max]`; zero when empty or disabled.
     pub fn quantile(&self, q: f64) -> f64 {
         let Some(s) = &self.state else { return 0.0 };
@@ -217,14 +233,21 @@ impl Histogram {
         let target = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (i, b) in s.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
+            let in_bucket = b.load(Ordering::Relaxed);
+            seen += in_bucket;
             if seen >= target {
                 let est = if i == 0 {
                     min
                 } else if i == N_BUCKETS + 1 {
                     max
                 } else {
-                    bucket_mid(i)
+                    // Rank of the target within this bucket (1-based),
+                    // mapped to the bucket's geometric span.
+                    let rank = target - (seen - in_bucket);
+                    let frac = (rank as f64 - 0.5) / in_bucket as f64;
+                    let lo = bucket_lo(i);
+                    let hi = bucket_hi(i);
+                    lo * (hi / lo).powf(frac)
                 };
                 return est.clamp(min, max);
             }
@@ -232,7 +255,7 @@ impl Histogram {
         max
     }
 
-    /// Full readout: count/sum exact, p50/p95 bucket estimates,
+    /// Full readout: count/sum exact, p50/p90/p95/p99 bucket estimates,
     /// min/max exact.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let Some(s) = &self.state else {
@@ -246,7 +269,9 @@ impl Histogram {
             count,
             sum: f64::from_bits(s.sum_bits.load(Ordering::Relaxed)),
             p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
             p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
             min: f64::from_bits(s.min_bits.load(Ordering::Relaxed)),
             max: f64::from_bits(s.max_bits.load(Ordering::Relaxed)),
         }
@@ -402,6 +427,38 @@ impl TelemetryHub {
     pub fn take_series(&self) -> (Vec<StepSample>, u64) {
         lock(&self.inner.recorder).take()
     }
+
+    /// Non-draining peek at the flight recorder's per-step windows:
+    /// `(step, t_start, t_end)` per retained sample, in step order.
+    /// Critical-path analysis needs the windows *before*
+    /// `RunReport::collect` drains the recorder.
+    pub fn step_bounds(&self) -> Vec<(u64, f64, f64)> {
+        lock(&self.inner.recorder).bounds()
+    }
+
+    /// Metrics that changed since `prev`, which is replaced with the
+    /// current snapshot — the delta engine behind live streaming. Both
+    /// lists are name-sorted, so the diff is one linear merge; an empty
+    /// `prev` yields the full snapshot.
+    pub fn delta_snapshot(
+        &self,
+        prev: &mut Vec<(String, MetricValue)>,
+    ) -> Vec<(String, MetricValue)> {
+        let cur = self.metrics_snapshot();
+        let mut delta = Vec::new();
+        let mut pi = 0usize;
+        for item in &cur {
+            while pi < prev.len() && prev[pi].0 < item.0 {
+                pi += 1;
+            }
+            let unchanged = pi < prev.len() && prev[pi].0 == item.0 && prev[pi].1 == item.1;
+            if !unchanged {
+                delta.push(item.clone());
+            }
+        }
+        *prev = cur;
+        delta
+    }
 }
 
 #[cfg(test)]
@@ -467,6 +524,98 @@ mod tests {
         // p95 of {0,0,~0,1e12} resolves through the overflow bucket to
         // the exact max.
         assert_eq!(h.quantile(0.95), 1e12);
+    }
+
+    /// Satellite: empty-histogram edge case — every readout is zero and
+    /// the snapshot is the default.
+    #[test]
+    fn empty_histogram_reads_zero_everywhere() {
+        let hub = TelemetryHub::default();
+        let h = hub.histogram("empty");
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0.0);
+        }
+        assert_eq!(h.snapshot(), HistogramSnapshot::default());
+        assert_eq!(Histogram::disabled().quantile(0.5), 0.0);
+    }
+
+    /// Satellite: single-bucket edge case — when every observation is
+    /// the same value, interpolation must not invent spread: all
+    /// quantiles clamp to the exact observed value.
+    #[test]
+    fn single_bucket_histogram_quantiles_are_exact() {
+        let hub = TelemetryHub::default();
+        let h = hub.histogram("single");
+        for _ in 0..100 {
+            h.observe(3.25e-3);
+        }
+        for q in [0.0, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 3.25e-3, "q={q}");
+        }
+        let s = h.snapshot();
+        assert_eq!((s.p50, s.p90, s.p95, s.p99), (3.25e-3, 3.25e-3, 3.25e-3, 3.25e-3));
+        assert_eq!(s.count, 100);
+    }
+
+    /// Satellite: quantiles within one bucket are monotone — the
+    /// in-bucket geometric interpolation distinguishes ranks that the
+    /// old flat bucket-midpoint readout collapsed.
+    #[test]
+    fn in_bucket_interpolation_is_monotone_across_boundaries() {
+        let hub = TelemetryHub::default();
+        let h = hub.histogram("mono");
+        // Values dense enough that adjacent quantiles share buckets.
+        for i in 1..=1000 {
+            h.observe(1.0 + i as f64 / 1000.0); // (1, 2]
+        }
+        let mut last = 0.0;
+        for i in 1..=20 {
+            let q = i as f64 / 20.0;
+            let v = h.quantile(q);
+            assert!(v >= last, "quantile must be monotone: q={q} {v} < {last}");
+            last = v;
+        }
+        // And the interpolated p50 sits near the true median, well
+        // inside the 1/16 bucket bound.
+        assert!((h.quantile(0.5) - 1.5).abs() / 1.5 < 1.0 / 16.0);
+    }
+
+    #[test]
+    fn delta_snapshot_reports_only_changes() {
+        let hub = TelemetryHub::default();
+        hub.counter("a").add(1);
+        hub.gauge("b").set(2.0);
+        hub.histogram("c").observe(0.5);
+        let mut prev = Vec::new();
+        let full = hub.delta_snapshot(&mut prev);
+        assert_eq!(full.len(), 3, "first delta is the full snapshot");
+        assert!(hub.delta_snapshot(&mut prev).is_empty(), "no change, no delta");
+        hub.counter("a").add(1);
+        hub.counter("d").inc();
+        let delta = hub.delta_snapshot(&mut prev);
+        let names: Vec<&str> = delta.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["a", "d"]);
+        assert_eq!(prev.len(), 4, "prev tracks the full current snapshot");
+    }
+
+    #[test]
+    fn step_bounds_peek_does_not_drain() {
+        let hub = TelemetryHub::default();
+        hub.record(StepSample {
+            step: 1,
+            t_start: 0.0,
+            t_end: 0.5,
+            ..StepSample::default()
+        });
+        hub.record(StepSample {
+            step: 2,
+            t_start: 0.5,
+            t_end: 1.25,
+            ..StepSample::default()
+        });
+        assert_eq!(hub.step_bounds(), vec![(1, 0.0, 0.5), (2, 0.5, 1.25)]);
+        let (series, _) = hub.take_series();
+        assert_eq!(series.len(), 2, "peek must leave the series intact");
     }
 
     #[test]

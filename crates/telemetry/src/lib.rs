@@ -34,7 +34,9 @@ pub mod json;
 
 pub use instruments::{Counter, Gauge, Histogram, HistogramSnapshot, MetricValue, TelemetryHub};
 pub use recorder::{Event, EventKind, FlightRecorder, StepSample};
-pub use report::{Manifest, MemorySummary, RunReport, REPORT_SCHEMA};
+pub use report::{
+    parse_critical, push_critical, Manifest, MemorySummary, RunReport, REPORT_SCHEMA,
+};
 
 use std::sync::Arc;
 

@@ -161,6 +161,15 @@ impl FlightRecorder {
         self.evicted
     }
 
+    /// Non-draining peek: `(step, t_start, t_end)` of every retained
+    /// sample, in step order.
+    pub fn bounds(&self) -> Vec<(u64, f64, f64)> {
+        self.samples
+            .iter()
+            .map(|s| (s.step, s.t_start, s.t_end))
+            .collect()
+    }
+
     /// Drain: `(samples in step order, evicted count)`.
     pub fn take(&mut self) -> (Vec<StepSample>, u64) {
         let evicted = self.evicted;

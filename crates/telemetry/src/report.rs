@@ -4,6 +4,7 @@ use crate::instruments::{HistogramSnapshot, MetricValue, TelemetryHub};
 use crate::json::{self, push_f64, push_str, Value};
 use crate::recorder::{Event, EventKind, StepSample};
 use std::fmt::Write as _;
+use trace::{CritContrib, CriticalReport, RankSlack, StepCritical, CRITICAL_SCHEMA};
 
 /// Schema tag written into every report (bump on breaking layout
 /// changes; `nekstat` and CI validate it).
@@ -79,6 +80,10 @@ pub struct RunReport {
     pub watermarks: Vec<(String, u64, u64)>,
     /// Memory roll-up.
     pub memory: MemorySummary,
+    /// Critical-path analysis over the causal trace, when the run was
+    /// traced (attached by the workflow driver after
+    /// [`RunReport::collect`]; `None` when tracing was off).
+    pub critical: Option<CriticalReport>,
 }
 
 impl RunReport {
@@ -99,6 +104,7 @@ impl RunReport {
             events: hub.take_events_sorted(),
             watermarks,
             memory,
+            critical: None,
         }
     }
 
@@ -187,7 +193,9 @@ impl RunReport {
                     for (k, x) in [
                         ("sum", h.sum),
                         ("p50", h.p50),
+                        ("p90", h.p90),
                         ("p95", h.p95),
+                        ("p99", h.p99),
                         ("min", h.min),
                         ("max", h.max),
                     ] {
@@ -261,9 +269,14 @@ impl RunReport {
         let mem = &self.memory;
         let _ = write!(
             o,
-            "\n  ],\n  \"memory\": {{\"host_aggregate_peak\": {}, \"host_max_rank_peak\": {}, \"gpu_aggregate_peak\": {}, \"unscoped\": {}}}\n}}\n",
+            "\n  ],\n  \"memory\": {{\"host_aggregate_peak\": {}, \"host_max_rank_peak\": {}, \"gpu_aggregate_peak\": {}, \"unscoped\": {}}}",
             mem.host_aggregate_peak, mem.host_max_rank_peak, mem.gpu_aggregate_peak, mem.unscoped
         );
+        if let Some(c) = &self.critical {
+            o.push_str(",\n  \"critical\": ");
+            push_critical(&mut o, c);
+        }
+        o.push_str("\n}\n");
         o
     }
 
@@ -329,7 +342,9 @@ impl RunReport {
                         count: mv.get("count").and_then(Value::as_u64).unwrap_or(0),
                         sum: f("sum"),
                         p50: f("p50"),
+                        p90: f("p90"),
                         p95: f("p95"),
+                        p99: f("p99"),
                         min: f("min"),
                         max: f("max"),
                     })
@@ -407,6 +422,10 @@ impl RunReport {
         }
         let memv = v.get("memory").ok_or("missing memory")?;
         let mn = |k: &str| memv.get(k).and_then(Value::as_u64).unwrap_or(0);
+        let critical = match v.get("critical") {
+            Some(cv) => Some(parse_critical(cv)?),
+            None => None,
+        };
         Ok(Self {
             manifest,
             metrics,
@@ -423,8 +442,117 @@ impl RunReport {
                 gpu_aggregate_peak: mn("gpu_aggregate_peak"),
                 unscoped: mn("unscoped"),
             },
+            critical,
         })
     }
+}
+
+fn push_contribs(o: &mut String, list: &[CritContrib]) {
+    o.push('[');
+    for (i, c) in list.iter().enumerate() {
+        if i > 0 {
+            o.push_str(", ");
+        }
+        let _ = write!(o, "{{\"pid\": {}, \"rank\": {}, \"phase\": ", c.pid, c.rank);
+        push_str(o, &c.phase);
+        o.push_str(", \"secs\": ");
+        push_f64(o, c.secs);
+        o.push('}');
+    }
+    o.push(']');
+}
+
+/// Serialize a [`CriticalReport`] as the `nekstat/critical-path/v1`
+/// object (embedded in the run report and emitted standalone by
+/// `nekstat critical-path --json`).
+pub fn push_critical(o: &mut String, c: &CriticalReport) {
+    o.push_str("{\"schema\": ");
+    push_str(o, CRITICAL_SCHEMA);
+    let _ = write!(o, ", \"segments\": {}, \"total\": ", c.segments);
+    push_f64(o, c.total);
+    o.push_str(",\n    \"contrib\": ");
+    push_contribs(o, &c.contrib);
+    o.push_str(",\n    \"steps\": [");
+    for (i, s) in c.steps.iter().enumerate() {
+        o.push_str(if i == 0 { "\n      " } else { ",\n      " });
+        let _ = write!(o, "{{\"step\": {}, \"t_from\": ", s.step);
+        push_f64(o, s.t_from);
+        o.push_str(", \"t_to\": ");
+        push_f64(o, s.t_to);
+        o.push_str(", \"total\": ");
+        push_f64(o, s.total);
+        let _ = write!(o, ", \"dropped\": {}, \"contrib\": ", s.dropped);
+        push_contribs(o, &s.contrib);
+        o.push('}');
+    }
+    o.push_str("],\n    \"slack\": [");
+    for (i, s) in c.slack.iter().enumerate() {
+        if i > 0 {
+            o.push_str(", ");
+        }
+        let _ = write!(o, "{{\"pid\": {}, \"rank\": {}, \"wait_s\": ", s.pid, s.rank);
+        push_f64(o, s.wait_s);
+        o.push('}');
+    }
+    o.push_str("]}");
+}
+
+fn parse_contribs(v: Option<&Value>) -> Result<Vec<CritContrib>, String> {
+    let mut out = Vec::new();
+    for cv in v.and_then(Value::as_arr).ok_or("missing contrib list")? {
+        out.push(CritContrib {
+            pid: cv.get("pid").and_then(Value::as_u64).unwrap_or(0) as u32,
+            rank: cv.get("rank").and_then(Value::as_u64).unwrap_or(0) as usize,
+            phase: cv
+                .get("phase")
+                .and_then(Value::as_str)
+                .ok_or("contrib without phase")?
+                .to_string(),
+            secs: cv.get("secs").and_then(Value::as_f64).unwrap_or(0.0),
+        });
+    }
+    Ok(out)
+}
+
+/// Parse the `nekstat/critical-path/v1` object.
+///
+/// # Errors
+/// Malformed JSON or a schema tag mismatch.
+pub fn parse_critical(cv: &Value) -> Result<CriticalReport, String> {
+    let schema = cv
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or("critical block without schema tag")?;
+    if schema != CRITICAL_SCHEMA {
+        return Err(format!("unsupported critical-path schema {schema:?}"));
+    }
+    let mut steps = Vec::new();
+    for sv in cv.get("steps").and_then(Value::as_arr).unwrap_or_default() {
+        let f = |k: &str| sv.get(k).and_then(Value::as_f64).unwrap_or(0.0);
+        steps.push(StepCritical {
+            step: sv.get("step").and_then(Value::as_u64).unwrap_or(0),
+            t_from: f("t_from"),
+            t_to: f("t_to"),
+            total: f("total"),
+            contrib: parse_contribs(sv.get("contrib"))?,
+            dropped: sv.get("dropped").and_then(Value::as_u64).unwrap_or(0),
+        });
+    }
+    let mut slack = Vec::new();
+    for rv in cv.get("slack").and_then(Value::as_arr).unwrap_or_default() {
+        slack.push(RankSlack {
+            pid: rv.get("pid").and_then(Value::as_u64).unwrap_or(0) as u32,
+            rank: rv.get("rank").and_then(Value::as_u64).unwrap_or(0) as usize,
+            wait_s: rv.get("wait_s").and_then(Value::as_f64).unwrap_or(0.0),
+        });
+    }
+    Ok(CriticalReport {
+        total: cv.get("total").and_then(Value::as_f64).unwrap_or(0.0),
+        segments: cv.get("segments").and_then(Value::as_u64).unwrap_or(0),
+        contrib: parse_contribs(cv.get("contrib"))?,
+        steps,
+        slack,
+    })
 }
 
 #[cfg(test)]
@@ -495,6 +623,43 @@ mod tests {
     fn json_round_trip_is_lossless() {
         let report = fixture();
         let text = report.to_json();
+        let parsed = RunReport::from_json(&text).unwrap();
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn json_round_trip_keeps_critical_block() {
+        let mut report = fixture();
+        report.critical = Some(CriticalReport {
+            total: 1.5,
+            segments: 3,
+            contrib: vec![CritContrib {
+                pid: 0,
+                rank: 2,
+                phase: "sem/cg".into(),
+                secs: 1.25,
+            }],
+            steps: vec![StepCritical {
+                step: 1,
+                t_from: 0.0,
+                t_to: 0.75,
+                total: 0.75,
+                contrib: vec![CritContrib {
+                    pid: 1,
+                    rank: 0,
+                    phase: "net/wire".into(),
+                    secs: 0.5,
+                }],
+                dropped: 2,
+            }],
+            slack: vec![RankSlack {
+                pid: 0,
+                rank: 0,
+                wait_s: 0.25,
+            }],
+        });
+        let text = report.to_json();
+        assert!(text.contains(CRITICAL_SCHEMA));
         let parsed = RunReport::from_json(&text).unwrap();
         assert_eq!(parsed, report);
     }

@@ -168,6 +168,7 @@ mod tests {
 
     fn span(name: &str, start: f64, end: f64, depth: u32, self_time: f64) -> Span {
         Span {
+            id: 0,
             name: name.to_string(),
             start,
             end,
@@ -187,12 +188,14 @@ mod tests {
                     span("sem/pressure", 0.0, 5.0, 0, 2.0),
                     span("transport/send", 5.0, 10.0, 0, 5.0),
                 ],
+                edges: vec![],
             },
             RankTrace {
                 pid: 0,
                 rank: 0,
                 end: 8.0,
                 spans: vec![span("transport/send", 0.0, 8.0, 0, 8.0)],
+                edges: vec![],
             },
         ]
     }
@@ -222,6 +225,7 @@ mod tests {
             rank: 0,
             end: 10.0,
             spans: vec![span("a", 0.0, 5.0, 0, 5.0)],
+            edges: vec![],
         }];
         let b = PhaseBreakdown::from_traces(&sparse);
         assert!((b.attributed_fraction() - 0.5).abs() < 1e-12);
@@ -244,6 +248,7 @@ mod tests {
             rank: 0,
             end: 0.0,
             spans: vec![],
+            edges: vec![],
         }]);
         assert!((b.attributed_fraction() - 1.0).abs() < 1e-12);
         // Same for a zero-wall rank that opened spans which charged no
@@ -254,6 +259,7 @@ mod tests {
             rank: 0,
             end: 0.0,
             spans: vec![span("transport/recv", 0.0, 0.0, 0, 0.0)],
+            edges: vec![],
         }]);
         assert!((b.attributed_fraction() - 1.0).abs() < 1e-12);
     }

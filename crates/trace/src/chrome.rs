@@ -100,12 +100,14 @@ mod tests {
             rank,
             end: 2.0,
             spans: vec![Span {
+                id: 0,
                 name: "sem/pressure".to_string(),
                 start: 0.5,
                 end: 1.5,
                 depth: 0,
                 self_time: 1.0,
             }],
+            edges: vec![],
         }
     }
 

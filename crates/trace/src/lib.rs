@@ -24,8 +24,10 @@
 
 pub mod breakdown;
 pub mod chrome;
+pub mod critical;
 
 pub use breakdown::{PhaseBreakdown, PhaseStat, RankPhases};
+pub use critical::{CriticalReport, CritContrib, RankSlack, StepCritical, CRITICAL_SCHEMA};
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -51,6 +53,97 @@ impl TimeSource {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Trace-context words (cross-rank causality)
+// ---------------------------------------------------------------------------
+
+/// Bit layout of a packed trace-context word (`0` = no context):
+///
+/// ```text
+/// [63]    present flag (1)
+/// [60:63] pid (3 bits: 0 = simulation world, 1 = endpoint world, …)
+/// [40:60] rank (20 bits, up to ~1M virtual ranks)
+/// [0:40]  span id within that rank's tracer (40 bits)
+/// ```
+///
+/// The word rides on every commsim message/collective and on transport
+/// wire frames; it never feeds any clock computation, so carrying it is
+/// bitwise-invisible to the simulation.
+const CTX_PRESENT: u64 = 1 << 63;
+const CTX_PID_SHIFT: u32 = 60;
+const CTX_PID_MASK: u64 = 0x7;
+const CTX_RANK_SHIFT: u32 = 40;
+const CTX_RANK_MASK: u64 = 0xf_ffff;
+const CTX_SPAN_MASK: u64 = (1 << 40) - 1;
+
+/// Pack a (pid, rank, span id) triple into a context word.
+pub fn pack_ctx(pid: u32, rank: usize, span: u64) -> u64 {
+    CTX_PRESENT
+        | ((pid as u64 & CTX_PID_MASK) << CTX_PID_SHIFT)
+        | ((rank as u64 & CTX_RANK_MASK) << CTX_RANK_SHIFT)
+        | (span & CTX_SPAN_MASK)
+}
+
+/// Unpack a context word into (pid, rank, span id); `None` when the
+/// word is 0 (sender untraced).
+pub fn unpack_ctx(ctx: u64) -> Option<(u32, usize, u64)> {
+    if ctx & CTX_PRESENT == 0 {
+        return None;
+    }
+    Some((
+        ((ctx >> CTX_PID_SHIFT) & CTX_PID_MASK) as u32,
+        ((ctx >> CTX_RANK_SHIFT) & CTX_RANK_MASK) as usize,
+        ctx & CTX_SPAN_MASK,
+    ))
+}
+
+/// What kind of channel carried a happens-before edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// In-world point-to-point message (`Comm::send` → `Comm::recv`).
+    Message,
+    /// In-world collective: the edge points at the critical contributor
+    /// (the last rank to arrive, lowest rank among ties).
+    Collective,
+    /// Cross-world staged wire frame (the SST-analogue transport).
+    Wire,
+}
+
+impl EdgeKind {
+    /// Stable label used by the JSON serializations.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EdgeKind::Message => "message",
+            EdgeKind::Collective => "collective",
+            EdgeKind::Wire => "wire",
+        }
+    }
+}
+
+/// One happens-before edge, recorded on the **receiving** rank.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CausalEdge {
+    /// Sender context word ([`pack_ctx`]); 0 when the sender was
+    /// untraced.
+    pub src: u64,
+    /// Innermost span open on the receiver when the edge landed (its
+    /// local id), or `u64::MAX` when none was open.
+    pub dst_span: u64,
+    /// Sender's virtual clock when the payload left it.
+    pub t_send: f64,
+    /// Virtual time the payload became available (the receiver resumed
+    /// here when the edge is binding).
+    pub t_ready: f64,
+    /// Receiver's virtual clock when it matched the payload (before any
+    /// advance).
+    pub t_recv: f64,
+    /// True when `t_ready > t_recv`: the edge advanced the receiver's
+    /// clock, i.e. the receiver genuinely waited on the sender.
+    pub binding: bool,
+    /// Channel that carried the edge.
+    pub kind: EdgeKind,
+}
+
 /// A span still on the stack.
 struct OpenSpan {
     id: u64,
@@ -64,6 +157,9 @@ struct OpenSpan {
 /// A completed span.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Span {
+    /// Id unique within this rank's tracer (referenced by context words
+    /// and [`CausalEdge::dst_span`]).
+    pub id: u64,
     /// Taxonomy name, e.g. `"transport/send"`.
     pub name: String,
     /// Start stamp (virtual seconds in simulated runs).
@@ -95,12 +191,16 @@ pub struct RankTrace {
     pub end: f64,
     /// Completed spans in close order.
     pub spans: Vec<Span>,
+    /// Happens-before edges observed by this rank as a receiver, in the
+    /// order they were recorded (chronological in virtual time).
+    pub edges: Vec<CausalEdge>,
 }
 
 struct TracerState {
     next_id: u64,
     open: Vec<OpenSpan>,
     closed: Vec<Span>,
+    edges: Vec<CausalEdge>,
     /// Cumulative self time per span name over every span closed so
     /// far — a running aggregate cheap enough to read once per step
     /// (the telemetry flight recorder diffs consecutive readings).
@@ -172,6 +272,7 @@ impl Tracer {
                     next_id: 0,
                     open: Vec::new(),
                     closed: Vec::new(),
+                    edges: Vec::new(),
                     self_totals: std::collections::BTreeMap::new(),
                 }),
             })),
@@ -181,6 +282,37 @@ impl Tracer {
     /// True if spans are being recorded.
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// The packed context word identifying this rank's innermost open
+    /// span ([`pack_ctx`]); 0 when disabled. Senders stamp this onto
+    /// outgoing messages so receivers can record happens-before edges.
+    pub fn ctx_word(&self) -> u64 {
+        let Some(inner) = &self.inner else { return 0 };
+        let st = inner.lock();
+        let span = st.open.last().map(|s| s.id).unwrap_or(CTX_SPAN_MASK);
+        pack_ctx(inner.pid, inner.rank, span)
+    }
+
+    /// Record a happens-before edge observed by this rank as a receiver.
+    /// `src` is the sender's context word (0 when untraced), `t_send`
+    /// the sender's clock at send, `t_ready` when the payload became
+    /// available, and `t_recv` the receiver's clock at match time
+    /// (before any advance). No-op when the tracer is disabled; never
+    /// touches any clock.
+    pub fn record_edge(&self, src: u64, t_send: f64, t_ready: f64, t_recv: f64, kind: EdgeKind) {
+        let Some(inner) = &self.inner else { return };
+        let mut st = inner.lock();
+        let dst_span = st.open.last().map(|s| s.id).unwrap_or(u64::MAX);
+        st.edges.push(CausalEdge {
+            src,
+            dst_span,
+            t_send,
+            t_ready,
+            t_recv,
+            binding: t_ready > t_recv,
+            kind,
+        });
     }
 
     /// Open a span; it closes when the returned guard drops.
@@ -232,6 +364,7 @@ impl Tracer {
             let self_time = (inclusive - span.child_time).max(0.0);
             *st.self_totals.entry(span.name.clone()).or_insert(0.0) += self_time;
             st.closed.push(Span {
+                id: span.id,
                 name: span.name,
                 start: span.start,
                 end: now,
@@ -269,6 +402,7 @@ impl Tracer {
             let self_time = (inclusive - span.child_time).max(0.0);
             *st.self_totals.entry(span.name.clone()).or_insert(0.0) += self_time;
             st.closed.push(Span {
+                id: span.id,
                 name: span.name,
                 start: span.start,
                 end: now,
@@ -277,12 +411,14 @@ impl Tracer {
             });
         }
         let spans = std::mem::take(&mut st.closed);
+        let edges = std::mem::take(&mut st.edges);
         st.self_totals.clear();
         Some(RankTrace {
             pid: inner.pid,
             rank: inner.rank,
             end: now,
             spans,
+            edges,
         })
     }
 }
@@ -442,6 +578,50 @@ mod tests {
         let _ = t.take().unwrap();
         assert!(t.self_totals().is_empty(), "take resets the aggregate");
         assert!(Tracer::disabled().self_totals().is_empty());
+    }
+
+    #[test]
+    fn ctx_words_round_trip_and_identify_the_open_span() {
+        assert_eq!(unpack_ctx(0), None);
+        let (pid, rank, span) = unpack_ctx(pack_ctx(1, 1119, 7)).unwrap();
+        assert_eq!((pid, rank, span), (1, 1119, 7));
+
+        let c = cell(0.0);
+        let t = Tracer::virtual_clock(1, 5, Arc::clone(&c));
+        assert!(Tracer::disabled().ctx_word() == 0);
+        {
+            let _a = t.span("a");
+            let (pid, rank, span) = unpack_ctx(t.ctx_word()).unwrap();
+            assert_eq!((pid, rank), (1, 5));
+            let trace_span = {
+                set(&c, 1.0);
+                span
+            };
+            drop(_a);
+            let trace = t.take().unwrap();
+            assert_eq!(trace.spans[0].id, trace_span);
+        }
+    }
+
+    #[test]
+    fn edges_capture_binding_and_reset_on_take() {
+        let c = cell(2.0);
+        let t = Tracer::virtual_clock(0, 1, Arc::clone(&c));
+        let g = t.span("recv");
+        // Binding: payload ready after the receiver started waiting.
+        t.record_edge(pack_ctx(0, 0, 9), 1.0, 3.0, 2.0, EdgeKind::Message);
+        // Non-binding: payload was already waiting.
+        t.record_edge(pack_ctx(0, 0, 10), 0.5, 1.5, 2.0, EdgeKind::Message);
+        drop(g);
+        let trace = t.take().unwrap();
+        assert_eq!(trace.edges.len(), 2);
+        assert!(trace.edges[0].binding);
+        assert_eq!(trace.edges[0].dst_span, trace.spans[0].id);
+        assert_eq!(unpack_ctx(trace.edges[0].src), Some((0, 0, 9)));
+        assert!(!trace.edges[1].binding);
+        assert!(t.take().unwrap().edges.is_empty(), "take drains edges");
+        // Disabled tracers ignore edges entirely.
+        Tracer::disabled().record_edge(0, 0.0, 1.0, 0.0, EdgeKind::Wire);
     }
 
     #[test]

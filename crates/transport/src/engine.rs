@@ -78,6 +78,11 @@ pub struct Packet {
     pub time: f64,
     /// Virtual time at which the payload is available at the reader.
     pub t_avail: f64,
+    /// Producer's trace-context word ([`trace::pack_ctx`] via
+    /// `Comm::trace_ctx`); 0 when the producer is untraced.
+    pub ctx: u64,
+    /// Producer's virtual clock when the packet left it.
+    pub t_sent: f64,
     /// Marshaled bytes (empty for control markers).
     pub payload: Vec<u8>,
 }
@@ -200,6 +205,8 @@ impl SstWriter {
                         step,
                         time,
                         t_avail: comm.now() + self.link.transfer_time(nbytes) + extra_delay,
+                        ctx: comm.trace_ctx(),
+                        t_sent: comm.now(),
                         payload,
                     };
                     return match self.enqueue_data(comm, packet) {
@@ -259,6 +266,8 @@ impl SstWriter {
                             step,
                             time,
                             t_avail: comm.now() + self.link.transfer_time(nbytes),
+                            ctx: comm.trace_ctx(),
+                            t_sent: comm.now(),
                             payload: damaged,
                         },
                     );
@@ -375,6 +384,8 @@ impl SstWriter {
             step,
             time: 0.0,
             t_avail: comm.now() + self.link.control_latency,
+            ctx: comm.trace_ctx(),
+            t_sent: comm.now(),
             payload: Vec::new(),
         };
         if self.tx.blocking() {
@@ -687,6 +698,16 @@ impl SstReader {
         let time = packets.first().map(|p| p.time).unwrap_or(0.0);
         // Clock: the step is ready when the latest payload lands.
         let t_ready = packets.iter().map(|p| p.t_avail).fold(0.0, f64::max);
+        // Causal edge from the critical producer — the one whose payload
+        // landed last (lowest producer id among exact ties). Recorded
+        // before the advance so t_recv captures the pre-wait clock.
+        if let Some(crit) = packets
+            .iter()
+            .filter(|p| p.t_avail == t_ready)
+            .min_by_key(|p| p.producer)
+        {
+            comm.trace_edge(crit.ctx, crit.t_sent, t_ready, commsim::EdgeKind::Wire);
+        }
         if t_ready > comm.now() {
             comm.advance(t_ready - comm.now());
         }

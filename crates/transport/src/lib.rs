@@ -61,7 +61,7 @@ pub use error::{TransportError, WriteError};
 pub use file_engine::{BpFileReader, BpFileWriter};
 pub use link::StagingLink;
 pub use staging::{
-    ConsumerClient, FrameMsg, SessionSpec, SessionStats, StagingHandle, StagingReport,
-    StagingService,
+    ConsumerClient, FollowClient, FrameMsg, LiveServer, SessionSpec, SessionStats, StagingHandle,
+    StagingReport, StagingService, TelemetryMsg,
 };
 pub use wire::{WireKind, WireRecvError, WireRx, WireSendError, WireTx};

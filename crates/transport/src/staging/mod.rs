@@ -23,9 +23,11 @@
 //! real sockets/channels run under `Comm::external_wait`, so the service
 //! works in both `NEK_SCHED_MODE`s.
 
+pub mod live;
 pub mod protocol;
 
-pub use protocol::{DownMsg, FrameMsg, SessionSpec};
+pub use live::{FollowClient, LiveServer};
+pub use protocol::{DownMsg, FrameMsg, SessionSpec, TelemetryMsg};
 
 use crate::bp;
 use crate::engine::SstReader;
@@ -188,7 +190,7 @@ impl ConsumerClient {
     pub fn connect(addr: &str, spec: &SessionSpec, credits: u32) -> std::io::Result<Self> {
         let mut stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
-        protocol::write_hello(&mut stream, spec, credits)?;
+        protocol::write_hello(&mut stream, spec, credits, false)?;
         Ok(Self {
             inner: ClientInner::Tcp(stream),
         })
@@ -217,7 +219,8 @@ impl ConsumerClient {
         match &mut self.inner {
             ClientInner::Local { frames, .. } => match frames.recv_timeout(timeout) {
                 Ok(DownMsg::Frame(f)) => Ok(Some(f)),
-                Ok(DownMsg::End) => Ok(None),
+                // Telemetry never targets a frame session.
+                Ok(DownMsg::Telemetry(_)) | Ok(DownMsg::End) => Ok(None),
                 Err(crossbeam_channel::RecvTimeoutError::Timeout) => Err(std::io::Error::new(
                     std::io::ErrorKind::TimedOut,
                     "no frame within timeout",
@@ -228,7 +231,9 @@ impl ConsumerClient {
                 stream.set_read_timeout(Some(timeout)).ok();
                 match protocol::read_down(stream) {
                     Ok(Some(DownMsg::Frame(f))) => Ok(Some(f)),
-                    Ok(Some(DownMsg::End)) | Ok(None) => Ok(None),
+                    Ok(Some(DownMsg::Telemetry(_))) | Ok(Some(DownMsg::End)) | Ok(None) => {
+                        Ok(None)
+                    }
                     Err(e) => Err(e),
                 }
             }
@@ -264,6 +269,8 @@ pub struct StagingService {
     parkers: BTreeMap<usize, BpFileWriter>,
     parked_steps: Vec<u64>,
     next_session: usize,
+    live_hub: Option<telemetry::TelemetryHub>,
+    live_stop: Arc<std::sync::atomic::AtomicBool>,
 }
 
 impl StagingService {
@@ -291,6 +298,8 @@ impl StagingService {
             parkers: BTreeMap::new(),
             parked_steps: Vec::new(),
             next_session: 0,
+            live_hub: None,
+            live_stop: Arc::new(std::sync::atomic::AtomicBool::new(false)),
         }
     }
 
@@ -299,20 +308,46 @@ impl StagingService {
         self.handle.clone()
     }
 
+    /// Serve live telemetry follow sessions off the consumer listener:
+    /// a `Hello` with the follow flag set streams delta snapshots of
+    /// `hub` (see [`live`]) instead of opening a frame session. Must be
+    /// called before [`StagingService::listen_consumers`].
+    pub fn set_live_hub(&mut self, hub: telemetry::TelemetryHub) {
+        self.live_hub = Some(hub);
+    }
+
     /// Accept TCP consumer sessions off `listener` until the service
     /// drops its handle side. Each connection sends a `Hello`; a reader
-    /// thread per connection forwards its credit grants.
+    /// thread per connection forwards its credit grants. A `Hello` with
+    /// the follow flag set opens a live telemetry session instead (only
+    /// honored after [`StagingService::set_live_hub`]; otherwise the
+    /// connection gets an immediate `End`).
     pub fn listen_consumers(&self, listener: TcpListener) {
         let handle = self.handle();
+        let live_hub = self.live_hub.clone();
+        let live_stop = self.live_stop.clone();
         std::thread::spawn(move || {
             loop {
                 let Ok((mut stream, _)) = listener.accept() else {
                     return;
                 };
                 stream.set_nodelay(true).ok();
-                let Ok((spec, credits)) = protocol::read_hello(&mut stream) else {
+                let Ok((spec, credits, follow)) = protocol::read_hello(&mut stream) else {
                     continue;
                 };
+                if follow {
+                    match &live_hub {
+                        Some(hub) => {
+                            let hub = hub.clone();
+                            let stop = live_stop.clone();
+                            std::thread::spawn(move || live::serve_follow(stream, &hub, &stop));
+                        }
+                        None => {
+                            let _ = protocol::write_down(&mut stream, &DownMsg::End);
+                        }
+                    }
+                    continue;
+                }
                 let (credit_tx, credit_rx) = bounded(1024);
                 let Ok(read_half) = stream.try_clone() else {
                     continue;
@@ -628,6 +663,8 @@ impl StagingService {
                 .counter("staging/cache_misses")
                 .add(self.cache.misses());
         }
+        // Follow sessions get an explicit `End` at their next tick.
+        self.live_stop.store(true, Ordering::SeqCst);
         Ok(StagingReport {
             steps,
             parked_appends,
@@ -786,6 +823,74 @@ mod tests {
         assert!(late_stats.catchup_steps >= 1, "no catch-up happened");
         // Catch-up steps the early session already rendered are hits.
         assert!(report.cache_hits >= late_stats.catchup_steps);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn follow_session_on_consumer_port_streams_and_detaches_unharmed() {
+        let dir = tempdir("staging_follow");
+        let (writers, mut readers) =
+            StagingNetwork::build(1, 1, 16, StagingLink::test_tiny(), QueuePolicy::Block);
+        let hub = telemetry::TelemetryHub::default();
+        let mut service = StagingService::new(readers.remove(0), 1, &dir, 16);
+        service.set_live_hub(hub.clone());
+        let (listener, port) = crate::wire::loopback_listener().unwrap();
+        service.listen_consumers(listener);
+        let handle = service.handle();
+        let mut frames_client = handle.attach_local(SessionSpec::default(), 8);
+
+        // Attach a follow session over TCP before the stream starts.
+        let mut follow = live::FollowClient::connect(&format!("127.0.0.1:{port}")).unwrap();
+        let first = follow
+            .next_snapshot(Duration::from_secs(10))
+            .unwrap()
+            .expect("initial snapshot");
+        assert_eq!(first.seq, 0);
+        let doc = telemetry::json::parse(&first.json).unwrap();
+        assert_eq!(
+            doc.get("schema").unwrap().as_str(),
+            Some(live::SNAPSHOT_SCHEMA)
+        );
+
+        let sim = drive_writers(writers, 3);
+        let hub2 = hub.clone();
+        let svc = std::thread::spawn(move || {
+            run_ranks_with_state(MachineModel::test_tiny(), vec![service], move |comm, mut s| {
+                comm.enable_telemetry(&hub2, 0);
+                s.run(comm).unwrap()
+            })
+            .remove(0)
+        });
+
+        // Watch until the staging counters show progress, then detach
+        // mid-run by dropping the client.
+        let mut saw_metrics = false;
+        for _ in 0..100 {
+            let Some(snap) = follow.next_snapshot(Duration::from_secs(10)).unwrap() else {
+                break;
+            };
+            let doc = telemetry::json::parse(&snap.json).unwrap();
+            // Service-side counters are rank-scoped on the hub.
+            if doc
+                .get("metrics")
+                .unwrap()
+                .get("rank0/staging/frames_sent")
+                .is_some()
+            {
+                saw_metrics = true;
+                break;
+            }
+        }
+        drop(follow);
+
+        let frames = frames_client.drain(Duration::from_secs(20)).unwrap();
+        sim.join().unwrap();
+        let report = svc.join().unwrap();
+        assert!(saw_metrics, "live snapshots never showed staging counters");
+        // The frame session is untouched by the follow attach/detach.
+        assert_eq!(report.steps, 3);
+        assert_eq!(frames.len(), 3);
+        assert!(!report.sessions[0].detached);
         std::fs::remove_dir_all(&dir).ok();
     }
 

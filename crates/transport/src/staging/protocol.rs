@@ -11,8 +11,16 @@
 //! ```
 //!
 //! Up (consumer → service): tag 0 `Hello`, tag 1 `Credit`.
-//! Down (service → consumer): tag 10 `Frame`, tag 11 `End`.
+//! Down (service → consumer): tag 10 `Frame`, tag 11 `End`,
+//! tag 12 `Telemetry` (live snapshot JSON, follow sessions only).
 //! All integers little-endian, like the BP marshaling.
+//!
+//! A `Hello` whose trailing follow byte is 1 opens a **follow session**:
+//! the service sends no frames and ignores the spec/credits; instead a
+//! real-time thread streams `Telemetry` messages (delta snapshots of the
+//! run's metric hub) until either side disconnects. Follow sessions read
+//! atomics only, so attaching and detaching never perturbs the
+//! virtual-clock run being observed.
 
 use std::io::{Read, Write};
 
@@ -59,6 +67,15 @@ pub struct FrameMsg {
     pub png: Vec<u8>,
 }
 
+/// One live telemetry delta snapshot (follow sessions only).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryMsg {
+    /// Snapshot sequence number, 0 for the initial full snapshot.
+    pub seq: u64,
+    /// Snapshot document (`nekstat/telemetry-snapshot/v1` JSON).
+    pub json: String,
+}
+
 /// Service → consumer messages.
 #[derive(Debug, Clone, PartialEq)]
 pub enum DownMsg {
@@ -66,12 +83,15 @@ pub enum DownMsg {
     Frame(FrameMsg),
     /// The stream is over; no more frames will arrive.
     End,
+    /// One live telemetry snapshot (follow sessions only).
+    Telemetry(TelemetryMsg),
 }
 
 const TAG_HELLO: u8 = 0;
 const TAG_CREDIT: u8 = 1;
 const TAG_FRAME: u8 = 10;
 const TAG_END: u8 = 11;
+const TAG_TELEMETRY: u8 = 12;
 
 fn put_str(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(&(s.len() as u32).to_le_bytes());
@@ -154,7 +174,8 @@ fn read_tagged(r: &mut impl Read) -> std::io::Result<Option<(u8, Vec<u8>)>> {
     Ok(Some((tag, body)))
 }
 
-/// Write the session-opening `Hello` (spec + initial credits).
+/// Write the session-opening `Hello` (spec + initial credits). A true
+/// `follow` opens a telemetry follow session instead of a frame stream.
 ///
 /// # Errors
 /// I/O failures.
@@ -162,6 +183,7 @@ pub fn write_hello(
     w: &mut impl Write,
     spec: &SessionSpec,
     credits: u32,
+    follow: bool,
 ) -> std::io::Result<()> {
     let mut body = Vec::new();
     body.extend_from_slice(&(spec.width as u32).to_le_bytes());
@@ -172,14 +194,16 @@ pub fn write_hello(
     put_str(&mut body, &spec.colormap);
     put_str(&mut body, &spec.array);
     body.extend_from_slice(&credits.to_le_bytes());
+    body.push(u8::from(follow));
     write_tagged(w, TAG_HELLO, &body)
 }
 
-/// Read a `Hello` off a fresh consumer connection.
+/// Read a `Hello` off a fresh consumer connection; the final bool is the
+/// follow flag.
 ///
 /// # Errors
 /// I/O failures, a non-Hello first frame, or a malformed body.
-pub fn read_hello(r: &mut impl Read) -> std::io::Result<(SessionSpec, u32)> {
+pub fn read_hello(r: &mut impl Read) -> std::io::Result<(SessionSpec, u32, bool)> {
     let Some((tag, body)) = read_tagged(r)? else {
         return Err(std::io::Error::new(
             std::io::ErrorKind::UnexpectedEof,
@@ -199,6 +223,7 @@ pub fn read_hello(r: &mut impl Read) -> std::io::Result<(SessionSpec, u32)> {
     let colormap = c.str()?;
     let array = c.str()?;
     let credits = c.u32()?;
+    let follow = c.take(1)?[0] != 0;
     Ok((
         SessionSpec {
             width,
@@ -208,6 +233,7 @@ pub fn read_hello(r: &mut impl Read) -> std::io::Result<(SessionSpec, u32)> {
             array,
         },
         credits,
+        follow,
     ))
 }
 
@@ -252,6 +278,12 @@ pub fn write_down(w: &mut impl Write, msg: &DownMsg) -> std::io::Result<()> {
             write_tagged(w, TAG_FRAME, &body)
         }
         DownMsg::End => write_tagged(w, TAG_END, &[]),
+        DownMsg::Telemetry(t) => {
+            let mut body = Vec::with_capacity(12 + t.json.len());
+            body.extend_from_slice(&t.seq.to_le_bytes());
+            put_str(&mut body, &t.json);
+            write_tagged(w, TAG_TELEMETRY, &body)
+        }
     }
 }
 
@@ -277,6 +309,12 @@ pub fn read_down(r: &mut impl Read) -> std::io::Result<Option<DownMsg>> {
             })))
         }
         Some((TAG_END, _)) => Ok(Some(DownMsg::End)),
+        Some((TAG_TELEMETRY, body)) => {
+            let mut c = Cursor { buf: &body, pos: 0 };
+            let seq = c.u64()?;
+            let json = c.str()?;
+            Ok(Some(DownMsg::Telemetry(TelemetryMsg { seq, json })))
+        }
         Some((tag, _)) => Err(std::io::Error::new(
             std::io::ErrorKind::InvalidData,
             format!("unexpected down tag {tag}"),
@@ -298,10 +336,33 @@ mod tests {
             array: "velocity".into(),
         };
         let mut wire = Vec::new();
-        write_hello(&mut wire, &spec, 7).unwrap();
-        let (got, credits) = read_hello(&mut std::io::Cursor::new(wire)).unwrap();
+        write_hello(&mut wire, &spec, 7, false).unwrap();
+        let (got, credits, follow) = read_hello(&mut std::io::Cursor::new(wire)).unwrap();
         assert_eq!(got, spec);
         assert_eq!(credits, 7);
+        assert!(!follow);
+    }
+
+    #[test]
+    fn follow_hello_roundtrip() {
+        let mut wire = Vec::new();
+        write_hello(&mut wire, &SessionSpec::default(), 0, true).unwrap();
+        let (_, credits, follow) = read_hello(&mut std::io::Cursor::new(wire)).unwrap();
+        assert_eq!(credits, 0);
+        assert!(follow);
+    }
+
+    #[test]
+    fn telemetry_down_roundtrip() {
+        let msg = DownMsg::Telemetry(TelemetryMsg {
+            seq: 42,
+            json: "{\"schema\":\"nekstat/telemetry-snapshot/v1\"}".into(),
+        });
+        let mut wire = Vec::new();
+        write_down(&mut wire, &msg).unwrap();
+        let mut cursor = std::io::Cursor::new(wire);
+        assert_eq!(read_down(&mut cursor).unwrap(), Some(msg));
+        assert_eq!(read_down(&mut cursor).unwrap(), None);
     }
 
     #[test]
@@ -331,7 +392,7 @@ mod tests {
     #[test]
     fn truncated_hello_is_invalid_data() {
         let mut wire = Vec::new();
-        write_hello(&mut wire, &SessionSpec::default(), 2).unwrap();
+        write_hello(&mut wire, &SessionSpec::default(), 2, false).unwrap();
         wire.truncate(wire.len() - 3);
         assert!(read_hello(&mut std::io::Cursor::new(wire)).is_err());
     }

@@ -22,7 +22,7 @@
 //! # Frame layout (tcp)
 //!
 //! ```text
-//! [u32 len][u8 kind][u32 producer][u64 step][f64 time][f64 t_avail][payload…]
+//! [u32 len][u8 kind][u32 producer][u64 step][f64 time][f64 t_avail][u64 ctx][f64 t_sent][payload…]
 //! ```
 //!
 //! `len` counts everything after itself (little-endian throughout, like
@@ -170,7 +170,7 @@ impl WireRx for ChannelWireRx {
 // Frame codec (tcp)
 // ---------------------------------------------------------------------------
 
-const HEADER_LEN: usize = 1 + 4 + 8 + 8 + 8;
+const HEADER_LEN: usize = 1 + 4 + 8 + 8 + 8 + 8 + 8;
 
 fn kind_byte(kind: PacketKind) -> u8 {
     match kind {
@@ -199,6 +199,8 @@ pub fn encode_packet(packet: &Packet) -> Vec<u8> {
     out.extend_from_slice(&packet.step.to_le_bytes());
     out.extend_from_slice(&packet.time.to_le_bytes());
     out.extend_from_slice(&packet.t_avail.to_le_bytes());
+    out.extend_from_slice(&packet.ctx.to_le_bytes());
+    out.extend_from_slice(&packet.t_sent.to_le_bytes());
     out.extend_from_slice(&packet.payload);
     out
 }
@@ -219,12 +221,16 @@ pub fn decode_packet(body: &[u8]) -> Result<Packet, WireRecvError> {
     let step = u64::from_le_bytes(body[5..13].try_into().expect("8 bytes"));
     let time = f64::from_le_bytes(body[13..21].try_into().expect("8 bytes"));
     let t_avail = f64::from_le_bytes(body[21..29].try_into().expect("8 bytes"));
+    let ctx = u64::from_le_bytes(body[29..37].try_into().expect("8 bytes"));
+    let t_sent = f64::from_le_bytes(body[37..45].try_into().expect("8 bytes"));
     Ok(Packet {
         kind,
         producer,
         step,
         time,
         t_avail,
+        ctx,
+        t_sent,
         payload: body[HEADER_LEN..].to_vec(),
     })
 }
@@ -400,6 +406,8 @@ mod tests {
             step: 42,
             time: 0.125,
             t_avail: 7.5,
+            ctx: 0x8000_0123_4567_89ab,
+            t_sent: 0.0625,
             payload,
         }
     }
@@ -417,6 +425,8 @@ mod tests {
             assert_eq!(q.step, p.step);
             assert_eq!(q.time.to_bits(), p.time.to_bits());
             assert_eq!(q.t_avail.to_bits(), p.t_avail.to_bits());
+            assert_eq!(q.ctx, p.ctx);
+            assert_eq!(q.t_sent.to_bits(), p.t_sent.to_bits());
             assert_eq!(q.payload, p.payload);
         }
     }

@@ -347,6 +347,8 @@ mod wire_framing {
                     step,
                     time: step as f64 * 0.1,
                     t_avail: step as f64 * 0.2,
+                    ctx: step.wrapping_mul(producer as u64 + 1),
+                    t_sent: step as f64 * 0.05,
                     payload: bp_payload(producer, step, n),
                 })
                 .collect();

@@ -255,3 +255,32 @@ fn run_report_round_trips_through_json() {
     let back = RunReport::from_json(&json).expect("parse own output");
     assert_eq!(report, back, "JSON round trip must be lossless");
 }
+
+/// The event log is sorted by virtual timestamp with a stable
+/// (pid, rank, step) tie-break — under both rank schedulers, and the
+/// two schedulers produce the identical log.
+#[test]
+fn event_log_is_sorted_with_stable_tie_break_in_both_sched_modes() {
+    let run = |sched: commsim::SchedMode| {
+        let mut cfg = stalled_insitu_config(true, None);
+        cfg.sched = sched;
+        let r = run_insitu(&cfg);
+        r.run_report.expect("telemetry: true collects a report").events
+    };
+    let thread = run(commsim::SchedMode::Thread);
+    let event = run(commsim::SchedMode::Event);
+    for (label, events) in [("thread", &thread), ("event", &event)] {
+        assert!(!events.is_empty(), "{label}: no events logged");
+        for w in events.windows(2) {
+            let a = (w[0].at, w[0].pid, w[0].rank, w[0].step);
+            let b = (w[1].at, w[1].pid, w[1].rank, w[1].step);
+            assert!(
+                a <= b,
+                "{label}: events out of order: {:?} before {:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+    assert_eq!(thread, event, "event logs differ across schedulers");
+}

@@ -266,3 +266,128 @@ fn chrome_trace_for_four_ranks_is_well_formed() {
         );
     }
 }
+
+/// Sentinel span id a context word carries when the sender had no span
+/// open (mirrors the tracer's internal `CTX_SPAN_MASK`).
+const NO_SPAN: u64 = (1 << 40) - 1;
+
+/// Cross-rank causal edges: every recorded edge must point back at a
+/// real sender, the sender's span (when one was open) must bracket the
+/// send time, and the happens-before direction must hold — under both
+/// rank schedulers, with identical edge sets (edges derive purely from
+/// virtual clocks, which the schedulers agree on).
+#[test]
+fn cross_rank_edges_link_send_to_recv_in_both_sched_modes() {
+    use commsim::{unpack_ctx, EdgeKind, SchedMode};
+
+    let run = |sched: SchedMode| {
+        let mut cfg = traced_intransit(4, EndpointMode::Catalyst);
+        cfg.sched = sched;
+        run_intransit(&cfg).traces
+    };
+
+    let validate = |traces: &[commsim::RankTrace], label: &str| {
+        let by_id: std::collections::BTreeMap<(u32, usize), &commsim::RankTrace> =
+            traces.iter().map(|t| ((t.pid, t.rank), t)).collect();
+        let mut total_edges = 0usize;
+        let mut cross_rank = 0usize;
+        let mut wire_cross_world = 0usize;
+        for t in traces {
+            for e in &t.edges {
+                total_edges += 1;
+                let (spid, srank, span) =
+                    unpack_ctx(e.src).expect("recorded edges always carry a sender ctx");
+                let sender = by_id
+                    .get(&(spid, srank))
+                    .unwrap_or_else(|| panic!("{label}: edge from untraced ({spid},{srank})"));
+                if span != NO_SPAN {
+                    let s = sender
+                        .spans
+                        .iter()
+                        .find(|s| s.id == span)
+                        .unwrap_or_else(|| {
+                            panic!("{label}: sender span {span} missing on ({spid},{srank})")
+                        });
+                    assert!(
+                        s.start <= e.t_send && e.t_send <= s.end,
+                        "{label}: send at {} outside sender span [{}, {}]",
+                        e.t_send,
+                        s.start,
+                        s.end
+                    );
+                }
+                // Happens-before: the payload cannot be ready before it
+                // was sent, and a binding edge really advanced the
+                // receiver.
+                assert!(e.t_ready >= e.t_send, "{label}: t_ready < t_send");
+                assert_eq!(e.binding, e.t_ready > e.t_recv, "{label}: binding flag");
+                if (spid, srank) != (t.pid, t.rank) {
+                    cross_rank += 1;
+                }
+                if e.kind == EdgeKind::Wire && spid != t.pid {
+                    wire_cross_world += 1;
+                }
+            }
+        }
+        assert!(total_edges > 0, "{label}: no causal edges recorded");
+        assert!(
+            cross_rank > 0,
+            "{label}: no cross-rank edge (send on A happens-before recv on B)"
+        );
+        assert!(
+            wire_cross_world > 0,
+            "{label}: no wire edge from the sim world into the endpoint world"
+        );
+    };
+
+    let thread = run(SchedMode::Thread);
+    let event = run(SchedMode::Event);
+    validate(&thread, "thread");
+    validate(&event, "event");
+
+    // Scheduler parity: the edge sets are identical, not just similar.
+    let key = |ts: &[commsim::RankTrace]| {
+        let mut v: Vec<_> = ts
+            .iter()
+            .map(|t| ((t.pid, t.rank), t.edges.clone()))
+            .collect();
+        v.sort_by_key(|(id, _)| *id);
+        v
+    };
+    assert_eq!(key(&thread), key(&event), "edge sets differ across schedulers");
+}
+
+/// Critical-path analysis is deterministic: the same seed produces
+/// byte-identical critical-path JSON, in either scheduler mode — and
+/// the two modes agree with each other.
+#[test]
+fn critical_path_json_is_byte_identical_across_runs_and_schedulers() {
+    use commsim::SchedMode;
+
+    let run = |sched: SchedMode| {
+        let mut cfg = traced_intransit(4, EndpointMode::Catalyst);
+        cfg.sched = sched;
+        cfg.telemetry = true;
+        let r = run_intransit(&cfg);
+        let report = r.run_report.expect("telemetry: true collects a report");
+        let critical = report.critical.expect("traced run embeds a critical block");
+        let mut json = String::new();
+        telemetry::push_critical(&mut json, &critical);
+        (critical, json)
+    };
+
+    let (crit_a, json_a) = run(SchedMode::Thread);
+    let (_, json_b) = run(SchedMode::Thread);
+    assert!(crit_a.total > 0.0, "critical path has no length");
+    assert!(
+        !crit_a.contrib.is_empty(),
+        "critical path names no (rank, phase) contributors"
+    );
+    assert_eq!(json_a, json_b, "same seed, same mode: JSON must be identical");
+
+    let (_, json_event) = run(SchedMode::Event);
+    assert_eq!(
+        json_a, json_event,
+        "critical-path JSON differs across schedulers"
+    );
+}
